@@ -1,0 +1,74 @@
+//! Ablation of the structural transformations (DESIGN.md extension):
+//! how much of the ILP-NS gain does each transform carry? The paper argues
+//! (via [8]) that collaborative suites beat the sum of individual parts —
+//! disabling one stage should cost more than its isolated contribution
+//! suggests.
+
+use epic_bench::{banner, f2, geomean, run_suite_with, Table};
+use epic_core::IlpOptions;
+use epic_driver::{CompileOptions, OptLevel};
+use epic_sim::SimOptions;
+
+fn variant(name: &'static str, f: fn(&mut IlpOptions)) -> (&'static str, IlpOptions) {
+    let mut o = IlpOptions::ilp_ns();
+    f(&mut o);
+    (name, o)
+}
+
+fn main() {
+    banner(
+        "Ablation — structural transforms (ILP-NS variants)",
+        "collaborative suite: removing one stage costs across the board",
+    );
+    let variants: Vec<(&str, IlpOptions)> = vec![
+        ("full", IlpOptions::ilp_ns()),
+        variant("no-peel", |o| o.enable_peel = false),
+        variant("no-hyperblock", |o| o.enable_hyperblock = false),
+        variant("no-superblock", |o| o.enable_superblock = false),
+        variant("no-unroll", |o| o.enable_unroll = false),
+    ];
+    // baseline O-NS
+    let base = run_suite_with(
+        &[OptLevel::ONs],
+        &CompileOptions::for_level,
+        &SimOptions::default(),
+    );
+    let mut header = vec!["Benchmark"];
+    for (n, _) in &variants {
+        header.push(n);
+    }
+    let mut t = Table::new(&header);
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    let mut suites = Vec::new();
+    for (_, opts) in &variants {
+        let opts = *opts;
+        let s = run_suite_with(
+            &[OptLevel::IlpNs],
+            &move |l| {
+                let mut c = CompileOptions::for_level(l);
+                c.ilp_override = Some(opts);
+                c
+            },
+            &SimOptions::default(),
+        );
+        suites.push(s);
+    }
+    for (wi, w) in base.workloads.iter().enumerate() {
+        let b = base.get(wi, OptLevel::ONs).sim.cycles as f64;
+        let mut cells = vec![w.spec_name.to_string()];
+        for (vi, s) in suites.iter().enumerate() {
+            let speedup = b / s.get(wi, OptLevel::IlpNs).sim.cycles as f64;
+            per_variant[vi].push(speedup);
+            cells.push(f2(speedup));
+        }
+        t.row(cells);
+    }
+    let mut g = vec!["GEOMEAN".to_string()];
+    for v in &per_variant {
+        g.push(f2(geomean(v.iter().copied())));
+    }
+    t.row(g);
+    t.print();
+    println!();
+    println!("columns are speedup over O-NS; 'full' should lead, each no-X trails it.");
+}

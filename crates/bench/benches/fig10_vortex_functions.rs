@@ -1,0 +1,60 @@
+//! Figure 10: function-level execution time for the vortex stand-in —
+//! each function's share of O-NS time (the paper's bar widths) and its
+//! ILP-NS / ILP-CS time relative to O-NS (the bar heights).
+//!
+//! Paper: most vortex functions improve under ILP formation and further
+//! under speculation; functions compiled elsewhere (libc's chunk_alloc,
+//! memcpy) stay at 1.0 — our whole program is compiled, so every function
+//! participates.
+
+use epic_bench::{banner, f2, f3, run_suite, Table};
+use epic_driver::OptLevel;
+
+fn main() {
+    banner(
+        "Figure 10 — per-function time, vortex stand-in",
+        "width = share of O-NS time; height = ILP time / O-NS time (mostly < 1)",
+    );
+    let suite = run_suite(&[OptLevel::ONs, OptLevel::IlpNs, OptLevel::IlpCs]);
+    let wi = suite
+        .workloads
+        .iter()
+        .position(|w| w.name == "vortex_mc")
+        .expect("vortex in suite");
+    let base = &suite.get(wi, OptLevel::ONs);
+    let ns = &suite.get(wi, OptLevel::IlpNs);
+    let cs = &suite.get(wi, OptLevel::IlpCs);
+    let total: u64 = base.sim.cycles_by_func.iter().sum();
+    // sort functions by O-NS contribution, descending
+    let mut order: Vec<usize> = (0..base.sim.cycles_by_func.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(base.sim.cycles_by_func[i]));
+    let mut t = Table::new(&["function", "O-NS share", "ILP-NS/O-NS", "ILP-CS/O-NS"]);
+    for &fi in &order {
+        let b = base.sim.cycles_by_func[fi];
+        if b == 0 {
+            continue;
+        }
+        let name = base
+            .compiled
+            .func_names
+            .get(fi)
+            .cloned()
+            .unwrap_or_else(|| format!("f{fi}"));
+        // function ids are stable across levels (same source program)
+        let n = ns.sim.cycles_by_func.get(fi).copied().unwrap_or(0);
+        let c = cs.sim.cycles_by_func.get(fi).copied().unwrap_or(0);
+        t.row(vec![
+            name,
+            f3(b as f64 / total as f64),
+            f2(n as f64 / b as f64),
+            f2(c as f64 / b as f64),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "whole-benchmark: ILP-NS/O-NS {:.2}, ILP-CS/O-NS {:.2} (arrows in the paper's figure)",
+        ns.sim.cycles as f64 / base.sim.cycles as f64,
+        cs.sim.cycles as f64 / base.sim.cycles as f64
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 8: effects on data-cache stall cycles — load-bubble cycles of
+//! ILP-NS and ILP-CS as a ratio to O-NS.
+//!
+//! Paper: effects vary around 1.0 per benchmark (scheduling moves loads
+//! closer to or farther from consumers); increases under ILP-CS mark
+//! promoted loads executing (and missing) more often, while decreases mark
+//! loads scheduled farther from consumers.
+
+use epic_bench::{banner, f3, run_suite, Table};
+use epic_driver::OptLevel;
+
+fn main() {
+    banner(
+        "Figure 8 — data-cache (load bubble) stall cycles vs O-NS",
+        "ratios scatter around 1.0; speculation-driven increases visible where promotion is hot",
+    );
+    let suite = run_suite(&[OptLevel::ONs, OptLevel::IlpNs, OptLevel::IlpCs]);
+    let mut t = Table::new(&["Benchmark", "ILP-NS", "ILP-CS", "spec loads", "deferred"]);
+    for (wi, w) in suite.workloads.iter().enumerate() {
+        let base = suite.get(wi, OptLevel::ONs).sim.acct.int_load_bubble.max(1);
+        let ns = suite.get(wi, OptLevel::IlpNs).sim.acct.int_load_bubble;
+        let cs = &suite.get(wi, OptLevel::IlpCs).sim;
+        t.row(vec![
+            w.spec_name.to_string(),
+            f3(ns as f64 / base as f64),
+            f3(cs.acct.int_load_bubble as f64 / base as f64),
+            cs.counters.spec_loads.to_string(),
+            cs.counters.deferred_loads.to_string(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,54 @@
+//! Fast shape check (not a paper figure): one line per workload with the
+//! key numbers every experiment depends on — cycles per level, planned
+//! speedup, branch reduction, kernel share, RSE share. Used while tuning;
+//! kept because it is the quickest end-to-end smoke of the whole system.
+
+use epic_bench::{f2, geomean, run_suite, Table};
+use epic_driver::OptLevel;
+
+fn main() {
+    let suite = run_suite(&OptLevel::ALL);
+    let mut t = Table::new(&[
+        "Benchmark", "GCC", "O-NS", "ILP-NS", "ILP-CS", "NS/ONS", "CS/ONS", "CS plan",
+        "br-red%", "kern%", "rse%",
+    ]);
+    let mut ns_sp = Vec::new();
+    let mut cs_sp = Vec::new();
+    let mut plan_sp = Vec::new();
+    for (wi, w) in suite.workloads.iter().enumerate() {
+        let gcc = &suite.get(wi, OptLevel::Gcc).sim;
+        let ons = &suite.get(wi, OptLevel::ONs).sim;
+        let ns = &suite.get(wi, OptLevel::IlpNs).sim;
+        let cs = &suite.get(wi, OptLevel::IlpCs).sim;
+        let ns_s = ons.cycles as f64 / ns.cycles as f64;
+        let cs_s = ons.cycles as f64 / cs.cycles as f64;
+        let plan = ons.acct.planned() as f64 / cs.acct.planned() as f64;
+        ns_sp.push(ns_s);
+        cs_sp.push(cs_s);
+        plan_sp.push(plan);
+        let br_red = 100.0
+            * (1.0 - cs.counters.dynamic_branches as f64 / ons.counters.dynamic_branches as f64);
+        t.row(vec![
+            w.spec_name.to_string(),
+            gcc.cycles.to_string(),
+            ons.cycles.to_string(),
+            ns.cycles.to_string(),
+            cs.cycles.to_string(),
+            f2(ns_s),
+            f2(cs_s),
+            f2(plan),
+            f2(br_red),
+            f2(100.0 * cs.acct.kernel as f64 / cs.cycles as f64),
+            f2(100.0 * cs.acct.register_stack as f64 / cs.cycles as f64),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "geomeans: ILP-NS/O-NS {:.2} (paper 1.10) | ILP-CS/O-NS {:.2} (paper 1.13) | planned {:.2} (paper 1.36) | CS/GCC {:.2} (paper 1.55)",
+        geomean(ns_sp.iter().copied()),
+        geomean(cs_sp.iter().copied()),
+        geomean(plan_sp.iter().copied()),
+        geomean((0..suite.workloads.len()).map(|wi| suite.speedup(wi, OptLevel::IlpCs, OptLevel::Gcc))),
+    );
+}

@@ -1,0 +1,61 @@
+//! Table 1: estimated SPECint2000-style performance ratios for
+//! GCC / O-NS / ILP-NS / ILP-CS, plus the paper's headline speedups.
+//!
+//! Paper values (geomean ratios): GCC 430, O-NS 591, ILP-NS 645,
+//! ILP-CS 668; headline speedups: ILP-CS vs GCC 1.55 (max 2.30),
+//! ILP-CS vs O-NS 1.13 (max 1.50).
+
+use epic_bench::{banner, f2, geomean, pseudo_ratio, run_suite, Table};
+use epic_driver::OptLevel;
+
+fn main() {
+    banner(
+        "Table 1 — estimated performance ratios",
+        "GEOMEAN GCC=430 O-NS=591 ILP-NS=645 ILP-CS=668; ILP-CS/GCC 1.55 avg (2.30 max); ILP-CS/O-NS 1.13 avg (1.50 max)",
+    );
+    let suite = run_suite(&OptLevel::ALL);
+    let mut t = Table::new(&["Benchmark", "GCC", "O-NS", "ILP-NS", "ILP-CS", "CS/GCC", "CS/O-NS"]);
+    let mut per_level: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut cs_gcc = Vec::new();
+    let mut cs_ons = Vec::new();
+    for (wi, w) in suite.workloads.iter().enumerate() {
+        let mut cells = vec![w.spec_name.to_string()];
+        for (li, &level) in OptLevel::ALL.iter().enumerate() {
+            let ratio = pseudo_ratio(suite.get(wi, level).sim.cycles);
+            per_level[li].push(ratio);
+            cells.push(format!("{ratio:.0}"));
+        }
+        let s_gcc = suite.speedup(wi, OptLevel::IlpCs, OptLevel::Gcc);
+        let s_ons = suite.speedup(wi, OptLevel::IlpCs, OptLevel::ONs);
+        cs_gcc.push(s_gcc);
+        cs_ons.push(s_ons);
+        cells.push(f2(s_gcc));
+        cells.push(f2(s_ons));
+        t.row(cells);
+    }
+    let mut g = vec!["GEOMEAN".to_string()];
+    for l in &per_level {
+        g.push(format!("{:.0}", geomean(l.iter().copied())));
+    }
+    g.push(f2(geomean(cs_gcc.iter().copied())));
+    g.push(f2(geomean(cs_ons.iter().copied())));
+    t.row(g);
+    t.print();
+    println!();
+    println!(
+        "headline: ILP-CS vs GCC  avg {:.2} (paper 1.55), max {:.2} (paper 2.30)",
+        geomean(cs_gcc.iter().copied()),
+        cs_gcc.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "headline: ILP-CS vs O-NS avg {:.2} (paper 1.13), max {:.2} (paper 1.50)",
+        geomean(cs_ons.iter().copied()),
+        cs_ons.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "headline: ILP-NS vs O-NS avg {:.2} (paper 1.10)",
+        geomean(
+            (0..suite.workloads.len()).map(|wi| suite.speedup(wi, OptLevel::IlpNs, OptLevel::ONs))
+        )
+    );
+}

@@ -1,0 +1,199 @@
+//! # epic-bench
+//!
+//! Harness regenerating every table and figure of the paper's evaluation.
+//! Each `benches/*.rs` target (run via `cargo bench`) prints one table or
+//! figure data series; this library holds the shared machinery: running
+//! the 12-workload × 4-level sweep in parallel, speedup math, and
+//! paper-style table formatting.
+//!
+//! The reproduction criterion is *shape*, not absolute numbers (our
+//! substrate is a simulator and the workloads are stand-ins): orderings,
+//! approximate factors, and which benchmarks deviate in which direction.
+
+use epic_driver::{measure, CompileOptions, Measurement, OptLevel};
+use epic_sim::SimOptions;
+use epic_workloads::Workload;
+use parking_lot::Mutex;
+
+/// A full sweep: per workload, one measurement per requested level.
+pub struct Suite {
+    /// The workloads measured, in Table 1 order.
+    pub workloads: Vec<Workload>,
+    /// `results[w][l]` pairs with `workloads[w]` and `levels[l]`.
+    pub results: Vec<Vec<Measurement>>,
+    /// The levels measured.
+    pub levels: Vec<OptLevel>,
+}
+
+/// Run the sweep over all 12 workloads at the given levels, in parallel
+/// across workloads.
+///
+/// # Panics
+/// Panics if any compilation or simulation fails — the differential test
+/// suite guarantees these paths are correct, so a failure here is a bug.
+pub fn run_suite(levels: &[OptLevel]) -> Suite {
+    run_suite_with(levels, &|l| CompileOptions::for_level(l), &SimOptions::default())
+}
+
+/// [`run_suite`] with custom compile/sim options per level.
+pub fn run_suite_with(
+    levels: &[OptLevel],
+    copts: &(dyn Fn(OptLevel) -> CompileOptions + Sync),
+    sopts: &SimOptions,
+) -> Suite {
+    let workloads = epic_workloads::all();
+    let results: Mutex<Vec<Option<Vec<Measurement>>>> =
+        Mutex::new(vec![None; workloads.len()]);
+    std::thread::scope(|scope| {
+        for (wi, w) in workloads.iter().enumerate() {
+            let results = &results;
+            scope.spawn(move || {
+                let mut row = Vec::new();
+                for &level in levels {
+                    let m = measure(w, &copts(level), sopts).unwrap_or_else(|e| {
+                        panic!("measure({}, {}) failed: {e}", w.name, level.name())
+                    });
+                    row.push(m);
+                }
+                results.lock()[wi] = Some(row);
+            });
+        }
+    });
+    let results = results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("thread completed"))
+        .collect();
+    Suite {
+        workloads,
+        results,
+        levels: levels.to_vec(),
+    }
+}
+
+impl Suite {
+    /// Index of a level within this suite.
+    pub fn level_idx(&self, level: OptLevel) -> usize {
+        self.levels
+            .iter()
+            .position(|l| *l == level)
+            .expect("level was measured")
+    }
+
+    /// Measurement for (workload index, level).
+    pub fn get(&self, wi: usize, level: OptLevel) -> &Measurement {
+        &self.results[wi][self.level_idx(level)]
+    }
+
+    /// Speedup of `num` over `den` (cycles ratio, >1 = num faster).
+    pub fn speedup(&self, wi: usize, num: OptLevel, den: OptLevel) -> f64 {
+        self.get(wi, den).sim.cycles as f64 / self.get(wi, num).sim.cycles as f64
+    }
+}
+
+/// Geometric mean.
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut s, mut n) = (0.0, 0);
+    for x in xs {
+        s += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (s / n as f64).exp()
+}
+
+/// A "SPEC ratio"-style figure of merit: bigger is better, scaled so the
+/// numbers land in a Table 1-like range.
+pub fn pseudo_ratio(cycles: u64) -> f64 {
+    2.0e9 / cycles as f64
+}
+
+/// Fixed-width table printer.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a header row.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn print(&self) {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("{:<w$}", c, w = width[0]));
+                } else {
+                    out.push_str(&format!("  {:>w$}", c, w = width[i]));
+                }
+            }
+            println!("{out}");
+        };
+        line(&self.header);
+        println!("{}", "-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1)));
+        for r in &self.rows {
+            line(r);
+        }
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Print a standard experiment banner.
+pub fn banner(id: &str, paper: &str) {
+    println!();
+    println!("=== {id} ===");
+    println!("    paper reference: {paper}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+    }
+
+    #[test]
+    fn table_renders_without_panicking() {
+        let mut t = Table::new(&["Benchmark", "A", "B"]);
+        t.row(vec!["x".into(), "1.00".into(), "2.00".into()]);
+        t.print();
+    }
+}

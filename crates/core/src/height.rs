@@ -1,0 +1,287 @@
+//! Data-height reduction (paper Sec. 3.2: "control and data height
+//! reduction" runs after region formation).
+//!
+//! Accumulator chains like `s = s ⊕ a; …; s = s ⊕ b; …; s = s ⊕ c` are
+//! serial: each link waits for the previous. For associative-commutative
+//! operators the additions can be reassociated into a balanced tree over
+//! fresh temporaries, cutting the dependence height from `k` to
+//! `⌈log₂ k⌉ + 1` — exactly the kind of critical-path surgery wide EPIC
+//! regions need to fill their issue slots.
+
+use epic_ir::{Function, Op, Opcode, Operand, Vreg};
+
+/// Knobs for height reduction.
+#[derive(Clone, Copy, Debug)]
+pub struct HeightOptions {
+    /// Minimum chain length worth rewriting.
+    pub min_chain: usize,
+}
+
+impl Default for HeightOptions {
+    fn default() -> HeightOptions {
+        HeightOptions { min_chain: 3 }
+    }
+}
+
+/// Statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HeightStats {
+    /// Chains reassociated.
+    pub chains: usize,
+    /// Total links rewritten.
+    pub links: usize,
+}
+
+fn associative(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Add | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor
+    )
+}
+
+/// Run height reduction over every block.
+pub fn run(f: &mut Function, opts: &HeightOptions) -> HeightStats {
+    let mut stats = HeightStats::default();
+    let blocks: Vec<_> = f.block_ids().collect();
+    for b in blocks {
+        while let Some((chain, opcode, acc)) = find_chain(f, b, opts.min_chain) {
+            rewrite_chain(f, b, &chain, opcode, acc);
+            stats.chains += 1;
+            stats.links += chain.len();
+        }
+    }
+    stats
+}
+
+/// Find one rewritable chain: indexes of ops `acc = acc <op> v_i`, all
+/// unguarded, with no intervening use/def of `acc` and no intervening
+/// branch/side-effecting op (whose side exit could observe the
+/// intermediate accumulator).
+fn find_chain(f: &Function, b: epic_ir::BlockId, min_chain: usize) -> Option<(Vec<usize>, Opcode, Vreg)> {
+    let ops = &f.block(b).ops;
+    let link = |op: &Op| -> Option<(Opcode, Vreg, Operand)> {
+        if !associative(op.opcode) || op.guard.is_some() || op.dsts.len() != 1 {
+            return None;
+        }
+        let d = op.dsts[0];
+        let (a, c) = (op.srcs[0], op.srcs[1]);
+        match (a, c) {
+            (Operand::Reg(x), other) if x == d && other != Operand::Reg(d) => {
+                Some((op.opcode, d, other))
+            }
+            (other, Operand::Reg(x)) if x == d && other != Operand::Reg(d) => {
+                Some((op.opcode, d, other))
+            }
+            _ => None,
+        }
+    };
+    for start in 0..ops.len() {
+        let Some((opcode, acc, _)) = link(&ops[start]) else {
+            continue;
+        };
+        // ops marked as chain-rewritten already carry fresh temps; the
+        // pattern won't rematch because temps differ — safe to rescan.
+        let mut chain = vec![start];
+        let mut leaf_regs: Vec<Vreg> = Vec::new();
+        let record_leaf = |op: &Op, leaf_regs: &mut Vec<Vreg>| {
+            for s in &op.srcs {
+                if let Operand::Reg(r) = s {
+                    if *r != acc {
+                        leaf_regs.push(*r);
+                    }
+                }
+            }
+        };
+        record_leaf(&ops[start], &mut leaf_regs);
+        for (j, op) in ops.iter().enumerate().skip(start + 1) {
+            // redefining an earlier leaf register would make the deferred
+            // tree read the wrong value: end the chain first.
+            if op.defs().iter().any(|d| leaf_regs.contains(d)) {
+                break;
+            }
+            if let Some((o2, a2, _)) = link(op) {
+                if o2 == opcode && a2 == acc {
+                    chain.push(j);
+                    record_leaf(op, &mut leaf_regs);
+                    continue;
+                }
+            }
+            // a non-link op may sit between links if it neither touches
+            // the accumulator nor can observe it (branches / side
+            // effects end the chain).
+            let touches_acc =
+                op.uses().any(|u| u == acc) || op.defs().contains(&acc);
+            let boundary = op.is_branch() || op.has_side_effects();
+            if touches_acc || boundary {
+                break;
+            }
+        }
+        if chain.len() >= min_chain {
+            return Some((chain, opcode, acc));
+        }
+    }
+    None
+}
+
+/// Rewrite: remove all chain links; at the last link's position, combine
+/// the `v_i` pairwise into a balanced tree and fold it into `acc` once.
+fn rewrite_chain(f: &mut Function, b: epic_ir::BlockId, chain: &[usize], opcode: Opcode, acc: Vreg) {
+    let weight = f.block(b).ops[chain[0]].weight;
+    let leaves: Vec<Operand> = chain
+        .iter()
+        .map(|&i| {
+            let op = &f.block(b).ops[i];
+            match (op.srcs[0], op.srcs[1]) {
+                (Operand::Reg(x), other) if x == acc => other,
+                (other, _) => other,
+            }
+        })
+        .collect();
+    // build the balanced tree ops
+    let mut level: Vec<Operand> = leaves;
+    let mut tree_ops: Vec<Op> = Vec::new();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.chunks(2);
+        for pair in &mut it {
+            if pair.len() == 2 {
+                let t = f.new_vreg();
+                let mut op = Op::new(f.new_op_id(), opcode, vec![t], vec![pair[0], pair[1]]);
+                op.weight = weight;
+                tree_ops.push(op);
+                next.push(Operand::Reg(t));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let mut fold = Op::new(
+        f.new_op_id(),
+        opcode,
+        vec![acc],
+        vec![Operand::Reg(acc), level[0]],
+    );
+    fold.weight = weight;
+    tree_ops.push(fold);
+    // splice: remove chain links (back to front), insert at last position
+    let insert_at = *chain.last().expect("nonempty chain");
+    let blk = f.block_mut(b);
+    for &i in chain.iter().rev() {
+        blk.ops.remove(i);
+    }
+    let insert_at = insert_at + 1 - chain.len();
+    for (k, op) in tree_ops.into_iter().enumerate() {
+        blk.ops.insert(insert_at + k, op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::builder::FuncBuilder;
+    use epic_ir::interp::{run as interp_run, InterpOptions};
+    use epic_ir::{BlockId, FuncId};
+
+    fn run_prog(f: Function, args: &[i64]) -> Vec<u64> {
+        let mut prog = epic_ir::Program::new();
+        prog.add_func("main");
+        let mut f = f;
+        f.name = "main".into();
+        prog.funcs[0] = f;
+        interp_run(&prog, args, InterpOptions::default())
+            .unwrap()
+            .output
+    }
+
+    #[test]
+    fn reassociates_add_chain_and_preserves_value() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let acc = b.mov(0i64);
+        for k in 1..=6i64 {
+            let v = b.binop(Opcode::Mul, p, k);
+            b.binop_to(acc, Opcode::Add, acc, v);
+        }
+        b.out(acc);
+        b.ret(None);
+        let mut f = b.finish();
+        let want = run_prog(f.clone(), &[3]);
+        let stats = run(&mut f, &HeightOptions::default());
+        assert!(stats.chains >= 1, "{stats:?}");
+        epic_ir::verify::verify_function(&f).unwrap();
+        assert_eq!(run_prog(f, &[3]), want);
+    }
+
+    #[test]
+    fn chain_height_drops() {
+        // 8 accumulations: height 8 -> ~4 (3 tree levels + fold)
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let mut vals = Vec::new();
+        for k in 0..8i64 {
+            vals.push(b.mov(k + 1));
+        }
+        let acc = b.mov(0i64);
+        for v in vals {
+            b.binop_to(acc, Opcode::Add, acc, v);
+        }
+        b.out(acc);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f, &HeightOptions::default());
+        // longest acc-dependent chain: count ops writing acc
+        let writes: usize = f
+            .block(BlockId(0))
+            .ops
+            .iter()
+            .filter(|o| o.defs().contains(&acc))
+            .count();
+        assert!(writes <= 2, "acc should be written once or twice, got {writes}");
+        assert_eq!(run_prog(f, &[]), vec![36]);
+    }
+
+    #[test]
+    fn stops_at_observers_and_branches() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let exit = b.block();
+        let acc = b.mov(0i64);
+        b.binop_to(acc, Opcode::Add, acc, 1i64);
+        b.binop_to(acc, Opcode::Add, acc, 2i64);
+        b.out(acc); // observer: chain must not cross
+        b.binop_to(acc, Opcode::Add, acc, 3i64);
+        b.binop_to(acc, Opcode::Add, acc, 4i64);
+        b.out(acc);
+        b.br(exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        let want = run_prog(f.clone(), &[]);
+        let stats = run(&mut f, &HeightOptions { min_chain: 2 });
+        epic_ir::verify::verify_function(&f).unwrap();
+        assert_eq!(run_prog(f, &[]), want);
+        assert_eq!(want, vec![3, 10]);
+        assert!(stats.chains <= 2);
+    }
+
+    #[test]
+    fn ignores_guarded_links() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let acc = b.mov(0i64);
+        let mut g1 = epic_ir::Op::new(
+            epic_ir::OpId(0),
+            Opcode::Add,
+            vec![acc],
+            vec![Operand::Reg(acc), Operand::Imm(5)],
+        );
+        g1.guard = Some(p);
+        b.push(g1.clone());
+        b.push(g1.clone());
+        b.push(g1);
+        b.out(acc);
+        b.ret(None);
+        let mut f = b.finish();
+        let stats = run(&mut f, &HeightOptions::default());
+        assert_eq!(stats.chains, 0);
+    }
+}

@@ -1,0 +1,543 @@
+//! If-conversion: the core of hyperblock formation (Mahlke et al., the
+//! paper's [6]).
+//!
+//! Repeatedly collapses *triangle* (`if c { T }`) and *diamond*
+//! (`if c { T } else { E }`) control-flow patterns into straight-line
+//! predicated code, guarding each side's operations with the branch
+//! predicate or its complement. Combined with block merging this grows
+//! hyperblocks: single-entry regions whose internal control decisions are
+//! data (predicate) dependences, freeing the scheduler to interleave
+//! independent paths (paper Sec. 2.3).
+//!
+//! In non-SSA predicated IR the conversion is locally semantics-preserving
+//! by construction: a guarded operation is a *may*-def, exactly like the
+//! original conditionally-executed block.
+
+use epic_ir::{BlockId, CmpKind, Function, Op, Opcode, Operand, Vreg};
+
+/// Heuristic knobs for if-conversion.
+#[derive(Clone, Copy, Debug)]
+pub struct IfConvOptions {
+    /// Max ops on a converted side.
+    pub max_side_ops: usize,
+    /// A side with fewer ops than this is converted regardless of bias.
+    pub tiny_side_ops: usize,
+    /// Minimum fraction of executions a side must see to be included when
+    /// it is not tiny (avoids issuing many always-squashed ops).
+    pub min_side_frac: f64,
+    /// Allow calls inside converted regions (predicated calls).
+    pub allow_calls: bool,
+}
+
+impl Default for IfConvOptions {
+    fn default() -> IfConvOptions {
+        IfConvOptions {
+            max_side_ops: 24,
+            tiny_side_ops: 5,
+            min_side_frac: 0.03,
+            allow_calls: false,
+        }
+    }
+}
+
+/// Statistics from if-conversion.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IfConvStats {
+    /// Triangles collapsed.
+    pub triangles: usize,
+    /// Diamonds collapsed.
+    pub diamonds: usize,
+    /// Static branches eliminated.
+    pub branches_removed: usize,
+}
+
+/// Run if-conversion to fixpoint over `f`.
+pub fn run(f: &mut Function, opts: &IfConvOptions) -> IfConvStats {
+    let mut stats = IfConvStats::default();
+    loop {
+        let mut changed = false;
+        let blocks: Vec<_> = f.block_ids().collect();
+        for a in blocks {
+            if try_convert(f, a, opts, &mut stats) {
+                changed = true;
+                break; // preds/shape stale; rescan
+            }
+        }
+        if !changed {
+            // Merging straight-line chains may expose nested patterns
+            // (e.g. an inner converted diamond whose join separated the
+            // outer sides from the outer join).
+            if epic_opt::classical::cfg::run(f) == 0 {
+                return stats;
+            }
+        }
+    }
+}
+
+/// A conditional split at the end of block `a`: `(p) Br then_b; Br else_b`.
+struct Split {
+    p: Vreg,
+    then_b: BlockId,
+    else_b: BlockId,
+    /// Index of the guarded branch within `a`.
+    br_idx: usize,
+    taken_w: f64,
+}
+
+fn split_of(f: &Function, a: BlockId) -> Option<Split> {
+    let ops = &f.block(a).ops;
+    if ops.len() < 2 {
+        return None;
+    }
+    let term = &ops[ops.len() - 1];
+    if term.opcode != Opcode::Br || term.guard.is_some() {
+        return None;
+    }
+    // last guarded branch in the block; ops after it (the "tail") are
+    // validated by the caller.
+    let br_idx = ops[..ops.len() - 1]
+        .iter()
+        .rposition(|o| o.is_branch() && o.guard.is_some())?;
+    let cond = &ops[br_idx];
+    Some(Split {
+        p: cond.guard.unwrap(),
+        then_b: cond.branch_target()?,
+        else_b: term.branch_target()?,
+        br_idx,
+        taken_w: cond.weight,
+    })
+}
+
+/// A convertible side: single-pred block whose only branch is its final
+/// unconditional `Br join`.
+fn side_of(
+    f: &Function,
+    b: BlockId,
+    pred: BlockId,
+    preds: &[Vec<BlockId>],
+    opts: &IfConvOptions,
+) -> Option<BlockId> {
+    if preds[b.index()].as_slice() != [pred] {
+        return None;
+    }
+    // predecessor lists are deduplicated: also require exactly ONE edge
+    // from `pred` (an earlier side-exit branch may target `b` too, and it
+    // would dangle once `b` is absorbed)
+    let edges = f
+        .block(pred)
+        .ops
+        .iter()
+        .filter(|o| o.branch_target() == Some(b))
+        .count();
+    if edges != 1 {
+        return None;
+    }
+    let blk = f.block(b);
+    let n = blk.ops.len();
+    if n == 0 || n - 1 > opts.max_side_ops {
+        return None;
+    }
+    for (i, op) in blk.ops.iter().enumerate() {
+        if i + 1 == n {
+            if op.opcode != Opcode::Br || op.guard.is_some() {
+                return None;
+            }
+        } else {
+            if op.is_branch() || matches!(op.opcode, Opcode::Ret) {
+                return None;
+            }
+            if op.is_call() && !opts.allow_calls {
+                return None;
+            }
+        }
+    }
+    blk.terminator().branch_target()
+}
+
+fn try_convert(
+    f: &mut Function,
+    a: BlockId,
+    opts: &IfConvOptions,
+    stats: &mut IfConvStats,
+) -> bool {
+    let Some(split) = split_of(f, a) else {
+        return false;
+    };
+    if split.then_b == a || split.else_b == a || split.then_b == split.else_b {
+        return false;
+    }
+    // The "tail": ops between the guarded branch and the terminator. These
+    // execute on the fall-through (¬p) path; they arise when earlier block
+    // merging absorbed an else side into `a`. They must be branch-free and
+    // respect the call policy.
+    for op in &f.block(a).ops[split.br_idx + 1..f.block(a).ops.len() - 1] {
+        if op.is_branch() || matches!(op.opcode, Opcode::Ret) {
+            return false;
+        }
+        if op.is_call() && !opts.allow_calls {
+            return false;
+        }
+    }
+    let tail_len = f.block(a).ops.len() - 2 - split.br_idx;
+
+    let preds = f.preds();
+    let a_w = f.block(a).weight.max(1.0);
+    let then_frac = (split.taken_w / a_w).clamp(0.0, 1.0);
+    let else_frac = 1.0 - then_frac;
+
+    let then_join = side_of(f, split.then_b, a, &preds, opts);
+    let else_join = side_of(f, split.else_b, a, &preds, opts);
+
+    // Diamond: both sides collapse to the same join.
+    if let (Some(tj), Some(ej)) = (then_join, else_join) {
+        if tj == ej && tj != split.then_b && tj != split.else_b && tj != a {
+            let t_ok = side_eligible(f, split.then_b, then_frac, opts);
+            let e_ok = side_eligible(f, split.else_b, else_frac, opts);
+            if t_ok && e_ok && tail_len <= opts.max_side_ops {
+                convert(f, a, &split, Some(split.then_b), Some(split.else_b), tj);
+                stats.diamonds += 1;
+                stats.branches_removed += 2;
+                return true;
+            }
+        }
+    }
+    // Triangle: the then side joins back at the fall-through target.
+    if let Some(tj) = then_join {
+        if tj == split.else_b
+            && side_eligible(f, split.then_b, then_frac, opts)
+            && tail_len <= opts.max_side_ops
+        {
+            convert(f, a, &split, Some(split.then_b), None, split.else_b);
+            stats.triangles += 1;
+            stats.branches_removed += 1;
+            return true;
+        }
+    }
+    // Mirrored triangle: the fall-through side joins back at the taken
+    // target.
+    if let Some(ej) = else_join {
+        if ej == split.then_b
+            && side_eligible(f, split.else_b, else_frac, opts)
+            && tail_len <= opts.max_side_ops
+        {
+            convert(f, a, &split, None, Some(split.else_b), split.then_b);
+            stats.triangles += 1;
+            stats.branches_removed += 1;
+            return true;
+        }
+    }
+    false
+}
+
+fn side_eligible(f: &Function, b: BlockId, frac: f64, opts: &IfConvOptions) -> bool {
+    let n_ops = f.block(b).ops.len().saturating_sub(1);
+    n_ops <= opts.tiny_side_ops || frac >= opts.min_side_frac
+}
+
+/// Obtain the branch predicate and its complement for use as guards.
+///
+/// Fast path: when the predicate's last definition in `a` is an unguarded
+/// single-destination compare and nothing being absorbed redefines the
+/// predicate, the compare simply gains a second (complement) destination —
+/// zero extra operations and no added dependence height, exactly as IA-64
+/// `cmp` writes both predicates. Otherwise a fresh
+/// `p2,q2 = cmp.ne p, 0` is materialized before the branch (this also
+/// shields the guards when absorbed code redefines `p`). Returns
+/// `(p, ¬p, ops_inserted)`.
+fn materialize_preds(
+    f: &mut Function,
+    a: BlockId,
+    split: &Split,
+    absorbed: &[BlockId],
+) -> (Vreg, Vreg, usize) {
+    let redefines_p = |ops: &[Op]| ops.iter().any(|o| o.defs().contains(&split.p));
+    let safe = !absorbed.iter().any(|b| redefines_p(&f.block(*b).ops))
+        && !redefines_p(&f.block(a).ops[split.br_idx..]);
+    if safe {
+        let def_idx = f.block(a).ops[..split.br_idx]
+            .iter()
+            .rposition(|o| o.defs().contains(&split.p));
+        if let Some(di) = def_idx {
+            let op = &f.block(a).ops[di];
+            if matches!(op.opcode, Opcode::Cmp(_))
+                && op.dsts.len() == 1
+                && op.guard.is_none()
+            {
+                let q = f.new_vreg();
+                f.block_mut(a).ops[di].dsts.push(q);
+                return (split.p, q, 0);
+            }
+        }
+    }
+    let p2 = f.new_vreg();
+    let q2 = f.new_vreg();
+    // p2,q2 = cmp.ne p, 0  — the predicate and its complement.
+    let cmp = Op::new(
+        f.new_op_id(),
+        Opcode::Cmp(CmpKind::Ne),
+        vec![p2, q2],
+        vec![Operand::Reg(split.p), Operand::Imm(0)],
+    );
+    let idx = split.br_idx;
+    f.block_mut(a).ops.insert(idx, cmp);
+    (p2, q2, 1)
+}
+
+fn guard_ops(f: &mut Function, src: BlockId, pred: Vreg) -> Vec<Op> {
+    let blk = f.block(src).clone();
+    let mut out = Vec::new();
+    for op in &blk.ops[..blk.ops.len() - 1] {
+        let mut c = f.clone_op(op);
+        match c.guard {
+            None => c.guard = Some(pred),
+            Some(g) => {
+                // compose: and g2 = g, pred
+                let g2 = f.new_vreg();
+                let and = Op::new(
+                    f.new_op_id(),
+                    Opcode::And,
+                    vec![g2],
+                    vec![Operand::Reg(g), Operand::Reg(pred)],
+                );
+                out.push(and);
+                c.guard = Some(g2);
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Perform the conversion. `then_side`/`else_side` are the blocks absorbed
+/// under `p2` / `q2` respectively (either may be absent for triangles);
+/// the block's own tail ops (after the guarded branch) join the ¬p side.
+fn convert(
+    f: &mut Function,
+    a: BlockId,
+    split: &Split,
+    then_side: Option<BlockId>,
+    else_side: Option<BlockId>,
+    join: BlockId,
+) {
+    let absorbed: Vec<BlockId> = then_side.iter().chain(else_side.iter()).copied().collect();
+    let (p2, q2, inserted) = materialize_preds(f, a, split, &absorbed);
+    // Layout now (with `inserted` extra ops before the branch):
+    //   [prefix.. , (p)Br T @br_idx+inserted, tail.., Br E]
+    let then_ops = then_side.map(|b| guard_ops(f, b, p2)).unwrap_or_default();
+    let else_ops = else_side.map(|b| guard_ops(f, b, q2)).unwrap_or_default();
+    let blk = f.block_mut(a);
+    let n = blk.ops.len();
+    // extract the tail (between guarded branch and terminator)
+    let tail: Vec<Op> = blk.ops.drain(split.br_idx + inserted + 1..n - 1).collect();
+    // remove `(p) Br T` and the terminator
+    let n = blk.ops.len();
+    blk.ops.remove(n - 1);
+    blk.ops.remove(n - 2);
+    // tail executes on the ¬p path, before the absorbed else side
+    let mut guarded_tail = Vec::with_capacity(tail.len());
+    for mut op in tail {
+        match op.guard {
+            None => op.guard = Some(q2),
+            Some(g) => {
+                let g2 = f.new_vreg();
+                let and = Op::new(
+                    f.new_op_id(),
+                    Opcode::And,
+                    vec![g2],
+                    vec![Operand::Reg(g), Operand::Reg(q2)],
+                );
+                guarded_tail.push(and);
+                op.guard = Some(g2);
+            }
+        }
+        guarded_tail.push(op);
+    }
+    let blk = f.block_mut(a);
+    blk.ops.extend(guarded_tail);
+    let w = f.block(a).weight;
+    let mut br = epic_ir::func::mk_br(f.new_op_id(), join);
+    br.weight = w;
+    let blk = f.block_mut(a);
+    blk.ops.extend(else_ops);
+    blk.ops.extend(then_ops);
+    blk.ops.push(br);
+    if let Some(b) = then_side {
+        f.remove_block(b);
+    }
+    if let Some(b) = else_side {
+        f.remove_block(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::interp::{run as interp_run, InterpOptions};
+    use epic_ir::verify::verify_program;
+
+    fn convert_main(src: &str, args: &[i64]) -> (epic_ir::Program, IfConvStats) {
+        let mut prog = epic_lang::compile(src).unwrap();
+        epic_opt::profile::profile_program(&mut prog, args, 10_000_000).unwrap();
+        let mut stats = IfConvStats::default();
+        for func in &mut prog.funcs {
+            let s = run(func, &IfConvOptions::default());
+            stats.triangles += s.triangles;
+            stats.diamonds += s.diamonds;
+            stats.branches_removed += s.branches_removed;
+            epic_opt::classical::cfg::run(func);
+        }
+        verify_program(&prog).unwrap();
+        (prog, stats)
+    }
+
+    #[test]
+    fn converts_diamond_and_preserves_semantics() {
+        let src = "
+            fn main() {
+                let i = 0; let s = 0;
+                while i < 50 {
+                    let t = 0;
+                    if i % 3 == 0 { t = i * 2; } else { t = i + 7; }
+                    s = s + t;
+                    i = i + 1;
+                }
+                out(s);
+            }";
+        let want = interp_run(
+            &epic_lang::compile(src).unwrap(),
+            &[],
+            InterpOptions::default(),
+        )
+        .unwrap()
+        .output;
+        let (prog, stats) = convert_main(src, &[]);
+        assert!(stats.diamonds >= 1, "stats: {stats:?}");
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+        // the loop body should now be branch-free except loop control
+        let main = prog.func(prog.entry);
+        let n_blocks = main.block_ids().count();
+        assert!(n_blocks <= 4, "hyperblock formation should shrink CFG: {n_blocks}");
+    }
+
+    #[test]
+    fn converts_triangle() {
+        let src = "
+            fn main() {
+                let i = 0; let mx = 0;
+                while i < 40 {
+                    let v = (i * 37) % 11;
+                    if v > mx { mx = v; }
+                    i = i + 1;
+                }
+                out(mx);
+            }";
+        let want = interp_run(
+            &epic_lang::compile(src).unwrap(),
+            &[],
+            InterpOptions::default(),
+        )
+        .unwrap()
+        .output;
+        let (prog, stats) = convert_main(src, &[]);
+        assert!(stats.triangles + stats.diamonds >= 1, "stats: {stats:?}");
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nested_ifs_compose_guards() {
+        let src = "
+            fn main() {
+                let i = 0; let s = 0;
+                while i < 30 {
+                    if i % 2 == 0 {
+                        if i % 3 == 0 { s = s + 100; } else { s = s + 1; }
+                    } else {
+                        s = s + 10;
+                    }
+                    i = i + 1;
+                }
+                out(s);
+            }";
+        let want = interp_run(
+            &epic_lang::compile(src).unwrap(),
+            &[],
+            InterpOptions::default(),
+        )
+        .unwrap()
+        .output;
+        let (prog, _stats) = convert_main(src, &[]);
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+        // some op must carry a composed guard (And of predicates)
+        let main = prog.func(prog.entry);
+        let has_and_guard = main.block_ids().any(|b| {
+            main.block(b)
+                .ops
+                .iter()
+                .any(|o| o.opcode == Opcode::And && o.guard.is_none())
+        });
+        assert!(has_and_guard);
+    }
+
+    #[test]
+    fn guarded_stores_and_predicate_redefinition() {
+        // The side redefines the variable feeding the predicate: the
+        // materialized predicate copies must keep the guards correct.
+        let src = "
+            global g: [int; 64];
+            fn main() {
+                let i = 0;
+                let c = 0;
+                while i < 64 {
+                    c = i % 4;
+                    if c == 0 { g[i] = i; c = 99; } else { g[i] = 0 - i; }
+                    i = i + 1;
+                }
+                let s = 0; i = 0;
+                while i < 64 { s = s + g[i]; i = i + 1; }
+                out(s);
+            }";
+        let want = interp_run(
+            &epic_lang::compile(src).unwrap(),
+            &[],
+            InterpOptions::default(),
+        )
+        .unwrap()
+        .output;
+        let (prog, _) = convert_main(src, &[]);
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn skips_oversized_sides() {
+        // a side with > max_side_ops stays a branch
+        let mut body = String::new();
+        for k in 0..40 {
+            body.push_str(&format!("s = s + {k} * i;\n"));
+        }
+        let src = format!(
+            "fn main() {{
+                let i = 0; let s = 0;
+                while i < 10 {{
+                    if i % 2 == 0 {{ {body} }}
+                    i = i + 1;
+                }}
+                out(s);
+            }}"
+        );
+        let (_prog, stats) = convert_main(&src, &[]);
+        assert_eq!(stats.triangles, 0);
+        assert_eq!(stats.diamonds, 0);
+    }
+}

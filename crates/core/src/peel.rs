@@ -1,0 +1,268 @@
+//! Loop peeling (paper Sec. 2.4, Fig. 3).
+//!
+//! For loops that typically execute about one iteration — like the serial
+//! `while` loops in crafty's `Evaluate()` — one iteration is pulled out of
+//! the loop. The peeled copy is acyclic, so it can subsequently be
+//! if-converted and merged into the enclosing region, letting the
+//! scheduler overlap independent loops. The original loop remains as a
+//! "remainder" to clean up rare extra iterations; the paper attributes
+//! lukewarm-code I-cache misses to exactly these residual loops, which is
+//! why copies are tagged with [`BlockOrigin::Peel`] /
+//! [`BlockOrigin::Remainder`].
+
+use epic_ir::dom::DomTree;
+use epic_ir::loops::{edge_weight, LoopForest};
+use epic_ir::{BlockId, BlockOrigin, Function, Operand};
+use std::collections::HashMap;
+
+/// Heuristic knobs for peeling.
+#[derive(Clone, Copy, Debug)]
+pub struct PeelOptions {
+    /// Peel only loops whose profiled trip count is at most this.
+    pub max_trip: f64,
+    /// Peel only loops entered at least this many times.
+    pub min_entries: f64,
+    /// Maximum ops in the loop body.
+    pub max_body_ops: usize,
+    /// How many iterations to peel.
+    pub iterations: usize,
+}
+
+impl Default for PeelOptions {
+    fn default() -> PeelOptions {
+        PeelOptions {
+            max_trip: 2.5,
+            min_entries: 20.0,
+            max_body_ops: 60,
+            iterations: 1,
+        }
+    }
+}
+
+/// Statistics from peeling.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PeelStats {
+    /// Loops peeled.
+    pub loops_peeled: usize,
+    /// Static ops added.
+    pub dup_ops: usize,
+}
+
+/// Peel eligible loops once per [`PeelOptions::iterations`].
+pub fn run(f: &mut Function, opts: &PeelOptions) -> PeelStats {
+    let mut stats = PeelStats::default();
+    for _ in 0..opts.iterations {
+        // Recompute loops each round (ids shift as blocks are added).
+        let mut peeled_any = false;
+        loop {
+            let dom = DomTree::compute(f);
+            let forest = LoopForest::compute(f, &dom);
+            let preds = f.preds();
+            let candidate = forest.loops.iter().find(|l| {
+                let body_ops: usize = l.body.iter().map(|b| f.block(*b).ops.len()).sum();
+                if body_ops > opts.max_body_ops {
+                    return false;
+                }
+                // only peel loops we haven't peeled already (their headers
+                // would be marked Remainder)
+                if f.block(l.header).origin == BlockOrigin::Remainder {
+                    return false;
+                }
+                let outside_w: f64 = preds[l.header.index()]
+                    .iter()
+                    .filter(|p| !l.contains(**p))
+                    .map(|p| edge_weight(f, *p, l.header))
+                    .sum();
+                if outside_w < opts.min_entries {
+                    return false;
+                }
+                match l.trip_count(f, &preds) {
+                    Some(t) => t <= opts.max_trip,
+                    None => false,
+                }
+            });
+            let Some(l) = candidate else { break };
+            let l = l.clone();
+            stats.dup_ops += peel_loop(f, &l.header, &l.body, &preds);
+            stats.loops_peeled += 1;
+            peeled_any = true;
+        }
+        if !peeled_any {
+            break;
+        }
+    }
+    stats
+}
+
+/// Peel one iteration: copy the body; outside entries go to the copy; back
+/// edges in the copy go to the (original) remainder loop header.
+fn peel_loop(
+    f: &mut Function,
+    header: &BlockId,
+    body: &[BlockId],
+    preds: &[Vec<BlockId>],
+) -> usize {
+    let outside_w: f64 = preds[header.index()]
+        .iter()
+        .filter(|p| !body.contains(*p))
+        .map(|p| edge_weight(f, *p, *header))
+        .sum();
+    let header_w = f.block(*header).weight.max(1.0);
+    let frac = (outside_w / header_w).clamp(0.0, 1.0);
+
+    let mut map: HashMap<BlockId, BlockId> = HashMap::new();
+    for &b in body {
+        map.insert(b, f.add_block());
+    }
+    let mut n_ops = 0;
+    for &b in body {
+        let nb = map[&b];
+        let src = f.block(b).clone();
+        let mut ops = Vec::with_capacity(src.ops.len());
+        for op in &src.ops {
+            let mut c = f.clone_op(op);
+            c.weight *= frac;
+            for s in &mut c.srcs {
+                if let Operand::Label(t) = s {
+                    if *t == *header {
+                        // back edge in the peel -> remainder loop header
+                        // (stays Label(*header))
+                    } else if let Some(n2) = map.get(t) {
+                        *s = Operand::Label(*n2);
+                    }
+                }
+            }
+            n_ops += 1;
+            ops.push(c);
+        }
+        let nblk = f.block_mut(nb);
+        nblk.ops = ops;
+        nblk.weight = src.weight * frac;
+        nblk.origin = BlockOrigin::Peel;
+        // remainder keeps the rest of the weight
+        f.block_mut(b).weight = src.weight * (1.0 - frac);
+        for op in &mut f.block_mut(b).ops {
+            op.weight *= 1.0 - frac;
+        }
+        f.block_mut(b).origin = BlockOrigin::Remainder;
+    }
+    // Outside entries take the peel.
+    let peel_header = map[header];
+    let outside: Vec<BlockId> = preds[header.index()]
+        .iter()
+        .copied()
+        .filter(|p| !body.contains(p))
+        .collect();
+    for p in outside {
+        for op in &mut f.block_mut(p).ops {
+            op.retarget(*header, peel_header);
+        }
+    }
+    n_ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::interp::{run as interp_run, InterpOptions};
+    use epic_ir::verify::verify_program;
+
+    /// Two sequential short loops, crafty-Evaluate style: each typically
+    /// runs exactly once.
+    const CRAFTY_LIKE: &str = "
+        global board: [int; 64];
+        fn main() {
+            let trial = 0; let score = 0;
+            while trial < 300 {
+                board[trial % 64] = trial * 7 % 13;
+                // loop A: typically 1 iteration
+                let sq = trial % 64;
+                while board[sq] > 9 {
+                    score = score + board[sq];
+                    sq = (sq + 1) % 64;
+                }
+                // loop B: typically 1 iteration
+                let k = trial % 3;
+                while k > 1 {
+                    score = score - k;
+                    k = k - 2;
+                }
+                score = score + 1;
+                trial = trial + 1;
+            }
+            out(score);
+        }";
+
+    fn peel_main(src: &str) -> (epic_ir::Program, PeelStats) {
+        let mut prog = epic_lang::compile(src).unwrap();
+        epic_opt::profile::profile_program(&mut prog, &[], 50_000_000).unwrap();
+        let mut stats = PeelStats::default();
+        for func in &mut prog.funcs {
+            let s = run(func, &PeelOptions::default());
+            stats.loops_peeled += s.loops_peeled;
+            stats.dup_ops += s.dup_ops;
+        }
+        verify_program(&prog).unwrap();
+        (prog, stats)
+    }
+
+    #[test]
+    fn peels_low_trip_loops_and_preserves_semantics() {
+        let want = interp_run(
+            &epic_lang::compile(CRAFTY_LIKE).unwrap(),
+            &[],
+            InterpOptions::default(),
+        )
+        .unwrap()
+        .output;
+        let (prog, stats) = peel_main(CRAFTY_LIKE);
+        assert!(stats.loops_peeled >= 1, "stats {stats:?}");
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+        let main = prog.func(prog.entry);
+        assert!(main
+            .block_ids()
+            .any(|b| main.block(b).origin == BlockOrigin::Peel));
+        assert!(main
+            .block_ids()
+            .any(|b| main.block(b).origin == BlockOrigin::Remainder));
+    }
+
+    #[test]
+    fn skips_high_trip_loops() {
+        let src = "
+            fn main() {
+                let i = 0; let s = 0;
+                while i < 1000 { s = s + i; i = i + 1; }
+                out(s);
+            }";
+        let (_prog, stats) = peel_main(src);
+        assert_eq!(stats.loops_peeled, 0);
+    }
+
+    #[test]
+    fn peel_then_ifconvert_collapses_peeled_iteration() {
+        // After peeling, the peeled iteration is acyclic and should be
+        // mergeable/convertible — the Figure 3 flow.
+        let want = interp_run(
+            &epic_lang::compile(CRAFTY_LIKE).unwrap(),
+            &[],
+            InterpOptions::default(),
+        )
+        .unwrap()
+        .output;
+        let (mut prog, stats) = peel_main(CRAFTY_LIKE);
+        assert!(stats.loops_peeled >= 1);
+        for func in &mut prog.funcs {
+            crate::ifconv::run(func, &crate::ifconv::IfConvOptions::default());
+            epic_opt::classical::cfg::run(func);
+        }
+        verify_program(&prog).unwrap();
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,306 @@
+//! Control speculation (the ILP-CS configuration):
+//!
+//! * **Predicate promotion** — weaken the qualifying predicate on a load
+//!   (and its pure consumers) so it executes unconditionally, breaking the
+//!   dependence on the predicate definition. The load is marked
+//!   speculative: off-path executions that fault defer to NaT. This is the
+//!   paper's dominant speculation form and the source of both the Fig. 8
+//!   data-cache effects and the Sec. 4.3 *wild load* pathology.
+//! * **Scheduler license** — speculation across side-exit branches inside
+//!   superblocks is performed by the scheduler when the configuration
+//!   allows it (see `epic-sched`); this pass only handles promotion.
+//!
+//! Under the *sentinel* model a `chk` op is left at the home location to
+//! re-raise deferred faults and recover; under the *general* model nothing
+//! remains (the OS completes wild loads with a NaT after an expensive page
+//! walk).
+
+use epic_ir::{Function, Op, Opcode, Operand, Vreg};
+use std::collections::HashMap;
+
+/// Which IA-64 recovery schema compiled code assumes (paper Fig. 9).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SpecModel {
+    /// Speculative loads complete (or NaT) immediately; nothing at home.
+    #[default]
+    General,
+    /// DTLB-miss loads defer; a `chk` at home re-executes on NaT.
+    Sentinel,
+}
+
+/// Knobs for promotion.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeculateOptions {
+    /// Recovery schema.
+    pub model: SpecModel,
+    /// Only promote in blocks at least this hot.
+    pub min_weight: f64,
+    /// Max promotions per block (limits issue-slot waste).
+    pub max_per_block: usize,
+}
+
+impl Default for SpeculateOptions {
+    fn default() -> SpeculateOptions {
+        SpeculateOptions {
+            model: SpecModel::General,
+            min_weight: 1.0,
+            max_per_block: 16,
+        }
+    }
+}
+
+/// Statistics from promotion.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpeculateStats {
+    /// Loads promoted (guard removed, spec set).
+    pub loads_promoted: usize,
+    /// Pure consumer ops promoted alongside.
+    pub consumers_promoted: usize,
+    /// `chk` ops inserted (sentinel model only).
+    pub chks_inserted: usize,
+}
+
+/// Run predicate promotion over every block of `f`.
+pub fn run(f: &mut Function, opts: &SpeculateOptions) -> SpeculateStats {
+    let mut stats = SpeculateStats::default();
+    // def counts across the function: promotion requires single-def dsts.
+    let mut def_counts: HashMap<Vreg, usize> = HashMap::new();
+    for b in f.block_ids() {
+        for op in &f.block(b).ops {
+            for &d in op.defs() {
+                *def_counts.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+    // Use positions per register: (block, op index, guard) for source
+    // uses, plus a flag for guard uses.
+    #[derive(Default, Clone)]
+    struct UseInfo {
+        sites: Vec<(epic_ir::BlockId, usize, Option<Vreg>)>,
+        used_as_guard: bool,
+    }
+    let mut use_info: HashMap<Vreg, UseInfo> = HashMap::new();
+    for b in f.block_ids() {
+        for (i, op) in f.block(b).ops.iter().enumerate() {
+            for s in &op.srcs {
+                if let Operand::Reg(u) = s {
+                    use_info
+                        .entry(*u)
+                        .or_default()
+                        .sites
+                        .push((b, i, op.guard));
+                }
+            }
+            if let Some(g) = op.guard {
+                use_info.entry(g).or_default().used_as_guard = true;
+            }
+        }
+    }
+
+    let blocks: Vec<_> = f.block_ids().collect();
+    for b in blocks {
+        if f.block(b).weight < opts.min_weight {
+            continue;
+        }
+        let mut promoted_here = 0;
+        // Track which predicates have been "promoted through" so consumer
+        // chains can follow.
+        let mut promoted_dsts: Vec<Vreg> = Vec::new();
+        let nops = f.block(b).ops.len();
+        let mut chks: Vec<(usize, Op)> = Vec::new(); // insert-after positions
+        for i in 0..nops {
+            let op = &f.block(b).ops[i];
+            let Some(g) = op.guard else { continue };
+            if promoted_here >= opts.max_per_block {
+                break;
+            }
+            let promotable_kind = matches!(op.opcode, Opcode::Ld(_)) || op.opcode.is_pure();
+            if !promotable_kind || op.dsts.len() != 1 {
+                continue;
+            }
+            let dst = op.dsts[0];
+            // dst must be single-def and every use guarded by the same
+            // predicate (so an off-path garbage/NaT value is never consumed
+            // unguarded) and never used as a guard itself.
+            if def_counts.get(&dst).copied().unwrap_or(0) != 1 {
+                continue;
+            }
+            let info = use_info.get(&dst).cloned().unwrap_or_default();
+            if info.used_as_guard {
+                continue;
+            }
+            // Every use must be *after* the def in this same block (no
+            // loop-carried upward-exposed reads of the promoted value) and
+            // guarded by the same predicate register.
+            let all_ok = info
+                .sites
+                .iter()
+                .all(|(ub, ui, ug)| *ub == b && *ui > i && *ug == Some(g));
+            if !all_ok {
+                continue;
+            }
+            // For loads, the address must not itself be a promoted value?
+            // It may be: a NaT address on a speculative load yields NaT.
+            let is_load = matches!(op.opcode, Opcode::Ld(_));
+            let op = &mut f.block_mut(b).ops[i];
+            op.guard = None;
+            if is_load {
+                op.spec = true;
+                stats.loads_promoted += 1;
+                if opts.model == SpecModel::Sentinel {
+                    // home-point check: dst = chk(dst, addr)
+                    let addr = op.srcs[0];
+                    let size = match op.opcode {
+                        Opcode::Ld(s) => s,
+                        _ => unreachable!(),
+                    };
+                    let mut chk = Op::new(
+                        epic_ir::OpId(0),
+                        Opcode::Chk(size),
+                        vec![dst],
+                        vec![Operand::Reg(dst), addr],
+                    );
+                    chk.guard = Some(g);
+                    chk.weight = op.weight;
+                    chks.push((i, chk));
+                    stats.chks_inserted += 1;
+                }
+            } else {
+                stats.consumers_promoted += 1;
+            }
+            promoted_dsts.push(dst);
+            promoted_here += 1;
+        }
+        // Insert sentinel checks (from the back so indexes stay valid).
+        for (pos, mut chk) in chks.into_iter().rev() {
+            chk.id = f.new_op_id();
+            f.block_mut(b).ops.insert(pos + 1, chk);
+        }
+        let _ = promoted_dsts;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::interp::{run as interp_run, InterpOptions};
+    use epic_ir::verify::verify_program;
+
+    /// Build a predicated program via if-conversion, then promote.
+    fn promoted(src: &str, model: SpecModel) -> (epic_ir::Program, SpeculateStats) {
+        let mut prog = epic_lang::compile(src).unwrap();
+        epic_opt::profile::profile_program(&mut prog, &[], 50_000_000).unwrap();
+        for func in &mut prog.funcs {
+            crate::ifconv::run(func, &crate::ifconv::IfConvOptions::default());
+            epic_opt::classical::cfg::run(func);
+        }
+        let mut stats = SpeculateStats::default();
+        for func in &mut prog.funcs {
+            let s = run(
+                func,
+                &SpeculateOptions {
+                    model,
+                    ..Default::default()
+                },
+            );
+            stats.loads_promoted += s.loads_promoted;
+            stats.consumers_promoted += s.consumers_promoted;
+            stats.chks_inserted += s.chks_inserted;
+        }
+        verify_program(&prog).unwrap();
+        (prog, stats)
+    }
+
+    /// A guarded load whose address is sometimes wild — the paper's
+    /// pointer/int union pattern from gcc (Sec. 4.3). Promotion must keep
+    /// the program correct: the wild executions produce NaT consumed only
+    /// by squashed ops.
+    const WILD_SRC: &str = "
+        global slots: [int; 128];
+        fn main() {
+            let i = 0; let s = 0;
+            while i < 500 {
+                let v = i * 2654435761;
+                let is_ptr = i % 4 == 0;
+                let addr = v;                      // garbage when !is_ptr
+                if is_ptr { addr = (&slots[i % 128]) as int; }
+                if is_ptr { s = s + *(addr as *int) + 1; }
+                slots[i % 128] = s % 1000;
+                i = i + 1;
+            }
+            out(s);
+        }";
+
+    #[test]
+    fn promotes_loads_in_general_model_and_preserves_semantics() {
+        let want = interp_run(
+            &epic_lang::compile(WILD_SRC).unwrap(),
+            &[],
+            InterpOptions::default(),
+        )
+        .unwrap()
+        .output;
+        let (prog, stats) = promoted(WILD_SRC, SpecModel::General);
+        assert!(stats.loads_promoted >= 1, "stats {stats:?}");
+        // promoted loads exist and are speculative
+        let main = prog.func(prog.entry);
+        let spec_loads = main
+            .block_ids()
+            .flat_map(|b| main.block(b).ops.clone())
+            .filter(|o| o.spec)
+            .count();
+        assert!(spec_loads >= 1);
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sentinel_model_inserts_chks() {
+        let want = interp_run(
+            &epic_lang::compile(WILD_SRC).unwrap(),
+            &[],
+            InterpOptions::default(),
+        )
+        .unwrap()
+        .output;
+        let (prog, stats) = promoted(WILD_SRC, SpecModel::Sentinel);
+        assert!(stats.chks_inserted >= 1, "stats {stats:?}");
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn does_not_promote_multiply_defined_dsts() {
+        // x is defined on both sides of the diamond; promotion of either
+        // guarded def would clobber the other path's value.
+        let src = "
+            global g: [int; 8];
+            fn main() {
+                let i = 0; let s = 0;
+                while i < 100 {
+                    let x = 0;
+                    if i % 2 == 0 { x = g[0]; } else { x = g[1]; }
+                    s = s + x;
+                    i = i + 1;
+                }
+                out(s);
+            }";
+        let want = interp_run(
+            &epic_lang::compile(src).unwrap(),
+            &[],
+            InterpOptions::default(),
+        )
+        .unwrap()
+        .output;
+        let (prog, _stats) = promoted(src, SpecModel::General);
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,259 @@
+//! Superblock loop unrolling for hot single-block loops.
+//!
+//! After if-conversion and block merging, hot inner loops frequently
+//! collapse to a single extended block whose terminator (or a guarded
+//! side-exit) is the back edge. Unrolling concatenates copies of the body
+//! inside the block; iteration boundaries become guarded side-exit
+//! branches, so a mid-body exit skips the remaining copies for free.
+
+use epic_ir::{BlockId, BlockOrigin, CmpKind, Function, Op, Opcode, Operand};
+
+/// Heuristic knobs for unrolling.
+#[derive(Clone, Copy, Debug)]
+pub struct UnrollOptions {
+    /// Unroll factor (total body copies after unrolling).
+    pub factor: usize,
+    /// Maximum ops in the body to unroll.
+    pub max_body_ops: usize,
+    /// Minimum profiled trip count.
+    pub min_trip: f64,
+    /// Minimum header weight.
+    pub min_weight: f64,
+}
+
+impl Default for UnrollOptions {
+    fn default() -> UnrollOptions {
+        UnrollOptions {
+            factor: 2,
+            max_body_ops: 24,
+            min_trip: 8.0,
+            min_weight: 100.0,
+        }
+    }
+}
+
+/// Statistics from unrolling.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnrollStats {
+    /// Loops unrolled.
+    pub loops_unrolled: usize,
+    /// Static ops added.
+    pub dup_ops: usize,
+}
+
+/// Unroll eligible single-block self-loops.
+pub fn run(f: &mut Function, opts: &UnrollOptions) -> UnrollStats {
+    let mut stats = UnrollStats::default();
+    let blocks: Vec<BlockId> = f.block_ids().collect();
+    for b in blocks {
+        if try_unroll(f, b, opts) {
+            stats.loops_unrolled += 1;
+            stats.dup_ops += f.block(b).ops.len() / opts.factor * (opts.factor - 1);
+        }
+    }
+    stats
+}
+
+fn try_unroll(f: &mut Function, b: BlockId, opts: &UnrollOptions) -> bool {
+    let blk = f.block(b);
+    if blk.weight < opts.min_weight || blk.ops.len() > opts.max_body_ops {
+        return false;
+    }
+    // Shape: [...body...; (p) Br b; Br exit]  — the "continue" form.
+    let n = blk.ops.len();
+    if n < 2 {
+        return false;
+    }
+    let term = &blk.ops[n - 1];
+    let back = &blk.ops[n - 2];
+    let continue_form = term.opcode == Opcode::Br
+        && term.guard.is_none()
+        && back.opcode == Opcode::Br
+        && back.guard.is_some()
+        && back.branch_target() == Some(b);
+    // Shape: [...body...; (q) Br exit; Br b] — the "exit" form.
+    let exit_form = term.opcode == Opcode::Br
+        && term.guard.is_none()
+        && term.branch_target() == Some(b)
+        && back.opcode == Opcode::Br
+        && back.guard.is_some()
+        && back.branch_target() != Some(b);
+    if !continue_form && !exit_form {
+        return false;
+    }
+    // no other self-branches inside the body
+    let self_branches = blk
+        .ops
+        .iter()
+        .filter(|o| o.branch_target() == Some(b))
+        .count();
+    if self_branches != 1 {
+        return false;
+    }
+    // trip count: back-edge weight / entries
+    let back_w = if continue_form {
+        blk.ops[n - 2].weight
+    } else {
+        blk.ops[n - 1].weight
+    };
+    let entries = (blk.weight - back_w).max(1.0);
+    if blk.weight / entries < opts.min_trip {
+        return false;
+    }
+
+    let body: Vec<Op> = blk.ops[..n - 2].to_vec();
+    let cont_pred = blk.ops[n - 2].guard;
+    let exit_target = if continue_form {
+        blk.ops[n - 1].branch_target().unwrap()
+    } else {
+        blk.ops[n - 2].branch_target().unwrap()
+    };
+    let trip = blk.weight / entries;
+    let factor = opts.factor.max(2);
+
+    let mut new_ops: Vec<Op> = Vec::new();
+    for it in 0..factor {
+        // body copy
+        for op in &body {
+            let mut c = f.clone_op(op);
+            c.weight = op.weight; // same per-execution weight (approximate)
+            new_ops.push(c);
+        }
+        let last = it + 1 == factor;
+        match (continue_form, last) {
+            (true, false) => {
+                // between iterations: exit if NOT continuing.
+                // q = (p == 0); (q) Br exit
+                let p = cont_pred.expect("continue form has a guard");
+                let q = f.new_vreg();
+                let cmp = Op::new(
+                    f.new_op_id(),
+                    Opcode::Cmp(CmpKind::Eq),
+                    vec![q],
+                    vec![Operand::Reg(p), Operand::Imm(0)],
+                );
+                let mut br = epic_ir::func::mk_br(f.new_op_id(), exit_target);
+                br.guard = Some(q);
+                br.weight = f.block(b).weight / trip / factor as f64;
+                new_ops.push(cmp);
+                new_ops.push(br);
+            }
+            (true, true) => {
+                let p = cont_pred.expect("continue form has a guard");
+                let mut backbr = epic_ir::func::mk_br(f.new_op_id(), b);
+                backbr.guard = Some(p);
+                backbr.weight = back_w / factor as f64;
+                new_ops.push(backbr);
+                new_ops.push(epic_ir::func::mk_br(f.new_op_id(), exit_target));
+            }
+            (false, false) => {
+                // exit form already has `(q) Br exit` semantics inline
+                let q = cont_pred.expect("exit form has a guard");
+                let mut br = epic_ir::func::mk_br(f.new_op_id(), exit_target);
+                br.guard = Some(q);
+                br.weight = f.block(b).weight / trip / factor as f64;
+                new_ops.push(br);
+            }
+            (false, true) => {
+                let q = cont_pred.expect("exit form has a guard");
+                let mut br = epic_ir::func::mk_br(f.new_op_id(), exit_target);
+                br.guard = Some(q);
+                br.weight = f.block(b).weight / trip / factor as f64;
+                new_ops.push(br);
+                new_ops.push(epic_ir::func::mk_br(f.new_op_id(), b));
+            }
+        }
+    }
+    let blk = f.block_mut(b);
+    blk.ops = new_ops;
+    blk.origin = BlockOrigin::Unroll;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::interp::{run as interp_run, InterpOptions};
+    use epic_ir::verify::verify_program;
+
+    fn prep(src: &str) -> epic_ir::Program {
+        let mut prog = epic_lang::compile(src).unwrap();
+        epic_opt::profile::profile_program(&mut prog, &[], 50_000_000).unwrap();
+        for func in &mut prog.funcs {
+            epic_opt::classical::cfg::run(func);
+        }
+        prog
+    }
+
+    #[test]
+    fn unrolls_hot_counted_loop_and_preserves_semantics() {
+        let src = "
+            global a: [int; 256];
+            fn main() {
+                let i = 0;
+                while i < 256 { a[i] = i * 3; i = i + 1; }
+                let s = 0;
+                i = 0;
+                while i < 256 { s = s + a[i]; i = i + 1; }
+                out(s);
+            }";
+        let mut prog = prep(src);
+        let want = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        let mut total = UnrollStats::default();
+        for func in &mut prog.funcs {
+            let s = run(func, &UnrollOptions::default());
+            total.loops_unrolled += s.loops_unrolled;
+        }
+        assert!(total.loops_unrolled >= 1, "stats {total:?}");
+        verify_program(&prog).unwrap();
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unrolled_loop_with_odd_trip_count() {
+        let src = "
+            fn main() {
+                let i = 0; let s = 0;
+                while i < 257 { s = s + i * i; i = i + 1; }
+                out(s);
+            }";
+        let mut prog = prep(src);
+        let want = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        for func in &mut prog.funcs {
+            run(
+                func,
+                &UnrollOptions {
+                    factor: 4,
+                    ..Default::default()
+                },
+            );
+        }
+        verify_program(&prog).unwrap();
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn skips_cold_and_low_trip_loops() {
+        let src = "
+            fn main() {
+                let i = 0; let s = 0;
+                while i < 3 { s = s + i; i = i + 1; }
+                out(s);
+            }";
+        let mut prog = prep(src);
+        for func in &mut prog.funcs {
+            let s = run(func, &UnrollOptions::default());
+            assert_eq!(s.loops_unrolled, 0);
+        }
+    }
+}

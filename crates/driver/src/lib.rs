@@ -1,0 +1,330 @@
+//! # epic-driver
+//!
+//! End-to-end orchestration of the paper's Fig. 4 pipeline, exposing the
+//! four compiler configurations of Table 1:
+//!
+//! | Level | profile | promote+inline | pointer analysis | structural ILP | speculation |
+//! |-------|---------|----------------|------------------|----------------|-------------|
+//! | GCC    | –  | – | – (conservative) | – | – |
+//! | O-NS   | ✔  | ✔ | ✔ | – | – |
+//! | ILP-NS | ✔  | ✔ | ✔ | ✔ | safe only |
+//! | ILP-CS | ✔  | ✔ | ✔ | ✔ | control speculation |
+//!
+//! [`compile`] produces machine code plus all static statistics;
+//! [`measure`] additionally runs the simulator on the reference input.
+
+use epic_core::IlpOptions;
+use epic_ir::Program;
+use epic_mach::MachProgram;
+use epic_sched::{PlanStats, SchedOptions};
+use epic_sim::{SimOptions, SimResult};
+use epic_workloads::Workload;
+
+/// The paper's compiler configurations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OptLevel {
+    /// GCC 3.2-like: classical optimization only, no inlining, no
+    /// interprocedural analysis, no profile feedback.
+    Gcc,
+    /// IMPACT classical baseline (inlining + pointer analysis + profile).
+    ONs,
+    /// + structural ILP formation, no control speculation.
+    IlpNs,
+    /// + control speculation (general model unless overridden).
+    IlpCs,
+}
+
+impl OptLevel {
+    /// All levels in Table 1 order.
+    pub const ALL: [OptLevel; 4] = [OptLevel::Gcc, OptLevel::ONs, OptLevel::IlpNs, OptLevel::IlpCs];
+
+    /// Display name as in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::Gcc => "GCC",
+            OptLevel::ONs => "O-NS",
+            OptLevel::IlpNs => "ILP-NS",
+            OptLevel::IlpCs => "ILP-CS",
+        }
+    }
+}
+
+/// Which input trains the profile (Sec. 4.6 swaps this).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProfileInput {
+    /// SPEC methodology: train on the training input.
+    #[default]
+    Train,
+    /// Profile-variation experiment: train on the reference input.
+    Refr,
+}
+
+/// Compilation options.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Configuration level.
+    pub level: OptLevel,
+    /// Profile source.
+    pub profile_input: ProfileInput,
+    /// Override the structural-transform knobs (ablations); `None` uses
+    /// the level's defaults.
+    pub ilp_override: Option<IlpOptions>,
+    /// Enable ALAT data speculation (`ld.a`/`chk.a`) — the paper's
+    /// future-work extension; off by default to match its configuration.
+    pub enable_data_spec: bool,
+    /// Interpreter fuel for the profiling run.
+    pub profile_fuel: u64,
+}
+
+impl CompileOptions {
+    /// Defaults for a level.
+    pub fn for_level(level: OptLevel) -> CompileOptions {
+        CompileOptions {
+            level,
+            profile_input: ProfileInput::Train,
+            ilp_override: None,
+            enable_data_spec: false,
+            profile_fuel: 2_000_000_000,
+        }
+    }
+}
+
+/// A compiled workload plus every static statistic the experiments need.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The machine program.
+    pub mach: MachProgram,
+    /// Scheduler plan statistics (planned cycles / IPC, register windows).
+    pub plan: PlanStats,
+    /// Structural-transform statistics (zeroed below ILP levels).
+    pub ilp: epic_core::IlpStats,
+    /// Inlined callsites.
+    pub inlined: usize,
+    /// Indirect callsites promoted.
+    pub promoted: usize,
+    /// Static code bytes.
+    pub code_bytes: u64,
+    /// Static (real op, nop) slot counts.
+    pub static_ops: (usize, usize),
+    /// Static op count before any transformation (post-frontend).
+    pub frontend_ops: usize,
+}
+
+/// Errors from the driver.
+#[derive(Debug)]
+pub enum DriverError {
+    /// MiniC compilation failed.
+    Lang(epic_lang::LangError),
+    /// The profiling run trapped.
+    Profile(epic_ir::interp::Trap),
+    /// IR verification failed after a transform.
+    Verify(String),
+    /// Emitted machine code failed its checks.
+    Machine(String),
+    /// Simulation trapped.
+    Sim(epic_sim::SimTrap),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Lang(e) => write!(f, "frontend: {e}"),
+            DriverError::Profile(e) => write!(f, "profiling: {e}"),
+            DriverError::Verify(e) => write!(f, "verify: {e}"),
+            DriverError::Machine(e) => write!(f, "machine check: {e}"),
+            DriverError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Compile MiniC source through the selected pipeline.
+///
+/// # Errors
+/// Any pipeline stage failure (see [`DriverError`]).
+pub fn compile_source(
+    src: &str,
+    train_args: &[i64],
+    ref_args: &[i64],
+    opts: &CompileOptions,
+) -> Result<Compiled, DriverError> {
+    let mut prog = epic_lang::compile(src).map_err(DriverError::Lang)?;
+    let frontend_ops = prog.op_count();
+    let mut inlined = 0;
+    let mut promoted = 0;
+    let mut ilp_stats = epic_core::IlpStats::default();
+
+    if opts.level != OptLevel::Gcc {
+        // Control-flow + call-target profiling (Fig. 4 top).
+        let pargs = match opts.profile_input {
+            ProfileInput::Train => train_args,
+            ProfileInput::Refr => ref_args,
+        };
+        let profile = epic_opt::profile::profile_program(&mut prog, pargs, opts.profile_fuel)
+            .map_err(DriverError::Profile)?;
+        // Indirect-call promotion, then profile-guided inlining.
+        promoted = epic_opt::promote::run(&mut prog, &profile, Default::default());
+        inlined = epic_opt::inline::run(&mut prog, Default::default()).inlined;
+    }
+    // Classical optimization at every level (GCC performs "a very
+    // competent level of traditional optimizations").
+    epic_opt::classical_optimize_program(&mut prog);
+    if opts.level != OptLevel::Gcc {
+        // Interprocedural pointer analysis -> alias tags.
+        epic_opt::alias::run(&mut prog);
+    }
+    let sched = match opts.level {
+        OptLevel::Gcc => SchedOptions::gcc(),
+        OptLevel::ONs => SchedOptions::o_ns(),
+        OptLevel::IlpNs => SchedOptions::ilp_ns(),
+        OptLevel::IlpCs => SchedOptions::ilp_cs(),
+    };
+    if matches!(opts.level, OptLevel::IlpNs | OptLevel::IlpCs) {
+        let ilp_opts = opts.ilp_override.unwrap_or(match opts.level {
+            OptLevel::IlpNs => IlpOptions::ilp_ns(),
+            _ => IlpOptions::ilp_cs(),
+        });
+        for i in 0..prog.funcs.len() {
+            ilp_stats.merge(&epic_core::ilp_transform(&mut prog.funcs[i], &ilp_opts));
+        }
+        epic_ir::verify::verify_program(&prog)
+            .map_err(|e| DriverError::Verify(format!("{}", e[0])))?;
+        if opts.enable_data_spec {
+            for i in 0..prog.funcs.len() {
+                let mut func = prog.funcs[i].clone();
+                let s = epic_core::dataspec::run(&mut func, &prog, &Default::default());
+                ilp_stats.loads_advanced += s.advanced;
+                prog.funcs[i] = func;
+            }
+            epic_ir::verify::verify_program(&prog)
+                .map_err(|e| DriverError::Verify(format!("{}", e[0])))?;
+        }
+    }
+    let (mach, plan) = epic_sched::compile_program(&prog, &sched);
+    epic_sched::check_machine_program(&mach).map_err(DriverError::Machine)?;
+    let code_bytes = mach.code_bytes();
+    let static_ops = mach.op_counts();
+    Ok(Compiled {
+        mach,
+        plan,
+        ilp: ilp_stats,
+        inlined,
+        promoted,
+        code_bytes,
+        static_ops,
+        frontend_ops,
+    })
+}
+
+/// Compile a workload at a level (with default options).
+///
+/// # Errors
+/// See [`compile_source`].
+pub fn compile(w: &Workload, opts: &CompileOptions) -> Result<Compiled, DriverError> {
+    compile_source(w.source, &w.train_args, &w.ref_args, opts)
+}
+
+/// One measured (compiled + simulated) run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Level measured.
+    pub level: OptLevel,
+    /// Static compilation statistics.
+    pub compiled: CompiledStats,
+    /// Simulation results on the chosen input.
+    pub sim: SimResult,
+}
+
+/// The static side of a [`Measurement`] (no machine code, cheap to keep).
+#[derive(Clone, Debug)]
+pub struct CompiledStats {
+    /// Planned statistics from the scheduler.
+    pub plan: PlanStats,
+    /// Structural transform statistics.
+    pub ilp: epic_core::IlpStats,
+    /// Inlined callsites.
+    pub inlined: usize,
+    /// Promoted indirect callsites.
+    pub promoted: usize,
+    /// Code bytes.
+    pub code_bytes: u64,
+    /// (real ops, nops).
+    pub static_ops: (usize, usize),
+    /// Post-frontend op count.
+    pub frontend_ops: usize,
+    /// Function names by id (Fig. 10 labels).
+    pub func_names: Vec<String>,
+}
+
+/// Compile and simulate a workload on its reference input.
+///
+/// # Errors
+/// See [`compile_source`] and the simulator's traps.
+pub fn measure(
+    w: &Workload,
+    copts: &CompileOptions,
+    sopts: &SimOptions,
+) -> Result<Measurement, DriverError> {
+    let compiled = compile(w, copts)?;
+    let sim = epic_sim::run(&compiled.mach, &w.ref_args, sopts).map_err(DriverError::Sim)?;
+    Ok(Measurement {
+        level: copts.level,
+        compiled: CompiledStats {
+            plan: compiled.plan,
+            ilp: compiled.ilp,
+            inlined: compiled.inlined,
+            promoted: compiled.promoted,
+            code_bytes: compiled.code_bytes,
+            static_ops: compiled.static_ops,
+            frontend_ops: compiled.frontend_ops,
+            func_names: compiled.mach.funcs.iter().map(|f| f.name.clone()).collect(),
+        },
+        sim,
+    })
+}
+
+/// Convenience: interpret a workload (the semantic oracle) on given args.
+///
+/// # Errors
+/// Propagates interpreter traps.
+pub fn oracle(w: &Workload, args: &[i64]) -> Result<Vec<u64>, DriverError> {
+    let prog: Program = w.compile();
+    epic_ir::interp::run(&prog, args, Default::default())
+        .map(|r| r.output)
+        .map_err(DriverError::Profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_is_correct_on_one_workload_all_levels() {
+        let w = epic_workloads::by_name("vortex_mc").unwrap();
+        let want = oracle(&w, &w.train_args).unwrap();
+        for level in OptLevel::ALL {
+            let compiled = compile(&w, &CompileOptions::for_level(level)).unwrap();
+            let sim = epic_sim::run(&compiled.mach, &w.train_args, &SimOptions::default())
+                .unwrap_or_else(|e| panic!("{} at {}: {e}", w.name, level.name()));
+            assert_eq!(sim.output, want, "{} at {}", w.name, level.name());
+        }
+    }
+
+    #[test]
+    fn levels_differ_statically() {
+        let w = epic_workloads::by_name("crafty_mc").unwrap();
+        let gcc = compile(&w, &CompileOptions::for_level(OptLevel::Gcc)).unwrap();
+        let ons = compile(&w, &CompileOptions::for_level(OptLevel::ONs)).unwrap();
+        let ilp = compile(&w, &CompileOptions::for_level(OptLevel::IlpNs)).unwrap();
+        assert_eq!(gcc.inlined, 0);
+        assert!(ons.inlined > 0, "O-NS should inline");
+        assert!(ilp.ilp.regions_converted > 0, "ILP-NS should if-convert");
+        assert!(
+            ilp.code_bytes > ons.code_bytes,
+            "structural transforms grow code: {} vs {}",
+            ilp.code_bytes,
+            ons.code_bytes
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! A small dense bitset used by the dataflow analyses.
+
+/// Fixed-capacity dense bitset over `usize` indices.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `len` elements.
+    pub fn new(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `i`. Returns true if newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of capacity.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bitset index {i} out of capacity {}", self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        let newly = *w & bit == 0;
+        *w |= bit;
+        newly
+    }
+
+    /// Remove `i`.
+    pub fn remove(&mut self, i: usize) {
+        if i < self.len {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`. Returns true if `self` changed.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self -= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Does `self` intersect `other`?
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of elements present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1u64 << b) != 0 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// True if no elements are present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect indices into a bitset sized to the maximum element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> BitSet {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        s.remove(129);
+        assert!(!s.contains(129));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        b.insert(3);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert!(a.contains(3));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: BitSet = [5usize, 1, 70].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 70]);
+    }
+
+    #[test]
+    fn subtract_and_intersects() {
+        let mut a: BitSet = [1usize, 2, 3].into_iter().collect();
+        let mut b = BitSet::new(4);
+        b.insert(2);
+        assert!(a.intersects(&b));
+        a.subtract(&b);
+        assert!(!a.contains(2));
+        assert!(!a.intersects(&b));
+    }
+}

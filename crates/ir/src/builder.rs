@@ -1,0 +1,239 @@
+//! Ergonomic construction of IR functions (used by the frontend lowering,
+//! tests, and the property-based program generator).
+
+use crate::func::Function;
+use crate::op::Op;
+use crate::types::{BlockId, CmpKind, FuncId, MemSize, Opcode, Operand, Vreg};
+
+/// Builds one [`Function`], tracking a current insertion block.
+#[derive(Debug)]
+pub struct FuncBuilder {
+    f: Function,
+    cur: BlockId,
+}
+
+impl FuncBuilder {
+    /// Start building a function; the entry block is current.
+    pub fn new(id: FuncId, name: impl Into<String>) -> FuncBuilder {
+        let f = Function::new(id, name);
+        let cur = f.entry;
+        FuncBuilder { f, cur }
+    }
+
+    /// Declare a parameter register.
+    pub fn param(&mut self) -> Vreg {
+        let v = self.f.new_vreg();
+        self.f.params.push(v);
+        v
+    }
+
+    /// Allocate a fresh vreg.
+    pub fn vreg(&mut self) -> Vreg {
+        self.f.new_vreg()
+    }
+
+    /// Create a new (empty) block without switching to it.
+    pub fn block(&mut self) -> BlockId {
+        self.f.add_block()
+    }
+
+    /// Make `b` the insertion block.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// The current insertion block.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Reserve `bytes` of frame storage, returning its frame offset.
+    pub fn frame_alloc(&mut self, bytes: u64) -> u64 {
+        let off = self.f.frame_size;
+        self.f.frame_size += (bytes + 7) & !7;
+        off
+    }
+
+    /// Append a raw op to the current block.
+    pub fn push(&mut self, mut op: Op) {
+        op.id = self.f.new_op_id();
+        self.f.block_mut(self.cur).ops.push(op);
+    }
+
+    fn emit(&mut self, opcode: Opcode, dsts: Vec<Vreg>, srcs: Vec<Operand>) {
+        let op = Op::new(crate::types::OpId(0), opcode, dsts, srcs);
+        self.push(op);
+    }
+
+    /// `dst = a <op> b` into a fresh register.
+    pub fn binop(
+        &mut self,
+        opcode: Opcode,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Vreg {
+        let d = self.vreg();
+        self.emit(opcode, vec![d], vec![a.into(), b.into()]);
+        d
+    }
+
+    /// `dst = a <op> b` into a named register.
+    pub fn binop_to(
+        &mut self,
+        dst: Vreg,
+        opcode: Opcode,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.emit(opcode, vec![dst], vec![a.into(), b.into()]);
+    }
+
+    /// `dst = src` into a fresh register.
+    pub fn mov(&mut self, src: impl Into<Operand>) -> Vreg {
+        let d = self.vreg();
+        self.emit(Opcode::Mov, vec![d], vec![src.into()]);
+        d
+    }
+
+    /// `dst = src` into a named register.
+    pub fn mov_to(&mut self, dst: Vreg, src: impl Into<Operand>) {
+        self.emit(Opcode::Mov, vec![dst], vec![src.into()]);
+    }
+
+    /// `p = a <kind> b` (single predicate destination).
+    pub fn cmp(&mut self, kind: CmpKind, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        let p = self.vreg();
+        self.emit(Opcode::Cmp(kind), vec![p], vec![a.into(), b.into()]);
+        p
+    }
+
+    /// `p, q = a <kind> b` (predicate and complement, as IA-64 `cmp`).
+    pub fn cmp2(
+        &mut self,
+        kind: CmpKind,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> (Vreg, Vreg) {
+        let p = self.vreg();
+        let q = self.vreg();
+        self.emit(Opcode::Cmp(kind), vec![p, q], vec![a.into(), b.into()]);
+        (p, q)
+    }
+
+    /// `dst = mem[addr]`.
+    pub fn load(&mut self, size: MemSize, addr: impl Into<Operand>) -> Vreg {
+        let d = self.vreg();
+        self.emit(Opcode::Ld(size), vec![d], vec![addr.into()]);
+        d
+    }
+
+    /// `mem[addr] = val`.
+    pub fn store(&mut self, size: MemSize, addr: impl Into<Operand>, val: impl Into<Operand>) {
+        self.emit(Opcode::St(size), vec![], vec![addr.into(), val.into()]);
+    }
+
+    /// Unconditional branch (block terminator).
+    pub fn br(&mut self, target: BlockId) {
+        self.emit(Opcode::Br, vec![], vec![Operand::Label(target)]);
+    }
+
+    /// Conditional branch: taken when `pred` is non-zero.
+    pub fn brc(&mut self, pred: Vreg, target: BlockId) {
+        let op = {
+            let mut op = Op::new(
+                crate::types::OpId(0),
+                Opcode::Br,
+                vec![],
+                vec![Operand::Label(target)],
+            );
+            op.guard = Some(pred);
+            op
+        };
+        self.push(op);
+    }
+
+    /// Call returning a value.
+    pub fn call(&mut self, callee: impl Into<Operand>, args: &[Operand]) -> Vreg {
+        let d = self.vreg();
+        let mut srcs = vec![callee.into()];
+        srcs.extend_from_slice(args);
+        self.emit(Opcode::Call, vec![d], srcs);
+        d
+    }
+
+    /// Call ignoring any return value.
+    pub fn call_void(&mut self, callee: impl Into<Operand>, args: &[Operand]) {
+        let mut srcs = vec![callee.into()];
+        srcs.extend_from_slice(args);
+        self.emit(Opcode::Call, vec![], srcs);
+    }
+
+    /// Return (optionally with a value).
+    pub fn ret(&mut self, val: Option<Operand>) {
+        self.emit(Opcode::Ret, vec![], val.into_iter().collect());
+    }
+
+    /// Emit a value to the observable output stream.
+    pub fn out(&mut self, val: impl Into<Operand>) {
+        self.emit(Opcode::Out, vec![], vec![val.into()]);
+    }
+
+    /// Heap allocation.
+    pub fn alloc(&mut self, bytes: impl Into<Operand>) -> Vreg {
+        let d = self.vreg();
+        self.emit(Opcode::Alloc, vec![d], vec![bytes.into()]);
+        d
+    }
+
+    /// Finish, returning the function.
+    pub fn finish(self) -> Function {
+        self.f
+    }
+
+    /// Peek at the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn builds_verified_loop() {
+        // sum 0..n
+        let mut b = FuncBuilder::new(FuncId(0), "sum");
+        let n = b.param();
+        let body = b.block();
+        let done = b.block();
+        let i = b.vreg();
+        let acc = b.vreg();
+        b.mov_to(i, 0i64);
+        b.mov_to(acc, 0i64);
+        b.br(body);
+        b.switch_to(body);
+        b.binop_to(acc, Opcode::Add, acc, i);
+        b.binop_to(i, Opcode::Add, i, 1i64);
+        let p = b.cmp(CmpKind::SLt, i, n);
+        b.brc(p, body);
+        b.br(done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(acc)));
+        let f = b.finish();
+        verify_function(&f).unwrap();
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.block_ids().count(), 3);
+    }
+
+    #[test]
+    fn frame_alloc_aligns() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        assert_eq!(b.frame_alloc(5), 0);
+        assert_eq!(b.frame_alloc(8), 8);
+        assert_eq!(b.func().frame_size, 16);
+        b.ret(None);
+        verify_function(&b.finish()).unwrap();
+    }
+}

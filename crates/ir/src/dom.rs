@@ -1,0 +1,263 @@
+//! Dominator-tree construction (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::func::Function;
+use crate::types::BlockId;
+
+/// Immediate-dominator table plus RPO numbering for a function's CFG.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+    rpo: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Compute dominators for all blocks reachable from entry.
+    pub fn compute(f: &Function) -> DomTree {
+        let rpo = f.rpo();
+        let n = f.blocks.len();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let preds = f.preds();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[f.entry.index()] = Some(f.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if rpo_index[p.index()] == usize::MAX || idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree {
+            idom,
+            rpo_index,
+            rpo,
+        }
+    }
+
+    /// The immediate dominator of `b` (entry's idom is itself). `None` for
+    /// unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Does `a` dominate `b`? (Reflexive; false if either is unreachable.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        if self.idom[a.index()].is_none() || self.idom[b.index()].is_none() {
+            return false;
+        }
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = match self.idom[cur.index()] {
+                Some(i) => i,
+                None => return false,
+            };
+            if next == cur {
+                return false; // reached entry
+            }
+            cur = next;
+        }
+    }
+
+    /// Reverse postorder of reachable blocks.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// RPO index of a block (`usize::MAX` if unreachable).
+    pub fn rpo_index(&self, b: BlockId) -> usize {
+        self.rpo_index[b.index()]
+    }
+
+    /// Is the block reachable from entry?
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{mk_br, Function};
+    use crate::types::{FuncId, Opcode, Vreg};
+    use crate::Op;
+
+    /// Build a CFG from an edge list; block 0 is entry. Conditional splits
+    /// are modeled with guarded branches.
+    fn cfg(n: usize, edges: &[(u32, u32)]) -> Function {
+        let mut f = Function::new(FuncId(0), "t");
+        for _ in 1..n {
+            f.add_block();
+        }
+        let p = f.new_vreg();
+        for b in 0..n as u32 {
+            let outs: Vec<u32> = edges.iter().filter(|(s, _)| *s == b).map(|&(_, d)| d).collect();
+            let mut ops = Vec::new();
+            for (i, &d) in outs.iter().enumerate() {
+                let mut br = mk_br(f.new_op_id(), BlockId(d));
+                if i + 1 != outs.len() {
+                    br.guard = Some(p);
+                }
+                ops.push(br);
+            }
+            if outs.is_empty() {
+                ops.push(Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![]));
+            }
+            f.block_mut(BlockId(b)).ops = ops;
+        }
+        let _ = Vreg(0);
+        f
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> 1,2 ; 1 -> 3 ; 2 -> 3
+        let f = cfg(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let d = DomTree::compute(&f);
+        assert_eq!(d.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(d.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(d.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(d.dominates(BlockId(0), BlockId(3)));
+        assert!(!d.dominates(BlockId(1), BlockId(3)));
+        assert!(d.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // 0 -> 1 ; 1 -> 2 ; 2 -> 1,3
+        let f = cfg(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let d = DomTree::compute(&f);
+        assert_eq!(d.idom(BlockId(2)), Some(BlockId(1)));
+        assert!(d.dominates(BlockId(1), BlockId(3)));
+        assert!(d.dominates(BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut f = cfg(3, &[(0, 1), (1, 2)]);
+        let orphan = f.add_block();
+        f.block_mut(orphan)
+            .ops
+            .push(Op::new(crate::types::OpId(999), Opcode::Ret, vec![], vec![]));
+        let d = DomTree::compute(&f);
+        assert_eq!(d.idom(orphan), None);
+        assert!(!d.is_reachable(orphan));
+        assert!(!d.dominates(BlockId(0), orphan));
+    }
+
+    /// Property: naive dominator computation agrees with CHK on random CFGs.
+    #[test]
+    fn matches_naive_on_random_cfgs() {
+        // Simple deterministic pseudo-random edge sets.
+        let mut seed = 0x12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _case in 0..50 {
+            let n = 3 + (next() % 8) as usize;
+            let mut edges = Vec::new();
+            for b in 0..n as u32 {
+                for _ in 0..=(next() % 2) {
+                    let d = next() % n as u32;
+                    edges.push((b, d));
+                }
+            }
+            // ensure connectivity skeleton
+            for b in 1..n as u32 {
+                edges.push((b - 1, b));
+            }
+            let f = cfg(n, &edges);
+            let d = DomTree::compute(&f);
+            let naive = naive_dominators(&f);
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(
+                        d.dominates(BlockId(a as u32), BlockId(b as u32)),
+                        naive[b].contains(&a),
+                        "dom({a},{b}) mismatch on case {_case}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// O(n^2) reference: a dominates b iff removing a disconnects b from
+    /// entry.
+    fn naive_dominators(f: &Function) -> Vec<std::collections::HashSet<usize>> {
+        let n = f.blocks.len();
+        let reachable = |skip: Option<usize>| -> Vec<bool> {
+            let mut seen = vec![false; n];
+            if skip == Some(f.entry.index()) {
+                return seen;
+            }
+            let mut stack = vec![f.entry];
+            seen[f.entry.index()] = true;
+            while let Some(b) = stack.pop() {
+                for s in f.block(b).succs() {
+                    if Some(s.index()) != skip && !seen[s.index()] {
+                        seen[s.index()] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            seen
+        };
+        let base = reachable(None);
+        (0..n)
+            .map(|b| {
+                let mut doms = std::collections::HashSet::new();
+                if !base[b] {
+                    return doms; // unreachable: no dominators reported
+                }
+                for a in 0..n {
+                    if a == b {
+                        doms.insert(a);
+                        continue;
+                    }
+                    if base[a] && !reachable(Some(a))[b] {
+                        doms.insert(a);
+                    }
+                }
+                doms
+            })
+            .collect()
+    }
+}

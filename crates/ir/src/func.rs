@@ -1,0 +1,461 @@
+//! Functions, blocks, globals, and whole programs.
+
+use crate::op::Op;
+use crate::types::{BlockId, FuncId, GlobalId, OpId, Opcode, Operand, Vreg};
+use std::fmt;
+
+/// Where a block's code came from; used for instruction-cache attribution
+/// (the paper traces L1I misses to tail-duplicated copies and residual
+/// loops, Sec. 4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BlockOrigin {
+    /// Present in the original program.
+    #[default]
+    Original,
+    /// Created by tail duplication during region formation.
+    TailDup,
+    /// A peeled loop iteration.
+    Peel,
+    /// A residual ("remainder") loop left behind by peeling.
+    Remainder,
+    /// Created by loop unrolling.
+    Unroll,
+    /// Created by procedure inlining.
+    Inline,
+}
+
+/// An extended basic block.
+///
+/// Before region formation these are ordinary basic blocks (at most one
+/// guarded branch before the terminator). After superblock/hyperblock
+/// formation a block is a single-entry region that may contain guarded
+/// side-exit branches anywhere; the final op is always an unconditional
+/// terminator ([`Op::is_terminator`]).
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// The operations, in program order.
+    pub ops: Vec<Op>,
+    /// Profiled execution count (entries into this block).
+    pub weight: f64,
+    /// Tombstone: removed blocks stay in place so [`BlockId`]s stay stable.
+    pub removed: bool,
+    /// Provenance for I-cache attribution.
+    pub origin: BlockOrigin,
+}
+
+impl Block {
+    /// Successor blocks: every guarded side-exit target plus the
+    /// terminator's target(s), in op order. Returns nothing for `Ret`.
+    pub fn succs(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if let Some(t) = op.branch_target() {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// The terminator op. Panics if the block is empty.
+    pub fn terminator(&self) -> &Op {
+        self.ops.last().expect("empty block has no terminator")
+    }
+}
+
+/// A function: a CFG of [`Block`]s over a shared virtual register space.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// This function's id within its [`Program`].
+    pub id: FuncId,
+    /// Source-level name (used for per-function attribution, Fig. 10).
+    pub name: String,
+    /// Parameter registers, bound by calls in order.
+    pub params: Vec<Vreg>,
+    /// All blocks; removed blocks are tombstoned.
+    pub blocks: Vec<Block>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// Bytes of stack-frame storage ([`Operand::FrameAddr`] offsets point
+    /// into this region).
+    pub frame_size: u64,
+    next_vreg: u32,
+    next_op: u32,
+}
+
+impl Function {
+    /// Create an empty function with one (empty) entry block.
+    pub fn new(id: FuncId, name: impl Into<String>) -> Function {
+        Function {
+            id,
+            name: name.into(),
+            params: Vec::new(),
+            blocks: vec![Block::default()],
+            entry: BlockId(0),
+            frame_size: 0,
+            next_vreg: 0,
+            next_op: 0,
+        }
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn new_vreg(&mut self) -> Vreg {
+        let v = Vreg(self.next_vreg);
+        self.next_vreg += 1;
+        v
+    }
+
+    /// Number of vregs allocated so far (dense-table size).
+    pub fn vreg_count(&self) -> usize {
+        self.next_vreg as usize
+    }
+
+    /// Ensure dense vreg tables cover at least `n` registers (used after
+    /// register allocation rewrites vregs to physical indexes).
+    pub fn reserve_vregs(&mut self, n: u32) {
+        self.next_vreg = self.next_vreg.max(n);
+    }
+
+    /// Allocate a fresh op id.
+    pub fn new_op_id(&mut self) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        id
+    }
+
+    /// Number of op ids allocated so far.
+    pub fn op_id_count(&self) -> usize {
+        self.next_op as usize
+    }
+
+    /// Append a new empty block and return its id.
+    pub fn add_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Tombstone a block.
+    pub fn remove_block(&mut self, b: BlockId) {
+        self.blocks[b.index()].removed = true;
+        self.blocks[b.index()].ops.clear();
+    }
+
+    /// Shared access to a block.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Ids of all live (non-tombstoned) blocks.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.removed)
+            .map(|(i, _)| BlockId(i as u32))
+    }
+
+    /// Clone an op, assigning it a fresh id (provenance-preserving copy for
+    /// tail duplication, peeling, unrolling, inlining).
+    pub fn clone_op(&mut self, op: &Op) -> Op {
+        let mut c = op.clone();
+        c.id = self.new_op_id();
+        c
+    }
+
+    /// Predecessor lists for all blocks (side exits included).
+    pub fn preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.block_ids() {
+            for s in self.block(b).succs() {
+                if !preds[s.index()].contains(&b) {
+                    preds[s.index()].push(b);
+                }
+            }
+        }
+        preds
+    }
+
+    /// Reverse postorder over live blocks reachable from entry.
+    pub fn rpo(&self) -> Vec<BlockId> {
+        let mut state = vec![0u8; self.blocks.len()]; // 0=unvisited 1=open 2=done
+        let mut post = Vec::new();
+        // Iterative DFS with an explicit stack of (block, next-succ-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        state[self.entry.index()] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let succs = self.block(b).succs();
+            if *i < succs.len() {
+                let s = succs[*i];
+                *i += 1;
+                if !self.blocks[s.index()].removed && state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Tombstone blocks unreachable from entry. Returns how many died.
+    pub fn remove_unreachable(&mut self) -> usize {
+        let reach = self.rpo();
+        let mut live = vec![false; self.blocks.len()];
+        for b in &reach {
+            live[b.index()] = true;
+        }
+        let mut n = 0;
+        for (i, blk) in self.blocks.iter_mut().enumerate() {
+            if !live[i] && !blk.removed {
+                blk.removed = true;
+                blk.ops.clear();
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Total op count over live blocks (static code size proxy).
+    pub fn op_count(&self) -> usize {
+        self.block_ids().map(|b| self.block(b).ops.len()).sum()
+    }
+
+    /// Retarget every branch in the function from `from` to `to`.
+    pub fn retarget_all(&mut self, from: BlockId, to: BlockId) {
+        for blk in &mut self.blocks {
+            if blk.removed {
+                continue;
+            }
+            for op in &mut blk.ops {
+                op.retarget(from, to);
+            }
+        }
+    }
+}
+
+/// A global variable with optional initializer bytes (little-endian).
+#[derive(Clone, Debug)]
+pub struct Global {
+    /// Source name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Initializer; zero-filled beyond its length.
+    pub init: Vec<u8>,
+    /// Assigned runtime address (set by [`Program::assign_layout`]).
+    pub addr: u64,
+}
+
+/// A whole program: functions, globals, and interprocedural side tables.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// All functions; [`FuncId`] indexes this.
+    pub funcs: Vec<Function>,
+    /// All globals; [`GlobalId`] indexes this.
+    pub globals: Vec<Global>,
+    /// The entry function ("main").
+    pub entry: FuncId,
+    /// Pointer-analysis alias sets; [`Op::mem_tag`] indexes this. Set 0 is
+    /// reserved to mean "may touch any location".
+    pub alias_sets: Vec<Vec<u32>>,
+}
+
+impl Program {
+    /// Create an empty program. The entry id must be fixed up once `main`
+    /// has been added.
+    pub fn new() -> Program {
+        Program {
+            funcs: Vec::new(),
+            globals: Vec::new(),
+            entry: FuncId(0),
+            alias_sets: vec![Vec::new()],
+        }
+    }
+
+    /// Add a function shell, returning its id.
+    pub fn add_func(&mut self, name: impl Into<String>) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(Function::new(id, name));
+        id
+    }
+
+    /// Add a global, returning its id. Addresses are assigned later by
+    /// [`Program::assign_layout`].
+    pub fn add_global(&mut self, name: impl Into<String>, size: u64, init: Vec<u8>) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: name.into(),
+            size,
+            init,
+            addr: 0,
+        });
+        id
+    }
+
+    /// Shared access to a function.
+    pub fn func(&self, f: FuncId) -> &Function {
+        &self.funcs[f.index()]
+    }
+
+    /// Mutable access to a function.
+    pub fn func_mut(&mut self, f: FuncId) -> &mut Function {
+        &mut self.funcs[f.index()]
+    }
+
+    /// Find a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs.iter().find(|f| f.name == name).map(|f| f.id)
+    }
+
+    /// Assign runtime addresses to globals (8-byte aligned, starting at
+    /// [`crate::mem::GLOBAL_BASE`]).
+    pub fn assign_layout(&mut self) {
+        let mut addr = crate::mem::GLOBAL_BASE;
+        for g in &mut self.globals {
+            g.addr = addr;
+            addr += (g.size + 7) & !7;
+        }
+    }
+
+    /// Do two memory tags possibly conflict? Tag 0 (unknown) conflicts with
+    /// everything; otherwise the alias sets must share an abstract location.
+    pub fn tags_conflict(&self, a: u32, b: u32) -> bool {
+        if a == 0 || b == 0 {
+            return true;
+        }
+        let (sa, sb) = (&self.alias_sets[a as usize], &self.alias_sets[b as usize]);
+        // Sets are sorted; merge-intersect.
+        let (mut i, mut j) = (0, 0);
+        while i < sa.len() && j < sb.len() {
+            match sa[i].cmp(&sb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Register a sorted alias set, returning its tag.
+    pub fn add_alias_set(&mut self, mut locs: Vec<u32>) -> u32 {
+        locs.sort_unstable();
+        locs.dedup();
+        self.alias_sets.push(locs);
+        (self.alias_sets.len() - 1) as u32
+    }
+
+    /// Total static op count over all functions.
+    pub fn op_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.op_count()).sum()
+    }
+}
+
+impl Default for Program {
+    fn default() -> Program {
+        Program::new()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {} {:?} entry={}", self.name, self.params, self.entry)?;
+        for b in self.block_ids() {
+            let blk = self.block(b);
+            writeln!(f, "  {b}: (w={:.0}, {:?})", blk.weight, blk.origin)?;
+            for op in &blk.ops {
+                writeln!(f, "    {op}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Helper to build a `Br` op (used widely by transforms).
+pub fn mk_br(id: OpId, target: BlockId) -> Op {
+    Op::new(id, Opcode::Br, vec![], vec![Operand::Label(target)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Function {
+        // b0 -> b1, b2 ; b1 -> b3 ; b2 -> b3 ; b3 ret
+        let mut f = Function::new(FuncId(0), "d");
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        let p = f.new_vreg();
+        let mut cond = mk_br(f.new_op_id(), b1);
+        cond.guard = Some(p);
+        let t0 = mk_br(f.new_op_id(), b2);
+        f.block_mut(BlockId(0)).ops.extend([cond, t0]);
+        let t1 = mk_br(f.new_op_id(), b3);
+        f.block_mut(b1).ops.push(t1);
+        let t2 = mk_br(f.new_op_id(), b3);
+        f.block_mut(b2).ops.push(t2);
+        let r = Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![]);
+        f.block_mut(b3).ops.push(r);
+        f
+    }
+
+    #[test]
+    fn succs_and_preds() {
+        let f = diamond();
+        assert_eq!(f.block(BlockId(0)).succs(), vec![BlockId(1), BlockId(2)]);
+        let preds = f.preds();
+        assert_eq!(preds[3], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(preds[0], Vec::<BlockId>::new());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_visits_all() {
+        let f = diamond();
+        let rpo = f.rpo();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+    }
+
+    #[test]
+    fn remove_unreachable_tombstones() {
+        let mut f = diamond();
+        // orphan block
+        let b4 = f.add_block();
+        let r = Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![]);
+        f.block_mut(b4).ops.push(r);
+        assert_eq!(f.remove_unreachable(), 1);
+        assert!(f.blocks[4].removed);
+        assert_eq!(f.block_ids().count(), 4);
+    }
+
+    #[test]
+    fn alias_tag_conflicts() {
+        let mut p = Program::new();
+        let a = p.add_alias_set(vec![1, 2, 3]);
+        let b = p.add_alias_set(vec![3, 4]);
+        let c = p.add_alias_set(vec![5]);
+        assert!(p.tags_conflict(a, b));
+        assert!(!p.tags_conflict(a, c));
+        assert!(p.tags_conflict(0, c));
+        assert!(p.tags_conflict(c, 0));
+    }
+
+    #[test]
+    fn layout_assigns_aligned_addresses() {
+        let mut p = Program::new();
+        p.add_global("a", 5, vec![]);
+        p.add_global("b", 16, vec![]);
+        p.assign_layout();
+        assert_eq!(p.globals[0].addr, crate::mem::GLOBAL_BASE);
+        assert_eq!(p.globals[1].addr, crate::mem::GLOBAL_BASE + 8);
+    }
+}

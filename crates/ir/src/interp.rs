@@ -1,0 +1,599 @@
+//! Reference interpreter for the IR.
+//!
+//! Serves three roles:
+//! 1. **Semantic oracle** — the observable output (the `Out` stream) of any
+//!    correctly compiled/transformed program must match the interpreter's
+//!    output on the original program.
+//! 2. **Profiler** — collects block-entry and branch-taken counts for
+//!    profile-guided compilation (SPEC-style train/ref methodology).
+//! 3. **Debugging aid** — the interpreter understands guards, speculation
+//!    and NaT, so transformed IR can also be executed directly.
+
+use crate::mem::{func_from_addr, Memory};
+use crate::profile::Profile;
+use crate::types::{BlockId, FuncId, Opcode, Operand, Vreg};
+use crate::value::Value;
+use crate::Program;
+
+/// Why execution stopped abnormally.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Trap {
+    /// Non-speculative access to an invalid address.
+    MemFault(u64),
+    /// Integer division by zero.
+    DivByZero,
+    /// Indirect call to a non-function address.
+    BadCall(u64),
+    /// Execution exceeded the fuel limit.
+    OutOfFuel,
+    /// A deferred NaT was consumed by a non-speculative side effect.
+    NatConsumed(String),
+    /// A block ran past its last op without a terminator (verifier bug).
+    FellOffBlock(String),
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::MemFault(a) => write!(f, "memory fault at {a:#x}"),
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::BadCall(a) => write!(f, "indirect call to non-function address {a:#x}"),
+            Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::NatConsumed(w) => write!(f, "NaT consumed non-speculatively at {w}"),
+            Trap::FellOffBlock(w) => write!(f, "fell off end of block in {w}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Result of a successful run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Values emitted by `Out` ops, in order.
+    pub output: Vec<u64>,
+    /// FNV-1a checksum of the output stream.
+    pub checksum: u64,
+    /// Main's return value.
+    pub ret: u64,
+    /// Dynamic op count (guard-true executions).
+    pub ops_executed: u64,
+    /// Dynamic branch count (guard-true `Br` executions + unconditional).
+    pub branches_executed: u64,
+    /// Profile, when collection was requested.
+    pub profile: Option<Profile>,
+}
+
+/// FNV-1a over a stream of u64s.
+pub fn checksum(vals: &[u64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in vals {
+        for i in 0..8 {
+            h ^= (v >> (8 * i)) & 0xff;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Interpreter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct InterpOptions {
+    /// Maximum dynamic op executions before [`Trap::OutOfFuel`].
+    pub fuel: u64,
+    /// Collect a [`Profile`]?
+    pub collect_profile: bool,
+}
+
+impl Default for InterpOptions {
+    fn default() -> InterpOptions {
+        InterpOptions {
+            fuel: 2_000_000_000,
+            collect_profile: false,
+        }
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    regs: Vec<Value>,
+    sp: u64,
+    block: BlockId,
+    op_idx: usize,
+    ret_dst: Option<Vreg>,
+}
+
+/// Run `prog` from its entry function with the given integer arguments.
+///
+/// # Errors
+/// Returns a [`Trap`] on any runtime error (which differential tests treat
+/// as a hard failure: correct workloads never trap).
+pub fn run(prog: &Program, args: &[i64], opts: InterpOptions) -> Result<RunResult, Trap> {
+    let mut mem = Memory::new();
+    mem.init_globals(prog);
+    let mut profile = if opts.collect_profile {
+        Some(Profile::for_program(prog))
+    } else {
+        None
+    };
+    let mut output = Vec::new();
+    let mut ops_executed = 0u64;
+    let mut branches = 0u64;
+
+    let entry = prog.func(prog.entry);
+    let mut frame = Frame {
+        func: prog.entry,
+        regs: vec![Value::default(); entry.vreg_count()],
+        sp: crate::mem::STACK_TOP - ((entry.frame_size + 15) & !15),
+        block: entry.entry,
+        op_idx: 0,
+        ret_dst: None,
+    };
+    for (i, p) in entry.params.iter().enumerate() {
+        frame.regs[p.index()] = Value::new(args.get(i).copied().unwrap_or(0) as u64);
+    }
+    if let Some(p) = profile.as_mut() {
+        p.enter_block(frame.func, frame.block);
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    // ALAT model for data speculation: (frame depth, value reg) -> watched
+    // address range. Stores invalidate overlapping entries; `chk.a` hits
+    // use the speculated value, misses re-execute the load.
+    let mut alat: std::collections::HashMap<(usize, u32), (u64, u64)> =
+        std::collections::HashMap::new();
+
+    'exec: loop {
+        let func = prog.func(frame.func);
+        let blk = func.block(frame.block);
+        let Some(op) = blk.ops.get(frame.op_idx) else {
+            return Err(Trap::FellOffBlock(func.name.clone()));
+        };
+        frame.op_idx += 1;
+        ops_executed += 1;
+        if ops_executed > opts.fuel {
+            return Err(Trap::OutOfFuel);
+        }
+        // Guard check: squashed ops do nothing.
+        if let Some(g) = op.guard {
+            if !frame.regs[g.index()].is_true() {
+                continue;
+            }
+        }
+        let ev = |frame: &Frame, o: &Operand| -> Value {
+            match *o {
+                Operand::Reg(v) => frame.regs[v.index()],
+                Operand::Imm(i) => Value::new(i as u64),
+                Operand::Global(g) => Value::new(prog.globals[g.index()].addr),
+                Operand::FuncAddr(f) => Value::new(crate::mem::func_addr(f)),
+                Operand::FrameAddr(off) => Value::new(frame.sp + off),
+                Operand::Label(_) => unreachable!("label evaluated as value"),
+            }
+        };
+        match op.opcode {
+            Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::And | Opcode::Or
+            | Opcode::Xor | Opcode::Shl | Opcode::Shr | Opcode::Sar => {
+                let a = ev(&frame, &op.srcs[0]);
+                let b = ev(&frame, &op.srcs[1]);
+                frame.regs[op.dsts[0].index()] = Value::lift2(a, b, |x, y| eval_alu(op.opcode, x, y));
+            }
+            Opcode::Div | Opcode::Rem => {
+                let a = ev(&frame, &op.srcs[0]);
+                let b = ev(&frame, &op.srcs[1]);
+                if a.nat || b.nat {
+                    frame.regs[op.dsts[0].index()] = Value::NAT;
+                } else if b.bits == 0 {
+                    return Err(Trap::DivByZero);
+                } else {
+                    let (x, y) = (a.bits as i64, b.bits as i64);
+                    let r = if matches!(op.opcode, Opcode::Div) {
+                        x.wrapping_div(y)
+                    } else {
+                        x.wrapping_rem(y)
+                    };
+                    frame.regs[op.dsts[0].index()] = Value::new(r as u64);
+                }
+            }
+            Opcode::Cmp(kind) => {
+                let a = ev(&frame, &op.srcs[0]);
+                let b = ev(&frame, &op.srcs[1]);
+                // IA-64: NaT inputs clear both target predicates.
+                let (t, f_) = if a.nat || b.nat {
+                    (0u64, 0u64)
+                } else {
+                    let r = kind.eval(a.bits, b.bits);
+                    (r as u64, !r as u64)
+                };
+                frame.regs[op.dsts[0].index()] = Value::new(t);
+                if let Some(d1) = op.dsts.get(1) {
+                    frame.regs[d1.index()] = Value::new(f_);
+                }
+            }
+            Opcode::Mov => {
+                frame.regs[op.dsts[0].index()] = ev(&frame, &op.srcs[0]);
+            }
+            Opcode::Ld(size) => {
+                let addr = ev(&frame, &op.srcs[0]);
+                let v = if addr.nat {
+                    if op.spec {
+                        Value::NAT
+                    } else {
+                        return Err(Trap::NatConsumed(format!("load in {}", func.name)));
+                    }
+                } else {
+                    match mem.read(addr.bits, size.bytes()) {
+                        Ok(v) => Value::new(v),
+                        Err(fault) => {
+                            if op.spec {
+                                Value::NAT
+                            } else {
+                                return Err(Trap::MemFault(fault.addr));
+                            }
+                        }
+                    }
+                };
+                frame.regs[op.dsts[0].index()] = v;
+                if op.adv && !v.nat {
+                    let a = ev(&frame, &op.srcs[0]);
+                    if !a.nat {
+                        alat.insert((stack.len(), op.dsts[0].0), (a.bits, size.bytes()));
+                    }
+                }
+            }
+            Opcode::ChkA(size) => {
+                let key = match op.srcs[0] {
+                    Operand::Reg(v) => (stack.len(), v.0),
+                    _ => return Err(Trap::NatConsumed("chk.a of non-register".into())),
+                };
+                let v = ev(&frame, &op.srcs[0]);
+                if alat.contains_key(&key) && !v.nat {
+                    frame.regs[op.dsts[0].index()] = v;
+                } else {
+                    let addr = ev(&frame, &op.srcs[1]);
+                    if addr.nat {
+                        return Err(Trap::NatConsumed(format!("chk.a in {}", func.name)));
+                    }
+                    match mem.read(addr.bits, size.bytes()) {
+                        Ok(x) => frame.regs[op.dsts[0].index()] = Value::new(x),
+                        Err(fault) => return Err(Trap::MemFault(fault.addr)),
+                    }
+                }
+            }
+            Opcode::Chk(size) => {
+                let v = ev(&frame, &op.srcs[0]);
+                if v.nat {
+                    let addr = ev(&frame, &op.srcs[1]);
+                    if addr.nat {
+                        return Err(Trap::NatConsumed(format!("chk in {}", func.name)));
+                    }
+                    match mem.read(addr.bits, size.bytes()) {
+                        Ok(x) => frame.regs[op.dsts[0].index()] = Value::new(x),
+                        Err(fault) => return Err(Trap::MemFault(fault.addr)),
+                    }
+                } else {
+                    frame.regs[op.dsts[0].index()] = v;
+                }
+            }
+            Opcode::St(size) => {
+                let addr = ev(&frame, &op.srcs[0]);
+                let val = ev(&frame, &op.srcs[1]);
+                if addr.nat || val.nat {
+                    return Err(Trap::NatConsumed(format!("store in {}", func.name)));
+                }
+                mem.write(addr.bits, size.bytes(), val.bits)
+                    .map_err(|f| Trap::MemFault(f.addr))?;
+                // stores invalidate overlapping ALAT entries
+                let (sa, sz) = (addr.bits, size.bytes());
+                alat.retain(|_, &mut (ea, es)| sa + sz <= ea || ea + es <= sa);
+            }
+            Opcode::Br => {
+                branches += 1;
+                let target = op.srcs[0].label().expect("verified branch");
+                if let Some(p) = profile.as_mut() {
+                    p.take_branch(frame.func, frame.block, frame.op_idx - 1);
+                    p.enter_block(frame.func, target);
+                }
+                frame.block = target;
+                frame.op_idx = 0;
+            }
+            Opcode::Call => {
+                let callee = match op.srcs[0] {
+                    Operand::FuncAddr(f) => f,
+                    ref o => {
+                        let v = ev(&frame, o);
+                        if v.nat {
+                            return Err(Trap::NatConsumed(format!("call in {}", func.name)));
+                        }
+                        let target = func_from_addr(v.bits).ok_or(Trap::BadCall(v.bits))?;
+                        if let Some(p) = profile.as_mut() {
+                            p.record_call_target(frame.func, frame.block, frame.op_idx - 1, target);
+                        }
+                        target
+                    }
+                };
+                let target = prog.func(callee);
+                let mut regs = vec![Value::default(); target.vreg_count()];
+                for (i, p) in target.params.iter().enumerate() {
+                    if let Some(a) = op.srcs.get(1 + i) {
+                        regs[p.index()] = ev(&frame, a);
+                    }
+                }
+                let sp = frame.sp - ((target.frame_size + 15) & !15);
+                if sp < crate::mem::STACK_TOP - crate::mem::STACK_MAX {
+                    return Err(Trap::MemFault(sp));
+                }
+                let new = Frame {
+                    func: callee,
+                    regs,
+                    sp,
+                    block: target.entry,
+                    op_idx: 0,
+                    ret_dst: op.dsts.first().copied(),
+                };
+                if let Some(p) = profile.as_mut() {
+                    p.enter_block(callee, target.entry);
+                }
+                stack.push(std::mem::replace(&mut frame, new));
+            }
+            Opcode::Ret => {
+                let val = op
+                    .srcs
+                    .first()
+                    .map(|s| ev(&frame, s))
+                    .unwrap_or(Value::new(0));
+                match stack.pop() {
+                    Some(mut caller) => {
+                        if let Some(d) = frame.ret_dst {
+                            caller.regs[d.index()] = val;
+                        }
+                        frame = caller;
+                    }
+                    None => {
+                        if val.nat {
+                            return Err(Trap::NatConsumed("main return".into()));
+                        }
+                        return Ok(RunResult {
+                            checksum: checksum(&output),
+                            output,
+                            ret: val.bits,
+                            ops_executed,
+                            branches_executed: branches,
+                            profile,
+                        });
+                    }
+                }
+            }
+            Opcode::Alloc => {
+                let n = ev(&frame, &op.srcs[0]);
+                if n.nat {
+                    return Err(Trap::NatConsumed(format!("alloc in {}", func.name)));
+                }
+                frame.regs[op.dsts[0].index()] = Value::new(mem.alloc(n.bits));
+            }
+            Opcode::Out => {
+                let v = ev(&frame, &op.srcs[0]);
+                if v.nat {
+                    return Err(Trap::NatConsumed(format!("out in {}", func.name)));
+                }
+                output.push(v.bits);
+            }
+            Opcode::Nop => {}
+        }
+        // Falling past the last op without a control transfer is caught at
+        // the top of the loop (`ops.get` returns None -> FellOffBlock).
+        continue 'exec;
+    }
+}
+
+fn eval_alu(opcode: Opcode, a: u64, b: u64) -> u64 {
+    match opcode {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => a << (b & 63),
+        Opcode::Shr => a >> (b & 63),
+        Opcode::Sar => ((a as i64) >> (b & 63)) as u64,
+        _ => unreachable!("non-ALU opcode in eval_alu"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::types::{CmpKind, MemSize};
+
+    fn run_main(build: impl FnOnce(&mut FuncBuilder, &mut Program)) -> RunResult {
+        let mut prog = Program::new();
+        let id = prog.add_func("main");
+        let mut b = FuncBuilder::new(id, "main");
+        build(&mut b, &mut prog);
+        prog.funcs[id.index()] = b.finish();
+        prog.entry = id;
+        prog.assign_layout();
+        crate::verify::verify_program(&prog).unwrap();
+        run(&prog, &[], InterpOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let r = run_main(|b, _| {
+            let x = b.mov(6i64);
+            let y = b.binop(Opcode::Mul, x, 7i64);
+            b.out(y);
+            b.ret(Some(Operand::Reg(y)));
+        });
+        assert_eq!(r.output, vec![42]);
+        assert_eq!(r.ret, 42);
+        assert_eq!(r.checksum, checksum(&[42]));
+    }
+
+    #[test]
+    fn loop_sums() {
+        let r = run_main(|b, _| {
+            let body = b.block();
+            let done = b.block();
+            let i = b.vreg();
+            let acc = b.vreg();
+            b.mov_to(i, 0i64);
+            b.mov_to(acc, 0i64);
+            b.br(body);
+            b.switch_to(body);
+            b.binop_to(acc, Opcode::Add, acc, i);
+            b.binop_to(i, Opcode::Add, i, 1i64);
+            let p = b.cmp(CmpKind::SLt, i, 100i64);
+            b.brc(p, body);
+            b.br(done);
+            b.switch_to(done);
+            b.out(acc);
+            b.ret(None);
+        });
+        assert_eq!(r.output, vec![4950]);
+        assert!(r.branches_executed >= 100);
+    }
+
+    #[test]
+    fn memory_and_frame() {
+        let r = run_main(|b, _| {
+            let slot = b.frame_alloc(8);
+            b.store(MemSize::B8, Operand::FrameAddr(slot), 1234i64);
+            let v = b.load(MemSize::B8, Operand::FrameAddr(slot));
+            b.out(v);
+            b.ret(None);
+        });
+        assert_eq!(r.output, vec![1234]);
+    }
+
+    #[test]
+    fn calls_pass_args_and_return() {
+        let mut prog = Program::new();
+        let main_id = prog.add_func("main");
+        let add_id = prog.add_func("addfn");
+        let mut fb = FuncBuilder::new(add_id, "addfn");
+        let a = fb.param();
+        let c = fb.param();
+        let s = fb.binop(Opcode::Add, a, c);
+        fb.ret(Some(Operand::Reg(s)));
+        prog.funcs[add_id.index()] = fb.finish();
+        let mut mb = FuncBuilder::new(main_id, "main");
+        let r = mb.call(Operand::FuncAddr(add_id), &[Operand::Imm(40), Operand::Imm(2)]);
+        mb.out(r);
+        // indirect call through a register
+        let fp = mb.mov(Operand::FuncAddr(add_id));
+        let r2 = mb.call(fp, &[Operand::Imm(1), Operand::Imm(2)]);
+        mb.out(r2);
+        mb.ret(None);
+        prog.funcs[main_id.index()] = mb.finish();
+        prog.entry = main_id;
+        prog.assign_layout();
+        let res = run(&prog, &[], InterpOptions::default()).unwrap();
+        assert_eq!(res.output, vec![42, 3]);
+    }
+
+    #[test]
+    fn speculative_load_defers_and_guard_squashes() {
+        let r = run_main(|b, _| {
+            // wild speculative load -> NaT, but guarded consumer squashed
+            let addr = b.mov(0x1234i64); // unmapped
+            let d = b.vreg();
+            let mut ld = crate::Op::new(
+                crate::types::OpId(0),
+                Opcode::Ld(MemSize::B8),
+                vec![d],
+                vec![Operand::Reg(addr)],
+            );
+            ld.spec = true;
+            b.push(ld);
+            let (_p, q) = b.cmp2(CmpKind::Eq, 1i64, 1i64); // p=1, q=0
+            // (q) out d  -- squashed, so the NaT is never consumed
+            let mut out = crate::Op::new(
+                crate::types::OpId(0),
+                Opcode::Out,
+                vec![],
+                vec![Operand::Reg(d)],
+            );
+            out.guard = Some(q);
+            b.push(out);
+            b.out(7i64);
+            b.ret(None);
+        });
+        assert_eq!(r.output, vec![7]);
+    }
+
+    #[test]
+    fn nonspec_wild_load_traps() {
+        let mut prog = Program::new();
+        let id = prog.add_func("main");
+        let mut b = FuncBuilder::new(id, "main");
+        let v = b.load(MemSize::B8, Operand::Imm(0x99));
+        b.out(v);
+        b.ret(None);
+        prog.funcs[id.index()] = b.finish();
+        prog.entry = id;
+        prog.assign_layout();
+        let e = run(&prog, &[], InterpOptions::default()).unwrap_err();
+        assert_eq!(e, Trap::MemFault(0x99));
+    }
+
+    #[test]
+    fn profile_collects_counts() {
+        let mut prog = Program::new();
+        let id = prog.add_func("main");
+        let mut b = FuncBuilder::new(id, "main");
+        let body = b.block();
+        let done = b.block();
+        let i = b.vreg();
+        b.mov_to(i, 0i64);
+        b.br(body);
+        b.switch_to(body);
+        b.binop_to(i, Opcode::Add, i, 1i64);
+        let p = b.cmp(CmpKind::SLt, i, 10i64);
+        b.brc(p, body);
+        b.br(done);
+        b.switch_to(done);
+        b.ret(None);
+        prog.funcs[id.index()] = b.finish();
+        prog.entry = id;
+        prog.assign_layout();
+        let res = run(
+            &prog,
+            &[],
+            InterpOptions {
+                collect_profile: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let prof = res.profile.unwrap();
+        assert_eq!(prof.block_entries[0][body.index()], 10);
+        prof.apply(&mut prog);
+        assert_eq!(prog.func(id).block(body).weight, 10.0);
+        // the back edge was taken 9 times
+        assert_eq!(prog.func(id).block(body).ops[2].weight, 9.0);
+    }
+
+    #[test]
+    fn fuel_limit_traps() {
+        let mut prog = Program::new();
+        let id = prog.add_func("main");
+        let mut b = FuncBuilder::new(id, "main");
+        let spin = b.block();
+        b.br(spin);
+        b.switch_to(spin);
+        b.br(spin);
+        prog.funcs[id.index()] = b.finish();
+        prog.entry = id;
+        let e = run(
+            &prog,
+            &[],
+            InterpOptions {
+                fuel: 1000,
+                collect_profile: false,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(e, Trap::OutOfFuel);
+    }
+}

@@ -1,0 +1,203 @@
+//! Backward liveness analysis over virtual registers.
+//!
+//! Two subtleties of the Lcode-like IR shape this analysis:
+//!
+//! * **Predicate-guarded definitions are *may*-defs**: they do not kill
+//!   liveness (the old value survives when the guard is false).
+//! * **Blocks are extended blocks with mid-block side exits**: a value may
+//!   escape through an early side-exit branch and then be overwritten
+//!   later in the same block, so the classic block-level gen/kill
+//!   formulation is wrong — a late kill would hide the early escape.
+//!   The transfer function therefore walks the block's operations in
+//!   reverse, unioning each branch target's live-in at the branch.
+
+use crate::bitset::BitSet;
+use crate::func::Function;
+use crate::types::BlockId;
+
+/// Per-block live-in / live-out register sets.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<BitSet>,
+    live_out: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Compute liveness for all live blocks of `f`.
+    pub fn compute(f: &Function) -> Liveness {
+        let nv = f.vreg_count();
+        let nb = f.blocks.len();
+        let mut live_in = vec![BitSet::new(nv); nb];
+        let mut live_out = vec![BitSet::new(nv); nb];
+        // Iterate to fixpoint in postorder (reverse RPO) for fast
+        // convergence; the per-block transfer walks ops in reverse and
+        // merges side-exit targets' live-ins at each branch.
+        let mut order = f.rpo();
+        order.reverse();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut live = BitSet::new(nv);
+                for op in f.block(b).ops.iter().rev() {
+                    if let Some(t) = op.branch_target() {
+                        live.union_with(&live_in[t.index()]);
+                    }
+                    if op.guard.is_none() {
+                        for d in op.defs() {
+                            live.remove(d.index());
+                        }
+                    }
+                    for u in op.uses() {
+                        live.insert(u.index());
+                    }
+                }
+                // live_out (for external consumers): union of succ live-ins
+                let mut out = BitSet::new(nv);
+                for s in f.block(b).succs() {
+                    out.union_with(&live_in[s.index()]);
+                }
+                if live != live_in[b.index()] || out != live_out[b.index()] {
+                    changed = true;
+                    live_in[b.index()] = live;
+                    live_out[b.index()] = out;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &BitSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live on exit from `b` (union over successors' live-ins,
+    /// including side-exit targets).
+    pub fn live_out(&self, b: BlockId) -> &BitSet {
+        &self.live_out[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::mk_br;
+    use crate::types::{FuncId, Opcode, Operand, Vreg};
+    use crate::{Function, Op};
+
+    fn add(f: &mut Function, d: Vreg, a: Operand, b: Operand) -> Op {
+        Op::new(f.new_op_id(), Opcode::Add, vec![d], vec![a, b])
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut f = Function::new(FuncId(0), "t");
+        let b1 = f.add_block();
+        let (x, y) = (f.new_vreg(), f.new_vreg());
+        // b0: y = x + 1 ; br b1     (x live-in)
+        // b1: ret y                 (y live-in)
+        let a0 = add(&mut f, y, Operand::Reg(x), Operand::Imm(1));
+        let br = mk_br(f.new_op_id(), b1);
+        f.block_mut(crate::BlockId(0)).ops.extend([a0, br]);
+        let ret = Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![Operand::Reg(y)]);
+        f.block_mut(b1).ops.push(ret);
+        let l = Liveness::compute(&f);
+        assert!(l.live_in(crate::BlockId(0)).contains(x.index()));
+        assert!(!l.live_in(crate::BlockId(0)).contains(y.index()));
+        assert!(l.live_out(crate::BlockId(0)).contains(y.index()));
+        assert!(l.live_in(b1).contains(y.index()));
+    }
+
+    #[test]
+    fn guarded_def_does_not_kill() {
+        let mut f = Function::new(FuncId(0), "t");
+        let b1 = f.add_block();
+        let (x, p) = (f.new_vreg(), f.new_vreg());
+        // b0: (p) x = 1 ; br b1
+        // b1: ret x
+        let mut def = add(&mut f, x, Operand::Imm(1), Operand::Imm(0));
+        def.guard = Some(p);
+        let br = mk_br(f.new_op_id(), b1);
+        f.block_mut(crate::BlockId(0)).ops.extend([def, br]);
+        let ret = Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![Operand::Reg(x)]);
+        f.block_mut(b1).ops.push(ret);
+        let l = Liveness::compute(&f);
+        // x is live into b0: the guarded def may not execute.
+        assert!(l.live_in(crate::BlockId(0)).contains(x.index()));
+        assert!(l.live_in(crate::BlockId(0)).contains(p.index()));
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        let mut f = Function::new(FuncId(0), "t");
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let (i, p) = (f.new_vreg(), f.new_vreg());
+        // b0: i = 0; br b1
+        // b1: i = i + 1; p = cmp i < 10; (p) br b1; br b2
+        // b2: ret i
+        let init = add(&mut f, i, Operand::Imm(0), Operand::Imm(0));
+        let br0 = mk_br(f.new_op_id(), b1);
+        f.block_mut(crate::BlockId(0)).ops.extend([init, br0]);
+        let inc = add(&mut f, i, Operand::Reg(i), Operand::Imm(1));
+        let cmp = Op::new(
+            f.new_op_id(),
+            Opcode::Cmp(crate::types::CmpKind::SLt),
+            vec![p],
+            vec![Operand::Reg(i), Operand::Imm(10)],
+        );
+        let mut back = mk_br(f.new_op_id(), b1);
+        back.guard = Some(p);
+        let out = mk_br(f.new_op_id(), b2);
+        f.block_mut(b1).ops.extend([inc, cmp, back, out]);
+        let ret = Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![Operand::Reg(i)]);
+        f.block_mut(b2).ops.push(ret);
+        let l = Liveness::compute(&f);
+        assert!(l.live_in(b1).contains(i.index()));
+        assert!(l.live_out(b1).contains(i.index()));
+        assert!(!l.live_in(crate::BlockId(0)).contains(i.index()));
+    }
+
+    /// Regression for the miscompile found by random differential testing:
+    /// a value that escapes through an *early* side exit must stay live
+    /// into the block even when an unconditional definition *later* in the
+    /// same block kills it on the fall-through path.
+    ///
+    /// ```text
+    /// b0: v = -30 ; br b1
+    /// b1: (p) br b2        <- v escapes here
+    ///     v = 50           <- block-level kill would hide the escape
+    ///     br b2
+    /// b2: out v ; ret
+    /// ```
+    #[test]
+    fn early_side_exit_defeats_late_kill() {
+        let mut f = Function::new(FuncId(0), "t");
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let (v, p) = (f.new_vreg(), f.new_vreg());
+        let init = Op::new(
+            f.new_op_id(),
+            Opcode::Mov,
+            vec![v],
+            vec![Operand::Imm(-30)],
+        );
+        let br0 = mk_br(f.new_op_id(), b1);
+        f.block_mut(crate::BlockId(0)).ops.extend([init, br0]);
+        let mut side = mk_br(f.new_op_id(), b2);
+        side.guard = Some(p);
+        let redef = Op::new(f.new_op_id(), Opcode::Mov, vec![v], vec![Operand::Imm(50)]);
+        let term = mk_br(f.new_op_id(), b2);
+        f.block_mut(b1).ops.extend([side, redef, term]);
+        let use_v = Op::new(f.new_op_id(), Opcode::Out, vec![], vec![Operand::Reg(v)]);
+        let ret = Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![]);
+        f.block_mut(b2).ops.extend([use_v, ret]);
+        let l = Liveness::compute(&f);
+        assert!(
+            l.live_in(b1).contains(v.index()),
+            "v escapes through the side exit before the kill"
+        );
+        assert!(l.live_in(crate::BlockId(0)).contains(p.index()));
+    }
+}

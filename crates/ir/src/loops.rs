@@ -1,0 +1,250 @@
+//! Natural-loop discovery on top of the dominator tree.
+
+use crate::bitset::BitSet;
+use crate::dom::DomTree;
+use crate::func::Function;
+use crate::types::BlockId;
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop header (dominates all body blocks).
+    pub header: BlockId,
+    /// Blocks in the loop, including the header.
+    pub body: Vec<BlockId>,
+    /// Latch blocks (sources of back edges to the header).
+    pub latches: Vec<BlockId>,
+    /// Blocks *outside* the loop targeted by branches from inside.
+    pub exits: Vec<BlockId>,
+    /// Nesting depth (1 = outermost).
+    pub depth: u32,
+}
+
+impl Loop {
+    /// Is `b` in the loop body?
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+
+    /// Profile-estimated trip count: header weight divided by entries from
+    /// outside the loop. Returns `None` when the loop never runs.
+    pub fn trip_count(&self, f: &Function, preds: &[Vec<BlockId>]) -> Option<f64> {
+        let header_w = f.block(self.header).weight;
+        let outside_w: f64 = preds[self.header.index()]
+            .iter()
+            .filter(|p| !self.contains(**p))
+            .map(|p| {
+                // weight of the edge p -> header approximated by the branch
+                // taken weight, or block weight for fallthrough terminators.
+                edge_weight(f, *p, self.header)
+            })
+            .sum();
+        if outside_w <= 0.0 || header_w <= 0.0 {
+            None
+        } else {
+            Some(header_w / outside_w)
+        }
+    }
+}
+
+/// Profiled weight of CFG edge `from -> to` (sum over branch ops in `from`
+/// targeting `to`, using taken weights; an unguarded terminator contributes
+/// its own weight).
+pub fn edge_weight(f: &Function, from: BlockId, to: BlockId) -> f64 {
+    let mut w = 0.0;
+    for op in &f.block(from).ops {
+        if op.branch_target() == Some(to) {
+            w += op.weight;
+        }
+    }
+    w
+}
+
+/// All natural loops in a function, innermost-first.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    /// Loops sorted by descending depth (innermost first). Loops sharing a
+    /// header are merged.
+    pub loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Discover loops using back edges `(latch -> header)` where the header
+    /// dominates the latch.
+    pub fn compute(f: &Function, dom: &DomTree) -> LoopForest {
+        let preds = f.preds();
+        // header -> loop body set
+        let mut by_header: Vec<(BlockId, BitSet, Vec<BlockId>)> = Vec::new();
+        for b in f.block_ids() {
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            for s in f.block(b).succs() {
+                if dom.dominates(s, b) {
+                    // back edge b -> s
+                    let body = natural_loop_body(f, &preds, s, b);
+                    match by_header.iter_mut().find(|(h, _, _)| *h == s) {
+                        Some((_, set, latches)) => {
+                            set.union_with(&body);
+                            latches.push(b);
+                        }
+                        None => by_header.push((s, body, vec![b])),
+                    }
+                }
+            }
+        }
+        let mut loops: Vec<Loop> = by_header
+            .into_iter()
+            .map(|(header, set, latches)| {
+                let body: Vec<BlockId> = set.iter().map(|i| BlockId(i as u32)).collect();
+                let mut exits = Vec::new();
+                for &b in &body {
+                    for s in f.block(b).succs() {
+                        if !set.contains(s.index()) && !exits.contains(&s) {
+                            exits.push(s);
+                        }
+                    }
+                }
+                Loop {
+                    header,
+                    body,
+                    latches,
+                    exits,
+                    depth: 0,
+                }
+            })
+            .collect();
+        // Depth: number of loops containing this loop's header.
+        let contains = |l: &Loop, b: BlockId| l.body.contains(&b);
+        let depths: Vec<u32> = loops
+            .iter()
+            .map(|l| loops.iter().filter(|o| contains(o, l.header)).count() as u32)
+            .collect();
+        for (l, d) in loops.iter_mut().zip(depths) {
+            l.depth = d;
+        }
+        loops.sort_by_key(|l| std::cmp::Reverse(l.depth));
+        LoopForest { loops }
+    }
+
+    /// The innermost loop containing block `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops.iter().find(|l| l.contains(b))
+    }
+}
+
+fn natural_loop_body(
+    f: &Function,
+    preds: &[Vec<BlockId>],
+    header: BlockId,
+    latch: BlockId,
+) -> BitSet {
+    let mut body = BitSet::new(f.blocks.len());
+    body.insert(header.index());
+    let mut stack = vec![latch];
+    while let Some(b) = stack.pop() {
+        if body.insert(b.index()) {
+            for &p in &preds[b.index()] {
+                stack.push(p);
+            }
+        }
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::mk_br;
+    use crate::types::{FuncId, Opcode, OpId};
+    use crate::{Function, Op};
+
+    fn cfg(n: usize, edges: &[(u32, u32)]) -> Function {
+        let mut f = Function::new(FuncId(0), "t");
+        for _ in 1..n {
+            f.add_block();
+        }
+        let p = f.new_vreg();
+        for b in 0..n as u32 {
+            let outs: Vec<u32> = edges.iter().filter(|(s, _)| *s == b).map(|&(_, d)| d).collect();
+            let mut ops = Vec::new();
+            for (i, &d) in outs.iter().enumerate() {
+                let mut br = mk_br(f.new_op_id(), BlockId(d));
+                if i + 1 != outs.len() {
+                    br.guard = Some(p);
+                }
+                ops.push(br);
+            }
+            if outs.is_empty() {
+                ops.push(Op::new(OpId(1000 + b), Opcode::Ret, vec![], vec![]));
+            }
+            f.block_mut(BlockId(b)).ops = ops;
+        }
+        f
+    }
+
+    #[test]
+    fn single_loop() {
+        // 0 -> 1 ; 1 -> 2 ; 2 -> 1 | 3
+        let f = cfg(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let dom = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        assert_eq!(lf.loops.len(), 1);
+        let l = &lf.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert!(l.contains(BlockId(1)) && l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(0)));
+        assert_eq!(l.exits, vec![BlockId(3)]);
+        assert_eq!(l.depth, 1);
+    }
+
+    #[test]
+    fn nested_loops() {
+        // outer: 1..4, inner: 2..3
+        // 0->1; 1->2; 2->3; 3->2|4; 4->1|5
+        let f = cfg(6, &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 4), (4, 1), (4, 5)]);
+        let dom = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        assert_eq!(lf.loops.len(), 2);
+        // innermost first
+        assert_eq!(lf.loops[0].header, BlockId(2));
+        assert_eq!(lf.loops[0].depth, 2);
+        assert_eq!(lf.loops[1].header, BlockId(1));
+        assert_eq!(lf.loops[1].depth, 1);
+        assert_eq!(
+            lf.innermost_containing(BlockId(3)).unwrap().header,
+            BlockId(2)
+        );
+        assert_eq!(
+            lf.innermost_containing(BlockId(4)).unwrap().header,
+            BlockId(1)
+        );
+    }
+
+    #[test]
+    fn self_loop() {
+        let f = cfg(3, &[(0, 1), (1, 1), (1, 2)]);
+        let dom = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        assert_eq!(lf.loops.len(), 1);
+        assert_eq!(lf.loops[0].header, BlockId(1));
+        assert_eq!(lf.loops[0].body, vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn trip_count_from_weights() {
+        let mut f = cfg(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        f.block_mut(BlockId(0)).weight = 10.0;
+        f.block_mut(BlockId(1)).weight = 50.0;
+        f.block_mut(BlockId(2)).weight = 50.0;
+        // edge 0->1 weight: terminator br weight
+        let t = f.block_mut(BlockId(0)).ops.last_mut().unwrap();
+        t.weight = 10.0;
+        let dom = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        let preds = f.preds();
+        let tc = lf.loops[0].trip_count(&f, &preds).unwrap();
+        assert!((tc - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,244 @@
+//! Flat 64-bit memory model shared by the reference interpreter and the
+//! performance simulator.
+//!
+//! The address space is divided into fixed regions (all little-endian):
+//!
+//! | Region   | Range                               | Notes                      |
+//! |----------|-------------------------------------|----------------------------|
+//! | NULL     | `[0, PAGE_SIZE)`                    | never mapped (NaT page)    |
+//! | funcs    | `FUNC_ADDR_BASE + 16*FuncId`        | call targets only          |
+//! | globals  | `[GLOBAL_BASE, globals_end)`        | from program layout        |
+//! | heap     | `[HEAP_BASE, brk)`                  | bump allocation            |
+//! | stack    | `[STACK_TOP - STACK_MAX, STACK_TOP)`| grows downward             |
+//!
+//! Accesses outside every region *fault*: a non-speculative access traps
+//! (program error), while a speculative load defers to NaT — on the paper's
+//! general-speculation model such "wild loads" also traverse the page-table
+//! hierarchy at great expense (Sec. 4.3), which the simulator charges to
+//! kernel cycles.
+
+use crate::types::FuncId;
+use std::collections::HashMap;
+
+/// Page size for both the memory map and the simulated DTLB.
+pub const PAGE_SIZE: u64 = 4096;
+/// Base of the global-variable region.
+pub const GLOBAL_BASE: u64 = 0x1000_0000;
+/// Base of the heap region.
+pub const HEAP_BASE: u64 = 0x2000_0000;
+/// Heap region hard limit.
+pub const HEAP_MAX: u64 = 0x6000_0000;
+/// Top of the downward-growing stack.
+pub const STACK_TOP: u64 = 0x7FF0_0000;
+/// Maximum stack size in bytes.
+pub const STACK_MAX: u64 = 16 << 20;
+/// Base of the (unmapped) function-address region.
+pub const FUNC_ADDR_BASE: u64 = 0x0F00_0000;
+
+/// The runtime "address" of a function, used for indirect calls.
+pub fn func_addr(f: FuncId) -> u64 {
+    FUNC_ADDR_BASE + 16 * f.0 as u64
+}
+
+/// Recover a function id from an address produced by [`func_addr`].
+pub fn func_from_addr(addr: u64) -> Option<FuncId> {
+    if (FUNC_ADDR_BASE..GLOBAL_BASE).contains(&addr) && (addr - FUNC_ADDR_BASE).is_multiple_of(16) {
+        Some(FuncId(((addr - FUNC_ADDR_BASE) / 16) as u32))
+    } else {
+        None
+    }
+}
+
+/// A memory access fault (address outside every valid region).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting address.
+    pub addr: u64,
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memory fault at {:#x}", self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Sparse paged memory with region-validity checking.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Current heap break; [`HEAP_BASE`]`..brk` is valid heap.
+    pub brk: u64,
+    /// End of the global region (set from the program's layout).
+    pub globals_end: u64,
+}
+
+impl Memory {
+    /// Fresh memory with an empty heap and no globals.
+    pub fn new() -> Memory {
+        Memory {
+            pages: HashMap::new(),
+            brk: HEAP_BASE,
+            globals_end: GLOBAL_BASE,
+        }
+    }
+
+    /// Initialize globals from a program (which must already have had
+    /// [`crate::Program::assign_layout`] run).
+    pub fn init_globals(&mut self, prog: &crate::Program) {
+        let mut end = GLOBAL_BASE;
+        for g in &prog.globals {
+            end = end.max(g.addr + g.size);
+            for (i, &byte) in g.init.iter().enumerate() {
+                self.write_byte(g.addr + i as u64, byte);
+            }
+        }
+        self.globals_end = (end + PAGE_SIZE - 1) & !(PAGE_SIZE - 1);
+    }
+
+    /// Is `addr` within some valid region (mappable on demand)?
+    pub fn is_valid(&self, addr: u64) -> bool {
+        (GLOBAL_BASE..self.globals_end).contains(&addr)
+            || (HEAP_BASE..self.brk).contains(&addr)
+            || (STACK_TOP - STACK_MAX..STACK_TOP).contains(&addr)
+    }
+
+    /// Is `addr` in the architected NULL page? (The simulator gives these a
+    /// cheap 2-cycle NaT response rather than a full page walk.)
+    pub fn is_null_page(addr: u64) -> bool {
+        addr < PAGE_SIZE
+    }
+
+    /// Bump-allocate `n` bytes from the heap (16-byte aligned), returning
+    /// the base address.
+    ///
+    /// # Panics
+    /// Panics if the heap region is exhausted (workloads are sized to fit).
+    pub fn alloc(&mut self, n: u64) -> u64 {
+        let base = self.brk;
+        let n = (n.max(1) + 15) & !15;
+        self.brk += n;
+        assert!(self.brk <= HEAP_MAX, "simulated heap exhausted");
+        base
+    }
+
+    fn write_byte(&mut self, addr: u64, byte: u8) {
+        let page = self
+            .pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        page[(addr % PAGE_SIZE) as usize] = byte;
+    }
+
+    fn read_byte(&self, addr: u64) -> u8 {
+        self.pages
+            .get(&(addr / PAGE_SIZE))
+            .map_or(0, |p| p[(addr % PAGE_SIZE) as usize])
+    }
+
+    /// Read `size` bytes at `addr`, zero-extended.
+    ///
+    /// # Errors
+    /// Faults if any accessed byte lies outside a valid region.
+    pub fn read(&self, addr: u64, size: u64) -> Result<u64, MemFault> {
+        for i in 0..size {
+            if !self.is_valid(addr.wrapping_add(i)) {
+                return Err(MemFault {
+                    addr: addr.wrapping_add(i),
+                });
+            }
+        }
+        let mut v = 0u64;
+        for i in (0..size).rev() {
+            v = (v << 8) | self.read_byte(addr.wrapping_add(i)) as u64;
+        }
+        Ok(v)
+    }
+
+    /// Write the low `size` bytes of `val` at `addr`.
+    ///
+    /// # Errors
+    /// Faults if any accessed byte lies outside a valid region.
+    pub fn write(&mut self, addr: u64, size: u64, val: u64) -> Result<(), MemFault> {
+        for i in 0..size {
+            if !self.is_valid(addr.wrapping_add(i)) {
+                return Err(MemFault {
+                    addr: addr.wrapping_add(i),
+                });
+            }
+        }
+        for i in 0..size {
+            self.write_byte(addr.wrapping_add(i), (val >> (8 * i)) as u8);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack_mem() -> Memory {
+        Memory::new()
+    }
+
+    #[test]
+    fn round_trip_all_sizes() {
+        let mut m = stack_mem();
+        let a = STACK_TOP - 64;
+        for size in [1u64, 2, 4, 8] {
+            m.write(a, size, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+            let v = m.read(a, size).unwrap();
+            let mask = if size == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (8 * size)) - 1
+            };
+            assert_eq!(v, 0xDEAD_BEEF_CAFE_F00D & mask);
+        }
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = stack_mem();
+        let a = STACK_TOP - PAGE_SIZE - 4; // straddles a page boundary
+        m.write(a, 8, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(m.read(a, 8).unwrap(), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn wild_access_faults() {
+        let mut m = stack_mem();
+        assert_eq!(m.read(0x1234, 8), Err(MemFault { addr: 0x1234 }));
+        assert!(m.write(0x8000_0000, 8, 1).is_err());
+        assert!(m.read(0, 1).is_err()); // NULL page
+        assert!(Memory::is_null_page(8));
+    }
+
+    #[test]
+    fn heap_alloc_extends_validity() {
+        let mut m = stack_mem();
+        assert!(!m.is_valid(HEAP_BASE));
+        let p = m.alloc(100);
+        assert_eq!(p, HEAP_BASE);
+        assert!(m.is_valid(p + 99));
+        assert!(!m.is_valid(p + 112)); // rounded to 112? 100 -> 112 aligned
+        let q = m.alloc(1);
+        assert_eq!(q, HEAP_BASE + 112);
+    }
+
+    #[test]
+    fn func_addr_round_trip() {
+        let f = FuncId(7);
+        assert_eq!(func_from_addr(func_addr(f)), Some(f));
+        assert_eq!(func_from_addr(0x42), None);
+        assert_eq!(func_from_addr(func_addr(f) + 1), None);
+    }
+
+    #[test]
+    fn uninitialized_valid_memory_reads_zero() {
+        let m = stack_mem();
+        assert_eq!(m.read(STACK_TOP - 8, 8).unwrap(), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! The [`Op`] container: one predicated, possibly speculative instruction.
+
+use crate::types::{BlockId, MemSize, OpId, Opcode, Operand, Vreg};
+use std::fmt;
+
+/// One IR operation.
+///
+/// Every operation may carry a *guard* predicate (IA-64 qualifying
+/// predicate): the operation only takes effect when the guard register holds
+/// a non-zero value. Loads may additionally be flagged *speculative*
+/// ([`Op::spec`]), giving them NaT-deferral semantics when they fault.
+#[derive(Clone, Debug)]
+pub struct Op {
+    /// Per-function unique id, preserved by scheduling, refreshed on clone.
+    pub id: OpId,
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Destination registers. `Cmp` may define two (predicate + complement);
+    /// everything else defines at most one.
+    pub dsts: Vec<Vreg>,
+    /// Source operands; see [`Opcode`] for per-opcode shapes.
+    pub srcs: Vec<Operand>,
+    /// Qualifying predicate: execute only if this vreg is non-zero.
+    pub guard: Option<Vreg>,
+    /// Control-speculative (`ld.s`): faults defer to NaT instead of trapping.
+    pub spec: bool,
+    /// Data-speculative advanced load (`ld.a`): installs an ALAT entry and
+    /// may be scheduled above possibly-conflicting stores; a `chk.a` at the
+    /// home location recovers if the entry was invalidated.
+    pub adv: bool,
+    /// Profile weight. For branches: the profiled *taken* count. Scaled by
+    /// code-duplicating transforms alongside block weights.
+    pub weight: f64,
+    /// Alias tag from pointer analysis: index into
+    /// [`crate::Program::alias_sets`]. Tag 0 means "may touch anything".
+    pub mem_tag: u32,
+}
+
+impl Op {
+    /// Create an op with no guard, not speculative, unknown aliasing.
+    pub fn new(id: OpId, opcode: Opcode, dsts: Vec<Vreg>, srcs: Vec<Operand>) -> Op {
+        Op {
+            id,
+            opcode,
+            dsts,
+            srcs,
+            guard: None,
+            spec: false,
+            adv: false,
+            weight: 0.0,
+            mem_tag: 0,
+        }
+    }
+
+    /// Is this a branch (`Br`)? Conditional iff it has a guard.
+    pub fn is_branch(&self) -> bool {
+        matches!(self.opcode, Opcode::Br)
+    }
+
+    /// Is this an *unconditional* control transfer terminating a block
+    /// (unguarded `Br`, or `Ret`)?
+    pub fn is_terminator(&self) -> bool {
+        match self.opcode {
+            Opcode::Br => self.guard.is_none(),
+            Opcode::Ret => true,
+            _ => false,
+        }
+    }
+
+    /// Branch target, if this is a `Br`.
+    pub fn branch_target(&self) -> Option<BlockId> {
+        if self.is_branch() {
+            self.srcs[0].label()
+        } else {
+            None
+        }
+    }
+
+    /// Is this a memory load (`Ld` or a check, which may re-load)?
+    pub fn is_load(&self) -> bool {
+        matches!(self.opcode, Opcode::Ld(_) | Opcode::Chk(_) | Opcode::ChkA(_))
+    }
+
+    /// Is this a memory store?
+    pub fn is_store(&self) -> bool {
+        matches!(self.opcode, Opcode::St(_))
+    }
+
+    /// Does this access memory (loads, stores, calls, allocation)?
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self.opcode,
+            Opcode::Ld(_)
+                | Opcode::St(_)
+                | Opcode::Call
+                | Opcode::Alloc
+                | Opcode::Chk(_)
+                | Opcode::ChkA(_)
+        )
+    }
+
+    /// Is this a call?
+    pub fn is_call(&self) -> bool {
+        matches!(self.opcode, Opcode::Call)
+    }
+
+    /// Memory access size, if a load/store/check.
+    pub fn mem_size(&self) -> Option<MemSize> {
+        match self.opcode {
+            Opcode::Ld(s) | Opcode::St(s) | Opcode::Chk(s) | Opcode::ChkA(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Operations whose execution must not be duplicated, reordered past
+    /// each other, or removed even if results are unused.
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self.opcode,
+            Opcode::St(_) | Opcode::Call | Opcode::Ret | Opcode::Out | Opcode::Alloc | Opcode::Br
+        )
+    }
+
+    /// May this operation be hoisted above a branch *without* control
+    /// speculation support (i.e. it can neither trap nor perform side
+    /// effects)? The destination-liveness check is the mover's burden.
+    pub fn is_safely_speculable(&self) -> bool {
+        self.opcode.is_pure()
+    }
+
+    /// Registers read by this op (sources and the guard).
+    pub fn uses(&self) -> impl Iterator<Item = Vreg> + '_ {
+        self.srcs
+            .iter()
+            .filter_map(|s| s.reg())
+            .chain(self.guard.iter().copied())
+    }
+
+    /// Registers written by this op.
+    pub fn defs(&self) -> &[Vreg] {
+        &self.dsts
+    }
+
+    /// Rewrite every register use `from` → `to` (sources and guard; not
+    /// destinations).
+    pub fn replace_use(&mut self, from: Vreg, to: Vreg) {
+        for s in &mut self.srcs {
+            if *s == Operand::Reg(from) {
+                *s = Operand::Reg(to);
+            }
+        }
+        if self.guard == Some(from) {
+            self.guard = Some(to);
+        }
+    }
+
+    /// Rewrite every branch-label operand `from` → `to`.
+    pub fn retarget(&mut self, from: BlockId, to: BlockId) {
+        for s in &mut self.srcs {
+            if *s == Operand::Label(from) {
+                *s = Operand::Label(to);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            write!(f, "({g}) ")?;
+        }
+        write!(f, "{:?}", self.opcode)?;
+        if self.spec {
+            write!(f, ".s")?;
+        }
+        if self.adv {
+            write!(f, ".a")?;
+        }
+        let mut first = true;
+        for d in &self.dsts {
+            write!(f, "{} {d}", if first { "" } else { "," })?;
+            first = false;
+        }
+        if !self.dsts.is_empty() && !self.srcs.is_empty() {
+            write!(f, " =")?;
+        }
+        first = true;
+        for s in &self.srcs {
+            write!(f, "{} {s:?}", if first { "" } else { "," })?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::CmpKind;
+
+    fn op(opcode: Opcode, dsts: Vec<Vreg>, srcs: Vec<Operand>) -> Op {
+        Op::new(OpId(0), opcode, dsts, srcs)
+    }
+
+    #[test]
+    fn terminator_classification() {
+        let uncond = op(Opcode::Br, vec![], vec![Operand::Label(BlockId(1))]);
+        assert!(uncond.is_terminator());
+        let mut cond = uncond.clone();
+        cond.guard = Some(Vreg(1));
+        assert!(!cond.is_terminator());
+        assert!(cond.is_branch());
+        assert_eq!(cond.branch_target(), Some(BlockId(1)));
+        let ret = op(Opcode::Ret, vec![], vec![]);
+        assert!(ret.is_terminator());
+    }
+
+    #[test]
+    fn uses_include_guard() {
+        let mut o = op(
+            Opcode::Add,
+            vec![Vreg(3)],
+            vec![Operand::Reg(Vreg(1)), Operand::Imm(4)],
+        );
+        o.guard = Some(Vreg(9));
+        let uses: Vec<_> = o.uses().collect();
+        assert_eq!(uses, vec![Vreg(1), Vreg(9)]);
+        assert_eq!(o.defs(), &[Vreg(3)]);
+    }
+
+    #[test]
+    fn replace_use_rewrites_guard_and_srcs() {
+        let mut o = op(
+            Opcode::Add,
+            vec![Vreg(3)],
+            vec![Operand::Reg(Vreg(1)), Operand::Reg(Vreg(1))],
+        );
+        o.guard = Some(Vreg(1));
+        o.replace_use(Vreg(1), Vreg(7));
+        assert_eq!(o.srcs, vec![Operand::Reg(Vreg(7)), Operand::Reg(Vreg(7))]);
+        assert_eq!(o.guard, Some(Vreg(7)));
+    }
+
+    #[test]
+    fn retarget_rewrites_labels() {
+        let mut o = op(Opcode::Br, vec![], vec![Operand::Label(BlockId(4))]);
+        o.retarget(BlockId(4), BlockId(9));
+        assert_eq!(o.branch_target(), Some(BlockId(9)));
+    }
+
+    #[test]
+    fn side_effect_and_speculability() {
+        assert!(op(Opcode::St(MemSize::B8), vec![], vec![]).has_side_effects());
+        assert!(!op(Opcode::Ld(MemSize::B8), vec![Vreg(0)], vec![]).has_side_effects());
+        assert!(op(Opcode::Cmp(CmpKind::Eq), vec![Vreg(0)], vec![]).is_safely_speculable());
+        assert!(!op(Opcode::Ld(MemSize::B8), vec![Vreg(0)], vec![]).is_safely_speculable());
+    }
+}

@@ -1,0 +1,114 @@
+//! Control-flow profiles: collection results and re-annotation.
+//!
+//! IMPACT's pipeline profiles the program once (on the training input) and
+//! carries the weights on the IR through every later transformation. Here,
+//! [`Profile`] is produced by the interpreter (see [`crate::interp`]) and
+//! [`Profile::apply`] writes the weights into block/op fields, after which
+//! transforms maintain them.
+
+use crate::types::{BlockId, FuncId};
+use crate::Program;
+use std::collections::HashMap;
+
+/// Execution counts gathered by a profiling run.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Per function, per block: entry count.
+    pub block_entries: Vec<Vec<u64>>,
+    /// Per function: (block, op index) -> taken count for branch ops.
+    pub branch_taken: Vec<HashMap<(u32, u32), u64>>,
+    /// Per function: (block, op index) -> callee FuncId -> count, for
+    /// *indirect* call sites (drives indirect-call promotion).
+    pub call_targets: Vec<HashMap<(u32, u32), HashMap<u32, u64>>>,
+}
+
+impl Profile {
+    /// An empty profile shaped for `prog`.
+    pub fn for_program(prog: &Program) -> Profile {
+        Profile {
+            block_entries: prog.funcs.iter().map(|f| vec![0; f.blocks.len()]).collect(),
+            branch_taken: prog.funcs.iter().map(|_| HashMap::new()).collect(),
+            call_targets: prog.funcs.iter().map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// Record an indirect call's resolved target.
+    pub fn record_call_target(&mut self, f: FuncId, b: BlockId, op_idx: usize, callee: FuncId) {
+        *self.call_targets[f.index()]
+            .entry((b.0, op_idx as u32))
+            .or_default()
+            .entry(callee.0)
+            .or_insert(0) += 1;
+    }
+
+    /// Record a block entry.
+    pub fn enter_block(&mut self, f: FuncId, b: BlockId) {
+        self.block_entries[f.index()][b.index()] += 1;
+    }
+
+    /// Record a taken branch at `(block, op index)`.
+    pub fn take_branch(&mut self, f: FuncId, b: BlockId, op_idx: usize) {
+        *self.branch_taken[f.index()]
+            .entry((b.0, op_idx as u32))
+            .or_insert(0) += 1;
+    }
+
+    /// Write the collected weights onto the program's blocks and branch ops.
+    ///
+    /// The program must have the same shape (functions/blocks/ops) as the
+    /// one profiled — i.e. call this before running any transformation.
+    pub fn apply(&self, prog: &mut Program) {
+        for (fi, f) in prog.funcs.iter_mut().enumerate() {
+            for (bi, blk) in f.blocks.iter_mut().enumerate() {
+                if blk.removed {
+                    continue;
+                }
+                blk.weight = self.block_entries[fi].get(bi).copied().unwrap_or(0) as f64;
+                for (oi, op) in blk.ops.iter_mut().enumerate() {
+                    if op.is_branch() {
+                        op.weight = self.branch_taken[fi]
+                            .get(&(bi as u32, oi as u32))
+                            .copied()
+                            .unwrap_or(0) as f64;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total block entries across the program (a cheap "did we profile
+    /// anything" signal for tests).
+    pub fn total_entries(&self) -> u64 {
+        self.block_entries.iter().flatten().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_writes_weights() {
+        let mut prog = Program::new();
+        let f = prog.add_func("main");
+        {
+            let func = prog.func_mut(f);
+            let b1 = func.add_block();
+            let mut br = crate::func::mk_br(func.new_op_id(), b1);
+            br.guard = Some(func.new_vreg());
+            let exit = crate::func::mk_br(func.new_op_id(), b1);
+            func.block_mut(BlockId(0)).ops.extend([br, exit]);
+            let ret = crate::Op::new(func.new_op_id(), crate::types::Opcode::Ret, vec![], vec![]);
+            func.block_mut(b1).ops.push(ret);
+        }
+        let mut p = Profile::for_program(&prog);
+        p.enter_block(f, BlockId(0));
+        p.enter_block(f, BlockId(1));
+        p.take_branch(f, BlockId(0), 0);
+        p.apply(&mut prog);
+        assert_eq!(prog.func(f).block(BlockId(0)).weight, 1.0);
+        assert_eq!(prog.func(f).block(BlockId(0)).ops[0].weight, 1.0);
+        assert_eq!(prog.func(f).block(BlockId(0)).ops[1].weight, 0.0);
+        assert_eq!(p.total_entries(), 2);
+    }
+}

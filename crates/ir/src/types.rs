@@ -1,0 +1,412 @@
+//! Core identifier and operand types for the Lcode-like IR.
+//!
+//! The IR is a *non-SSA*, predicated, virtual-register representation
+//! modeled on IMPACT's Lcode. Values are untyped 64-bit integers; predicate
+//! values are ordinary virtual registers holding 0 or 1.
+
+use std::fmt;
+
+/// A virtual register. Predicates are ordinary virtual registers that hold
+/// 0 (false) or 1 (true); the register allocator later decides which vregs
+/// map onto the predicate register file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vreg(pub u32);
+
+impl Vreg {
+    /// Index of this vreg, for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Vreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Vreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic/extended block id, an index into [`crate::Function::blocks`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A function id, an index into [`crate::Program::funcs`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A global variable id, an index into [`crate::Program::globals`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+impl GlobalId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A per-function unique operation id. Stable across scheduling so results
+/// can be attributed back to operations; cloned operations (tail duplication,
+/// peeling, inlining) receive fresh ids.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Memory access width. Loads zero-extend to 64 bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemSize {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemSize {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+            MemSize::B8 => 8,
+        }
+    }
+}
+
+/// Comparison kind for [`Opcode::Cmp`]. `S*` are signed, `U*` unsigned.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpKind {
+    Eq,
+    Ne,
+    SLt,
+    SLe,
+    SGt,
+    SGe,
+    ULt,
+    ULe,
+    UGt,
+    UGe,
+}
+
+impl CmpKind {
+    /// Evaluate the comparison on two 64-bit values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        let (sa, sb) = (a as i64, b as i64);
+        match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::SLt => sa < sb,
+            CmpKind::SLe => sa <= sb,
+            CmpKind::SGt => sa > sb,
+            CmpKind::SGe => sa >= sb,
+            CmpKind::ULt => a < b,
+            CmpKind::ULe => a <= b,
+            CmpKind::UGt => a > b,
+            CmpKind::UGe => a >= b,
+        }
+    }
+
+    /// The comparison computing the logical negation of `self`.
+    pub fn negate(self) -> CmpKind {
+        match self {
+            CmpKind::Eq => CmpKind::Ne,
+            CmpKind::Ne => CmpKind::Eq,
+            CmpKind::SLt => CmpKind::SGe,
+            CmpKind::SLe => CmpKind::SGt,
+            CmpKind::SGt => CmpKind::SLe,
+            CmpKind::SGe => CmpKind::SLt,
+            CmpKind::ULt => CmpKind::UGe,
+            CmpKind::ULe => CmpKind::UGt,
+            CmpKind::UGt => CmpKind::ULe,
+            CmpKind::UGe => CmpKind::ULt,
+        }
+    }
+
+    /// The comparison with the operand order swapped (`a < b` ↔ `b > a`).
+    pub fn swap(self) -> CmpKind {
+        match self {
+            CmpKind::Eq => CmpKind::Eq,
+            CmpKind::Ne => CmpKind::Ne,
+            CmpKind::SLt => CmpKind::SGt,
+            CmpKind::SLe => CmpKind::SGe,
+            CmpKind::SGt => CmpKind::SLt,
+            CmpKind::SGe => CmpKind::SLe,
+            CmpKind::ULt => CmpKind::UGt,
+            CmpKind::ULe => CmpKind::UGe,
+            CmpKind::UGt => CmpKind::ULt,
+            CmpKind::UGe => CmpKind::ULe,
+        }
+    }
+}
+
+/// Instruction opcodes. Operand shapes are documented per variant; see
+/// [`crate::Op`] for the container.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Opcode {
+    /// `dst = src0 + src1` (wrapping).
+    Add,
+    /// `dst = src0 - src1` (wrapping).
+    Sub,
+    /// `dst = src0 * src1` (wrapping). Executes on an F unit (Itanium has no
+    /// integer multiply on the I units).
+    Mul,
+    /// `dst = src0 / src1` (signed; traps on divide by zero). F unit.
+    Div,
+    /// `dst = src0 % src1` (signed; traps on divide by zero). F unit.
+    Rem,
+    /// `dst = src0 & src1`.
+    And,
+    /// `dst = src0 | src1`.
+    Or,
+    /// `dst = src0 ^ src1`.
+    Xor,
+    /// `dst = src0 << (src1 & 63)`.
+    Shl,
+    /// `dst = src0 >> (src1 & 63)` (logical).
+    Shr,
+    /// `dst = src0 >> (src1 & 63)` (arithmetic).
+    Sar,
+    /// `dst0 = (src0 <kind> src1); dst1 = !dst0` — like IA-64 `cmp`, which
+    /// writes a predicate and its complement. `dst1` is optional.
+    Cmp(CmpKind),
+    /// `dst = src0` (register, immediate, or address operand).
+    Mov,
+    /// `dst = zero_extend(mem[src0])`. With [`crate::Op::spec`] set, this is a
+    /// control-speculative load with NaT deferral semantics.
+    Ld(MemSize),
+    /// `mem[src0] = truncate(src1)`. Never speculative.
+    St(MemSize),
+    /// `goto src0` (a [`Operand::Label`]). With a guard predicate this is a
+    /// conditional branch, as on IA-64 (`(p) br.cond`).
+    Br,
+    /// `dst? = call src0(src1..)`. `src0` is a [`Operand::FuncAddr`] for
+    /// direct calls or a register for indirect calls.
+    Call,
+    /// `return src0?`.
+    Ret,
+    /// `dst = heap_alloc(src0 bytes)` — bump allocation from the runtime.
+    Alloc,
+    /// Emit `src0` to the program output stream (the observable behaviour
+    /// checked by differential tests).
+    Out,
+    /// Sentinel-speculation check: if `src0` carries a NaT, re-execute the
+    /// load from address `src1`, writing `dst`; otherwise `dst = src0`.
+    Chk(MemSize),
+    /// Data-speculation check (`chk.a`): if the ALAT entry installed by the
+    /// advanced load that produced `src0` was invalidated by an intervening
+    /// store, re-execute the load from address `src1`; else `dst = src0`.
+    ChkA(MemSize),
+    /// Machine filler; never appears before scheduling.
+    Nop,
+}
+
+impl Opcode {
+    /// True for two-source pure integer ALU arithmetic.
+    pub fn is_alu(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::Div
+                | Opcode::Rem
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Shl
+                | Opcode::Shr
+                | Opcode::Sar
+        )
+    }
+
+    /// Operations with no side effects and no trap potential (excludes
+    /// loads, which may fault, and Div/Rem, which may trap).
+    pub fn is_pure(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Shl
+                | Opcode::Shr
+                | Opcode::Sar
+                | Opcode::Cmp(_)
+                | Opcode::Mov
+        )
+    }
+}
+
+/// An instruction operand.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(Vreg),
+    /// A 64-bit immediate.
+    Imm(i64),
+    /// The runtime address of a global variable.
+    Global(GlobalId),
+    /// The runtime "address" of a function (for indirect calls).
+    FuncAddr(FuncId),
+    /// `sp + offset` within the current frame (address of a stack slot).
+    FrameAddr(u64),
+    /// A branch target.
+    Label(BlockId),
+}
+
+impl Operand {
+    /// The register, if this operand is one.
+    pub fn reg(self) -> Option<Vreg> {
+        match self {
+            Operand::Reg(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The label, if this operand is one.
+    pub fn label(self) -> Option<BlockId> {
+        match self {
+            Operand::Label(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The immediate, if this operand is one.
+    pub fn imm(self) -> Option<i64> {
+        match self {
+            Operand::Imm(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl From<Vreg> for Operand {
+    fn from(v: Vreg) -> Operand {
+        Operand::Reg(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Operand {
+        Operand::Imm(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_signed_vs_unsigned() {
+        let a = -1i64 as u64;
+        let b = 1u64;
+        assert!(CmpKind::SLt.eval(a, b));
+        assert!(!CmpKind::ULt.eval(a, b));
+        assert!(CmpKind::UGt.eval(a, b));
+    }
+
+    #[test]
+    fn cmp_negate_is_involution() {
+        for k in [
+            CmpKind::Eq,
+            CmpKind::Ne,
+            CmpKind::SLt,
+            CmpKind::SLe,
+            CmpKind::SGt,
+            CmpKind::SGe,
+            CmpKind::ULt,
+            CmpKind::ULe,
+            CmpKind::UGt,
+            CmpKind::UGe,
+        ] {
+            assert_eq!(k.negate().negate(), k);
+            // negation flips the result on arbitrary values
+            for (a, b) in [(0u64, 0u64), (1, 2), (u64::MAX, 3), (5, 5)] {
+                assert_eq!(k.eval(a, b), !k.negate().eval(a, b));
+                assert_eq!(k.eval(a, b), k.swap().eval(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = Vreg(3).into();
+        assert_eq!(o.reg(), Some(Vreg(3)));
+        let o: Operand = 42i64.into();
+        assert_eq!(o.imm(), Some(42));
+        assert_eq!(o.reg(), None);
+        assert_eq!(Operand::Label(BlockId(2)).label(), Some(BlockId(2)));
+    }
+
+    #[test]
+    fn memsize_bytes() {
+        assert_eq!(MemSize::B1.bytes(), 1);
+        assert_eq!(MemSize::B8.bytes(), 8);
+    }
+
+    #[test]
+    fn pure_excludes_traps_and_memory() {
+        assert!(Opcode::Add.is_pure());
+        assert!(!Opcode::Div.is_pure());
+        assert!(!Opcode::Ld(MemSize::B8).is_pure());
+        assert!(!Opcode::St(MemSize::B8).is_pure());
+        assert!(!Opcode::Call.is_pure());
+    }
+}

@@ -1,0 +1,76 @@
+//! Runtime values with IA-64 NaT ("not a thing") deferral bits.
+
+/// A 64-bit runtime value plus its NaT bit.
+///
+/// A speculative load that faults writes NaT into its destination; NaT
+/// propagates through computation so that a deferred exception surfaces only
+/// if the result is genuinely consumed (general speculation) or at a `chk`
+/// (sentinel speculation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Value {
+    /// The payload (garbage when `nat` is set).
+    pub bits: u64,
+    /// Deferred-exception token.
+    pub nat: bool,
+}
+
+impl Value {
+    /// A normal value.
+    pub fn new(bits: u64) -> Value {
+        Value { bits, nat: false }
+    }
+
+    /// The NaT token.
+    pub const NAT: Value = Value {
+        bits: 0,
+        nat: true,
+    };
+
+    /// Truthiness for guards and conditional branches (NaT is never true;
+    /// a NaT consumed by a *non-speculative* control decision is a deferred
+    /// exception surfacing, which callers must check separately).
+    pub fn is_true(self) -> bool {
+        !self.nat && self.bits != 0
+    }
+
+    /// Combine two inputs through a pure operator, propagating NaT.
+    pub fn lift2(a: Value, b: Value, f: impl FnOnce(u64, u64) -> u64) -> Value {
+        if a.nat || b.nat {
+            Value::NAT
+        } else {
+            Value::new(f(a.bits, b.bits))
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::new(v as u64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nat_propagates_through_lift2() {
+        let v = Value::lift2(Value::new(2), Value::NAT, |a, b| a + b);
+        assert!(v.nat);
+        let v = Value::lift2(Value::new(2), Value::new(3), |a, b| a + b);
+        assert_eq!(v, Value::new(5));
+    }
+
+    #[test]
+    fn nat_is_never_true() {
+        assert!(!Value::NAT.is_true());
+        assert!(Value::new(1).is_true());
+        assert!(!Value::new(0).is_true());
+    }
+}

@@ -1,0 +1,237 @@
+//! Structural IR verifier.
+//!
+//! Transformation passes call this after mutating a function; differential
+//! tests call it on whole programs. It enforces the block discipline
+//! (exactly one terminator, at the end), operand shapes per opcode, and
+//! label sanity.
+
+use crate::func::Function;
+use crate::op::Op;
+use crate::types::{Opcode, Operand};
+use crate::Program;
+
+/// A verification failure, with enough context to locate the bad op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError(pub String);
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a whole program.
+///
+/// # Errors
+/// Returns every violation found across all functions.
+pub fn verify_program(p: &Program) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    for f in &p.funcs {
+        if let Err(mut e) = verify_function(f) {
+            errs.append(&mut e);
+        }
+    }
+    if p.entry.index() >= p.funcs.len() {
+        errs.push(VerifyError("program entry out of range".into()));
+    }
+    for f in &p.funcs {
+        for b in f.block_ids() {
+            for op in &f.block(b).ops {
+                if op.mem_tag as usize >= p.alias_sets.len() {
+                    errs.push(VerifyError(format!(
+                        "{}: {b}: mem_tag {} out of range",
+                        f.name, op.mem_tag
+                    )));
+                }
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Verify one function.
+///
+/// # Errors
+/// Returns every violation found.
+pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    let mut err = |msg: String| errs.push(VerifyError(format!("{}: {msg}", f.name)));
+    if f.entry.index() >= f.blocks.len() || f.blocks[f.entry.index()].removed {
+        err("entry block is missing or removed".into());
+    }
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        if blk.ops.is_empty() {
+            err(format!("{b}: live block is empty"));
+            continue;
+        }
+        let last = blk.ops.len() - 1;
+        for (i, op) in blk.ops.iter().enumerate() {
+            if op.is_terminator() && i != last {
+                err(format!("{b}[{i}]: terminator {op} not at end of block"));
+            }
+            if let Err(m) = check_shape(op) {
+                err(format!("{b}[{i}]: {m}"));
+            }
+            for s in &op.srcs {
+                if let Operand::Label(t) = s {
+                    if !op.is_branch() {
+                        err(format!("{b}[{i}]: label operand on non-branch {op}"));
+                    } else if t.index() >= f.blocks.len() || f.blocks[t.index()].removed {
+                        err(format!("{b}[{i}]: branch to dead block {t}"));
+                    }
+                }
+            }
+        }
+        if !blk.ops[last].is_terminator() {
+            err(format!("{b}: does not end in a terminator"));
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+fn check_shape(op: &Op) -> Result<(), String> {
+    let (d, s) = (op.dsts.len(), op.srcs.len());
+    let want = |ok: bool, shape: &str| {
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("bad operand shape for {op} (want {shape})"))
+        }
+    };
+    if op.spec && !matches!(op.opcode, Opcode::Ld(_)) {
+        return Err(format!("spec flag on non-load {op}"));
+    }
+    if op.adv && !matches!(op.opcode, Opcode::Ld(_)) {
+        return Err(format!("adv flag on non-load {op}"));
+    }
+    match op.opcode {
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::Div
+        | Opcode::Rem
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Shl
+        | Opcode::Shr
+        | Opcode::Sar => want(d == 1 && s == 2, "1 dst, 2 srcs"),
+        Opcode::Cmp(_) => want((d == 1 || d == 2) && s == 2, "1-2 dsts, 2 srcs"),
+        Opcode::Mov => want(d == 1 && s == 1, "1 dst, 1 src"),
+        Opcode::Ld(_) => want(d == 1 && s == 1, "1 dst, 1 src"),
+        Opcode::St(_) => want(d == 0 && s == 2, "0 dsts, 2 srcs"),
+        Opcode::Br => {
+            want(d == 0 && s == 1, "0 dsts, 1 src")?;
+            if op.srcs[0].label().is_none() {
+                return Err(format!("branch without label operand: {op}"));
+            }
+            Ok(())
+        }
+        Opcode::Call => {
+            want(d <= 1 && s >= 1, "≤1 dst, ≥1 srcs")?;
+            match op.srcs[0] {
+                Operand::FuncAddr(_) | Operand::Reg(_) => Ok(()),
+                _ => Err(format!("call target must be FuncAddr or Reg: {op}")),
+            }
+        }
+        Opcode::Ret => {
+            if op.guard.is_some() {
+                return Err(format!("guarded return: {op}"));
+            }
+            want(d == 0 && s <= 1, "0 dsts, ≤1 src")
+        }
+        Opcode::Alloc => want(d == 1 && s == 1, "1 dst, 1 src"),
+        Opcode::Out => want(d == 0 && s == 1, "0 dsts, 1 src"),
+        Opcode::Chk(_) => want(d == 1 && s == 2, "1 dst, 2 srcs"),
+        Opcode::ChkA(_) => {
+            want(d == 1 && s == 2, "1 dst, 2 srcs")?;
+            if op.srcs[0].reg() != Some(op.dsts[0]) {
+                return Err(format!("chk.a must check its own destination: {op}"));
+            }
+            Ok(())
+        }
+        Opcode::Nop => want(d == 0 && s == 0, "no operands"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::mk_br;
+    use crate::types::{BlockId, FuncId, OpId, Vreg};
+    use crate::Function;
+
+    #[test]
+    fn accepts_minimal_function() {
+        let mut f = Function::new(FuncId(0), "ok");
+        let ret = Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![]);
+        f.block_mut(BlockId(0)).ops.push(ret);
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut f = Function::new(FuncId(0), "bad");
+        let add = Op::new(
+            f.new_op_id(),
+            Opcode::Add,
+            vec![Vreg(0)],
+            vec![Operand::Imm(1), Operand::Imm(2)],
+        );
+        f.block_mut(BlockId(0)).ops.push(add);
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.0.contains("terminator")));
+    }
+
+    #[test]
+    fn rejects_mid_block_terminator() {
+        let mut f = Function::new(FuncId(0), "bad");
+        let r1 = Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![]);
+        let r2 = Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![]);
+        f.block_mut(BlockId(0)).ops.extend([r1, r2]);
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_branch_to_dead_block() {
+        let mut f = Function::new(FuncId(0), "bad");
+        let b1 = f.add_block();
+        let ret = Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![]);
+        f.block_mut(b1).ops.push(ret);
+        let br = mk_br(f.new_op_id(), b1);
+        f.block_mut(BlockId(0)).ops.push(br);
+        assert!(verify_function(&f).is_ok());
+        f.remove_block(b1);
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_spec_store_and_guarded_ret() {
+        let mut f = Function::new(FuncId(0), "bad");
+        let mut st = Op::new(
+            OpId(0),
+            Opcode::St(crate::types::MemSize::B8),
+            vec![],
+            vec![Operand::Imm(0), Operand::Imm(0)],
+        );
+        st.spec = true;
+        let mut ret = Op::new(OpId(1), Opcode::Ret, vec![], vec![]);
+        ret.guard = Some(Vreg(0));
+        f.block_mut(BlockId(0)).ops.extend([st, ret.clone()]);
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.0.contains("spec flag")));
+        // ret with guard is not a terminator, so block also fails discipline
+        assert!(errs.iter().any(|e| e.0.contains("guarded return")));
+    }
+}

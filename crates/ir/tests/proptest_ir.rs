@@ -1,0 +1,235 @@
+//! Property-based tests for the IR substrate: bitsets against a model,
+//! dominators against a naive oracle, liveness soundness, and memory
+//! round-trips.
+
+use epic_ir::bitset::BitSet;
+use epic_ir::dom::DomTree;
+use epic_ir::func::mk_br;
+use epic_ir::mem::{Memory, STACK_TOP};
+use epic_ir::{BlockId, FuncId, Function, Op, Opcode};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// BitSet agrees with a HashSet model under arbitrary operation
+    /// sequences.
+    #[test]
+    fn bitset_matches_model(ops in prop::collection::vec((0u8..4, 0usize..200), 1..200)) {
+        let mut s = BitSet::new(200);
+        let mut model: HashSet<usize> = HashSet::new();
+        for (kind, i) in ops {
+            match kind {
+                0 => {
+                    let newly = s.insert(i);
+                    prop_assert_eq!(newly, model.insert(i));
+                }
+                1 => {
+                    s.remove(i);
+                    model.remove(&i);
+                }
+                2 => prop_assert_eq!(s.contains(i), model.contains(&i)),
+                _ => prop_assert_eq!(s.count(), model.len()),
+            }
+        }
+        let got: Vec<usize> = s.iter().collect();
+        let mut want: Vec<usize> = model.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Memory reads return exactly what was written, for random
+    /// write/read sequences within the valid stack region.
+    #[test]
+    fn memory_round_trips(writes in prop::collection::vec((0u64..4096, 0usize..4, any::<u64>()), 1..100)) {
+        let sizes = [1u64, 2, 4, 8];
+        let mut mem = Memory::new();
+        let mut model: std::collections::HashMap<u64, u8> = Default::default();
+        let base = STACK_TOP - 8192;
+        for (off, szi, val) in writes {
+            let addr = base + off;
+            let size = sizes[szi];
+            mem.write(addr, size, val).unwrap();
+            for i in 0..size {
+                model.insert(addr + i, (val >> (8 * i)) as u8);
+            }
+            // read back a random earlier region
+            let got = mem.read(addr, size).unwrap();
+            let mask = if size == 8 { u64::MAX } else { (1 << (8 * size)) - 1 };
+            prop_assert_eq!(got, val & mask);
+        }
+        // full model check over bytes
+        for (&addr, &byte) in &model {
+            prop_assert_eq!(mem.read(addr, 1).unwrap(), byte as u64);
+        }
+    }
+
+    /// CHK dominators match the naive remove-a-node oracle on random CFGs.
+    #[test]
+    fn dominators_match_naive(n in 2usize..10, edges in prop::collection::vec((0u32..10, 0u32..10), 0..25)) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .chain((1..n as u32).map(|b| (b - 1, b))) // connectivity spine
+            .collect();
+        let f = build_cfg(n, &edges);
+        let dom = DomTree::compute(&f);
+        let naive = naive_dominators(&f);
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    dom.dominates(BlockId(a as u32), BlockId(b as u32)),
+                    naive[b].contains(&a),
+                    "dom({},{})", a, b
+                );
+            }
+        }
+    }
+
+    /// Liveness soundness: every register used before any definition in a
+    /// *reachable* block appears in that block's live-in set (liveness is
+    /// undefined for unreachable code, which never executes).
+    #[test]
+    fn liveness_covers_upward_exposed_uses(seed in any::<u64>()) {
+        let f = random_dataflow_cfg(seed);
+        let live = epic_ir::liveness::Liveness::compute(&f);
+        let reachable: std::collections::HashSet<BlockId> = f.rpo().into_iter().collect();
+        for b in f.block_ids().filter(|b| reachable.contains(b)) {
+            let mut defined = HashSet::new();
+            for op in &f.block(b).ops {
+                for u in op.uses() {
+                    if !defined.contains(&u) {
+                        prop_assert!(
+                            live.live_in(b).contains(u.index()),
+                            "block {} upward-exposed use {:?} missing from live-in", b, u
+                        );
+                    }
+                }
+                if op.guard.is_none() {
+                    for d in op.defs() {
+                        defined.insert(*d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn build_cfg(n: usize, edges: &[(u32, u32)]) -> Function {
+    let mut f = Function::new(FuncId(0), "t");
+    for _ in 1..n {
+        f.add_block();
+    }
+    let p = f.new_vreg();
+    for b in 0..n as u32 {
+        let outs: Vec<u32> = edges
+            .iter()
+            .filter(|(s, _)| *s == b)
+            .map(|&(_, d)| d)
+            .collect();
+        let mut ops = Vec::new();
+        for (i, &d) in outs.iter().enumerate() {
+            let mut br = mk_br(f.new_op_id(), BlockId(d));
+            if i + 1 != outs.len() {
+                br.guard = Some(p);
+            }
+            ops.push(br);
+        }
+        if outs.is_empty() {
+            ops.push(Op::new(f.new_op_id(), Opcode::Ret, vec![], vec![]));
+        }
+        f.block_mut(BlockId(b)).ops = ops;
+    }
+    f
+}
+
+fn naive_dominators(f: &Function) -> Vec<HashSet<usize>> {
+    let n = f.blocks.len();
+    let reachable = |skip: Option<usize>| -> Vec<bool> {
+        let mut seen = vec![false; n];
+        if skip == Some(f.entry.index()) {
+            return seen;
+        }
+        let mut stack = vec![f.entry];
+        seen[f.entry.index()] = true;
+        while let Some(b) = stack.pop() {
+            for s in f.block(b).succs() {
+                if Some(s.index()) != skip && !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    };
+    let base = reachable(None);
+    (0..n)
+        .map(|b| {
+            let mut doms = HashSet::new();
+            if !base[b] {
+                return doms;
+            }
+            for a in 0..n {
+                if a == b {
+                    doms.insert(a);
+                } else if base[a] && !reachable(Some(a))[b] {
+                    doms.insert(a);
+                }
+            }
+            doms
+        })
+        .collect()
+}
+
+/// A random multi-block function with real dataflow (for liveness).
+fn random_dataflow_cfg(seed: u64) -> Function {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) as u32
+    };
+    let mut f = Function::new(FuncId(0), "t");
+    let nblocks = 2 + (next() % 5) as usize;
+    for _ in 1..nblocks {
+        f.add_block();
+    }
+    let nregs = 3 + (next() % 6);
+    let regs: Vec<_> = (0..nregs).map(|_| f.new_vreg()).collect();
+    for b in 0..nblocks {
+        let mut ops = Vec::new();
+        for _ in 0..(next() % 6) {
+            let d = regs[(next() % nregs) as usize];
+            let a = regs[(next() % nregs) as usize];
+            let c = regs[(next() % nregs) as usize];
+            let mut op = Op::new(
+                f.new_op_id(),
+                Opcode::Add,
+                vec![d],
+                vec![epic_ir::Operand::Reg(a), epic_ir::Operand::Reg(c)],
+            );
+            if next() % 4 == 0 {
+                op.guard = Some(regs[(next() % nregs) as usize]);
+            }
+            ops.push(op);
+        }
+        // terminator: branch to a random block or return
+        if next() % 4 == 0 || nblocks == 1 {
+            let val = regs[(next() % nregs) as usize];
+            ops.push(Op::new(
+                f.new_op_id(),
+                Opcode::Ret,
+                vec![],
+                vec![epic_ir::Operand::Reg(val)],
+            ));
+        } else {
+            let t = BlockId(next() % nblocks as u32);
+            if next() % 2 == 0 {
+                let mut c = mk_br(f.new_op_id(), BlockId(next() % nblocks as u32));
+                c.guard = Some(regs[(next() % nregs) as usize]);
+                ops.push(c);
+            }
+            ops.push(mk_br(f.new_op_id(), t));
+        }
+        f.block_mut(BlockId(b as u32)).ops = ops;
+    }
+    f
+}

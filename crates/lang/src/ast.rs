@@ -1,0 +1,142 @@
+//! MiniC abstract syntax tree.
+
+/// A surface type expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeExpr {
+    /// `int` — 64-bit signed integer (also used for raw addresses).
+    Int,
+    /// `byte` — 8-bit unsigned; loads zero-extend.
+    Byte,
+    /// `*T`.
+    Ptr(Box<TypeExpr>),
+    /// `[T; N]`.
+    Array(Box<TypeExpr>, u64),
+    /// A named struct.
+    Named(String),
+}
+
+/// Binary operators (short-circuit `&&`/`||` are desugared in the parser to
+/// [`Expr::And`] / [`Expr::Or`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// An expression, tagged with the source line for diagnostics.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Variable / global / function reference.
+    Ident(String),
+    /// `a <op> b`.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `a && b`.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit `a || b`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `-a`.
+    Neg(Box<Expr>),
+    /// `!a` (logical not, yields 0/1).
+    Not(Box<Expr>),
+    /// `~a` (bitwise not).
+    BitNot(Box<Expr>),
+    /// `*a` (load through pointer).
+    Deref(Box<Expr>),
+    /// `&lvalue`.
+    Addr(Box<Expr>),
+    /// `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `a.f` (auto-derefs one pointer level).
+    Field(Box<Expr>, String),
+    /// Direct call `f(args)`; `f` must name a function or builtin.
+    Call(String, Vec<Expr>),
+    /// `e as T` (reinterpret; `as byte` masks to 8 bits).
+    Cast(Box<Expr>, TypeExpr),
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `let x: T = e;` (type optional when inferable from `e`).
+    Let {
+        name: String,
+        ty: Option<TypeExpr>,
+        init: Expr,
+        line: u32,
+    },
+    /// `lvalue = e;`
+    Assign { lhs: Expr, rhs: Expr, line: u32 },
+    /// `if c { .. } else { .. }`.
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    /// `while c { .. }`.
+    While { cond: Expr, body: Vec<Stmt> },
+    Break(u32),
+    Continue(u32),
+    /// `return e?;`
+    Return(Option<Expr>, u32),
+    /// Expression statement (calls).
+    Expr(Expr),
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    pub name: String,
+    pub params: Vec<(String, TypeExpr)>,
+    pub ret: Option<TypeExpr>,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// A struct definition.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    pub name: String,
+    pub fields: Vec<(String, TypeExpr)>,
+    pub line: u32,
+}
+
+/// A global definition with optional initializer (an int, or an array of
+/// ints filling the leading elements).
+#[derive(Clone, Debug)]
+pub struct GlobalDef {
+    pub name: String,
+    pub ty: TypeExpr,
+    pub init: Vec<i64>,
+    pub line: u32,
+}
+
+/// A whole MiniC translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Unit {
+    pub structs: Vec<StructDef>,
+    pub globals: Vec<GlobalDef>,
+    pub fns: Vec<FnDef>,
+}

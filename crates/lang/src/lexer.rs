@@ -1,0 +1,352 @@
+//! MiniC lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    // keywords
+    Fn,
+    Struct,
+    Global,
+    Let,
+    If,
+    Else,
+    While,
+    Break,
+    Continue,
+    Return,
+    As,
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,
+    Dot,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based), for diagnostics.
+#[derive(Clone, Debug)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A frontend error with a source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LangError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Tokenize MiniC source.
+///
+/// # Errors
+/// Returns an error for unterminated comments, bad characters, or malformed
+/// literals.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LangError> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    let err = |line: u32, msg: String| LangError { line, msg };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(err(start, "unterminated block comment".into()));
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let v = if c == b'0' && i + 1 < b.len() && (b[i + 1] | 32) == b'x' {
+                    i += 2;
+                    let hs = i;
+                    while i < b.len() && (b[i].is_ascii_hexdigit() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    let text: String =
+                        src[hs..i].chars().filter(|c| *c != '_').collect();
+                    i64::from_str_radix(&text, 16)
+                        .or_else(|_| u64::from_str_radix(&text, 16).map(|u| u as i64))
+                        .map_err(|_| err(line, format!("bad hex literal `{}`", &src[start..i])))?
+                } else {
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    let text: String =
+                        src[start..i].chars().filter(|c| *c != '_').collect();
+                    text.parse::<i64>()
+                        .map_err(|_| err(line, format!("bad integer literal `{text}`")))?
+                };
+                out.push(SpannedTok {
+                    tok: Tok::Int(v),
+                    line,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "fn" => Tok::Fn,
+                    "struct" => Tok::Struct,
+                    "global" => Tok::Global,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "return" => Tok::Return,
+                    "as" => Tok::As,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            b'\'' => {
+                // char literal (value = byte)
+                if i + 2 < b.len() && b[i + 1] != b'\\' && b[i + 2] == b'\'' {
+                    out.push(SpannedTok {
+                        tok: Tok::Int(b[i + 1] as i64),
+                        line,
+                    });
+                    i += 3;
+                } else if i + 3 < b.len() && b[i + 1] == b'\\' && b[i + 3] == b'\'' {
+                    let v = match b[i + 2] {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'0' => 0,
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        other => return Err(err(line, format!("bad escape `\\{}`", other as char))),
+                    };
+                    out.push(SpannedTok {
+                        tok: Tok::Int(v as i64),
+                        line,
+                    });
+                    i += 4;
+                } else {
+                    return Err(err(line, "bad char literal".into()));
+                }
+            }
+            _ => {
+                let two = |a: u8, b2: u8| i + 1 < b.len() && c == a && b[i + 1] == b2;
+                let (tok, len) = if two(b'-', b'>') {
+                    (Tok::Arrow, 2)
+                } else if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::OrOr, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::Eq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else {
+                    let t = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b',' => Tok::Comma,
+                        b';' => Tok::Semi,
+                        b':' => Tok::Colon,
+                        b'.' => Tok::Dot,
+                        b'=' => Tok::Assign,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        b'~' => Tok::Tilde,
+                        b'!' => Tok::Bang,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        other => {
+                            return Err(err(
+                                line,
+                                format!("unexpected character `{}`", other as char),
+                            ))
+                        }
+                    };
+                    (t, 1)
+                };
+                out.push(SpannedTok { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("fn foo while whilex"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::While,
+                Tok::Ident("whilex".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_hex_and_char() {
+        assert_eq!(
+            toks("42 0xFF 1_000 'A' '\\n'"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(255),
+                Tok::Int(1000),
+                Tok::Int(65),
+                Tok::Int(10),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            toks("-> << >> && || == != <= >= < >"),
+            vec![
+                Tok::Arrow,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a // comment\nb /* c\nd */ e").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+        assert_eq!(
+            ts.iter().map(|t| t.tok.clone()).collect::<Vec<_>>(),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_on_junk() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

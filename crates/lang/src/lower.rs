@@ -1,0 +1,852 @@
+//! Typed lowering from the MiniC AST to the epic-ir Lcode-like IR.
+//!
+//! Scalar locals that are never address-taken live in virtual registers;
+//! address-taken locals, arrays, and structs live in frame slots. Pointer
+//! arithmetic scales by the pointee size (C semantics); `byte` accesses use
+//! 1-byte loads/stores with zero extension.
+
+use crate::ast::*;
+use crate::lexer::LangError;
+use epic_ir::builder::FuncBuilder;
+use epic_ir::{CmpKind, FuncId, MemSize, Opcode, Operand, Program, Vreg};
+use std::collections::{HashMap, HashSet};
+
+/// A resolved MiniC type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Ty {
+    Int,
+    Byte,
+    Ptr(Box<Ty>),
+    Array(Box<Ty>, u64),
+    Struct(usize),
+}
+
+impl Ty {
+    fn is_scalar(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Byte | Ty::Ptr(_))
+    }
+
+    fn mem_size(&self) -> MemSize {
+        match self {
+            Ty::Byte => MemSize::B1,
+            _ => MemSize::B8,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct StructInfo {
+    fields: Vec<(String, Ty, u64)>,
+    size: u64,
+    align: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Local {
+    Reg(Vreg, Ty),
+    Slot(u64, Ty),
+}
+
+struct Ctx {
+    structs: Vec<StructInfo>,
+    struct_ids: HashMap<String, usize>,
+    globals: HashMap<String, (epic_ir::GlobalId, Ty)>,
+    fns: HashMap<String, (FuncId, usize, Ty)>, // id, arity, return type
+}
+
+/// Compile MiniC source into an IR [`Program`] (entry = `main`).
+///
+/// # Errors
+/// Returns the first syntax or semantic error found.
+pub fn compile(src: &str) -> Result<Program, LangError> {
+    let unit = crate::parser::parse(src)?;
+    let mut prog = Program::new();
+    let mut ctx = Ctx {
+        structs: Vec::new(),
+        struct_ids: HashMap::new(),
+        globals: HashMap::new(),
+        fns: HashMap::new(),
+    };
+    // Pass 1: struct layouts (structs may reference earlier structs by
+    // value, any struct by pointer).
+    for s in &unit.structs {
+        if ctx.struct_ids.contains_key(&s.name) {
+            return Err(err(s.line, format!("duplicate struct `{}`", s.name)));
+        }
+        // reserve the id so pointer fields can refer to it
+        let id = ctx.structs.len();
+        ctx.struct_ids.insert(s.name.clone(), id);
+        ctx.structs.push(StructInfo {
+            fields: Vec::new(),
+            size: 0,
+            align: 1,
+        });
+        let mut fields = Vec::new();
+        let mut off = 0u64;
+        let mut align = 1u64;
+        for (fname, fty) in &s.fields {
+            let ty = resolve_ty(&ctx, fty, s.line)?;
+            let (fsz, fal) = size_align(&ctx, &ty, s.line)?;
+            if fsz == u64::MAX {
+                return Err(err(s.line, format!("field `{fname}` has incomplete type")));
+            }
+            off = (off + fal - 1) & !(fal - 1);
+            fields.push((fname.clone(), ty, off));
+            off += fsz;
+            align = align.max(fal);
+        }
+        let size = (off + align - 1) & !(align - 1);
+        ctx.structs[id] = StructInfo {
+            fields,
+            size: size.max(1),
+            align,
+        };
+    }
+    // Pass 2: globals.
+    for g in &unit.globals {
+        let ty = resolve_ty(&ctx, &g.ty, g.line)?;
+        let (size, _) = size_align(&ctx, &ty, g.line)?;
+        let mut init = Vec::new();
+        let elem_size = match &ty {
+            Ty::Array(e, _) => size_align(&ctx, e, g.line)?.0,
+            _ => size,
+        };
+        for v in &g.init {
+            for i in 0..elem_size.min(8) {
+                init.push((*v >> (8 * i)) as u8);
+            }
+        }
+        if init.len() as u64 > size {
+            return Err(err(g.line, format!("initializer too large for `{}`", g.name)));
+        }
+        let id = prog.add_global(g.name.clone(), size, init);
+        if ctx.globals.insert(g.name.clone(), (id, ty)).is_some() {
+            return Err(err(g.line, format!("duplicate global `{}`", g.name)));
+        }
+    }
+    // Pass 3: function signatures.
+    for f in &unit.fns {
+        let id = prog.add_func(f.name.clone());
+        let ret = match &f.ret {
+            Some(t) => resolve_ty(&ctx, t, f.line)?,
+            None => Ty::Int,
+        };
+        if !ret.is_scalar() {
+            return Err(err(f.line, format!("`{}` must return a scalar", f.name)));
+        }
+        if ctx
+            .fns
+            .insert(f.name.clone(), (id, f.params.len(), ret))
+            .is_some()
+        {
+            return Err(err(f.line, format!("duplicate function `{}`", f.name)));
+        }
+    }
+    // Pass 4: bodies.
+    for f in &unit.fns {
+        let id = ctx.fns[&f.name].0;
+        let func = lower_fn(&ctx, f, id)?;
+        prog.funcs[id.index()] = func;
+    }
+    let main = prog
+        .func_by_name("main")
+        .ok_or_else(|| err(0, "no `main` function".into()))?;
+    prog.entry = main;
+    prog.assign_layout();
+    if let Err(errors) = epic_ir::verify::verify_program(&prog) {
+        return Err(err(0, format!("internal lowering error: {}", errors[0])));
+    }
+    Ok(prog)
+}
+
+fn err(line: u32, msg: String) -> LangError {
+    LangError { line, msg }
+}
+
+fn resolve_ty(ctx: &Ctx, t: &TypeExpr, line: u32) -> Result<Ty, LangError> {
+    Ok(match t {
+        TypeExpr::Int => Ty::Int,
+        TypeExpr::Byte => Ty::Byte,
+        TypeExpr::Ptr(inner) => Ty::Ptr(Box::new(resolve_ty(ctx, inner, line)?)),
+        TypeExpr::Array(inner, n) => Ty::Array(Box::new(resolve_ty(ctx, inner, line)?), *n),
+        TypeExpr::Named(name) => Ty::Struct(
+            *ctx.struct_ids
+                .get(name)
+                .ok_or_else(|| err(line, format!("unknown struct `{name}`")))?,
+        ),
+    })
+}
+
+#[allow(clippy::only_used_in_recursion)]
+fn size_align(ctx: &Ctx, t: &Ty, line: u32) -> Result<(u64, u64), LangError> {
+    Ok(match t {
+        Ty::Int | Ty::Ptr(_) => (8, 8),
+        Ty::Byte => (1, 1),
+        Ty::Array(e, n) => {
+            let (s, a) = size_align(ctx, e, line)?;
+            (s * n, a)
+        }
+        Ty::Struct(id) => {
+            let s = &ctx.structs[*id];
+            (s.size, s.align)
+        }
+    })
+}
+
+struct LowerFn<'a> {
+    ctx: &'a Ctx,
+    b: FuncBuilder,
+    scopes: Vec<HashMap<String, Local>>,
+    addr_taken: HashSet<String>,
+    loop_stack: Vec<(epic_ir::BlockId, epic_ir::BlockId)>, // (continue, break)
+    terminated: bool,
+}
+
+fn lower_fn(ctx: &Ctx, f: &FnDef, id: FuncId) -> Result<epic_ir::Function, LangError> {
+    let mut addr_taken = HashSet::new();
+    collect_addr_taken_stmts(&f.body, &mut addr_taken);
+    let mut lf = LowerFn {
+        ctx,
+        b: FuncBuilder::new(id, f.name.clone()),
+        scopes: vec![HashMap::new()],
+        addr_taken,
+        loop_stack: Vec::new(),
+        terminated: false,
+    };
+    for (pname, pty) in &f.params {
+        let ty = resolve_ty(ctx, pty, f.line)?;
+        if !ty.is_scalar() {
+            return Err(err(f.line, format!("parameter `{pname}` must be scalar")));
+        }
+        let v = lf.b.param();
+        if lf.addr_taken.contains(pname) {
+            let off = lf.b.frame_alloc(8);
+            lf.b.store(ty.mem_size(), Operand::FrameAddr(off), v);
+            lf.scopes[0].insert(pname.clone(), Local::Slot(off, ty));
+        } else {
+            lf.scopes[0].insert(pname.clone(), Local::Reg(v, ty));
+        }
+    }
+    lf.stmts(&f.body)?;
+    if !lf.terminated {
+        lf.b.ret(Some(Operand::Imm(0)));
+    }
+    let mut func = lf.b.finish();
+    func.remove_unreachable();
+    Ok(func)
+}
+
+fn collect_addr_taken_stmts(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Let { init, .. } => collect_addr_taken_expr(init, out),
+            Stmt::Assign { lhs, rhs, .. } => {
+                collect_addr_taken_expr(lhs, out);
+                collect_addr_taken_expr(rhs, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                collect_addr_taken_expr(cond, out);
+                collect_addr_taken_stmts(then_body, out);
+                collect_addr_taken_stmts(else_body, out);
+            }
+            Stmt::While { cond, body } => {
+                collect_addr_taken_expr(cond, out);
+                collect_addr_taken_stmts(body, out);
+            }
+            Stmt::Return(Some(e), _) => collect_addr_taken_expr(e, out),
+            Stmt::Expr(e) => collect_addr_taken_expr(e, out),
+            _ => {}
+        }
+    }
+}
+
+fn collect_addr_taken_expr(e: &Expr, out: &mut HashSet<String>) {
+    match &e.kind {
+        ExprKind::Addr(inner) => {
+            if let ExprKind::Ident(n) = &inner.kind {
+                out.insert(n.clone());
+            }
+            collect_addr_taken_expr(inner, out);
+        }
+        ExprKind::Bin(_, a, b) | ExprKind::And(a, b) | ExprKind::Or(a, b) => {
+            collect_addr_taken_expr(a, out);
+            collect_addr_taken_expr(b, out);
+        }
+        ExprKind::Neg(a)
+        | ExprKind::Not(a)
+        | ExprKind::BitNot(a)
+        | ExprKind::Deref(a)
+        | ExprKind::Cast(a, _) => collect_addr_taken_expr(a, out),
+        ExprKind::Index(a, i) => {
+            collect_addr_taken_expr(a, out);
+            collect_addr_taken_expr(i, out);
+        }
+        ExprKind::Field(a, _) => collect_addr_taken_expr(a, out),
+        ExprKind::Call(_, args) => args.iter().for_each(|a| collect_addr_taken_expr(a, out)),
+        _ => {}
+    }
+}
+
+/// An lvalue: either a register-resident scalar or a memory location.
+enum Place {
+    Reg(Vreg, Ty),
+    Mem(Operand, Ty),
+}
+
+impl<'a> LowerFn<'a> {
+    fn lookup(&self, name: &str) -> Option<Local> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .cloned()
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), LangError> {
+        self.scopes.push(HashMap::new());
+        for s in body {
+            if self.terminated {
+                // unreachable code after return/break: lower into a fresh
+                // dead block so the builder state stays consistent.
+                let dead = self.b.block();
+                self.b.switch_to(dead);
+                self.terminated = false;
+            }
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+        match s {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                line,
+            } => {
+                let (val, vty) = self.rvalue(init)?;
+                let ty = match ty {
+                    Some(t) => resolve_ty(self.ctx, t, *line)?,
+                    None => vty,
+                };
+                if !ty.is_scalar() {
+                    // struct/array local: allocate a frame slot; init must
+                    // be omitted-by-convention (we require scalar inits).
+                    return Err(err(*line, "let initializer must be scalar".into()));
+                }
+                if self.addr_taken.contains(name) {
+                    let off = self.b.frame_alloc(8);
+                    self.b.store(ty.mem_size(), Operand::FrameAddr(off), val);
+                    self.scopes
+                        .last_mut()
+                        .unwrap()
+                        .insert(name.clone(), Local::Slot(off, ty));
+                } else {
+                    let v = self.b.mov(val);
+                    self.scopes
+                        .last_mut()
+                        .unwrap()
+                        .insert(name.clone(), Local::Reg(v, ty));
+                }
+                Ok(())
+            }
+            Stmt::Assign { lhs, rhs, line } => {
+                let place = self.place(lhs)?;
+                let (val, _) = self.rvalue(rhs)?;
+                match place {
+                    Place::Reg(v, _) => self.b.mov_to(v, val),
+                    Place::Mem(addr, ty) => {
+                        if !ty.is_scalar() {
+                            return Err(err(*line, "cannot assign aggregate".into()));
+                        }
+                        self.b.store(ty.mem_size(), addr, val);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let tb = self.b.block();
+                let eb = self.b.block();
+                let join = self.b.block();
+                self.cond(cond, tb, eb)?;
+                self.b.switch_to(tb);
+                self.terminated = false;
+                self.stmts(then_body)?;
+                if !self.terminated {
+                    self.b.br(join);
+                }
+                self.b.switch_to(eb);
+                self.terminated = false;
+                self.stmts(else_body)?;
+                if !self.terminated {
+                    self.b.br(join);
+                }
+                self.b.switch_to(join);
+                self.terminated = false;
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                // Rotated ("do-while") lowering: an entry test guards the
+                // loop, and the continuation test sits at the bottom. This
+                // lets CFG merging collapse hot loops into single extended
+                // blocks, which superblock unrolling requires.
+                let entry_test = self.b.block();
+                let bodyb = self.b.block();
+                let bottom_test = self.b.block();
+                let exit = self.b.block();
+                self.b.br(entry_test);
+                self.b.switch_to(entry_test);
+                self.cond(cond, bodyb, exit)?;
+                self.b.switch_to(bodyb);
+                self.terminated = false;
+                self.loop_stack.push((bottom_test, exit));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                if !self.terminated {
+                    self.b.br(bottom_test);
+                }
+                self.b.switch_to(bottom_test);
+                self.terminated = false;
+                self.cond(cond, bodyb, exit)?;
+                self.b.switch_to(exit);
+                self.terminated = false;
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                let (_, exit) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| err(*line, "break outside loop".into()))?;
+                self.b.br(exit);
+                self.terminated = true;
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                let (head, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| err(*line, "continue outside loop".into()))?;
+                self.b.br(head);
+                self.terminated = true;
+                Ok(())
+            }
+            Stmt::Return(e, _) => {
+                let val = match e {
+                    Some(e) => Some(self.rvalue(e)?.0),
+                    None => Some(Operand::Imm(0)),
+                };
+                self.b.ret(val);
+                self.terminated = true;
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.rvalue(e)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Lower `e` as a branch: jump to `tb` when true, `fb` when false.
+    fn cond(
+        &mut self,
+        e: &Expr,
+        tb: epic_ir::BlockId,
+        fb: epic_ir::BlockId,
+    ) -> Result<(), LangError> {
+        match &e.kind {
+            ExprKind::And(a, b) => {
+                let mid = self.b.block();
+                self.cond(a, mid, fb)?;
+                self.b.switch_to(mid);
+                self.cond(b, tb, fb)
+            }
+            ExprKind::Or(a, b) => {
+                let mid = self.b.block();
+                self.cond(a, tb, mid)?;
+                self.b.switch_to(mid);
+                self.cond(b, tb, fb)
+            }
+            ExprKind::Not(a) => self.cond(a, fb, tb),
+            ExprKind::Bin(op, a, b) if cmp_kind(*op).is_some() => {
+                let (va, ta) = self.rvalue(a)?;
+                let (vb, tbt) = self.rvalue(b)?;
+                let unsigned = matches!(ta, Ty::Ptr(_)) || matches!(tbt, Ty::Ptr(_));
+                let kind = cmp_kind_for(*op, unsigned);
+                let p = self.b.cmp(kind, va, vb);
+                self.b.brc(p, tb);
+                self.b.br(fb);
+                Ok(())
+            }
+            _ => {
+                let (v, _) = self.rvalue(e)?;
+                let p = self.b.cmp(CmpKind::Ne, v, 0i64);
+                self.b.brc(p, tb);
+                self.b.br(fb);
+                Ok(())
+            }
+        }
+    }
+
+    /// Lower `e` as an lvalue.
+    fn place(&mut self, e: &Expr) -> Result<Place, LangError> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                if let Some(local) = self.lookup(name) {
+                    return Ok(match local {
+                        Local::Reg(v, ty) => Place::Reg(v, ty),
+                        Local::Slot(off, ty) => Place::Mem(Operand::FrameAddr(off), ty),
+                    });
+                }
+                if let Some((gid, ty)) = self.ctx.globals.get(name) {
+                    return Ok(Place::Mem(Operand::Global(*gid), ty.clone()));
+                }
+                Err(err(e.line, format!("unknown variable `{name}`")))
+            }
+            ExprKind::Deref(inner) => {
+                let (addr, ty) = self.rvalue(inner)?;
+                let pointee = match ty {
+                    Ty::Ptr(p) => *p,
+                    Ty::Int => Ty::Int, // permissive: *int acts as *int-as-*int
+                    _ => return Err(err(e.line, "cannot dereference non-pointer".into())),
+                };
+                Ok(Place::Mem(addr, pointee))
+            }
+            ExprKind::Index(base, idx) => {
+                let (base_addr, elem_ty) = self.index_base(base, e.line)?;
+                let (iv, _) = self.rvalue(idx)?;
+                let (esz, _) = size_align(self.ctx, &elem_ty, e.line)?;
+                let scaled = self.scale(iv, esz);
+                let addr = self.b.binop(Opcode::Add, base_addr, scaled);
+                Ok(Place::Mem(Operand::Reg(addr), elem_ty))
+            }
+            ExprKind::Field(base, fname) => {
+                let (base_addr, sid) = self.field_base(base, e.line)?;
+                let sinfo = &self.ctx.structs[sid];
+                let (_, fty, off) = sinfo
+                    .fields
+                    .iter()
+                    .find(|(n, _, _)| n == fname)
+                    .ok_or_else(|| err(e.line, format!("no field `{fname}`")))?
+                    .clone();
+                let addr = self.b.binop(Opcode::Add, base_addr, off as i64);
+                Ok(Place::Mem(Operand::Reg(addr), fty))
+            }
+            _ => Err(err(e.line, "expression is not an lvalue".into())),
+        }
+    }
+
+    /// Base address + element type for an indexing expression.
+    fn index_base(&mut self, base: &Expr, line: u32) -> Result<(Operand, Ty), LangError> {
+        // Try as a place first (arrays), else as a pointer rvalue.
+        if let Ok(p) = self.place(base) {
+            match p {
+                Place::Mem(addr, Ty::Array(e, _)) => return Ok((addr, *e)),
+                Place::Mem(addr, Ty::Ptr(e)) => {
+                    let v = self.b.load(MemSize::B8, addr);
+                    return Ok((Operand::Reg(v), *e));
+                }
+                Place::Reg(v, Ty::Ptr(e)) => return Ok((Operand::Reg(v), *e)),
+                Place::Reg(v, Ty::Int) => return Ok((Operand::Reg(v), Ty::Int)),
+                Place::Mem(addr, Ty::Int) => {
+                    let v = self.b.load(MemSize::B8, addr);
+                    return Ok((Operand::Reg(v), Ty::Int));
+                }
+                _ => return Err(err(line, "cannot index this type".into())),
+            }
+        }
+        let (v, ty) = self.rvalue(base)?;
+        match ty {
+            Ty::Ptr(e) => Ok((v, *e)),
+            Ty::Int => Ok((v, Ty::Int)),
+            _ => Err(err(line, "cannot index non-pointer".into())),
+        }
+    }
+
+    /// Base address + struct id for a field access (auto-deref one level).
+    fn field_base(&mut self, base: &Expr, line: u32) -> Result<(Operand, usize), LangError> {
+        if let Ok(p) = self.place(base) {
+            match p {
+                Place::Mem(addr, Ty::Struct(id)) => return Ok((addr, id)),
+                Place::Mem(addr, Ty::Ptr(inner)) => {
+                    if let Ty::Struct(id) = *inner {
+                        let v = self.b.load(MemSize::B8, addr);
+                        return Ok((Operand::Reg(v), id));
+                    }
+                    return Err(err(line, "field access on non-struct pointer".into()));
+                }
+                Place::Reg(v, Ty::Ptr(inner)) => {
+                    if let Ty::Struct(id) = *inner {
+                        return Ok((Operand::Reg(v), id));
+                    }
+                    return Err(err(line, "field access on non-struct pointer".into()));
+                }
+                _ => return Err(err(line, "field access on non-struct".into())),
+            }
+        }
+        let (v, ty) = self.rvalue(base)?;
+        if let Ty::Ptr(inner) = ty {
+            if let Ty::Struct(id) = *inner {
+                return Ok((v, id));
+            }
+        }
+        Err(err(line, "field access on non-struct".into()))
+    }
+
+    fn scale(&mut self, v: Operand, size: u64) -> Operand {
+        if size == 1 {
+            return v;
+        }
+        if size.is_power_of_two() {
+            Operand::Reg(
+                self.b
+                    .binop(Opcode::Shl, v, size.trailing_zeros() as i64),
+            )
+        } else {
+            Operand::Reg(self.b.binop(Opcode::Mul, v, size as i64))
+        }
+    }
+
+    /// Lower `e` as an rvalue.
+    fn rvalue(&mut self, e: &Expr) -> Result<(Operand, Ty), LangError> {
+        match &e.kind {
+            ExprKind::Int(v) => Ok((Operand::Imm(*v), Ty::Int)),
+            ExprKind::Ident(name) => {
+                // function reference?
+                if self.lookup(name).is_none() && !self.ctx.globals.contains_key(name) {
+                    if let Some((fid, _, _)) = self.ctx.fns.get(name) {
+                        return Ok((Operand::FuncAddr(*fid), Ty::Int));
+                    }
+                }
+                let p = self.place(e)?;
+                self.read_place(p, e.line)
+            }
+            ExprKind::Deref(_) | ExprKind::Index(_, _) | ExprKind::Field(_, _) => {
+                let p = self.place(e)?;
+                self.read_place(p, e.line)
+            }
+            ExprKind::Addr(inner) => {
+                let p = self.place(inner)?;
+                match p {
+                    Place::Mem(addr, ty) => {
+                        let v = self.b.mov(addr);
+                        Ok((Operand::Reg(v), Ty::Ptr(Box::new(ty))))
+                    }
+                    Place::Reg(_, _) => Err(err(
+                        e.line,
+                        "cannot take address of register variable".into(),
+                    )),
+                }
+            }
+            ExprKind::Bin(op, a, b) => self.bin(*op, a, b, e.line),
+            ExprKind::And(_, _) | ExprKind::Or(_, _) => {
+                // value context: materialize 0/1 via control flow
+                let tb = self.b.block();
+                let fb = self.b.block();
+                let join = self.b.block();
+                let r = self.b.vreg();
+                self.cond(e, tb, fb)?;
+                self.b.switch_to(tb);
+                self.b.mov_to(r, 1i64);
+                self.b.br(join);
+                self.b.switch_to(fb);
+                self.b.mov_to(r, 0i64);
+                self.b.br(join);
+                self.b.switch_to(join);
+                Ok((Operand::Reg(r), Ty::Int))
+            }
+            ExprKind::Neg(a) => {
+                let (v, _) = self.rvalue(a)?;
+                Ok((
+                    Operand::Reg(self.b.binop(Opcode::Sub, 0i64, v)),
+                    Ty::Int,
+                ))
+            }
+            ExprKind::Not(a) => {
+                let (v, _) = self.rvalue(a)?;
+                Ok((
+                    Operand::Reg(self.b.cmp(CmpKind::Eq, v, 0i64)),
+                    Ty::Int,
+                ))
+            }
+            ExprKind::BitNot(a) => {
+                let (v, _) = self.rvalue(a)?;
+                Ok((
+                    Operand::Reg(self.b.binop(Opcode::Xor, v, -1i64)),
+                    Ty::Int,
+                ))
+            }
+            ExprKind::Call(name, args) => self.call(name, args, e.line),
+            ExprKind::Cast(a, ty) => {
+                let (v, _) = self.rvalue(a)?;
+                let to = resolve_ty(self.ctx, ty, e.line)?;
+                match to {
+                    Ty::Byte => Ok((
+                        Operand::Reg(self.b.binop(Opcode::And, v, 0xFFi64)),
+                        Ty::Byte,
+                    )),
+                    other => Ok((v, other)),
+                }
+            }
+        }
+    }
+
+    fn read_place(&mut self, p: Place, line: u32) -> Result<(Operand, Ty), LangError> {
+        match p {
+            Place::Reg(v, ty) => Ok((Operand::Reg(v), ty)),
+            Place::Mem(addr, ty) => {
+                if ty.is_scalar() {
+                    let v = self.b.load(ty.mem_size(), addr);
+                    Ok((Operand::Reg(v), ty))
+                } else {
+                    // aggregate rvalue decays to its address
+                    let decayed = match &ty {
+                        Ty::Array(e, _) => Ty::Ptr(e.clone()),
+                        other => Ty::Ptr(Box::new(other.clone())),
+                    };
+                    let v = self.b.mov(addr);
+                    let _ = line;
+                    Ok((Operand::Reg(v), decayed))
+                }
+            }
+        }
+    }
+
+    fn bin(&mut self, op: BinOp, a: &Expr, b: &Expr, line: u32) -> Result<(Operand, Ty), LangError> {
+        let (va, ta) = self.rvalue(a)?;
+        let (vb, tb) = self.rvalue(b)?;
+        if cmp_kind(op).is_some() {
+            let unsigned = matches!(ta, Ty::Ptr(_)) || matches!(tb, Ty::Ptr(_));
+            let kind = cmp_kind_for(op, unsigned);
+            return Ok((Operand::Reg(self.b.cmp(kind, va, vb)), Ty::Int));
+        }
+        // pointer arithmetic scaling
+        if let (BinOp::Add | BinOp::Sub, Ty::Ptr(elem)) = (op, &ta) {
+            if !matches!(tb, Ty::Ptr(_)) {
+                let (esz, _) = size_align(self.ctx, elem, line)?;
+                let scaled = self.scale(vb, esz);
+                let opc = if op == BinOp::Add { Opcode::Add } else { Opcode::Sub };
+                return Ok((Operand::Reg(self.b.binop(opc, va, scaled)), ta.clone()));
+            }
+            // ptr - ptr: element difference
+            if op == BinOp::Sub {
+                let (esz, _) = size_align(self.ctx, elem, line)?;
+                let diff = self.b.binop(Opcode::Sub, va, vb);
+                let v = if esz == 1 {
+                    diff
+                } else if esz.is_power_of_two() {
+                    self.b
+                        .binop(Opcode::Sar, diff, esz.trailing_zeros() as i64)
+                } else {
+                    self.b.binop(Opcode::Div, diff, esz as i64)
+                };
+                return Ok((Operand::Reg(v), Ty::Int));
+            }
+        }
+        let opc = match op {
+            BinOp::Add => Opcode::Add,
+            BinOp::Sub => Opcode::Sub,
+            BinOp::Mul => Opcode::Mul,
+            BinOp::Div => Opcode::Div,
+            BinOp::Rem => Opcode::Rem,
+            BinOp::And => Opcode::And,
+            BinOp::Or => Opcode::Or,
+            BinOp::Xor => Opcode::Xor,
+            BinOp::Shl => Opcode::Shl,
+            BinOp::Shr => Opcode::Shr,
+            _ => unreachable!("comparisons handled above"),
+        };
+        let ty = if matches!(ta, Ty::Ptr(_)) { ta.clone() } else { Ty::Int };
+        Ok((Operand::Reg(self.b.binop(opc, va, vb)), ty))
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], line: u32) -> Result<(Operand, Ty), LangError> {
+        // builtins
+        match name {
+            "out" => {
+                if args.len() != 1 {
+                    return Err(err(line, "out() takes one argument".into()));
+                }
+                let (v, _) = self.rvalue(&args[0])?;
+                self.b.out(v);
+                return Ok((Operand::Imm(0), Ty::Int));
+            }
+            "alloc" => {
+                if args.len() != 1 {
+                    return Err(err(line, "alloc() takes one argument".into()));
+                }
+                let (v, _) = self.rvalue(&args[0])?;
+                let r = self.b.alloc(v);
+                return Ok((Operand::Reg(r), Ty::Int));
+            }
+            "icall" => {
+                if args.is_empty() {
+                    return Err(err(line, "icall() needs a target".into()));
+                }
+                let (fp, _) = self.rvalue(&args[0])?;
+                let mut ops = Vec::new();
+                for a in &args[1..] {
+                    ops.push(self.rvalue(a)?.0);
+                }
+                let r = self.b.call(fp, &ops);
+                return Ok((Operand::Reg(r), Ty::Int));
+            }
+            _ => {}
+        }
+        let (fid, arity, ret_ty) = self
+            .ctx
+            .fns
+            .get(name)
+            .cloned()
+            .ok_or_else(|| err(line, format!("unknown function `{name}`")))?;
+        if args.len() != arity {
+            return Err(err(
+                line,
+                format!("`{name}` expects {arity} arguments, got {}", args.len()),
+            ));
+        }
+        let mut ops = Vec::new();
+        for a in args {
+            ops.push(self.rvalue(a)?.0);
+        }
+        let r = self.b.call(Operand::FuncAddr(fid), &ops);
+        Ok((Operand::Reg(r), ret_ty))
+    }
+}
+
+fn cmp_kind(op: BinOp) -> Option<CmpKind> {
+    Some(match op {
+        BinOp::Eq => CmpKind::Eq,
+        BinOp::Ne => CmpKind::Ne,
+        BinOp::Lt => CmpKind::SLt,
+        BinOp::Le => CmpKind::SLe,
+        BinOp::Gt => CmpKind::SGt,
+        BinOp::Ge => CmpKind::SGe,
+        _ => return None,
+    })
+}
+
+fn cmp_kind_for(op: BinOp, unsigned: bool) -> CmpKind {
+    match (op, unsigned) {
+        (BinOp::Eq, _) => CmpKind::Eq,
+        (BinOp::Ne, _) => CmpKind::Ne,
+        (BinOp::Lt, false) => CmpKind::SLt,
+        (BinOp::Le, false) => CmpKind::SLe,
+        (BinOp::Gt, false) => CmpKind::SGt,
+        (BinOp::Ge, false) => CmpKind::SGe,
+        (BinOp::Lt, true) => CmpKind::ULt,
+        (BinOp::Le, true) => CmpKind::ULe,
+        (BinOp::Gt, true) => CmpKind::UGt,
+        (BinOp::Ge, true) => CmpKind::UGe,
+        _ => unreachable!("not a comparison"),
+    }
+}

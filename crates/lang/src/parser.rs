@@ -1,0 +1,544 @@
+//! MiniC recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{lex, LangError, SpannedTok, Tok};
+
+/// Parse a MiniC translation unit.
+///
+/// # Errors
+/// Returns the first syntax error with its line number.
+pub fn parse(src: &str) -> Result<Unit, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.unit()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), LangError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: String) -> LangError {
+        LangError {
+            line: self.line(),
+            msg,
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(LangError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                msg: format!("expected identifier, found {other}"),
+            }),
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit, LangError> {
+        let mut u = Unit::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => return Ok(u),
+                Tok::Struct => u.structs.push(self.struct_def()?),
+                Tok::Global => u.globals.push(self.global_def()?),
+                Tok::Fn => u.fns.push(self.fn_def()?),
+                other => return Err(self.err(format!("expected item, found {other}"))),
+            }
+        }
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, LangError> {
+        let line = self.line();
+        self.expect(&Tok::Struct)?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let fname = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            let ty = self.type_expr()?;
+            fields.push((fname, ty));
+            if !self.eat(&Tok::Comma) {
+                self.expect(&Tok::RBrace)?;
+                break;
+            }
+        }
+        Ok(StructDef { name, fields, line })
+    }
+
+    fn global_def(&mut self) -> Result<GlobalDef, LangError> {
+        let line = self.line();
+        self.expect(&Tok::Global)?;
+        let name = self.ident()?;
+        self.expect(&Tok::Colon)?;
+        let ty = self.type_expr()?;
+        let mut init = Vec::new();
+        if self.eat(&Tok::Assign) {
+            if self.eat(&Tok::LBracket) {
+                while !self.eat(&Tok::RBracket) {
+                    init.push(self.const_int()?);
+                    if !self.eat(&Tok::Comma) {
+                        self.expect(&Tok::RBracket)?;
+                        break;
+                    }
+                }
+            } else {
+                init.push(self.const_int()?);
+            }
+        }
+        self.expect(&Tok::Semi)?;
+        Ok(GlobalDef {
+            name,
+            ty,
+            init,
+            line,
+        })
+    }
+
+    fn const_int(&mut self) -> Result<i64, LangError> {
+        let neg = self.eat(&Tok::Minus);
+        match self.bump() {
+            Tok::Int(v) => Ok(if neg { v.wrapping_neg() } else { v }),
+            other => Err(self.err(format!("expected integer, found {other}"))),
+        }
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, LangError> {
+        let line = self.line();
+        self.expect(&Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        while !self.eat(&Tok::RParen) {
+            let pname = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            let ty = self.type_expr()?;
+            params.push((pname, ty));
+            if !self.eat(&Tok::Comma) {
+                self.expect(&Tok::RParen)?;
+                break;
+            }
+        }
+        let ret = if self.eat(&Tok::Arrow) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FnDef {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, LangError> {
+        match self.bump() {
+            Tok::Star => Ok(TypeExpr::Ptr(Box::new(self.type_expr()?))),
+            Tok::LBracket => {
+                let elem = self.type_expr()?;
+                self.expect(&Tok::Semi)?;
+                let n = self.const_int()?;
+                if n < 0 {
+                    return Err(self.err("negative array length".into()));
+                }
+                self.expect(&Tok::RBracket)?;
+                Ok(TypeExpr::Array(Box::new(elem), n as u64))
+            }
+            Tok::Ident(s) => match s.as_str() {
+                "int" => Ok(TypeExpr::Int),
+                "byte" => Ok(TypeExpr::Byte),
+                _ => Ok(TypeExpr::Named(s)),
+            },
+            other => Err(self.err(format!("expected type, found {other}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Let => {
+                self.bump();
+                let name = self.ident()?;
+                let ty = if self.eat(&Tok::Colon) {
+                    Some(self.type_expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Assign)?;
+                let init = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Let {
+                    name,
+                    ty,
+                    init,
+                    line,
+                })
+            }
+            Tok::If => self.if_stmt(),
+            Tok::While => {
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Break => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Break(line))
+            }
+            Tok::Continue => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Continue(line))
+            }
+            Tok::Return => {
+                self.bump();
+                let e = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return(e, line))
+            }
+            _ => {
+                let e = self.expr()?;
+                if self.eat(&Tok::Assign) {
+                    let rhs = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Assign { lhs: e, rhs, line })
+                } else {
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, LangError> {
+        self.expect(&Tok::If)?;
+        let cond = self.expr()?;
+        let then_body = self.block()?;
+        let else_body = if self.eat(&Tok::Else) {
+            if self.peek() == &Tok::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            let line = self.line();
+            self.bump();
+            let r = self.and_expr()?;
+            e = Expr {
+                kind: ExprKind::Or(Box::new(e), Box::new(r)),
+                line,
+            };
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.bin_expr(0)?;
+        while self.peek() == &Tok::AndAnd {
+            let line = self.line();
+            self.bump();
+            let r = self.bin_expr(0)?;
+            e = Expr {
+                kind: ExprKind::And(Box::new(e), Box::new(r)),
+                line,
+            };
+        }
+        Ok(e)
+    }
+
+    /// Precedence-climbing over the non-short-circuit binary operators.
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::Pipe => (BinOp::Or, 1),
+                Tok::Caret => (BinOp::Xor, 2),
+                Tok::Amp => (BinOp::And, 3),
+                Tok::Eq => (BinOp::Eq, 4),
+                Tok::Ne => (BinOp::Ne, 4),
+                Tok::Lt => (BinOp::Lt, 5),
+                Tok::Le => (BinOp::Le, 5),
+                Tok::Gt => (BinOp::Gt, 5),
+                Tok::Ge => (BinOp::Ge, 5),
+                Tok::Shl => (BinOp::Shl, 6),
+                Tok::Shr => (BinOp::Shr, 6),
+                Tok::Plus => (BinOp::Add, 7),
+                Tok::Minus => (BinOp::Sub, 7),
+                Tok::Star => (BinOp::Mul, 8),
+                Tok::Slash => (BinOp::Div, 8),
+                Tok::Percent => (BinOp::Rem, 8),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        let line = self.line();
+        let kind = match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                ExprKind::Neg(Box::new(self.unary()?))
+            }
+            Tok::Bang => {
+                self.bump();
+                ExprKind::Not(Box::new(self.unary()?))
+            }
+            Tok::Tilde => {
+                self.bump();
+                ExprKind::BitNot(Box::new(self.unary()?))
+            }
+            Tok::Star => {
+                self.bump();
+                ExprKind::Deref(Box::new(self.unary()?))
+            }
+            Tok::Amp => {
+                self.bump();
+                ExprKind::Addr(Box::new(self.unary()?))
+            }
+            _ => return self.postfix(),
+        };
+        Ok(Expr { kind, line })
+    }
+
+    fn postfix(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        line,
+                    };
+                }
+                Tok::Dot => {
+                    self.bump();
+                    let f = self.ident()?;
+                    e = Expr {
+                        kind: ExprKind::Field(Box::new(e), f),
+                        line,
+                    };
+                }
+                Tok::As => {
+                    self.bump();
+                    let ty = self.type_expr()?;
+                    e = Expr {
+                        kind: ExprKind::Cast(Box::new(e), ty),
+                        line,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr {
+                kind: ExprKind::Int(v),
+                line,
+            }),
+            Tok::Ident(name) => {
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    while !self.eat(&Tok::RParen) {
+                        args.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            self.expect(&Tok::RParen)?;
+                            break;
+                        }
+                    }
+                    Ok(Expr {
+                        kind: ExprKind::Call(name, args),
+                        line,
+                    })
+                } else {
+                    Ok(Expr {
+                        kind: ExprKind::Ident(name),
+                        line,
+                    })
+                }
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(LangError {
+                line,
+                msg: format!("expected expression, found {other}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let u = parse(
+            "fn max(a: int, b: int) -> int {
+                if a > b { return a; } else { return b; }
+            }",
+        )
+        .unwrap();
+        assert_eq!(u.fns.len(), 1);
+        assert_eq!(u.fns[0].params.len(), 2);
+        assert!(matches!(u.fns[0].body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_struct_and_global() {
+        let u = parse(
+            "struct Node { next: *Node, val: int }
+             global table: [int; 64] = [1, 2, -3];
+             global count: int = 5;",
+        )
+        .unwrap();
+        assert_eq!(u.structs[0].fields.len(), 2);
+        assert_eq!(u.globals[0].init, vec![1, 2, -3]);
+        assert_eq!(u.globals[1].init, vec![5]);
+        assert_eq!(u.globals[0].ty, TypeExpr::Array(Box::new(TypeExpr::Int), 64));
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_cmp() {
+        let u = parse("fn f() -> int { return 1 + 2 * 3 < 4; }").unwrap();
+        let Stmt::Return(Some(e), _) = &u.fns[0].body[0] else {
+            panic!()
+        };
+        let ExprKind::Bin(BinOp::Lt, l, _) = &e.kind else {
+            panic!("expected < at top, got {:?}", e.kind)
+        };
+        let ExprKind::Bin(BinOp::Add, _, r) = &l.kind else {
+            panic!()
+        };
+        assert!(matches!(r.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_postfix_chains() {
+        let u = parse("fn f(p: *Node) -> int { return p.next.val + a[i+1] as int; }").unwrap();
+        assert_eq!(u.fns.len(), 1);
+    }
+
+    #[test]
+    fn parses_while_break_continue() {
+        let u = parse(
+            "fn f() { let i = 0; while i < 10 { i = i + 1; if i == 5 { continue; } if i == 8 { break; } } }",
+        )
+        .unwrap();
+        assert!(matches!(u.fns[0].body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn error_has_line() {
+        let e = parse("fn f() {\n let x = ;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let u = parse("fn f(x: int) -> int { if x == 1 { return 1; } else if x == 2 { return 2; } else { return 3; } }").unwrap();
+        let Stmt::If { else_body, .. } = &u.fns[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn short_circuit_nodes() {
+        let u = parse("fn f(a: int, b: int) -> int { return a && b || !a; }").unwrap();
+        let Stmt::Return(Some(e), _) = &u.fns[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Or(_, _)));
+    }
+}

@@ -1,0 +1,204 @@
+//! Additional MiniC semantics tests: loop-rotation edge cases, scoping,
+//! operator corners, and struct layout.
+
+use epic_ir::interp::{run, InterpOptions};
+
+fn out(src: &str, args: &[i64]) -> Vec<u64> {
+    let prog = epic_lang::compile(src).unwrap();
+    run(&prog, args, InterpOptions::default()).unwrap().output
+}
+
+#[test]
+fn continue_reaches_the_bottom_test() {
+    // With rotated loops, `continue` must re-evaluate the condition (jump
+    // to the bottom test), not restart the body.
+    assert_eq!(
+        out(
+            "fn main() {
+                 let i = 0; let s = 0;
+                 while i < 10 {
+                     i = i + 1;
+                     if i % 2 == 0 { continue; }
+                     s = s + i;
+                 }
+                 out(s); out(i);
+             }",
+            &[]
+        ),
+        vec![25, 10]
+    );
+}
+
+#[test]
+fn zero_trip_loops_never_enter() {
+    assert_eq!(
+        out(
+            "fn main() {
+                 let n = 0;
+                 while n > 0 { n = n - 1; out(99); }
+                 out(1);
+             }",
+            &[]
+        ),
+        vec![1]
+    );
+}
+
+#[test]
+fn nested_loops_with_breaks() {
+    assert_eq!(
+        out(
+            "fn main() {
+                 let total = 0;
+                 let i = 0;
+                 while i < 5 {
+                     let j = 0;
+                     while 1 {
+                         j = j + 1;
+                         if j > i { break; }
+                         total = total + 1;
+                     }
+                     i = i + 1;
+                 }
+                 out(total);
+             }",
+            &[]
+        ),
+        vec![10] // 0+1+2+3+4
+    );
+}
+
+#[test]
+fn shadowing_in_inner_scopes() {
+    assert_eq!(
+        out(
+            "fn main() {
+                 let x = 1;
+                 if 1 { let x = 2; out(x); }
+                 out(x);
+                 let i = 0;
+                 while i < 1 { let x = 3; out(x); i = i + 1; }
+                 out(x);
+             }",
+            &[]
+        ),
+        vec![2, 1, 3, 1]
+    );
+}
+
+#[test]
+fn signed_division_semantics() {
+    // C-style truncation toward zero
+    assert_eq!(
+        out(
+            "fn main() {
+                 out(-7 / 2); out(7 / -2); out(-7 % 2); out(7 % -2);
+             }",
+            &[]
+        ),
+        vec![(-3i64) as u64, (-3i64) as u64, (-1i64) as u64, 1]
+    );
+}
+
+#[test]
+fn struct_field_offsets_respect_alignment() {
+    assert_eq!(
+        out(
+            "struct Mixed { b: byte, v: int, c: byte, w: int }
+             global m: Mixed;
+             fn main() {
+                 m.b = 1; m.v = 1000; m.c = 2; m.w = 2000;
+                 out(m.b); out(m.v); out(m.c); out(m.w);
+                 // writes must not clobber each other
+                 m.v = -1;
+                 out(m.b); out(m.c); out(m.w);
+             }",
+            &[]
+        ),
+        vec![1, 1000, 2, 2000, 1, 2, 2000]
+    );
+}
+
+#[test]
+fn arrays_of_structs_via_pointer_arithmetic() {
+    assert_eq!(
+        out(
+            "struct P { x: int, y: int }
+             fn main() {
+                 let base = alloc(160) as *P;     // 10 structs of 16 bytes
+                 let i = 0;
+                 while i < 10 {
+                     let p = base + i;            // scales by sizeof(P)
+                     p.x = i;
+                     p.y = i * i;
+                     i = i + 1;
+                 }
+                 let s = 0;
+                 i = 0;
+                 while i < 10 { s = s + (base + i).y; i = i + 1; }
+                 out(s);
+             }",
+            &[]
+        ),
+        vec![285]
+    );
+}
+
+#[test]
+fn function_addresses_compare_and_dispatch() {
+    assert_eq!(
+        out(
+            "fn a(v: int) -> int { return v + 1; }
+             fn b(v: int) -> int { return v * 2; }
+             fn main() {
+                 let f = a;
+                 out(f == a);
+                 out(f == b);
+                 f = b;
+                 out(icall(f, 21));
+             }",
+            &[]
+        ),
+        vec![1, 0, 42]
+    );
+}
+
+#[test]
+fn byte_casts_mask() {
+    assert_eq!(
+        out("fn main() { out(511 as byte); out((-1) as byte); }", &[]),
+        vec![255, 255]
+    );
+}
+
+#[test]
+fn while_condition_with_calls_evaluates_each_iteration() {
+    assert_eq!(
+        out(
+            "global n: int;
+             fn tick() -> int { n = n + 1; return n; }
+             fn main() {
+                 while tick() < 4 { }
+                 out(n);
+             }",
+            &[]
+        ),
+        vec![4]
+    );
+}
+
+#[test]
+fn globals_zero_initialized() {
+    assert_eq!(
+        out(
+            "global big: [int; 100];
+             fn main() {
+                 let s = 0; let i = 0;
+                 while i < 100 { s = s + big[i]; i = i + 1; }
+                 out(s);
+             }",
+            &[]
+        ),
+        vec![0]
+    );
+}

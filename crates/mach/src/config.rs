@@ -1,0 +1,107 @@
+//! Machine configuration shared by the scheduler and the simulator,
+//! mirroring the paper's Fig. 1 / Table 1 platform: a 1 GHz Itanium 2 with
+//! 16 KB L1I / 16 KB L1D (1 cy), 256 KB L2 (5+ cy), 3 MB L3 (12+ cy).
+
+/// Cache geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total bytes.
+    pub size: u64,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Associativity.
+    pub ways: u64,
+    /// Hit latency added on top of the inner level (cycles).
+    pub latency: u64,
+}
+
+/// Whole-machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Unified L3.
+    pub l3: CacheConfig,
+    /// Main-memory latency (cycles).
+    pub mem_latency: u64,
+    /// Branch-misprediction pipeline flush (cycles).
+    pub mispredict_penalty: u64,
+    /// Decoupling instruction buffer capacity (operations).
+    pub ib_ops: usize,
+    /// Bundles fetched per cycle.
+    pub fetch_bundles: usize,
+    /// Physical stacked general registers backing the register stack.
+    pub rse_capacity: u32,
+    /// Cycles to spill/fill one register via the RSE.
+    pub rse_cycle_per_reg: u64,
+    /// DTLB entries.
+    pub dtlb_entries: usize,
+    /// Hardware page-walk (VHPT) cost on a DTLB miss (cycles).
+    pub tlb_walk_cycles: u64,
+    /// Kernel cost of completing a *wild* speculative load under the
+    /// general speculation model: a full page-table query that cannot be
+    /// cached (paper Sec. 4.3).
+    pub wild_load_kernel_cycles: u64,
+    /// NaT-page response for NULL-page accesses (cycles).
+    pub nat_page_cycles: u64,
+    /// Cost of a `chk` that detects a deferred NaT and runs recovery
+    /// (sentinel model).
+    pub chk_recovery_cycles: u64,
+    /// Kernel cycles charged per `Out` (output syscall) and per `Alloc`.
+    pub syscall_kernel_cycles: u64,
+    /// Store-buffer forwarding conflict stall (micropipe) cycles.
+    pub store_forward_stall: u64,
+    /// Store buffer depth (entries) for forwarding-conflict detection.
+    pub store_buffer: usize,
+    /// ALAT entries (advanced-load address table, data speculation).
+    pub alat_entries: usize,
+    /// Cycles to recover from a `chk.a` ALAT miss (flush + re-execute).
+    pub alat_recovery_cycles: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            l1i: CacheConfig { size: 16 << 10, line: 64, ways: 4, latency: 1 },
+            l1d: CacheConfig { size: 16 << 10, line: 64, ways: 4, latency: 1 },
+            l2: CacheConfig { size: 256 << 10, line: 128, ways: 8, latency: 5 },
+            l3: CacheConfig { size: 3 << 20, line: 128, ways: 12, latency: 12 },
+            mem_latency: 140,
+            mispredict_penalty: 6,
+            ib_ops: 48,
+            fetch_bundles: 2,
+            rse_capacity: 96,
+            rse_cycle_per_reg: 2,
+            dtlb_entries: 128,
+            tlb_walk_cycles: 25,
+            wild_load_kernel_cycles: 160,
+            nat_page_cycles: 2,
+            chk_recovery_cycles: 40,
+            syscall_kernel_cycles: 30,
+            store_forward_stall: 4,
+            store_buffer: 16,
+            alat_entries: 32,
+            alat_recovery_cycles: 30,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let c = MachineConfig::default();
+        assert_eq!(c.l1i.size, 16 * 1024);
+        assert_eq!(c.l1d.latency, 1);
+        assert_eq!(c.l2.size, 256 * 1024);
+        assert_eq!(c.l3.size, 3 * 1024 * 1024);
+        assert_eq!(c.ib_ops, 48);
+        assert_eq!(c.rse_capacity, 96);
+    }
+}

@@ -1,0 +1,229 @@
+//! Machine-program container: scheduled, register-allocated, bundled code
+//! with a code layout, ready for the performance simulator.
+
+use crate::template::{Bundle, Slot};
+use epic_ir::{FuncId, Program};
+
+/// Bytes per bundle (IA-64: 128 bits).
+pub const BUNDLE_BYTES: u64 = 16;
+/// Base address of the code region (for I-cache indexing).
+pub const CODE_BASE: u64 = 0x0040_0000;
+
+/// One compiled function.
+#[derive(Clone, Debug)]
+pub struct MachFunc {
+    /// The IR function id this code implements.
+    pub id: FuncId,
+    /// Name (per-function attribution, Fig. 10).
+    pub name: String,
+    /// Bundles in layout order.
+    pub bundles: Vec<Bundle>,
+    /// Entry bundle index (into `bundles`).
+    pub entry: usize,
+    /// Map from IR block id to bundle index (branch target resolution).
+    pub block_entry: Vec<Option<usize>>,
+    /// General registers allocated (the RSE window size for this frame).
+    pub n_gr: u32,
+    /// Predicate registers allocated.
+    pub n_pr: u32,
+    /// Stack-frame bytes (locals + spills).
+    pub frame_size: u64,
+    /// Registers holding incoming parameters, in order.
+    pub param_regs: Vec<u32>,
+    /// Base code address (assigned by [`MachProgram::assign_addresses`]).
+    pub base_addr: u64,
+}
+
+impl MachFunc {
+    /// Address of bundle `i`.
+    pub fn bundle_addr(&self, i: usize) -> u64 {
+        self.base_addr + BUNDLE_BYTES * i as u64
+    }
+
+    /// Code size in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.bundles.len() as u64 * BUNDLE_BYTES
+    }
+
+    /// Static counts: (real ops, explicit nops).
+    pub fn op_counts(&self) -> (usize, usize) {
+        let mut ops = 0;
+        let mut nops = 0;
+        for b in &self.bundles {
+            ops += b.op_count();
+            nops += b.nop_count();
+        }
+        (ops, nops)
+    }
+}
+
+/// A whole compiled program plus the (post-optimization) IR program it was
+/// generated from — the IR side supplies globals and entry information to
+/// the simulator's memory model.
+#[derive(Clone, Debug)]
+pub struct MachProgram {
+    /// Compiled functions, indexed by [`FuncId`].
+    pub funcs: Vec<MachFunc>,
+    /// The IR program (globals, layout, entry).
+    pub ir: Program,
+}
+
+impl MachProgram {
+    /// Assign code addresses function by function in layout order.
+    pub fn assign_addresses(&mut self) {
+        let mut addr = CODE_BASE;
+        for f in &mut self.funcs {
+            f.base_addr = addr;
+            addr += f.code_bytes().max(BUNDLE_BYTES);
+        }
+    }
+
+    /// The function containing code address `addr` (for attribution).
+    pub fn func_at_addr(&self, addr: u64) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .find(|f| addr >= f.base_addr && addr < f.base_addr + f.code_bytes())
+            .map(|f| f.id)
+    }
+
+    /// Total code size in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.funcs.iter().map(|f| f.code_bytes()).sum()
+    }
+
+    /// Program-wide (ops, nops) static counts.
+    pub fn op_counts(&self) -> (usize, usize) {
+        let mut t = (0, 0);
+        for f in &self.funcs {
+            let (o, n) = f.op_counts();
+            t.0 += o;
+            t.1 += n;
+        }
+        t
+    }
+
+    /// Static fraction of slots that are nops.
+    pub fn nop_fraction(&self) -> f64 {
+        let (o, n) = self.op_counts();
+        if o + n == 0 {
+            0.0
+        } else {
+            n as f64 / (o + n) as f64
+        }
+    }
+}
+
+/// Disassemble a function's bundles into readable text (one bundle per
+/// line: address, template, slots, stop marker).
+pub fn disasm(f: &MachFunc) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} @ {:#x} ({} bundles, window {} GRs):", f.name, f.base_addr, f.bundles.len(), f.n_gr);
+    for (i, b) in f.bundles.iter().enumerate() {
+        let tpl = crate::template::TEMPLATES[b.template].name;
+        let entry_mark = if i == f.entry { ">" } else { " " };
+        let _ = write!(out, "{entry_mark}{:#08x} {:4}", f.bundle_addr(i), tpl);
+        for s in &b.slots {
+            match s {
+                Slot::Op(op) => {
+                    let _ = write!(out, " | {op}");
+                }
+                Slot::Nop => {
+                    let _ = write!(out, " | nop");
+                }
+                Slot::LContinuation => {}
+            }
+        }
+        let _ = writeln!(out, "{}", if b.stop { " ;;" } else { "" });
+    }
+    out
+}
+
+/// Iterate over the real ops of a bundle slice (for static analyses).
+pub fn iter_ops(bundles: &[Bundle]) -> impl Iterator<Item = &epic_ir::Op> {
+    bundles.iter().flat_map(|b| {
+        b.slots.iter().filter_map(|s| match s {
+            Slot::Op(o) => Some(o),
+            _ => None,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::pack_group;
+    use epic_ir::{Op, OpId, Opcode, Operand, Vreg};
+
+    fn mach_func(id: u32, n_bundles: usize) -> MachFunc {
+        let mut bundles = Vec::new();
+        for _ in 0..n_bundles {
+            let add = Op::new(
+                OpId(0),
+                Opcode::Add,
+                vec![Vreg(1)],
+                vec![Operand::Reg(Vreg(2)), Operand::Imm(1)],
+            );
+            bundles.extend(pack_group(vec![add]));
+        }
+        MachFunc {
+            id: FuncId(id),
+            name: format!("f{id}"),
+            bundles,
+            entry: 0,
+            block_entry: vec![Some(0)],
+            n_gr: 8,
+            n_pr: 2,
+            frame_size: 0,
+            param_regs: vec![],
+            base_addr: 0,
+        }
+    }
+
+    #[test]
+    fn addresses_are_contiguous() {
+        let mut p = MachProgram {
+            funcs: vec![mach_func(0, 3), mach_func(1, 2)],
+            ir: Program::new(),
+        };
+        p.assign_addresses();
+        assert_eq!(p.funcs[0].base_addr, CODE_BASE);
+        assert_eq!(p.funcs[1].base_addr, CODE_BASE + 3 * BUNDLE_BYTES);
+        assert_eq!(p.func_at_addr(CODE_BASE + 2 * BUNDLE_BYTES), Some(FuncId(0)));
+        assert_eq!(p.func_at_addr(CODE_BASE + 3 * BUNDLE_BYTES), Some(FuncId(1)));
+        assert_eq!(p.func_at_addr(0), None);
+        assert_eq!(p.code_bytes(), 5 * BUNDLE_BYTES);
+    }
+
+    #[test]
+    fn disasm_is_readable() {
+        let mut p = MachProgram {
+            funcs: vec![mach_func(0, 2)],
+            ir: Program::new(),
+        };
+        p.assign_addresses();
+        let text = disasm(&p.funcs[0]);
+        assert!(text.contains("f0 @ 0x400000"));
+        assert!(text.contains("Add"));
+        assert!(text.contains("nop"));
+        assert!(text.contains(";;"), "stops must be marked: {text}");
+    }
+
+    #[test]
+    fn iter_ops_skips_nops() {
+        let f = mach_func(0, 3);
+        assert_eq!(iter_ops(&f.bundles).count(), 3);
+    }
+
+    #[test]
+    fn op_and_nop_counts() {
+        let p = MachProgram {
+            funcs: vec![mach_func(0, 2)],
+            ir: Program::new(),
+        };
+        let (ops, nops) = p.op_counts();
+        assert_eq!(ops, 2);
+        assert_eq!(nops, 4);
+        assert!((p.nop_fraction() - 4.0 / 6.0).abs() < 1e-12);
+    }
+}

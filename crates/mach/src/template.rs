@@ -1,0 +1,313 @@
+//! IA-64 bundle templates and issue-group packing.
+//!
+//! An issue group (ops the compiler asserts are independent) is encoded as
+//! one or two 3-slot bundles chosen from the architectural template set,
+//! with `nop`s filling unused slots and a stop after the final bundle.
+//! Because unfilled slots burn fetch bandwidth, better-scheduled code can
+//! *reduce* I-cache pressure — the paper's Sec. 3.4 observation.
+
+use crate::units::{slot_kinds, SlotKind};
+use epic_ir::{Op, OpId, Opcode};
+
+/// One bundle template: three slot kinds. The L entry stands for the L+X
+/// pair and consumes the last two slots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Template {
+    /// Template name (for disassembly / debugging).
+    pub name: &'static str,
+    /// The slot kinds. An `L` in position 1 means slots 1-2 hold one op.
+    pub slots: [SlotKind; 3],
+}
+
+/// The supported architectural templates (a representative subset of the
+/// IA-64 set; mid-bundle stops are not modeled).
+pub const TEMPLATES: &[Template] = &[
+    Template { name: "MII", slots: [SlotKind::M, SlotKind::I, SlotKind::I] },
+    Template { name: "MMI", slots: [SlotKind::M, SlotKind::M, SlotKind::I] },
+    Template { name: "MFI", slots: [SlotKind::M, SlotKind::F, SlotKind::I] },
+    Template { name: "MMF", slots: [SlotKind::M, SlotKind::M, SlotKind::F] },
+    Template { name: "MIB", slots: [SlotKind::M, SlotKind::I, SlotKind::B] },
+    Template { name: "MMB", slots: [SlotKind::M, SlotKind::M, SlotKind::B] },
+    Template { name: "MFB", slots: [SlotKind::M, SlotKind::F, SlotKind::B] },
+    Template { name: "MBB", slots: [SlotKind::M, SlotKind::B, SlotKind::B] },
+    Template { name: "BBB", slots: [SlotKind::B, SlotKind::B, SlotKind::B] },
+    // MLX: M slot + L/X pair (one long-immediate op).
+    Template { name: "MLX", slots: [SlotKind::M, SlotKind::L, SlotKind::L] },
+];
+
+/// A filled bundle slot.
+#[derive(Clone, Debug)]
+pub enum Slot {
+    /// A real operation.
+    Op(Op),
+    /// An explicit `nop` (costs fetch/issue bandwidth, retires as a nop).
+    Nop,
+    /// Second half of an L+X pair (not separately executed or counted).
+    LContinuation,
+}
+
+/// One encoded bundle.
+#[derive(Clone, Debug)]
+pub struct Bundle {
+    /// Index into [`TEMPLATES`].
+    pub template: usize,
+    /// The three slots.
+    pub slots: [Slot; 3],
+    /// Stop (end of issue group) after this bundle.
+    pub stop: bool,
+}
+
+impl Bundle {
+    /// Count of real ops in the bundle.
+    pub fn op_count(&self) -> usize {
+        self.slots.iter().filter(|s| matches!(s, Slot::Op(_))).count()
+    }
+
+    /// Count of explicit nop slots.
+    pub fn nop_count(&self) -> usize {
+        self.slots.iter().filter(|s| matches!(s, Slot::Nop)).count()
+    }
+}
+
+/// Pack one issue group (ops already verified independent and ordered by
+/// program order) into 1–2 bundles. The final bundle carries the stop.
+///
+/// # Panics
+/// Panics if the group cannot be packed (more than 6 ops, or an op mix no
+/// template pair covers — the scheduler's capacity checks prevent this).
+pub fn pack_group(ops: Vec<Op>) -> Vec<Bundle> {
+    try_pack_group(ops).expect("unpackable issue group")
+}
+
+/// Non-panicking variant of [`pack_group`]; `None` when no template pair
+/// covers the op mix (the scheduler uses this as its packability check).
+pub fn try_pack_group(ops: Vec<Op>) -> Option<Vec<Bundle>> {
+    if ops.is_empty() || ops.len() > 6 {
+        return None;
+    }
+    // Try one bundle, then all ordered template pairs.
+    let mut best: Option<Vec<Bundle>> = None;
+    for t1 in 0..TEMPLATES.len() {
+        if let Some(assign) = fit(&ops, &[t1]) {
+            let b = build(&ops, &[t1], &assign);
+            if best.as_ref().is_none_or(|c| b.len() < c.len()) {
+                best = Some(b);
+            }
+        }
+    }
+    if best.is_none() {
+        'outer: for t1 in 0..TEMPLATES.len() {
+            for t2 in 0..TEMPLATES.len() {
+                if let Some(assign) = fit(&ops, &[t1, t2]) {
+                    best = Some(build(&ops, &[t1, t2], &assign));
+                    break 'outer;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Fit ops into the slots of the chosen templates.
+///
+/// Within an issue group, independent (non-branch) operations may occupy
+/// slots in any order, but every op must keep its position *relative to
+/// branches*: a taken branch skips the rest of the group, so ops that
+/// precede a branch in program order must be slotted before it and ops
+/// that follow it after. Ops are therefore partitioned into "segments"
+/// separated by branches and matched by depth-first search (groups are at
+/// most 6 ops, so the search is trivial).
+fn fit(ops: &[Op], templates: &[usize]) -> Option<Vec<(usize, usize)>> {
+    // segment number per op: bumped at each branch; the branch itself gets
+    // its own segment.
+    let mut seg = Vec::with_capacity(ops.len());
+    let mut cur = 0u32;
+    for op in ops {
+        if op.is_branch() || op.is_call() || matches!(op.opcode, Opcode::Ret) {
+            cur += 1;
+            seg.push(cur);
+            cur += 1;
+        } else {
+            seg.push(cur);
+        }
+    }
+    // flattened slot list: (bundle, slot, kind); MLX's X continuation is
+    // skipped (the L entry stands for the pair).
+    let mut slots = Vec::new();
+    for (bi, &t) in templates.iter().enumerate() {
+        let tpl = &TEMPLATES[t];
+        let mut si = 0;
+        while si < 3 {
+            let k = tpl.slots[si];
+            slots.push((bi, si, k));
+            si += if k == SlotKind::L { 2 } else { 1 };
+        }
+    }
+    let mut assign = vec![usize::MAX; ops.len()]; // op -> flattened slot
+    if dfs(ops, &seg, &slots, 0, &mut assign) {
+        Some(
+            assign
+                .iter()
+                .map(|&s| (slots[s].0, slots[s].1))
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+fn dfs(
+    ops: &[Op],
+    seg: &[u32],
+    slots: &[(usize, usize, SlotKind)],
+    slot_idx: usize,
+    assign: &mut Vec<usize>,
+) -> bool {
+    if assign.iter().all(|&a| a != usize::MAX) {
+        return true;
+    }
+    if slot_idx >= slots.len() {
+        return false;
+    }
+    // the minimum unplaced segment: only its ops are placeable now
+    let min_seg = ops
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| assign[*i] == usize::MAX)
+        .map(|(i, _)| seg[i])
+        .min()
+        .expect("unplaced op exists");
+    let kind = slots[slot_idx].2;
+    for i in 0..ops.len() {
+        if assign[i] != usize::MAX || seg[i] != min_seg {
+            continue;
+        }
+        if !slot_kinds(&ops[i]).contains(&kind) {
+            continue;
+        }
+        assign[i] = slot_idx;
+        if dfs(ops, seg, slots, slot_idx + 1, assign) {
+            return true;
+        }
+        assign[i] = usize::MAX;
+    }
+    // or leave this slot as a nop
+    dfs(ops, seg, slots, slot_idx + 1, assign)
+}
+
+fn build(ops: &[Op], templates: &[usize], assign: &[(usize, usize)]) -> Vec<Bundle> {
+    let used_bundles = assign.iter().map(|(b, _)| *b).max().unwrap_or(0) + 1;
+    let mut bundles: Vec<Bundle> = (0..used_bundles)
+        .map(|i| Bundle {
+            template: templates[i],
+            slots: [Slot::Nop, Slot::Nop, Slot::Nop],
+            stop: false,
+        })
+        .collect();
+    for (op, (b, s)) in ops.iter().zip(assign) {
+        bundles[*b].slots[*s] = Slot::Op(op.clone());
+        if TEMPLATES[templates[*b]].slots[*s] == SlotKind::L {
+            bundles[*b].slots[*s + 1] = Slot::LContinuation;
+        }
+    }
+    bundles.last_mut().expect("nonempty").stop = true;
+    bundles
+}
+
+/// A machine `nop` op (used for padding whole bundles when needed).
+pub fn nop_op() -> Op {
+    Op::new(OpId(u32::MAX), Opcode::Nop, vec![], vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{MemSize, Operand, Vreg};
+
+    fn mk(opcode: Opcode) -> Op {
+        let (d, s): (Vec<Vreg>, Vec<Operand>) = match opcode {
+            Opcode::St(_) => (vec![], vec![Operand::Reg(Vreg(0)), Operand::Reg(Vreg(1))]),
+            Opcode::Br => (vec![], vec![Operand::Label(epic_ir::BlockId(0))]),
+            Opcode::Ld(_) => (vec![Vreg(2)], vec![Operand::Reg(Vreg(0))]),
+            _ => (vec![Vreg(2)], vec![Operand::Reg(Vreg(0)), Operand::Reg(Vreg(1))]),
+        };
+        Op::new(OpId(0), opcode, d, s)
+    }
+
+    #[test]
+    fn single_alu_op_packs_one_bundle() {
+        let b = pack_group(vec![mk(Opcode::Add)]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].op_count(), 1);
+        assert_eq!(b[0].nop_count(), 2);
+        assert!(b[0].stop);
+    }
+
+    #[test]
+    fn six_wide_group_packs_two_bundles() {
+        // 2 loads, 2 adds, 1 shift, 1 branch -> e.g. MMI + MIB
+        let ops = vec![
+            mk(Opcode::Ld(MemSize::B8)),
+            mk(Opcode::Ld(MemSize::B8)),
+            mk(Opcode::Add),
+            mk(Opcode::Shl),
+            mk(Opcode::Add),
+            mk(Opcode::Br),
+        ];
+        let b = pack_group(ops);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].op_count() + b[1].op_count(), 6);
+        assert_eq!(b[0].nop_count() + b[1].nop_count(), 0);
+        assert!(!b[0].stop && b[1].stop);
+    }
+
+    #[test]
+    fn long_immediate_uses_mlx() {
+        let movl = Op::new(
+            OpId(0),
+            Opcode::Mov,
+            vec![Vreg(1)],
+            vec![Operand::Imm(1 << 40)],
+        );
+        let b = pack_group(vec![movl]);
+        assert_eq!(TEMPLATES[b[0].template].name, "MLX");
+        assert!(matches!(b[0].slots[1], Slot::Op(_)));
+        assert!(matches!(b[0].slots[2], Slot::LContinuation));
+    }
+
+    #[test]
+    fn branch_heavy_group() {
+        let ops = vec![mk(Opcode::Br), mk(Opcode::Br), mk(Opcode::Br)];
+        let b = pack_group(ops);
+        assert_eq!(b.len(), 1);
+        assert_eq!(TEMPLATES[b[0].template].name, "BBB");
+    }
+
+    #[test]
+    fn store_pair_with_branch() {
+        let ops = vec![mk(Opcode::St(MemSize::B8)), mk(Opcode::St(MemSize::B8)), mk(Opcode::Br)];
+        let b = pack_group(ops);
+        assert_eq!(b.len(), 1);
+        assert_eq!(TEMPLATES[b[0].template].name, "MMB");
+    }
+
+    #[test]
+    fn preserves_program_order_across_slots() {
+        let mut o1 = mk(Opcode::Add);
+        o1.id = OpId(10);
+        let mut o2 = mk(Opcode::Br);
+        o2.id = OpId(11);
+        let mut o3 = mk(Opcode::Add);
+        o3.id = OpId(12);
+        let bundles = pack_group(vec![o1, o2, o3]);
+        let mut seen = Vec::new();
+        for b in &bundles {
+            for s in &b.slots {
+                if let Slot::Op(o) = s {
+                    seen.push(o.id.0);
+                }
+            }
+        }
+        assert_eq!(seen, vec![10, 11, 12]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Functional-unit classes, slot kinds, and latencies for the modeled
+//! Itanium 2 (paper Fig. 1: six-issue, 4 M + 2 I + 2 F + 3 B units, all
+//! fully pipelined, in-order, no renaming).
+
+use epic_ir::{Op, Opcode, Operand};
+
+/// Functional-unit class an op executes on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnitKind {
+    /// Memory units (4; loads on M0/M1, stores on M2/M3).
+    M,
+    /// Integer units (2; shifts and other I-only ops).
+    I,
+    /// Floating-point units (2; also integer multiply/divide, as on real
+    /// IA-64 where `xmpy` runs on F).
+    F,
+    /// Branch units (3).
+    B,
+}
+
+/// Bundle slot kinds (the L slot pairs with X to hold a long-immediate op).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SlotKind {
+    M,
+    I,
+    F,
+    B,
+    /// Long-immediate pseudo-slot (occupies the L+X pair of an MLX bundle).
+    L,
+}
+
+/// Per-cycle issue capacity of each unit class (Itanium 2).
+pub const M_UNITS: usize = 4;
+/// Integer units.
+pub const I_UNITS: usize = 2;
+/// Floating-point units.
+pub const F_UNITS: usize = 2;
+/// Branch units.
+pub const B_UNITS: usize = 3;
+/// Maximum operations issued per cycle (two bundles).
+pub const ISSUE_WIDTH: usize = 6;
+
+/// Does this operand require the long-immediate (L+X) encoding?
+/// Addresses (globals, function pointers) and immediates beyond the
+/// 22-bit `addl` range do.
+pub fn operand_needs_long(o: &Operand) -> bool {
+    match o {
+        Operand::Imm(v) => *v >= (1 << 21) || *v < -(1 << 21),
+        Operand::Global(_) | Operand::FuncAddr(_) => true,
+        // frame offsets are small adds off sp
+        Operand::FrameAddr(off) => *off >= (1 << 21),
+        _ => false,
+    }
+}
+
+/// Does the op need the L+X slot pair?
+pub fn needs_long(op: &Op) -> bool {
+    match op.opcode {
+        // branch/call targets are IP-relative, not long immediates
+        Opcode::Br | Opcode::Call | Opcode::Ret => false,
+        _ => op.srcs.iter().any(operand_needs_long),
+    }
+}
+
+/// Slot kinds this op may occupy, in preference order. A-type ALU ops may
+/// use M or I slots (as on IA-64).
+pub fn slot_kinds(op: &Op) -> &'static [SlotKind] {
+    if needs_long(op) {
+        return &[SlotKind::L];
+    }
+    match op.opcode {
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Cmp(_)
+        | Opcode::Mov => &[SlotKind::I, SlotKind::M],
+        Opcode::Shl | Opcode::Shr | Opcode::Sar => &[SlotKind::I],
+        Opcode::Ld(_)
+        | Opcode::St(_)
+        | Opcode::Chk(_)
+        | Opcode::ChkA(_)
+        | Opcode::Alloc
+        | Opcode::Out => &[SlotKind::M],
+        Opcode::Mul | Opcode::Div | Opcode::Rem => &[SlotKind::F],
+        Opcode::Br | Opcode::Call | Opcode::Ret => &[SlotKind::B],
+        Opcode::Nop => &[SlotKind::I, SlotKind::M, SlotKind::F, SlotKind::B],
+    }
+}
+
+/// Unit class charged for execution (for per-cycle unit-count limits).
+pub fn unit_kind(op: &Op) -> UnitKind {
+    match op.opcode {
+        Opcode::Ld(_) | Opcode::St(_) | Opcode::Chk(_) | Opcode::ChkA(_) | Opcode::Alloc | Opcode::Out => {
+            UnitKind::M
+        }
+        Opcode::Mul | Opcode::Div | Opcode::Rem => UnitKind::F,
+        Opcode::Br | Opcode::Call | Opcode::Ret => UnitKind::B,
+        _ => UnitKind::I, // A-type counted against combined M+I by callers
+    }
+}
+
+/// Is this an A-type op that can use either an M or I slot/unit?
+pub fn is_a_type(op: &Op) -> bool {
+    matches!(
+        op.opcode,
+        Opcode::Add
+            | Opcode::Sub
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Cmp(_)
+            | Opcode::Mov
+    ) && !needs_long(op)
+}
+
+/// Result latency in cycles (producer issue → earliest consumer issue).
+/// Loads are scheduled for the 1-cycle integer L1D hit; misses stall the
+/// scoreboard at run time.
+pub fn latency(op: &Op) -> u32 {
+    match op.opcode {
+        Opcode::Ld(_) | Opcode::Chk(_) | Opcode::ChkA(_) => 1,
+        Opcode::Mul => 4,
+        Opcode::Div | Opcode::Rem => 24,
+        Opcode::Alloc => 2,
+        Opcode::Call => 1,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{MemSize, OpId, Vreg};
+
+    fn op(opcode: Opcode, srcs: Vec<Operand>) -> Op {
+        Op::new(OpId(0), opcode, vec![Vreg(0)], srcs)
+    }
+
+    #[test]
+    fn a_type_uses_m_or_i() {
+        let add = op(Opcode::Add, vec![Operand::Reg(Vreg(1)), Operand::Imm(4)]);
+        assert!(is_a_type(&add));
+        assert_eq!(slot_kinds(&add), &[SlotKind::I, SlotKind::M]);
+    }
+
+    #[test]
+    fn long_immediates_take_l_slot() {
+        let movl = op(Opcode::Mov, vec![Operand::Imm(1 << 30)]);
+        assert!(needs_long(&movl));
+        assert_eq!(slot_kinds(&movl), &[SlotKind::L]);
+        let movg = op(Opcode::Mov, vec![Operand::Global(epic_ir::GlobalId(0))]);
+        assert!(needs_long(&movg));
+        let small = op(Opcode::Mov, vec![Operand::Imm(100)]);
+        assert!(!needs_long(&small));
+    }
+
+    #[test]
+    fn memory_ops_take_m_slots() {
+        let ld = op(Opcode::Ld(MemSize::B8), vec![Operand::Reg(Vreg(1))]);
+        assert_eq!(slot_kinds(&ld), &[SlotKind::M]);
+        assert_eq!(unit_kind(&ld), UnitKind::M);
+        assert_eq!(latency(&ld), 1);
+    }
+
+    #[test]
+    fn multiply_runs_on_f() {
+        let mul = op(Opcode::Mul, vec![Operand::Reg(Vreg(1)), Operand::Reg(Vreg(2))]);
+        assert_eq!(unit_kind(&mul), UnitKind::F);
+        assert_eq!(latency(&mul), 4);
+    }
+
+    #[test]
+    fn branches_are_ip_relative() {
+        let br = epic_ir::func::mk_br(OpId(0), epic_ir::BlockId(400000));
+        assert!(!needs_long(&br));
+        assert_eq!(slot_kinds(&br), &[SlotKind::B]);
+    }
+}

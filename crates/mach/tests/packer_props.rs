@@ -1,0 +1,117 @@
+//! Property tests for the bundle packer: any op mix that the scheduler's
+//! resource model admits must pack, every op must appear exactly once, and
+//! slot order must respect branch segments.
+
+use epic_ir::{func::mk_br, BlockId, MemSize, Op, OpId, Opcode, Operand, Vreg};
+use epic_mach::{try_pack_group, Slot, TEMPLATES};
+use proptest::prelude::*;
+
+fn make_op(kind: u8, id: u32) -> Op {
+    let mut op = match kind % 6 {
+        0 => Op::new(
+            OpId(id),
+            Opcode::Add,
+            vec![Vreg(1)],
+            vec![Operand::Reg(Vreg(2)), Operand::Imm(3)],
+        ),
+        1 => Op::new(
+            OpId(id),
+            Opcode::Ld(MemSize::B8),
+            vec![Vreg(1)],
+            vec![Operand::Reg(Vreg(2))],
+        ),
+        2 => Op::new(
+            OpId(id),
+            Opcode::Shl,
+            vec![Vreg(1)],
+            vec![Operand::Reg(Vreg(2)), Operand::Imm(3)],
+        ),
+        3 => Op::new(
+            OpId(id),
+            Opcode::Mul,
+            vec![Vreg(1)],
+            vec![Operand::Reg(Vreg(2)), Operand::Reg(Vreg(3))],
+        ),
+        4 => mk_br(OpId(id), BlockId(0)),
+        _ => Op::new(
+            OpId(id),
+            Opcode::Mov,
+            vec![Vreg(1)],
+            vec![Operand::Imm(1 << 40)], // long immediate
+        ),
+    };
+    op.id = OpId(id);
+    op
+}
+
+proptest! {
+    #[test]
+    fn packed_groups_contain_every_op_once_in_segment_order(kinds in prop::collection::vec(0u8..6, 1..7)) {
+        let ops: Vec<Op> = kinds.iter().enumerate().map(|(i, &k)| make_op(k, i as u32)).collect();
+        let Some(bundles) = try_pack_group(ops.clone()) else {
+            // rejection is allowed (resource-infeasible mixes); nothing to check
+            return Ok(());
+        };
+        prop_assert!(bundles.len() <= 2);
+        // collect emitted ops in slot order
+        let mut emitted: Vec<u32> = Vec::new();
+        for b in &bundles {
+            prop_assert!(b.template < TEMPLATES.len());
+            for s in &b.slots {
+                if let Slot::Op(o) = s {
+                    emitted.push(o.id.0);
+                }
+            }
+        }
+        let mut sorted = emitted.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..ops.len() as u32).collect::<Vec<_>>(), "each op exactly once");
+        // branch-relative order: ops before a branch (by original index)
+        // must be emitted before it, ops after it after
+        for (bi, op) in ops.iter().enumerate() {
+            if !op.is_branch() {
+                continue;
+            }
+            let bpos = emitted.iter().position(|&e| e == bi as u32).unwrap();
+            for (oi, _) in ops.iter().enumerate() {
+                let opos = emitted.iter().position(|&e| e == oi as u32).unwrap();
+                if oi < bi {
+                    prop_assert!(opos < bpos, "op {oi} must precede branch {bi}");
+                }
+                if oi > bi {
+                    prop_assert!(opos > bpos, "op {oi} must follow branch {bi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_ops_always_pack(kind in 0u8..6) {
+        let bundles = try_pack_group(vec![make_op(kind, 0)]).expect("single op packs");
+        prop_assert_eq!(bundles.len(), 1);
+        prop_assert!(bundles[0].stop);
+    }
+
+    /// The scheduler's per-cycle resource counters over-approximate what
+    /// the template set can encode (e.g. two F ops plus a long immediate
+    /// are counter-admissible but no template pair covers them); the
+    /// packer is the precise backstop, and scheduler progress is
+    /// guaranteed because a single op always packs (previous property).
+    /// Within the *common* region — no long immediates, no branches, at
+    /// most one F op — counter admission must imply packability.
+    #[test]
+    fn common_admissible_mixes_pack(kinds in prop::collection::vec(0u8..4, 1..7)) {
+        let ops: Vec<Op> = kinds.iter().enumerate().map(|(i, &k)| make_op(k, i as u32)).collect();
+        let m = ops.iter().filter(|o| matches!(o.opcode, Opcode::Ld(_))).count();
+        let i_strict = ops.iter().filter(|o| matches!(o.opcode, Opcode::Shl)).count();
+        let fl = ops.iter().filter(|o| matches!(o.opcode, Opcode::Mul)).count();
+        let admitted = ops.len() <= 6 && m <= 4 && i_strict <= 2 && fl <= 1;
+        if admitted {
+            prop_assert!(
+                try_pack_group(ops.clone()).is_some(),
+                "common-region mix failed to pack: {:?}",
+                kinds
+            );
+        }
+    }
+}

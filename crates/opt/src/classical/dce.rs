@@ -1,0 +1,176 @@
+//! Liveness-based dead code elimination.
+
+use epic_ir::bitset::BitSet;
+use epic_ir::liveness::Liveness;
+use epic_ir::{Function, Opcode};
+
+/// Remove ops with no side effects whose results are dead. Dead loads are
+/// removed too (a correct program's loads never fault, so removing an
+/// unused one is observation-free). Returns ops removed.
+pub fn run(f: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let live = Liveness::compute(f);
+        let mut pass_removed = 0;
+        let blocks: Vec<_> = f.block_ids().collect();
+        for b in blocks {
+            let mut live_now: BitSet = live.live_out(b).clone();
+            // Pre-compute side-exit live-ins: walking backward through an
+            // extended block, each branch re-exposes its target's live-in
+            // set (a later unguarded def must not hide values that escape
+            // through an earlier side exit, e.g. loop back edges).
+            let exit_liveins: Vec<Option<BitSet>> = f
+                .block(b)
+                .ops
+                .iter()
+                .map(|op| op.branch_target().map(|t| live.live_in(t).clone()))
+                .collect();
+            let ops = std::mem::take(&mut f.block_mut(b).ops);
+            let mut kept = Vec::with_capacity(ops.len());
+            for (op, exit_livein) in ops.into_iter().zip(exit_liveins).rev() {
+                if let Some(li) = &exit_livein {
+                    live_now.union_with(li);
+                }
+                let removable = !op.has_side_effects()
+                    && !op.is_terminator()
+                    && !matches!(op.opcode, Opcode::Nop)
+                    && !op.dsts.is_empty()
+                    && op.dsts.iter().all(|d| !live_now.contains(d.index()));
+                if removable {
+                    pass_removed += 1;
+                    continue;
+                }
+                // Update running liveness: unguarded defs kill, uses gen.
+                if op.guard.is_none() {
+                    for d in op.defs() {
+                        live_now.remove(d.index());
+                    }
+                }
+                for u in op.uses() {
+                    live_now.insert(u.index());
+                }
+                kept.push(op);
+            }
+            kept.reverse();
+            f.block_mut(b).ops = kept;
+        }
+        removed += pass_removed;
+        if pass_removed == 0 {
+            return removed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::builder::FuncBuilder;
+    use epic_ir::{BlockId, FuncId, MemSize, Operand};
+
+    #[test]
+    fn removes_dead_chains() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let x = b.mov(1i64);
+        let y = b.binop(Opcode::Add, x, 2i64); // dead
+        let _z = b.binop(Opcode::Mul, y, y); // dead
+        let w = b.mov(5i64);
+        b.out(w);
+        b.ret(None);
+        let mut f = b.finish();
+        let n = run(&mut f);
+        assert_eq!(n, 3);
+        let kinds: Vec<_> = f.block(BlockId(0)).ops.iter().map(|o| o.opcode).collect();
+        assert_eq!(kinds, vec![Opcode::Mov, Opcode::Out, Opcode::Ret]);
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let slot = b.frame_alloc(8);
+        b.store(MemSize::B8, Operand::FrameAddr(slot), 1i64);
+        let _dead_call = b.call(Operand::FuncAddr(FuncId(0)), &[]);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        let kinds: Vec<_> = f.block(BlockId(0)).ops.iter().map(|o| o.opcode).collect();
+        assert!(kinds.contains(&Opcode::St(MemSize::B8)));
+        assert!(kinds.contains(&Opcode::Call));
+    }
+
+    #[test]
+    fn removes_dead_load() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let slot = b.frame_alloc(8);
+        let _v = b.load(MemSize::B8, Operand::FrameAddr(slot));
+        b.ret(None);
+        let mut f = b.finish();
+        assert_eq!(run(&mut f), 1);
+    }
+
+    /// Regression: a superblock-shaped self-loop with a mid-block back
+    /// edge followed by an unguarded redefinition. The induction update
+    /// escapes through the side exit and must survive, even though a later
+    /// def kills it on the fall-through path.
+    #[test]
+    fn keeps_values_escaping_through_side_exits() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let body = b.block();
+        let tail = b.block();
+        let i = b.vreg();
+        b.mov_to(i, 0i64);
+        b.br(body);
+        b.switch_to(body);
+        let i2 = b.binop(Opcode::Add, i, 1i64);
+        b.mov_to(i, i2); // loop-carried update: must NOT be removed
+        let p = b.cmp(epic_ir::CmpKind::SLt, i2, 10i64);
+        b.brc(p, body); // side exit (back edge) mid-block
+        b.mov_to(i, 0i64); // unguarded redefinition after the branch
+        b.out(i);
+        b.br(tail);
+        b.switch_to(tail);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        let has_update = f
+            .block(body)
+            .ops
+            .iter()
+            .any(|o| o.opcode == Opcode::Mov && o.defs() == [i] && o.srcs[0] == Operand::Reg(i2));
+        assert!(has_update, "loop-carried update was removed:\n{f}");
+        // and the program still terminates with the right output
+        let mut prog = epic_ir::Program::new();
+        prog.add_func("main");
+        f.name = "main".into();
+        prog.funcs[0] = f;
+        let r = epic_ir::interp::run(
+            &prog,
+            &[],
+            epic_ir::interp::InterpOptions {
+                fuel: 100_000,
+                collect_profile: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.output, vec![0]);
+    }
+
+    #[test]
+    fn keeps_loop_carried_values() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let body = b.block();
+        let exit = b.block();
+        let i = b.vreg();
+        b.mov_to(i, 0i64);
+        b.br(body);
+        b.switch_to(body);
+        b.binop_to(i, Opcode::Add, i, 1i64);
+        let p = b.cmp(epic_ir::CmpKind::SLt, i, 10i64);
+        b.brc(p, body);
+        b.br(exit);
+        b.switch_to(exit);
+        b.out(i);
+        b.ret(None);
+        let mut f = b.finish();
+        assert_eq!(run(&mut f), 0);
+    }
+}

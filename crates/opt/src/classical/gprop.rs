@@ -1,0 +1,219 @@
+//! Global (function-wide) constant and copy propagation for single-def
+//! virtual registers, with dominance-checked substitution.
+//!
+//! Non-SSA Lcode mostly consists of single-definition temporaries; for a
+//! register with exactly one unguarded definition, a use may be rewritten
+//! to the definition's source when the definition dominates the use.
+
+use epic_ir::dom::DomTree;
+use epic_ir::{BlockId, Function, Opcode, Operand, Vreg};
+use std::collections::HashMap;
+
+#[derive(Clone, Copy)]
+enum DefInfo {
+    /// No definition seen yet.
+    None,
+    /// Exactly one unguarded def at (block, op index), a `Mov` from `src`.
+    OneMov(BlockId, usize, Operand),
+    /// One def but not a copy, or multiple defs, or guarded defs.
+    Other,
+}
+
+/// Run propagation; returns the number of operands rewritten.
+pub fn run(f: &mut Function) -> usize {
+    let dom = DomTree::compute(f);
+    // 1. Find single-def Mov registers.
+    let mut defs: HashMap<Vreg, DefInfo> = HashMap::new();
+    for b in f.block_ids() {
+        for (i, op) in f.block(b).ops.iter().enumerate() {
+            for &d in op.defs() {
+                let e = defs.entry(d).or_insert(DefInfo::None);
+                *e = match (&e, op.opcode, op.guard) {
+                    (DefInfo::None, Opcode::Mov, None) => DefInfo::OneMov(b, i, op.srcs[0]),
+                    _ => DefInfo::Other,
+                };
+            }
+        }
+    }
+    // Params are implicitly defined at entry.
+    for &p in &f.params {
+        defs.insert(p, DefInfo::Other);
+    }
+    // 2. Rewrite dominated uses. A copy `v = Mov u` can forward `u` only if
+    //    `u` itself is not redefined between def and use; we conservatively
+    //    require `u` to have no definition other than possibly one that
+    //    dominates the copy — simplest sound rule: forward only immutable
+    //    operands (constants, addresses) or registers with no defs at all
+    //    after their single def... Here: forward constants/addresses always;
+    //    forward a register source only if that register has *no* unguarded
+    //    redefinition anywhere except a single def (i.e. it is itself a
+    //    single-def or param-only register).
+    let single_or_param: HashMap<Vreg, bool> = {
+        let mut counts: HashMap<Vreg, usize> = HashMap::new();
+        for b in f.block_ids() {
+            for op in &f.block(b).ops {
+                for &d in op.defs() {
+                    *counts.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut m = HashMap::new();
+        for (&v, &c) in &counts {
+            m.insert(v, c <= 1 && !f.params.contains(&v));
+        }
+        for &p in &f.params {
+            m.insert(p, counts.get(&p).copied().unwrap_or(0) == 0);
+        }
+        m
+    };
+    let forwardable = |src: &Operand| -> bool {
+        match src {
+            Operand::Imm(_) | Operand::Global(_) | Operand::FuncAddr(_) | Operand::FrameAddr(_) => {
+                true
+            }
+            Operand::Reg(u) => single_or_param.get(u).copied().unwrap_or(false),
+            Operand::Label(_) => false,
+        }
+    };
+    let mut rewrites = 0;
+    let blocks: Vec<_> = f.block_ids().collect();
+    for b in blocks {
+        let nops = f.block(b).ops.len();
+        for i in 0..nops {
+            // Collect replacements first (immutable pass), then apply.
+            let mut replace: Vec<(usize, Operand)> = Vec::new(); // src index
+            let mut guard_replace: Option<Operand> = None;
+            {
+                let op = &f.block(b).ops[i];
+                for (si, s) in op.srcs.iter().enumerate() {
+                    if let Operand::Reg(v) = s {
+                        if let Some(DefInfo::OneMov(db, di, src)) = defs.get(v) {
+                            let dominates =
+                                (*db == b && *di < i) || (*db != b && dom.dominates(*db, b));
+                            if dominates && forwardable(src) {
+                                replace.push((si, *src));
+                            }
+                        }
+                    }
+                }
+                if let Some(g) = op.guard {
+                    if let Some(DefInfo::OneMov(db, di, src)) = defs.get(&g) {
+                        let dominates =
+                            (*db == b && *di < i) || (*db != b && dom.dominates(*db, b));
+                        if dominates && forwardable(src) {
+                            guard_replace = Some(*src);
+                        }
+                    }
+                }
+            }
+            if replace.is_empty() && guard_replace.is_none() {
+                continue;
+            }
+            let op = &mut f.block_mut(b).ops[i];
+            for (si, src) in replace {
+                op.srcs[si] = src;
+                rewrites += 1;
+            }
+            match guard_replace {
+                Some(Operand::Reg(u)) => {
+                    op.guard = Some(u);
+                    rewrites += 1;
+                }
+                // guard constant 0 is left for DCE/LVN to kill
+                Some(Operand::Imm(c)) if c != 0 => {
+                    op.guard = None;
+                    rewrites += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    rewrites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::builder::FuncBuilder;
+    use epic_ir::FuncId;
+
+    #[test]
+    fn propagates_constant_across_blocks() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let nextb = b.block();
+        let x = b.mov(7i64);
+        b.br(nextb);
+        b.switch_to(nextb);
+        b.out(x);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(run(&mut f) > 0);
+        let out = &f.block(nextb).ops[0];
+        assert_eq!(out.srcs[0], Operand::Imm(7));
+    }
+
+    #[test]
+    fn does_not_propagate_multi_def() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let nextb = b.block();
+        let x = b.vreg();
+        b.mov_to(x, 7i64);
+        b.mov_to(x, 8i64);
+        b.br(nextb);
+        b.switch_to(nextb);
+        b.out(x);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        let out = &f.block(nextb).ops[0];
+        assert_eq!(out.srcs[0], Operand::Reg(x));
+    }
+
+    #[test]
+    fn does_not_forward_mutable_register_source() {
+        // y = Mov x; x = Mov 9; out(y)  — must NOT become out(x)
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let x = b.vreg();
+        b.mov_to(x, 1i64);
+        let y = b.mov(Operand::Reg(x));
+        b.mov_to(x, 9i64);
+        b.out(y);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        let out = f
+            .block(BlockId(0))
+            .ops
+            .iter()
+            .find(|o| o.opcode == Opcode::Out)
+            .unwrap();
+        // x has two defs, so y's source is not forwardable; and y itself is
+        // single-def so out(y) may have been rewritten only to something
+        // equal to y. It must not be x.
+        assert_ne!(out.srcs[0], Operand::Reg(x));
+    }
+
+    #[test]
+    fn respects_dominance() {
+        // def in a branch arm must not propagate into the join
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let arm = b.block();
+        let join = b.block();
+        let p = b.param();
+        let x = b.vreg();
+        b.mov_to(x, 0i64);
+        b.brc(p, arm);
+        b.br(join);
+        b.switch_to(arm);
+        let y = b.mov(5i64); // single def, but only dominates `arm`
+        b.mov_to(x, y);
+        b.br(join);
+        b.switch_to(join);
+        b.out(y); // y not dominated here? actually arm dominates nothing else
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        let out = &f.block(join).ops[0];
+        assert_eq!(out.srcs[0], Operand::Reg(y), "must not substitute 5");
+    }
+}

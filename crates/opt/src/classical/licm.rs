@@ -1,0 +1,216 @@
+//! Loop-invariant code motion for pure operations.
+//!
+//! An unguarded *pure* op may move to a loop preheader when every register
+//! source is invariant (no definition inside the loop) and its destination
+//! has no other definition anywhere in the function (so executing it
+//! "early", even on a zero-trip path, only writes a register nobody else
+//! defines — safe for pure ops).
+
+use epic_ir::dom::DomTree;
+use epic_ir::func::mk_br;
+use epic_ir::loops::LoopForest;
+use epic_ir::{BlockId, Function, Operand, Vreg};
+use std::collections::{HashMap, HashSet};
+
+/// Run LICM over all loops (innermost first). Returns ops hoisted.
+pub fn run(f: &mut Function) -> usize {
+    let mut hoisted = 0;
+    // Recompute loop structure after each loop is processed (preheader
+    // insertion changes block ids).
+    loop {
+        let dom = DomTree::compute(f);
+        let forest = LoopForest::compute(f, &dom);
+        let mut did = false;
+        for l in &forest.loops {
+            let n = hoist_one_loop(f, &l.header, &l.body);
+            if n > 0 {
+                hoisted += n;
+                did = true;
+                break; // structures stale; restart
+            }
+        }
+        if !did {
+            return hoisted;
+        }
+    }
+}
+
+fn hoist_one_loop(f: &mut Function, header: &BlockId, body: &[BlockId]) -> usize {
+    let in_loop: HashSet<BlockId> = body.iter().copied().collect();
+    // defs inside the loop
+    let mut loop_defs: HashSet<Vreg> = HashSet::new();
+    // def counts across the whole function
+    let mut def_counts: HashMap<Vreg, usize> = HashMap::new();
+    for b in f.block_ids() {
+        for op in &f.block(b).ops {
+            for &d in op.defs() {
+                *def_counts.entry(d).or_insert(0) += 1;
+                if in_loop.contains(&b) {
+                    loop_defs.insert(d);
+                }
+            }
+        }
+    }
+    for &p in &f.params {
+        *def_counts.entry(p).or_insert(0) += 1;
+    }
+    // Iterate: hoisting one op can make another invariant; collect in
+    // program order per block until fixpoint within this loop.
+    let mut to_hoist: Vec<epic_ir::Op> = Vec::new();
+    let mut moved: HashSet<Vreg> = HashSet::new();
+    loop {
+        let mut found = false;
+        for &b in body {
+            let mut idx = 0;
+            while idx < f.block(b).ops.len() {
+                let op = &f.block(b).ops[idx];
+                let candidate = op.guard.is_none()
+                    && op.is_safely_speculable()
+                    && op.dsts.len() == 1
+                    && def_counts.get(&op.dsts[0]).copied().unwrap_or(0) == 1
+                    && op.srcs.iter().all(|s| match s {
+                        Operand::Reg(v) => !loop_defs.contains(v) || moved.contains(v),
+                        _ => true,
+                    });
+                if candidate {
+                    let op = f.block_mut(b).ops.remove(idx);
+                    moved.insert(op.dsts[0]);
+                    loop_defs.remove(&op.dsts[0]);
+                    to_hoist.push(op);
+                    found = true;
+                } else {
+                    idx += 1;
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+    }
+    if to_hoist.is_empty() {
+        return 0;
+    }
+    // Build (or reuse) a preheader: a new block that all *outside*
+    // predecessors of the header are retargeted through.
+    let n = to_hoist.len();
+    let pre = f.add_block();
+    f.blocks[pre.index()].origin = f.block(*header).origin;
+    // weight: entries from outside
+    let preds = f.preds();
+    let mut outside_w = 0.0;
+    for p in &preds[header.index()] {
+        if !in_loop.contains(p) && *p != pre {
+            outside_w += epic_ir::loops::edge_weight(f, *p, *header);
+        }
+    }
+    // Retarget outside predecessors header -> pre.
+    let pred_list = preds[header.index()].clone();
+    for p in pred_list {
+        if in_loop.contains(&p) {
+            continue;
+        }
+        for op in &mut f.block_mut(p).ops {
+            op.retarget(*header, pre);
+        }
+    }
+    let mut ops = to_hoist;
+    let br = mk_br(f.new_op_id(), *header);
+    ops.push(br);
+    let last = ops.len() - 1;
+    ops[last].weight = outside_w;
+    f.block_mut(pre).ops = ops;
+    f.block_mut(pre).weight = outside_w;
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::builder::FuncBuilder;
+    use epic_ir::verify::verify_function;
+    use epic_ir::{CmpKind, FuncId, Opcode};
+
+    /// sum += (a*b) each iteration; a*b is invariant and must leave the loop.
+    #[test]
+    fn hoists_invariant_multiply() {
+        let mut bld = FuncBuilder::new(FuncId(0), "t");
+        let a = bld.param();
+        let b = bld.param();
+        let body = bld.block();
+        let exit = bld.block();
+        let i = bld.vreg();
+        let sum = bld.vreg();
+        bld.mov_to(i, 0i64);
+        bld.mov_to(sum, 0i64);
+        bld.br(body);
+        bld.switch_to(body);
+        let prod = bld.binop(Opcode::Mul, a, b); // invariant
+        bld.binop_to(sum, Opcode::Add, sum, prod);
+        bld.binop_to(i, Opcode::Add, i, 1i64);
+        let p = bld.cmp(CmpKind::SLt, i, 10i64);
+        bld.brc(p, body);
+        bld.br(exit);
+        bld.switch_to(exit);
+        bld.out(sum);
+        bld.ret(None);
+        let mut f = bld.finish();
+        let hoisted = run(&mut f);
+        assert_eq!(hoisted, 1);
+        verify_function(&f).unwrap();
+        // Mul no longer in the loop body
+        assert!(f.block(body).ops.iter().all(|o| o.opcode != Opcode::Mul));
+        // semantics preserved
+        let mut prog = epic_ir::Program::new();
+        prog.add_func("main");
+        prog.funcs[0] = f;
+        prog.funcs[0].name = "main".into();
+        let r = epic_ir::interp::run(&prog, &[6, 7], Default::default()).unwrap();
+        assert_eq!(r.output, vec![420]);
+    }
+
+    #[test]
+    fn leaves_variant_ops() {
+        let mut bld = FuncBuilder::new(FuncId(0), "t");
+        let body = bld.block();
+        let exit = bld.block();
+        let i = bld.vreg();
+        bld.mov_to(i, 0i64);
+        bld.br(body);
+        bld.switch_to(body);
+        let sq = bld.binop(Opcode::Mul, i, i); // variant
+        bld.out(sq);
+        bld.binop_to(i, Opcode::Add, i, 1i64);
+        let p = bld.cmp(CmpKind::SLt, i, 3i64);
+        bld.brc(p, body);
+        bld.br(exit);
+        bld.switch_to(exit);
+        bld.ret(None);
+        let mut f = bld.finish();
+        assert_eq!(run(&mut f), 0);
+    }
+
+    #[test]
+    fn hoists_chains() {
+        // t1 = a+1 (invariant); t2 = t1*2 (invariant after t1 moves)
+        let mut bld = FuncBuilder::new(FuncId(0), "t");
+        let a = bld.param();
+        let body = bld.block();
+        let exit = bld.block();
+        let i = bld.vreg();
+        bld.mov_to(i, 0i64);
+        bld.br(body);
+        bld.switch_to(body);
+        let t1 = bld.binop(Opcode::Add, a, 1i64);
+        let t2 = bld.binop(Opcode::Shl, t1, 1i64);
+        bld.out(t2);
+        bld.binop_to(i, Opcode::Add, i, 1i64);
+        let p = bld.cmp(CmpKind::SLt, i, 2i64);
+        bld.brc(p, body);
+        bld.br(exit);
+        bld.switch_to(exit);
+        bld.ret(None);
+        let mut f = bld.finish();
+        assert_eq!(run(&mut f), 2);
+        verify_function(&f).unwrap();
+    }
+}

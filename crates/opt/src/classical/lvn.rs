@@ -1,0 +1,508 @@
+//! Local value numbering: per-block CSE, constant folding, copy
+//! propagation, and algebraic simplification.
+
+use epic_ir::{CmpKind, Function, Op, Opcode, Operand, Vreg};
+use std::collections::HashMap;
+
+/// A value number.
+type Vn = u32;
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Key {
+    Const(i64),
+    Global(u32),
+    FuncAddr(u32),
+    FrameAddr(u64),
+    /// Pure expression over value numbers.
+    Expr(OpKey, Vec<Vn>),
+    /// An opaque, unknown value (loads, call results, params, ...).
+    Opaque(u32),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum OpKey {
+    Alu(OpcodeTag),
+    Cmp(CmpKind),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum OpcodeTag {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+}
+
+fn tag(op: Opcode) -> Option<OpcodeTag> {
+    Some(match op {
+        Opcode::Add => OpcodeTag::Add,
+        Opcode::Sub => OpcodeTag::Sub,
+        Opcode::Mul => OpcodeTag::Mul,
+        Opcode::And => OpcodeTag::And,
+        Opcode::Or => OpcodeTag::Or,
+        Opcode::Xor => OpcodeTag::Xor,
+        Opcode::Shl => OpcodeTag::Shl,
+        Opcode::Shr => OpcodeTag::Shr,
+        Opcode::Sar => OpcodeTag::Sar,
+        _ => return None,
+    })
+}
+
+struct Numbering {
+    next: Vn,
+    next_opaque: u32,
+    keys: HashMap<Key, Vn>,
+    /// vn -> constant, when known.
+    consts: HashMap<Vn, i64>,
+    /// vn -> a register currently holding it (for copy prop / CSE reuse).
+    rep: HashMap<Vn, Vreg>,
+    /// register -> its current vn.
+    reg_vn: HashMap<Vreg, Vn>,
+}
+
+impl Numbering {
+    fn new() -> Numbering {
+        Numbering {
+            next: 0,
+            next_opaque: 0,
+            keys: HashMap::new(),
+            consts: HashMap::new(),
+            rep: HashMap::new(),
+            reg_vn: HashMap::new(),
+        }
+    }
+
+    fn vn_of_key(&mut self, k: Key) -> Vn {
+        if let Some(&v) = self.keys.get(&k) {
+            return v;
+        }
+        let v = self.next;
+        self.next += 1;
+        if let Key::Const(c) = k {
+            self.consts.insert(v, c);
+        }
+        self.keys.insert(k, v);
+        v
+    }
+
+    fn fresh(&mut self) -> Vn {
+        let o = self.next_opaque;
+        self.next_opaque += 1;
+        self.vn_of_key(Key::Opaque(o))
+    }
+
+    fn vn_of_reg(&mut self, r: Vreg) -> Vn {
+        if let Some(&v) = self.reg_vn.get(&r) {
+            return v;
+        }
+        let v = self.fresh();
+        self.reg_vn.insert(r, v);
+        // an incoming register is a valid representative of its own value
+        self.rep.entry(v).or_insert(r);
+        v
+    }
+
+    fn vn_of_operand(&mut self, o: &Operand) -> Vn {
+        match *o {
+            Operand::Reg(r) => self.vn_of_reg(r),
+            Operand::Imm(c) => self.vn_of_key(Key::Const(c)),
+            Operand::Global(g) => self.vn_of_key(Key::Global(g.0)),
+            Operand::FuncAddr(f) => self.vn_of_key(Key::FuncAddr(f.0)),
+            Operand::FrameAddr(a) => self.vn_of_key(Key::FrameAddr(a)),
+            Operand::Label(_) => self.fresh(),
+        }
+    }
+
+    /// Record that `r` now holds `vn`, making it the representative if none.
+    fn set_reg(&mut self, r: Vreg, vn: Vn) {
+        // drop stale representative status
+        if let Some(&old) = self.reg_vn.get(&r) {
+            if self.rep.get(&old) == Some(&r) {
+                self.rep.remove(&old);
+            }
+        }
+        self.reg_vn.insert(r, vn);
+        self.rep.entry(vn).or_insert(r);
+    }
+
+    /// Kill the value of `r` (guarded def, call result, ...).
+    fn clobber(&mut self, r: Vreg) {
+        let vn = self.fresh();
+        self.set_reg(r, vn);
+    }
+}
+
+/// Run LVN over every block of `f`. Returns the number of ops simplified
+/// (folded, propagated, or CSE'd).
+pub fn run(f: &mut Function) -> usize {
+    let mut changed = 0;
+    let blocks: Vec<_> = f.block_ids().collect();
+    for b in blocks {
+        let mut n = Numbering::new();
+        let ops = std::mem::take(&mut f.block_mut(b).ops);
+        let mut out = Vec::with_capacity(ops.len());
+        for mut op in ops {
+            // 1. Substitute operands: known constants or representatives.
+            for s in &mut op.srcs {
+                if let Operand::Reg(r) = *s {
+                    let vn = n.vn_of_reg(r);
+                    if let Some(&c) = n.consts.get(&vn) {
+                        *s = Operand::Imm(c);
+                        changed += 1;
+                    } else if let Some(&rep) = n.rep.get(&vn) {
+                        if rep != r {
+                            *s = Operand::Reg(rep);
+                            changed += 1;
+                        }
+                    }
+                }
+            }
+            if let Some(g) = op.guard {
+                let vn = n.vn_of_reg(g);
+                if let Some(&rep) = n.rep.get(&vn) {
+                    if rep != g {
+                        op.guard = Some(rep);
+                        changed += 1;
+                    }
+                }
+                // guard known constant
+                if let Some(&c) = n.consts.get(&vn) {
+                    if c != 0 {
+                        op.guard = None;
+                        changed += 1;
+                    } else {
+                        // op can never execute
+                        changed += 1;
+                        continue;
+                    }
+                }
+            }
+            // 2. Try to fold / simplify pure ops.
+            if op.guard.is_none() {
+                if let Some(simplified) = simplify(&op) {
+                    op = simplified;
+                    changed += 1;
+                }
+            }
+            // 3. Value-number the result.
+            match op.opcode {
+                Opcode::Mov => {
+                    let vn = n.vn_of_operand(&op.srcs[0]);
+                    if op.guard.is_none() {
+                        n.set_reg(op.dsts[0], vn);
+                    } else {
+                        n.clobber(op.dsts[0]);
+                    }
+                    out.push(op);
+                }
+                _ if op.opcode.is_pure() && op.guard.is_none() => {
+                    let vns: Vec<Vn> = op.srcs.iter().map(|s| n.vn_of_operand(s)).collect();
+                    let key = match op.opcode {
+                        Opcode::Cmp(k) => {
+                            if op.dsts.len() == 1 {
+                                Some(Key::Expr(OpKey::Cmp(k), vns.clone()))
+                            } else {
+                                None // two-dest compares are not CSE'd
+                            }
+                        }
+                        o => tag(o).map(|t| {
+                            let mut vs = vns.clone();
+                            // commutative ops: canonical operand order
+                            if matches!(
+                                t,
+                                OpcodeTag::Add
+                                    | OpcodeTag::Mul
+                                    | OpcodeTag::And
+                                    | OpcodeTag::Or
+                                    | OpcodeTag::Xor
+                            ) {
+                                vs.sort_unstable();
+                            }
+                            Key::Expr(OpKey::Alu(t), vs)
+                        }),
+                    };
+                    match key {
+                        Some(key) => {
+                            let prior = n.keys.get(&key).copied();
+                            let vn = n.vn_of_key(key);
+                            if let (Some(_), Some(&rep)) = (prior, n.rep.get(&vn)) {
+                                // CSE: replace with a copy from the rep.
+                                let dst = op.dsts[0];
+                                let mut mv =
+                                    Op::new(op.id, Opcode::Mov, vec![dst], vec![Operand::Reg(rep)]);
+                                mv.weight = op.weight;
+                                n.set_reg(dst, vn);
+                                out.push(mv);
+                                changed += 1;
+                                continue;
+                            }
+                            n.set_reg(op.dsts[0], vn);
+                            out.push(op);
+                        }
+                        None => {
+                            for d in op.dsts.clone() {
+                                n.clobber(d);
+                            }
+                            out.push(op);
+                        }
+                    }
+                }
+                _ => {
+                    for d in op.dsts.clone() {
+                        n.clobber(d);
+                    }
+                    out.push(op);
+                }
+            }
+        }
+        f.block_mut(b).ops = out;
+    }
+    changed
+}
+
+/// Constant folding and algebraic identities for an unguarded op with
+/// already-substituted operands. Returns a replacement op if simpler.
+fn simplify(op: &Op) -> Option<Op> {
+    let imm = |i: usize| op.srcs.get(i).and_then(|s| s.imm());
+    let mk_mov = |src: Operand| {
+        let mut m = Op::new(op.id, Opcode::Mov, vec![op.dsts[0]], vec![src]);
+        m.weight = op.weight;
+        Some(m)
+    };
+    match op.opcode {
+        Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor
+        | Opcode::Shl | Opcode::Shr | Opcode::Sar => {
+            let (a, b) = (imm(0), imm(1));
+            if let (Some(a), Some(b)) = (a, b) {
+                let r = fold_alu(op.opcode, a as u64, b as u64);
+                return mk_mov(Operand::Imm(r as i64));
+            }
+            // identities with rhs constant
+            if let Some(b) = b {
+                match (op.opcode, b) {
+                    (Opcode::Add | Opcode::Sub | Opcode::Or | Opcode::Xor, 0)
+                    | (Opcode::Shl | Opcode::Shr | Opcode::Sar, 0)
+                    | (Opcode::Mul, 1) => return mk_mov(op.srcs[0]),
+                    (Opcode::Mul, 0) | (Opcode::And, 0) => return mk_mov(Operand::Imm(0)),
+                    (Opcode::Mul, c) if c > 1 && (c as u64).is_power_of_two() => {
+                        let mut m = Op::new(
+                            op.id,
+                            Opcode::Shl,
+                            vec![op.dsts[0]],
+                            vec![op.srcs[0], Operand::Imm((c as u64).trailing_zeros() as i64)],
+                        );
+                        m.weight = op.weight;
+                        return Some(m);
+                    }
+                    _ => {}
+                }
+            }
+            // identities with lhs constant
+            if let Some(a) = a {
+                match (op.opcode, a) {
+                    (Opcode::Add | Opcode::Or | Opcode::Xor, 0) => return mk_mov(op.srcs[1]),
+                    (Opcode::Mul, 0) | (Opcode::And, 0) => return mk_mov(Operand::Imm(0)),
+                    (Opcode::Mul, 1) => return mk_mov(op.srcs[1]),
+                    _ => {}
+                }
+            }
+            None
+        }
+        Opcode::Div | Opcode::Rem => {
+            let (a, b) = (imm(0), imm(1));
+            if let (Some(a), Some(b)) = (a, b) {
+                if b != 0 {
+                    let r = if matches!(op.opcode, Opcode::Div) {
+                        a.wrapping_div(b)
+                    } else {
+                        a.wrapping_rem(b)
+                    };
+                    return mk_mov(Operand::Imm(r));
+                }
+            }
+            if imm(1) == Some(1) && matches!(op.opcode, Opcode::Div) {
+                return mk_mov(op.srcs[0]);
+            }
+            None
+        }
+        Opcode::Cmp(kind) => {
+            if op.dsts.len() != 1 {
+                return None;
+            }
+            let (a, b) = (imm(0), imm(1));
+            if let (Some(a), Some(b)) = (a, b) {
+                return mk_mov(Operand::Imm(kind.eval(a as u64, b as u64) as i64));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn fold_alu(opcode: Opcode, a: u64, b: u64) -> u64 {
+    match opcode {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => a << (b & 63),
+        Opcode::Shr => a >> (b & 63),
+        Opcode::Sar => ((a as i64) >> (b & 63)) as u64,
+        _ => unreachable!("non-ALU fold"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::builder::FuncBuilder;
+    use epic_ir::{BlockId, FuncId};
+
+    fn ops(f: &Function) -> Vec<Opcode> {
+        f.block(BlockId(0)).ops.iter().map(|o| o.opcode).collect()
+    }
+
+    #[test]
+    fn folds_constants_transitively() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let x = b.mov(2i64);
+        let y = b.binop(Opcode::Add, x, 3i64);
+        let z = b.binop(Opcode::Mul, y, y);
+        b.out(z);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        // out's operand must now be the constant 25
+        let out_op = &f.block(BlockId(0)).ops[3];
+        assert_eq!(out_op.opcode, Opcode::Out);
+        assert_eq!(out_op.srcs[0], Operand::Imm(25));
+    }
+
+    #[test]
+    fn cse_reuses_computation() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let q = b.param();
+        let x = b.binop(Opcode::Add, p, q);
+        let y = b.binop(Opcode::Add, p, q);
+        let z = b.binop(Opcode::Sub, x, y);
+        b.out(z);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        // second Add becomes Mov; Sub of equal vns still runs (we don't
+        // do x - x = 0 across vns, but after copy prop both srcs match).
+        let kinds = ops(&f);
+        assert_eq!(
+            kinds.iter().filter(|o| **o == Opcode::Add).count(),
+            1,
+            "one Add should remain: {kinds:?}"
+        );
+        assert!(kinds.contains(&Opcode::Mov));
+    }
+
+    #[test]
+    fn commutative_cse() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let q = b.param();
+        let x = b.binop(Opcode::Add, p, q);
+        let y = b.binop(Opcode::Add, q, p);
+        b.out(x);
+        b.out(y);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(
+            ops(&f).iter().filter(|o| **o == Opcode::Add).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn strength_reduction_mul_to_shl() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let x = b.binop(Opcode::Mul, p, 8i64);
+        b.out(x);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(ops(&f).contains(&Opcode::Shl));
+        assert!(!ops(&f).contains(&Opcode::Mul));
+    }
+
+    #[test]
+    fn constant_guard_resolution() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let t = b.mov(1i64);
+        let z = b.mov(0i64);
+        let mut op1 = epic_ir::Op::new(
+            epic_ir::OpId(0),
+            Opcode::Mov,
+            vec![b.vreg()],
+            vec![Operand::Imm(5)],
+        );
+        op1.guard = Some(t);
+        b.push(op1);
+        let mut op2 = epic_ir::Op::new(
+            epic_ir::OpId(0),
+            Opcode::Out,
+            vec![],
+            vec![Operand::Imm(9)],
+        );
+        op2.guard = Some(z);
+        b.push(op2);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        let blk = f.block(BlockId(0));
+        // guarded-true op lost its guard; guarded-false op vanished
+        assert!(blk.ops.iter().all(|o| o.guard.is_none()));
+        assert!(!blk.ops.iter().any(|o| o.opcode == Opcode::Out));
+    }
+
+    #[test]
+    fn does_not_fold_div_by_zero() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let x = b.binop(Opcode::Div, 5i64, 0i64);
+        b.out(x);
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(ops(&f).contains(&Opcode::Div));
+    }
+
+    #[test]
+    fn guarded_def_clobbers_value() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let x = b.mov(3i64);
+        let mut g = epic_ir::Op::new(
+            epic_ir::OpId(0),
+            Opcode::Mov,
+            vec![x],
+            vec![Operand::Imm(4)],
+        );
+        g.guard = Some(p);
+        b.push(g);
+        b.out(x); // must NOT fold to 3
+        b.ret(None);
+        let mut f = b.finish();
+        run(&mut f);
+        let out_op = f
+            .block(BlockId(0))
+            .ops
+            .iter()
+            .find(|o| o.opcode == Opcode::Out)
+            .unwrap();
+        assert_eq!(out_op.srcs[0], Operand::Reg(x));
+    }
+}

@@ -1,0 +1,82 @@
+//! Classical (non-EPIC) optimizations, as in the paper's "Classical
+//! optimization" phase of Fig. 4: value numbering, constant/copy
+//! propagation, dead code elimination, CFG simplification, and
+//! loop-invariant code motion.
+
+pub mod cfg;
+pub mod dce;
+pub mod gprop;
+pub mod licm;
+pub mod lvn;
+
+use epic_ir::Function;
+
+/// Run the classical pipeline to (approximate) fixpoint on one function.
+/// Returns the total number of simplifications applied.
+pub fn optimize_function(f: &mut Function) -> usize {
+    let mut total = 0;
+    for _round in 0..4 {
+        let mut changed = 0;
+        changed += lvn::run(f);
+        changed += gprop::run(f);
+        changed += dce::run(f);
+        changed += cfg::run(f);
+        total += changed;
+        if changed == 0 {
+            break;
+        }
+    }
+    total += licm::run(f);
+    total += lvn::run(f);
+    total += dce::run(f);
+    total += cfg::run(f);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::interp::{run as interp_run, InterpOptions};
+    use epic_ir::verify::verify_program;
+
+    /// End-to-end: classical optimization must preserve MiniC semantics.
+    #[test]
+    fn preserves_semantics_on_minic_program() {
+        let src = "
+            global tab: [int; 32];
+            fn mix(a: int, b: int) -> int {
+                let x = a * 8;
+                let y = a * 8;        // CSE fodder
+                if b > 0 { x = x + b; }
+                return x + y;
+            }
+            fn main() {
+                let i = 0;
+                while i < 32 {
+                    tab[i] = mix(i, i - 16);
+                    i = i + 1;
+                }
+                let s = 0;
+                i = 0;
+                while i < 32 { s = s + tab[i]; i = i + 1; }
+                out(s);
+            }";
+        let prog0 = epic_lang::compile(src).unwrap();
+        let want = interp_run(&prog0, &[], InterpOptions::default()).unwrap();
+        let mut prog = prog0.clone();
+        let mut simplified = 0;
+        for f in &mut prog.funcs {
+            simplified += optimize_function(f);
+        }
+        assert!(simplified > 0, "expected some simplification");
+        verify_program(&prog).unwrap();
+        let got = interp_run(&prog, &[], InterpOptions::default()).unwrap();
+        assert_eq!(got.output, want.output);
+        assert!(
+            got.ops_executed < want.ops_executed,
+            "optimization should reduce dynamic ops: {} -> {}",
+            want.ops_executed,
+            got.ops_executed
+        );
+    }
+}

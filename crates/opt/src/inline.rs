@@ -1,0 +1,389 @@
+//! Profile-guided procedure inlining.
+//!
+//! Following the paper (Sec. 3.1): callsites are expanded in priority order
+//! with `priority = exec_weight / sqrt(callee_size)` until the program has
+//! grown by a factor of 1.6, an empirically determined budget that provides
+//! enough inlining for ILP formation without unduly hurting the
+//! instruction cache.
+
+use epic_ir::{BlockId, BlockOrigin, FuncId, Op, Opcode, Operand, Program, Vreg};
+use std::collections::HashMap;
+
+/// Inlining configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct InlineOptions {
+    /// Stop when `program ops > growth_budget * original ops`.
+    pub growth_budget: f64,
+    /// Never inline callees larger than this many ops.
+    pub max_callee_ops: usize,
+    /// Ignore callsites colder than this weight.
+    pub min_weight: f64,
+}
+
+impl Default for InlineOptions {
+    fn default() -> InlineOptions {
+        InlineOptions {
+            growth_budget: 1.6,
+            max_callee_ops: 500,
+            min_weight: 1.0,
+        }
+    }
+}
+
+/// Statistics from an inlining run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InlineStats {
+    /// Callsites expanded.
+    pub inlined: usize,
+    /// Static ops before.
+    pub ops_before: usize,
+    /// Static ops after.
+    pub ops_after: usize,
+}
+
+/// Run profile-guided inlining over the whole program.
+pub fn run(prog: &mut Program, opts: InlineOptions) -> InlineStats {
+    let ops_before = prog.op_count();
+    let budget = (ops_before as f64 * opts.growth_budget) as usize;
+    let mut inlined = 0;
+    // Iterate: each inlining creates new candidate sites inside the caller.
+    for _round in 0..8 {
+        let mut candidates = find_candidates(prog, &opts);
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| b.priority.partial_cmp(&a.priority).unwrap());
+        let mut any = false;
+        for c in candidates {
+            if prog.op_count() + prog.func(c.callee).op_count() > budget {
+                continue;
+            }
+            if inline_site(prog, c.caller, c.block, c.op_idx, c.callee) {
+                inlined += 1;
+                any = true;
+                break; // op indexes are stale; re-scan
+            }
+        }
+        if !any {
+            break;
+        }
+        // keep scanning within the same budget
+        while prog.op_count() < budget {
+            let mut cs = find_candidates(prog, &opts);
+            if cs.is_empty() {
+                break;
+            }
+            cs.sort_by(|a, b| b.priority.partial_cmp(&a.priority).unwrap());
+            let c = cs[0];
+            if prog.op_count() + prog.func(c.callee).op_count() > budget {
+                break;
+            }
+            if !inline_site(prog, c.caller, c.block, c.op_idx, c.callee) {
+                break;
+            }
+            inlined += 1;
+        }
+    }
+    InlineStats {
+        inlined,
+        ops_before,
+        ops_after: prog.op_count(),
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    caller: FuncId,
+    block: BlockId,
+    op_idx: usize,
+    callee: FuncId,
+    priority: f64,
+}
+
+fn find_candidates(prog: &Program, opts: &InlineOptions) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for f in &prog.funcs {
+        for b in f.block_ids() {
+            let blk = f.block(b);
+            for (i, op) in blk.ops.iter().enumerate() {
+                if !op.is_call() || op.guard.is_some() {
+                    continue;
+                }
+                let Operand::FuncAddr(callee) = op.srcs[0] else {
+                    continue;
+                };
+                if callee == f.id {
+                    continue; // no self-inlining
+                }
+                let size = prog.func(callee).op_count();
+                if size == 0 || size > opts.max_callee_ops {
+                    continue;
+                }
+                let weight = blk.weight;
+                if weight < opts.min_weight {
+                    continue;
+                }
+                out.push(Candidate {
+                    caller: f.id,
+                    block: b,
+                    op_idx: i,
+                    callee,
+                    priority: weight / (size as f64).sqrt(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Inline one callsite. Returns false if the site no longer matches.
+fn inline_site(
+    prog: &mut Program,
+    caller: FuncId,
+    block: BlockId,
+    op_idx: usize,
+    callee_id: FuncId,
+) -> bool {
+    // Validate the site.
+    {
+        let f = prog.func(caller);
+        let Some(op) = f.block(block).ops.get(op_idx) else {
+            return false;
+        };
+        if !op.is_call() || op.srcs.first() != Some(&Operand::FuncAddr(callee_id)) {
+            return false;
+        }
+    }
+    let callee = prog.func(callee_id).clone();
+    let f = prog.func_mut(caller);
+
+    // Split the caller block at the call.
+    let call_op = f.block(block).ops[op_idx].clone();
+    let tail: Vec<Op> = f.block_mut(block).ops.split_off(op_idx + 1);
+    f.block_mut(block).ops.pop(); // remove the call
+    let (site_weight, site_origin) = {
+        let blk = f.block(block);
+        (blk.weight, blk.origin)
+    };
+    let post = f.add_block();
+    f.block_mut(post).ops = tail;
+    f.block_mut(post).weight = site_weight;
+    f.block_mut(post).origin = site_origin;
+
+    // Clone callee blocks into the caller.
+    let frame_shift = f.frame_size;
+    f.frame_size += (callee.frame_size + 15) & !15;
+    let mut vreg_map: HashMap<Vreg, Vreg> = HashMap::new();
+    let mut map_vreg = |f: &mut epic_ir::Function, v: Vreg, m: &mut HashMap<Vreg, Vreg>| -> Vreg {
+        *m.entry(v).or_insert_with(|| f.new_vreg())
+    };
+    let callsite_weight = f.block(block).weight;
+    let callee_entry_weight = callee.block(callee.entry).weight.max(1.0);
+    let scale = (callsite_weight / callee_entry_weight).min(1.0e12);
+
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    for cb in callee.block_ids() {
+        let nb = f.add_block();
+        block_map.insert(cb, nb);
+    }
+    for cb in callee.block_ids() {
+        let nb = block_map[&cb];
+        let src_blk = callee.block(cb);
+        let mut ops = Vec::with_capacity(src_blk.ops.len());
+        for op in &src_blk.ops {
+            // Rets become assignments + branch to post.
+            if matches!(op.opcode, Opcode::Ret) {
+                if let Some(&dst) = call_op.dsts.first() {
+                    let val = op
+                        .srcs
+                        .first()
+                        .map(|s| remap_operand(*s, &mut vreg_map, f, frame_shift, &mut map_vreg))
+                        .unwrap_or(Operand::Imm(0));
+                    let mut mv = Op::new(f.new_op_id(), Opcode::Mov, vec![dst], vec![val]);
+                    mv.weight = op.weight * scale;
+                    ops.push(mv);
+                }
+                let mut br = epic_ir::func::mk_br(f.new_op_id(), post);
+                br.weight = op.weight * scale;
+                ops.push(br);
+                continue;
+            }
+            let mut c = op.clone();
+            c.id = f.new_op_id();
+            c.weight *= scale;
+            for d in &mut c.dsts {
+                *d = map_vreg(f, *d, &mut vreg_map);
+            }
+            for s in &mut c.srcs {
+                *s = remap_operand(*s, &mut vreg_map, f, frame_shift, &mut map_vreg);
+                // remap labels through block_map
+                if let Operand::Label(t) = s {
+                    *s = Operand::Label(block_map[t]);
+                }
+            }
+            if let Some(g) = c.guard {
+                c.guard = Some(map_vreg(f, g, &mut vreg_map));
+            }
+            ops.push(c);
+        }
+        let nblk = f.block_mut(nb);
+        nblk.ops = ops;
+        nblk.weight = src_blk.weight * scale;
+        nblk.origin = BlockOrigin::Inline;
+    }
+
+    // Bind arguments and jump into the inlined entry.
+    let entry_nb = block_map[&callee.entry];
+    let mut binds = Vec::new();
+    for (i, &p) in callee.params.iter().enumerate() {
+        let arg = call_op.srcs.get(1 + i).copied().unwrap_or(Operand::Imm(0));
+        let np = map_vreg(f, p, &mut vreg_map);
+        let mut mv = Op::new(f.new_op_id(), Opcode::Mov, vec![np], vec![arg]);
+        mv.weight = callsite_weight;
+        binds.push(mv);
+    }
+    f.block_mut(block).ops.extend(binds);
+    let mut br = epic_ir::func::mk_br(f.new_op_id(), entry_nb);
+    br.weight = callsite_weight;
+    f.block_mut(block).ops.push(br);
+    true
+}
+
+fn remap_operand(
+    s: Operand,
+    map: &mut HashMap<Vreg, Vreg>,
+    f: &mut epic_ir::Function,
+    frame_shift: u64,
+    map_vreg: &mut impl FnMut(&mut epic_ir::Function, Vreg, &mut HashMap<Vreg, Vreg>) -> Vreg,
+) -> Operand {
+    match s {
+        Operand::Reg(v) => Operand::Reg(map_vreg(f, v, map)),
+        Operand::FrameAddr(off) => Operand::FrameAddr(off + frame_shift),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::interp::{run as interp_run, InterpOptions};
+    use epic_ir::verify::verify_program;
+
+    fn profiled(src: &str, args: &[i64]) -> Program {
+        let mut prog = epic_lang::compile(src).unwrap();
+        let r = interp_run(
+            &prog,
+            args,
+            InterpOptions {
+                collect_profile: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        r.profile.unwrap().apply(&mut prog);
+        prog
+    }
+
+    #[test]
+    fn inlines_hot_callee_and_preserves_semantics() {
+        let src = "
+            fn sq(x: int) -> int { return x * x; }
+            fn main() {
+                let i = 0; let s = 0;
+                while i < 100 { s = s + sq(i); i = i + 1; }
+                out(s);
+            }";
+        let mut prog = profiled(src, &[]);
+        let want = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        let stats = run(&mut prog, InlineOptions::default());
+        assert!(stats.inlined >= 1);
+        verify_program(&prog).unwrap();
+        // the hot call is gone from main
+        let main = prog.func(prog.func_by_name("main").unwrap());
+        let calls: usize = main
+            .block_ids()
+            .map(|b| main.block(b).ops.iter().filter(|o| o.is_call()).count())
+            .sum();
+        assert_eq!(calls, 0);
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn respects_growth_budget() {
+        // many distinct cold callsites of a biggish function: budget limits
+        let mut src = String::from("fn f(x: int) -> int { let a = x; let i = 0; while i < 3 { a = a * 2 + i; i = i + 1; } return a; }\nfn main() { let s = 0;\n");
+        for i in 0..40 {
+            src.push_str(&format!("s = s + f({i});\n"));
+        }
+        src.push_str("out(s); }");
+        let mut prog = profiled(&src, &[]);
+        let before = prog.op_count();
+        let stats = run(
+            &mut prog,
+            InlineOptions {
+                growth_budget: 1.3,
+                ..Default::default()
+            },
+        );
+        verify_program(&prog).unwrap();
+        assert!(stats.ops_after as f64 <= before as f64 * 1.35 + 60.0);
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        let want = interp_run(&profiled(&src, &[]), &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn skips_recursive_and_returns_value() {
+        let src = "
+            fn fact(n: int) -> int {
+                if n <= 1 { return 1; }
+                return n * fact(n - 1);
+            }
+            fn main() { out(fact(10)); }";
+        let mut prog = profiled(src, &[]);
+        run(&mut prog, InlineOptions::default());
+        verify_program(&prog).unwrap();
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, vec![3628800]);
+    }
+
+    #[test]
+    fn inlined_frame_slots_do_not_collide() {
+        let src = "
+            fn swap_add(x: int) -> int {
+                let a = x;       // address-taken -> frame slot
+                bump(&a);
+                return a;
+            }
+            fn bump(p: *int) { *p = *p + 1; }
+            fn main() {
+                let t = 0;      // address-taken -> frame slot in main
+                bump(&t);
+                out(swap_add(t) + t);
+            }";
+        let mut prog = profiled(src, &[]);
+        run(
+            &mut prog,
+            InlineOptions {
+                min_weight: 0.0,
+                ..Default::default()
+            },
+        );
+        verify_program(&prog).unwrap();
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, vec![3]); // t=1; swap_add(1)=2; 2+1
+    }
+}

@@ -1,0 +1,48 @@
+//! Profiling glue: run the program on a training input and annotate the IR.
+
+use epic_ir::interp::{run, InterpOptions, Trap};
+use epic_ir::profile::Profile;
+use epic_ir::Program;
+
+/// Run a training execution and write the collected weights onto `prog`.
+/// Returns the profile (also needed by indirect-call promotion).
+///
+/// # Errors
+/// Propagates any interpreter trap (a workload bug).
+pub fn profile_program(prog: &mut Program, train_args: &[i64], fuel: u64) -> Result<Profile, Trap> {
+    let r = run(
+        prog,
+        train_args,
+        InterpOptions {
+            fuel,
+            collect_profile: true,
+        },
+    )?;
+    let profile = r.profile.expect("profile requested");
+    profile.apply(prog);
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotates_blocks_and_branches() {
+        let mut prog = epic_lang::compile(
+            "fn main() {
+                 let i = 0;
+                 while i < 25 { i = i + 1; }
+                 out(i);
+             }",
+        )
+        .unwrap();
+        profile_program(&mut prog, &[], 1_000_000).unwrap();
+        let main = prog.func(prog.entry);
+        let max_w = main
+            .block_ids()
+            .map(|b| main.block(b).weight)
+            .fold(0.0f64, f64::max);
+        assert!(max_w >= 25.0, "loop body weight {max_w}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Profile-guided indirect-call promotion.
+//!
+//! The paper (Sec. 3.1) notes that programs like eon and gap make heavily
+//! biased indirect calls; IMPACT converts these to a test plus a
+//! "specialized" direct call to the dominant callee (which then becomes
+//! inlinable), falling back to the original indirect call otherwise.
+
+use epic_ir::func::mk_br;
+use epic_ir::profile::Profile;
+use epic_ir::{BlockId, CmpKind, FuncId, Op, Opcode, Operand, Program};
+
+/// Promotion configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PromoteOptions {
+    /// Minimum fraction of calls going to the dominant target.
+    pub min_bias: f64,
+    /// Minimum dynamic execution count of the callsite.
+    pub min_count: u64,
+}
+
+impl Default for PromoteOptions {
+    fn default() -> PromoteOptions {
+        PromoteOptions {
+            min_bias: 0.70,
+            min_count: 10,
+        }
+    }
+}
+
+/// Promote biased indirect callsites using `profile`'s call-target data
+/// (which must have been collected on the *same program shape*, i.e. run
+/// this before any other transform). Returns sites promoted.
+pub fn run(prog: &mut Program, profile: &Profile, opts: PromoteOptions) -> usize {
+    let mut sites = Vec::new();
+    for (fi, targets) in profile.call_targets.iter().enumerate() {
+        for (&(b, op_idx), counts) in targets {
+            let total: u64 = counts.values().sum();
+            if total < opts.min_count {
+                continue;
+            }
+            let (&best, &best_n) = counts.iter().max_by_key(|(_, n)| **n).unwrap();
+            if (best_n as f64) < opts.min_bias * total as f64 {
+                continue;
+            }
+            sites.push((
+                FuncId(fi as u32),
+                BlockId(b),
+                op_idx as usize,
+                FuncId(best),
+                best_n as f64,
+                (total - best_n) as f64,
+            ));
+        }
+    }
+    // Rewrite from highest op index first within each block so indexes stay
+    // valid; group by (func, block).
+    sites.sort_by_key(|s| std::cmp::Reverse((s.0 .0, s.1 .0, s.2)));
+    let mut promoted = 0;
+    for (fid, bid, op_idx, target, hot_w, cold_w) in sites {
+        if promote_site(prog, fid, bid, op_idx, target, hot_w, cold_w) {
+            promoted += 1;
+        }
+    }
+    promoted
+}
+
+fn promote_site(
+    prog: &mut Program,
+    fid: FuncId,
+    bid: BlockId,
+    op_idx: usize,
+    target: FuncId,
+    hot_w: f64,
+    cold_w: f64,
+) -> bool {
+    let f = prog.func_mut(fid);
+    {
+        let Some(op) = f.block(bid).ops.get(op_idx) else {
+            return false;
+        };
+        if !op.is_call() || !matches!(op.srcs[0], Operand::Reg(_)) || op.guard.is_some() {
+            return false;
+        }
+    }
+    let call = f.block(bid).ops[op_idx].clone();
+    let tail: Vec<Op> = f.block_mut(bid).ops.split_off(op_idx + 1);
+    f.block_mut(bid).ops.pop();
+    let site_weight = f.block(bid).weight;
+
+    let direct_b = f.add_block();
+    let indirect_b = f.add_block();
+    let join_b = f.add_block();
+    // test: p = (fp == &target)
+    let p = f.new_vreg();
+    let cmp = Op::new(
+        f.new_op_id(),
+        Opcode::Cmp(CmpKind::Eq),
+        vec![p],
+        vec![call.srcs[0], Operand::FuncAddr(target)],
+    );
+    let mut br_direct = mk_br(f.new_op_id(), direct_b);
+    br_direct.guard = Some(p);
+    br_direct.weight = hot_w;
+    let mut br_ind = mk_br(f.new_op_id(), indirect_b);
+    br_ind.weight = cold_w;
+    f.block_mut(bid).ops.extend([cmp, br_direct, br_ind]);
+
+    // direct call block
+    let mut dcall = call.clone();
+    dcall.id = f.new_op_id();
+    dcall.srcs[0] = Operand::FuncAddr(target);
+    let mut dbr = mk_br(f.new_op_id(), join_b);
+    dbr.weight = hot_w;
+    f.block_mut(direct_b).ops = vec![dcall, dbr];
+    f.block_mut(direct_b).weight = hot_w;
+
+    // fallback indirect call block
+    let mut icall = call.clone();
+    icall.id = f.new_op_id();
+    let mut ibr = mk_br(f.new_op_id(), join_b);
+    ibr.weight = cold_w;
+    f.block_mut(indirect_b).ops = vec![icall, ibr];
+    f.block_mut(indirect_b).weight = cold_w;
+
+    f.block_mut(join_b).ops = tail;
+    f.block_mut(join_b).weight = site_weight;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::interp::{run as interp_run, InterpOptions};
+    use epic_ir::verify::verify_program;
+
+    #[test]
+    fn promotes_biased_site_and_preserves_semantics() {
+        let src = "
+            fn a(x: int) -> int { return x + 1; }
+            fn b(x: int) -> int { return x * 2; }
+            fn main() {
+                let s = 0; let i = 0;
+                while i < 100 {
+                    let fp = a;
+                    if i % 10 == 0 { fp = b; }
+                    s = s + icall(fp, i);
+                    i = i + 1;
+                }
+                out(s);
+            }";
+        let mut prog = epic_lang::compile(src).unwrap();
+        let r = interp_run(
+            &prog,
+            &[],
+            InterpOptions {
+                collect_profile: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let want = r.output.clone();
+        let profile = r.profile.unwrap();
+        profile.apply(&mut prog);
+        let n = run(&mut prog, &profile, PromoteOptions::default());
+        assert_eq!(n, 1);
+        verify_program(&prog).unwrap();
+        // a direct call to `a` now exists in main
+        let main = prog.func(prog.func_by_name("main").unwrap());
+        let a_id = prog.func_by_name("a").unwrap();
+        let has_direct = main.block_ids().any(|b| {
+            main.block(b)
+                .ops
+                .iter()
+                .any(|o| o.is_call() && o.srcs[0] == Operand::FuncAddr(a_id))
+        });
+        assert!(has_direct);
+        let got = interp_run(&prog, &[], InterpOptions::default())
+            .unwrap()
+            .output;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn skips_unbiased_sites() {
+        let src = "
+            fn a(x: int) -> int { return x + 1; }
+            fn b(x: int) -> int { return x * 2; }
+            fn main() {
+                let s = 0; let i = 0;
+                while i < 100 {
+                    let fp = a;
+                    if i % 2 == 0 { fp = b; }
+                    s = s + icall(fp, i);
+                    i = i + 1;
+                }
+                out(s);
+            }";
+        let mut prog = epic_lang::compile(src).unwrap();
+        let r = interp_run(
+            &prog,
+            &[],
+            InterpOptions {
+                collect_profile: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let profile = r.profile.unwrap();
+        profile.apply(&mut prog);
+        assert_eq!(run(&mut prog, &profile, PromoteOptions::default()), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Profile-guided code layout: hot paths fall through contiguously, cold
+//! duplicates (remainder loops, tail copies) sink to the bottom of the
+//! function — the paper's "untouched excess code can be placed harmlessly
+//! in a cold location" (Sec. 2.4).
+
+use epic_ir::loops::edge_weight;
+use epic_ir::{BlockId, Function};
+
+/// Cold threshold: blocks executed fewer times go last.
+const COLD: f64 = 1.0;
+
+/// Compute a code layout order for the live blocks of `f`.
+///
+/// Greedy chaining: starting from the entry, repeatedly follow the
+/// hottest not-yet-placed successor; when stuck, restart from the hottest
+/// unplaced block. Cold blocks are collected at the end.
+pub fn layout(f: &Function) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut placed = vec![false; n];
+    let mut hot = Vec::new();
+    let mut cold = Vec::new();
+    // chain starting points: entry first, then blocks by descending weight
+    let mut seeds: Vec<BlockId> = f.block_ids().collect();
+    seeds.sort_by(|a, b| {
+        f.block(*b)
+            .weight
+            .partial_cmp(&f.block(*a).weight)
+            .unwrap()
+    });
+    seeds.retain(|b| *b != f.entry);
+    seeds.insert(0, f.entry);
+    for seed in seeds {
+        if placed[seed.index()] {
+            continue;
+        }
+        let mut cur = seed;
+        loop {
+            placed[cur.index()] = true;
+            if f.block(cur).weight >= COLD {
+                hot.push(cur);
+            } else {
+                cold.push(cur);
+            }
+            let next = f
+                .block(cur)
+                .succs()
+                .into_iter()
+                .filter(|s| !placed[s.index()])
+                .map(|s| (s, edge_weight(f, cur, s)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            match next {
+                Some((s, _)) => cur = s,
+                None => break,
+            }
+        }
+    }
+    hot.extend(cold);
+    hot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::builder::FuncBuilder;
+    use epic_ir::{CmpKind, FuncId, Opcode, Operand};
+
+    #[test]
+    fn entry_first_hot_chain_cold_last() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let hot1 = b.block();
+        let coldb = b.block();
+        let exit = b.block();
+        let p = b.param();
+        b.brc(p, coldb);
+        b.br(hot1);
+        b.switch_to(hot1);
+        b.br(exit);
+        b.switch_to(coldb);
+        b.br(exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        f.block_mut(epic_ir::BlockId(0)).weight = 100.0;
+        f.block_mut(hot1).weight = 99.0;
+        f.block_mut(coldb).weight = 0.5;
+        f.block_mut(exit).weight = 100.0;
+        // edge weights
+        f.block_mut(epic_ir::BlockId(0)).ops[1].weight = 99.0;
+        f.block_mut(epic_ir::BlockId(0)).ops[0].weight = 0.5;
+        let order = layout(&f);
+        assert_eq!(order[0], epic_ir::BlockId(0));
+        assert_eq!(*order.last().unwrap(), coldb);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn covers_every_live_block_once() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let l1 = b.block();
+        let l2 = b.block();
+        let done = b.block();
+        let i = b.vreg();
+        b.mov_to(i, 0i64);
+        b.br(l1);
+        b.switch_to(l1);
+        b.binop_to(i, Opcode::Add, i, 1i64);
+        let p = b.cmp(CmpKind::SLt, i, 10i64);
+        b.brc(p, l1);
+        b.br(l2);
+        b.switch_to(l2);
+        b.out(Operand::Reg(i));
+        b.br(done);
+        b.switch_to(done);
+        b.ret(None);
+        let f = b.finish();
+        let order = layout(&f);
+        let mut sorted: Vec<_> = order.iter().map(|b| b.index()).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,428 @@
+//! Linear-scan register allocation onto the IA-64-style windowed register
+//! file.
+//!
+//! Virtual registers used as qualifying predicates are assigned to the
+//! predicate file (indexes [`epic_mach::GR_WINDOW`]`..`); all others to
+//! general registers of the function's own register-stack window. Because
+//! each call allocates a fresh window, no caller/callee-save discipline is
+//! needed — instead the *size* of the window (`n_gr`) is what costs at run
+//! time, through register stack engine spills when the physical stack
+//! overflows (paper Sec. 4.4). Registers are handed out round-robin, so
+//! ILP-transformed code with many overlapping live ranges consumes many
+//! register names, exactly the paper's crafty/parser pressure story.
+//!
+//! Allocation runs *before* scheduling (as on an in-order machine with no
+//! renaming, reuse-induced anti-dependences constrain the scheduler).
+
+use epic_ir::liveness::Liveness;
+use epic_ir::{BlockId, Function, MemSize, Op, Opcode, Operand, Vreg};
+use epic_mach::GR_WINDOW;
+use std::collections::{BTreeSet, HashMap};
+
+/// Allocatable general registers (the rest of the window is reserved for
+/// spill temporaries).
+const GR_POOL: u32 = 90;
+/// Reserved spill temporaries.
+const SPILL_TEMPS: u32 = 6;
+/// Predicate registers available.
+const PR_POOL: u32 = 60;
+
+/// Result of allocation.
+#[derive(Clone, Debug, Default)]
+pub struct RegallocResult {
+    /// General registers used (window size; drives RSE cost).
+    pub n_gr: u32,
+    /// Predicate registers used.
+    pub n_pr: u32,
+    /// Virtual registers spilled to the stack frame.
+    pub spills: usize,
+    /// Physical registers holding incoming parameters, in order.
+    pub param_regs: Vec<u32>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Interval {
+    v: Vreg,
+    start: u32,
+    end: u32,
+    is_pred: bool,
+}
+
+/// Allocate `f` in place (rewrites all register operands to physical
+/// indexes). Must be called on laid-out code; `order` is the block layout.
+/// `prog` receives fresh alias sets for spill slots (compiler-private
+/// locations that conflict with nothing else).
+pub fn allocate(f: &mut Function, order: &[BlockId], prog: &mut epic_ir::Program) -> RegallocResult {
+    let live = Liveness::compute(f);
+    // --- positions ---
+    let mut pos_of_block: HashMap<BlockId, (u32, u32)> = HashMap::new(); // (start, end)
+    let mut pos = 1u32;
+    for &b in order {
+        let start = pos;
+        pos += 2 * f.block(b).ops.len() as u32 + 2;
+        pos_of_block.insert(b, (start, pos - 1));
+    }
+    // --- predicate classification ---
+    let nv = f.vreg_count();
+    let mut is_pred = vec![false; nv];
+    for &b in order {
+        for op in &f.block(b).ops {
+            if let Some(g) = op.guard {
+                is_pred[g.index()] = true;
+            }
+        }
+    }
+    // --- intervals ---
+    let mut start = vec![u32::MAX; nv];
+    let mut end = vec![0u32; nv];
+    let extend = |v: Vreg, p: u32, start: &mut Vec<u32>, end: &mut Vec<u32>| {
+        start[v.index()] = start[v.index()].min(p);
+        end[v.index()] = end[v.index()].max(p);
+    };
+    for &p in &f.params {
+        extend(p, 0, &mut start, &mut end);
+    }
+    for &b in order {
+        let (bs, be) = pos_of_block[&b];
+        for v in live.live_in(b).iter() {
+            extend(Vreg(v as u32), bs, &mut start, &mut end);
+        }
+        for v in live.live_out(b).iter() {
+            extend(Vreg(v as u32), be, &mut start, &mut end);
+        }
+        let mut p = bs + 1;
+        for op in &f.block(b).ops {
+            for u in op.uses() {
+                extend(u, p, &mut start, &mut end);
+            }
+            for &d in op.defs() {
+                extend(d, p + 1, &mut start, &mut end);
+            }
+            p += 2;
+        }
+    }
+    let mut intervals: Vec<Interval> = (0..nv)
+        .filter(|i| start[*i] != u32::MAX)
+        .map(|i| Interval {
+            v: Vreg(i as u32),
+            start: start[i],
+            end: end[i],
+            is_pred: is_pred[i],
+        })
+        .collect();
+    intervals.sort_by_key(|iv| iv.start);
+
+    // --- scan ---
+    // Lowest-index-first allocation: the register-stack window a function
+    // requests (n_gr) is its true simultaneous-pressure high-water mark,
+    // which is what the RSE spills on overflow (paper Sec. 4.4). ILP code
+    // with many overlapping live ranges genuinely widens the window;
+    // low-pressure code keeps calls cheap.
+    let mut gr_free: BTreeSet<u32> = (0..GR_POOL).collect();
+    let mut pr_free: BTreeSet<u32> = (0..PR_POOL).map(|i| GR_WINDOW + i).collect();
+    let mut assignment: HashMap<Vreg, u32> = HashMap::new();
+    let mut spilled: Vec<Vreg> = Vec::new();
+    // params get the first GRs, in order
+    let mut param_regs = Vec::new();
+    for &p in f.params.clone().iter() {
+        let r = gr_free.pop_first().expect("params fit");
+        assignment.insert(p, r);
+        param_regs.push(r);
+    }
+    let mut active: Vec<Interval> = intervals
+        .iter()
+        .filter(|iv| f.params.contains(&iv.v))
+        .copied()
+        .collect();
+    let mut max_gr = param_regs.len() as u32;
+    let mut max_pr = 0u32;
+    for iv in intervals.iter().filter(|iv| !f.params.contains(&iv.v)) {
+        // expire
+        active.retain(|a| {
+            if a.end < iv.start {
+                if let Some(&r) = assignment.get(&a.v) {
+                    if r >= GR_WINDOW {
+                        pr_free.insert(r);
+                    } else {
+                        gr_free.insert(r);
+                    }
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if iv.is_pred {
+            let r = pr_free
+                .pop_first()
+                .expect("predicate register file exhausted");
+            assignment.insert(iv.v, r);
+            max_pr = max_pr.max(r - GR_WINDOW + 1);
+            active.push(*iv);
+            continue;
+        }
+        match gr_free.pop_first() {
+            Some(r) => {
+                assignment.insert(iv.v, r);
+                max_gr = max_gr.max(r + 1);
+                active.push(*iv);
+            }
+            None => {
+                // spill the active GR interval ending furthest away
+                let victim = active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| !a.is_pred && !f.params.contains(&a.v))
+                    .max_by_key(|(_, a)| a.end)
+                    .map(|(i, a)| (i, *a));
+                match victim {
+                    Some((vi, va)) if va.end > iv.end => {
+                        let r = assignment.remove(&va.v).expect("active assigned");
+                        spilled.push(va.v);
+                        active.swap_remove(vi);
+                        assignment.insert(iv.v, r);
+                        active.push(*iv);
+                    }
+                    _ => spilled.push(iv.v),
+                }
+            }
+        }
+    }
+
+    // --- spill rewriting ---
+    // Each spill slot becomes its own abstract alias location (never
+    // visible to the program), so spill code only conflicts with itself.
+    let mut spill_slots: HashMap<Vreg, (u64, u32)> = HashMap::new();
+    for &v in &spilled {
+        let off = f.frame_size;
+        f.frame_size += 8;
+        let loc = 2_000_000 + (f.id.0 << 8) + spill_slots.len() as u32;
+        let tag = prog.add_alias_set(vec![loc]);
+        spill_slots.insert(v, (off, tag));
+    }
+    let n_spills = spilled.len();
+    if !spill_slots.is_empty() {
+        rewrite_spills(f, order, &spill_slots);
+    }
+
+    // --- rewrite to physical registers ---
+    for &b in order {
+        for op in &mut f.block_mut(b).ops {
+            for d in &mut op.dsts {
+                if let Some(&r) = assignment.get(d) {
+                    *d = Vreg(r);
+                }
+            }
+            for s in &mut op.srcs {
+                if let Operand::Reg(v) = s {
+                    if let Some(&r) = assignment.get(v) {
+                        *s = Operand::Reg(Vreg(r));
+                    }
+                }
+            }
+            if let Some(g) = op.guard {
+                if let Some(&r) = assignment.get(&g) {
+                    op.guard = Some(Vreg(r));
+                }
+            }
+        }
+    }
+    for p in &mut f.params {
+        if let Some(&r) = assignment.get(p) {
+            *p = Vreg(r);
+        }
+    }
+    // dense per-frame register tables must cover the whole physical space
+    f.reserve_vregs(GR_WINDOW + PR_POOL);
+    RegallocResult {
+        n_gr: if n_spills > 0 {
+            GR_POOL + SPILL_TEMPS
+        } else {
+            max_gr
+        },
+        n_pr: max_pr,
+        spills: n_spills,
+        param_regs,
+    }
+}
+
+/// Insert reloads before uses and stores after defs of spilled vregs,
+/// rewriting them to reserved temporaries.
+fn rewrite_spills(f: &mut Function, order: &[BlockId], slots: &HashMap<Vreg, (u64, u32)>) {
+    for &b in order {
+        let ops = std::mem::take(&mut f.block_mut(b).ops);
+        let mut out = Vec::with_capacity(ops.len() * 2);
+        for mut op in ops {
+            let mut temp_next = GR_POOL;
+            let mut temp_map: HashMap<Vreg, Vreg> = HashMap::new();
+            // reloads
+            let used: Vec<Vreg> = op.uses().filter(|u| slots.contains_key(u)).collect();
+            for u in used {
+                let t = *temp_map.entry(u).or_insert_with(|| {
+                    let t = Vreg(temp_next);
+                    temp_next += 1;
+                    t
+                });
+                assert!(temp_next <= GR_POOL + SPILL_TEMPS, "spill temps exhausted");
+                let (off, tag) = slots[&u];
+                let mut ld = Op::new(
+                    epic_ir::OpId(u32::MAX - 1),
+                    Opcode::Ld(MemSize::B8),
+                    vec![t],
+                    vec![Operand::FrameAddr(off)],
+                );
+                ld.weight = op.weight;
+                ld.mem_tag = tag;
+                out.push(ld);
+                op.replace_use(u, t);
+            }
+            // stores after defs
+            let defs: Vec<Vreg> = op.defs().iter().copied().filter(|d| slots.contains_key(d)).collect();
+            let guard = op.guard;
+            let mut stores = Vec::new();
+            for d in defs {
+                let t = *temp_map.entry(d).or_insert_with(|| {
+                    let t = Vreg(temp_next);
+                    temp_next += 1;
+                    t
+                });
+                assert!(temp_next <= GR_POOL + SPILL_TEMPS, "spill temps exhausted");
+                for dd in &mut op.dsts {
+                    if *dd == d {
+                        *dd = t;
+                    }
+                }
+                let (off, tag) = slots[&d];
+                let mut st = Op::new(
+                    epic_ir::OpId(u32::MAX - 1),
+                    Opcode::St(MemSize::B8),
+                    vec![],
+                    vec![Operand::FrameAddr(off), Operand::Reg(t)],
+                );
+                st.guard = guard;
+                st.weight = op.weight;
+                st.mem_tag = tag;
+                stores.push(st);
+            }
+            out.push(op);
+            out.extend(stores);
+        }
+        f.block_mut(b).ops = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::layout;
+    use epic_ir::builder::FuncBuilder;
+    use epic_ir::FuncId;
+
+    #[test]
+    fn allocates_disjoint_lifetimes_and_reports_window() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let x = b.binop(Opcode::Add, p, 1i64);
+        let y = b.binop(Opcode::Add, x, 2i64);
+        b.out(y);
+        b.ret(None);
+        let mut f = b.finish();
+        let order = layout(&f);
+        let mut prog_t = epic_ir::Program::new();
+        let r = allocate(&mut f, &order, &mut prog_t);
+        assert_eq!(r.spills, 0);
+        assert!(r.n_gr >= 1 && r.n_gr <= 4, "window {}", r.n_gr);
+        assert_eq!(r.param_regs, vec![0]);
+        // all operands are now physical (< GR_WINDOW + PR range)
+        for blk in f.block_ids() {
+            for op in &f.block(blk).ops {
+                for d in op.defs() {
+                    assert!(d.0 < GR_WINDOW + PR_POOL);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guards_land_in_predicate_file() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let tgt = b.block();
+        let p = b.param();
+        let c = b.cmp(epic_ir::CmpKind::SGt, p, 0i64);
+        b.brc(c, tgt);
+        b.br(tgt);
+        b.switch_to(tgt);
+        b.ret(None);
+        let mut f = b.finish();
+        let order = layout(&f);
+        let mut prog_t = epic_ir::Program::new();
+        let r = allocate(&mut f, &order, &mut prog_t);
+        assert_eq!(r.n_pr, 1);
+        let guard = f.block(epic_ir::BlockId(0)).ops[1].guard.unwrap();
+        assert!(guard.0 >= GR_WINDOW);
+        // the cmp's dst is the same predicate register
+        assert_eq!(f.block(epic_ir::BlockId(0)).ops[0].dsts[0], guard);
+    }
+
+    #[test]
+    fn high_pressure_spills_and_stays_correct() {
+        // build > GR_POOL simultaneously-live values, then consume them
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let mut vals = Vec::new();
+        for i in 0..(GR_POOL + 8) as i64 {
+            vals.push(b.mov(i));
+        }
+        let mut acc = b.mov(0i64);
+        for v in vals {
+            acc = b.binop(Opcode::Add, acc, v);
+        }
+        b.out(acc);
+        b.ret(None);
+        let mut f = b.finish();
+        let order = layout(&f);
+        let mut prog_t = epic_ir::Program::new();
+        let r = allocate(&mut f, &order, &mut prog_t);
+        assert!(r.spills > 0);
+        // executable result must still be the arithmetic series sum
+        let mut prog = epic_ir::Program::new();
+        prog.add_func("main");
+        f.name = "main".into();
+        prog.funcs[0] = f;
+        let got = epic_ir::interp::run(&prog, &[], Default::default()).unwrap();
+        let n = (GR_POOL + 8) as u64;
+        assert_eq!(got.output, vec![n * (n - 1) / 2]);
+    }
+
+    #[test]
+    fn loop_carried_values_keep_registers_across_backedge() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let body = b.block();
+        let exit = b.block();
+        let i = b.vreg();
+        let acc = b.vreg();
+        b.mov_to(i, 0i64);
+        b.mov_to(acc, 0i64);
+        b.br(body);
+        b.switch_to(body);
+        // use acc early, def late (wrap-around liveness)
+        let t = b.binop(Opcode::Add, acc, i);
+        b.mov_to(acc, t);
+        b.binop_to(i, Opcode::Add, i, 1i64);
+        let p = b.cmp(epic_ir::CmpKind::SLt, i, 10i64);
+        b.brc(p, body);
+        b.br(exit);
+        b.switch_to(exit);
+        b.out(acc);
+        b.ret(None);
+        let mut f = b.finish();
+        let order = layout(&f);
+        let mut prog_t = epic_ir::Program::new();
+        allocate(&mut f, &order, &mut prog_t);
+        let mut prog = epic_ir::Program::new();
+        prog.add_func("main");
+        f.name = "main".into();
+        prog.funcs[0] = f;
+        let got = epic_ir::interp::run(&prog, &[], Default::default()).unwrap();
+        assert_eq!(got.output, vec![45]);
+    }
+}

@@ -1,0 +1,720 @@
+//! Region dependence graphs and cycle-driven list scheduling.
+//!
+//! Scheduling operates on extended blocks (superblocks/hyperblocks): ops
+//! may move freely subject to data, memory, and control dependences. The
+//! configuration ladder mirrors the paper's:
+//!
+//! * **no speculation** (GCC / O-NS): nothing crosses a branch;
+//! * **safe speculation** (ILP-NS): pure ops whose destinations are dead
+//!   at a branch's target may hoist above it;
+//! * **control speculation** (ILP-CS): loads may hoist too, becoming
+//!   `ld.s` with NaT deferral.
+//!
+//! Memory dependences are drawn only between ops whose pointer-analysis
+//! alias tags conflict (the GCC configuration disables this and draws
+//! them conservatively).
+
+use epic_ir::liveness::Liveness;
+use epic_ir::{BlockId, Function, Op, Opcode, Program, Vreg};
+use epic_mach::units::{is_a_type, latency, needs_long, unit_kind, SlotKind, UnitKind};
+use std::collections::HashMap;
+
+/// Scheduler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedOptions {
+    /// Allow pure ops to move above branches (dst-liveness checked).
+    pub allow_safe_spec: bool,
+    /// Allow loads to move above branches, marking them speculative.
+    pub allow_control_spec: bool,
+    /// Use pointer-analysis tags for memory disambiguation.
+    pub use_alias: bool,
+    /// Bundles an issue group may span (2 = full 6-wide Itanium 2 issue;
+    /// 1 models GCC 3.2's poor bundle packing on IA-64).
+    pub max_group_bundles: usize,
+}
+
+impl SchedOptions {
+    /// GCC-like: no cross-branch motion, conservative memory dependences,
+    /// one bundle per issue group (GCC 3.2 "is not equipped to deliver
+    /// even minimal levels of ILP on IA-64", paper Sec. 2.1).
+    pub fn gcc() -> SchedOptions {
+        SchedOptions {
+            allow_safe_spec: false,
+            allow_control_spec: false,
+            use_alias: false,
+            max_group_bundles: 1,
+        }
+    }
+
+    /// O-NS: alias analysis, but no cross-branch motion of any kind.
+    pub fn o_ns() -> SchedOptions {
+        SchedOptions {
+            allow_safe_spec: false,
+            allow_control_spec: false,
+            use_alias: true,
+            max_group_bundles: 2,
+        }
+    }
+
+    /// ILP-NS: safe speculation only.
+    pub fn ilp_ns() -> SchedOptions {
+        SchedOptions {
+            allow_safe_spec: true,
+            allow_control_spec: false,
+            use_alias: true,
+            max_group_bundles: 2,
+        }
+    }
+
+    /// ILP-CS: control speculation of loads.
+    pub fn ilp_cs() -> SchedOptions {
+        SchedOptions {
+            allow_safe_spec: true,
+            allow_control_spec: true,
+            use_alias: true,
+            max_group_bundles: 2,
+        }
+    }
+}
+
+/// The schedule of one block: op indexes grouped by issue cycle, in cycle
+/// order. Ops within a group are listed in original program order.
+#[derive(Clone, Debug, Default)]
+pub struct BlockSchedule {
+    /// Issue groups (non-empty), each a set of op indexes.
+    pub groups: Vec<Vec<usize>>,
+    /// Schedule length in cycles (including latency-induced empty cycles).
+    pub cycles: u32,
+    /// Op indexes that were hoisted above at least one branch and must be
+    /// marked speculative (loads only).
+    pub speculated: Vec<usize>,
+}
+
+/// Schedule every block of `f`; returns per-block schedules indexed by
+/// block id, plus aggregate planned statistics.
+pub fn schedule_function(
+    f: &Function,
+    prog: &Program,
+    opts: &SchedOptions,
+) -> HashMap<BlockId, BlockSchedule> {
+    let live = Liveness::compute(f);
+    let mut out = HashMap::new();
+    for b in f.block_ids() {
+        let sched = schedule_block(f, b, prog, &live, opts);
+        out.insert(b, sched);
+    }
+    out
+}
+
+struct Dep {
+    to: usize,
+    lat: u32,
+}
+
+/// Build the DDG and list-schedule one block.
+fn schedule_block(
+    f: &Function,
+    b: BlockId,
+    prog: &Program,
+    live: &Liveness,
+    opts: &SchedOptions,
+) -> BlockSchedule {
+    let ops = &f.block(b).ops;
+    let n = ops.len();
+    let mut succs: Vec<Vec<Dep>> = (0..n).map(|_| Vec::new()).collect();
+    let mut n_preds = vec![0u32; n];
+    let add_edge = |from: usize, to: usize, lat: u32, succs: &mut Vec<Vec<Dep>>, n_preds: &mut Vec<u32>| {
+        succs[from].push(Dep { to, lat });
+        n_preds[to] += 1;
+    };
+
+    // --- predicate relations (a small stand-in for IMPACT's BDD-based
+    // predicate analysis, the paper's [27]): the two destinations of one
+    // single-def compare are complementary, so operations guarded by them
+    // are mutually exclusive and need no dependences between them. This
+    // is what lets a hyperblock's two arms overlap in one issue group. ---
+    let mut def_count: HashMap<Vreg, u32> = HashMap::new();
+    for op in ops.iter() {
+        for &d in op.defs() {
+            *def_count.entry(d).or_insert(0) += 1;
+        }
+    }
+    // value -> (complement, defining cmp's index): the relation only holds
+    // for ops *after* the compare (earlier guards read an older value in
+    // the same physical register).
+    let mut complement_of: HashMap<Vreg, (Vreg, usize)> = HashMap::new();
+    for (ci, op) in ops.iter().enumerate() {
+        if let (Opcode::Cmp(_), [d0, d1]) = (op.opcode, op.dsts.as_slice()) {
+            if def_count.get(d0) == Some(&1) && def_count.get(d1) == Some(&1) {
+                complement_of.insert(*d0, (*d1, ci));
+                complement_of.insert(*d1, (*d0, ci));
+            }
+        }
+    }
+    let disjoint = |i: usize, j: usize, a: Option<Vreg>, b: Option<Vreg>| -> bool {
+        match (a, b) {
+            (Some(p), Some(q)) => match complement_of.get(&p) {
+                Some(&(c, ci)) => c == q && i > ci && j > ci,
+                None => false,
+            },
+            _ => false,
+        }
+    };
+
+    // --- register dependences ---
+    let mut last_defs: HashMap<Vreg, Vec<usize>> = HashMap::new();
+    let mut uses_since_def: HashMap<Vreg, Vec<usize>> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        // flow: all reaching (may-)defs -> this use
+        for u in op.uses() {
+            if let Some(defs) = last_defs.get(&u) {
+                for &d in defs {
+                    if disjoint(d, i, ops[d].guard, op.guard) {
+                        continue; // mutually exclusive: no value can flow
+                    }
+                    // cmp feeding a branch guard may share the group
+                    let lat = if ops[i].is_branch() && ops[i].guard == Some(u) {
+                        0
+                    } else {
+                        latency(&ops[d])
+                    };
+                    add_edge(d, i, lat, &mut succs, &mut n_preds);
+                }
+            }
+            uses_since_def.entry(u).or_default().push(i);
+        }
+        for &d in op.defs() {
+            // output: previous defs -> this def (cannot share a group,
+            // unless the guards are complementary)
+            if let Some(defs) = last_defs.get(&d) {
+                for &j in defs {
+                    if disjoint(j, i, ops[j].guard, op.guard) {
+                        continue;
+                    }
+                    add_edge(j, i, 1, &mut succs, &mut n_preds);
+                }
+            }
+            // anti: previous uses -> this def (same group is fine: group
+            // reads see pre-group state)
+            if let Some(us) = uses_since_def.get(&d) {
+                for &j in us {
+                    if j != i {
+                        add_edge(j, i, 0, &mut succs, &mut n_preds);
+                    }
+                }
+            }
+            if op.guard.is_none() {
+                last_defs.insert(d, vec![i]);
+                uses_since_def.insert(d, Vec::new());
+            } else {
+                last_defs.entry(d).or_default().push(i);
+            }
+        }
+    }
+
+    // --- memory and pinned-op dependences ---
+    let conflict = |ai: usize, ci: usize, a: &Op, c: &Op| -> bool {
+        if disjoint(ai, ci, a.guard, c.guard) {
+            return false; // mutually exclusive predicates never both run
+        }
+        if !opts.use_alias {
+            return true;
+        }
+        prog.tags_conflict(a.mem_tag, c.mem_tag)
+    };
+    let mut prev_stores: Vec<usize> = Vec::new();
+    let mut prev_loads: Vec<usize> = Vec::new();
+    let mut prev_pinned: Option<usize> = None;
+    for (i, op) in ops.iter().enumerate() {
+        match op.opcode {
+            Opcode::Ld(_) | Opcode::Chk(_) | Opcode::ChkA(_) => {
+                // an advanced load (ld.a) may pass conflicting stores:
+                // the ALAT + its chk.a carry the dependence instead
+                let advanced = op.adv;
+                for &s in &prev_stores {
+                    if !advanced && conflict(s, i, &ops[s], op) {
+                        add_edge(s, i, 1, &mut succs, &mut n_preds);
+                    }
+                }
+                if let Some(p) = prev_pinned {
+                    if !ops[p].is_call() || conflict(p, i, &ops[p], op) {
+                        add_edge(p, i, 1, &mut succs, &mut n_preds);
+                    }
+                }
+                prev_loads.push(i);
+            }
+            Opcode::St(_) => {
+                for &s in &prev_stores {
+                    if conflict(s, i, &ops[s], op) {
+                        add_edge(s, i, 1, &mut succs, &mut n_preds);
+                    }
+                }
+                for &l in &prev_loads {
+                    if conflict(l, i, &ops[l], op) {
+                        add_edge(l, i, 1, &mut succs, &mut n_preds);
+                    }
+                }
+                if let Some(p) = prev_pinned {
+                    if !ops[p].is_call() || conflict(p, i, &ops[p], op) {
+                        add_edge(p, i, 1, &mut succs, &mut n_preds);
+                    }
+                }
+                prev_stores.push(i);
+            }
+            Opcode::Call => {
+                // calls conflict with memory ops per their effect tags and
+                // form a chain with other pinned ops
+                for &s in prev_stores.iter().chain(&prev_loads) {
+                    if conflict(s, i, &ops[s], op) {
+                        add_edge(s, i, 1, &mut succs, &mut n_preds);
+                    }
+                }
+                if let Some(p) = prev_pinned {
+                    add_edge(p, i, 1, &mut succs, &mut n_preds);
+                }
+                prev_pinned = Some(i);
+            }
+            Opcode::Out | Opcode::Alloc | Opcode::Ret => {
+                if let Some(p) = prev_pinned {
+                    add_edge(p, i, 1, &mut succs, &mut n_preds);
+                }
+                prev_pinned = Some(i);
+            }
+            _ => {}
+        }
+    }
+
+    // --- control dependences ---
+    let branch_idxs: Vec<usize> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_branch() || matches!(o.opcode, Opcode::Ret))
+        .map(|(i, _)| i)
+        .collect();
+    let mut spec_candidates: Vec<usize> = Vec::new();
+    for &bi in &branch_idxs {
+        // everything before a branch stays at or before it
+        for i in 0..bi {
+            add_edge(i, bi, 0, &mut succs, &mut n_preds);
+        }
+        // ops after the branch need its permission to hoist
+        let target_live = ops[bi]
+            .branch_target()
+            .map(|t| live.live_in(t));
+        for (i, op) in ops.iter().enumerate().skip(bi + 1) {
+            let hoistable = match op.opcode {
+                _ if op.has_side_effects() => false,
+                Opcode::Chk(_) | Opcode::ChkA(_) => false,
+                Opcode::Ld(_) => opts.allow_control_spec,
+                _ if op.opcode.is_pure() => opts.allow_safe_spec,
+                _ => false, // Div/Rem and anything else: never hoisted
+            } && target_live
+                .map(|tl| op.defs().iter().all(|d| !tl.contains(d.index())))
+                .unwrap_or(false);
+            if !hoistable {
+                add_edge(bi, i, 0, &mut succs, &mut n_preds);
+            } else if matches!(op.opcode, Opcode::Ld(_)) {
+                spec_candidates.push(i);
+            }
+        }
+    }
+    // calls pin everything around them
+    for (ci, op) in ops.iter().enumerate() {
+        if op.is_call() {
+            for i in 0..ci {
+                add_edge(i, ci, 0, &mut succs, &mut n_preds);
+            }
+            for i in ci + 1..n {
+                add_edge(ci, i, 1, &mut succs, &mut n_preds);
+            }
+        }
+    }
+
+    // --- priorities: critical-path height ---
+    let mut height = vec![0u32; n];
+    for i in (0..n).rev() {
+        let mut h = 0;
+        for d in &succs[i] {
+            h = h.max(d.lat + height[d.to]);
+        }
+        height[i] = h;
+    }
+
+    // --- list scheduling ---
+    // Template feasibility depends only on the ordered sequence of slot
+    // classes in a trial group, so cache the packer's verdicts (the DFS
+    // packer is far too slow to run per candidate per cycle).
+    let op_class: Vec<u8> = ops
+        .iter()
+        .map(|op| {
+            if needs_long(op) {
+                5
+            } else if is_a_type(op) {
+                4
+            } else {
+                match unit_kind(op) {
+                    UnitKind::M => 0,
+                    UnitKind::I => 1,
+                    UnitKind::F => 2,
+                    UnitKind::B => 3,
+                }
+            }
+        })
+        .collect();
+    let mut pack_memo: HashMap<Vec<u8>, u8> = HashMap::new();
+    let mut remaining_preds = n_preds.clone();
+    let mut earliest = vec![0u32; n];
+    let mut cycle_of = vec![u32::MAX; n];
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut cycle = 0u32;
+    let mut scheduled = 0usize;
+    while scheduled < n {
+        let mut group: Vec<usize> = Vec::new();
+        let mut res = Resources::default();
+        let mut has_callish = false;
+        // Iterate within the cycle: scheduling an op can make a 0-latency
+        // successor (e.g. a branch consuming this group's compare) ready
+        // in the same cycle.
+        loop {
+            let mut cands: Vec<usize> = ready
+                .iter()
+                .copied()
+                .filter(|&i| earliest[i] <= cycle && !group.contains(&i))
+                .collect();
+            cands.sort_by(|&a, &b| height[b].cmp(&height[a]).then(a.cmp(&b)));
+            let mut added = false;
+            for i in cands {
+                let op = &ops[i];
+                let callish = op.is_call() || matches!(op.opcode, Opcode::Ret);
+                if (callish && !group.is_empty()) || has_callish {
+                    continue;
+                }
+                if !res.admit(op) {
+                    continue;
+                }
+                // template feasibility (ops sorted by original index)
+                let mut trial = group.clone();
+                trial.push(i);
+                trial.sort_unstable();
+                let sig: Vec<u8> = trial.iter().map(|&k| op_class[k]).collect();
+                let nbundles = *pack_memo.entry(sig).or_insert_with(|| {
+                    let trial_ops: Vec<Op> = trial.iter().map(|&k| ops[k].clone()).collect();
+                    epic_mach::try_pack_group(trial_ops)
+                        .map(|b| b.len() as u8)
+                        .unwrap_or(u8::MAX)
+                });
+                if nbundles as usize > opts.max_group_bundles && !group.is_empty() {
+                    // over the issue-width cap (a lone op is always allowed
+                    // so scheduling can make progress)
+                    res.retract(op);
+                    continue;
+                }
+                if nbundles == u8::MAX {
+                    res.retract(op);
+                    continue;
+                }
+                group = trial;
+                has_callish |= callish;
+                // commit: release successors now so 0-latency deps can
+                // join this same group
+                cycle_of[i] = cycle;
+                scheduled += 1;
+                ready.retain(|&r| r != i);
+                for d in &succs[i] {
+                    remaining_preds[d.to] -= 1;
+                    earliest[d.to] = earliest[d.to].max(cycle + d.lat);
+                    if remaining_preds[d.to] == 0 {
+                        ready.push(d.to);
+                    }
+                }
+                added = true;
+            }
+            if !added {
+                break;
+            }
+        }
+        if !group.is_empty() {
+            groups.push(group);
+        }
+        cycle += 1;
+    }
+
+    // speculation marking: a load scheduled strictly before a branch that
+    // originally preceded it has been hoisted
+    let mut speculated = Vec::new();
+    for &i in &spec_candidates {
+        let hoisted = branch_idxs
+            .iter()
+            .any(|&bi| bi < i && cycle_of[bi] != u32::MAX && cycle_of[bi] > cycle_of[i]);
+        if hoisted {
+            speculated.push(i);
+        }
+    }
+    BlockSchedule {
+        groups,
+        cycles: cycle,
+        speculated,
+    }
+}
+
+/// Per-cycle resource counters (Itanium 2 issue rules).
+#[derive(Default)]
+struct Resources {
+    m: usize,
+    i_strict: usize,
+    f: usize,
+    b: usize,
+    a: usize,
+    l: usize,
+    slots: usize,
+}
+
+impl Resources {
+    fn admit(&mut self, op: &Op) -> bool {
+        let long = needs_long(op);
+        let slots = if long { 2 } else { 1 };
+        if self.slots + slots > 6 {
+            return false;
+        }
+        if long {
+            if self.l >= 2 {
+                return false;
+            }
+            self.l += 1;
+            self.slots += slots;
+            return true;
+        }
+        if is_a_type(op) {
+            // A-type ops run on any of the 6 ALUs (M or I slots)
+            if self.m + self.i_strict + self.a >= 6 {
+                return false;
+            }
+            self.a += 1;
+            self.slots += 1;
+            return true;
+        }
+        let ok = match unit_kind(op) {
+            UnitKind::M => {
+                if self.m >= 4 {
+                    false
+                } else {
+                    self.m += 1;
+                    true
+                }
+            }
+            UnitKind::I => {
+                if self.i_strict >= 2 {
+                    false
+                } else {
+                    self.i_strict += 1;
+                    true
+                }
+            }
+            UnitKind::F => {
+                if self.f >= 2 {
+                    false
+                } else {
+                    self.f += 1;
+                    true
+                }
+            }
+            UnitKind::B => {
+                if self.b >= 3 {
+                    false
+                } else {
+                    self.b += 1;
+                    true
+                }
+            }
+        };
+        if ok {
+            self.slots += 1;
+        }
+        ok
+    }
+
+    fn retract(&mut self, op: &Op) {
+        let long = needs_long(op);
+        if long {
+            self.l -= 1;
+            self.slots -= 2;
+            return;
+        }
+        if is_a_type(op) {
+            self.a -= 1;
+            self.slots -= 1;
+            return;
+        }
+        match unit_kind(op) {
+            UnitKind::M => self.m -= 1,
+            UnitKind::I => self.i_strict -= 1,
+            UnitKind::F => self.f -= 1,
+            UnitKind::B => self.b -= 1,
+        }
+        self.slots -= 1;
+    }
+}
+
+/// `SlotKind` is re-exported for emitters that inspect schedules.
+pub use epic_mach::units::SlotKind as _SlotKind;
+const _: &[SlotKind] = &[];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::builder::FuncBuilder;
+    use epic_ir::{CmpKind, FuncId, MemSize, Operand};
+
+    fn sched(f: &Function, opts: &SchedOptions) -> HashMap<BlockId, BlockSchedule> {
+        let prog = Program::new();
+        schedule_function(f, &prog, opts)
+    }
+
+    #[test]
+    fn independent_ops_share_a_cycle() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let q = b.param();
+        let _a = b.binop(Opcode::Add, p, 1i64);
+        let _c = b.binop(Opcode::Sub, q, 1i64);
+        let _d = b.binop(Opcode::Xor, p, q);
+        b.ret(None);
+        let f = b.finish();
+        let s = sched(&f, &SchedOptions::ilp_ns());
+        let bs = &s[&BlockId(0)];
+        // three ALU ops + ret; the ALUs share a group
+        assert_eq!(bs.groups[0].len(), 3, "groups: {:?}", bs.groups);
+    }
+
+    #[test]
+    fn flow_dependences_serialize() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let x = b.binop(Opcode::Add, p, 1i64);
+        let y = b.binop(Opcode::Add, x, 1i64);
+        let _z = b.binop(Opcode::Add, y, 1i64);
+        b.ret(None);
+        let f = b.finish();
+        let s = sched(&f, &SchedOptions::ilp_ns());
+        let bs = &s[&BlockId(0)];
+        assert!(bs.groups.len() >= 3, "chain must take 3+ groups");
+    }
+
+    #[test]
+    fn no_spec_blocks_motion_above_branch() {
+        // block: ld after a side exit; O-NS must keep it below
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let t = b.block();
+        let p = b.param();
+        let c = b.cmp(CmpKind::SGt, p, 0i64);
+        b.brc(c, t);
+        let v = b.load(MemSize::B8, p);
+        b.out(v);
+        b.ret(None);
+        b.switch_to(t);
+        b.ret(None);
+        let f = b.finish();
+        let s_ons = sched(&f, &SchedOptions::o_ns());
+        let bs = &s_ons[&BlockId(0)];
+        // find cycles of branch (idx 1) and load (idx 2)
+        let cyc = |bs: &BlockSchedule, idx: usize| {
+            bs.groups
+                .iter()
+                .position(|g| g.contains(&idx))
+                .expect("scheduled")
+        };
+        assert!(cyc(bs, 2) >= cyc(bs, 1));
+        assert!(bs.speculated.is_empty());
+        // ILP-CS may hoist it (dst dead at target)
+        let s_cs = sched(&f, &SchedOptions::ilp_cs());
+        let bs = &s_cs[&BlockId(0)];
+        if cyc(bs, 2) < cyc(bs, 1) {
+            assert_eq!(bs.speculated, vec![2]);
+        }
+    }
+
+    #[test]
+    fn store_load_conflicts_respected_without_alias() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let q = b.param();
+        b.store(MemSize::B8, p, 1i64);
+        let v = b.load(MemSize::B8, q);
+        b.out(v);
+        b.ret(None);
+        let f = b.finish();
+        let s = sched(&f, &SchedOptions::gcc());
+        let bs = &s[&BlockId(0)];
+        let cyc = |idx: usize| bs.groups.iter().position(|g| g.contains(&idx)).unwrap();
+        assert!(cyc(1) > cyc(0), "load must follow conflicting store");
+    }
+
+    #[test]
+    fn disjoint_alias_tags_allow_reordering() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let q = b.param();
+        b.store(MemSize::B8, p, 1i64);
+        let v = b.load(MemSize::B8, q);
+        b.out(v);
+        b.ret(None);
+        let mut f = b.finish();
+        let mut prog = Program::new();
+        let t1 = prog.add_alias_set(vec![1]);
+        let t2 = prog.add_alias_set(vec![2]);
+        f.block_mut(BlockId(0)).ops[0].mem_tag = t1;
+        f.block_mut(BlockId(0)).ops[1].mem_tag = t2;
+        let s = schedule_function(&f, &prog, &SchedOptions::o_ns());
+        let bs = &s[&BlockId(0)];
+        // store and load may now share the first group
+        assert!(bs.groups[0].contains(&0) && bs.groups[0].contains(&1));
+    }
+
+    #[test]
+    fn cmp_and_dependent_branch_share_group() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let t = b.block();
+        let p = b.param();
+        let c = b.cmp(CmpKind::SGt, p, 0i64);
+        b.brc(c, t);
+        b.ret(None);
+        b.switch_to(t);
+        b.ret(None);
+        let f = b.finish();
+        let s = sched(&f, &SchedOptions::o_ns());
+        let bs = &s[&BlockId(0)];
+        assert!(bs.groups[0].contains(&0) && bs.groups[0].contains(&1));
+    }
+
+    #[test]
+    fn calls_schedule_alone() {
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        let _x = b.binop(Opcode::Add, p, 1i64);
+        let _r = b.call(Operand::FuncAddr(FuncId(0)), &[Operand::Reg(p)]);
+        let _y = b.binop(Opcode::Add, p, 2i64);
+        b.ret(None);
+        let f = b.finish();
+        let s = sched(&f, &SchedOptions::ilp_cs());
+        let bs = &s[&BlockId(0)];
+        let call_group = bs.groups.iter().find(|g| g.contains(&1)).unwrap();
+        assert_eq!(call_group.len(), 1, "call shares a group: {:?}", bs.groups);
+    }
+
+    #[test]
+    fn resource_limits_split_wide_groups() {
+        // 8 independent adds cannot fit one 6-wide cycle
+        let mut b = FuncBuilder::new(FuncId(0), "t");
+        let p = b.param();
+        for k in 0..8i64 {
+            b.binop(Opcode::Add, p, k);
+        }
+        b.ret(None);
+        let f = b.finish();
+        let s = sched(&f, &SchedOptions::ilp_ns());
+        let bs = &s[&BlockId(0)];
+        assert!(bs.groups[0].len() <= 6);
+        assert!(bs.groups.len() >= 2);
+    }
+}

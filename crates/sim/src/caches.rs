@@ -1,0 +1,206 @@
+//! Set-associative LRU caches and the three-level hierarchy
+//! (16K L1I / 16K L1D, unified 256K L2 and 3M L3, as in paper Fig. 1).
+
+use epic_mach::config::CacheConfig;
+
+/// One set-associative LRU cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<u64>>, // per set: line tags, MRU first
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total misses.
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Build a cache from its geometry.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let n_sets = (cfg.size / (cfg.line * cfg.ways)).max(1);
+        Cache {
+            cfg,
+            sets: vec![Vec::new(); n_sets as usize],
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line) % self.sets.len() as u64) as usize
+    }
+
+    /// Access the line containing `addr`; returns true on hit. Misses
+    /// allocate (evicting LRU).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let tag = addr / self.cfg.line;
+        let si = self.set_of(addr);
+        let ways = self.cfg.ways as usize;
+        let set = &mut self.sets[si];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            self.misses += 1;
+            set.insert(0, tag);
+            set.truncate(ways);
+            false
+        }
+    }
+
+    /// Hit latency of this level.
+    pub fn latency(&self) -> u64 {
+        self.cfg.latency
+    }
+
+    /// Line size in bytes.
+    pub fn line(&self) -> u64 {
+        self.cfg.line
+    }
+}
+
+/// Which level serviced an access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Level {
+    /// First-level hit.
+    L1,
+    /// Second-level hit.
+    L2,
+    /// Third-level hit.
+    L3,
+    /// Main memory.
+    Mem,
+}
+
+/// The unified L2/L3 + memory behind both L1s.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// L1 instruction cache.
+    pub l1i: Cache,
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// Unified L2.
+    pub l2: Cache,
+    /// Unified L3.
+    pub l3: Cache,
+    mem_latency: u64,
+}
+
+impl Hierarchy {
+    /// Build from a machine configuration.
+    pub fn new(cfg: &epic_mach::MachineConfig) -> Hierarchy {
+        Hierarchy {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            l3: Cache::new(cfg.l3),
+            mem_latency: cfg.mem_latency,
+        }
+    }
+
+    /// Instruction fetch of the line containing `addr`:
+    /// `(total latency, level)`.
+    pub fn fetch_inst(&mut self, addr: u64) -> (u64, Level) {
+        if self.l1i.access(addr) {
+            return (self.l1i.latency(), Level::L1);
+        }
+        self.lower(addr, self.l1i.latency())
+    }
+
+    /// Data access of `addr`: `(total latency, level)`.
+    pub fn access_data(&mut self, addr: u64) -> (u64, Level) {
+        if self.l1d.access(addr) {
+            return (self.l1d.latency(), Level::L1);
+        }
+        self.lower(addr, self.l1d.latency())
+    }
+
+    fn lower(&mut self, addr: u64, base: u64) -> (u64, Level) {
+        if self.l2.access(addr) {
+            return (base + self.l2.latency(), Level::L2);
+        }
+        if self.l3.access(addr) {
+            return (base + self.l2.latency() + self.l3.latency(), Level::L3);
+        }
+        (
+            base + self.l2.latency() + self.l3.latency() + self.mem_latency,
+            Level::Mem,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_mach::MachineConfig;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig {
+            size: 256,
+            line: 64,
+            ways: 2,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn hits_after_fill() {
+        let mut c = small();
+        assert!(!c.access(0));
+        assert!(c.access(8)); // same line
+        assert!(c.access(63));
+        assert!(!c.access(64));
+        assert_eq!(c.accesses, 4);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small(); // 2 sets, 2 ways
+        // set 0 lines: 0, 128, 256 (tags 0,2,4)
+        assert!(!c.access(0));
+        assert!(!c.access(128));
+        assert!(c.access(0)); // 0 now MRU
+        assert!(!c.access(256)); // evicts 128
+        assert!(c.access(0));
+        assert!(!c.access(128)); // was evicted
+    }
+
+    #[test]
+    fn hierarchy_latencies_stack() {
+        let mut h = Hierarchy::new(&MachineConfig::default());
+        let (lat, lvl) = h.access_data(0x2000_0000);
+        assert_eq!(lvl, Level::Mem);
+        assert_eq!(lat, 1 + 5 + 12 + 140);
+        let (lat, lvl) = h.access_data(0x2000_0000);
+        assert_eq!(lvl, Level::L1);
+        assert_eq!(lat, 1);
+    }
+
+    #[test]
+    fn l2_is_shared_between_inst_and_data() {
+        let mut h = Hierarchy::new(&MachineConfig::default());
+        let addr = 0x40_0000;
+        h.fetch_inst(addr); // fills L2/L3 via instruction path
+        // evict from tiny L1D domain is irrelevant; data access to the same
+        // line must now hit L2 (shared)
+        let (lat, lvl) = h.access_data(addr);
+        assert_eq!(lvl, Level::L2);
+        assert_eq!(lat, 1 + 5);
+    }
+
+    /// Invariant: hits + misses == accesses.
+    #[test]
+    fn counts_are_consistent() {
+        let mut c = small();
+        let mut seed = 1u64;
+        for _ in 0..1000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            c.access(seed % 4096);
+        }
+        assert_eq!(c.accesses, 1000);
+        assert!(c.misses <= c.accesses);
+    }
+}

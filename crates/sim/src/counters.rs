@@ -1,0 +1,179 @@
+//! Cycle accounting (paper Fig. 5's nine categories) and performance
+//! counters (the Pfmon-style measurements every experiment consumes).
+
+/// The paper's Fig. 5 cycle categories.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Category {
+    /// Issue cycles (the compiler's plan executing without stall).
+    Unstalled,
+    /// Scoreboard stalls on F-unit producers (multiply/divide here).
+    FloatScoreboard,
+    /// Integer scoreboard + exception flush + other small contributors.
+    Misc,
+    /// Scoreboard stalls on loads (data-cache misses).
+    IntLoadBubble,
+    /// Memory-pipeline stalls: store-forwarding conflicts, DTLB walks.
+    Micropipe,
+    /// Instruction fetch starvation (I-cache misses past the buffer).
+    FrontEndBubble,
+    /// Branch misprediction flushes.
+    BrMispredictFlush,
+    /// Register stack engine spills/fills.
+    RegisterStack,
+    /// Kernel time: wild-load page-table queries, syscalls, NaT page.
+    Kernel,
+}
+
+/// All categories, in Fig. 5's stacking order.
+pub const CATEGORIES: [Category; 9] = [
+    Category::Unstalled,
+    Category::FloatScoreboard,
+    Category::Misc,
+    Category::IntLoadBubble,
+    Category::Micropipe,
+    Category::FrontEndBubble,
+    Category::BrMispredictFlush,
+    Category::RegisterStack,
+    Category::Kernel,
+];
+
+/// Cycle totals per category.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CycleAccounting {
+    /// Issue cycles.
+    pub unstalled: u64,
+    /// F-unit scoreboard stalls.
+    pub float_scoreboard: u64,
+    /// Other scoreboard + exception flush.
+    pub misc: u64,
+    /// Load-miss scoreboard stalls.
+    pub int_load_bubble: u64,
+    /// Memory-pipeline (micropipe) stalls.
+    pub micropipe: u64,
+    /// Fetch starvation.
+    pub front_end_bubble: u64,
+    /// Misprediction flushes.
+    pub br_mispredict_flush: u64,
+    /// RSE activity.
+    pub register_stack: u64,
+    /// Kernel cycles.
+    pub kernel: u64,
+}
+
+impl CycleAccounting {
+    /// Add cycles to a category.
+    pub fn charge(&mut self, cat: Category, cycles: u64) {
+        *self.slot(cat) += cycles;
+    }
+
+    fn slot(&mut self, cat: Category) -> &mut u64 {
+        match cat {
+            Category::Unstalled => &mut self.unstalled,
+            Category::FloatScoreboard => &mut self.float_scoreboard,
+            Category::Misc => &mut self.misc,
+            Category::IntLoadBubble => &mut self.int_load_bubble,
+            Category::Micropipe => &mut self.micropipe,
+            Category::FrontEndBubble => &mut self.front_end_bubble,
+            Category::BrMispredictFlush => &mut self.br_mispredict_flush,
+            Category::RegisterStack => &mut self.register_stack,
+            Category::Kernel => &mut self.kernel,
+        }
+    }
+
+    /// Read a category.
+    pub fn get(&self, cat: Category) -> u64 {
+        match cat {
+            Category::Unstalled => self.unstalled,
+            Category::FloatScoreboard => self.float_scoreboard,
+            Category::Misc => self.misc,
+            Category::IntLoadBubble => self.int_load_bubble,
+            Category::Micropipe => self.micropipe,
+            Category::FrontEndBubble => self.front_end_bubble,
+            Category::BrMispredictFlush => self.br_mispredict_flush,
+            Category::RegisterStack => self.register_stack,
+            Category::Kernel => self.kernel,
+        }
+    }
+
+    /// Total execution cycles.
+    pub fn total(&self) -> u64 {
+        CATEGORIES.iter().map(|c| self.get(*c)).sum()
+    }
+
+    /// "Planned" cycles in the paper's Fig. 2 sense: the statically
+    /// anticipable components (unstalled + scoreboard categories),
+    /// subtracting all dynamic effects.
+    pub fn planned(&self) -> u64 {
+        self.unstalled + self.float_scoreboard + self.misc
+    }
+
+    /// Total minus data-cache stall only (the paper's 1.21 datapoint).
+    pub fn total_minus_dcache(&self) -> u64 {
+        self.total() - self.int_load_bubble
+    }
+}
+
+/// Event counters exposed by the simulated performance monitoring unit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counters {
+    /// Retired ops with a true (or absent) qualifying predicate.
+    pub retired_useful: u64,
+    /// Retired predicate-squashed ops.
+    pub retired_squashed: u64,
+    /// Retired explicit nops.
+    pub retired_nops: u64,
+    /// Dynamic branches executed (guard-true or unconditional `Br`).
+    pub dynamic_branches: u64,
+    /// Conditional-branch predictions.
+    pub branch_predictions: u64,
+    /// Conditional-branch mispredictions.
+    pub branch_mispredictions: u64,
+    /// L1I line fetches.
+    pub l1i_accesses: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// L1D accesses.
+    pub l1d_accesses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 accesses (instruction + data).
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Speculative loads executed.
+    pub spec_loads: u64,
+    /// Speculative loads that faulted to NaT (deferred).
+    pub deferred_loads: u64,
+    /// Wild loads (invalid non-NULL addresses: kernel page-table query).
+    pub wild_loads: u64,
+    /// DTLB misses (hardware walks).
+    pub dtlb_misses: u64,
+    /// `chk` recoveries (sentinel model).
+    pub chk_recoveries: u64,
+    /// Advanced (data-speculative) loads executed.
+    pub adv_loads: u64,
+    /// `chk.a` ALAT misses (data-speculation recoveries).
+    pub alat_misses: u64,
+    /// RSE registers spilled + filled.
+    pub rse_regs_moved: u64,
+    /// Calls executed.
+    pub calls: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_planned() {
+        let mut a = CycleAccounting::default();
+        a.charge(Category::Unstalled, 100);
+        a.charge(Category::IntLoadBubble, 30);
+        a.charge(Category::FloatScoreboard, 5);
+        a.charge(Category::Kernel, 10);
+        assert_eq!(a.total(), 145);
+        assert_eq!(a.planned(), 105);
+        assert_eq!(a.total_minus_dcache(), 115);
+        assert_eq!(a.get(Category::Kernel), 10);
+    }
+}

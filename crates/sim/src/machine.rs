@@ -1,0 +1,744 @@
+//! The in-order EPIC performance simulator.
+//!
+//! Executes [`epic_mach::MachProgram`] code functionally *and* charges
+//! cycles to the paper's Fig. 5 categories. The core follows Itanium 2
+//! semantics: issue groups execute atomically (all reads see pre-group
+//! state, with the architected exception that a branch may consume a
+//! compare result from its own group), a taken branch squashes the rest
+//! of its group, predicated-off operations retire without effect, and
+//! speculative loads defer faults to NaT. Timing is modeled by a
+//! register scoreboard (loads are scheduled for the L1 hit; misses stall
+//! consumers), an I-cache-fed front end decoupled by a 48-op buffer, a
+//! gshare branch predictor, a DTLB with hardware walks, the register
+//! stack engine, and the general/sentinel speculation recovery models of
+//! paper Fig. 9.
+
+use crate::branch::Predictor;
+use crate::caches::Hierarchy;
+use crate::counters::{Category, Counters, CycleAccounting};
+use crate::rse::Rse;
+use crate::tlb::Dtlb;
+use epic_ir::interp::checksum;
+use epic_ir::mem::{func_from_addr, Memory, STACK_TOP};
+use epic_ir::{Opcode, Operand, Value, Vreg};
+use epic_mach::{MachProgram, MachineConfig, Slot};
+use std::collections::VecDeque;
+
+/// Speculation recovery model (paper Fig. 9 / Sec. 4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SpecModel {
+    /// Wild speculative loads complete via an expensive, uncacheable
+    /// kernel page-table query (charged to kernel cycles).
+    #[default]
+    General,
+    /// Speculative loads defer cheaply on DTLB miss; `chk` recovers.
+    Sentinel,
+}
+
+/// Simulator options.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// Machine configuration.
+    pub config: MachineConfig,
+    /// Hard cycle limit.
+    pub fuel_cycles: u64,
+    /// Speculation recovery model.
+    pub spec_model: SpecModel,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions {
+            config: MachineConfig::default(),
+            fuel_cycles: 20_000_000_000,
+            spec_model: SpecModel::General,
+        }
+    }
+}
+
+/// Abnormal termination.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimTrap {
+    /// Non-speculative access to an invalid address.
+    MemFault(u64),
+    /// Division by zero.
+    DivByZero,
+    /// Indirect call to a non-function address.
+    BadCall(u64),
+    /// Cycle budget exhausted.
+    OutOfFuel,
+    /// Deferred NaT consumed by a non-speculative side effect.
+    NatConsumed(String),
+    /// Ill-formed machine code (compiler bug).
+    Malformed(String),
+}
+
+impl std::fmt::Display for SimTrap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimTrap::MemFault(a) => write!(f, "memory fault at {a:#x}"),
+            SimTrap::DivByZero => write!(f, "division by zero"),
+            SimTrap::BadCall(a) => write!(f, "call to non-function {a:#x}"),
+            SimTrap::OutOfFuel => write!(f, "cycle budget exhausted"),
+            SimTrap::NatConsumed(w) => write!(f, "NaT consumed at {w}"),
+            SimTrap::Malformed(w) => write!(f, "malformed machine code: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for SimTrap {}
+
+/// Simulation results: functional output plus all measurements.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The `Out` stream.
+    pub output: Vec<u64>,
+    /// FNV-1a checksum of the output.
+    pub checksum: u64,
+    /// `main`'s return value.
+    pub ret: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Fig. 5 cycle accounting.
+    pub acct: CycleAccounting,
+    /// Performance counters.
+    pub counters: Counters,
+    /// Per-function cycle attribution (Fig. 10), indexed by `FuncId`.
+    pub cycles_by_func: Vec<u64>,
+}
+
+/// What a source-register value was produced by (for charging scoreboard
+/// stalls to the right Fig. 5 bucket).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum ProducerKind {
+    #[default]
+    Other,
+    Load,
+    Float,
+}
+
+struct Frame {
+    regs: Vec<Value>,
+    ready: Vec<u64>,
+    producer: Vec<ProducerKind>,
+    sp: u64,
+    ret_pos: (usize, usize),
+    ret_dst: Option<Vreg>,
+}
+
+impl Frame {
+    fn new(nregs: usize, sp: u64) -> Frame {
+        Frame {
+            regs: vec![Value::default(); nregs],
+            ready: vec![0; nregs],
+            producer: vec![ProducerKind::Other; nregs],
+            sp,
+            ret_pos: (usize::MAX, usize::MAX),
+            ret_dst: None,
+        }
+    }
+}
+
+const NREGS: usize = (epic_mach::GR_WINDOW + epic_mach::PR_COUNT) as usize;
+
+/// Run a compiled program.
+///
+/// # Errors
+/// Returns a [`SimTrap`] on any runtime error; correct compiled workloads
+/// never trap.
+pub fn run(mp: &MachProgram, args: &[i64], opts: &SimOptions) -> Result<SimResult, SimTrap> {
+    Sim::new(mp, opts).run(args)
+}
+
+struct Sim<'a> {
+    mp: &'a MachProgram,
+    cfg: MachineConfig,
+    spec_model: SpecModel,
+    fuel: u64,
+    mem: Memory,
+    hier: Hierarchy,
+    pred: Predictor,
+    dtlb: Dtlb,
+    rse: Rse,
+    acct: CycleAccounting,
+    counters: Counters,
+    cycles_by_func: Vec<u64>,
+    output: Vec<u64>,
+    ib_ops: f64,
+    last_line: u64,
+    recent_stores: VecDeque<(u64, u64)>,
+    /// ALAT: (frame depth, value register) -> watched address range.
+    alat: VecDeque<((usize, u32), u64, u64)>,
+    depth: usize,
+}
+
+impl<'a> Sim<'a> {
+    fn new(mp: &'a MachProgram, opts: &SimOptions) -> Sim<'a> {
+        let mut mem = Memory::new();
+        mem.init_globals(&mp.ir);
+        Sim {
+            mp,
+            cfg: opts.config,
+            spec_model: opts.spec_model,
+            fuel: opts.fuel_cycles,
+            mem,
+            hier: Hierarchy::new(&opts.config),
+            pred: Predictor::new(),
+            dtlb: Dtlb::new(opts.config.dtlb_entries),
+            rse: Rse::new(opts.config.rse_capacity, opts.config.rse_cycle_per_reg),
+            acct: CycleAccounting::default(),
+            counters: Counters::default(),
+            cycles_by_func: vec![0; mp.funcs.len()],
+            output: Vec::new(),
+            ib_ops: 0.0,
+            last_line: u64::MAX,
+            recent_stores: VecDeque::new(),
+            alat: VecDeque::new(),
+            depth: 0,
+        }
+    }
+
+    fn run(mut self, args: &[i64]) -> Result<SimResult, SimTrap> {
+        let entry = self.mp.ir.entry.index();
+        let ef = &self.mp.funcs[entry];
+        let mut frame = Frame::new(NREGS, STACK_TOP - ((ef.frame_size + 15) & !15));
+        for (i, &r) in ef.param_regs.iter().enumerate() {
+            frame.regs[r as usize] = Value::new(args.get(i).copied().unwrap_or(0) as u64);
+        }
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut pos = (entry, ef.entry);
+        // reusable per-group write buffer (avoids a heap allocation per
+        // simulated cycle)
+        let mut writes: Vec<(Vreg, Value, u64, ProducerKind)> = Vec::with_capacity(16);
+        // start the RSE with main's window
+        let c = self.rse.call(ef.n_gr);
+        self.acct.charge(Category::RegisterStack, c);
+
+        loop {
+            if self.acct.total() > self.fuel {
+                return Err(SimTrap::OutOfFuel);
+            }
+            let start_cycles = self.acct.total();
+            let (func_i, first_bundle) = pos;
+            let f = &self.mp.funcs[func_i];
+            if first_bundle >= f.bundles.len() {
+                return Err(SimTrap::Malformed(format!(
+                    "fell off code of {} at bundle {first_bundle}",
+                    f.name
+                )));
+            }
+            // --- collect the issue group ---
+            let mut end_bundle = first_bundle;
+            while !f.bundles[end_bundle].stop {
+                end_bundle += 1;
+                if end_bundle >= f.bundles.len() {
+                    return Err(SimTrap::Malformed(format!("group runs off {}", f.name)));
+                }
+            }
+            let group_bundles = &f.bundles[first_bundle..=end_bundle];
+            let group_size: usize = group_bundles.iter().map(|b| b.op_count()).sum();
+
+            // --- front end: fetch the group's cache lines ---
+            for k in 0..group_bundles.len() {
+                let addr = f.bundle_addr(first_bundle + k);
+                let line = addr / self.cfg.l1i.line;
+                if line != self.last_line {
+                    self.last_line = line;
+                    let (lat, _lvl) = self.hier.fetch_inst(addr);
+                    let extra = lat.saturating_sub(self.cfg.l1i.latency);
+                    if extra > 0 {
+                        // the decoupling buffer hides what it has buffered
+                        let per_cycle = group_size.max(1) as f64;
+                        let hidden = (self.ib_ops / per_cycle).min(extra as f64);
+                        self.ib_ops -= hidden * per_cycle;
+                        let bubble = extra - hidden as u64;
+                        self.acct.charge(Category::FrontEndBubble, bubble);
+                    }
+                }
+            }
+            // refill the buffer when streaming
+            self.ib_ops =
+                (self.ib_ops + 6.0 - group_size as f64).clamp(0.0, self.cfg.ib_ops as f64);
+
+            // --- scoreboard: group issues when all sources are ready ---
+            let now0 = self.acct.total();
+            let mut need = now0;
+            let mut blame = ProducerKind::Other;
+            for b in group_bundles {
+                for s in &b.slots {
+                    let Slot::Op(op) = s else { continue };
+                    for u in op.uses() {
+                        let mut t = frame.ready[u.index()];
+                        if op.is_branch() && op.guard == Some(u) {
+                            t = t.saturating_sub(1); // predicate->branch forwarding
+                        }
+                        if t > need {
+                            need = t;
+                            blame = frame.producer[u.index()];
+                        }
+                    }
+                }
+            }
+            if need > now0 {
+                let stall = need - now0;
+                let cat = match blame {
+                    ProducerKind::Load => Category::IntLoadBubble,
+                    ProducerKind::Float => Category::FloatScoreboard,
+                    ProducerKind::Other => Category::Misc,
+                };
+                self.acct.charge(cat, stall);
+            }
+            let issue = self.acct.total();
+
+            // --- execute (two-phase: reads see pre-group state) ---
+            writes.clear();
+            let mut next_pos = (func_i, end_bundle + 1);
+            let mut transfer = false;
+            let mut call_push: Option<Frame> = None;
+            let mut program_done: Option<u64> = None;
+            'slots: for (k, b) in group_bundles.iter().enumerate() {
+                for s in &b.slots {
+                    let op = match s {
+                        Slot::Op(op) => op,
+                        Slot::Nop => {
+                            self.counters.retired_nops += 1;
+                            continue;
+                        }
+                        Slot::LContinuation => continue,
+                    };
+                    // guard evaluation
+                    let guard_val = match op.guard {
+                        None => true,
+                        Some(g) => {
+                            let v = if op.is_branch() {
+                                // may consume this group's compare
+                                writes
+                                    .iter()
+                                    .rev()
+                                    .find(|(r, ..)| *r == g)
+                                    .map(|(_, v, ..)| *v)
+                                    .unwrap_or(frame.regs[g.index()])
+                            } else {
+                                frame.regs[g.index()]
+                            };
+                            v.is_true()
+                        }
+                    };
+                    if op.is_branch() && op.guard.is_some() {
+                        // conditional branch: predict on both outcomes
+                        let addr = f.bundle_addr(first_bundle + k);
+                        let correct = self.pred.branch(addr, guard_val);
+                        if !correct {
+                            self.acct
+                                .charge(Category::BrMispredictFlush, self.cfg.mispredict_penalty);
+                        }
+                    }
+                    if !guard_val {
+                        self.counters.retired_squashed += 1;
+                        continue;
+                    }
+                    self.counters.retired_useful += 1;
+                    macro_rules! ev {
+                        ($o:expr) => {
+                            eval_operand(&frame, self.mp, $o)
+                        };
+                    }
+                    match op.opcode {
+                        Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::And | Opcode::Or
+                        | Opcode::Xor | Opcode::Shl | Opcode::Shr | Opcode::Sar => {
+                            let a = ev!(&op.srcs[0]);
+                            let c = ev!(&op.srcs[1]);
+                            let v = Value::lift2(a, c, |x, y| alu(op.opcode, x, y));
+                            let kind = if matches!(op.opcode, Opcode::Mul) {
+                                ProducerKind::Float
+                            } else {
+                                ProducerKind::Other
+                            };
+                            let lat = epic_mach::units::latency(op) as u64;
+                            writes.push((op.dsts[0], v, issue + lat, kind));
+                        }
+                        Opcode::Div | Opcode::Rem => {
+                            let a = ev!(&op.srcs[0]);
+                            let c = ev!(&op.srcs[1]);
+                            let v = if a.nat || c.nat {
+                                Value::NAT
+                            } else if c.bits == 0 {
+                                return Err(SimTrap::DivByZero);
+                            } else {
+                                let (x, y) = (a.bits as i64, c.bits as i64);
+                                Value::new(if matches!(op.opcode, Opcode::Div) {
+                                    x.wrapping_div(y) as u64
+                                } else {
+                                    x.wrapping_rem(y) as u64
+                                })
+                            };
+                            let lat = epic_mach::units::latency(op) as u64;
+                            writes.push((op.dsts[0], v, issue + lat, ProducerKind::Float));
+                        }
+                        Opcode::Cmp(kind) => {
+                            let a = ev!(&op.srcs[0]);
+                            let c = ev!(&op.srcs[1]);
+                            let (t, fv) = if a.nat || c.nat {
+                                (0u64, 0u64)
+                            } else {
+                                let r = kind.eval(a.bits, c.bits);
+                                (r as u64, !r as u64)
+                            };
+                            writes.push((op.dsts[0], Value::new(t), issue + 1, ProducerKind::Other));
+                            if let Some(d1) = op.dsts.get(1) {
+                                writes.push((*d1, Value::new(fv), issue + 1, ProducerKind::Other));
+                            }
+                        }
+                        Opcode::Mov => {
+                            let v = ev!(&op.srcs[0]);
+                            writes.push((op.dsts[0], v, issue + 1, ProducerKind::Other));
+                        }
+                        Opcode::Ld(size) => {
+                            let addr = ev!(&op.srcs[0]);
+                            let (v, ready) =
+                                self.do_load(addr, size.bytes(), op.spec, issue, &f.name)?;
+                            if op.adv && !addr.nat && !v.nat {
+                                self.counters.adv_loads += 1;
+                                self.alat_insert(op.dsts[0].0, addr.bits, size.bytes());
+                            }
+                            writes.push((op.dsts[0], v, ready, ProducerKind::Load));
+                        }
+                        Opcode::ChkA(size) => {
+                            let v = ev!(&op.srcs[0]);
+                            let key = match op.srcs[0] {
+                                Operand::Reg(r) => (self.depth, r.0),
+                                _ => unreachable!("verified chk.a shape"),
+                            };
+                            let hit = self.alat.iter().any(|(k, ..)| *k == key) && !v.nat;
+                            if hit {
+                                writes.push((op.dsts[0], v, issue + 1, ProducerKind::Other));
+                            } else {
+                                self.counters.alat_misses += 1;
+                                self.acct
+                                    .charge(Category::Misc, self.cfg.alat_recovery_cycles);
+                                let (rv, ready) = self.do_load(
+                                    ev!(&op.srcs[1]),
+                                    size.bytes(),
+                                    false,
+                                    issue,
+                                    &f.name,
+                                )?;
+                                writes.push((op.dsts[0], rv, ready, ProducerKind::Load));
+                            }
+                        }
+                        Opcode::Chk(size) => {
+                            let v = ev!(&op.srcs[0]);
+                            if v.nat {
+                                self.counters.chk_recoveries += 1;
+                                self.acct
+                                    .charge(Category::Misc, self.cfg.chk_recovery_cycles);
+                                let (rv, ready) =
+                                    self.do_load(ev!(&op.srcs[1]), size.bytes(), false, issue, &f.name)?;
+                                writes.push((op.dsts[0], rv, ready, ProducerKind::Load));
+                            } else {
+                                writes.push((op.dsts[0], v, issue + 1, ProducerKind::Other));
+                            }
+                        }
+                        Opcode::St(size) => {
+                            let addr = ev!(&op.srcs[0]);
+                            let val = ev!(&op.srcs[1]);
+                            if addr.nat || val.nat {
+                                return Err(SimTrap::NatConsumed(format!("store in {}", f.name)));
+                            }
+                            if !self.dtlb.access(addr.bits) {
+                                self.counters.dtlb_misses += 1;
+                                self.acct
+                                    .charge(Category::Micropipe, self.cfg.tlb_walk_cycles);
+                            }
+                            self.mem
+                                .write(addr.bits, size.bytes(), val.bits)
+                                .map_err(|e| SimTrap::MemFault(e.addr))?;
+                            self.hier.access_data(addr.bits);
+                            if self.recent_stores.len() == self.cfg.store_buffer {
+                                self.recent_stores.pop_front();
+                            }
+                            self.recent_stores.push_back((addr.bits >> 3, issue));
+                            // stores invalidate overlapping ALAT entries
+                            let (sa, sz) = (addr.bits, size.bytes());
+                            self.alat.retain(|&(_, ea, es)| sa + sz <= ea || ea + es <= sa);
+                        }
+                        Opcode::Br => {
+                            self.counters.dynamic_branches += 1;
+                            let target = op.srcs[0].label().expect("branch label");
+                            let bi = f.block_entry[target.index()].ok_or_else(|| {
+                                SimTrap::Malformed(format!("{}: no code for {target}", f.name))
+                            })?;
+                            next_pos = (func_i, bi);
+                            transfer = true;
+                            break 'slots;
+                        }
+                        Opcode::Call => {
+                            let callee = match op.srcs[0] {
+                                Operand::FuncAddr(t) => t.index(),
+                                ref o => {
+                                    let v = ev!(o);
+                                    if v.nat {
+                                        return Err(SimTrap::NatConsumed(format!(
+                                            "call in {}",
+                                            f.name
+                                        )));
+                                    }
+                                    func_from_addr(v.bits)
+                                        .ok_or(SimTrap::BadCall(v.bits))?
+                                        .index()
+                                }
+                            };
+                            self.counters.calls += 1;
+                            self.counters.dynamic_branches += 1;
+                            let cf = &self.mp.funcs[callee];
+                            let c = self.rse.call(cf.n_gr);
+                            self.acct.charge(Category::RegisterStack, c);
+                            self.pred.push_return(f.bundle_addr(end_bundle + 1));
+                            let sp = frame.sp - ((cf.frame_size + 15) & !15);
+                            if sp < STACK_TOP - epic_ir::mem::STACK_MAX {
+                                return Err(SimTrap::MemFault(sp));
+                            }
+                            let mut nf = Frame::new(NREGS, sp);
+                            for (ai, &pr) in cf.param_regs.iter().enumerate() {
+                                if let Some(a) = op.srcs.get(1 + ai) {
+                                    nf.regs[pr as usize] = ev!(a);
+                                    nf.ready[pr as usize] = issue + 1;
+                                }
+                            }
+                            nf.ret_pos = (func_i, end_bundle + 1);
+                            nf.ret_dst = op.dsts.first().copied();
+                            self.depth += 1;
+                            next_pos = (callee, cf.entry);
+                            transfer = true;
+                            call_push = Some(nf);
+                            break 'slots;
+                        }
+                        Opcode::Ret => {
+                            self.counters.dynamic_branches += 1;
+                            let val = op.srcs.first().map(|o| ev!(o)).unwrap_or(Value::new(0));
+                            let c = self.rse.ret();
+                            self.acct.charge(Category::RegisterStack, c);
+                            match stack.pop() {
+                                Some(mut caller) => {
+                                    // the return-address stack predicts
+                                    // returns; underflow mispredicts
+                                    let expected =
+                                        self.mp.funcs[frame.ret_pos.0].bundle_addr(frame.ret_pos.1);
+                                    if !self.pred.pop_return(expected) {
+                                        self.acct.charge(
+                                            Category::BrMispredictFlush,
+                                            self.cfg.mispredict_penalty,
+                                        );
+                                    }
+                                    if let Some(d) = frame.ret_dst {
+                                        caller.regs[d.index()] = val;
+                                        caller.ready[d.index()] = issue + 1;
+                                        caller.producer[d.index()] = ProducerKind::Other;
+                                    }
+                                    next_pos = frame.ret_pos;
+                                    frame = caller;
+                                    transfer = true;
+                                    let d = self.depth;
+                                    self.alat.retain(|&((fd, _), ..)| fd < d);
+                                    self.depth -= 1;
+                                    break 'slots;
+                                }
+                                None => {
+                                    if val.nat {
+                                        return Err(SimTrap::NatConsumed("main return".into()));
+                                    }
+                                    program_done = Some(val.bits);
+                                    break 'slots;
+                                }
+                            }
+                        }
+                        Opcode::Out => {
+                            let v = ev!(&op.srcs[0]);
+                            if v.nat {
+                                return Err(SimTrap::NatConsumed(format!("out in {}", f.name)));
+                            }
+                            self.output.push(v.bits);
+                            self.acct
+                                .charge(Category::Kernel, self.cfg.syscall_kernel_cycles);
+                        }
+                        Opcode::Alloc => {
+                            let n = ev!(&op.srcs[0]);
+                            if n.nat {
+                                return Err(SimTrap::NatConsumed(format!("alloc in {}", f.name)));
+                            }
+                            let p = self.mem.alloc(n.bits);
+                            self.acct
+                                .charge(Category::Kernel, self.cfg.syscall_kernel_cycles / 2);
+                            writes.push((op.dsts[0], Value::new(p), issue + 2, ProducerKind::Other));
+                        }
+                        Opcode::Nop => {
+                            self.counters.retired_nops += 1;
+                        }
+                    }
+                }
+            }
+            // --- commit ---
+            let commit_frame = if call_push.is_some() {
+                // writes belong to the *caller* frame; but a call is alone
+                // in its group, so only argument evaluation happened.
+                None
+            } else {
+                Some(&mut frame)
+            };
+            if let Some(fr) = commit_frame {
+                for (r, v, ready, kind) in writes.drain(..) {
+                    fr.regs[r.index()] = v;
+                    fr.ready[r.index()] = ready;
+                    fr.producer[r.index()] = kind;
+                }
+            }
+            if let Some(nf) = call_push {
+                stack.push(std::mem::replace(&mut frame, nf));
+            }
+            self.acct.charge(Category::Unstalled, 1);
+            self.cycles_by_func[func_i] += self.acct.total() - start_cycles;
+            if let Some(ret) = program_done {
+                // final counter harvest
+                self.counters.l1i_accesses = self.hier.l1i.accesses;
+                self.counters.l1i_misses = self.hier.l1i.misses;
+                self.counters.l1d_accesses = self.hier.l1d.accesses;
+                self.counters.l1d_misses = self.hier.l1d.misses;
+                self.counters.l2_accesses = self.hier.l2.accesses;
+                self.counters.l2_misses = self.hier.l2.misses;
+                self.counters.rse_regs_moved = self.rse.regs_spilled + self.rse.regs_filled;
+                self.counters.branch_predictions = self.pred.predictions;
+                self.counters.branch_mispredictions = self.pred.mispredictions;
+                return Ok(SimResult {
+                    checksum: checksum(&self.output),
+                    output: self.output,
+                    ret,
+                    cycles: self.acct.total(),
+                    acct: self.acct,
+                    counters: self.counters,
+                    cycles_by_func: self.cycles_by_func,
+                });
+            }
+            if !transfer {
+                // fall through to the next group of the same block
+                pos = (func_i, end_bundle + 1);
+            } else {
+                pos = next_pos;
+                // control transfers restart the fetch line
+                self.last_line = u64::MAX;
+            }
+        }
+    }
+
+    /// Install an ALAT entry (FIFO replacement at capacity).
+    fn alat_insert(&mut self, reg: u32, addr: u64, size: u64) {
+        let key = (self.depth, reg);
+        self.alat.retain(|(k, ..)| *k != key);
+        if self.alat.len() >= self.cfg.alat_entries {
+            self.alat.pop_front();
+        }
+        self.alat.push_back((key, addr, size));
+    }
+
+    /// Execute a load's memory access, returning `(value, ready_time)`.
+    fn do_load(
+        &mut self,
+        addr: Value,
+        bytes: u64,
+        spec: bool,
+        issue: u64,
+        fname: &str,
+    ) -> Result<(Value, u64), SimTrap> {
+        if addr.nat {
+            return if spec {
+                self.counters.spec_loads += 1;
+                self.counters.deferred_loads += 1;
+                Ok((Value::NAT, issue + 1))
+            } else {
+                Err(SimTrap::NatConsumed(format!("load in {fname}")))
+            };
+        }
+        let a = addr.bits;
+        if spec {
+            self.counters.spec_loads += 1;
+        }
+        if !self.mem.is_valid(a) {
+            if !spec {
+                return Err(SimTrap::MemFault(a));
+            }
+            self.counters.deferred_loads += 1;
+            if Memory::is_null_page(a) {
+                // architected NaT page: cheap in both models
+                self.acct.charge(Category::Kernel, self.cfg.nat_page_cycles);
+                return Ok((Value::NAT, issue + 1));
+            }
+            match self.spec_model {
+                SpecModel::General => {
+                    // wild load: traverse the page-mapping hierarchy in the
+                    // kernel; results are not cached (paper Sec. 4.3)
+                    self.counters.wild_loads += 1;
+                    self.acct
+                        .charge(Category::Kernel, self.cfg.wild_load_kernel_cycles);
+                    Ok((Value::NAT, issue + 1))
+                }
+                SpecModel::Sentinel => {
+                    // early deferral: only the DTLB was probed
+                    Ok((Value::NAT, issue + 1))
+                }
+            }
+        } else {
+            if self.spec_model == SpecModel::Sentinel && spec && !self.dtlb.probe(a) {
+                // sentinel ld.s defers on DTLB miss without walking
+                self.counters.deferred_loads += 1;
+                return Ok((Value::NAT, issue + 1));
+            }
+            if !self.dtlb.access(a) {
+                self.counters.dtlb_misses += 1;
+                self.acct
+                    .charge(Category::Micropipe, self.cfg.tlb_walk_cycles);
+            }
+            let v = self
+                .mem
+                .read(a, bytes)
+                .map_err(|e| SimTrap::MemFault(e.addr))?;
+            let (lat, _lvl) = self.hier.access_data(a);
+            // store-to-load forwarding conflict (micropipe)
+            if self
+                .recent_stores
+                .iter()
+                .any(|&(sa, sc)| sa == a >> 3 && issue.saturating_sub(sc) <= 2)
+            {
+                self.acct
+                    .charge(Category::Micropipe, self.cfg.store_forward_stall);
+            }
+            Ok((Value::new(v), issue + lat))
+        }
+    }
+}
+
+/// Evaluate a non-label operand against a frame (pre-group register
+/// state, as IA-64 issue groups require).
+fn eval_operand(frame: &Frame, mp: &MachProgram, o: &Operand) -> Value {
+    match *o {
+        Operand::Reg(v) => frame.regs[v.index()],
+        Operand::Imm(i) => Value::new(i as u64),
+        Operand::Global(g) => Value::new(mp.ir.globals[g.index()].addr),
+        Operand::FuncAddr(t) => Value::new(epic_ir::mem::func_addr(t)),
+        Operand::FrameAddr(off) => Value::new(frame.sp + off),
+        Operand::Label(_) => unreachable!("label evaluated as value"),
+    }
+}
+
+fn alu(opcode: Opcode, a: u64, b: u64) -> u64 {
+    match opcode {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => a << (b & 63),
+        Opcode::Shr => a >> (b & 63),
+        Opcode::Sar => ((a as i64) >> (b & 63)) as u64,
+        _ => unreachable!("non-ALU opcode"),
+    }
+}

@@ -1,0 +1,129 @@
+//! Register stack engine: call frames allocate fresh register windows; when
+//! resident windows exceed the physical stacked registers, the RSE spills
+//! the deepest frames to memory and fills them back on return — the
+//! paper's Sec. 4.4 cost of register-hungry ILP code (crafty, parser).
+
+/// RSE state and counters.
+#[derive(Clone, Debug)]
+pub struct Rse {
+    frames: Vec<(u32, bool)>, // (size, spilled)
+    resident: u32,
+    capacity: u32,
+    cycles_per_reg: u64,
+    /// Registers spilled.
+    pub regs_spilled: u64,
+    /// Registers filled.
+    pub regs_filled: u64,
+    /// Total stall cycles charged.
+    pub stall_cycles: u64,
+}
+
+impl Rse {
+    /// An RSE with `capacity` physical stacked registers.
+    pub fn new(capacity: u32, cycles_per_reg: u64) -> Rse {
+        Rse {
+            frames: Vec::new(),
+            resident: 0,
+            capacity,
+            cycles_per_reg,
+            regs_spilled: 0,
+            regs_filled: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Allocate a window of `n` registers for a call. Returns stall cycles.
+    pub fn call(&mut self, n: u32) -> u64 {
+        let n = n.min(self.capacity);
+        self.frames.push((n, false));
+        self.resident += n;
+        let mut stall = 0;
+        if self.resident > self.capacity {
+            // spill deepest unspilled frames until we fit
+            for f in self.frames.iter_mut() {
+                if self.resident <= self.capacity {
+                    break;
+                }
+                if !f.1 {
+                    f.1 = true;
+                    self.resident -= f.0;
+                    self.regs_spilled += f.0 as u64;
+                    stall += f.0 as u64 * self.cycles_per_reg;
+                }
+            }
+        }
+        self.stall_cycles += stall;
+        stall
+    }
+
+    /// Release the top window on return. Returns stall cycles (fills).
+    pub fn ret(&mut self) -> u64 {
+        let Some((size, spilled)) = self.frames.pop() else {
+            return 0;
+        };
+        if !spilled {
+            self.resident -= size;
+        }
+        let mut stall = 0;
+        // the caller's frame must be resident again
+        if let Some(last) = self.frames.last_mut() {
+            if last.1 {
+                last.1 = false;
+                self.resident += last.0;
+                self.regs_filled += last.0 as u64;
+                stall += last.0 as u64 * self.cycles_per_reg;
+            }
+        }
+        self.stall_cycles += stall;
+        stall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cost_under_capacity() {
+        let mut r = Rse::new(96, 2);
+        assert_eq!(r.call(30), 0);
+        assert_eq!(r.call(30), 0);
+        assert_eq!(r.ret(), 0);
+        assert_eq!(r.ret(), 0);
+        assert_eq!(r.stall_cycles, 0);
+    }
+
+    #[test]
+    fn deep_stack_spills_and_fills() {
+        let mut r = Rse::new(96, 2);
+        // 4 frames of 30 regs: 120 > 96, so the deepest spills
+        assert_eq!(r.call(30), 0);
+        assert_eq!(r.call(30), 0);
+        assert_eq!(r.call(30), 0);
+        let spill = r.call(30);
+        assert_eq!(spill, 60); // one 30-reg frame spilled at 2 cy/reg
+        assert_eq!(r.regs_spilled, 30);
+        // returning down refills the spilled caller when it becomes top-1
+        assert_eq!(r.ret(), 0); // pop frame 4; frame 3 resident
+        assert_eq!(r.ret(), 0); // pop frame 3; frame 2 resident
+        let fill = r.ret(); // pop frame 2; frame 1 was spilled -> fill
+        assert_eq!(fill, 60);
+        assert_eq!(r.regs_filled, 30);
+    }
+
+    #[test]
+    fn big_windows_cost_more() {
+        let mut small = Rse::new(96, 2);
+        let mut big = Rse::new(96, 2);
+        for _ in 0..8 {
+            small.call(12);
+            big.call(40);
+        }
+        for _ in 0..8 {
+            small.ret();
+            big.ret();
+        }
+        assert!(big.stall_cycles > small.stall_cycles);
+        assert_eq!(small.stall_cycles, 0);
+    }
+}

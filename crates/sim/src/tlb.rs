@@ -1,0 +1,98 @@
+//! Data TLB with LRU replacement and hardware (VHPT) walk modeling.
+
+use epic_ir::mem::PAGE_SIZE;
+use std::collections::HashMap;
+
+/// Fully-associative LRU DTLB (stamp-based: O(1) hits, O(capacity) only
+/// on evicting misses).
+#[derive(Clone, Debug)]
+pub struct Dtlb {
+    entries: HashMap<u64, u64>, // page -> last-use stamp
+    capacity: usize,
+    clock: u64,
+    /// Accesses.
+    pub accesses: u64,
+    /// Misses (hardware walks).
+    pub misses: u64,
+}
+
+impl Dtlb {
+    /// A DTLB with `capacity` entries.
+    pub fn new(capacity: usize) -> Dtlb {
+        Dtlb {
+            entries: HashMap::with_capacity(capacity + 1),
+            capacity,
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translate the page of `addr`; returns true on hit. Misses insert
+    /// the translation (the simulator charges the walk).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        self.clock += 1;
+        let page = addr / PAGE_SIZE;
+        let clock = self.clock;
+        if let Some(stamp) = self.entries.get_mut(&page) {
+            *stamp = clock;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            // evict the least recently used entry
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &s)| s) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(page, clock);
+        false
+    }
+
+    /// Probe without filling (sentinel-model `ld.s` defers on DTLB miss
+    /// without walking).
+    pub fn probe(&self, addr: u64) -> bool {
+        self.entries.contains_key(&(addr / PAGE_SIZE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill_and_lru() {
+        let mut t = Dtlb::new(2);
+        assert!(!t.access(0x10000));
+        assert!(t.access(0x10008));
+        assert!(!t.access(0x20000));
+        assert!(t.access(0x10000)); // MRU refresh
+        assert!(!t.access(0x30000)); // evicts 0x20000
+        assert!(!t.access(0x20000));
+        assert_eq!(t.misses, 4);
+    }
+
+    #[test]
+    fn probe_does_not_fill() {
+        let mut t = Dtlb::new(2);
+        assert!(!t.probe(0x40000));
+        assert_eq!(t.accesses, 0);
+        t.access(0x40000);
+        assert!(t.probe(0x40001));
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut t = Dtlb::new(8);
+        for i in 0..100u64 {
+            t.access(i * PAGE_SIZE);
+        }
+        assert_eq!(t.misses, 100);
+        // the 8 most recent pages hit
+        for i in 92..100u64 {
+            assert!(t.probe(i * PAGE_SIZE), "page {i} should be resident");
+        }
+        assert!(!t.probe(0));
+    }
+}

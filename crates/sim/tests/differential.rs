@@ -1,0 +1,256 @@
+//! Differential tests: the simulator executing fully compiled code must
+//! produce exactly the interpreter's output, at every optimization level.
+
+use epic_sched::SchedOptions;
+use epic_sim::{SimOptions, SpecModel};
+
+fn compile_and_run(
+    src: &str,
+    train_args: &[i64],
+    run_args: &[i64],
+    sched: &SchedOptions,
+    ilp: Option<&epic_core::IlpOptions>,
+) -> (Vec<u64>, epic_sim::SimResult) {
+    let mut prog = epic_lang::compile(src).unwrap();
+    let want = epic_ir::interp::run(&prog, run_args, Default::default())
+        .unwrap()
+        .output;
+    epic_opt::profile::profile_program(&mut prog, train_args, 500_000_000).unwrap();
+    epic_opt::inline::run(&mut prog, Default::default());
+    epic_opt::alias::run(&mut prog);
+    epic_opt::classical_optimize_program(&mut prog);
+    if let Some(opts) = ilp {
+        for f in 0..prog.funcs.len() {
+            epic_core::ilp_transform(&mut prog.funcs[f], opts);
+        }
+        epic_ir::verify::verify_program(&prog).unwrap();
+    }
+    let (mp, _stats) = epic_sched::compile_program(&prog, sched);
+    epic_sched::check_machine_program(&mp).unwrap();
+    let spec_model = if ilp.is_some_and(|o| {
+        matches!(
+            o.speculate.map(|s| s.model),
+            Some(epic_core::speculate::SpecModel::Sentinel)
+        )
+    }) {
+        SpecModel::Sentinel
+    } else {
+        SpecModel::General
+    };
+    let r = epic_sim::run(
+        &mp,
+        run_args,
+        &SimOptions {
+            spec_model,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (want, r)
+}
+
+const PROGRAMS: &[(&str, &str)] = &[
+    (
+        "loops_and_branches",
+        "global tab: [int; 97];
+         fn main() {
+             let i = 0;
+             while i < 3000 {
+                 let v = (i * 2654435761) % 97;
+                 if v < 0 { v = v + 97; }
+                 tab[v] = tab[v] + 1;
+                 if v % 7 == 0 { tab[0] = tab[0] + 2; }
+                 else { if v % 3 == 0 { tab[1] = tab[1] - 1; } }
+                 i = i + 1;
+             }
+             let s = 0; i = 0;
+             while i < 97 { s = s + tab[i] * i; i = i + 1; }
+             out(s);
+         }",
+    ),
+    (
+        "calls_and_recursion",
+        "fn gcd(a: int, b: int) -> int {
+             if b == 0 { return a; }
+             return gcd(b, a % b);
+         }
+         fn main() {
+             let s = 0; let i = 1;
+             while i < 200 {
+                 s = s + gcd(i * 7 + 1, i * 3 + 2);
+                 i = i + 1;
+             }
+             out(s);
+         }",
+    ),
+    (
+        "pointer_chasing",
+        "struct Node { next: *Node, v: int }
+         fn main() {
+             let head = 0 as *Node;
+             let i = 0;
+             while i < 300 {
+                 let n = alloc(16) as *Node;
+                 n.v = i * i % 31;
+                 n.next = head;
+                 head = n;
+                 i = i + 1;
+             }
+             let s = 0; let p = head;
+             while p as int != 0 { s = s + p.v; p = p.next; }
+             out(s);
+         }",
+    ),
+    (
+        "byte_buffers",
+        "global buf: [byte; 512];
+         fn main() {
+             let i = 0;
+             while i < 512 { buf[i] = (i * 31 + 7); i = i + 1; }
+             let h = 5381;
+             i = 0;
+             while i < 512 { h = h * 33 + buf[i]; i = i + 1; }
+             out(h);
+         }",
+    ),
+    (
+        "short_serial_loops",
+        "global b: [int; 64];
+         fn main() {
+             let t = 0; let score = 0;
+             while t < 500 {
+                 b[t % 64] = t * 7 % 13;
+                 let sq = t % 64;
+                 while b[sq] > 9 { score = score + b[sq]; sq = (sq + 1) % 64; }
+                 score = score + 1;
+                 t = t + 1;
+             }
+             out(score);
+         }",
+    ),
+    (
+        "indirect_calls",
+        "fn inc(x: int) -> int { return x + 1; }
+         fn dbl(x: int) -> int { return x * 2; }
+         fn neg(x: int) -> int { return 0 - x; }
+         fn main() {
+             let s = 0; let i = 0;
+             while i < 400 {
+                 let fp = inc;
+                 if i % 13 == 0 { fp = dbl; }
+                 if i % 29 == 0 { fp = neg; }
+                 s = s + icall(fp, i);
+                 i = i + 1;
+             }
+             out(s);
+         }",
+    ),
+    (
+        "wild_load_unions",
+        "global slots: [int; 128];
+         fn main() {
+             let i = 0; let s = 0;
+             while i < 800 {
+                 let v = i * 2654435761;
+                 let is_ptr = i % 4 == 0;
+                 let addr = v;
+                 if is_ptr { addr = (&slots[i % 128]) as int; }
+                 if is_ptr { s = s + *(addr as *int) + 1; }
+                 slots[i % 128] = s % 1000;
+                 i = i + 1;
+             }
+             out(s);
+         }",
+    ),
+];
+
+fn all_configs() -> Vec<(&'static str, SchedOptions, Option<epic_core::IlpOptions>)> {
+    vec![
+        ("gcc", SchedOptions::gcc(), None),
+        ("o-ns", SchedOptions::o_ns(), None),
+        ("ilp-ns", SchedOptions::ilp_ns(), Some(epic_core::IlpOptions::ilp_ns())),
+        ("ilp-cs", SchedOptions::ilp_cs(), Some(epic_core::IlpOptions::ilp_cs())),
+    ]
+}
+
+#[test]
+fn every_program_matches_interpreter_at_every_level() {
+    for (name, src) in PROGRAMS {
+        for (cname, sched, ilp) in all_configs() {
+            let (want, got) = compile_and_run(src, &[], &[], &sched, ilp.as_ref());
+            assert_eq!(
+                got.output, want,
+                "output mismatch: program {name}, config {cname}"
+            );
+            assert!(got.cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn sentinel_model_also_matches() {
+    let ilp = epic_core::IlpOptions {
+        speculate: Some(epic_core::speculate::SpeculateOptions {
+            model: epic_core::speculate::SpecModel::Sentinel,
+            ..Default::default()
+        }),
+        ..epic_core::IlpOptions::default()
+    };
+    for (name, src) in PROGRAMS {
+        let (want, got) =
+            compile_and_run(src, &[], &[], &SchedOptions::ilp_cs(), Some(&ilp));
+        assert_eq!(got.output, want, "sentinel mismatch on {name}");
+    }
+}
+
+#[test]
+fn optimization_levels_order_performance_on_average() {
+    // Geometric-mean cycles must not get worse as optimization increases
+    // (GCC -> O-NS -> ILP); individual programs may vary.
+    let mut logs: Vec<f64> = Vec::new();
+    let mut per_cfg: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for (_name, src) in PROGRAMS {
+        let (_w, gcc) = compile_and_run(src, &[], &[], &SchedOptions::gcc(), None);
+        let (_w, ons) = compile_and_run(src, &[], &[], &SchedOptions::o_ns(), None);
+        let (_w, ilp) = compile_and_run(
+            src,
+            &[],
+            &[],
+            &SchedOptions::ilp_ns(),
+            Some(&epic_core::IlpOptions::ilp_ns()),
+        );
+        per_cfg[0].push(gcc.cycles as f64);
+        per_cfg[1].push(ons.cycles as f64);
+        per_cfg[2].push(ilp.cycles as f64);
+        logs.push(gcc.cycles as f64 / ilp.cycles as f64);
+    }
+    let gmean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    let (g_gcc, g_ons, g_ilp) = (gmean(&per_cfg[0]), gmean(&per_cfg[1]), gmean(&per_cfg[2]));
+    assert!(
+        g_ons <= g_gcc * 1.02,
+        "O-NS should not be slower than GCC: {g_ons} vs {g_gcc}"
+    );
+    assert!(
+        g_ilp <= g_ons * 1.02,
+        "ILP-NS should not be slower than O-NS: {g_ilp} vs {g_ons}"
+    );
+}
+
+#[test]
+fn counters_are_sane() {
+    let (_w, r) = compile_and_run(
+        PROGRAMS[0].1,
+        &[],
+        &[],
+        &SchedOptions::ilp_cs(),
+        Some(&epic_core::IlpOptions::ilp_cs()),
+    );
+    let c = &r.counters;
+    assert!(c.retired_useful > 0);
+    assert!(c.l1i_misses <= c.l1i_accesses);
+    assert!(c.l1d_misses <= c.l1d_accesses);
+    assert!(c.branch_mispredictions <= c.branch_predictions);
+    assert_eq!(r.cycles, r.acct.total());
+    let by_func: u64 = r.cycles_by_func.iter().sum();
+    assert_eq!(by_func, r.cycles, "per-function attribution must total");
+}

@@ -1,0 +1,179 @@
+//! Targeted semantic tests of the machine model, driven through the real
+//! compiler (micro MiniC programs compiled at fixed configurations).
+
+use epic_sched::SchedOptions;
+use epic_sim::{run, SimOptions, SimResult};
+
+fn build(src: &str, sched: &SchedOptions) -> epic_mach::MachProgram {
+    let mut prog = epic_lang::compile(src).unwrap();
+    epic_opt::profile::profile_program(&mut prog, &[], 1_000_000_000).unwrap();
+    epic_opt::alias::run(&mut prog);
+    epic_opt::classical_optimize_program(&mut prog);
+    let (mp, _) = epic_sched::compile_program(&prog, sched);
+    epic_sched::check_machine_program(&mp).unwrap();
+    mp
+}
+
+fn sim(src: &str, sched: &SchedOptions) -> SimResult {
+    run(&build(src, sched), &[], &SimOptions::default()).unwrap()
+}
+
+#[test]
+fn squashed_ops_are_counted_but_have_no_effect() {
+    // if-converted code at ILP level produces predicated ops
+    let mut prog = epic_lang::compile(
+        "fn main() {
+             let i = 0; let s = 0;
+             while i < 100 {
+                 if i % 2 == 0 { s = s + 3; } else { s = s - 1; }
+                 i = i + 1;
+             }
+             out(s);
+         }",
+    )
+    .unwrap();
+    epic_opt::profile::profile_program(&mut prog, &[], 1_000_000_000).unwrap();
+    epic_opt::classical_optimize_program(&mut prog);
+    epic_opt::alias::run(&mut prog);
+    for f in &mut prog.funcs {
+        epic_core::ilp_transform(f, &epic_core::IlpOptions::ilp_ns());
+    }
+    let (mp, _) = epic_sched::compile_program(&prog, &SchedOptions::ilp_ns());
+    let r = run(&mp, &[], &SimOptions::default()).unwrap();
+    assert_eq!(r.output, vec![100]);
+    assert!(
+        r.counters.retired_squashed > 50,
+        "if-converted arms should squash: {}",
+        r.counters.retired_squashed
+    );
+}
+
+#[test]
+fn deep_recursion_exercises_the_rse() {
+    let src = "
+        fn down(n: int, acc: int) -> int {
+            if n == 0 { return acc; }
+            let a = acc * 3 + n;
+            let b = a ^ (n << 2);
+            let c = b + a;
+            return down(n - 1, c & 0xFFFF);
+        }
+        fn main() { out(down(400, 1)); }";
+    let r = sim(src, &SchedOptions::o_ns());
+    assert!(
+        r.acct.register_stack > 0,
+        "400-deep recursion must overflow the 96-register stack"
+    );
+    assert!(r.counters.rse_regs_moved > 0);
+}
+
+#[test]
+fn store_to_load_forwarding_conflicts_charge_micropipe() {
+    // address-taken scalar forces store/load ping-pong through memory
+    let src = "
+        fn bump(p: *int) { *p = *p + 1; }
+        fn main() {
+            let x = 0;
+            let i = 0;
+            while i < 2000 { bump(&x); i = i + 1; }
+            out(x);
+        }";
+    let r = sim(src, &SchedOptions::o_ns());
+    assert_eq!(r.output, vec![2000]);
+    assert!(
+        r.acct.micropipe > 0,
+        "immediate store->load reuse should hit the forwarding hazard"
+    );
+}
+
+#[test]
+fn cold_code_misses_icache_then_warms() {
+    // A big straight-line function: first traversal misses, the loop after
+    // stays warm. Front-end bubbles must be nonzero but bounded.
+    // the dependence on the runtime parameter defeats constant folding,
+    // so the straight-line body survives into machine code
+    let mut body = String::from("let s = p;\n");
+    for k in 0..400 {
+        body.push_str(&format!("s = s + (p | {k}); s = s ^ {};\n", k * 3));
+    }
+    let src = format!("fn main(p: int) {{ {body} out(s); }}");
+    let r = sim(&src, &SchedOptions::o_ns());
+    assert!(r.counters.l1i_misses > 10, "cold code must miss");
+    assert!(r.acct.front_end_bubble > 0);
+    // misses bounded by code size / line size + a few
+    assert!(r.counters.l1i_misses < 2000);
+}
+
+#[test]
+fn memory_bound_loops_charge_load_bubbles() {
+    let src = "
+        fn main() {
+            let base = alloc(2097152);
+            let i = 0;
+            let s = 0;
+            // stride through 2 MB: mostly L2/L3 hits, some memory
+            while i < 32768 {
+                s = s + *((base + (i * 64 % 2097152)) as *int);
+                i = i + 1;
+            }
+            out(s);
+        }";
+    let r = sim(src, &SchedOptions::o_ns());
+    assert!(
+        r.acct.int_load_bubble > 10_000,
+        "striding a 2MB buffer must stall on loads: {}",
+        r.acct.int_load_bubble
+    );
+    assert!(r.counters.l1d_misses > 1000);
+}
+
+#[test]
+fn tight_cached_loops_run_near_plan() {
+    let src = "
+        fn main() {
+            let i = 0; let s = 1;
+            while i < 10000 { s = (s * 3 + i) & 0xFFFF; i = i + 1; }
+            out(s);
+        }";
+    let r = sim(src, &SchedOptions::ilp_ns());
+    // planned (anticipable) cycles should dominate
+    let dynamic = r.cycles - r.acct.planned();
+    assert!(
+        (dynamic as f64) < 0.25 * r.cycles as f64,
+        "cached arithmetic loop should be mostly unstalled: {dynamic}/{} total",
+        r.cycles
+    );
+}
+
+#[test]
+fn branch_heavy_unpredictable_code_pays_flushes() {
+    let src = "
+        global seed: int = 99;
+        fn rnd() -> int {
+            seed = seed * 6364136223846793005 + 1442695040888963407;
+            return (seed >> 33) & 0x7FFFFFFF;
+        }
+        fn main() {
+            let i = 0; let a = 0; let b = 0;
+            while i < 4000 {
+                if rnd() & 1 != 0 { a = a + 1; } else { b = b + 1; }
+                i = i + 1;
+            }
+            out(a); out(b);
+        }";
+    // GCC config: no if-conversion, so the random branch stays a branch
+    let r = sim(src, &SchedOptions::gcc());
+    assert!(
+        r.counters.branch_mispredictions > 500,
+        "random branches must mispredict: {}",
+        r.counters.branch_mispredictions
+    );
+    assert!(r.acct.br_mispredict_flush > 0);
+}
+
+#[test]
+fn output_costs_kernel_cycles() {
+    let r = sim("fn main() { let i = 0; while i < 50 { out(i); i = i + 1; } }", &SchedOptions::o_ns());
+    assert_eq!(r.output.len(), 50);
+    assert!(r.acct.kernel >= 50 * 10);
+}

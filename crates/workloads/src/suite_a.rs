@@ -1,0 +1,404 @@
+//! Stand-ins for 164.gzip, 175.vpr, 176.gcc, and 181.mcf.
+
+use crate::Workload;
+
+/// 164.gzip stand-in: LZ77-style compression with a hash-chain match
+/// finder over byte buffers. Regular inner loops with short match
+/// extension (unrolling + peeling fodder), good ILP.
+pub fn gzip() -> Workload {
+    Workload {
+        name: "gzip_mc",
+        spec_name: "164.gzip",
+        description: "LZ77 compressor: hash-chain match finder over semi-repetitive byte data",
+        train_args: vec![2200, 3],
+        ref_args: vec![6000, 5],
+        source: r#"
+global seed: int = 12345;
+global buf: [byte; 8192];
+global head: [int; 1024];
+global lits: int;
+global matches: int;
+global hsum: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+fn fill(n: int, phase: int) {
+    let i = 0;
+    while i < n {
+        let r = rnd();
+        if (r & 7) < 5 {
+            // repetitive region: copy from earlier
+            let back = (r >> 3) % 256 + 1;
+            if i >= back { buf[i] = buf[i - back]; }
+            else { buf[i] = (r + phase) & 255; }
+        } else {
+            buf[i] = (r >> 11) & 255;
+        }
+        i = i + 1;
+    }
+}
+
+fn hash3(i: int) -> int {
+    return (buf[i] * 33 + buf[i + 1] * 7 + buf[i + 2]) & 1023;
+}
+
+fn compress(n: int) {
+    let i = 0;
+    while i < 1024 { head[i] = 0 - 1; i = i + 1; }
+    i = 0;
+    while i < n - 3 {
+        let h = hash3(i);
+        let cand = head[h];
+        head[h] = i;
+        let len = 0;
+        if cand >= 0 && i - cand < 4096 {
+            // extend the match (typically short)
+            while len < 64 && i + len < n && buf[cand + len] == buf[i + len] {
+                len = len + 1;
+            }
+        }
+        if len >= 3 {
+            matches = matches + 1;
+            hsum = hsum * 131 + len + (i - cand);
+            i = i + len;
+        } else {
+            lits = lits + 1;
+            hsum = hsum * 131 + buf[i];
+            i = i + 1;
+        }
+    }
+}
+
+fn main(n: int, rounds: int) {
+    let r = 0;
+    while r < rounds {
+        fill(n, r);
+        compress(n);
+        r = r + 1;
+    }
+    out(lits);
+    out(matches);
+    out(hsum);
+}
+"#,
+    }
+}
+
+/// 175.vpr stand-in: simulated-annealing placement on a grid with
+/// wirelength cost; accept/reject branches with temperature-driven bias.
+pub fn vpr() -> Workload {
+    Workload {
+        name: "vpr_mc",
+        spec_name: "175.vpr",
+        description: "annealing placement: swap cells on a grid, accept by cost delta",
+        train_args: vec![90, 2500],
+        ref_args: vec![140, 9000],
+        source: r#"
+global seed: int = 777;
+global cell_x: [int; 512];
+global cell_y: [int; 512];
+global net_a: [int; 1024];
+global net_b: [int; 1024];
+global accepted: int;
+global rejected: int;
+global cost_now: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+fn absv(x: int) -> int {
+    if x < 0 { return 0 - x; }
+    return x;
+}
+
+fn net_cost(k: int) -> int {
+    let a = net_a[k];
+    let b = net_b[k];
+    return absv(cell_x[a] - cell_x[b]) + absv(cell_y[a] - cell_y[b]);
+}
+
+fn total_cost(nets: int) -> int {
+    let s = 0;
+    let k = 0;
+    while k < nets {
+        s = s + net_cost(k);
+        k = k + 1;
+    }
+    return s;
+}
+
+fn main(ncells: int, moves: int) {
+    let nets = ncells * 2;
+    if nets > 1024 { nets = 1024; }
+    let i = 0;
+    while i < ncells {
+        cell_x[i] = rnd() % 64;
+        cell_y[i] = rnd() % 64;
+        i = i + 1;
+    }
+    i = 0;
+    while i < nets {
+        net_a[i] = rnd() % ncells;
+        net_b[i] = rnd() % ncells;
+        i = i + 1;
+    }
+    cost_now = total_cost(nets);
+    let m = 0;
+    let temp = 1000;
+    while m < moves {
+        let c = rnd() % ncells;
+        let ox = cell_x[c];
+        let oy = cell_y[c];
+        // cost of nets touching c, before
+        let before = 0;
+        let k = 0;
+        while k < nets {
+            if net_a[k] == c { before = before + net_cost(k); }
+            else { if net_b[k] == c { before = before + net_cost(k); } }
+            k = k + 1;
+        }
+        cell_x[c] = rnd() % 64;
+        cell_y[c] = rnd() % 64;
+        let after = 0;
+        k = 0;
+        while k < nets {
+            if net_a[k] == c { after = after + net_cost(k); }
+            else { if net_b[k] == c { after = after + net_cost(k); } }
+            k = k + 1;
+        }
+        let delta = after - before;
+        if delta < 0 || rnd() % 1000 < temp {
+            accepted = accepted + 1;
+            cost_now = cost_now + delta;
+        } else {
+            cell_x[c] = ox;
+            cell_y[c] = oy;
+            rejected = rejected + 1;
+        }
+        if m % 100 == 99 { temp = temp * 9 / 10 + 1; }
+        m = m + 1;
+    }
+    out(accepted);
+    out(rejected);
+    out(cost_now);
+    out(total_cost(nets));
+}
+"#,
+    }
+}
+
+/// 176.gcc stand-in: expression-tree manipulation over arena nodes whose
+/// operand field is a pointer/int *union* — the paper's wild-load pattern
+/// (Sec. 4.3): control speculation of the union dereference produces
+/// kernel-visible wild loads under the general model.
+pub fn gcc() -> Workload {
+    Workload {
+        name: "gcc_mc",
+        spec_name: "176.gcc",
+        description: "expression trees with pointer/int unions: folding + walking (wild loads)",
+        train_args: vec![500, 3],
+        ref_args: vec![1400, 5],
+        source: r#"
+// A node: { kind, lhs, rhs, val } where lhs/rhs hold either a *Node or a
+// garbage integer (pointer/int union), discriminated by kind bits.
+struct Node { kind: int, lhs: int, rhs: int, val: int }
+global seed: int = 424242;
+global arena: [int; 16384];
+global arena_n: int;
+global folded: int;
+global walked: int;
+global hsum: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+// An integer (non-pointer) union payload. Most values are small (a
+// speculative dereference lands in the architected NaT page: the cheap
+// 2-cycle case); roughly one in eight is a large garbage value whose
+// off-path dereference walks the kernel page tables (the expensive wild
+// load of paper Sec. 4.3).
+fn garbage() -> int {
+    let r = rnd();
+    if (r & 15) == 0 { return r * 2654435761; }
+    return r & 2047;
+}
+
+// kind bit 1: lhs is pointer; bit 2: rhs is pointer
+fn build(depth: int) -> int {
+    let n = alloc(32) as *Node;
+    if arena_n < 16384 { arena[arena_n] = n as int; arena_n = arena_n + 1; }
+    n.val = rnd() & 1023;
+    if depth <= 0 {
+        n.kind = 0;
+        n.lhs = garbage();
+        n.rhs = garbage();
+        return n as int;
+    }
+    let k = 0;
+    if (rnd() & 3) != 0 { k = k | 1; n.lhs = build(depth - 1); }
+    else { n.lhs = garbage(); }
+    if (rnd() & 3) != 0 { k = k | 2; n.rhs = build(depth - 1); }
+    else { n.rhs = garbage(); }
+    n.kind = k;
+    return n as int;
+}
+
+fn eval(p: int) -> int {
+    let n = p as *Node;
+    let l = 0;
+    let r = 0;
+    // union dereference: only valid when the kind bit says pointer.
+    if (n.kind & 1) != 0 { l = eval(n.lhs); } else { l = n.lhs & 255; }
+    if (n.kind & 2) != 0 { r = eval(n.rhs); } else { r = n.rhs & 255; }
+    walked = walked + 1;
+    return (l + r * 3 + n.val) & 0xFFFFFF;
+}
+
+// constant folding: rewrite nodes whose children are both leaves
+fn fold(p: int) -> int {
+    let n = p as *Node;
+    let did = 0;
+    if (n.kind & 1) != 0 { did = did + fold(n.lhs); }
+    if (n.kind & 2) != 0 { did = did + fold(n.rhs); }
+    if n.kind == 0 {
+        n.val = (n.lhs & 255) + (n.rhs & 255);
+        did = did + 1;
+    }
+    return did;
+}
+
+// Flat dataflow pass over the whole arena: the union dereference sits in
+// a small branch-free-convertible diamond, so ILP-CS promotes the load
+// above the tag test — off-path executions hit garbage addresses (the
+// paper's wild loads, Sec. 4.3).
+fn scan() -> int {
+    let s = 0;
+    let i = 0;
+    while i < arena_n {
+        let n = arena[i] as *Node;
+        let t = 0;
+        if (n.kind & 1) != 0 { t = (n.lhs as *Node).val; } else { t = n.lhs & 15; }
+        let u = 0;
+        if (n.kind & 2) != 0 { u = (n.rhs as *Node).val; } else { u = n.rhs & 15; }
+        s = (s + t * 3 + u) & 0xFFFFFF;
+        i = i + 1;
+    }
+    return s;
+}
+
+fn main(trees: int, depth: int) {
+    let t = 0;
+    while t < trees {
+        let root = build(depth);
+        folded = folded + fold(root);
+        hsum = hsum * 31 + eval(root);
+        if t % 64 == 0 { hsum = hsum ^ scan(); }
+        t = t + 1;
+    }
+    out(folded);
+    out(walked);
+    out(hsum);
+}
+"#,
+    }
+}
+
+/// 181.mcf stand-in: network-simplex-like pointer chasing over a large
+/// arc array — memory-bound, nearly flat across compiler configurations
+/// (paper Table 1: mcf barely moves).
+pub fn mcf() -> Workload {
+    Workload {
+        name: "mcf_mc",
+        spec_name: "181.mcf",
+        description: "min-cost-flow-ish: pointer chasing over a working set larger than L2",
+        train_args: vec![9000, 6],
+        ref_args: vec![26000, 10],
+        source: r#"
+struct NodeM { pot: int, depth: int, pred: *NodeM }
+struct Arc { src: *NodeM, dst: *NodeM, cost: int, flow: int }
+global seed: int = 31337;
+global nodes_base: int;
+global arcs_base: int;
+global pushes: int;
+global hsum: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+fn node_at(i: int) -> *NodeM {
+    return (nodes_base + i * 24) as *NodeM;
+}
+
+fn arc_at(i: int) -> *Arc {
+    return (arcs_base + i * 32) as *Arc;
+}
+
+fn main(nnodes: int, sweeps: int) {
+    let narcs = nnodes * 3;
+    nodes_base = alloc(nnodes * 24);
+    arcs_base = alloc(narcs * 32);
+    let i = 0;
+    while i < nnodes {
+        let n = node_at(i);
+        n.pot = rnd() & 4095;
+        n.depth = 0;
+        if i > 0 { n.pred = node_at(rnd() % i); } else { n.pred = 0 as *NodeM; }
+        i = i + 1;
+    }
+    i = 0;
+    while i < narcs {
+        let a = arc_at(i);
+        a.src = node_at(rnd() % nnodes);
+        a.dst = node_at(rnd() % nnodes);
+        a.cost = (rnd() & 255) - 128;
+        a.flow = 0;
+        i = i + 1;
+    }
+    let s = 0;
+    while s < sweeps {
+        // price sweep: reduced costs, scattered (strided) reads
+        let c = 0;
+        let k = 0;
+        while c < narcs {
+            let a = arc_at(k);
+            let red = a.cost + a.src.pot - a.dst.pot;
+            if red < 0 {
+                a.flow = a.flow + 1;
+                a.dst.pot = a.dst.pot + (0 - red) / 2;
+                pushes = pushes + 1;
+            }
+            k = k + 7;              // stride to defeat spatial locality
+            if k >= narcs { k = k - narcs; }
+            c = c + 1;
+        }
+        // chase predecessor chains (serial, cache-hostile)
+        let j = 0;
+        while j < nnodes {
+            let n = node_at(j);
+            let d = 0;
+            let p = n.pred;
+            while p as int != 0 && d < 16 {
+                d = d + 1;
+                p = p.pred;
+            }
+            n.depth = d;
+            hsum = hsum + d;
+            j = j + 97;
+        }
+        s = s + 1;
+    }
+    out(pushes);
+    out(hsum);
+}
+"#,
+    }
+}

@@ -1,0 +1,435 @@
+//! Stand-ins for 186.crafty, 197.parser, 252.eon, and 253.perlbmk.
+
+use crate::Workload;
+
+/// 186.crafty stand-in: bitboard chess-like evaluation with many short
+/// serial `while` loops that typically run once (the paper's Fig. 3
+/// motivating example), big lookup tables, and a large instruction
+/// footprint.
+pub fn crafty() -> Workload {
+    Workload {
+        name: "crafty_mc",
+        spec_name: "186.crafty",
+        description: "bitboard evaluation: serial low-trip while loops, big tables, branchy",
+        train_args: vec![2500],
+        ref_args: vec![9000],
+        source: r#"
+global seed: int = 987654321;
+global board: [int; 64];
+global piece_val: [int; 16] = [0, 100, 320, 330, 500, 900, 20000, 0, 0, -100, -320, -330, -500, -900, -20000, 0];
+global center: [int; 64];
+global score_hist: [int; 128];
+global total: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+fn setup() {
+    let i = 0;
+    while i < 64 {
+        let r = rnd() & 15;
+        if r > 14 { r = 0; }
+        board[i] = r;
+        let rank = i >> 3;
+        let file = i & 7;
+        let dr = rank - 3; if dr < 0 { dr = 0 - dr; }
+        let df = file - 3; if df < 0 { df = 0 - df; }
+        center[i] = 6 - dr - df;
+        i = i + 1;
+    }
+}
+
+// Evaluate "queen mobility": walk a ray until blocked — each ray loop
+// typically takes exactly one iteration (paper Sec. 2.4).
+fn ray(sq: int, step: int) -> int {
+    let mob = 0;
+    let s = sq + step;
+    while s >= 0 && s < 64 && board[s] == 0 {
+        mob = mob + 1;
+        s = s + step;
+        if mob >= 3 { break; }
+    }
+    return mob;
+}
+
+fn eval_material() -> int {
+    let s = 0;
+    let i = 0;
+    while i < 64 { s = s + piece_val[board[i]]; i = i + 1; }
+    return s;
+}
+
+fn eval_position() -> int {
+    let s = 0;
+    let i = 0;
+    while i < 64 {
+        let p = board[i];
+        if p != 0 {
+            if p < 8 { s = s + center[i] * 2; }
+            else { s = s - center[i] * 2; }
+            // pawn-ish structure: scan file upward, usually stops at once
+            let j = i - 8;
+            while j >= 0 && board[j] == p {
+                s = s - 3;
+                j = j - 8;
+            }
+        }
+        i = i + 1;
+    }
+    return s;
+}
+
+fn eval_mobility() -> int {
+    let s = 0;
+    let i = 0;
+    while i < 64 {
+        let p = board[i];
+        if p == 5 {
+            s = s + ray(i, 1) + ray(i, 0 - 1) + ray(i, 8) + ray(i, 0 - 8);
+        }
+        if p == 13 {
+            s = s - ray(i, 1) - ray(i, 0 - 1) - ray(i, 8) - ray(i, 0 - 8);
+        }
+        i = i + 1;
+    }
+    return s;
+}
+
+fn main(positions: int) {
+    let t = 0;
+    while t < positions {
+        setup();
+        let sc = eval_material() + eval_position() + eval_mobility();
+        let b = sc & 127;
+        if b < 0 { b = 0 - b; }
+        score_hist[b] = score_hist[b] + 1;
+        total = total + sc;
+        // mutate a few squares between evaluations
+        let k = 0;
+        while k < 4 {
+            board[rnd() & 63] = rnd() & 7;
+            k = k + 1;
+        }
+        t = t + 1;
+    }
+    out(total);
+    let s = 0;
+    let i = 0;
+    while i < 128 { s = s * 31 + score_hist[i]; i = i + 1; }
+    out(s);
+}
+"#,
+    }
+}
+
+/// 197.parser stand-in: tokenizer + trie dictionary with linked-list
+/// buckets; deep expression parsing keeps many values live (register
+/// pressure → RSE, paper Sec. 4.4).
+pub fn parser() -> Workload {
+    Workload {
+        name: "parser_mc",
+        spec_name: "197.parser",
+        description: "tokenizer + dictionary tries; recursive descent keeps registers hot",
+        train_args: vec![900],
+        ref_args: vec![3200],
+        source: r#"
+struct Entry { next: *Entry, word: int, count: int }
+global seed: int = 5551212;
+global text: [byte; 4096];
+global buckets: [int; 256];
+global tokens: int;
+global dict_hits: int;
+global parse_sum: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+// Text drawn from a bounded vocabulary (as real English is): word
+// lengths 3-7, letters derived deterministically from the word id, so
+// dictionary lookups mostly hit and chains stay short.
+fn gen_text(n: int) {
+    let i = 0;
+    while i < n - 8 {
+        let wid = rnd() % 500;
+        let len = 3 + wid % 5;
+        let k = 0;
+        while k < len {
+            text[i] = 97 + (wid * 7 + k * 13) % 26;
+            i = i + 1;
+            k = k + 1;
+        }
+        text[i] = 32;
+        i = i + 1;
+    }
+    while i < n { text[i] = 32; i = i + 1; }
+}
+
+fn lookup_or_add(word: int) -> int {
+    let h = word & 255;
+    let p = buckets[h] as *Entry;
+    while p as int != 0 {
+        if p.word == word {
+            p.count = p.count + 1;
+            dict_hits = dict_hits + 1;
+            return p.count;
+        }
+        p = p.next;
+    }
+    let e = alloc(24) as *Entry;
+    e.word = word;
+    e.count = 1;
+    e.next = buckets[h] as *Entry;
+    buckets[h] = e as int;
+    return 1;
+}
+
+// expression "linkage" evaluation: combine token codes with precedence,
+// keeping a wide set of live temporaries
+fn combine(a: int, b: int, c: int, d: int, e2: int, f: int) -> int {
+    let t1 = a * 31 + b;
+    let t2 = b * 17 + c;
+    let t3 = c * 13 + d;
+    let t4 = d * 11 + e2;
+    let t5 = e2 * 7 + f;
+    let t6 = a ^ c ^ e2;
+    let t7 = b ^ d ^ f;
+    let u1 = t1 + t3 + t5;
+    let u2 = t2 + t4 + t6;
+    let u3 = t7 * 3 + t1;
+    return (u1 * u2 + u3) & 0xFFFFFF;
+}
+
+fn tokenize(n: int) {
+    let i = 0;
+    let w = 0;
+    let last6_0 = 0; let last6_1 = 0; let last6_2 = 0;
+    let last6_3 = 0; let last6_4 = 0; let last6_5 = 0;
+    while i < n {
+        let c = text[i];
+        if c == 32 {
+            if w != 0 {
+                tokens = tokens + 1;
+                let cnt = lookup_or_add(w);
+                last6_5 = last6_4; last6_4 = last6_3; last6_3 = last6_2;
+                last6_2 = last6_1; last6_1 = last6_0; last6_0 = w + cnt;
+                parse_sum = parse_sum ^ combine(last6_0, last6_1, last6_2, last6_3, last6_4, last6_5);
+                w = 0;
+            }
+        } else {
+            w = (w * 131 + c) & 0x3FFFFFF;
+        }
+        i = i + 1;
+    }
+}
+
+fn main(paragraphs: int) {
+    let p = 0;
+    while p < paragraphs {
+        gen_text(600);
+        tokenize(600);
+        p = p + 1;
+    }
+    out(tokens);
+    out(dict_hits);
+    out(parse_sum);
+}
+"#,
+    }
+}
+
+/// 252.eon stand-in: fixed-point "ray tracing" with monomorphic shader
+/// dispatch through function pointers (the paper notes eon's biased
+/// virtual calls; indirect-call promotion + inlining recover them).
+pub fn eon() -> Workload {
+    Workload {
+        name: "eon_mc",
+        spec_name: "252.eon",
+        description: "fixed-point raytracer with biased indirect shader dispatch",
+        train_args: vec![40],
+        ref_args: vec![110],
+        source: r#"
+global seed: int = 31415926;
+global image: [int; 1024];
+global shaded: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+// fixed point 16.16
+fn fxmul(a: int, b: int) -> int { return (a * b) >> 16; }
+
+fn shade_diffuse(nl: int) -> int {
+    let v = fxmul(nl, 60000);
+    if v < 0 { v = 0; }
+    return v;
+}
+
+fn shade_specular(nl: int) -> int {
+    let v = fxmul(nl, nl);
+    v = fxmul(v, v);
+    return fxmul(v, 80000);
+}
+
+fn shade_flat(nl: int) -> int {
+    let _ = nl;
+    return 30000;
+}
+
+fn trace_row(y: int, w: int) {
+    let x = 0;
+    while x < w {
+        // sphere intersection, fixed point
+        let dx = (x * 65536) / w - 32768;
+        let dy = (y * 65536) / w - 32768;
+        let b = fxmul(dx, dx) + fxmul(dy, dy);
+        let disc = 65536 - b;
+        let col = 0;
+        if disc > 0 {
+            // fake sqrt via two Newton steps
+            let s = disc;
+            let g = 32768 + (disc >> 1);
+            g = (g + (disc * 65536) / (g + 1)) >> 1;
+            g = (g + (disc * 65536) / (g + 1)) >> 1;
+            let nl = 65536 - fxmul(g, 49152);
+            // dispatch: 90% diffuse (monomorphic in practice)
+            let shader = shade_diffuse;
+            let r = rnd() % 100;
+            if r >= 90 { if r < 95 { shader = shade_specular; } else { shader = shade_flat; } }
+            col = icall(shader, nl) + (s >> 12);
+            shaded = shaded + 1;
+        }
+        image[(y * w + x) & 1023] = image[(y * w + x) & 1023] + col;
+        x = x + 1;
+    }
+}
+
+fn main(size: int) {
+    let y = 0;
+    while y < size {
+        trace_row(y, size);
+        y = y + 1;
+    }
+    let h = 0;
+    let i = 0;
+    while i < 1024 { h = h * 33 + image[i] & 0xFFFFFFF; i = i + 1; }
+    out(shaded);
+    out(h);
+}
+"#,
+    }
+}
+
+/// 253.perlbmk stand-in: a bytecode string-machine interpreter (regex-ish
+/// matching, substitution, hashing) with a big dispatch footprint.
+pub fn perlbmk() -> Workload {
+    Workload {
+        name: "perlbmk_mc",
+        spec_name: "253.perlbmk",
+        description: "string bytecode interpreter: dispatch loop, match/substitute ops",
+        train_args: vec![350],
+        ref_args: vec![1200],
+        source: r#"
+global seed: int = 271828;
+global text: [byte; 2048];
+global prog: [int; 64];
+global matches: int;
+global subs: int;
+global hsum: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+fn gen(n: int) {
+    let i = 0;
+    while i < n {
+        let r = rnd() & 15;
+        text[i] = 97 + r;
+        i = i + 1;
+    }
+}
+
+// opcodes: 0 literal-match, 1 class-match, 2 star, 3 substitute, 4 count,
+// 5 hash, 6 reverse-span, 7 halt
+fn gen_prog() {
+    let i = 0;
+    while i < 63 {
+        prog[i] = (rnd() % 7) * 256 + (97 + (rnd() & 15));
+        i = i + 1;
+    }
+    prog[63] = 7 * 256;
+}
+
+fn interp(n: int) {
+    let pc = 0;
+    let pos = 0;
+    let steps = 0;
+    while steps < 400 {
+        let insn = prog[pc & 63];
+        let opc = insn >> 8;
+        let arg = insn & 255;
+        if opc == 0 {
+            if text[pos % n] == arg { matches = matches + 1; pc = pc + 1; }
+            else { pc = pc + 2; }
+            pos = pos + 1;
+        } else { if opc == 1 {
+            let c = text[pos % n];
+            if c >= arg && c < arg + 4 { matches = matches + 1; }
+            pos = pos + 1; pc = pc + 1;
+        } else { if opc == 2 {
+            // star: consume a run (typically short)
+            while text[pos % n] == arg && pos < n * 2 {
+                pos = pos + 1;
+                matches = matches + 1;
+            }
+            pc = pc + 1;
+        } else { if opc == 3 {
+            text[pos % n] = arg;
+            subs = subs + 1;
+            pos = pos + 3; pc = pc + 1;
+        } else { if opc == 4 {
+            let k = 0; let c = 0;
+            while k < 16 { if text[(pos + k) % n] == arg { c = c + 1; } k = k + 1; }
+            hsum = hsum + c;
+            pc = pc + 1;
+        } else { if opc == 5 {
+            hsum = hsum * 131 + text[pos % n];
+            pos = pos + 1; pc = pc + 1;
+        } else { if opc == 6 {
+            let a = pos % n; let b = (pos + 7) % n;
+            if a < b {
+                while a < b {
+                    let t = text[a]; text[a] = text[b]; text[b] = t;
+                    a = a + 1; b = b - 1;
+                }
+            }
+            pc = pc + 1;
+        } else {
+            pc = 0;
+        } } } } } } }
+        steps = steps + 1;
+    }
+}
+
+fn main(rounds: int) {
+    gen(2048);
+    let r = 0;
+    while r < rounds {
+        gen_prog();
+        interp(1500);
+        r = r + 1;
+    }
+    out(matches);
+    out(subs);
+    out(hsum);
+}
+"#,
+    }
+}

@@ -1,0 +1,419 @@
+//! Stand-ins for 254.gap, 255.vortex, 256.bzip2, and 300.twolf.
+
+use crate::Workload;
+
+/// 254.gap stand-in: a stack-machine arithmetic interpreter with biased
+/// indirect operator dispatch (the paper notes gap's indirect calls and
+/// spurious loop dependences).
+pub fn gap() -> Workload {
+    Workload {
+        name: "gap_mc",
+        spec_name: "254.gap",
+        description: "stack-machine arithmetic interpreter, biased operator dispatch",
+        train_args: vec![700],
+        ref_args: vec![2500],
+        source: r#"
+global seed: int = 1618033;
+global stack: [int; 256];
+global sp: int;
+global code: [int; 128];
+global hsum: int;
+global ops_run: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+fn op_add(a: int, b: int) -> int { return a + b; }
+fn op_sub(a: int, b: int) -> int { return a - b; }
+fn op_mul(a: int, b: int) -> int { return (a * b) & 0xFFFFFF; }
+fn op_xor(a: int, b: int) -> int { return a ^ b; }
+
+fn gen_code() {
+    let i = 0;
+    while i < 127 {
+        let r = rnd() % 100;
+        // 0..49: push, 50..84: add (dominant op), 85..94 sub, 95..97 mul, 98..99 xor
+        if r < 50 { code[i] = 1000 + (rnd() & 1023); }
+        else { if r < 85 { code[i] = 1; }
+        else { if r < 95 { code[i] = 2; }
+        else { if r < 98 { code[i] = 3; }
+        else { code[i] = 4; } } } }
+        i = i + 1;
+    }
+    code[127] = 0;
+}
+
+fn run_code() {
+    sp = 0;
+    stack[0] = 7;
+    stack[1] = 11;
+    sp = 2;
+    let pc = 0;
+    while 1 {
+        let insn = code[pc & 127];
+        if insn == 0 { break; }
+        if insn >= 1000 {
+            stack[sp & 255] = insn - 1000;
+            sp = sp + 1;
+        } else {
+            if sp < 2 { stack[sp & 255] = 5; sp = sp + 1; }
+            let b = stack[(sp - 1) & 255];
+            let a = stack[(sp - 2) & 255];
+            let f = op_add;
+            if insn == 2 { f = op_sub; }
+            if insn == 3 { f = op_mul; }
+            if insn == 4 { f = op_xor; }
+            stack[(sp - 2) & 255] = icall(f, a, b);
+            sp = sp - 1;
+            ops_run = ops_run + 1;
+        }
+        pc = pc + 1;
+    }
+    let i = 0;
+    while i < sp {
+        hsum = hsum * 33 + stack[i & 255];
+        i = i + 1;
+    }
+}
+
+fn main(rounds: int) {
+    let r = 0;
+    while r < rounds {
+        gen_code();
+        run_code();
+        r = r + 1;
+    }
+    out(ops_run);
+    out(hsum);
+}
+"#,
+    }
+}
+
+/// 255.vortex stand-in: an object database with many small manipulation
+/// functions (hash directory, chained buckets, field updates, validation
+/// sweeps) — the paper's biggest ILP win and its per-function drill-down
+/// subject (Fig. 10).
+pub fn vortex() -> Workload {
+    Workload {
+        name: "vortex_mc",
+        spec_name: "255.vortex",
+        description: "object database: create/lookup/update/delete over hashed chains",
+        train_args: vec![5000],
+        ref_args: vec![18000],
+        source: r#"
+struct Obj { next: *Obj, key: int, kind: int, f0: int, f1: int, f2: int }
+global seed: int = 600613;
+global dir: [int; 512];
+global live_objs: int;
+global lookups: int;
+global updates: int;
+global deletes: int;
+global checksum_g: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+fn hash_key(k: int) -> int {
+    return (k * 2654435761) & 511;
+}
+
+fn obj_find(k: int) -> int {
+    let p = dir[hash_key(k)] as *Obj;
+    while p as int != 0 {
+        if p.key == k { return p as int; }
+        p = p.next;
+    }
+    return 0;
+}
+
+fn obj_create(k: int, kind: int) -> int {
+    let o = alloc(48) as *Obj;
+    let h = hash_key(k);
+    o.key = k;
+    o.kind = kind;
+    o.f0 = k * 3;
+    o.f1 = 0;
+    o.f2 = kind * 7;
+    o.next = dir[h] as *Obj;
+    dir[h] = o as int;
+    live_objs = live_objs + 1;
+    return o as int;
+}
+
+fn obj_update(p: int, v: int) {
+    let o = p as *Obj;
+    o.f1 = o.f1 + v;
+    if o.f1 > 4096 { o.f1 = o.f1 >> 1; o.f2 = o.f2 + 1; }
+    updates = updates + 1;
+}
+
+fn obj_delete(k: int) {
+    let h = hash_key(k);
+    let p = dir[h] as *Obj;
+    if p as int == 0 { return; }
+    if p.key == k { dir[h] = p.next as int; live_objs = live_objs - 1; deletes = deletes + 1; return; }
+    while p.next as int != 0 {
+        if p.next.key == k {
+            p.next = p.next.next;
+            live_objs = live_objs - 1;
+            deletes = deletes + 1;
+            return;
+        }
+        p = p.next;
+    }
+}
+
+fn obj_validate(p: int) -> int {
+    let o = p as *Obj;
+    let ok = 1;
+    if o.f0 != o.key * 3 { ok = 0; }
+    if o.f1 < 0 { ok = 0; }
+    return ok;
+}
+
+fn sweep() {
+    let h = 0;
+    while h < 512 {
+        let p = dir[h] as *Obj;
+        while p as int != 0 {
+            checksum_g = checksum_g * 31 + p.f1 + p.f2 + obj_validate(p as int);
+            p = p.next;
+        }
+        h = h + 1;
+    }
+}
+
+fn main(txns: int) {
+    let t = 0;
+    while t < txns {
+        let k = rnd() & 2047;
+        let action = rnd() % 100;
+        let p = obj_find(k);
+        lookups = lookups + 1;
+        if action < 55 {
+            if p == 0 { p = obj_create(k, action & 7); }
+            obj_update(p, action);
+        } else { if action < 85 {
+            if p != 0 { obj_update(p, 1); }
+        } else {
+            if p != 0 { obj_delete(k); }
+        } }
+        if t % 2000 == 1999 { sweep(); }
+        t = t + 1;
+    }
+    sweep();
+    out(live_objs);
+    out(lookups);
+    out(updates);
+    out(deletes);
+    out(checksum_g);
+}
+"#,
+    }
+}
+
+/// 256.bzip2 stand-in: counting sort + move-to-front + run-length coding
+/// over byte blocks; tight store-then-load sequences exercise the
+/// store-forwarding (micropipe) hazard the paper observes in bzip.
+pub fn bzip2() -> Workload {
+    Workload {
+        name: "bzip2_mc",
+        spec_name: "256.bzip2",
+        description: "block transform: counting sort, move-to-front, run-length, bit packing",
+        train_args: vec![1800, 2],
+        ref_args: vec![5200, 4],
+        source: r#"
+global seed: int = 9001;
+global block: [byte; 8192];
+global sorted: [byte; 8192];
+global counts: [int; 256];
+global mtf: [byte; 256];
+global out_bits: int;
+global hsum: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+fn gen(n: int) {
+    let i = 0;
+    let run = 0;
+    let ch = 65;
+    while i < n {
+        if run == 0 {
+            ch = 65 + (rnd() & 31);
+            run = 1 + (rnd() & 7);
+        }
+        block[i] = ch;
+        run = run - 1;
+        i = i + 1;
+    }
+}
+
+fn counting_sort(n: int) {
+    let i = 0;
+    while i < 256 { counts[i] = 0; i = i + 1; }
+    i = 0;
+    while i < n { counts[block[i]] = counts[block[i]] + 1; i = i + 1; }
+    let acc = 0;
+    i = 0;
+    while i < 256 {
+        let c = counts[i];
+        counts[i] = acc;
+        acc = acc + c;
+        i = i + 1;
+    }
+    i = 0;
+    while i < n {
+        let b = block[i];
+        sorted[counts[b]] = b;
+        counts[b] = counts[b] + 1;
+        i = i + 1;
+    }
+}
+
+fn mtf_encode(n: int) {
+    let i = 0;
+    while i < 256 { mtf[i] = i; i = i + 1; }
+    i = 0;
+    while i < n {
+        let b = block[i];
+        // find b's rank (usually near the front)
+        let j = 0;
+        while mtf[j] != b { j = j + 1; }
+        hsum = hsum * 31 + j;
+        // move to front
+        while j > 0 { mtf[j] = mtf[j - 1]; j = j - 1; }
+        mtf[0] = b;
+        i = i + 1;
+    }
+}
+
+fn rle_bits(n: int) {
+    let i = 0;
+    while i < n {
+        let b = sorted[i];
+        let run = 1;
+        while i + run < n && sorted[i + run] == b && run < 255 { run = run + 1; }
+        if run >= 4 { out_bits = out_bits + 24; } else { out_bits = out_bits + run * 8; }
+        hsum = hsum * 131 + run;
+        i = i + run;
+    }
+}
+
+fn main(n: int, rounds: int) {
+    let r = 0;
+    while r < rounds {
+        gen(n);
+        counting_sort(n);
+        mtf_encode(n / 4);
+        rle_bits(n);
+        r = r + 1;
+    }
+    out(out_bits);
+    out(hsum);
+}
+"#,
+    }
+}
+
+/// 300.twolf stand-in: standard-cell placement annealing with lookup
+/// tables and short cleanup loops whose remainders stay lukewarm —
+/// the paper's I-cache replication case (Sec. 4.1).
+pub fn twolf() -> Workload {
+    Workload {
+        name: "twolf_mc",
+        spec_name: "300.twolf",
+        description: "cell placement annealing: overlap penalties, lukewarm cleanup loops",
+        train_args: vec![2000],
+        ref_args: vec![7000],
+        source: r#"
+global seed: int = 20001;
+global cx: [int; 256];
+global cy: [int; 256];
+global cw: [int; 256];
+global rowcap: [int; 32];
+global penalty_tab: [int; 64];
+global accepted: int;
+global cost_g: int;
+
+fn rnd() -> int {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    return (seed >> 33) & 0x7FFFFFFF;
+}
+
+fn absv(x: int) -> int { if x < 0 { return 0 - x; } return x; }
+
+fn overlap(a: int, b: int) -> int {
+    if cy[a] != cy[b] { return 0; }
+    let d = absv(cx[a] - cx[b]);
+    let w = (cw[a] + cw[b]) >> 1;
+    if d >= w { return 0; }
+    let idx = w - d;
+    if idx > 63 { idx = 63; }
+    return penalty_tab[idx];
+}
+
+fn cell_cost(c: int, ncells: int) -> int {
+    let s = 0;
+    let j = 0;
+    while j < ncells {
+        if j != c { s = s + overlap(c, j); }
+        j = j + 1;
+    }
+    // row crowding: short cleanup loop, typically 0-1 iterations
+    let row = cy[c] & 31;
+    let over = rowcap[row] - 8;
+    while over > 0 {
+        s = s + 50;
+        over = over - 4;
+    }
+    return s + absv(cx[c] - 128) / 4;
+}
+
+fn main(moves: int) {
+    let ncells = 180;
+    let i = 0;
+    while i < 64 { penalty_tab[i] = i * i / 4 + 1; i = i + 1; }
+    i = 0;
+    while i < ncells {
+        cx[i] = rnd() & 255;
+        cy[i] = rnd() & 31;
+        cw[i] = 4 + (rnd() & 7);
+        rowcap[cy[i] & 31] = rowcap[cy[i] & 31] + 1;
+        i = i + 1;
+    }
+    let m = 0;
+    while m < moves {
+        let c = rnd() % ncells;
+        let before = cell_cost(c, ncells);
+        let ox = cx[c];
+        let oy = cy[c];
+        rowcap[oy & 31] = rowcap[oy & 31] - 1;
+        cx[c] = rnd() & 255;
+        cy[c] = rnd() & 31;
+        rowcap[cy[c] & 31] = rowcap[cy[c] & 31] + 1;
+        let after = cell_cost(c, ncells);
+        if after <= before + (rnd() & 15) {
+            accepted = accepted + 1;
+            cost_g = cost_g + after - before;
+        } else {
+            rowcap[cy[c] & 31] = rowcap[cy[c] & 31] - 1;
+            cx[c] = ox;
+            cy[c] = oy;
+            rowcap[oy & 31] = rowcap[oy & 31] + 1;
+        }
+        m = m + 1;
+    }
+    out(accepted);
+    out(cost_g);
+}
+"#,
+    }
+}

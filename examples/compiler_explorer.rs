@@ -1,0 +1,74 @@
+//! Compiler explorer: watch a MiniC program move through the IMPACT-style
+//! pipeline — IR after the frontend, after classical optimization, after
+//! structural ILP transformation, and the final Itanium-2-style bundles.
+//!
+//! Run with: `cargo run --release --example compiler_explorer [path.mc]`
+//! (with no argument, a built-in demo program is used).
+
+use epic_core::IlpOptions;
+use epic_sched::SchedOptions;
+
+const DEMO: &str = "
+    global tab: [int; 32];
+    fn main() {
+        let i = 0; let s = 0;
+        while i < 100 {
+            let v = tab[i & 31];
+            if v > s { s = v; } else { s = s + 1; }
+            tab[i & 31] = s & 255;
+            i = i + 1;
+        }
+        out(s);
+    }";
+
+fn main() {
+    let src = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => DEMO.to_string(),
+    };
+    let mut prog = epic_lang::compile(&src).expect("MiniC compiles");
+
+    println!("================ 1. frontend IR (Lcode-like) ================");
+    print_main(&prog);
+
+    epic_opt::profile::profile_program(&mut prog, &[], 1_000_000_000).expect("profiling run");
+    epic_opt::inline::run(&mut prog, Default::default());
+    epic_opt::classical_optimize_program(&mut prog);
+    epic_opt::alias::run(&mut prog);
+    println!("========= 2. after inlining + classical optimization ========");
+    print_main(&prog);
+
+    for f in &mut prog.funcs {
+        epic_core::ilp_transform(f, &IlpOptions::ilp_cs());
+    }
+    epic_ir::verify::verify_program(&prog).expect("verified");
+    println!("====== 3. after structural ILP transforms (hyperblocks) =====");
+    print_main(&prog);
+
+    let (mp, plan) = epic_sched::compile_program(&prog, &SchedOptions::ilp_cs());
+    println!("============== 4. scheduled + bundled machine code ===========");
+    for f in &mp.funcs {
+        if f.name == "main" {
+            println!("{}", epic_mach::program::disasm(f));
+        }
+    }
+    println!(
+        "planned IPC: {:.2}; code bytes: {}; nop fraction: {:.1}%",
+        plan.planned_ipc(),
+        mp.code_bytes(),
+        100.0 * mp.nop_fraction()
+    );
+    let sim = epic_sim::run(&mp, &[], &epic_sim::SimOptions::default()).expect("runs");
+    println!(
+        "simulated: {} cycles, achieved IPC {:.2}, output {:?}",
+        sim.cycles,
+        sim.counters.retired_useful as f64 / sim.cycles as f64,
+        sim.output
+    );
+}
+
+fn print_main(prog: &epic_ir::Program) {
+    let f = prog.func(prog.entry);
+    println!("{f}");
+}

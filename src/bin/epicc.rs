@@ -1,0 +1,205 @@
+//! `epicc` — command-line front end to the IMPACT EPIC reproduction.
+//!
+//! Compile a MiniC source file at a chosen optimization level, then dump
+//! IR, disassemble machine code, or run it on the Itanium-2-like
+//! simulator with full cycle accounting.
+//!
+//! ```text
+//! epicc prog.mc                          # compile + simulate at ILP-CS
+//! epicc prog.mc --level o-ns --args 3,4  # pass main() arguments
+//! epicc prog.mc --emit mach              # disassemble bundles
+//! epicc prog.mc --emit ir                # post-transform IR
+//! epicc --workload crafty_mc --level all # sweep a bundled workload
+//! epicc prog.mc --spec-model sentinel    # Fig. 9 recovery model
+//! ```
+
+use epic_driver::{compile_source, CompileOptions, OptLevel};
+use epic_sim::{SimOptions, SpecModel};
+use std::process::ExitCode;
+
+struct Args {
+    source: Option<String>,
+    workload: Option<String>,
+    levels: Vec<OptLevel>,
+    emit: Emit,
+    main_args: Vec<i64>,
+    spec_model: SpecModel,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Emit {
+    Sim,
+    Ir,
+    Mach,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: epicc <file.mc> [--level gcc|o-ns|ilp-ns|ilp-cs|all] [--emit sim|ir|mach]\n\
+         \x20            [--args a,b,...] [--spec-model general|sentinel]\n\
+         \x20      epicc --workload <name> [...]   (bundled SPEC stand-ins; see epic-workloads)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        source: None,
+        workload: None,
+        levels: vec![OptLevel::IlpCs],
+        emit: Emit::Sim,
+        main_args: Vec::new(),
+        spec_model: SpecModel::General,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--level" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.levels = match v.as_str() {
+                    "gcc" => vec![OptLevel::Gcc],
+                    "o-ns" => vec![OptLevel::ONs],
+                    "ilp-ns" => vec![OptLevel::IlpNs],
+                    "ilp-cs" => vec![OptLevel::IlpCs],
+                    "all" => OptLevel::ALL.to_vec(),
+                    _ => usage(),
+                };
+            }
+            "--emit" => {
+                args.emit = match it.next().unwrap_or_else(|| usage()).as_str() {
+                    "sim" => Emit::Sim,
+                    "ir" => Emit::Ir,
+                    "mach" => Emit::Mach,
+                    _ => usage(),
+                };
+            }
+            "--args" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.main_args = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--spec-model" => {
+                args.spec_model = match it.next().unwrap_or_else(|| usage()).as_str() {
+                    "general" => SpecModel::General,
+                    "sentinel" => SpecModel::Sentinel,
+                    _ => usage(),
+                };
+            }
+            "--workload" => args.workload = Some(it.next().unwrap_or_else(|| usage())),
+            "-h" | "--help" => usage(),
+            path if !path.starts_with('-') => args.source = Some(path.to_string()),
+            _ => usage(),
+        }
+    }
+    if args.source.is_none() && args.workload.is_none() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (src, train, mut run_args) = match (&args.source, &args.workload) {
+        (Some(path), _) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("epicc: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (src, args.main_args.clone(), args.main_args.clone())
+        }
+        (None, Some(name)) => match epic_workloads::by_name(name) {
+            Some(w) => (w.source.to_string(), w.train_args.clone(), w.ref_args.clone()),
+            None => {
+                eprintln!(
+                    "epicc: unknown workload `{name}`; available: {}",
+                    epic_workloads::all()
+                        .iter()
+                        .map(|w| w.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => unreachable!("parse_args enforces one input"),
+    };
+    if !args.main_args.is_empty() {
+        run_args = args.main_args.clone();
+    }
+
+    for &level in &args.levels {
+        let compiled =
+            match compile_source(&src, &train, &run_args, &CompileOptions::for_level(level)) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("epicc [{}]: {e}", level.name());
+                    return ExitCode::FAILURE;
+                }
+            };
+        match args.emit {
+            Emit::Ir => {
+                println!("; === {} ===", level.name());
+                for f in &compiled.mach.ir.funcs {
+                    println!("{f}");
+                }
+            }
+            Emit::Mach => {
+                println!("; === {} ===", level.name());
+                for f in &compiled.mach.funcs {
+                    println!("{}", epic_mach::program::disasm(f));
+                }
+            }
+            Emit::Sim => {
+                let sim = match epic_sim::run(
+                    &compiled.mach,
+                    &run_args,
+                    &SimOptions {
+                        spec_model: args.spec_model,
+                        ..Default::default()
+                    },
+                ) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("epicc [{}]: simulation trapped: {e}", level.name());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                println!("[{}]", level.name());
+                println!("  output    {:?}", sim.output);
+                println!("  cycles    {}", sim.cycles);
+                println!(
+                    "  IPC       {:.2} achieved / {:.2} planned",
+                    sim.counters.retired_useful as f64 / sim.cycles as f64,
+                    compiled.plan.planned_ipc()
+                );
+                println!(
+                    "  ops       {} useful, {} squashed, {} nops",
+                    sim.counters.retired_useful,
+                    sim.counters.retired_squashed,
+                    sim.counters.retired_nops
+                );
+                println!(
+                    "  cycles/cat unstalled {} | ld {} | fe {} | br {} | rse {} | kernel {} | misc {}",
+                    sim.acct.unstalled,
+                    sim.acct.int_load_bubble,
+                    sim.acct.front_end_bubble,
+                    sim.acct.br_mispredict_flush,
+                    sim.acct.register_stack,
+                    sim.acct.kernel,
+                    sim.acct.misc + sim.acct.float_scoreboard + sim.acct.micropipe,
+                );
+                println!(
+                    "  code      {} bytes, {} loads promoted, {} wild loads",
+                    compiled.code_bytes, compiled.ilp.loads_promoted, sim.counters.wild_loads
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

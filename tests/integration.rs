@@ -1,0 +1,102 @@
+//! Cross-crate integration tests: the full pipeline (frontend → profile →
+//! inline/promote → classical → structural ILP → schedule → simulate) must
+//! preserve semantics on real workloads at every optimization level, and
+//! the measured counters must satisfy basic physical invariants.
+
+use epic_driver::{compile, measure, oracle, CompileOptions, OptLevel};
+use epic_sim::SimOptions;
+
+/// A fast subset of the suite that covers every behaviour class (full
+/// 12-benchmark differential coverage lives in the bench harness and the
+/// per-crate tests).
+const SAMPLE: &[&str] = &["gzip_mc", "gcc_mc", "crafty_mc", "eon_mc", "vortex_mc", "bzip2_mc"];
+
+#[test]
+fn sample_workloads_match_oracle_at_all_levels_on_train_input() {
+    for name in SAMPLE {
+        let w = epic_workloads::by_name(name).unwrap();
+        let want = oracle(&w, &w.train_args).unwrap();
+        for level in OptLevel::ALL {
+            let compiled = compile(&w, &CompileOptions::for_level(level)).unwrap();
+            let sim = epic_sim::run(&compiled.mach, &w.train_args, &SimOptions::default())
+                .unwrap_or_else(|e| panic!("{name} at {}: {e}", level.name()));
+            assert_eq!(sim.output, want, "{name} at {}", level.name());
+        }
+    }
+}
+
+#[test]
+fn counters_satisfy_physical_invariants() {
+    let w = epic_workloads::by_name("vortex_mc").unwrap();
+    for level in OptLevel::ALL {
+        let m = measure(&w, &CompileOptions::for_level(level), &SimOptions::default()).unwrap();
+        let c = &m.sim.counters;
+        let a = &m.sim.acct;
+        assert_eq!(m.sim.cycles, a.total(), "{}", level.name());
+        assert!(a.unstalled > 0);
+        assert!(a.planned() <= m.sim.cycles);
+        assert!(c.l1i_misses <= c.l1i_accesses);
+        assert!(c.l1d_misses <= c.l1d_accesses);
+        assert!(c.l2_misses <= c.l2_accesses);
+        assert!(c.branch_mispredictions <= c.branch_predictions);
+        assert!(c.branch_predictions <= c.dynamic_branches + c.retired_squashed);
+        // IPC must be physically possible on a 6-issue machine
+        let ipc = c.retired_useful as f64 / m.sim.cycles as f64;
+        assert!(ipc <= 6.0, "{}: IPC {ipc}", level.name());
+        // per-function attribution is exhaustive
+        assert_eq!(m.sim.cycles_by_func.iter().sum::<u64>(), m.sim.cycles);
+    }
+}
+
+#[test]
+fn speculation_only_appears_at_ilp_cs() {
+    let w = epic_workloads::by_name("gcc_mc").unwrap();
+    let ns = measure(&w, &CompileOptions::for_level(OptLevel::IlpNs), &SimOptions::default())
+        .unwrap();
+    let cs = measure(&w, &CompileOptions::for_level(OptLevel::IlpCs), &SimOptions::default())
+        .unwrap();
+    assert_eq!(ns.sim.counters.spec_loads, 0, "ILP-NS must not speculate loads");
+    assert!(cs.sim.counters.spec_loads > 0, "ILP-CS should speculate loads");
+    assert!(
+        cs.sim.counters.wild_loads > 0,
+        "gcc stand-in should produce wild loads under general speculation"
+    );
+}
+
+#[test]
+fn structural_transforms_reduce_dynamic_branches() {
+    let w = epic_workloads::by_name("crafty_mc").unwrap();
+    let ons = measure(&w, &CompileOptions::for_level(OptLevel::ONs), &SimOptions::default())
+        .unwrap();
+    let ilp = measure(&w, &CompileOptions::for_level(OptLevel::IlpNs), &SimOptions::default())
+        .unwrap();
+    let reduction = 1.0
+        - ilp.sim.counters.dynamic_branches as f64 / ons.sim.counters.dynamic_branches as f64;
+    assert!(
+        reduction > 0.05,
+        "expected >5% dynamic-branch reduction, got {:.1}%",
+        reduction * 100.0
+    );
+}
+
+#[test]
+fn impact_levels_beat_gcc_on_geomean() {
+    // ILP-NS vs GCC: the clean structural-ILP comparison. (ILP-CS is
+    // dragged below this by the two *documented* regressions in the
+    // sample — the gcc stand-in's wild loads and bzip2's store-forwarding
+    // stalls — which the paper reports per-benchmark too.)
+    let mut ratios = Vec::new();
+    for name in SAMPLE {
+        let w = epic_workloads::by_name(name).unwrap();
+        let gcc = measure(&w, &CompileOptions::for_level(OptLevel::Gcc), &SimOptions::default())
+            .unwrap();
+        let ns = measure(&w, &CompileOptions::for_level(OptLevel::IlpNs), &SimOptions::default())
+            .unwrap();
+        ratios.push(gcc.sim.cycles as f64 / ns.sim.cycles as f64);
+    }
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    assert!(
+        geomean > 1.05,
+        "ILP-NS should beat GCC on geomean; got {geomean:.2} over {ratios:?}"
+    );
+}
