@@ -71,4 +71,5 @@ fn main() {
     t.print();
     println!();
     println!("columns are speedup over O-NS; 'full' should lead, each no-X trails it.");
+    epic_bench::json::emit_if_requested("ablation_base", &base);
 }

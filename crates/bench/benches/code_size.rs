@@ -5,8 +5,8 @@
 //! This experiment is purely static (no simulation), so it also serves as
 //! a fast smoke test of the whole compiler.
 
-use epic_bench::{banner, f2, Table};
-use epic_driver::{compile, CompileOptions, OptLevel};
+use epic_bench::{banner, f2, worker_bound, Table};
+use epic_driver::{compile, par_map, CompileOptions, OptLevel};
 
 fn main() {
     banner(
@@ -25,9 +25,15 @@ fn main() {
     ]);
     let mut growths = Vec::new();
     let mut dup_fracs = Vec::new();
-    for w in epic_workloads::all() {
-        let ons = compile(&w, &CompileOptions::for_level(OptLevel::ONs)).unwrap();
-        let ilp = compile(&w, &CompileOptions::for_level(OptLevel::IlpCs)).unwrap();
+    // This experiment is compile-only, so it uses the bounded pool
+    // directly instead of the full measure matrix.
+    let workloads = epic_workloads::all();
+    let compiled = par_map(&workloads, worker_bound(), |_, w| {
+        let ons = compile(w, &CompileOptions::for_level(OptLevel::ONs)).unwrap();
+        let ilp = compile(w, &CompileOptions::for_level(OptLevel::IlpCs)).unwrap();
+        (ons, ilp)
+    });
+    for (w, (ons, ilp)) in workloads.iter().zip(compiled) {
         let growth = ilp.code_bytes as f64 / ons.code_bytes as f64;
         let dup_frac = ilp.ilp.dup_ops as f64 / ilp.ilp.ops_before.max(1) as f64;
         growths.push(growth);

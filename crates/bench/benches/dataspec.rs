@@ -41,7 +41,11 @@ fn main() {
     for (wi, w) in base.workloads.iter().enumerate() {
         let a = &base.get(wi, OptLevel::IlpCs).sim;
         let b = &ds.get(wi, OptLevel::IlpCs).sim;
-        assert_eq!(a.output, b.output, "{}: data speculation must not change output", w.name);
+        assert_eq!(
+            a.output, b.output,
+            "{}: data speculation must not change output",
+            w.name
+        );
         let s = a.cycles as f64 / b.cycles as f64;
         speedups.push(s);
         t.row(vec![
@@ -59,4 +63,6 @@ fn main() {
         "geomean data-speculation speedup: {:.3} (paper's initial gap result: ~1.05)",
         geomean(speedups.iter().copied())
     );
+    epic_bench::json::emit_if_requested("dataspec_base", &base);
+    epic_bench::json::emit_if_requested("dataspec_ds", &ds);
 }

@@ -57,4 +57,5 @@ fn main() {
         ns.sim.cycles as f64 / base.sim.cycles as f64,
         cs.sim.cycles as f64 / base.sim.cycles as f64
     );
+    epic_bench::json::emit_if_requested("fig10", &suite);
 }

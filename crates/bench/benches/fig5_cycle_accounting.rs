@@ -65,4 +65,5 @@ fn main() {
         "aggregate front-end stall change (paper: ~-15%): {:+.1}%",
         (fe_ilp / fe_base - 1.0) * 100.0
     );
+    epic_bench::json::emit_if_requested("fig5", &suite);
 }

@@ -18,15 +18,21 @@ fn main() {
     let levels = [OptLevel::ONs, OptLevel::IlpNs, OptLevel::IlpCs];
     let suite = run_suite(&levels);
     let mut t = Table::new(&[
-        "Benchmark", "level", "useful", "squashed", "nops", "plan-IPC", "ach-IPC",
+        "Benchmark",
+        "level",
+        "useful",
+        "squashed",
+        "nops",
+        "plan-IPC",
+        "ach-IPC",
     ]);
     let mut agg_plan = vec![Vec::new(); 3];
     let mut agg_ach = vec![Vec::new(); 3];
     for (wi, w) in suite.workloads.iter().enumerate() {
         let base = &suite.get(wi, OptLevel::ONs).sim;
-        let base_ops =
-            (base.counters.retired_useful + base.counters.retired_squashed + base.counters.retired_nops)
-                as f64;
+        let base_ops = (base.counters.retired_useful
+            + base.counters.retired_squashed
+            + base.counters.retired_nops) as f64;
         for (li, &level) in levels.iter().enumerate() {
             let m = suite.get(wi, level);
             let c = &m.sim.counters;
@@ -35,7 +41,11 @@ fn main() {
             agg_plan[li].push(plan_ipc);
             agg_ach[li].push(ach_ipc);
             t.row(vec![
-                if li == 0 { w.spec_name.to_string() } else { String::new() },
+                if li == 0 {
+                    w.spec_name.to_string()
+                } else {
+                    String::new()
+                },
                 level.name().to_string(),
                 f3(c.retired_useful as f64 / base_ops),
                 f3(c.retired_squashed as f64 / base_ops),
@@ -50,7 +60,12 @@ fn main() {
     for (li, &level) in levels.iter().enumerate() {
         let plan = agg_plan[li].iter().sum::<f64>() / agg_plan[li].len() as f64;
         let ach = agg_ach[li].iter().sum::<f64>() / agg_ach[li].len() as f64;
-        println!("{:<7} planned IPC {:.2} / achieved IPC {:.2}", level.name(), plan, ach);
+        println!(
+            "{:<7} planned IPC {:.2} / achieved IPC {:.2}",
+            level.name(),
+            plan,
+            ach
+        );
     }
     // nop-reduction shape check (Sec. 3.4)
     let mut nop_base = 0u64;
@@ -72,4 +87,5 @@ fn main() {
         "L1I line-fetch change at ILP-CS (paper: ~-10%): {:+.1}%",
         (l1i_ilp as f64 / l1i_base as f64 - 1.0) * 100.0
     );
+    epic_bench::json::emit_if_requested("fig6", &suite);
 }

@@ -16,7 +16,13 @@ fn main() {
     let levels = [OptLevel::ONs, OptLevel::IlpNs, OptLevel::IlpCs];
     let suite = run_suite(&levels);
     let mut t = Table::new(&[
-        "Benchmark", "level", "dyn-br", "predicts", "mispred", "rate", "flush-cy",
+        "Benchmark",
+        "level",
+        "dyn-br",
+        "predicts",
+        "mispred",
+        "rate",
+        "flush-cy",
     ]);
     let mut br_base = 0u64;
     let mut br_ilp = 0u64;
@@ -32,7 +38,11 @@ fn main() {
                 1.0
             };
             t.row(vec![
-                if li == 0 { w.spec_name.to_string() } else { String::new() },
+                if li == 0 {
+                    w.spec_name.to_string()
+                } else {
+                    String::new()
+                },
                 level.name().to_string(),
                 c.dynamic_branches.to_string(),
                 c.branch_predictions.to_string(),
@@ -68,4 +78,5 @@ fn main() {
         100.0 * flush_ilp as f64 / total as f64
     );
     let _ = f2; // formatting helper kept for symmetry with other figures
+    epic_bench::json::emit_if_requested("fig7", &suite);
 }

@@ -29,4 +29,5 @@ fn main() {
         ]);
     }
     t.print();
+    epic_bench::json::emit_if_requested("fig8", &suite);
 }

@@ -77,4 +77,6 @@ fn main() {
         "gcc kernel share under general speculation (paper ~20%): {:.1}%",
         100.0 * g.acct.kernel as f64 / g.cycles as f64
     );
+    epic_bench::json::emit_if_requested("fig9_general", &general);
+    epic_bench::json::emit_if_requested("fig9_sentinel", &sentinel);
 }

@@ -1,49 +1,50 @@
-//! Criterion microbenchmarks of the toolchain itself: frontend, classical
-//! optimization, structural transformation, scheduling, and simulation
-//! throughput on a mid-size workload.
+//! Microbenchmarks of the toolchain itself (epic-bench's own timing
+//! harness; no criterion): frontend, classical optimization, structural
+//! transformation, scheduling, and simulation throughput on a mid-size
+//! workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use epic_bench::timing::{bench, bench_with, TimingOptions};
+use std::time::Duration;
 
-fn pipeline_phases(c: &mut Criterion) {
+fn main() {
     let w = epic_workloads::by_name("vortex_mc").unwrap();
-    c.bench_function("frontend_compile", |b| {
-        b.iter(|| epic_lang::compile(std::hint::black_box(w.source)).unwrap())
+    println!("pipeline phase microbenchmarks ({}):", w.name);
+    bench("frontend_compile", || {
+        epic_lang::compile(std::hint::black_box(w.source)).unwrap()
     });
 
     let mut prog = epic_lang::compile(w.source).unwrap();
     epic_opt::profile::profile_program(&mut prog, &w.train_args, 2_000_000_000).unwrap();
     epic_opt::inline::run(&mut prog, Default::default());
     epic_opt::alias::run(&mut prog);
-    c.bench_function("classical_optimize", |b| {
-        b.iter(|| {
-            let mut p = prog.clone();
-            epic_opt::classical_optimize_program(&mut p)
-        })
+    bench("classical_optimize", || {
+        let mut p = prog.clone();
+        epic_opt::classical_optimize_program(&mut p)
     });
     epic_opt::classical_optimize_program(&mut prog);
-    c.bench_function("structural_ilp_transform", |b| {
-        b.iter(|| {
-            let mut p = prog.clone();
-            for f in &mut p.funcs {
-                epic_core::ilp_transform(f, &epic_core::IlpOptions::ilp_cs());
-            }
-        })
+    bench("structural_ilp_transform", || {
+        let mut p = prog.clone();
+        for f in &mut p.funcs {
+            epic_core::ilp_transform(f, &epic_core::IlpOptions::ilp_cs());
+        }
     });
     let mut tprog = prog.clone();
     for f in &mut tprog.funcs {
         epic_core::ilp_transform(f, &epic_core::IlpOptions::ilp_cs());
     }
-    c.bench_function("schedule_and_emit", |b| {
-        b.iter(|| epic_sched::compile_program(&tprog, &epic_sched::SchedOptions::ilp_cs()))
+    bench("schedule_and_emit", || {
+        epic_sched::compile_program(&tprog, &epic_sched::SchedOptions::ilp_cs())
     });
     let (mp, _) = epic_sched::compile_program(&tprog, &epic_sched::SchedOptions::ilp_cs());
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-    g.bench_function("simulate_train_run", |b| {
-        b.iter(|| epic_sim::run(&mp, &w.train_args, &epic_sim::SimOptions::default()).unwrap())
-    });
-    g.finish();
+    // The simulator run is orders of magnitude slower than the compiler
+    // phases; cap its budget so the target stays fast.
+    bench_with(
+        "simulate_train_run",
+        &TimingOptions {
+            warmup: Duration::from_millis(200),
+            sample_budget: Duration::from_millis(500),
+            samples: 3,
+        },
+        || epic_sim::run(&mp, &w.train_args, &epic_sim::SimOptions::default()).unwrap(),
+    );
 }
-
-criterion_group!(benches, pipeline_phases);
-criterion_main!(benches);

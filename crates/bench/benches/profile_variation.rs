@@ -44,4 +44,6 @@ fn main() {
     println!();
     println!("positive 'ref gain' = the reference-trained profile produced faster code,");
     println!("i.e. the training input was not fully representative (the paper's concern).");
+    epic_bench::json::emit_if_requested("profile_variation_train", &train);
+    epic_bench::json::emit_if_requested("profile_variation_ref", &reft);
 }

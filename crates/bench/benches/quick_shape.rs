@@ -9,8 +9,17 @@ use epic_driver::OptLevel;
 fn main() {
     let suite = run_suite(&OptLevel::ALL);
     let mut t = Table::new(&[
-        "Benchmark", "GCC", "O-NS", "ILP-NS", "ILP-CS", "NS/ONS", "CS/ONS", "CS plan",
-        "br-red%", "kern%", "rse%",
+        "Benchmark",
+        "GCC",
+        "O-NS",
+        "ILP-NS",
+        "ILP-CS",
+        "NS/ONS",
+        "CS/ONS",
+        "CS plan",
+        "br-red%",
+        "kern%",
+        "rse%",
     ]);
     let mut ns_sp = Vec::new();
     let mut cs_sp = Vec::new();
@@ -51,4 +60,5 @@ fn main() {
         geomean(plan_sp.iter().copied()),
         geomean((0..suite.workloads.len()).map(|wi| suite.speedup(wi, OptLevel::IlpCs, OptLevel::Gcc))),
     );
+    epic_bench::json::emit_if_requested("quick_shape", &suite);
 }

@@ -14,7 +14,15 @@ fn main() {
         "GEOMEAN GCC=430 O-NS=591 ILP-NS=645 ILP-CS=668; ILP-CS/GCC 1.55 avg (2.30 max); ILP-CS/O-NS 1.13 avg (1.50 max)",
     );
     let suite = run_suite(&OptLevel::ALL);
-    let mut t = Table::new(&["Benchmark", "GCC", "O-NS", "ILP-NS", "ILP-CS", "CS/GCC", "CS/O-NS"]);
+    let mut t = Table::new(&[
+        "Benchmark",
+        "GCC",
+        "O-NS",
+        "ILP-NS",
+        "ILP-CS",
+        "CS/GCC",
+        "CS/O-NS",
+    ]);
     let mut per_level: Vec<Vec<f64>> = vec![Vec::new(); 4];
     let mut cs_gcc = Vec::new();
     let mut cs_ons = Vec::new();
@@ -54,8 +62,11 @@ fn main() {
     );
     println!(
         "headline: ILP-NS vs O-NS avg {:.2} (paper 1.10)",
-        geomean(
-            (0..suite.workloads.len()).map(|wi| suite.speedup(wi, OptLevel::IlpNs, OptLevel::ONs))
-        )
+        geomean((0..suite.workloads.len()).map(|wi| suite.speedup(
+            wi,
+            OptLevel::IlpNs,
+            OptLevel::ONs
+        )))
     );
+    epic_bench::json::emit_if_requested("table1", &suite);
 }

@@ -1,0 +1,196 @@
+//! Hand-rolled JSON emission (no `serde`): a tiny value tree plus an
+//! escaping renderer, and a machine-readable dump of a [`Suite`] so the
+//! experiment tables can feed downstream tooling. Every bench target
+//! calls [`emit_if_requested`]; set `EPIC_BENCH_JSON=1` to get the raw
+//! matrix after the human-readable table.
+
+use crate::Suite;
+
+/// A JSON value. Numbers are `f64` (integers within 2^53 round-trip).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Compact (single-line) rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(kvs) => {
+                out.push('{');
+                for (i, (k, v)) in kvs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl Suite {
+    /// The full measurement matrix as a JSON tree: per workload, per
+    /// level, the headline dynamic and static numbers plus the per-pass
+    /// compile-time breakdown.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .workloads
+            .iter()
+            .zip(&self.results)
+            .map(|(w, row)| {
+                let cells: Vec<Json> = row
+                    .iter()
+                    .map(|m| {
+                        let passes: Vec<Json> = m
+                            .compiled
+                            .pass_timeline
+                            .passes
+                            .iter()
+                            .map(|p| {
+                                Json::obj([
+                                    ("name", Json::Str(p.name.to_string())),
+                                    ("wall_us", Json::Num(p.wall.as_secs_f64() * 1e6)),
+                                    ("op_delta", Json::Num(p.op_delta() as f64)),
+                                    ("block_delta", Json::Num(p.block_delta() as f64)),
+                                ])
+                            })
+                            .collect();
+                        Json::obj([
+                            ("level", Json::Str(m.level.name().to_string())),
+                            ("cycles", Json::Num(m.sim.cycles as f64)),
+                            ("code_bytes", Json::Num(m.compiled.code_bytes as f64)),
+                            ("inlined", Json::Num(m.compiled.inlined as f64)),
+                            ("promoted", Json::Num(m.compiled.promoted as f64)),
+                            ("passes", Json::Arr(passes)),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("name", Json::Str(w.name.to_string())),
+                    ("spec_name", Json::Str(w.spec_name.to_string())),
+                    ("levels", Json::Arr(cells)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            (
+                "levels",
+                Json::Arr(
+                    self.levels
+                        .iter()
+                        .map(|l| Json::Str(l.name().to_string()))
+                        .collect(),
+                ),
+            ),
+            ("workloads", Json::Arr(rows)),
+        ])
+    }
+}
+
+/// Print the suite as one JSON line when `EPIC_BENCH_JSON` is set, tagged
+/// with the experiment id.
+pub fn emit_if_requested(id: &str, suite: &Suite) {
+    if std::env::var_os("EPIC_BENCH_JSON").is_some() {
+        let tagged = Json::obj([
+            ("experiment", Json::Str(id.to_string())),
+            ("data", suite.to_json()),
+        ]);
+        println!("{}", tagged.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_escapes_and_shapes() {
+        let j = Json::obj([
+            ("s", Json::Str("a\"b\\c\nd".into())),
+            ("n", Json::Num(1.5)),
+            ("i", Json::Num(42.0)),
+            ("b", Json::Bool(true)),
+            ("z", Json::Null),
+            ("a", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"s":"a\"b\\c\nd","n":1.5,"i":42,"b":true,"z":null,"a":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+}

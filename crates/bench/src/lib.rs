@@ -10,10 +10,12 @@
 //! substrate is a simulator and the workloads are stand-ins): orderings,
 //! approximate factors, and which benchmarks deviate in which direction.
 
-use epic_driver::{measure, CompileOptions, Measurement, OptLevel};
+use epic_driver::{measure_matrix, CompileOptions, Measurement, OptLevel};
 use epic_sim::SimOptions;
 use epic_workloads::Workload;
-use parking_lot::Mutex;
+
+pub mod json;
+pub mod timing;
 
 /// A full sweep: per workload, one measurement per requested level.
 pub struct Suite {
@@ -25,14 +27,24 @@ pub struct Suite {
     pub levels: Vec<OptLevel>,
 }
 
+/// Worker-pool bound for the sweeps: `EPIC_BENCH_WORKERS` if set, else 0
+/// (let the driver use the machine's available parallelism).
+pub fn worker_bound() -> usize {
+    std::env::var("EPIC_BENCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Run the sweep over all 12 workloads at the given levels, in parallel
-/// across workloads.
+/// over every (workload × level) cell via
+/// [`epic_driver::measure_matrix`]'s bounded worker pool.
 ///
 /// # Panics
 /// Panics if any compilation or simulation fails — the differential test
 /// suite guarantees these paths are correct, so a failure here is a bug.
 pub fn run_suite(levels: &[OptLevel]) -> Suite {
-    run_suite_with(levels, &|l| CompileOptions::for_level(l), &SimOptions::default())
+    run_suite_with(levels, &CompileOptions::for_level, &SimOptions::default())
 }
 
 /// [`run_suite`] with custom compile/sim options per level.
@@ -42,28 +54,8 @@ pub fn run_suite_with(
     sopts: &SimOptions,
 ) -> Suite {
     let workloads = epic_workloads::all();
-    let results: Mutex<Vec<Option<Vec<Measurement>>>> =
-        Mutex::new(vec![None; workloads.len()]);
-    std::thread::scope(|scope| {
-        for (wi, w) in workloads.iter().enumerate() {
-            let results = &results;
-            scope.spawn(move || {
-                let mut row = Vec::new();
-                for &level in levels {
-                    let m = measure(w, &copts(level), sopts).unwrap_or_else(|e| {
-                        panic!("measure({}, {}) failed: {e}", w.name, level.name())
-                    });
-                    row.push(m);
-                }
-                results.lock()[wi] = Some(row);
-            });
-        }
-    });
-    let results = results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("thread completed"))
-        .collect();
+    let results = measure_matrix(&workloads, levels, copts, sopts, worker_bound())
+        .unwrap_or_else(|e| panic!("{e}"));
     Suite {
         workloads,
         results,
@@ -154,7 +146,10 @@ impl Table {
             println!("{out}");
         };
         line(&self.header);
-        println!("{}", "-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1)));
+        println!(
+            "{}",
+            "-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1))
+        );
         for r in &self.rows {
             line(r);
         }

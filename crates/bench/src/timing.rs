@@ -1,0 +1,164 @@
+//! Minimal wall-clock micro-benchmark harness (no `criterion`): calibrate
+//! an iteration count to a time budget, take several samples, report
+//! best/median/mean. Good enough to rank pipeline phases and catch
+//! regressions of tens of percent, which is all the micro target needs.
+
+use std::time::{Duration, Instant};
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TimingOptions {
+    /// Warm-up budget before calibration.
+    pub warmup: Duration,
+    /// Target wall time per sample.
+    pub sample_budget: Duration,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl Default for TimingOptions {
+    fn default() -> TimingOptions {
+        TimingOptions {
+            warmup: Duration::from_millis(100),
+            sample_budget: Duration::from_millis(200),
+            samples: 5,
+        }
+    }
+}
+
+/// One benchmark's results, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Per-sample mean ns/iter, sorted ascending.
+    pub samples_ns: Vec<f64>,
+}
+
+impl TimingReport {
+    /// Fastest sample (least noisy estimate on a busy machine).
+    pub fn best_ns(&self) -> f64 {
+        self.samples_ns.first().copied().unwrap_or(0.0)
+    }
+
+    /// Median sample.
+    pub fn median_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns[self.samples_ns.len() / 2]
+    }
+
+    /// Mean over all samples.
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<28} {:>12}/iter  (median {}, mean {}, {} iters x {} samples)",
+            self.name,
+            fmt_ns(self.best_ns()),
+            fmt_ns(self.median_ns()),
+            fmt_ns(self.mean_ns()),
+            self.iters,
+            self.samples_ns.len(),
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Measure `f`, returning the report (does not print).
+pub fn measure<R>(name: &str, opts: &TimingOptions, mut f: impl FnMut() -> R) -> TimingReport {
+    // Warm-up: run until the budget elapses (at least once).
+    let start = Instant::now();
+    let mut warm_runs = 0u64;
+    let mut warm_spent = Duration::ZERO;
+    while warm_spent < opts.warmup {
+        std::hint::black_box(f());
+        warm_runs += 1;
+        warm_spent = start.elapsed();
+    }
+    // Calibrate iterations per sample from the observed mean run time.
+    let per_run = warm_spent.as_secs_f64() / warm_runs as f64;
+    let iters = ((opts.sample_budget.as_secs_f64() / per_run.max(1e-9)) as u64).max(1);
+    let mut samples_ns: Vec<f64> = (0..opts.samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    TimingReport {
+        name: name.to_string(),
+        iters,
+        samples_ns,
+    }
+}
+
+/// Measure `f` with default options and print the one-line summary.
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> TimingReport {
+    let r = measure(name, &TimingOptions::default(), f);
+    println!("{}", r.line());
+    r
+}
+
+/// Like [`bench`] but with a caller-tuned options block (e.g. fewer
+/// samples for very slow bodies).
+pub fn bench_with<R>(name: &str, opts: &TimingOptions, f: impl FnMut() -> R) -> TimingReport {
+    let r = measure(name, opts, f);
+    println!("{}", r.line());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_closure_quickly() {
+        let opts = TimingOptions {
+            warmup: Duration::from_millis(1),
+            sample_budget: Duration::from_millis(2),
+            samples: 3,
+        };
+        let mut n = 0u64;
+        let r = measure("noop", &opts, || {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert_eq!(r.samples_ns.len(), 3);
+        assert!(r.iters >= 1);
+        assert!(r.best_ns() <= r.median_ns());
+        assert!(r.median_ns() > 0.0);
+        assert!(!r.line().is_empty());
+    }
+
+    #[test]
+    fn formats_scale_units() {
+        assert_eq!(fmt_ns(12.0), "12ns");
+        assert_eq!(fmt_ns(1500.0), "1.500us");
+        assert_eq!(fmt_ns(2.5e6), "2.500ms");
+        assert_eq!(fmt_ns(3.0e9), "3.000s");
+    }
+}

@@ -11,7 +11,8 @@
 //! independent" operations, paper Sec. 2.2), so the common case runs at
 //! the hoisted schedule height.
 
-use epic_ir::{Function, Op, Opcode, Operand, Program, Vreg};
+use epic_ir::func::tags_conflict;
+use epic_ir::{Function, Op, Opcode, Operand, Vreg};
 use std::collections::HashMap;
 
 /// Knobs for advanced-load formation.
@@ -46,8 +47,11 @@ pub struct DataSpecStats {
 }
 
 /// Mark store-blocked loads as advanced and leave `chk.a` checks at their
-/// home locations. Requires alias tags (run after `epic_opt::alias`).
-pub fn run(f: &mut Function, prog: &Program, opts: &DataSpecOptions) -> DataSpecStats {
+/// home locations. Requires alias tags (run after `epic_opt::alias`);
+/// `alias_sets` is [`epic_ir::Program::alias_sets`], passed separately so
+/// the function can be transformed in place while it still sits in
+/// `Program::funcs` (disjoint field borrows — no clone round-trip).
+pub fn run(f: &mut Function, alias_sets: &[Vec<u32>], opts: &DataSpecOptions) -> DataSpecStats {
     let mut stats = DataSpecStats::default();
     // function-wide def counts: the transform requires single-def dsts
     // (the chk.a becomes a second, dominating def).
@@ -93,10 +97,8 @@ pub fn run(f: &mut Function, prog: &Program, opts: &DataSpecOptions) -> DataSpec
                     ops[..i].iter().enumerate().any(|(j, s)| {
                         s.is_store()
                             && i - j > opts.min_distance
-                            && prog.tags_conflict(s.mem_tag, op.mem_tag)
-                            && (s.mem_tag == 0
-                                || op.mem_tag == 0
-                                || s.mem_tag != op.mem_tag)
+                            && tags_conflict(alias_sets, s.mem_tag, op.mem_tag)
+                            && (s.mem_tag == 0 || op.mem_tag == 0 || s.mem_tag != op.mem_tag)
                     })
                 }
             };
@@ -108,7 +110,9 @@ pub fn run(f: &mut Function, prog: &Program, opts: &DataSpecOptions) -> DataSpec
                         Opcode::Ld(s) => s,
                         _ => unreachable!("candidate is a load"),
                     };
-                    (size, op.guard, op.weight, op.mem_tag, op.dsts[0], op.srcs[0])
+                    (
+                        size, op.guard, op.weight, op.mem_tag, op.dsts[0], op.srcs[0],
+                    )
                 };
                 let mut chk = Op::new(
                     f.new_op_id(),
@@ -137,6 +141,7 @@ mod tests {
     use super::*;
     use epic_ir::interp::{run as interp_run, InterpOptions};
     use epic_ir::verify::verify_program;
+    use epic_ir::Program;
 
     /// gap-like: stores through an unanalyzable pointer block loads in a
     /// hot loop.
@@ -172,9 +177,11 @@ mod tests {
             .output;
         let mut stats = DataSpecStats::default();
         for fi in 0..prog.funcs.len() {
-            let mut func = prog.funcs[fi].clone();
-            let s = run(&mut func, &prog, &DataSpecOptions::default());
-            prog.funcs[fi] = func;
+            let s = run(
+                &mut prog.funcs[fi],
+                &prog.alias_sets,
+                &DataSpecOptions::default(),
+            );
             stats.advanced += s.advanced;
         }
         assert!(stats.advanced >= 1, "{stats:?}");
@@ -205,10 +212,12 @@ mod tests {
             }";
         let mut prog = prepared(src, &[]);
         for fi in 0..prog.funcs.len() {
-            let mut func = prog.funcs[fi].clone();
-            let s = run(&mut func, &prog, &DataSpecOptions::default());
+            let s = run(
+                &mut prog.funcs[fi],
+                &prog.alias_sets,
+                &DataSpecOptions::default(),
+            );
             assert_eq!(s.advanced, 0, "no conflicting store, nothing to advance");
-            prog.funcs[fi] = func;
         }
     }
 
@@ -219,10 +228,12 @@ mod tests {
             .unwrap()
             .output;
         for fi in 0..prog.funcs.len() {
-            let mut func = prog.funcs[fi].clone();
-            crate::ilp_transform(&mut func, &crate::IlpOptions::ilp_cs());
-            run(&mut func, &prog, &DataSpecOptions::default());
-            prog.funcs[fi] = func;
+            crate::ilp_transform(&mut prog.funcs[fi], &crate::IlpOptions::ilp_cs());
+            run(
+                &mut prog.funcs[fi],
+                &prog.alias_sets,
+                &DataSpecOptions::default(),
+            );
         }
         verify_program(&prog).unwrap();
         let (mp, _) = epic_sched::compile_program(&prog, &epic_sched::SchedOptions::ilp_cs());

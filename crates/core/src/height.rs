@@ -57,7 +57,11 @@ pub fn run(f: &mut Function, opts: &HeightOptions) -> HeightStats {
 /// unguarded, with no intervening use/def of `acc` and no intervening
 /// branch/side-effecting op (whose side exit could observe the
 /// intermediate accumulator).
-fn find_chain(f: &Function, b: epic_ir::BlockId, min_chain: usize) -> Option<(Vec<usize>, Opcode, Vreg)> {
+fn find_chain(
+    f: &Function,
+    b: epic_ir::BlockId,
+    min_chain: usize,
+) -> Option<(Vec<usize>, Opcode, Vreg)> {
     let ops = &f.block(b).ops;
     let link = |op: &Op| -> Option<(Opcode, Vreg, Operand)> {
         if !associative(op.opcode) || op.guard.is_some() || op.dsts.len() != 1 {
@@ -109,8 +113,7 @@ fn find_chain(f: &Function, b: epic_ir::BlockId, min_chain: usize) -> Option<(Ve
             // a non-link op may sit between links if it neither touches
             // the accumulator nor can observe it (branches / side
             // effects end the chain).
-            let touches_acc =
-                op.uses().any(|u| u == acc) || op.defs().contains(&acc);
+            let touches_acc = op.uses().any(|u| u == acc) || op.defs().contains(&acc);
             let boundary = op.is_branch() || op.has_side_effects();
             if touches_acc || boundary {
                 break;
@@ -125,7 +128,13 @@ fn find_chain(f: &Function, b: epic_ir::BlockId, min_chain: usize) -> Option<(Ve
 
 /// Rewrite: remove all chain links; at the last link's position, combine
 /// the `v_i` pairwise into a balanced tree and fold it into `acc` once.
-fn rewrite_chain(f: &mut Function, b: epic_ir::BlockId, chain: &[usize], opcode: Opcode, acc: Vreg) {
+fn rewrite_chain(
+    f: &mut Function,
+    b: epic_ir::BlockId,
+    chain: &[usize],
+    opcode: Opcode,
+    acc: Vreg,
+) {
     let weight = f.block(b).ops[chain[0]].weight;
     let leaves: Vec<Operand> = chain
         .iter()
@@ -236,7 +245,10 @@ mod tests {
             .iter()
             .filter(|o| o.defs().contains(&acc))
             .count();
-        assert!(writes <= 2, "acc should be written once or twice, got {writes}");
+        assert!(
+            writes <= 2,
+            "acc should be written once or twice, got {writes}"
+        );
         assert_eq!(run_prog(f, &[]), vec![36]);
     }
 

@@ -259,10 +259,7 @@ fn materialize_preds(
             .rposition(|o| o.defs().contains(&split.p));
         if let Some(di) = def_idx {
             let op = &f.block(a).ops[di];
-            if matches!(op.opcode, Opcode::Cmp(_))
-                && op.dsts.len() == 1
-                && op.guard.is_none()
-            {
+            if matches!(op.opcode, Opcode::Cmp(_)) && op.dsts.len() == 1 && op.guard.is_none() {
                 let q = f.new_vreg();
                 f.block_mut(a).ops[di].dsts.push(q);
                 return (split.p, q, 0);
@@ -419,7 +416,10 @@ mod tests {
         // the loop body should now be branch-free except loop control
         let main = prog.func(prog.entry);
         let n_blocks = main.block_ids().count();
-        assert!(n_blocks <= 4, "hyperblock formation should shrink CFG: {n_blocks}");
+        assert!(
+            n_blocks <= 4,
+            "hyperblock formation should shrink CFG: {n_blocks}"
+        );
     }
 
     #[test]

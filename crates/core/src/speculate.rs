@@ -84,11 +84,7 @@ pub fn run(f: &mut Function, opts: &SpeculateOptions) -> SpeculateStats {
         for (i, op) in f.block(b).ops.iter().enumerate() {
             for s in &op.srcs {
                 if let Operand::Reg(u) = s {
-                    use_info
-                        .entry(*u)
-                        .or_default()
-                        .sites
-                        .push((b, i, op.guard));
+                    use_info.entry(*u).or_default().sites.push((b, i, op.guard));
                 }
             }
             if let Some(g) = op.guard {

@@ -67,12 +67,7 @@ pub fn run(f: &mut Function, opts: &SuperblockOptions) -> SuperblockStats {
             .block_ids()
             .filter(|b| !in_trace.get(b.index()).copied().unwrap_or(false))
             .filter(|b| f.block(*b).weight >= opts.min_seed_weight)
-            .max_by(|a, b| {
-                f.block(*a)
-                    .weight
-                    .partial_cmp(&f.block(*b).weight)
-                    .unwrap()
-            });
+            .max_by(|a, b| f.block(*a).weight.partial_cmp(&f.block(*b).weight).unwrap());
         let Some(seed) = seed else { break };
         // Grow the trace forward along dominant edges.
         let mut trace = vec![seed];
@@ -185,10 +180,7 @@ fn duplicate_tail(
     outside: &[BlockId],
 ) -> (usize, usize, Vec<BlockId>) {
     // weight fraction entering via side entrances
-    let side_w: f64 = outside
-        .iter()
-        .map(|p| edge_weight(f, *p, tail[0]))
-        .sum();
+    let side_w: f64 = outside.iter().map(|p| edge_weight(f, *p, tail[0])).sum();
     let head_w = f.block(tail[0]).weight.max(1.0);
     let frac = (side_w / head_w).clamp(0.0, 1.0);
 

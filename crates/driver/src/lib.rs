@@ -16,9 +16,15 @@
 use epic_core::IlpOptions;
 use epic_ir::Program;
 use epic_mach::MachProgram;
-use epic_sched::{PlanStats, SchedOptions};
+use epic_sched::PlanStats;
 use epic_sim::{SimOptions, SimResult};
 use epic_workloads::Workload;
+
+pub mod parallel;
+pub mod pipeline;
+
+pub use parallel::{measure_matrix, par_map, MatrixError};
+pub use pipeline::{passes_for, Pass, PassRecord, PassTimeline, PipelineCx};
 
 /// The paper's compiler configurations.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,7 +42,12 @@ pub enum OptLevel {
 
 impl OptLevel {
     /// All levels in Table 1 order.
-    pub const ALL: [OptLevel; 4] = [OptLevel::Gcc, OptLevel::ONs, OptLevel::IlpNs, OptLevel::IlpCs];
+    pub const ALL: [OptLevel; 4] = [
+        OptLevel::Gcc,
+        OptLevel::ONs,
+        OptLevel::IlpNs,
+        OptLevel::IlpCs,
+    ];
 
     /// Display name as in the paper.
     pub fn name(self) -> &'static str {
@@ -74,6 +85,10 @@ pub struct CompileOptions {
     pub enable_data_spec: bool,
     /// Interpreter fuel for the profiling run.
     pub profile_fuel: u64,
+    /// Debug mode: re-verify the IR after every pass, so a transform bug
+    /// is caught at the pass that introduced it (off by default — the
+    /// pipeline verifies at its usual checkpoints either way).
+    pub verify_each_pass: bool,
 }
 
 impl CompileOptions {
@@ -85,6 +100,7 @@ impl CompileOptions {
             ilp_override: None,
             enable_data_spec: false,
             profile_fuel: 2_000_000_000,
+            verify_each_pass: false,
         }
     }
 }
@@ -108,6 +124,8 @@ pub struct Compiled {
     pub static_ops: (usize, usize),
     /// Static op count before any transformation (post-frontend).
     pub frontend_ops: usize,
+    /// Per-pass wall time and op/block-count deltas for this compilation.
+    pub pass_timeline: PassTimeline,
 }
 
 /// Errors from the driver.
@@ -149,71 +167,27 @@ pub fn compile_source(
     ref_args: &[i64],
     opts: &CompileOptions,
 ) -> Result<Compiled, DriverError> {
-    let mut prog = epic_lang::compile(src).map_err(DriverError::Lang)?;
+    let prog = epic_lang::compile(src).map_err(DriverError::Lang)?;
     let frontend_ops = prog.op_count();
-    let mut inlined = 0;
-    let mut promoted = 0;
-    let mut ilp_stats = epic_core::IlpStats::default();
-
-    if opts.level != OptLevel::Gcc {
-        // Control-flow + call-target profiling (Fig. 4 top).
-        let pargs = match opts.profile_input {
-            ProfileInput::Train => train_args,
-            ProfileInput::Refr => ref_args,
-        };
-        let profile = epic_opt::profile::profile_program(&mut prog, pargs, opts.profile_fuel)
-            .map_err(DriverError::Profile)?;
-        // Indirect-call promotion, then profile-guided inlining.
-        promoted = epic_opt::promote::run(&mut prog, &profile, Default::default());
-        inlined = epic_opt::inline::run(&mut prog, Default::default()).inlined;
-    }
-    // Classical optimization at every level (GCC performs "a very
-    // competent level of traditional optimizations").
-    epic_opt::classical_optimize_program(&mut prog);
-    if opts.level != OptLevel::Gcc {
-        // Interprocedural pointer analysis -> alias tags.
-        epic_opt::alias::run(&mut prog);
-    }
-    let sched = match opts.level {
-        OptLevel::Gcc => SchedOptions::gcc(),
-        OptLevel::ONs => SchedOptions::o_ns(),
-        OptLevel::IlpNs => SchedOptions::ilp_ns(),
-        OptLevel::IlpCs => SchedOptions::ilp_cs(),
-    };
-    if matches!(opts.level, OptLevel::IlpNs | OptLevel::IlpCs) {
-        let ilp_opts = opts.ilp_override.unwrap_or(match opts.level {
-            OptLevel::IlpNs => IlpOptions::ilp_ns(),
-            _ => IlpOptions::ilp_cs(),
-        });
-        for i in 0..prog.funcs.len() {
-            ilp_stats.merge(&epic_core::ilp_transform(&mut prog.funcs[i], &ilp_opts));
-        }
-        epic_ir::verify::verify_program(&prog)
-            .map_err(|e| DriverError::Verify(format!("{}", e[0])))?;
-        if opts.enable_data_spec {
-            for i in 0..prog.funcs.len() {
-                let mut func = prog.funcs[i].clone();
-                let s = epic_core::dataspec::run(&mut func, &prog, &Default::default());
-                ilp_stats.loads_advanced += s.advanced;
-                prog.funcs[i] = func;
-            }
-            epic_ir::verify::verify_program(&prog)
-                .map_err(|e| DriverError::Verify(format!("{}", e[0])))?;
-        }
-    }
-    let (mach, plan) = epic_sched::compile_program(&prog, &sched);
-    epic_sched::check_machine_program(&mach).map_err(DriverError::Machine)?;
+    let mut cx = PipelineCx::new(prog, opts, train_args, ref_args);
+    let passes = passes_for(opts);
+    let pass_timeline = pipeline::run_passes(&mut cx, &passes, opts.verify_each_pass)?;
+    let (mach, plan) = cx
+        .mach
+        .take()
+        .expect("pipeline ends with the schedule pass");
     let code_bytes = mach.code_bytes();
     let static_ops = mach.op_counts();
     Ok(Compiled {
         mach,
         plan,
-        ilp: ilp_stats,
-        inlined,
-        promoted,
+        ilp: cx.ilp,
+        inlined: cx.inlined,
+        promoted: cx.promoted,
         code_bytes,
         static_ops,
         frontend_ops,
+        pass_timeline,
     })
 }
 
@@ -255,6 +229,8 @@ pub struct CompiledStats {
     pub frontend_ops: usize,
     /// Function names by id (Fig. 10 labels).
     pub func_names: Vec<String>,
+    /// Per-pass compile-time breakdown.
+    pub pass_timeline: PassTimeline,
 }
 
 /// Compile and simulate a workload on its reference input.
@@ -279,6 +255,7 @@ pub fn measure(
             static_ops: compiled.static_ops,
             frontend_ops: compiled.frontend_ops,
             func_names: compiled.mach.funcs.iter().map(|f| f.name.clone()).collect(),
+            pass_timeline: compiled.pass_timeline,
         },
         sim,
     })
@@ -309,6 +286,44 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} at {}: {e}", w.name, level.name()));
             assert_eq!(sim.output, want, "{} at {}", w.name, level.name());
         }
+    }
+
+    #[test]
+    fn pass_timeline_names_every_phase_and_verify_each_pass_is_clean() {
+        let w = epic_workloads::by_name("gzip_mc").unwrap();
+        for level in OptLevel::ALL {
+            let mut opts = CompileOptions::for_level(level);
+            opts.verify_each_pass = true;
+            let compiled = compile(&w, &opts).unwrap();
+            let tl = &compiled.pass_timeline;
+            assert!(!tl.is_empty(), "{} timeline empty", level.name());
+            assert!(tl.get("classical").is_some(), "{}", level.name());
+            assert!(tl.get("schedule").is_some(), "{}", level.name());
+            assert!(tl.get("mach-check").is_some(), "{}", level.name());
+            if level == OptLevel::Gcc {
+                assert!(tl.get("profile").is_none(), "GCC takes no profile");
+            } else {
+                assert!(tl.get("profile").is_some(), "{}", level.name());
+                assert!(tl.get("inline").is_some(), "{}", level.name());
+            }
+            if matches!(level, OptLevel::IlpNs | OptLevel::IlpCs) {
+                let ilp = tl.get("ilp-transform").unwrap();
+                assert!(ilp.op_delta() > 0, "structural transforms grow code");
+                assert!(tl.get("verify").is_some());
+            }
+            assert!(tl.total_wall() > std::time::Duration::ZERO);
+            assert!(!tl.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn data_spec_pass_runs_in_place_and_counts_advances() {
+        let w = epic_workloads::by_name("gap_mc").unwrap();
+        let mut opts = CompileOptions::for_level(OptLevel::IlpCs);
+        opts.enable_data_spec = true;
+        opts.verify_each_pass = true;
+        let compiled = compile(&w, &opts).unwrap();
+        assert!(compiled.pass_timeline.get("data-spec").is_some());
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Std-only parallel execution layer: a bounded worker pool over
+//! `std::thread::scope` and the batch measurement API
+//! [`measure_matrix`] used by every experiment in `epic-bench`.
+//!
+//! No external crates: work distribution is an atomic cursor over the
+//! flattened (workload × level) task list, so the pool stays busy even
+//! when task costs are wildly uneven (ILP-CS compiles + simulates are
+//! several times costlier than GCC ones).
+
+use crate::{measure, CompileOptions, DriverError, Measurement, OptLevel};
+use epic_sim::SimOptions;
+use epic_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count actually used for `n` tasks: `requested` if nonzero,
+/// otherwise the machine's available parallelism, always clamped to `n`.
+pub fn effective_workers(requested: usize, n: usize) -> usize {
+    let w = if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    };
+    w.clamp(1, n.max(1))
+}
+
+/// Apply `f` to every item on a bounded pool of scoped threads, returning
+/// results in item order. `workers == 0` uses the available parallelism.
+///
+/// # Panics
+/// Propagates a panic from any worker (after all threads join).
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = effective_workers(workers, n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+/// A failure inside [`measure_matrix`], tagged with its cell.
+#[derive(Debug)]
+pub struct MatrixError {
+    /// Workload that failed.
+    pub workload: String,
+    /// Level it was being measured at.
+    pub level: OptLevel,
+    /// The underlying driver failure.
+    pub error: DriverError,
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "measure({}, {}): {}",
+            self.workload,
+            self.level.name(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// Measure every (workload × level) cell in parallel on a bounded worker
+/// pool. `results[w][l]` pairs with `workloads[w]` and `levels[l]`.
+/// `workers == 0` uses the available parallelism; the per-cell options
+/// come from `copts(level)`.
+///
+/// # Errors
+/// The first failing cell (by task order), with its coordinates.
+pub fn measure_matrix(
+    workloads: &[Workload],
+    levels: &[OptLevel],
+    copts: &(dyn Fn(OptLevel) -> CompileOptions + Sync),
+    sopts: &SimOptions,
+    workers: usize,
+) -> Result<Vec<Vec<Measurement>>, MatrixError> {
+    // Flatten to one task per cell so slow cells can't serialize a row.
+    let tasks: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..levels.len()).map(move |l| (w, l)))
+        .collect();
+    let cells = par_map(&tasks, workers, |_, &(w, l)| {
+        measure(&workloads[w], &copts(levels[l]), sopts).map_err(|error| MatrixError {
+            workload: workloads[w].name.to_string(),
+            level: levels[l],
+            error,
+        })
+    });
+    let mut rows: Vec<Vec<Measurement>> = Vec::with_capacity(workloads.len());
+    let mut it = cells.into_iter();
+    for _ in 0..workloads.len() {
+        let mut row = Vec::with_capacity(levels.len());
+        for _ in 0..levels.len() {
+            row.push(it.next().expect("cell count matches")?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..100).collect();
+        let got = par_map(&items, 7, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(got, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u8], 4, |_, &x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[9u8], 0, |_, &x| x), vec![9]);
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 100), 2);
+        assert!(effective_workers(0, 100) >= 1);
+        assert_eq!(effective_workers(0, 0), 1);
+    }
+
+    #[test]
+    fn matrix_shape_matches_inputs() {
+        let workloads = vec![epic_workloads::by_name("vortex_mc").unwrap()];
+        let levels = [OptLevel::Gcc, OptLevel::ONs];
+        let rows = measure_matrix(
+            &workloads,
+            &levels,
+            &CompileOptions::for_level,
+            &SimOptions::default(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), 2);
+        assert_eq!(rows[0][0].level, OptLevel::Gcc);
+        assert_eq!(rows[0][1].level, OptLevel::ONs);
+    }
+}

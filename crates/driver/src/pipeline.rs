@@ -1,0 +1,399 @@
+//! The pass manager: the paper's Fig. 4 pipeline as an explicit,
+//! instrumented sequence of passes instead of one monolithic function.
+//!
+//! Each [`Pass`] mutates a [`PipelineCx`] (the program being compiled plus
+//! everything the passes exchange: profile, accumulated statistics, and
+//! finally the scheduled machine program). The runner times every pass and
+//! records op/block-count deltas into a [`PassTimeline`], surfaced on
+//! [`Compiled::pass_timeline`](crate::Compiled::pass_timeline) so any
+//! experiment can attribute compile time and code growth per phase.
+//! [`passes_for`] maps each [`OptLevel`](crate::OptLevel) to its
+//! declarative pass list.
+
+use crate::{CompileOptions, DriverError, OptLevel};
+use epic_core::{IlpOptions, IlpStats};
+use epic_ir::profile::Profile;
+use epic_ir::Program;
+use epic_mach::MachProgram;
+use epic_sched::{PlanStats, SchedOptions};
+use std::time::{Duration, Instant};
+
+/// Everything a pass can see or produce. Owned by the runner for the
+/// duration of one compilation.
+pub struct PipelineCx<'a> {
+    /// The program under compilation (IR until the schedule pass).
+    pub prog: Program,
+    /// The options this compilation was invoked with.
+    pub opts: &'a CompileOptions,
+    /// Training input (profile feedback).
+    pub train_args: &'a [i64],
+    /// Reference input (profile-variation experiments).
+    pub ref_args: &'a [i64],
+    /// Profile collected by the profile pass (needed by promotion).
+    pub profile: Option<Profile>,
+    /// Inlined callsites so far.
+    pub inlined: usize,
+    /// Indirect callsites promoted so far.
+    pub promoted: usize,
+    /// Accumulated structural-transform statistics.
+    pub ilp: IlpStats,
+    /// The scheduled machine program (set by the schedule pass).
+    pub mach: Option<(MachProgram, PlanStats)>,
+}
+
+impl<'a> PipelineCx<'a> {
+    /// Fresh context around a frontend-produced program.
+    pub fn new(
+        prog: Program,
+        opts: &'a CompileOptions,
+        train_args: &'a [i64],
+        ref_args: &'a [i64],
+    ) -> PipelineCx<'a> {
+        PipelineCx {
+            prog,
+            opts,
+            train_args,
+            ref_args,
+            profile: None,
+            inlined: 0,
+            promoted: 0,
+            ilp: IlpStats::default(),
+            mach: None,
+        }
+    }
+}
+
+/// One phase of the compilation pipeline.
+pub trait Pass: Sync {
+    /// Stable name, used in timelines and error messages.
+    fn name(&self) -> &'static str;
+    /// Transform the context.
+    ///
+    /// # Errors
+    /// Pass-specific failures (trap during profiling, verification, …).
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError>;
+}
+
+/// Timing and size deltas for one executed pass.
+#[derive(Clone, Debug)]
+pub struct PassRecord {
+    /// [`Pass::name`] of the pass.
+    pub name: &'static str,
+    /// Wall time spent inside the pass.
+    pub wall: Duration,
+    /// Static IR op count entering the pass.
+    pub ops_before: usize,
+    /// Static IR op count leaving the pass.
+    pub ops_after: usize,
+    /// Live block count entering the pass.
+    pub blocks_before: usize,
+    /// Live block count leaving the pass.
+    pub blocks_after: usize,
+}
+
+impl PassRecord {
+    /// Signed op-count change (positive = code growth).
+    pub fn op_delta(&self) -> i64 {
+        self.ops_after as i64 - self.ops_before as i64
+    }
+
+    /// Signed block-count change.
+    pub fn block_delta(&self) -> i64 {
+        self.blocks_after as i64 - self.blocks_before as i64
+    }
+}
+
+/// Per-pass breakdown of one compilation.
+#[derive(Clone, Debug, Default)]
+pub struct PassTimeline {
+    /// Records in execution order.
+    pub passes: Vec<PassRecord>,
+}
+
+impl PassTimeline {
+    /// Total wall time across all passes.
+    pub fn total_wall(&self) -> Duration {
+        self.passes.iter().map(|p| p.wall).sum()
+    }
+
+    /// Record for a pass name (first occurrence), if it ran.
+    pub fn get(&self, name: &str) -> Option<&PassRecord> {
+        self.passes.iter().find(|p| p.name == name)
+    }
+
+    /// True if no pass ran (never the case for a driver compilation).
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Human-readable multi-line summary (name, time, op delta).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for p in &self.passes {
+            out.push_str(&format!(
+                "{:<14} {:>9.3}ms  ops {:>6} -> {:<6} ({:+})  blocks {:+}\n",
+                p.name,
+                p.wall.as_secs_f64() * 1e3,
+                p.ops_before,
+                p.ops_after,
+                p.op_delta(),
+                p.block_delta(),
+            ));
+        }
+        out
+    }
+}
+
+/// Join *all* verifier errors into one message (a transform bug usually
+/// breaks many ops at once; reporting only the first hid the pattern).
+fn verify_all(prog: &Program, ctx: &str) -> Result<(), DriverError> {
+    epic_ir::verify::verify_program(prog).map_err(|errs| {
+        let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        DriverError::Verify(format!(
+            "{ctx}: {} error(s): {}",
+            msgs.len(),
+            msgs.join("; ")
+        ))
+    })
+}
+
+/// Run `passes` over `cx`, producing the per-pass timeline. With
+/// `verify_each` (the opt-in debug mode), the IR is re-verified after
+/// every pass and a failure names the offending pass.
+///
+/// # Errors
+/// The first pass failure, or the first post-pass verification failure in
+/// `verify_each` mode.
+pub fn run_passes(
+    cx: &mut PipelineCx,
+    passes: &[Box<dyn Pass>],
+    verify_each: bool,
+) -> Result<PassTimeline, DriverError> {
+    let mut timeline = PassTimeline::default();
+    for pass in passes {
+        let ops_before = cx.prog.op_count();
+        let blocks_before = cx.prog.block_count();
+        let start = Instant::now();
+        pass.run(cx)?;
+        let wall = start.elapsed();
+        timeline.passes.push(PassRecord {
+            name: pass.name(),
+            wall,
+            ops_before,
+            ops_after: cx.prog.op_count(),
+            blocks_before,
+            blocks_after: cx.prog.block_count(),
+        });
+        if verify_each && cx.mach.is_none() {
+            verify_all(&cx.prog, &format!("after pass '{}'", pass.name()))?;
+        }
+    }
+    Ok(timeline)
+}
+
+/// The declarative pass list for a configuration — Table 1 as data.
+pub fn passes_for(opts: &CompileOptions) -> Vec<Box<dyn Pass>> {
+    let mut passes: Vec<Box<dyn Pass>> = Vec::new();
+    if opts.level != OptLevel::Gcc {
+        // Control-flow + call-target profiling (Fig. 4 top), then the
+        // profile consumers.
+        passes.push(Box::new(ProfilePass));
+        passes.push(Box::new(PromotePass));
+        passes.push(Box::new(InlinePass));
+    }
+    // Classical optimization at every level (GCC performs "a very
+    // competent level of traditional optimizations").
+    passes.push(Box::new(ClassicalPass));
+    if opts.level != OptLevel::Gcc {
+        passes.push(Box::new(AliasPass));
+    }
+    if matches!(opts.level, OptLevel::IlpNs | OptLevel::IlpCs) {
+        let ilp_opts = opts.ilp_override.unwrap_or(match opts.level {
+            OptLevel::IlpNs => IlpOptions::ilp_ns(),
+            _ => IlpOptions::ilp_cs(),
+        });
+        passes.push(Box::new(IlpTransformPass { opts: ilp_opts }));
+        passes.push(Box::new(VerifyPass {
+            after: "ilp-transform",
+        }));
+        if opts.enable_data_spec {
+            passes.push(Box::new(DataSpecPass));
+            passes.push(Box::new(VerifyPass { after: "data-spec" }));
+        }
+    }
+    let sched = match opts.level {
+        OptLevel::Gcc => SchedOptions::gcc(),
+        OptLevel::ONs => SchedOptions::o_ns(),
+        OptLevel::IlpNs => SchedOptions::ilp_ns(),
+        OptLevel::IlpCs => SchedOptions::ilp_cs(),
+    };
+    passes.push(Box::new(SchedulePass { opts: sched }));
+    passes.push(Box::new(MachineCheckPass));
+    passes
+}
+
+/// Profile on the selected input and annotate the IR with weights.
+pub struct ProfilePass;
+
+impl Pass for ProfilePass {
+    fn name(&self) -> &'static str {
+        "profile"
+    }
+
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
+        let pargs = match cx.opts.profile_input {
+            crate::ProfileInput::Train => cx.train_args,
+            crate::ProfileInput::Refr => cx.ref_args,
+        };
+        let profile = epic_opt::profile::profile_program(&mut cx.prog, pargs, cx.opts.profile_fuel)
+            .map_err(DriverError::Profile)?;
+        cx.profile = Some(profile);
+        Ok(())
+    }
+}
+
+/// Promote hot indirect calls to guarded direct calls.
+pub struct PromotePass;
+
+impl Pass for PromotePass {
+    fn name(&self) -> &'static str {
+        "promote"
+    }
+
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
+        let profile = cx.profile.take().expect("promote runs after profile");
+        cx.promoted = epic_opt::promote::run(&mut cx.prog, &profile, Default::default());
+        cx.profile = Some(profile);
+        Ok(())
+    }
+}
+
+/// Profile-guided inlining.
+pub struct InlinePass;
+
+impl Pass for InlinePass {
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
+        cx.inlined = epic_opt::inline::run(&mut cx.prog, Default::default()).inlined;
+        Ok(())
+    }
+}
+
+/// Classical scalar optimization suite (LVN, propagation, DCE, LICM, …).
+pub struct ClassicalPass;
+
+impl Pass for ClassicalPass {
+    fn name(&self) -> &'static str {
+        "classical"
+    }
+
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
+        epic_opt::classical_optimize_program(&mut cx.prog);
+        Ok(())
+    }
+}
+
+/// Interprocedural pointer analysis -> alias tags.
+pub struct AliasPass;
+
+impl Pass for AliasPass {
+    fn name(&self) -> &'static str {
+        "alias"
+    }
+
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
+        epic_opt::alias::run(&mut cx.prog);
+        Ok(())
+    }
+}
+
+/// Structural ILP transformation (superblock/hyperblock formation, tail
+/// duplication, peeling, unrolling, control speculation).
+pub struct IlpTransformPass {
+    /// Transform knobs (per-level defaults or an ablation override).
+    pub opts: IlpOptions,
+}
+
+impl Pass for IlpTransformPass {
+    fn name(&self) -> &'static str {
+        "ilp-transform"
+    }
+
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
+        for i in 0..cx.prog.funcs.len() {
+            cx.ilp
+                .merge(&epic_core::ilp_transform(&mut cx.prog.funcs[i], &self.opts));
+        }
+        Ok(())
+    }
+}
+
+/// Data speculation via advanced loads (`ld.a`/`chk.a`), in place — the
+/// alias sets are a disjoint `Program` field, so no function clone.
+pub struct DataSpecPass;
+
+impl Pass for DataSpecPass {
+    fn name(&self) -> &'static str {
+        "data-spec"
+    }
+
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
+        let prog = &mut cx.prog;
+        for i in 0..prog.funcs.len() {
+            let s =
+                epic_core::dataspec::run(&mut prog.funcs[i], &prog.alias_sets, &Default::default());
+            cx.ilp.loads_advanced += s.advanced;
+        }
+        Ok(())
+    }
+}
+
+/// Full IR verification; `after` names the producing phase in errors.
+pub struct VerifyPass {
+    /// The phase whose output is being checked.
+    pub after: &'static str,
+}
+
+impl Pass for VerifyPass {
+    fn name(&self) -> &'static str {
+        "verify"
+    }
+
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
+        verify_all(&cx.prog, &format!("after {}", self.after))
+    }
+}
+
+/// List-schedule, allocate registers, pack bundles, emit machine code.
+pub struct SchedulePass {
+    /// Scheduler configuration for the level.
+    pub opts: SchedOptions,
+}
+
+impl Pass for SchedulePass {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
+        cx.mach = Some(epic_sched::compile_program(&cx.prog, &self.opts));
+        Ok(())
+    }
+}
+
+/// Machine-level invariant checks on the emitted program.
+pub struct MachineCheckPass;
+
+impl Pass for MachineCheckPass {
+    fn name(&self) -> &'static str {
+        "mach-check"
+    }
+
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
+        let (mach, _) = cx.mach.as_ref().expect("mach-check runs after schedule");
+        epic_sched::check_machine_program(mach).map_err(DriverError::Machine)
+    }
+}

@@ -26,7 +26,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `i` is out of capacity.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "bitset index {i} out of capacity {}", self.len);
+        assert!(
+            i < self.len,
+            "bitset index {i} out of capacity {}",
+            self.len
+        );
         let w = &mut self.words[i / 64];
         let bit = 1u64 << (i % 64);
         let newly = *w & bit == 0;

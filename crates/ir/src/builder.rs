@@ -66,12 +66,7 @@ impl FuncBuilder {
     }
 
     /// `dst = a <op> b` into a fresh register.
-    pub fn binop(
-        &mut self,
-        opcode: Opcode,
-        a: impl Into<Operand>,
-        b: impl Into<Operand>,
-    ) -> Vreg {
+    pub fn binop(&mut self, opcode: Opcode, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
         let d = self.vreg();
         self.emit(opcode, vec![d], vec![a.into(), b.into()]);
         d

@@ -128,7 +128,11 @@ mod tests {
         }
         let p = f.new_vreg();
         for b in 0..n as u32 {
-            let outs: Vec<u32> = edges.iter().filter(|(s, _)| *s == b).map(|&(_, d)| d).collect();
+            let outs: Vec<u32> = edges
+                .iter()
+                .filter(|(s, _)| *s == b)
+                .map(|&(_, d)| d)
+                .collect();
             let mut ops = Vec::new();
             for (i, &d) in outs.iter().enumerate() {
                 let mut br = mk_br(f.new_op_id(), BlockId(d));
@@ -173,9 +177,12 @@ mod tests {
     fn unreachable_blocks_have_no_idom() {
         let mut f = cfg(3, &[(0, 1), (1, 2)]);
         let orphan = f.add_block();
-        f.block_mut(orphan)
-            .ops
-            .push(Op::new(crate::types::OpId(999), Opcode::Ret, vec![], vec![]));
+        f.block_mut(orphan).ops.push(Op::new(
+            crate::types::OpId(999),
+            Opcode::Ret,
+            vec![],
+            vec![],
+        ));
         let d = DomTree::compute(&f);
         assert_eq!(d.idom(orphan), None);
         assert!(!d.is_reachable(orphan));
@@ -188,7 +195,9 @@ mod tests {
         // Simple deterministic pseudo-random edge sets.
         let mut seed = 0x12345u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for _case in 0..50 {

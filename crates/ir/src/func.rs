@@ -328,20 +328,7 @@ impl Program {
     /// Do two memory tags possibly conflict? Tag 0 (unknown) conflicts with
     /// everything; otherwise the alias sets must share an abstract location.
     pub fn tags_conflict(&self, a: u32, b: u32) -> bool {
-        if a == 0 || b == 0 {
-            return true;
-        }
-        let (sa, sb) = (&self.alias_sets[a as usize], &self.alias_sets[b as usize]);
-        // Sets are sorted; merge-intersect.
-        let (mut i, mut j) = (0, 0);
-        while i < sa.len() && j < sb.len() {
-            match sa[i].cmp(&sb[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => return true,
-            }
-        }
-        false
+        tags_conflict(&self.alias_sets, a, b)
     }
 
     /// Register a sorted alias set, returning its tag.
@@ -356,6 +343,32 @@ impl Program {
     pub fn op_count(&self) -> usize {
         self.funcs.iter().map(|f| f.op_count()).sum()
     }
+
+    /// Total live (non-removed) block count over all functions.
+    pub fn block_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.block_ids().count()).sum()
+    }
+}
+
+/// Free-standing form of [`Program::tags_conflict`], usable while a
+/// function inside `Program::funcs` is mutably borrowed (the alias sets
+/// are a disjoint field). Tag 0 (unknown) conflicts with everything;
+/// otherwise the sorted alias sets must share an abstract location.
+pub fn tags_conflict(alias_sets: &[Vec<u32>], a: u32, b: u32) -> bool {
+    if a == 0 || b == 0 {
+        return true;
+    }
+    let (sa, sb) = (&alias_sets[a as usize], &alias_sets[b as usize]);
+    // Sets are sorted; merge-intersect.
+    let (mut i, mut j) = (0, 0);
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
 }
 
 impl Default for Program {
@@ -366,7 +379,11 @@ impl Default for Program {
 
 impl fmt::Display for Function {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "func {} {:?} entry={}", self.name, self.params, self.entry)?;
+        writeln!(
+            f,
+            "func {} {:?} entry={}",
+            self.name, self.params, self.entry
+        )?;
         for b in self.block_ids() {
             let blk = self.block(b);
             writeln!(f, "  {b}: (w={:.0}, {:?})", blk.weight, blk.origin)?;

@@ -170,11 +170,19 @@ pub fn run(prog: &Program, args: &[i64], opts: InterpOptions) -> Result<RunResul
             }
         };
         match op.opcode {
-            Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::And | Opcode::Or
-            | Opcode::Xor | Opcode::Shl | Opcode::Shr | Opcode::Sar => {
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Shl
+            | Opcode::Shr
+            | Opcode::Sar => {
                 let a = ev(&frame, &op.srcs[0]);
                 let b = ev(&frame, &op.srcs[1]);
-                frame.regs[op.dsts[0].index()] = Value::lift2(a, b, |x, y| eval_alu(op.opcode, x, y));
+                frame.regs[op.dsts[0].index()] =
+                    Value::lift2(a, b, |x, y| eval_alu(op.opcode, x, y));
             }
             Opcode::Div | Opcode::Rem => {
                 let a = ev(&frame, &op.srcs[0]);
@@ -478,7 +486,10 @@ mod tests {
         fb.ret(Some(Operand::Reg(s)));
         prog.funcs[add_id.index()] = fb.finish();
         let mut mb = FuncBuilder::new(main_id, "main");
-        let r = mb.call(Operand::FuncAddr(add_id), &[Operand::Imm(40), Operand::Imm(2)]);
+        let r = mb.call(
+            Operand::FuncAddr(add_id),
+            &[Operand::Imm(40), Operand::Imm(2)],
+        );
         mb.out(r);
         // indirect call through a register
         let fp = mb.mov(Operand::FuncAddr(add_id));
@@ -507,7 +518,7 @@ mod tests {
             ld.spec = true;
             b.push(ld);
             let (_p, q) = b.cmp2(CmpKind::Eq, 1i64, 1i64); // p=1, q=0
-            // (q) out d  -- squashed, so the NaT is never consumed
+                                                           // (q) out d  -- squashed, so the NaT is never consumed
             let mut out = crate::Op::new(
                 crate::types::OpId(0),
                 Opcode::Out,

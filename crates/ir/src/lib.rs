@@ -44,6 +44,7 @@ pub mod loops;
 pub mod mem;
 pub mod op;
 pub mod profile;
+pub mod testing;
 pub mod types;
 pub mod value;
 pub mod verify;

@@ -177,12 +177,7 @@ mod tests {
         let b1 = f.add_block();
         let b2 = f.add_block();
         let (v, p) = (f.new_vreg(), f.new_vreg());
-        let init = Op::new(
-            f.new_op_id(),
-            Opcode::Mov,
-            vec![v],
-            vec![Operand::Imm(-30)],
-        );
+        let init = Op::new(f.new_op_id(), Opcode::Mov, vec![v], vec![Operand::Imm(-30)]);
         let br0 = mk_br(f.new_op_id(), b1);
         f.block_mut(crate::BlockId(0)).ops.extend([init, br0]);
         let mut side = mk_br(f.new_op_id(), b2);

@@ -156,7 +156,7 @@ fn natural_loop_body(
 mod tests {
     use super::*;
     use crate::func::mk_br;
-    use crate::types::{FuncId, Opcode, OpId};
+    use crate::types::{FuncId, OpId, Opcode};
     use crate::{Function, Op};
 
     fn cfg(n: usize, edges: &[(u32, u32)]) -> Function {
@@ -166,7 +166,11 @@ mod tests {
         }
         let p = f.new_vreg();
         for b in 0..n as u32 {
-            let outs: Vec<u32> = edges.iter().filter(|(s, _)| *s == b).map(|&(_, d)| d).collect();
+            let outs: Vec<u32> = edges
+                .iter()
+                .filter(|(s, _)| *s == b)
+                .map(|&(_, d)| d)
+                .collect();
             let mut ops = Vec::new();
             for (i, &d) in outs.iter().enumerate() {
                 let mut br = mk_br(f.new_op_id(), BlockId(d));

@@ -78,7 +78,10 @@ impl Op {
 
     /// Is this a memory load (`Ld` or a check, which may re-load)?
     pub fn is_load(&self) -> bool {
-        matches!(self.opcode, Opcode::Ld(_) | Opcode::Chk(_) | Opcode::ChkA(_))
+        matches!(
+            self.opcode,
+            Opcode::Ld(_) | Opcode::Chk(_) | Opcode::ChkA(_)
+        )
     }
 
     /// Is this a memory store?

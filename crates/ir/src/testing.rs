@@ -1,0 +1,340 @@
+//! Deterministic test support: a seeded PRNG and structured random-program
+//! generators, replacing the external `proptest`/`rand` crates so the whole
+//! test suite builds and runs fully offline.
+//!
+//! The PRNG is the same LCG the original differential harness used
+//! (`state * 6364136223846793005 + 1442695040888963407`, top 31 bits), so
+//! every saved regression seed regenerates byte-identical programs.
+//!
+//! Typical use in a test:
+//!
+//! ```
+//! use epic_ir::testing::Rng;
+//! let mut rng = Rng::new(42);
+//! let die = rng.pick(6) + 1;
+//! assert!((1..=6).contains(&die));
+//! ```
+
+use crate::func::mk_br;
+use crate::{BlockId, FuncId, Function, Op, Opcode, Operand};
+
+/// Seeded linear-congruential PRNG (Knuth MMIX constants, top 31 bits per
+/// draw). Not cryptographic; deterministic across platforms and runs.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw draw (31 significant bits).
+    pub fn next(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 33
+    }
+
+    /// A full 64-bit value (two draws).
+    pub fn next_u64(&mut self) -> u64 {
+        (self.next() << 33) ^ self.next()
+    }
+
+    /// Uniform in `0..n` (`n == 0` returns 0).
+    pub fn pick(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next() % n
+    }
+
+    /// Uniform index in `0..n` (`n == 0` returns 0).
+    pub fn pick_usize(&mut self, n: usize) -> usize {
+        self.pick(n as u64) as usize
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.pick(den) < num
+    }
+
+    /// A reference to a uniformly chosen element.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.pick_usize(xs.len())]
+    }
+
+    /// Derive an independent stream for case `i` of a test (seed chaining
+    /// keeps per-case streams decorrelated without a second algorithm).
+    pub fn derive(&self, i: u64) -> Rng {
+        let mut r = Rng::new(self.state ^ i.wrapping_mul(0x9E3779B97F4A7C15));
+        r.next();
+        r
+    }
+}
+
+/// Generator of random — but well-formed, terminating, trap-free — MiniC
+/// programs covering arithmetic, shifts, comparisons, short-circuit logic,
+/// nested ifs, bounded loops, masked array accesses, and calls: the
+/// surfaces the structural transforms rewrite. Used by the top-level
+/// differential oracle test.
+pub struct MiniCGen {
+    rng: Rng,
+}
+
+impl MiniCGen {
+    /// Generator for a seed; the produced program is a pure function of it.
+    pub fn new(seed: u64) -> MiniCGen {
+        MiniCGen {
+            rng: Rng::new(seed),
+        }
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.rng.pick(n)
+    }
+
+    /// An expression over the in-scope variables.
+    fn expr(&mut self, vars: &[String], depth: u32) -> String {
+        if depth == 0 || self.pick(3) == 0 {
+            return match self.pick(3) {
+                0 => format!("{}", self.pick(100) as i64 - 50),
+                1 if !vars.is_empty() => vars[self.pick(vars.len() as u64) as usize].clone(),
+                _ => format!("g[{} & 63]", self.var_or_const(vars)),
+            };
+        }
+        let a = self.expr(vars, depth - 1);
+        let b = self.expr(vars, depth - 1);
+        match self.pick(10) {
+            0 => format!("({a} + {b})"),
+            1 => format!("({a} - {b})"),
+            2 => format!("({a} * {b})"),
+            3 => format!("({a} & {b})"),
+            4 => format!("({a} | {b})"),
+            5 => format!("({a} ^ {b})"),
+            6 => format!("({a} << {})", self.pick(8)),
+            7 => format!("({a} >> {})", self.pick(8)),
+            8 => format!("(({a}) < ({b}))"),
+            _ => format!("(({a}) == ({b}))"),
+        }
+    }
+
+    fn var_or_const(&mut self, vars: &[String]) -> String {
+        if !vars.is_empty() && self.pick(2) == 0 {
+            vars[self.pick(vars.len() as u64) as usize].clone()
+        } else {
+            format!("{}", self.pick(64))
+        }
+    }
+
+    fn cond(&mut self, vars: &[String]) -> String {
+        let a = self.expr(vars, 1);
+        let b = self.expr(vars, 1);
+        let base = match self.pick(4) {
+            0 => format!("({a}) < ({b})"),
+            1 => format!("({a}) != ({b})"),
+            2 => format!("({a}) >= ({b})"),
+            _ => format!("(({a}) & 1) == 0"),
+        };
+        match self.pick(4) {
+            0 => format!("{base} && ({}) < 40", self.expr(vars, 0)),
+            1 => format!("{base} || ({}) > 9000", self.expr(vars, 0)),
+            _ => base,
+        }
+    }
+
+    fn stmts(&mut self, vars: &mut Vec<String>, depth: u32, budget: &mut u32) -> String {
+        let mut out = String::new();
+        let n = 2 + self.pick(4);
+        for _ in 0..n {
+            if *budget == 0 {
+                break;
+            }
+            *budget -= 1;
+            match self.pick(8) {
+                0 | 1 => {
+                    // new local
+                    let name = format!("v{}", vars.len());
+                    let e = self.expr(vars, 2);
+                    out.push_str(&format!("let {name} = {e};\n"));
+                    vars.push(name);
+                }
+                2 | 3 if !vars.is_empty() => {
+                    // never assign to loop counters (names `i*`): a
+                    // clobbered counter can make the loop non-terminating
+                    let assignable: Vec<&String> =
+                        vars.iter().filter(|v| !v.starts_with('i')).collect();
+                    if let Some(v) = (!assignable.is_empty())
+                        .then(|| assignable[self.pick(assignable.len() as u64) as usize].clone())
+                    {
+                        let e = self.expr(vars, 2);
+                        out.push_str(&format!("{v} = {e};\n"));
+                    }
+                }
+                4 => {
+                    let idx = self.var_or_const(vars);
+                    let e = self.expr(vars, 2);
+                    out.push_str(&format!("g[{idx} & 63] = {e};\n"));
+                }
+                5 if depth > 0 => {
+                    let c = self.cond(vars);
+                    let scope0 = vars.len();
+                    let t = self.stmts(vars, depth - 1, budget);
+                    vars.truncate(scope0);
+                    let e = self.stmts(vars, depth - 1, budget);
+                    vars.truncate(scope0);
+                    out.push_str(&format!("if {c} {{\n{t}}} else {{\n{e}}}\n"));
+                }
+                6 if depth > 0 => {
+                    // bounded counter loop
+                    let name = format!("i{}", vars.len());
+                    let limit = 2 + self.pick(12);
+                    let scope0 = vars.len();
+                    out.push_str(&format!("let {name} = 0;\nwhile {name} < {limit} {{\n"));
+                    vars.push(name.clone());
+                    let body = self.stmts(vars, depth - 1, budget);
+                    vars.truncate(scope0);
+                    out.push_str(&body);
+                    out.push_str(&format!("{name} = {name} + 1;\n}}\n"));
+                }
+                _ => {
+                    let e = self.expr(vars, 2);
+                    out.push_str(&format!("out({e});\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// The complete program: a `helper` function, a `main` exercising it,
+    /// and a final checksum loop over the global array so every store is
+    /// observable.
+    pub fn program(&mut self) -> String {
+        let mut vars: Vec<String> = vec!["a0".into(), "a1".into()];
+        let mut budget = 60u32;
+        let helper_body = {
+            let mut hvars = vec!["x".to_string(), "y".to_string()];
+            let mut hbudget = 12u32;
+            self.stmts(&mut hvars, 1, &mut hbudget)
+        };
+        let hret = self.expr(&["x".to_string(), "y".to_string()], 2);
+        let body = self.stmts(&mut vars, 3, &mut budget);
+        let call = format!(
+            "out(helper({}, {}));\n",
+            self.expr(&vars, 1),
+            self.expr(&vars, 1)
+        );
+        let tail =
+            "let k = 0;\nlet h = 0;\nwhile k < 64 { h = h * 31 + g[k]; k = k + 1; }\nout(h);\n";
+        format!(
+            "global g: [int; 64];\n\
+             fn helper(x: int, y: int) -> int {{\n{helper_body}return {hret};\n}}\n\
+             fn main(a0: int, a1: int) {{\n{body}{call}{tail}}}\n"
+        )
+    }
+}
+
+/// Generate the MiniC program for a seed (convenience wrapper).
+pub fn minic_program(seed: u64) -> String {
+    MiniCGen::new(seed).program()
+}
+
+/// A random multi-block function with real dataflow, predicated ops, and
+/// arbitrary (possibly unreachable) control flow — the liveness and
+/// verifier property tests' input distribution.
+pub fn random_dataflow_cfg(seed: u64) -> Function {
+    let mut rng = Rng::new(seed);
+    let mut f = Function::new(FuncId(0), "t");
+    let nblocks = 2 + rng.pick(5) as usize;
+    for _ in 1..nblocks {
+        f.add_block();
+    }
+    let nregs = 3 + rng.pick(6);
+    let regs: Vec<_> = (0..nregs).map(|_| f.new_vreg()).collect();
+    for b in 0..nblocks {
+        let mut ops = Vec::new();
+        for _ in 0..rng.pick(6) {
+            let d = regs[rng.pick(nregs) as usize];
+            let a = regs[rng.pick(nregs) as usize];
+            let c = regs[rng.pick(nregs) as usize];
+            let mut op = Op::new(
+                f.new_op_id(),
+                Opcode::Add,
+                vec![d],
+                vec![Operand::Reg(a), Operand::Reg(c)],
+            );
+            if rng.pick(4) == 0 {
+                op.guard = Some(regs[rng.pick(nregs) as usize]);
+            }
+            ops.push(op);
+        }
+        // terminator: branch to a random block or return
+        if rng.pick(4) == 0 || nblocks == 1 {
+            let val = regs[rng.pick(nregs) as usize];
+            ops.push(Op::new(
+                f.new_op_id(),
+                Opcode::Ret,
+                vec![],
+                vec![Operand::Reg(val)],
+            ));
+        } else {
+            let t = BlockId(rng.pick(nblocks as u64) as u32);
+            if rng.pick(2) == 0 {
+                let mut c = mk_br(f.new_op_id(), BlockId(rng.pick(nblocks as u64) as u32));
+                c.guard = Some(regs[rng.pick(nregs) as usize]);
+                ops.push(c);
+            }
+            ops.push(mk_br(f.new_op_id(), t));
+        }
+        f.block_mut(BlockId(b as u32)).ops = ops;
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_bounded() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            let x = a.pick(10);
+            assert_eq!(x, b.pick(10));
+            assert!(x < 10);
+        }
+        assert_eq!(Rng::new(3).pick(0), 0);
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let base = Rng::new(1);
+        let xs: Vec<u64> = (0..4).map(|i| base.derive(i).next_u64()).collect();
+        for i in 0..xs.len() {
+            for j in i + 1..xs.len() {
+                assert_ne!(xs[i], xs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn minic_generator_is_deterministic() {
+        assert_eq!(minic_program(42), minic_program(42));
+        assert_ne!(minic_program(1), minic_program(2));
+    }
+
+    #[test]
+    fn random_cfgs_are_deterministic() {
+        let a = random_dataflow_cfg(9);
+        let b = random_dataflow_cfg(9);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -21,10 +21,7 @@ impl Value {
     }
 
     /// The NaT token.
-    pub const NAT: Value = Value {
-        bits: 0,
-        nat: true,
-    };
+    pub const NAT: Value = Value { bits: 0, nat: true };
 
     /// Truthiness for guards and conditional branches (NaT is never true;
     /// a NaT consumed by a *non-speculative* control decision is a deferred

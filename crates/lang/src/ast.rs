@@ -88,7 +88,11 @@ pub enum Stmt {
         line: u32,
     },
     /// `lvalue = e;`
-    Assign { lhs: Expr, rhs: Expr, line: u32 },
+    Assign {
+        lhs: Expr,
+        rhs: Expr,
+        line: u32,
+    },
     /// `if c { .. } else { .. }`.
     If {
         cond: Expr,
@@ -96,7 +100,10 @@ pub enum Stmt {
         else_body: Vec<Stmt>,
     },
     /// `while c { .. }`.
-    While { cond: Expr, body: Vec<Stmt> },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
     Break(u32),
     Continue(u32),
     /// `return e?;`

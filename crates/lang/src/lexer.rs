@@ -136,8 +136,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LangError> {
                     while i < b.len() && (b[i].is_ascii_hexdigit() || b[i] == b'_') {
                         i += 1;
                     }
-                    let text: String =
-                        src[hs..i].chars().filter(|c| *c != '_').collect();
+                    let text: String = src[hs..i].chars().filter(|c| *c != '_').collect();
                     i64::from_str_radix(&text, 16)
                         .or_else(|_| u64::from_str_radix(&text, 16).map(|u| u as i64))
                         .map_err(|_| err(line, format!("bad hex literal `{}`", &src[start..i])))?
@@ -145,8 +144,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LangError> {
                     while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
                         i += 1;
                     }
-                    let text: String =
-                        src[start..i].chars().filter(|c| *c != '_').collect();
+                    let text: String = src[start..i].chars().filter(|c| *c != '_').collect();
                     text.parse::<i64>()
                         .map_err(|_| err(line, format!("bad integer literal `{text}`")))?
                 };
@@ -192,7 +190,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LangError> {
                         b'0' => 0,
                         b'\\' => b'\\',
                         b'\'' => b'\'',
-                        other => return Err(err(line, format!("bad escape `\\{}`", other as char))),
+                        other => {
+                            return Err(err(line, format!("bad escape `\\{}`", other as char)))
+                        }
                     };
                     out.push(SpannedTok {
                         tok: Tok::Int(v as i64),

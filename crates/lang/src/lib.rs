@@ -56,7 +56,10 @@ mod tests {
     #[test]
     fn arithmetic_and_precedence() {
         assert_eq!(
-            run_src("fn main() { out(1 + 2 * 3); out(10 % 4); out(7 / 2); out(-5 / 2); }", &[]),
+            run_src(
+                "fn main() { out(1 + 2 * 3); out(10 % 4); out(7 / 2); out(-5 / 2); }",
+                &[]
+            ),
             vec![7, 2, 3, (-2i64) as u64]
         );
     }

@@ -117,7 +117,10 @@ pub fn compile(src: &str) -> Result<Program, LangError> {
             }
         }
         if init.len() as u64 > size {
-            return Err(err(g.line, format!("initializer too large for `{}`", g.name)));
+            return Err(err(
+                g.line,
+                format!("initializer too large for `{}`", g.name),
+            ));
         }
         let id = prog.add_global(g.name.clone(), size, init);
         if ctx.globals.insert(g.name.clone(), (id, ty)).is_some() {
@@ -299,11 +302,7 @@ enum Place {
 
 impl<'a> LowerFn<'a> {
     fn lookup(&self, name: &str) -> Option<Local> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name))
-            .cloned()
+        self.scopes.iter().rev().find_map(|s| s.get(name)).cloned()
     }
 
     fn stmts(&mut self, body: &[Stmt]) -> Result<(), LangError> {
@@ -607,10 +606,7 @@ impl<'a> LowerFn<'a> {
             return v;
         }
         if size.is_power_of_two() {
-            Operand::Reg(
-                self.b
-                    .binop(Opcode::Shl, v, size.trailing_zeros() as i64),
-            )
+            Operand::Reg(self.b.binop(Opcode::Shl, v, size.trailing_zeros() as i64))
         } else {
             Operand::Reg(self.b.binop(Opcode::Mul, v, size as i64))
         }
@@ -666,24 +662,15 @@ impl<'a> LowerFn<'a> {
             }
             ExprKind::Neg(a) => {
                 let (v, _) = self.rvalue(a)?;
-                Ok((
-                    Operand::Reg(self.b.binop(Opcode::Sub, 0i64, v)),
-                    Ty::Int,
-                ))
+                Ok((Operand::Reg(self.b.binop(Opcode::Sub, 0i64, v)), Ty::Int))
             }
             ExprKind::Not(a) => {
                 let (v, _) = self.rvalue(a)?;
-                Ok((
-                    Operand::Reg(self.b.cmp(CmpKind::Eq, v, 0i64)),
-                    Ty::Int,
-                ))
+                Ok((Operand::Reg(self.b.cmp(CmpKind::Eq, v, 0i64)), Ty::Int))
             }
             ExprKind::BitNot(a) => {
                 let (v, _) = self.rvalue(a)?;
-                Ok((
-                    Operand::Reg(self.b.binop(Opcode::Xor, v, -1i64)),
-                    Ty::Int,
-                ))
+                Ok((Operand::Reg(self.b.binop(Opcode::Xor, v, -1i64)), Ty::Int))
             }
             ExprKind::Call(name, args) => self.call(name, args, e.line),
             ExprKind::Cast(a, ty) => {
@@ -721,7 +708,13 @@ impl<'a> LowerFn<'a> {
         }
     }
 
-    fn bin(&mut self, op: BinOp, a: &Expr, b: &Expr, line: u32) -> Result<(Operand, Ty), LangError> {
+    fn bin(
+        &mut self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        line: u32,
+    ) -> Result<(Operand, Ty), LangError> {
         let (va, ta) = self.rvalue(a)?;
         let (vb, tb) = self.rvalue(b)?;
         if cmp_kind(op).is_some() {
@@ -734,7 +727,11 @@ impl<'a> LowerFn<'a> {
             if !matches!(tb, Ty::Ptr(_)) {
                 let (esz, _) = size_align(self.ctx, elem, line)?;
                 let scaled = self.scale(vb, esz);
-                let opc = if op == BinOp::Add { Opcode::Add } else { Opcode::Sub };
+                let opc = if op == BinOp::Add {
+                    Opcode::Add
+                } else {
+                    Opcode::Sub
+                };
                 return Ok((Operand::Reg(self.b.binop(opc, va, scaled)), ta.clone()));
             }
             // ptr - ptr: element difference
@@ -744,8 +741,7 @@ impl<'a> LowerFn<'a> {
                 let v = if esz == 1 {
                     diff
                 } else if esz.is_power_of_two() {
-                    self.b
-                        .binop(Opcode::Sar, diff, esz.trailing_zeros() as i64)
+                    self.b.binop(Opcode::Sar, diff, esz.trailing_zeros() as i64)
                 } else {
                     self.b.binop(Opcode::Div, diff, esz as i64)
                 };
@@ -765,7 +761,11 @@ impl<'a> LowerFn<'a> {
             BinOp::Shr => Opcode::Shr,
             _ => unreachable!("comparisons handled above"),
         };
-        let ty = if matches!(ta, Ty::Ptr(_)) { ta.clone() } else { Ty::Int };
+        let ty = if matches!(ta, Ty::Ptr(_)) {
+            ta.clone()
+        } else {
+            Ty::Int
+        };
         Ok((Operand::Reg(self.b.binop(opc, va, vb)), ty))
     }
 

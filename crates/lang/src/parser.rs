@@ -485,7 +485,10 @@ mod tests {
         assert_eq!(u.structs[0].fields.len(), 2);
         assert_eq!(u.globals[0].init, vec![1, 2, -3]);
         assert_eq!(u.globals[1].init, vec![5]);
-        assert_eq!(u.globals[0].ty, TypeExpr::Array(Box::new(TypeExpr::Int), 64));
+        assert_eq!(
+            u.globals[0].ty,
+            TypeExpr::Array(Box::new(TypeExpr::Int), 64)
+        );
     }
 
     #[test]

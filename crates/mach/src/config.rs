@@ -66,10 +66,30 @@ pub struct MachineConfig {
 impl Default for MachineConfig {
     fn default() -> MachineConfig {
         MachineConfig {
-            l1i: CacheConfig { size: 16 << 10, line: 64, ways: 4, latency: 1 },
-            l1d: CacheConfig { size: 16 << 10, line: 64, ways: 4, latency: 1 },
-            l2: CacheConfig { size: 256 << 10, line: 128, ways: 8, latency: 5 },
-            l3: CacheConfig { size: 3 << 20, line: 128, ways: 12, latency: 12 },
+            l1i: CacheConfig {
+                size: 16 << 10,
+                line: 64,
+                ways: 4,
+                latency: 1,
+            },
+            l1d: CacheConfig {
+                size: 16 << 10,
+                line: 64,
+                ways: 4,
+                latency: 1,
+            },
+            l2: CacheConfig {
+                size: 256 << 10,
+                line: 128,
+                ways: 8,
+                latency: 5,
+            },
+            l3: CacheConfig {
+                size: 3 << 20,
+                line: 128,
+                ways: 12,
+                latency: 12,
+            },
             mem_latency: 140,
             mispredict_penalty: 6,
             ib_ops: 48,

@@ -118,7 +118,14 @@ impl MachProgram {
 pub fn disasm(f: &MachFunc) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "{} @ {:#x} ({} bundles, window {} GRs):", f.name, f.base_addr, f.bundles.len(), f.n_gr);
+    let _ = writeln!(
+        out,
+        "{} @ {:#x} ({} bundles, window {} GRs):",
+        f.name,
+        f.base_addr,
+        f.bundles.len(),
+        f.n_gr
+    );
     for (i, b) in f.bundles.iter().enumerate() {
         let tpl = crate::template::TEMPLATES[b.template].name;
         let entry_mark = if i == f.entry { ">" } else { " " };
@@ -189,8 +196,14 @@ mod tests {
         p.assign_addresses();
         assert_eq!(p.funcs[0].base_addr, CODE_BASE);
         assert_eq!(p.funcs[1].base_addr, CODE_BASE + 3 * BUNDLE_BYTES);
-        assert_eq!(p.func_at_addr(CODE_BASE + 2 * BUNDLE_BYTES), Some(FuncId(0)));
-        assert_eq!(p.func_at_addr(CODE_BASE + 3 * BUNDLE_BYTES), Some(FuncId(1)));
+        assert_eq!(
+            p.func_at_addr(CODE_BASE + 2 * BUNDLE_BYTES),
+            Some(FuncId(0))
+        );
+        assert_eq!(
+            p.func_at_addr(CODE_BASE + 3 * BUNDLE_BYTES),
+            Some(FuncId(1))
+        );
         assert_eq!(p.func_at_addr(0), None);
         assert_eq!(p.code_bytes(), 5 * BUNDLE_BYTES);
     }

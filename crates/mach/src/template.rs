@@ -22,17 +22,47 @@ pub struct Template {
 /// The supported architectural templates (a representative subset of the
 /// IA-64 set; mid-bundle stops are not modeled).
 pub const TEMPLATES: &[Template] = &[
-    Template { name: "MII", slots: [SlotKind::M, SlotKind::I, SlotKind::I] },
-    Template { name: "MMI", slots: [SlotKind::M, SlotKind::M, SlotKind::I] },
-    Template { name: "MFI", slots: [SlotKind::M, SlotKind::F, SlotKind::I] },
-    Template { name: "MMF", slots: [SlotKind::M, SlotKind::M, SlotKind::F] },
-    Template { name: "MIB", slots: [SlotKind::M, SlotKind::I, SlotKind::B] },
-    Template { name: "MMB", slots: [SlotKind::M, SlotKind::M, SlotKind::B] },
-    Template { name: "MFB", slots: [SlotKind::M, SlotKind::F, SlotKind::B] },
-    Template { name: "MBB", slots: [SlotKind::M, SlotKind::B, SlotKind::B] },
-    Template { name: "BBB", slots: [SlotKind::B, SlotKind::B, SlotKind::B] },
+    Template {
+        name: "MII",
+        slots: [SlotKind::M, SlotKind::I, SlotKind::I],
+    },
+    Template {
+        name: "MMI",
+        slots: [SlotKind::M, SlotKind::M, SlotKind::I],
+    },
+    Template {
+        name: "MFI",
+        slots: [SlotKind::M, SlotKind::F, SlotKind::I],
+    },
+    Template {
+        name: "MMF",
+        slots: [SlotKind::M, SlotKind::M, SlotKind::F],
+    },
+    Template {
+        name: "MIB",
+        slots: [SlotKind::M, SlotKind::I, SlotKind::B],
+    },
+    Template {
+        name: "MMB",
+        slots: [SlotKind::M, SlotKind::M, SlotKind::B],
+    },
+    Template {
+        name: "MFB",
+        slots: [SlotKind::M, SlotKind::F, SlotKind::B],
+    },
+    Template {
+        name: "MBB",
+        slots: [SlotKind::M, SlotKind::B, SlotKind::B],
+    },
+    Template {
+        name: "BBB",
+        slots: [SlotKind::B, SlotKind::B, SlotKind::B],
+    },
     // MLX: M slot + L/X pair (one long-immediate op).
-    Template { name: "MLX", slots: [SlotKind::M, SlotKind::L, SlotKind::L] },
+    Template {
+        name: "MLX",
+        slots: [SlotKind::M, SlotKind::L, SlotKind::L],
+    },
 ];
 
 /// A filled bundle slot.
@@ -60,7 +90,10 @@ pub struct Bundle {
 impl Bundle {
     /// Count of real ops in the bundle.
     pub fn op_count(&self) -> usize {
-        self.slots.iter().filter(|s| matches!(s, Slot::Op(_))).count()
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Op(_)))
+            .count()
     }
 
     /// Count of explicit nop slots.
@@ -145,12 +178,7 @@ fn fit(ops: &[Op], templates: &[usize]) -> Option<Vec<(usize, usize)>> {
     }
     let mut assign = vec![usize::MAX; ops.len()]; // op -> flattened slot
     if dfs(ops, &seg, &slots, 0, &mut assign) {
-        Some(
-            assign
-                .iter()
-                .map(|&s| (slots[s].0, slots[s].1))
-                .collect(),
-        )
+        Some(assign.iter().map(|&s| (slots[s].0, slots[s].1)).collect())
     } else {
         None
     }
@@ -229,7 +257,10 @@ mod tests {
             Opcode::St(_) => (vec![], vec![Operand::Reg(Vreg(0)), Operand::Reg(Vreg(1))]),
             Opcode::Br => (vec![], vec![Operand::Label(epic_ir::BlockId(0))]),
             Opcode::Ld(_) => (vec![Vreg(2)], vec![Operand::Reg(Vreg(0))]),
-            _ => (vec![Vreg(2)], vec![Operand::Reg(Vreg(0)), Operand::Reg(Vreg(1))]),
+            _ => (
+                vec![Vreg(2)],
+                vec![Operand::Reg(Vreg(0)), Operand::Reg(Vreg(1))],
+            ),
         };
         Op::new(OpId(0), opcode, d, s)
     }
@@ -285,7 +316,11 @@ mod tests {
 
     #[test]
     fn store_pair_with_branch() {
-        let ops = vec![mk(Opcode::St(MemSize::B8)), mk(Opcode::St(MemSize::B8)), mk(Opcode::Br)];
+        let ops = vec![
+            mk(Opcode::St(MemSize::B8)),
+            mk(Opcode::St(MemSize::B8)),
+            mk(Opcode::Br),
+        ];
         let b = pack_group(ops);
         assert_eq!(b.len(), 1);
         assert_eq!(TEMPLATES[b[0].template].name, "MMB");

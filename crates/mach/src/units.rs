@@ -92,9 +92,12 @@ pub fn slot_kinds(op: &Op) -> &'static [SlotKind] {
 /// Unit class charged for execution (for per-cycle unit-count limits).
 pub fn unit_kind(op: &Op) -> UnitKind {
     match op.opcode {
-        Opcode::Ld(_) | Opcode::St(_) | Opcode::Chk(_) | Opcode::ChkA(_) | Opcode::Alloc | Opcode::Out => {
-            UnitKind::M
-        }
+        Opcode::Ld(_)
+        | Opcode::St(_)
+        | Opcode::Chk(_)
+        | Opcode::ChkA(_)
+        | Opcode::Alloc
+        | Opcode::Out => UnitKind::M,
         Opcode::Mul | Opcode::Div | Opcode::Rem => UnitKind::F,
         Opcode::Br | Opcode::Call | Opcode::Ret => UnitKind::B,
         _ => UnitKind::I, // A-type counted against combined M+I by callers
@@ -166,7 +169,10 @@ mod tests {
 
     #[test]
     fn multiply_runs_on_f() {
-        let mul = op(Opcode::Mul, vec![Operand::Reg(Vreg(1)), Operand::Reg(Vreg(2))]);
+        let mul = op(
+            Opcode::Mul,
+            vec![Operand::Reg(Vreg(1)), Operand::Reg(Vreg(2))],
+        );
         assert_eq!(unit_kind(&mul), UnitKind::F);
         assert_eq!(latency(&mul), 4);
     }

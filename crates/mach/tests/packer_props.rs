@@ -1,10 +1,17 @@
-//! Property tests for the bundle packer: any op mix that the scheduler's
-//! resource model admits must pack, every op must appear exactly once, and
-//! slot order must respect branch segments.
+//! Property-style tests for the bundle packer, driven by the in-repo
+//! seeded generator ([`epic_ir::testing::Rng`]) instead of proptest: any
+//! op mix the scheduler's resource model admits must pack, every op must
+//! appear exactly once, and slot order must respect branch segments.
 
+use epic_ir::testing::Rng;
 use epic_ir::{func::mk_br, BlockId, MemSize, Op, OpId, Opcode, Operand, Vreg};
 use epic_mach::{try_pack_group, Slot, TEMPLATES};
-use proptest::prelude::*;
+
+/// Shrunken counterexamples saved from the original proptest runs; always
+/// replayed first.
+const REGRESSION_MIXES: [&[u8]; 2] = [&[5, 3, 3], &[4, 0, 0, 0, 0]];
+
+const CASES: u64 = 256;
 
 fn make_op(kind: u8, id: u32) -> Op {
     let mut op = match kind % 6 {
@@ -44,74 +51,133 @@ fn make_op(kind: u8, id: u32) -> Op {
     op
 }
 
-proptest! {
-    #[test]
-    fn packed_groups_contain_every_op_once_in_segment_order(kinds in prop::collection::vec(0u8..6, 1..7)) {
-        let ops: Vec<Op> = kinds.iter().enumerate().map(|(i, &k)| make_op(k, i as u32)).collect();
-        let Some(bundles) = try_pack_group(ops.clone()) else {
-            // rejection is allowed (resource-infeasible mixes); nothing to check
-            return Ok(());
-        };
-        prop_assert!(bundles.len() <= 2);
-        // collect emitted ops in slot order
-        let mut emitted: Vec<u32> = Vec::new();
-        for b in &bundles {
-            prop_assert!(b.template < TEMPLATES.len());
-            for s in &b.slots {
-                if let Slot::Op(o) = s {
-                    emitted.push(o.id.0);
-                }
-            }
-        }
-        let mut sorted = emitted.clone();
-        sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..ops.len() as u32).collect::<Vec<_>>(), "each op exactly once");
-        // branch-relative order: ops before a branch (by original index)
-        // must be emitted before it, ops after it after
-        for (bi, op) in ops.iter().enumerate() {
-            if !op.is_branch() {
-                continue;
-            }
-            let bpos = emitted.iter().position(|&e| e == bi as u32).unwrap();
-            for (oi, _) in ops.iter().enumerate() {
-                let opos = emitted.iter().position(|&e| e == oi as u32).unwrap();
-                if oi < bi {
-                    prop_assert!(opos < bpos, "op {oi} must precede branch {bi}");
-                }
-                if oi > bi {
-                    prop_assert!(opos > bpos, "op {oi} must follow branch {bi}");
-                }
+fn random_kinds(rng: &mut Rng, max_kind: u64, max_len: usize) -> Vec<u8> {
+    let len = 1 + rng.pick_usize(max_len);
+    (0..len).map(|_| rng.pick(max_kind) as u8).collect()
+}
+
+fn check_pack_order(kinds: &[u8]) {
+    let ops: Vec<Op> = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| make_op(k, i as u32))
+        .collect();
+    let Some(bundles) = try_pack_group(ops.clone()) else {
+        // rejection is allowed (resource-infeasible mixes); nothing to check
+        return;
+    };
+    assert!(bundles.len() <= 2, "{kinds:?}");
+    // collect emitted ops in slot order
+    let mut emitted: Vec<u32> = Vec::new();
+    for b in &bundles {
+        assert!(b.template < TEMPLATES.len(), "{kinds:?}");
+        for s in &b.slots {
+            if let Slot::Op(o) = s {
+                emitted.push(o.id.0);
             }
         }
     }
+    let mut sorted = emitted.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        sorted,
+        (0..ops.len() as u32).collect::<Vec<_>>(),
+        "each op exactly once: {kinds:?}"
+    );
+    // branch-relative order: ops before a branch (by original index)
+    // must be emitted before it, ops after it after
+    for (bi, op) in ops.iter().enumerate() {
+        if !op.is_branch() {
+            continue;
+        }
+        let bpos = emitted.iter().position(|&e| e == bi as u32).unwrap();
+        for (oi, _) in ops.iter().enumerate() {
+            let opos = emitted.iter().position(|&e| e == oi as u32).unwrap();
+            if oi < bi {
+                assert!(opos < bpos, "op {oi} must precede branch {bi}: {kinds:?}");
+            }
+            if oi > bi {
+                assert!(opos > bpos, "op {oi} must follow branch {bi}: {kinds:?}");
+            }
+        }
+    }
+}
 
-    #[test]
-    fn single_ops_always_pack(kind in 0u8..6) {
+#[test]
+fn packed_groups_contain_every_op_once_in_segment_order() {
+    for mix in REGRESSION_MIXES {
+        check_pack_order(mix);
+    }
+    let base = Rng::new(0x9ACC);
+    for case in 0..CASES {
+        let mut rng = base.derive(case);
+        check_pack_order(&random_kinds(&mut rng, 6, 6));
+    }
+}
+
+#[test]
+fn single_ops_always_pack() {
+    // exhaustive over all op kinds (proptest only sampled them)
+    for kind in 0u8..6 {
         let bundles = try_pack_group(vec![make_op(kind, 0)]).expect("single op packs");
-        prop_assert_eq!(bundles.len(), 1);
-        prop_assert!(bundles[0].stop);
+        assert_eq!(bundles.len(), 1, "kind {kind}");
+        assert!(bundles[0].stop, "kind {kind}");
     }
+}
 
-    /// The scheduler's per-cycle resource counters over-approximate what
-    /// the template set can encode (e.g. two F ops plus a long immediate
-    /// are counter-admissible but no template pair covers them); the
-    /// packer is the precise backstop, and scheduler progress is
-    /// guaranteed because a single op always packs (previous property).
-    /// Within the *common* region — no long immediates, no branches, at
-    /// most one F op — counter admission must imply packability.
-    #[test]
-    fn common_admissible_mixes_pack(kinds in prop::collection::vec(0u8..4, 1..7)) {
-        let ops: Vec<Op> = kinds.iter().enumerate().map(|(i, &k)| make_op(k, i as u32)).collect();
-        let m = ops.iter().filter(|o| matches!(o.opcode, Opcode::Ld(_))).count();
-        let i_strict = ops.iter().filter(|o| matches!(o.opcode, Opcode::Shl)).count();
-        let fl = ops.iter().filter(|o| matches!(o.opcode, Opcode::Mul)).count();
+/// The scheduler's per-cycle resource counters over-approximate what
+/// the template set can encode (e.g. two F ops plus a long immediate
+/// are counter-admissible but no template pair covers them); the
+/// packer is the precise backstop, and scheduler progress is
+/// guaranteed because a single op always packs (previous property).
+/// Within the *common* region — no long immediates, no branches, at
+/// most one F op — counter admission must imply packability.
+#[test]
+fn common_admissible_mixes_pack() {
+    let check = |kinds: &[u8]| {
+        let ops: Vec<Op> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| make_op(k, i as u32))
+            .collect();
+        let m = ops
+            .iter()
+            .filter(|o| matches!(o.opcode, Opcode::Ld(_)))
+            .count();
+        let i_strict = ops
+            .iter()
+            .filter(|o| matches!(o.opcode, Opcode::Shl))
+            .count();
+        let fl = ops
+            .iter()
+            .filter(|o| matches!(o.opcode, Opcode::Mul))
+            .count();
         let admitted = ops.len() <= 6 && m <= 4 && i_strict <= 2 && fl <= 1;
         if admitted {
-            prop_assert!(
+            assert!(
                 try_pack_group(ops.clone()).is_some(),
-                "common-region mix failed to pack: {:?}",
-                kinds
+                "common-region mix failed to pack: {kinds:?}"
             );
         }
+    };
+    // exhaustive over all mixes up to length 4 (4^4 + 4^3 + ... = 340)
+    for len in 1..=4usize {
+        for idx in 0..4usize.pow(len as u32) {
+            let mut kinds = Vec::with_capacity(len);
+            let mut x = idx;
+            for _ in 0..len {
+                kinds.push((x % 4) as u8);
+                x /= 4;
+            }
+            check(&kinds);
+        }
+    }
+    // random sampling at lengths 5..=6
+    let base = Rng::new(0xC0);
+    for case in 0..CASES {
+        let mut rng = base.derive(case);
+        let len = 5 + rng.pick_usize(2);
+        let kinds: Vec<u8> = (0..len).map(|_| rng.pick(4) as u8).collect();
+        check(&kinds);
     }
 }

@@ -175,8 +175,7 @@ pub fn run(prog: &mut Program) -> AliasStats {
                     }
                     Opcode::Ret => {
                         if let Some(Operand::Reg(v)) = op.srcs.first() {
-                            constraints
-                                .push(Constraint::Copy(ret_var_base + fi, var(f.id, *v)));
+                            constraints.push(Constraint::Copy(ret_var_base + fi, var(f.id, *v)));
                         }
                     }
                     _ => {}
@@ -295,8 +294,17 @@ pub fn run(prog: &mut Program) -> AliasStats {
                     continue;
                 }
                 let set = compute_set(
-                    f, op, fi, &pts, &effect, &effect_unknown, &addr_taken, nlocs, loc_global,
-                    loc_frame, &var,
+                    f,
+                    op,
+                    fi,
+                    &pts,
+                    &effect,
+                    &effect_unknown,
+                    &addr_taken,
+                    nlocs,
+                    loc_global,
+                    loc_frame,
+                    &var,
                 );
                 sites.push((fi, b, oi, set));
             }
@@ -388,7 +396,12 @@ fn index2<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &T) {
 }
 
 /// Mutable element of one slice + shared element of another.
-fn index2_slices<'a, T>(dst: &'a mut [T], di: usize, src: &'a [T], si: usize) -> (&'a mut T, &'a T) {
+fn index2_slices<'a, T>(
+    dst: &'a mut [T],
+    di: usize,
+    src: &'a [T],
+    si: usize,
+) -> (&'a mut T, &'a T) {
     (&mut dst[di], &src[si])
 }
 

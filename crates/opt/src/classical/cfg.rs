@@ -26,10 +26,7 @@ fn fold_constant_branches(f: &mut Function) -> usize {
     let blocks: Vec<_> = f.block_ids().collect();
     for b in blocks {
         let ops = &mut f.block_mut(b).ops;
-        if let Some(pos) = ops
-            .iter()
-            .position(|o| o.is_terminator() )
-        {
+        if let Some(pos) = ops.iter().position(|o| o.is_terminator()) {
             if pos + 1 < ops.len() {
                 ops.truncate(pos + 1);
                 changed += 1;
@@ -205,11 +202,7 @@ mod tests {
         let mut f = b.finish();
         run(&mut f);
         verify_function(&f).unwrap();
-        assert!(f
-            .block(f.entry)
-            .ops
-            .iter()
-            .all(|o| o.opcode != Opcode::Out));
+        assert!(f.block(f.entry).ops.iter().all(|o| o.opcode != Opcode::Out));
     }
 
     #[test]

@@ -131,11 +131,10 @@ mod tests {
         b.ret(None);
         let mut f = b.finish();
         run(&mut f);
-        let has_update = f
-            .block(body)
-            .ops
-            .iter()
-            .any(|o| o.opcode == Opcode::Mov && o.defs() == [i] && o.srcs[0] == Operand::Reg(i2));
+        let has_update =
+            f.block(body).ops.iter().any(|o| {
+                o.opcode == Opcode::Mov && o.defs() == [i] && o.srcs[0] == Operand::Reg(i2)
+            });
         assert!(has_update, "loop-carried update was removed:\n{f}");
         // and the program still terminates with the right output
         let mut prog = epic_ir::Program::new();

@@ -275,8 +275,15 @@ fn simplify(op: &Op) -> Option<Op> {
         Some(m)
     };
     match op.opcode {
-        Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor
-        | Opcode::Shl | Opcode::Shr | Opcode::Sar => {
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Shl
+        | Opcode::Shr
+        | Opcode::Sar => {
             let (a, b) = (imm(0), imm(1));
             if let (Some(a), Some(b)) = (a, b) {
                 let r = fold_alu(op.opcode, a as u64, b as u64);
@@ -420,10 +427,7 @@ mod tests {
         b.ret(None);
         let mut f = b.finish();
         run(&mut f);
-        assert_eq!(
-            ops(&f).iter().filter(|o| **o == Opcode::Add).count(),
-            1
-        );
+        assert_eq!(ops(&f).iter().filter(|o| **o == Opcode::Add).count(), 1);
     }
 
     #[test]
@@ -452,12 +456,8 @@ mod tests {
         );
         op1.guard = Some(t);
         b.push(op1);
-        let mut op2 = epic_ir::Op::new(
-            epic_ir::OpId(0),
-            Opcode::Out,
-            vec![],
-            vec![Operand::Imm(9)],
-        );
+        let mut op2 =
+            epic_ir::Op::new(epic_ir::OpId(0), Opcode::Out, vec![], vec![Operand::Imm(9)]);
         op2.guard = Some(z);
         b.push(op2);
         b.ret(None);

@@ -102,12 +102,7 @@ pub fn check_machine_program(mp: &MachProgram) -> Result<(), String> {
                 if let epic_mach::Slot::Op(op) = slot {
                     for s in &op.srcs {
                         if let epic_ir::Operand::Label(t) = s {
-                            let ok = f
-                                .block_entry
-                                .get(t.index())
-                                .copied()
-                                .flatten()
-                                .is_some();
+                            let ok = f.block_entry.get(t.index()).copied().flatten().is_some();
                             if !ok {
                                 return Err(format!(
                                     "{}: bundle {bi}: branch to unlaid block {t}",

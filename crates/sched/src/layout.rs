@@ -21,12 +21,7 @@ pub fn layout(f: &Function) -> Vec<BlockId> {
     let mut cold = Vec::new();
     // chain starting points: entry first, then blocks by descending weight
     let mut seeds: Vec<BlockId> = f.block_ids().collect();
-    seeds.sort_by(|a, b| {
-        f.block(*b)
-            .weight
-            .partial_cmp(&f.block(*a).weight)
-            .unwrap()
-    });
+    seeds.sort_by(|a, b| f.block(*b).weight.partial_cmp(&f.block(*a).weight).unwrap());
     seeds.retain(|b| *b != f.entry);
     seeds.insert(0, f.entry);
     for seed in seeds {

@@ -52,7 +52,11 @@ struct Interval {
 /// indexes). Must be called on laid-out code; `order` is the block layout.
 /// `prog` receives fresh alias sets for spill slots (compiler-private
 /// locations that conflict with nothing else).
-pub fn allocate(f: &mut Function, order: &[BlockId], prog: &mut epic_ir::Program) -> RegallocResult {
+pub fn allocate(
+    f: &mut Function,
+    order: &[BlockId],
+    prog: &mut epic_ir::Program,
+) -> RegallocResult {
     let live = Liveness::compute(f);
     // --- positions ---
     let mut pos_of_block: HashMap<BlockId, (u32, u32)> = HashMap::new(); // (start, end)
@@ -277,7 +281,12 @@ fn rewrite_spills(f: &mut Function, order: &[BlockId], slots: &HashMap<Vreg, (u6
                 op.replace_use(u, t);
             }
             // stores after defs
-            let defs: Vec<Vreg> = op.defs().iter().copied().filter(|d| slots.contains_key(d)).collect();
+            let defs: Vec<Vreg> = op
+                .defs()
+                .iter()
+                .copied()
+                .filter(|d| slots.contains_key(d))
+                .collect();
             let guard = op.guard;
             let mut stores = Vec::new();
             for d in defs {

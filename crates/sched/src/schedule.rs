@@ -123,10 +123,11 @@ fn schedule_block(
     let n = ops.len();
     let mut succs: Vec<Vec<Dep>> = (0..n).map(|_| Vec::new()).collect();
     let mut n_preds = vec![0u32; n];
-    let add_edge = |from: usize, to: usize, lat: u32, succs: &mut Vec<Vec<Dep>>, n_preds: &mut Vec<u32>| {
-        succs[from].push(Dep { to, lat });
-        n_preds[to] += 1;
-    };
+    let add_edge =
+        |from: usize, to: usize, lat: u32, succs: &mut Vec<Vec<Dep>>, n_preds: &mut Vec<u32>| {
+            succs[from].push(Dep { to, lat });
+            n_preds[to] += 1;
+        };
 
     // --- predicate relations (a small stand-in for IMPACT's BDD-based
     // predicate analysis, the paper's [27]): the two destinations of one
@@ -298,9 +299,7 @@ fn schedule_block(
             add_edge(i, bi, 0, &mut succs, &mut n_preds);
         }
         // ops after the branch need its permission to hoist
-        let target_live = ops[bi]
-            .branch_target()
-            .map(|t| live.live_in(t));
+        let target_live = ops[bi].branch_target().map(|t| live.live_in(t));
         for (i, op) in ops.iter().enumerate().skip(bi + 1) {
             let hoistable = match op.opcode {
                 _ if op.has_side_effects() => false,

@@ -112,7 +112,9 @@ mod tests {
         let mut seed = 42u64;
         let mut wrong = 0;
         for _ in 0..1000 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if !p.branch(0x4000C0, (seed >> 40) & 1 == 1) {
                 wrong += 1;
             }

@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut c = small(); // 2 sets, 2 ways
-        // set 0 lines: 0, 128, 256 (tags 0,2,4)
+                             // set 0 lines: 0, 128, 256 (tags 0,2,4)
         assert!(!c.access(0));
         assert!(!c.access(128));
         assert!(c.access(0)); // 0 now MRU
@@ -184,8 +184,8 @@ mod tests {
         let mut h = Hierarchy::new(&MachineConfig::default());
         let addr = 0x40_0000;
         h.fetch_inst(addr); // fills L2/L3 via instruction path
-        // evict from tiny L1D domain is irrelevant; data access to the same
-        // line must now hit L2 (shared)
+                            // evict from tiny L1D domain is irrelevant; data access to the same
+                            // line must now hit L2 (shared)
         let (lat, lvl) = h.access_data(addr);
         assert_eq!(lvl, Level::L2);
         assert_eq!(lat, 1 + 5);

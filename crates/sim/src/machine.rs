@@ -344,8 +344,15 @@ impl<'a> Sim<'a> {
                         };
                     }
                     match op.opcode {
-                        Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::And | Opcode::Or
-                        | Opcode::Xor | Opcode::Shl | Opcode::Shr | Opcode::Sar => {
+                        Opcode::Add
+                        | Opcode::Sub
+                        | Opcode::Mul
+                        | Opcode::And
+                        | Opcode::Or
+                        | Opcode::Xor
+                        | Opcode::Shl
+                        | Opcode::Shr
+                        | Opcode::Sar => {
                             let a = ev!(&op.srcs[0]);
                             let c = ev!(&op.srcs[1]);
                             let v = Value::lift2(a, c, |x, y| alu(op.opcode, x, y));
@@ -384,7 +391,12 @@ impl<'a> Sim<'a> {
                                 let r = kind.eval(a.bits, c.bits);
                                 (r as u64, !r as u64)
                             };
-                            writes.push((op.dsts[0], Value::new(t), issue + 1, ProducerKind::Other));
+                            writes.push((
+                                op.dsts[0],
+                                Value::new(t),
+                                issue + 1,
+                                ProducerKind::Other,
+                            ));
                             if let Some(d1) = op.dsts.get(1) {
                                 writes.push((*d1, Value::new(fv), issue + 1, ProducerKind::Other));
                             }
@@ -432,8 +444,13 @@ impl<'a> Sim<'a> {
                                 self.counters.chk_recoveries += 1;
                                 self.acct
                                     .charge(Category::Misc, self.cfg.chk_recovery_cycles);
-                                let (rv, ready) =
-                                    self.do_load(ev!(&op.srcs[1]), size.bytes(), false, issue, &f.name)?;
+                                let (rv, ready) = self.do_load(
+                                    ev!(&op.srcs[1]),
+                                    size.bytes(),
+                                    false,
+                                    issue,
+                                    &f.name,
+                                )?;
                                 writes.push((op.dsts[0], rv, ready, ProducerKind::Load));
                             } else {
                                 writes.push((op.dsts[0], v, issue + 1, ProducerKind::Other));
@@ -460,7 +477,8 @@ impl<'a> Sim<'a> {
                             self.recent_stores.push_back((addr.bits >> 3, issue));
                             // stores invalidate overlapping ALAT entries
                             let (sa, sz) = (addr.bits, size.bytes());
-                            self.alat.retain(|&(_, ea, es)| sa + sz <= ea || ea + es <= sa);
+                            self.alat
+                                .retain(|&(_, ea, es)| sa + sz <= ea || ea + es <= sa);
                         }
                         Opcode::Br => {
                             self.counters.dynamic_branches += 1;
@@ -569,7 +587,12 @@ impl<'a> Sim<'a> {
                             let p = self.mem.alloc(n.bits);
                             self.acct
                                 .charge(Category::Kernel, self.cfg.syscall_kernel_cycles / 2);
-                            writes.push((op.dsts[0], Value::new(p), issue + 2, ProducerKind::Other));
+                            writes.push((
+                                op.dsts[0],
+                                Value::new(p),
+                                issue + 2,
+                                ProducerKind::Other,
+                            ));
                         }
                         Opcode::Nop => {
                             self.counters.retired_nops += 1;

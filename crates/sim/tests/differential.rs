@@ -168,8 +168,16 @@ fn all_configs() -> Vec<(&'static str, SchedOptions, Option<epic_core::IlpOption
     vec![
         ("gcc", SchedOptions::gcc(), None),
         ("o-ns", SchedOptions::o_ns(), None),
-        ("ilp-ns", SchedOptions::ilp_ns(), Some(epic_core::IlpOptions::ilp_ns())),
-        ("ilp-cs", SchedOptions::ilp_cs(), Some(epic_core::IlpOptions::ilp_cs())),
+        (
+            "ilp-ns",
+            SchedOptions::ilp_ns(),
+            Some(epic_core::IlpOptions::ilp_ns()),
+        ),
+        (
+            "ilp-cs",
+            SchedOptions::ilp_cs(),
+            Some(epic_core::IlpOptions::ilp_cs()),
+        ),
     ]
 }
 
@@ -197,8 +205,7 @@ fn sentinel_model_also_matches() {
         ..epic_core::IlpOptions::default()
     };
     for (name, src) in PROGRAMS {
-        let (want, got) =
-            compile_and_run(src, &[], &[], &SchedOptions::ilp_cs(), Some(&ilp));
+        let (want, got) = compile_and_run(src, &[], &[], &SchedOptions::ilp_cs(), Some(&ilp));
         assert_eq!(got.output, want, "sentinel mismatch on {name}");
     }
 }

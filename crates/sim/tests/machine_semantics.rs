@@ -173,7 +173,10 @@ fn branch_heavy_unpredictable_code_pays_flushes() {
 
 #[test]
 fn output_costs_kernel_cycles() {
-    let r = sim("fn main() { let i = 0; while i < 50 { out(i); i = i + 1; } }", &SchedOptions::o_ns());
+    let r = sim(
+        "fn main() { let i = 0; while i < 50 { out(i); i = i + 1; } }",
+        &SchedOptions::o_ns(),
+    );
     assert_eq!(r.output.len(), 50);
     assert!(r.acct.kernel >= 50 * 10);
 }

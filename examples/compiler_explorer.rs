@@ -23,8 +23,9 @@ const DEMO: &str = "
 
 fn main() {
     let src = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => DEMO.to_string(),
     };
     let mut prog = epic_lang::compile(&src).expect("MiniC compiles");

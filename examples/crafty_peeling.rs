@@ -39,7 +39,10 @@ fn main() {
     let blocks_before = prog.func(main_fn).block_ids().count();
     let branches_before = count_branches(&prog);
 
-    let stats = peel::run(&mut prog.funcs[main_fn.index()], &peel::PeelOptions::default());
+    let stats = peel::run(
+        &mut prog.funcs[main_fn.index()],
+        &peel::PeelOptions::default(),
+    );
     println!(
         "(b) loop peeling: {} loops peeled, {} ops duplicated",
         stats.loops_peeled, stats.dup_ops
@@ -65,10 +68,18 @@ fn main() {
     // End-to-end effect, measured on the real crafty stand-in.
     println!("\nmeasured on the crafty_mc workload (ref input):");
     let w = epic_workloads::by_name("crafty_mc").unwrap();
-    let ons = measure(&w, &CompileOptions::for_level(OptLevel::ONs), &SimOptions::default())
-        .unwrap();
-    let ilp = measure(&w, &CompileOptions::for_level(OptLevel::IlpNs), &SimOptions::default())
-        .unwrap();
+    let ons = measure(
+        &w,
+        &CompileOptions::for_level(OptLevel::ONs),
+        &SimOptions::default(),
+    )
+    .unwrap();
+    let ilp = measure(
+        &w,
+        &CompileOptions::for_level(OptLevel::IlpNs),
+        &SimOptions::default(),
+    )
+    .unwrap();
     let mut nopeel_opts = CompileOptions::for_level(OptLevel::IlpNs);
     nopeel_opts.ilp_override = Some(IlpOptions {
         enable_peel: false,

@@ -34,8 +34,8 @@ fn main() {
     println!("compiling the same program at the paper's four levels...\n");
     let mut baseline = None;
     for level in OptLevel::ALL {
-        let compiled = compile_source(SRC, &[], &[], &CompileOptions::for_level(level))
-            .expect("pipeline");
+        let compiled =
+            compile_source(SRC, &[], &[], &CompileOptions::for_level(level)).expect("pipeline");
         let sim = epic_sim::run(&compiled.mach, &[], &SimOptions::default()).expect("simulation");
         let base = *baseline.get_or_insert(sim.cycles);
         println!(

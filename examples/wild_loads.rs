@@ -15,8 +15,12 @@ fn main() {
     println!("workload: {} ({})\n", w.name, w.description);
 
     // ILP-NS: no control speculation, no wild loads.
-    let ns = measure(&w, &CompileOptions::for_level(OptLevel::IlpNs), &SimOptions::default())
-        .unwrap();
+    let ns = measure(
+        &w,
+        &CompileOptions::for_level(OptLevel::IlpNs),
+        &SimOptions::default(),
+    )
+    .unwrap();
     // ILP-CS under the general model.
     let general = measure(
         &w,
@@ -62,6 +66,8 @@ fn main() {
         "speculative loads executed under general model: {} ({} deferred to NaT)",
         general.sim.counters.spec_loads, general.sim.counters.deferred_loads
     );
-    println!("all three configurations produce identical program output: {}",
-        ns.sim.output == general.sim.output && ns.sim.output == sentinel.sim.output);
+    println!(
+        "all three configurations produce identical program output: {}",
+        ns.sim.output == general.sim.output && ns.sim.output == sentinel.sim.output
+    );
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI gate: formatting, a clean release build, and the full test suite —
+# all offline (the offline_manifests test enforces that no dependency
+# resolves to a registry crate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI OK"

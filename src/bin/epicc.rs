@@ -114,7 +114,11 @@ fn main() -> ExitCode {
             (src, args.main_args.clone(), args.main_args.clone())
         }
         (None, Some(name)) => match epic_workloads::by_name(name) {
-            Some(w) => (w.source.to_string(), w.train_args.clone(), w.ref_args.clone()),
+            Some(w) => (
+                w.source.to_string(),
+                w.train_args.clone(),
+                w.ref_args.clone(),
+            ),
             None => {
                 eprintln!(
                     "epicc: unknown workload `{name}`; available: {}",

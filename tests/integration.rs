@@ -9,7 +9,14 @@ use epic_sim::SimOptions;
 /// A fast subset of the suite that covers every behaviour class (full
 /// 12-benchmark differential coverage lives in the bench harness and the
 /// per-crate tests).
-const SAMPLE: &[&str] = &["gzip_mc", "gcc_mc", "crafty_mc", "eon_mc", "vortex_mc", "bzip2_mc"];
+const SAMPLE: &[&str] = &[
+    "gzip_mc",
+    "gcc_mc",
+    "crafty_mc",
+    "eon_mc",
+    "vortex_mc",
+    "bzip2_mc",
+];
 
 #[test]
 fn sample_workloads_match_oracle_at_all_levels_on_train_input() {
@@ -29,7 +36,12 @@ fn sample_workloads_match_oracle_at_all_levels_on_train_input() {
 fn counters_satisfy_physical_invariants() {
     let w = epic_workloads::by_name("vortex_mc").unwrap();
     for level in OptLevel::ALL {
-        let m = measure(&w, &CompileOptions::for_level(level), &SimOptions::default()).unwrap();
+        let m = measure(
+            &w,
+            &CompileOptions::for_level(level),
+            &SimOptions::default(),
+        )
+        .unwrap();
         let c = &m.sim.counters;
         let a = &m.sim.acct;
         assert_eq!(m.sim.cycles, a.total(), "{}", level.name());
@@ -51,12 +63,26 @@ fn counters_satisfy_physical_invariants() {
 #[test]
 fn speculation_only_appears_at_ilp_cs() {
     let w = epic_workloads::by_name("gcc_mc").unwrap();
-    let ns = measure(&w, &CompileOptions::for_level(OptLevel::IlpNs), &SimOptions::default())
-        .unwrap();
-    let cs = measure(&w, &CompileOptions::for_level(OptLevel::IlpCs), &SimOptions::default())
-        .unwrap();
-    assert_eq!(ns.sim.counters.spec_loads, 0, "ILP-NS must not speculate loads");
-    assert!(cs.sim.counters.spec_loads > 0, "ILP-CS should speculate loads");
+    let ns = measure(
+        &w,
+        &CompileOptions::for_level(OptLevel::IlpNs),
+        &SimOptions::default(),
+    )
+    .unwrap();
+    let cs = measure(
+        &w,
+        &CompileOptions::for_level(OptLevel::IlpCs),
+        &SimOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        ns.sim.counters.spec_loads, 0,
+        "ILP-NS must not speculate loads"
+    );
+    assert!(
+        cs.sim.counters.spec_loads > 0,
+        "ILP-CS should speculate loads"
+    );
     assert!(
         cs.sim.counters.wild_loads > 0,
         "gcc stand-in should produce wild loads under general speculation"
@@ -66,12 +92,20 @@ fn speculation_only_appears_at_ilp_cs() {
 #[test]
 fn structural_transforms_reduce_dynamic_branches() {
     let w = epic_workloads::by_name("crafty_mc").unwrap();
-    let ons = measure(&w, &CompileOptions::for_level(OptLevel::ONs), &SimOptions::default())
-        .unwrap();
-    let ilp = measure(&w, &CompileOptions::for_level(OptLevel::IlpNs), &SimOptions::default())
-        .unwrap();
-    let reduction = 1.0
-        - ilp.sim.counters.dynamic_branches as f64 / ons.sim.counters.dynamic_branches as f64;
+    let ons = measure(
+        &w,
+        &CompileOptions::for_level(OptLevel::ONs),
+        &SimOptions::default(),
+    )
+    .unwrap();
+    let ilp = measure(
+        &w,
+        &CompileOptions::for_level(OptLevel::IlpNs),
+        &SimOptions::default(),
+    )
+    .unwrap();
+    let reduction =
+        1.0 - ilp.sim.counters.dynamic_branches as f64 / ons.sim.counters.dynamic_branches as f64;
     assert!(
         reduction > 0.05,
         "expected >5% dynamic-branch reduction, got {:.1}%",
@@ -88,10 +122,18 @@ fn impact_levels_beat_gcc_on_geomean() {
     let mut ratios = Vec::new();
     for name in SAMPLE {
         let w = epic_workloads::by_name(name).unwrap();
-        let gcc = measure(&w, &CompileOptions::for_level(OptLevel::Gcc), &SimOptions::default())
-            .unwrap();
-        let ns = measure(&w, &CompileOptions::for_level(OptLevel::IlpNs), &SimOptions::default())
-            .unwrap();
+        let gcc = measure(
+            &w,
+            &CompileOptions::for_level(OptLevel::Gcc),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let ns = measure(
+            &w,
+            &CompileOptions::for_level(OptLevel::IlpNs),
+            &SimOptions::default(),
+        )
+        .unwrap();
         ratios.push(gcc.sim.cycles as f64 / ns.sim.cycles as f64);
     }
     let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();

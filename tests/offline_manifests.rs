@@ -1,0 +1,118 @@
+//! Guard for the offline-build invariant: no manifest in the workspace
+//! may declare a dependency that resolves to a registry (crates.io)
+//! crate. Every dependency must be a `path` dependency or inherit one via
+//! `workspace = true`. This is what keeps `cargo build` green with the
+//! registry unreachable.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates).expect("crates dir") {
+        let p = entry.expect("dir entry").path().join("Cargo.toml");
+        if p.is_file() {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Is this line inside a dependency section a registry-style declaration?
+/// Allowed forms: `name.workspace = true`, `name = { path = ".." , .. }`,
+/// and multi-line `[*dependencies.name]` tables carrying `workspace` or
+/// `path` keys (checked by the caller via section state).
+fn line_is_registry_dep(line: &str) -> bool {
+    let Some((_, value)) = line.split_once('=') else {
+        return false;
+    };
+    let value = value.trim();
+    // `name.workspace = true` parses as key `name.workspace`.
+    let key = line.split('=').next().unwrap_or("").trim();
+    if key.ends_with(".workspace") {
+        return false;
+    }
+    // Inline tables must name a path source.
+    if value.starts_with('{') {
+        return !value.contains("path");
+    }
+    // Bare string = version requirement = registry.
+    value.starts_with('"') || value.starts_with('\'')
+}
+
+#[test]
+fn no_manifest_declares_a_registry_dependency() {
+    let mut violations = Vec::new();
+    for manifest in workspace_manifests() {
+        let text = std::fs::read_to_string(&manifest).expect("readable manifest");
+        let mut in_dep_section = false; // [dependencies] and friends
+        let mut in_dep_table: Option<(String, bool)> = None; // [dependencies.name]
+        let flush_table =
+            |table: &mut Option<(String, bool)>, violations: &mut Vec<String>, m: &Path| {
+                if let Some((name, ok)) = table.take() {
+                    if !ok {
+                        violations.push(format!(
+                            "{}: [{}] has no path/workspace key",
+                            m.display(),
+                            name
+                        ));
+                    }
+                }
+            };
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                flush_table(&mut in_dep_table, &mut violations, &manifest);
+                let section = line.trim_matches(['[', ']']);
+                let is_dep = section == "dependencies"
+                    || section == "dev-dependencies"
+                    || section == "build-dependencies"
+                    || section == "workspace.dependencies";
+                in_dep_section = is_dep;
+                if !is_dep {
+                    // [dependencies.name]-style table?
+                    for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+                        if let Some(name) = section.strip_prefix(prefix) {
+                            in_dep_table = Some((name.to_string(), false));
+                        }
+                    }
+                }
+                continue;
+            }
+            if let Some((_, ok)) = &mut in_dep_table {
+                let key = line.split('=').next().unwrap_or("").trim();
+                if key == "path" || (key == "workspace" && line.contains("true")) {
+                    *ok = true;
+                }
+            } else if in_dep_section && line_is_registry_dep(line) {
+                violations.push(format!("{}: `{}`", manifest.display(), line));
+            }
+        }
+        flush_table(&mut in_dep_table, &mut violations, &manifest);
+    }
+    assert!(
+        violations.is_empty(),
+        "registry (non-path) dependencies violate the offline-build invariant:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn workspace_covers_all_crates() {
+    // The scan above is only exhaustive if every crate is actually under
+    // crates/ — a crate added elsewhere would dodge the guard.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+    assert!(
+        text.contains("members = [\"crates/*\"]"),
+        "workspace members moved; update offline_manifests.rs to scan them"
+    );
+    assert!(
+        workspace_manifests().len() >= 11,
+        "expected root + 10 crates"
+    );
+}

@@ -1,0 +1,54 @@
+//! Pipeline determinism: the compiler is a pure function of
+//! (source, options). Compiling the same workload twice at every level
+//! must produce byte-identical machine code and identical per-pass
+//! op-count deltas — the property every cached or distributed build, and
+//! every A/B measurement in the bench suite, silently relies on.
+
+use epic_driver::{compile, CompileOptions, OptLevel};
+use epic_mach::program::disasm;
+
+#[test]
+fn recompilation_is_bit_identical_at_every_level() {
+    let w = epic_workloads::by_name("vortex_mc").unwrap();
+    for level in OptLevel::ALL {
+        let a = compile(&w, &CompileOptions::for_level(level)).unwrap();
+        let b = compile(&w, &CompileOptions::for_level(level)).unwrap();
+        // Machine code: the full structural representation must match
+        // (the Debug form encodes every bundle, slot, and operand), and
+        // so must the per-function disassembly and the size accounting.
+        assert_eq!(
+            format!("{:?}", a.mach),
+            format!("{:?}", b.mach),
+            "{}: machine program differs between identical compiles",
+            level.name()
+        );
+        for (fa, fb) in a.mach.funcs.iter().zip(&b.mach.funcs) {
+            assert_eq!(disasm(fa), disasm(fb), "{}: {}", level.name(), fa.name);
+        }
+        assert_eq!(a.code_bytes, b.code_bytes, "{}", level.name());
+        assert_eq!(a.static_ops, b.static_ops, "{}", level.name());
+        // Timeline: same passes in the same order with the same op and
+        // block deltas (wall time legitimately varies).
+        assert!(
+            !a.pass_timeline.is_empty(),
+            "{}: pass timeline must be populated",
+            level.name()
+        );
+        let names = |c: &epic_driver::Compiled| {
+            c.pass_timeline
+                .passes
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+        };
+        let deltas = |c: &epic_driver::Compiled| {
+            c.pass_timeline
+                .passes
+                .iter()
+                .map(|p| (p.ops_before, p.ops_after, p.blocks_before, p.blocks_after))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&a), names(&b), "{}", level.name());
+        assert_eq!(deltas(&a), deltas(&b), "{}", level.name());
+    }
+}

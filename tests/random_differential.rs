@@ -1,172 +1,26 @@
-//! Property-based differential testing: generate random (but well-formed,
-//! terminating, trap-free) MiniC programs and check that every compiler
-//! configuration produces exactly the reference interpreter's output.
+//! Differential testing: generate random (but well-formed, terminating,
+//! trap-free) MiniC programs and check that every compiler configuration
+//! produces exactly the reference interpreter's output.
 //!
-//! The generator covers arithmetic, shifts, comparisons, short-circuit
-//! logic, nested ifs, bounded loops, masked array accesses, and calls —
-//! the surfaces the structural transforms rewrite.
+//! The generator ([`epic_ir::testing::MiniCGen`]) covers arithmetic,
+//! shifts, comparisons, short-circuit logic, nested ifs, bounded loops,
+//! masked array accesses, and calls — the surfaces the structural
+//! transforms rewrite. Seeds are drawn from a fixed in-repo PRNG, so the
+//! suite is deterministic, offline, and identical on every machine; the
+//! PRNG itself is the same LCG the original proptest harness used, so the
+//! saved regression seeds regenerate the exact same programs.
 
 use epic_driver::{compile_source, CompileOptions, OptLevel};
+use epic_ir::testing::{minic_program, Rng};
 use epic_sim::SimOptions;
-use proptest::prelude::*;
-
-/// Deterministic program generator from a seed.
-struct Gen {
-    seed: u64,
-}
-
-impl Gen {
-    fn next(&mut self) -> u64 {
-        self.seed = self
-            .seed
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.seed >> 33
-    }
-
-    fn pick(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-
-    /// An expression over the in-scope variables.
-    fn expr(&mut self, vars: &[String], depth: u32) -> String {
-        if depth == 0 || self.pick(3) == 0 {
-            return match self.pick(3) {
-                0 => format!("{}", self.pick(100) as i64 - 50),
-                1 if !vars.is_empty() => vars[self.pick(vars.len() as u64) as usize].clone(),
-                _ => format!("g[{} & 63]", self.var_or_const(vars)),
-            };
-        }
-        let a = self.expr(vars, depth - 1);
-        let b = self.expr(vars, depth - 1);
-        match self.pick(10) {
-            0 => format!("({a} + {b})"),
-            1 => format!("({a} - {b})"),
-            2 => format!("({a} * {b})"),
-            3 => format!("({a} & {b})"),
-            4 => format!("({a} | {b})"),
-            5 => format!("({a} ^ {b})"),
-            6 => format!("({a} << {})", self.pick(8)),
-            7 => format!("({a} >> {})", self.pick(8)),
-            8 => format!("(({a}) < ({b}))"),
-            _ => format!("(({a}) == ({b}))"),
-        }
-    }
-
-    fn var_or_const(&mut self, vars: &[String]) -> String {
-        if !vars.is_empty() && self.pick(2) == 0 {
-            vars[self.pick(vars.len() as u64) as usize].clone()
-        } else {
-            format!("{}", self.pick(64))
-        }
-    }
-
-    fn cond(&mut self, vars: &[String]) -> String {
-        let a = self.expr(vars, 1);
-        let b = self.expr(vars, 1);
-        let base = match self.pick(4) {
-            0 => format!("({a}) < ({b})"),
-            1 => format!("({a}) != ({b})"),
-            2 => format!("({a}) >= ({b})"),
-            _ => format!("(({a}) & 1) == 0"),
-        };
-        match self.pick(4) {
-            0 => format!("{base} && ({}) < 40", self.expr(vars, 0)),
-            1 => format!("{base} || ({}) > 9000", self.expr(vars, 0)),
-            _ => base,
-        }
-    }
-
-    fn stmts(&mut self, vars: &mut Vec<String>, depth: u32, budget: &mut u32) -> String {
-        let mut out = String::new();
-        let n = 2 + self.pick(4);
-        for _ in 0..n {
-            if *budget == 0 {
-                break;
-            }
-            *budget -= 1;
-            match self.pick(8) {
-                0 | 1 => {
-                    // new local
-                    let name = format!("v{}", vars.len());
-                    let e = self.expr(vars, 2);
-                    out.push_str(&format!("let {name} = {e};\n"));
-                    vars.push(name);
-                }
-                2 | 3 if !vars.is_empty() => {
-                    // never assign to loop counters (names `i*`): a
-                    // clobbered counter can make the loop non-terminating
-                    let assignable: Vec<&String> =
-                        vars.iter().filter(|v| !v.starts_with('i')).collect();
-                    if let Some(v) = (!assignable.is_empty())
-                        .then(|| assignable[self.pick(assignable.len() as u64) as usize].clone())
-                    {
-                        let e = self.expr(vars, 2);
-                        out.push_str(&format!("{v} = {e};\n"));
-                    }
-                }
-                4 => {
-                    let idx = self.var_or_const(vars);
-                    let e = self.expr(vars, 2);
-                    out.push_str(&format!("g[{idx} & 63] = {e};\n"));
-                }
-                5 if depth > 0 => {
-                    let c = self.cond(vars);
-                    let scope0 = vars.len();
-                    let t = self.stmts(vars, depth - 1, budget);
-                    vars.truncate(scope0);
-                    let e = self.stmts(vars, depth - 1, budget);
-                    vars.truncate(scope0);
-                    out.push_str(&format!("if {c} {{\n{t}}} else {{\n{e}}}\n"));
-                }
-                6 if depth > 0 => {
-                    // bounded counter loop
-                    let name = format!("i{}", vars.len());
-                    let limit = 2 + self.pick(12);
-                    let scope0 = vars.len();
-                    out.push_str(&format!("let {name} = 0;\nwhile {name} < {limit} {{\n"));
-                    vars.push(name.clone());
-                    let body = self.stmts(vars, depth - 1, budget);
-                    vars.truncate(scope0);
-                    out.push_str(&body);
-                    out.push_str(&format!("{name} = {name} + 1;\n}}\n"));
-                }
-                _ => {
-                    let e = self.expr(vars, 2);
-                    out.push_str(&format!("out({e});\n"));
-                }
-            }
-        }
-        out
-    }
-
-    fn program(&mut self) -> String {
-        let mut vars: Vec<String> = vec!["a0".into(), "a1".into()];
-        let mut budget = 60u32;
-        let helper_body = {
-            let mut hvars = vec!["x".to_string(), "y".to_string()];
-            let mut hbudget = 12u32;
-            self.stmts(&mut hvars, 1, &mut hbudget)
-        };
-        let hret = self.expr(&["x".to_string(), "y".to_string()], 2);
-        let body = self.stmts(&mut vars, 3, &mut budget);
-        let call = format!("out(helper({}, {}));\n", self.expr(&vars, 1), self.expr(&vars, 1));
-        let tail = "let k = 0;\nlet h = 0;\nwhile k < 64 { h = h * 31 + g[k]; k = k + 1; }\nout(h);\n";
-        format!(
-            "global g: [int; 64];\n\
-             fn helper(x: int, y: int) -> int {{\n{helper_body}return {hret};\n}}\n\
-             fn main(a0: int, a1: int) {{\n{body}{call}{tail}}}\n"
-        )
-    }
-}
 
 /// Expose the generator for the scratch debug test.
 pub fn gen_program_for_debug(seed: u64) -> String {
-    Gen { seed }.program()
+    minic_program(seed)
 }
 
 fn check_seed(seed: u64) {
-    let src = Gen { seed }.program();
+    let src = minic_program(seed);
     let prog = epic_lang::compile(&src)
         .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
     let args = [(seed % 97) as i64, (seed % 13) as i64];
@@ -174,7 +28,11 @@ fn check_seed(seed: u64) {
         .unwrap_or_else(|e| panic!("oracle trapped: {e}\n{src}"))
         .output;
     for level in OptLevel::ALL {
-        let compiled = compile_source(&src, &args, &args, &CompileOptions::for_level(level))
+        let mut copts = CompileOptions::for_level(level);
+        // The differential suite doubles as the pipeline's debug gate:
+        // verify the IR after every single pass.
+        copts.verify_each_pass = true;
+        let compiled = compile_source(&src, &args, &args, &copts)
             .unwrap_or_else(|e| panic!("compile at {} failed: {e}\n{src}", level.name()));
         let sim = epic_sim::run(&compiled.mach, &args, &SimOptions::default())
             .unwrap_or_else(|e| panic!("sim at {} trapped: {e}\n{src}", level.name()));
@@ -182,15 +40,13 @@ fn check_seed(seed: u64) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_programs_survive_every_pipeline(seed in any::<u64>()) {
-        check_seed(seed);
+#[test]
+fn random_programs_survive_every_pipeline() {
+    // Same case count the proptest config used; seeds come from a fixed
+    // base so failures reproduce by rerunning the test.
+    let base = Rng::new(0xD1FF_E4E2);
+    for case in 0..24 {
+        check_seed(base.derive(case).next_u64());
     }
 }
 
@@ -198,8 +54,16 @@ proptest! {
 fn known_seeds_regression() {
     // pin a few seeds so CI failures reproduce deterministically;
     // 8995186070513442161 found the extended-block liveness bug (a value
-    // escaping through an early side exit hidden by a later kill)
-    for seed in [0u64, 1, 42, 0xDEADBEEF, 0x12345678_9ABCDEF0, 8995186070513442161] {
+    // escaping through an early side exit hidden by a later kill) and is
+    // the shrunken case from the retired .proptest-regressions file
+    for seed in [
+        0u64,
+        1,
+        42,
+        0xDEADBEEF,
+        0x12345678_9ABCDEF0,
+        8995186070513442161,
+    ] {
         check_seed(seed);
     }
 }
