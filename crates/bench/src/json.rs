@@ -92,6 +92,175 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Parse a JSON document (the inverse of [`Json::render`], used to
+    /// check that emitted matrices round-trip and by any tooling that
+    /// wants to read a dump back). Numbers parse as `f64`; input must be
+    /// a single value with only trailing whitespace after it.
+    ///
+    /// # Errors
+    /// A static description of the first syntax error.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        let v = parse_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at offset {i}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, i);
+    if *i < b.len() && b[*i] == c {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at offset {}", c as char, i))
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(b, i, "null", Json::Null),
+        Some(b't') => parse_lit(b, i, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, i, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, i).map(Json::Str),
+        Some(b'[') => {
+            *i += 1;
+            let mut xs = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(xs));
+            }
+            loop {
+                xs.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(xs));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {i}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *i += 1;
+            let mut kvs = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(kvs));
+            }
+            loop {
+                skip_ws(b, i);
+                let k = parse_string(b, i)?;
+                expect(b, i, b':')?;
+                kvs.push((k, parse_value(b, i)?));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(kvs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {i}")),
+                }
+            }
+        }
+        Some(_) => {
+            let start = *i;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                *i += 1;
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at offset {start}"))
+        }
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*i..].starts_with(word.as_bytes()) {
+        *i += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {i}"))
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at offset {i}"));
+    }
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*i) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at offset {i}"))?;
+                        out.push(
+                            char::from_u32(hex)
+                                .ok_or_else(|| format!("bad codepoint at offset {i}"))?,
+                        );
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {i}")),
+                }
+                *i += 1;
+            }
+            Some(&c) => {
+                // multi-byte UTF-8 passes through unchanged
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b
+                    .get(*i..*i + len)
+                    .and_then(|x| std::str::from_utf8(x).ok())
+                    .ok_or_else(|| format!("bad UTF-8 at offset {i}"))?;
+                out.push_str(chunk);
+                *i += len;
+            }
+        }
+    }
+}
+
 impl Suite {
     /// The full measurement matrix as a JSON tree: per workload, per
     /// level, the headline dynamic and static numbers plus the per-pass
@@ -192,5 +361,70 @@ mod tests {
     #[test]
     fn control_chars_escape_as_unicode() {
         assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    fn roundtrip(j: &Json) -> Json {
+        Json::parse(&j.render()).expect("rendered JSON parses")
+    }
+
+    #[test]
+    fn strings_round_trip_through_escaping() {
+        for s in [
+            "",
+            "plain",
+            "a\"b\\c\nd\re\tf",
+            "\u{1}\u{1f}",
+            "unicode: caché π €",
+            "slash / and \\u0041",
+        ] {
+            let j = Json::Str(s.into());
+            assert_eq!(roundtrip(&j), j, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn nested_objects_and_arrays_round_trip() {
+        let j = Json::obj([
+            (
+                "levels",
+                Json::Arr(vec![
+                    Json::obj([
+                        ("name", Json::Str("GCC".into())),
+                        ("passes", Json::Arr(vec![Json::Num(1.0), Json::Null])),
+                    ]),
+                    Json::Obj(Vec::new()),
+                ]),
+            ),
+            ("empty", Json::Arr(Vec::new())),
+            ("deep", Json::Arr(vec![Json::Arr(vec![Json::Arr(vec![])])])),
+        ]);
+        assert_eq!(roundtrip(&j), j);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_safely() {
+        // Non-finite values render as null, so a dump is always valid
+        // JSON and re-reads losslessly as null (never as NaN text).
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let j = Json::obj([("x", Json::Num(bad))]);
+            assert_eq!(j.render(), r#"{"x":null}"#);
+            assert_eq!(roundtrip(&j), Json::obj([("x", Json::Null)]));
+        }
+        // ... while ordinary numbers, including 2^53-scale integers and
+        // negatives, survive exactly
+        for n in [0.0, -1.5, 42.0, 9.0e15, -8.99e15, 1e-3] {
+            assert_eq!(roundtrip(&Json::Num(n)), Json::Num(n), "{n}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
     }
 }

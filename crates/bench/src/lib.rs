@@ -30,10 +30,17 @@ pub struct Suite {
 /// Worker-pool bound for the sweeps: `EPIC_BENCH_WORKERS` if set, else 0
 /// (let the driver use the machine's available parallelism).
 pub fn worker_bound() -> usize {
-    std::env::var("EPIC_BENCH_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    worker_bound_from(std::env::var("EPIC_BENCH_WORKERS").ok().as_deref())
+}
+
+/// [`worker_bound`]'s parsing, factored out so the edge cases are
+/// testable without touching the process environment: unset, empty,
+/// non-numeric, negative, and overlong values all fall back to 0
+/// (= available parallelism); surrounding whitespace is tolerated.
+pub fn worker_bound_from(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_default()
 }
 
 /// Run the sweep over all 12 workloads at the given levels, in parallel
@@ -183,6 +190,19 @@ mod tests {
         assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert!((geomean([1.0]) - 1.0).abs() < 1e-12);
         assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+    }
+
+    #[test]
+    fn worker_bound_parsing_edge_cases() {
+        assert_eq!(worker_bound_from(None), 0);
+        assert_eq!(worker_bound_from(Some("")), 0);
+        assert_eq!(worker_bound_from(Some("abc")), 0);
+        assert_eq!(worker_bound_from(Some("-1")), 0);
+        assert_eq!(worker_bound_from(Some("3.5")), 0);
+        assert_eq!(worker_bound_from(Some("0")), 0);
+        assert_eq!(worker_bound_from(Some("4")), 4);
+        assert_eq!(worker_bound_from(Some(" 8 ")), 8);
+        assert_eq!(worker_bound_from(Some("99999999999999999999")), 0);
     }
 
     #[test]

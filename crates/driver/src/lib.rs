@@ -89,6 +89,11 @@ pub struct CompileOptions {
     /// is caught at the pass that introduced it (off by default — the
     /// pipeline verifies at its usual checkpoints either way).
     pub verify_each_pass: bool,
+    /// Test-only: deliberately miscompile by perturbing one immediate in
+    /// the entry function after classical optimization. Exists so the
+    /// fuzzing/shrinking harness can prove end-to-end that it detects and
+    /// minimizes a real miscompile; never set outside tests.
+    pub inject_bug: bool,
 }
 
 impl CompileOptions {
@@ -101,6 +106,7 @@ impl CompileOptions {
             enable_data_spec: false,
             profile_fuel: 2_000_000_000,
             verify_each_pass: false,
+            inject_bug: false,
         }
     }
 }

@@ -171,4 +171,37 @@ mod tests {
         assert_eq!(rows[0][0].level, OptLevel::Gcc);
         assert_eq!(rows[0][1].level, OptLevel::ONs);
     }
+
+    #[test]
+    fn matrix_is_identical_across_worker_counts() {
+        // one worker (fully serial), and far more workers than the two
+        // jobs (most workers find the cursor exhausted immediately) must
+        // produce byte-identical measurements — compilation is a pure
+        // function of (source, options)
+        let workloads = vec![epic_workloads::by_name("mcf_mc").unwrap()];
+        let levels = [OptLevel::Gcc, OptLevel::IlpCs];
+        let run = |workers| {
+            measure_matrix(
+                &workloads,
+                &levels,
+                &CompileOptions::for_level,
+                &SimOptions::default(),
+                workers,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let oversubscribed = run(64);
+        assert_eq!(serial.len(), 1);
+        assert_eq!(oversubscribed[0].len(), 2);
+        for l in 0..levels.len() {
+            assert_eq!(serial[0][l].level, oversubscribed[0][l].level);
+            assert_eq!(serial[0][l].sim.cycles, oversubscribed[0][l].sim.cycles);
+            assert_eq!(serial[0][l].sim.checksum, oversubscribed[0][l].sim.checksum);
+            assert_eq!(
+                serial[0][l].compiled.code_bytes,
+                oversubscribed[0][l].compiled.code_bytes
+            );
+        }
+    }
 }

@@ -126,6 +126,40 @@ impl PassTimeline {
         self.passes.is_empty()
     }
 
+    /// A deterministic digest of which passes ran and how they reshaped
+    /// the program: per pass, the name plus log-bucketed op/block deltas
+    /// (wall time is excluded — it is not deterministic). Two compilations
+    /// share a signature exactly when every pass did structurally similar
+    /// work, which makes the signature a cheap coverage signal for
+    /// feedback-directed fuzzing: a mutant with an unseen signature lit up
+    /// new pass behavior.
+    pub fn coverage_signature(&self) -> u64 {
+        fn bucket(d: i64) -> u64 {
+            // sign and bit-length: 0, ±1-ish, ±2-3, ±4-7, … collapse noise
+            let mag = 64 - d.unsigned_abs().leading_zeros() as u64;
+            if d < 0 {
+                0x80 | mag
+            } else {
+                mag
+            }
+        }
+        let mut h = 0xcbf29ce484222325u64;
+        let mut eat = |b: u64| {
+            for i in 0..8 {
+                h ^= (b >> (8 * i)) & 0xff;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for p in &self.passes {
+            for c in p.name.bytes() {
+                eat(c as u64);
+            }
+            eat(bucket(p.op_delta()));
+            eat(bucket(p.block_delta()));
+        }
+        h
+    }
+
     /// Human-readable multi-line summary (name, time, op delta).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -204,6 +238,9 @@ pub fn passes_for(opts: &CompileOptions) -> Vec<Box<dyn Pass>> {
     // Classical optimization at every level (GCC performs "a very
     // competent level of traditional optimizations").
     passes.push(Box::new(ClassicalPass));
+    if opts.inject_bug {
+        passes.push(Box::new(BugInjectPass));
+    }
     if opts.level != OptLevel::Gcc {
         passes.push(Box::new(AliasPass));
     }
@@ -292,6 +329,41 @@ impl Pass for ClassicalPass {
 
     fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
         epic_opt::classical_optimize_program(&mut cx.prog);
+        Ok(())
+    }
+}
+
+/// Test-only deliberate miscompile (see
+/// [`CompileOptions::inject_bug`](crate::CompileOptions::inject_bug)):
+/// bumps every add-immediate in the program by one — a classic
+/// off-by-one constant-folding bug. The IR stays verifier-clean, so the
+/// bug is observable only as wrong output — exactly the class of
+/// miscompile the differential oracles exist to catch.
+pub struct BugInjectPass;
+
+impl Pass for BugInjectPass {
+    fn name(&self) -> &'static str {
+        "bug-inject"
+    }
+
+    fn run(&self, cx: &mut PipelineCx) -> Result<(), DriverError> {
+        for f in &mut cx.prog.funcs {
+            let ids: Vec<_> = f.block_ids().collect();
+            for b in ids {
+                for op in &mut f.block_mut(b).ops {
+                    if op.opcode != epic_ir::Opcode::Add {
+                        continue;
+                    }
+                    if let Some(epic_ir::Operand::Imm(i)) = op
+                        .srcs
+                        .iter_mut()
+                        .find(|s| matches!(s, epic_ir::Operand::Imm(_)))
+                    {
+                        *i = i.wrapping_add(1);
+                    }
+                }
+            }
+        }
         Ok(())
     }
 }

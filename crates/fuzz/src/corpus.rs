@@ -1,0 +1,44 @@
+//! The checked-in seed corpus and its (tiny) file format: one seed per
+//! line, decimal or `0x` hex, `#` starts a comment.
+
+/// Contents of `corpus/seeds.txt`, embedded so the fuzz binary needs no
+/// runtime file access for its default run.
+pub const DEFAULT_SEEDS: &str = include_str!("../corpus/seeds.txt");
+
+/// Parse a seed list. Unparseable lines are skipped rather than fatal —
+/// a corpus file is an input, not a program.
+pub fn parse_seed_list(text: &str) -> Vec<u64> {
+    text.lines()
+        .filter_map(|line| {
+            let body = line.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                return None;
+            }
+            match body.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => body.parse().ok(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_hex_comments_and_blanks() {
+        let text = "# header\n42\n0xff # inline\n\nbogus\n123\n";
+        assert_eq!(parse_seed_list(text), vec![42, 255, 123]);
+    }
+
+    #[test]
+    fn default_corpus_is_nonempty_and_unique() {
+        let seeds = parse_seed_list(DEFAULT_SEEDS);
+        assert!(seeds.len() >= 8, "corpus too small: {}", seeds.len());
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "duplicate seeds in corpus");
+    }
+}

@@ -1,0 +1,210 @@
+//! Source-level mutation engine over generated MiniC programs.
+//!
+//! Mutations are chosen from the sites [`epic_ir::testing::mutation_points`]
+//! and [`epic_ir::testing::statement_chunks`] expose, so every rewrite
+//! lands on a token the grammar can absorb:
+//!
+//! * integer constants perturbed (±1, ×2+1, bit flip, zeroed, 63);
+//! * loop bounds rewritten to a fresh small positive value (termination
+//!   is preserved by construction — counter increments are never sites);
+//! * arithmetic/bitwise operators swapped within their class, which is
+//!   how division and modulo (and hence trap paths) enter the corpus;
+//! * comparison operators swapped, `<<` ↔ `>>`;
+//! * `if` guards forced to a constant, flipping whole regions on or off;
+//! * statements deleted or duplicated at chunk granularity.
+//!
+//! Mutants may fail to compile or loop past the interpreter's fuel —
+//! the oracle rejects those cheaply, so the engine prefers obviously
+//! doomed rewrites over missing productive ones.
+
+use epic_ir::testing::{mutation_points, statement_chunks, MutationKind, Rng};
+
+const BIN_OPS: [&str; 8] = ["+", "-", "*", "&", "|", "^", "/", "%"];
+const CMP_OPS: [&str; 6] = ["<", "<=", ">", ">=", "==", "!="];
+
+/// Deterministic mutation engine; one instance per fuzz case.
+pub struct Mutator {
+    rng: Rng,
+}
+
+/// A line of the form `x = x + 1;` — a loop-counter advance. Deleting
+/// one makes the loop infinite, so deletion skips them (duplication is
+/// fine: the counter just advances faster).
+fn is_self_increment(line: &str) -> bool {
+    let t = line.trim();
+    match t.split_once(" = ") {
+        Some((lhs, rest)) => {
+            lhs.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && rest == format!("{lhs} + 1;")
+        }
+        None => false,
+    }
+}
+
+/// Lines that anchor program structure: removing or duplicating them
+/// can only produce frontend rejects, never an interesting program.
+fn is_structural(line: &str) -> bool {
+    let t = line.trim();
+    t.starts_with("fn ")
+        || t.starts_with("global ")
+        || t.starts_with("let ")
+        || t.starts_with("return ")
+}
+
+impl Mutator {
+    /// New engine with its own deterministic stream.
+    pub fn new(seed: u64) -> Mutator {
+        Mutator {
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Produce one mutant of `src`, or `None` if no strategy applies
+    /// (e.g. the program has shrunk to nothing mutable).
+    pub fn mutate(&mut self, src: &str) -> Option<String> {
+        for _ in 0..8 {
+            let out = match self.rng.pick(10) {
+                0..=6 => self.point_mutation(src),
+                7 | 8 => self.delete_statement(src),
+                _ => self.duplicate_statement(src),
+            };
+            if let Some(m) = out {
+                if m != src {
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+
+    fn point_mutation(&mut self, src: &str) -> Option<String> {
+        let points = mutation_points(src);
+        if points.is_empty() {
+            return None;
+        }
+        let p = &points[self.rng.pick_usize(points.len())];
+        let text = &src[p.start..p.end];
+        let new = match p.kind {
+            MutationKind::IntConst => {
+                let n: i64 = text.parse().ok()?;
+                let choices = [
+                    n.wrapping_add(1),
+                    (n - 1).max(0),
+                    n.wrapping_mul(2).wrapping_add(1),
+                    n ^ 1,
+                    0,
+                    63,
+                ];
+                choices[self.rng.pick_usize(choices.len())]
+                    .max(0)
+                    .to_string()
+            }
+            MutationKind::LoopBound => (1 + self.rng.pick(32)).to_string(),
+            MutationKind::BinOp => match text {
+                "<<" => ">>".to_string(),
+                ">>" => "<<".to_string(),
+                _ => self.pick_other(&BIN_OPS, text)?,
+            },
+            MutationKind::CmpOp => self.pick_other(&CMP_OPS, text)?,
+            MutationKind::Guard => if self.rng.chance(1, 2) { "1 " } else { "0 " }.to_string(),
+        };
+        Some(format!("{}{}{}", &src[..p.start], new, &src[p.end..]))
+    }
+
+    fn pick_other(&mut self, table: &[&str], current: &str) -> Option<String> {
+        let others: Vec<&&str> = table.iter().filter(|o| **o != current).collect();
+        if others.is_empty() {
+            return None;
+        }
+        Some(others[self.rng.pick_usize(others.len())].to_string())
+    }
+
+    fn delete_statement(&mut self, src: &str) -> Option<String> {
+        let lines: Vec<&str> = src.lines().collect();
+        let candidates: Vec<_> = statement_chunks(src)
+            .into_iter()
+            .filter(|c| {
+                lines[c.first..=c.last]
+                    .iter()
+                    .all(|l| !is_structural(l) && !is_self_increment(l))
+            })
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let c = &candidates[self.rng.pick_usize(candidates.len())];
+        let keep: Vec<bool> = (0..lines.len())
+            .map(|i| i < c.first || i > c.last)
+            .collect();
+        Some(epic_ir::testing::remove_lines(src, &keep))
+    }
+
+    fn duplicate_statement(&mut self, src: &str) -> Option<String> {
+        let lines: Vec<&str> = src.lines().collect();
+        let candidates: Vec<_> = statement_chunks(src)
+            .into_iter()
+            .filter(|c| lines[c.first..=c.last].iter().all(|l| !is_structural(l)))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let c = &candidates[self.rng.pick_usize(candidates.len())];
+        let mut out = String::new();
+        for (i, line) in lines.iter().enumerate() {
+            out.push_str(line);
+            out.push('\n');
+            if i == c.last {
+                for dup in &lines[c.first..=c.last] {
+                    out.push_str(dup);
+                    out.push('\n');
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::testing::minic_program;
+
+    #[test]
+    fn mutants_differ_and_mostly_compile() {
+        let src = minic_program(5);
+        let mut m = Mutator::new(17);
+        let mut compiled = 0;
+        for _ in 0..40 {
+            let mutant = m.mutate(&src).expect("program has mutation sites");
+            assert_ne!(mutant, src);
+            if epic_lang::compile(&mutant).is_ok() {
+                compiled += 1;
+            }
+        }
+        // The engine targets grammar-preserving sites, so the large
+        // majority of mutants must still be valid programs.
+        assert!(compiled >= 30, "only {compiled}/40 mutants compiled");
+    }
+
+    #[test]
+    fn counter_increments_survive_deletion() {
+        let src = "fn main(a0: int, a1: int) {\nlet i0 = 0;\nwhile i0 < 9 {\ni0 = i0 + 1;\n}\nout(i0);\n}\n";
+        let mut m = Mutator::new(3);
+        for _ in 0..30 {
+            if let Some(mutant) = m.delete_statement(src) {
+                assert!(
+                    mutant.contains("i0 = i0 + 1;"),
+                    "increment deleted:\n{mutant}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let src = minic_program(8);
+        let a = Mutator::new(9).mutate(&src);
+        let b = Mutator::new(9).mutate(&src);
+        assert_eq!(a, b);
+    }
+}

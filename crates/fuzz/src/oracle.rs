@@ -1,0 +1,389 @@
+//! Metamorphic oracles: every way a (source, args) pair can convict the
+//! compiler without a hand-written expected output.
+//!
+//! A candidate is judged by [`check`], which renders one of three
+//! verdicts:
+//!
+//! * [`Verdict::Reject`] — the program is outside the oracle's domain
+//!   (frontend rejects it, or the reference interpreter runs out of
+//!   fuel). Mutation produces these routinely; they are cheap to discard
+//!   and carry no signal.
+//! * [`Verdict::Pass`] — every oracle held; the coverage signature
+//!   summarizes which pipeline behavior the case exercised.
+//! * [`Verdict::Fail`] — an oracle was violated. The failure carries a
+//!   stable `bucket` string so the shrinker can insist a smaller program
+//!   fails *the same way*, not merely somehow.
+//!
+//! The oracles, in the order they run:
+//!
+//! 1. **Interpreter reference.** `epic_ir::interp` on the frontend IR is
+//!    the semantic ground truth.
+//! 2. **Trap robustness.** If the interpreter traps, the pipeline must
+//!    still hold up: every level compiles with per-pass verification
+//!    clean, and the simulator may trap or finish but never report
+//!    malformed machine code. Nothing stronger is sound — the optimizer
+//!    legally deletes *dead* trapping ops (DCE removes unused loads and
+//!    divisions by design), after which execution continues into
+//!    arbitrary other behavior (see [`check_trap_agreement`]'s note for
+//!    the real false positive that taught us this).
+//! 3. **Opt-level agreement.** If the interpreter finishes, every level
+//!    (compiled with `verify_each_pass`, so each transform is checked
+//!    individually) must simulate to the identical output stream.
+//! 4. **Profile invariance.** Training the ILP-CS profile on a different
+//!    input must not change the output — profile feedback may only move
+//!    cycles, never semantics (the paper's Sec. 4.6 experiment depends
+//!    on this).
+
+use epic_driver::{compile_source, CompileOptions, DriverError, ProfileInput};
+use epic_ir::interp::{self, InterpOptions, Trap};
+use epic_sim::SimOptions;
+
+pub use epic_driver::OptLevel;
+
+/// Oracle configuration.
+#[derive(Clone, Debug)]
+pub struct OracleOptions {
+    /// Levels to cross-check (restricting to one makes shrink probes
+    /// cheap).
+    pub levels: Vec<OptLevel>,
+    /// Interpreter fuel (dynamic ops) for the reference run and the
+    /// profiling pass; mutants exceeding it are rejected, not failed.
+    pub interp_fuel: u64,
+    /// Simulator cycle budget. Generously above `interp_fuel` ×
+    /// worst-case cycles-per-op, so it only fires on a genuine
+    /// divergence.
+    pub sim_fuel: u64,
+    /// Run the profile-invariance oracle (needs one extra ILP-CS
+    /// compile+sim per case).
+    pub profile_invariance: bool,
+    /// Enable the driver's deliberate miscompile — the harness's own
+    /// end-to-end self-test.
+    pub inject_bug: bool,
+}
+
+impl Default for OracleOptions {
+    fn default() -> OracleOptions {
+        OracleOptions {
+            levels: OptLevel::ALL.to_vec(),
+            interp_fuel: 5_000_000,
+            sim_fuel: 200_000_000,
+            profile_invariance: true,
+            inject_bug: false,
+        }
+    }
+}
+
+/// A violated oracle.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Stable triage key, e.g. `mismatch@GCC`, `sim-trap@ILP-CS:div0`,
+    /// `trap-disagree@O-NS`, `compile@ILP-NS`, `profile-variance`.
+    pub bucket: String,
+    /// Human-readable specifics.
+    pub detail: String,
+    /// The level that failed, when one is identifiable — lets the
+    /// shrinker re-check against that level alone.
+    pub level: Option<OptLevel>,
+}
+
+/// Outcome of running every oracle on one candidate.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// All oracles held; `signature` fingerprints the pipeline behavior
+    /// (per-pass op/block deltas across all levels) for coverage-guided
+    /// corpus growth.
+    Pass {
+        /// Coverage fingerprint.
+        signature: u64,
+    },
+    /// Out of the oracle's domain (reason is a static triage key).
+    Reject(&'static str),
+    /// An oracle was violated.
+    Fail(Failure),
+}
+
+/// Trap class of an interpreter trap, aligned with
+/// [`epic_sim::SimTrap::bucket`] so the two sides can be compared.
+pub fn interp_bucket(t: &Trap) -> &'static str {
+    match t {
+        Trap::MemFault(_) => "mem-fault",
+        Trap::DivByZero => "div0",
+        Trap::BadCall(_) => "bad-call",
+        Trap::OutOfFuel => "fuel",
+        Trap::NatConsumed(_) => "nat",
+        Trap::FellOffBlock(_) => "malformed",
+    }
+}
+
+fn level_opts(level: OptLevel, opts: &OracleOptions) -> CompileOptions {
+    let mut c = CompileOptions::for_level(level);
+    c.verify_each_pass = true;
+    c.profile_fuel = opts.interp_fuel;
+    c.inject_bug = opts.inject_bug;
+    c
+}
+
+fn fold_sig(acc: u64, x: u64) -> u64 {
+    // FNV-1a over the 8 bytes of x.
+    let mut h = acc;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run every oracle on `(src, args)`. `train2` is the alternate training
+/// input for the profile-invariance oracle (use [`alt_train_args`]).
+pub fn check(src: &str, args: [i64; 2], train2: [i64; 2], opts: &OracleOptions) -> Verdict {
+    let Ok(prog) = epic_lang::compile(src) else {
+        return Verdict::Reject("frontend");
+    };
+    let iopts = InterpOptions {
+        fuel: opts.interp_fuel,
+        collect_profile: false,
+    };
+    let sopts = SimOptions {
+        fuel_cycles: opts.sim_fuel,
+        ..SimOptions::default()
+    };
+    let want = match interp::run(&prog, &args, iopts) {
+        Ok(r) => r.output,
+        Err(Trap::OutOfFuel) => return Verdict::Reject("interp-fuel"),
+        Err(Trap::FellOffBlock(_)) => return Verdict::Reject("malformed"),
+        Err(trap) => return check_trap_agreement(src, args, &trap, opts, &sopts),
+    };
+
+    let mut sig = 0xcbf2_9ce4_8422_2325u64;
+    for &level in &opts.levels {
+        let copts = level_opts(level, opts);
+        let compiled = match compile_source(src, &args, &args, &copts) {
+            Ok(c) => c,
+            Err(e) => {
+                return Verdict::Fail(Failure {
+                    bucket: format!("compile@{}", level.name()),
+                    detail: e.to_string(),
+                    level: Some(level),
+                })
+            }
+        };
+        let sim = match epic_sim::run(&compiled.mach, &args, &sopts) {
+            Ok(s) => s,
+            Err(t) => {
+                return Verdict::Fail(Failure {
+                    bucket: format!("sim-trap@{}:{}", level.name(), t.bucket()),
+                    detail: t.to_string(),
+                    level: Some(level),
+                })
+            }
+        };
+        if sim.output != want {
+            return Verdict::Fail(Failure {
+                bucket: format!("mismatch@{}", level.name()),
+                detail: format!(
+                    "interp {:?}… vs sim {:?}… ({} vs {} values)",
+                    &want[..want.len().min(4)],
+                    &sim.output[..sim.output.len().min(4)],
+                    want.len(),
+                    sim.output.len()
+                ),
+                level: Some(level),
+            });
+        }
+        sig = fold_sig(sig, compiled.pass_timeline.coverage_signature());
+    }
+
+    if opts.profile_invariance
+        && opts.levels.contains(&OptLevel::IlpCs)
+        && train2 != args
+        && interp::run(&prog, &train2, iopts).is_ok()
+    {
+        let mut copts = level_opts(OptLevel::IlpCs, opts);
+        copts.profile_input = ProfileInput::Train; // train on train2 below
+        match compile_source(src, &train2, &args, &copts) {
+            Ok(c) => match epic_sim::run(&c.mach, &args, &sopts) {
+                Ok(s) if s.output == want => {}
+                Ok(s) => {
+                    return Verdict::Fail(Failure {
+                        bucket: "profile-variance".into(),
+                        detail: format!(
+                            "training on {train2:?} changed the output ({} vs {} values)",
+                            s.output.len(),
+                            want.len()
+                        ),
+                        level: Some(OptLevel::IlpCs),
+                    })
+                }
+                Err(t) => {
+                    return Verdict::Fail(Failure {
+                        bucket: format!("profile-variance:{}", t.bucket()),
+                        detail: format!("training on {train2:?} made the sim trap: {t}"),
+                        level: Some(OptLevel::IlpCs),
+                    })
+                }
+            },
+            Err(e) => {
+                return Verdict::Fail(Failure {
+                    bucket: "profile-variance:compile".into(),
+                    detail: format!("training on {train2:?} broke compilation: {e}"),
+                    level: Some(OptLevel::IlpCs),
+                })
+            }
+        }
+    }
+
+    Verdict::Pass { signature: sig }
+}
+
+/// The interpreter trapped. The strongest *sound* claim on such
+/// programs is surprisingly weak: DCE legally deletes dead trapping ops
+/// (an unused faulting load or division — documented semantics in
+/// `epic-opt`), after which execution continues into arbitrary other
+/// behavior — a different trap class, fuel exhaustion, or clean
+/// completion. An early version of this oracle demanded trap-class
+/// agreement and promptly convicted the stock compiler: interp
+/// mem-faulted on a dead `g[-1]` load, GCC deleted it, and the program
+/// ran on into an unrelated division by zero.
+///
+/// What must still hold: every level compiles (the profiling
+/// interpreter may surface the source trap — any class, since profiling
+/// happens at different optimization points per level), IR verification
+/// stays clean at every pass, and the simulator never reports
+/// *malformed machine code*, whatever else the program does.
+fn check_trap_agreement(
+    src: &str,
+    args: [i64; 2],
+    trap: &Trap,
+    opts: &OracleOptions,
+    sopts: &SimOptions,
+) -> Verdict {
+    let want = interp_bucket(trap);
+    let mut sig = fold_sig(0x8421_e4e2, want.len() as u64);
+    // A deleted trap can leave the program running indefinitely; cap the
+    // sim budget so such mutants stay cheap (fuel exhaustion is legal
+    // here anyway).
+    let sopts = SimOptions {
+        fuel_cycles: sopts.fuel_cycles.min(30_000_000),
+        ..*sopts
+    };
+    for &level in &opts.levels {
+        let copts = level_opts(level, opts);
+        match compile_source(src, &args, &args, &copts) {
+            // Non-GCC levels interpret the program while profiling, so
+            // the source-level trap surfaces at compile time.
+            Err(DriverError::Profile(t)) => {
+                sig = fold_sig(sig, interp_bucket(&t).len() as u64);
+            }
+            Err(e) => {
+                return Verdict::Fail(Failure {
+                    bucket: format!("compile@{}", level.name()),
+                    detail: format!("trapping program (interp: {trap}) broke the pipeline: {e}"),
+                    level: Some(level),
+                })
+            }
+            Ok(compiled) => match epic_sim::run(&compiled.mach, &args, &sopts) {
+                Ok(_) => {}
+                Err(t) if t.bucket() == "malformed" => {
+                    return Verdict::Fail(Failure {
+                        bucket: format!("sim-malformed@{}", level.name()),
+                        detail: format!("interp: {trap}; sim: {t}"),
+                        level: Some(level),
+                    })
+                }
+                Err(t) => sig = fold_sig(sig, fold_sig(level as u64 + 1, t.cycle)),
+            },
+        }
+    }
+    Verdict::Pass { signature: sig }
+}
+
+/// Does `(src, args)` still fail with exactly `bucket` under `opts`?
+/// This is the shrinker's predicate: candidates that no longer compile,
+/// no longer fail, or fail *differently* all return false.
+pub fn fails_with(
+    src: &str,
+    args: [i64; 2],
+    train2: [i64; 2],
+    opts: &OracleOptions,
+    bucket: &str,
+) -> bool {
+    matches!(check(src, args, train2, opts), Verdict::Fail(f) if f.bucket == bucket)
+}
+
+/// The runtime arguments a fuzz seed runs with (same derivation the
+/// differential suite uses, so reproducers paste straight into it).
+pub fn args_for_seed(seed: u64) -> [i64; 2] {
+    [(seed % 97) as i64, (seed % 13) as i64]
+}
+
+/// A deterministic alternate training input for the profile-invariance
+/// oracle, distinct from `args` for every `args` in range.
+pub fn alt_train_args(args: [i64; 2]) -> [i64; 2] {
+    [(args[0] + 17) % 97, (args[1] + 5) % 13]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::testing::minic_program;
+
+    #[test]
+    fn clean_generated_programs_pass_all_oracles() {
+        let mut opts = OracleOptions::default();
+        // Keep the unit test fast: two levels, plus profile invariance.
+        opts.levels = vec![OptLevel::Gcc, OptLevel::IlpCs];
+        for seed in [3u64, 99] {
+            let src = minic_program(seed);
+            let args = args_for_seed(seed);
+            match check(&src, args, alt_train_args(args), &opts) {
+                Verdict::Pass { .. } => {}
+                v => panic!("seed {seed}: expected Pass, got {v:?}\n{src}"),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_source_is_rejected_not_failed() {
+        let opts = OracleOptions::default();
+        assert!(matches!(
+            check("fn main(", [0, 0], [1, 1], &opts),
+            Verdict::Reject("frontend")
+        ));
+    }
+
+    #[test]
+    fn trapping_programs_stay_in_domain_without_convicting() {
+        // A live division by zero: the interpreter traps; every level
+        // must still compile verifier-clean and simulate without
+        // reporting malformed code.
+        let src = "fn main(a: int, b: int) {\n  out(7 / b);\n}\n";
+        let opts = OracleOptions::default();
+        match check(src, [5, 0], [6, 1], &opts) {
+            Verdict::Pass { .. } => {}
+            v => panic!("expected the trap path to pass, got {v:?}"),
+        }
+        // A *dead* trapping load whose deletion leaves the program
+        // running into other behavior — the documented reason this
+        // oracle is lenient. Must not convict.
+        let dead = "global g: [int; 64];\nfn main(a: int, b: int) {\nlet v = g[0 - 1] * 0;\nout(v + a);\n}\n";
+        match check(dead, [3, 1], [4, 2], &opts) {
+            Verdict::Pass { .. } => {}
+            v => panic!("dead-trap deletion must be legal, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_bug_is_convicted_as_mismatch() {
+        let mut opts = OracleOptions::default();
+        opts.levels = vec![OptLevel::Gcc];
+        opts.inject_bug = true;
+        let src = minic_program(7);
+        let args = args_for_seed(7);
+        match check(&src, args, alt_train_args(args), &opts) {
+            Verdict::Fail(f) => {
+                assert!(f.bucket.starts_with("mismatch@"), "bucket {}", f.bucket)
+            }
+            v => panic!("expected the injected bug to be caught, got {v:?}"),
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Automatic reproducer minimization: line-level ddmin, then structural
+//! chunk removal, then expression-level simplification, iterated to a
+//! fixpoint under a probe budget.
+//!
+//! The caller supplies the predicate — "does this candidate still fail
+//! the same oracle bucket?" (see [`crate::oracle::fails_with`]) — so the
+//! shrinker itself knows nothing about compilation. Candidates that stop
+//! compiling or fail differently simply return false and are skipped;
+//! no validity analysis is needed.
+
+use epic_ir::testing::{mutation_points, remove_lines, statement_chunks, MutationKind};
+
+/// What a [`shrink`] run did, for reporting.
+#[derive(Clone, Copy, Debug)]
+pub struct ShrinkStats {
+    /// Predicate evaluations spent.
+    pub probes: usize,
+    /// Line count before.
+    pub from_lines: usize,
+    /// Line count after.
+    pub to_lines: usize,
+}
+
+/// Minimize `src` while `pred` holds, spending at most `max_probes`
+/// predicate evaluations. `pred(src)` is assumed true on entry; the
+/// result always satisfies `pred`.
+pub fn shrink(
+    src: &str,
+    pred: &mut dyn FnMut(&str) -> bool,
+    max_probes: usize,
+) -> (String, ShrinkStats) {
+    let from_lines = src.lines().count();
+    let mut cur = src.to_string();
+    let mut budget = max_probes;
+    loop {
+        let before = cur.clone();
+        cur = ddmin_lines(&cur, pred, &mut budget);
+        cur = chunk_pass(&cur, pred, &mut budget);
+        cur = expr_pass(&cur, pred, &mut budget);
+        if cur == before || budget == 0 {
+            break;
+        }
+    }
+    let stats = ShrinkStats {
+        probes: max_probes - budget,
+        from_lines,
+        to_lines: cur.lines().count(),
+    };
+    (cur, stats)
+}
+
+fn join_lines(lines: &[String], kept: &[usize]) -> String {
+    let mut out = String::new();
+    for &i in kept {
+        out.push_str(&lines[i]);
+        out.push('\n');
+    }
+    out
+}
+
+/// Zeller-style ddmin over source lines: repeatedly try removing a block
+/// of the currently-kept lines ("complement reduction"), halving the
+/// block size whenever a whole sweep makes no progress.
+fn ddmin_lines(src: &str, pred: &mut dyn FnMut(&str) -> bool, budget: &mut usize) -> String {
+    let lines: Vec<String> = src.lines().map(String::from).collect();
+    let mut kept: Vec<usize> = (0..lines.len()).collect();
+    let mut n = 2usize;
+    while kept.len() >= 2 && *budget > 0 {
+        let chunk = kept.len().div_ceil(n);
+        let mut reduced = false;
+        let mut i = 0;
+        while i < kept.len() && *budget > 0 {
+            let mut cand: Vec<usize> = kept[..i].to_vec();
+            cand.extend_from_slice(&kept[(i + chunk).min(kept.len())..]);
+            if cand.is_empty() {
+                break;
+            }
+            *budget -= 1;
+            if pred(&join_lines(&lines, &cand)) {
+                kept = cand;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break; // recompute chunk size against the smaller set
+            }
+            i += chunk;
+        }
+        if !reduced {
+            if n >= kept.len() {
+                break;
+            }
+            n = (2 * n).min(kept.len());
+        }
+    }
+    join_lines(&lines, &kept)
+}
+
+/// Remove whole statement chunks (blocks first — one probe can drop an
+/// entire `while` body that ddmin would need aligned line boundaries
+/// for), greedily to a fixpoint.
+fn chunk_pass(src: &str, pred: &mut dyn FnMut(&str) -> bool, budget: &mut usize) -> String {
+    let mut cur = src.to_string();
+    loop {
+        let nlines = cur.lines().count();
+        let mut chunks = statement_chunks(&cur);
+        chunks.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        let mut improved = false;
+        for c in chunks {
+            if *budget == 0 {
+                return cur;
+            }
+            let keep: Vec<bool> = (0..nlines).map(|i| i < c.first || i > c.last).collect();
+            let cand = remove_lines(&cur, &keep);
+            if cand == cur {
+                continue;
+            }
+            *budget -= 1;
+            if pred(&cand) {
+                cur = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+/// Byte spans of parenthesized expressions, outermost first. Call
+/// argument lists (preceded by an identifier) and `fn` headers are
+/// skipped — collapsing those only produces rejects.
+fn paren_spans(src: &str) -> Vec<(usize, usize)> {
+    let b = src.as_bytes();
+    let mut stack: Vec<(usize, bool)> = Vec::new();
+    let mut spans = Vec::new();
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'(' {
+            let callish = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+            stack.push((i, callish));
+        } else if c == b')' {
+            if let Some((start, callish)) = stack.pop() {
+                if !callish {
+                    spans.push((start, i + 1));
+                }
+            }
+        }
+    }
+    spans.sort_by_key(|&(s, e)| (std::cmp::Reverse(e - s), s));
+    spans
+}
+
+/// Simplify expressions in place: parenthesized subtrees and integer
+/// literals each try to become `0` or `1`. One accepted rewrite restarts
+/// the scan (spans shift).
+fn expr_pass(src: &str, pred: &mut dyn FnMut(&str) -> bool, budget: &mut usize) -> String {
+    let mut cur = src.to_string();
+    'outer: loop {
+        for (s, e) in paren_spans(&cur) {
+            for rep in ["0", "1"] {
+                if *budget == 0 {
+                    return cur;
+                }
+                let cand = format!("{}{}{}", &cur[..s], rep, &cur[e..]);
+                *budget -= 1;
+                if pred(&cand) {
+                    cur = cand;
+                    continue 'outer;
+                }
+            }
+        }
+        for p in mutation_points(&cur) {
+            if !matches!(p.kind, MutationKind::IntConst | MutationKind::LoopBound) {
+                continue;
+            }
+            let text = &cur[p.start..p.end];
+            if text == "0" || text == "1" {
+                continue;
+            }
+            for rep in ["0", "1"] {
+                if *budget == 0 {
+                    return cur;
+                }
+                let cand = format!("{}{}{}", &cur[..p.start], rep, &cur[p.end..]);
+                *budget -= 1;
+                if pred(&cand) {
+                    cur = cand;
+                    continue 'outer;
+                }
+            }
+        }
+        return cur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_isolates_the_failing_line() {
+        // Predicate: "still contains the magic line" — shrink must strip
+        // everything else.
+        let src: String = (0..40)
+            .map(|i| {
+                if i == 23 {
+                    "needle\n".to_string()
+                } else {
+                    format!("hay {i}\n")
+                }
+            })
+            .collect();
+        let mut pred = |s: &str| s.contains("needle");
+        let (out, stats) = shrink(&src, &mut pred, 10_000);
+        assert_eq!(out, "needle\n");
+        assert_eq!(stats.to_lines, 1);
+        assert!(stats.probes > 0);
+    }
+
+    #[test]
+    fn shrink_respects_probe_budget() {
+        let src: String = (0..100).map(|i| format!("l{i}\n")).collect();
+        let mut calls = 0usize;
+        let mut pred = |s: &str| {
+            calls += 1;
+            s.contains("l7\n")
+        };
+        let (_, stats) = shrink(&src, &mut pred, 25);
+        assert!(calls <= 25, "{calls} probes, budget 25");
+        assert_eq!(stats.probes, calls);
+    }
+
+    #[test]
+    fn expr_pass_simplifies_literals_and_parens() {
+        let src = "out((a0 + 777) * 9);\n";
+        // "Fails" as long as a multiplication is present.
+        let mut pred = |s: &str| s.contains('*');
+        let (out, _) = shrink(src, &mut pred, 1_000);
+        assert!(out.contains('*'));
+        assert!(!out.contains("777"), "literal not simplified: {out}");
+    }
+}

@@ -1,0 +1,20 @@
+//! A miniature clean-compiler campaign: a handful of seed + mutant
+//! cases across all four levels must produce zero oracle violations.
+//! This is the in-tree version of the CI smoke-fuzz stage.
+
+use epic_fuzz::{run_fuzz, FuzzConfig};
+
+#[test]
+fn clean_compiler_smoke_campaign_is_violation_free() {
+    let mut cfg = FuzzConfig::default();
+    cfg.max_cases = 10;
+    cfg.shrink_failures = false;
+    let report = run_fuzz(&[1, 7, 42], &cfg);
+    assert!(
+        report.failures.is_empty(),
+        "oracle violations on the stock compiler: {:#?}",
+        report.failures
+    );
+    assert_eq!(report.cases, 10);
+    assert!(report.new_signatures >= 2, "coverage signal is flat");
+}

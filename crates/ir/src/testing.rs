@@ -246,6 +246,260 @@ pub fn minic_program(seed: u64) -> String {
     MiniCGen::new(seed).program()
 }
 
+/// What a [`MutationPoint`] refers to, so a mutation engine can pick a
+/// semantically sensible rewrite per site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MutationKind {
+    /// An integer literal anywhere mutation is safe.
+    IntConst,
+    /// The bound constant of a `while i < N {` counter loop (rewrites must
+    /// stay small and positive to preserve termination).
+    LoopBound,
+    /// A two-operand arithmetic/bitwise/shift operator.
+    BinOp,
+    /// A comparison operator.
+    CmpOp,
+    /// The full condition of an `if COND {` header.
+    Guard,
+}
+
+/// A rewritable site in MiniC source: the byte span `start..end` of the
+/// token (or condition) within the whole source string.
+#[derive(Clone, Copy, Debug)]
+pub struct MutationPoint {
+    /// Byte offset of the site in the source.
+    pub start: usize,
+    /// Byte offset one past the site.
+    pub end: usize,
+    /// What lives at the site.
+    pub kind: MutationKind,
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// True for generator-style counter-increment lines (`iN = iN + 1;`),
+/// which must never be mutated: a perturbed increment can make the
+/// enclosing loop non-terminating.
+fn is_counter_increment(trimmed: &str) -> bool {
+    let Some((lhs, rhs)) = trimmed.split_once('=') else {
+        return false;
+    };
+    let lhs = lhs.trim();
+    if !lhs.starts_with('i') || !lhs[1..].bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    rhs.trim() == format!("{lhs} + 1;")
+}
+
+/// Scan MiniC source for mutation points: integer constants, binary and
+/// comparison operators, loop bounds, and `if` guards. Counter-increment
+/// lines and `while`-header operators are deliberately excluded so every
+/// mutant still terminates; everything else is fair game (a mutant that
+/// fails the frontend is simply rejected by the fuzz loop).
+pub fn mutation_points(src: &str) -> Vec<MutationPoint> {
+    let mut points = Vec::new();
+    let mut line_start = 0usize;
+    for line in src.split_inclusive('\n') {
+        let base = line_start;
+        line_start += line.len();
+        let trimmed = line.trim();
+        if trimmed.starts_with("fn ")
+            || trimmed.starts_with("global ")
+            || is_counter_increment(trimmed)
+        {
+            continue;
+        }
+        if trimmed.starts_with("while ") {
+            // only the bound constant is mutable on a loop header
+            if let Some(lt) = line.find('<') {
+                let b = line.as_bytes();
+                let mut s = lt + 1;
+                while s < b.len() && b[s] == b' ' {
+                    s += 1;
+                }
+                let mut e = s;
+                while e < b.len() && b[e].is_ascii_digit() {
+                    e += 1;
+                }
+                if e > s {
+                    points.push(MutationPoint {
+                        start: base + s,
+                        end: base + e,
+                        kind: MutationKind::LoopBound,
+                    });
+                }
+            }
+            continue;
+        }
+        if trimmed.starts_with("if ") {
+            // the whole condition between `if ` and the opening brace
+            let cond_start = line.find("if ").expect("checked") + 3;
+            if let Some(brace) = line.rfind('{') {
+                let cond = line[cond_start..brace].trim_end();
+                if !cond.is_empty() {
+                    points.push(MutationPoint {
+                        start: base + cond_start,
+                        end: base + cond_start + cond.len(),
+                        kind: MutationKind::Guard,
+                    });
+                }
+            }
+        }
+        let b = line.as_bytes();
+        let mut i = 0usize;
+        while i < b.len() {
+            let c = b[i];
+            // two-character operators first
+            if i + 1 < b.len() {
+                let two = &line[i..i + 2];
+                if matches!(two, "==" | "!=" | "<=" | ">=") {
+                    points.push(MutationPoint {
+                        start: base + i,
+                        end: base + i + 2,
+                        kind: MutationKind::CmpOp,
+                    });
+                    i += 2;
+                    continue;
+                }
+                if matches!(two, "<<" | ">>") {
+                    points.push(MutationPoint {
+                        start: base + i,
+                        end: base + i + 2,
+                        kind: MutationKind::BinOp,
+                    });
+                    i += 2;
+                    continue;
+                }
+                if matches!(two, "&&" | "||") {
+                    i += 2; // structural; covered by Guard rewrites
+                    continue;
+                }
+            }
+            if c.is_ascii_digit() {
+                if i > 0 && is_ident_char(b[i - 1]) {
+                    // digits inside an identifier (v12, i3)
+                    i += 1;
+                    while i < b.len() && is_ident_char(b[i]) {
+                        i += 1;
+                    }
+                    continue;
+                }
+                let s = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                points.push(MutationPoint {
+                    start: base + s,
+                    end: base + i,
+                    kind: MutationKind::IntConst,
+                });
+                continue;
+            }
+            match c {
+                b'<' | b'>' => points.push(MutationPoint {
+                    start: base + i,
+                    end: base + i + 1,
+                    kind: MutationKind::CmpOp,
+                }),
+                b'+' | b'*' | b'&' | b'|' | b'^' | b'/' | b'%' => points.push(MutationPoint {
+                    start: base + i,
+                    end: base + i + 1,
+                    kind: MutationKind::BinOp,
+                }),
+                b'-' => {
+                    // binary minus only; unary minus belongs to the literal
+                    let prev = line[..i].trim_end().bytes().last();
+                    if prev.is_some_and(|p| is_ident_char(p) || p == b')' || p == b']') {
+                        points.push(MutationPoint {
+                            start: base + i,
+                            end: base + i + 1,
+                            kind: MutationKind::BinOp,
+                        });
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    points
+}
+
+/// A deletable/duplicable span of source lines: a single statement, or a
+/// whole block construct (`if`/`while`/`fn`) including its matching brace.
+/// Spans overlap — a block chunk contains its interior statement chunks —
+/// so consumers get both coarse and fine granularities from one scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SrcChunk {
+    /// First line index (0-based) of the span.
+    pub first: usize,
+    /// Last line index, inclusive.
+    pub last: usize,
+}
+
+impl SrcChunk {
+    /// Line count of the span.
+    pub fn len(&self) -> usize {
+        self.last - self.first + 1
+    }
+
+    /// Never true (a chunk spans at least one line); keeps clippy happy.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Scan MiniC source into deletable chunks (see [`SrcChunk`]). Pure
+/// closer/continuation lines (`}`, `} else {`) are not chunks themselves;
+/// they travel with the block chunk that owns them.
+pub fn statement_chunks(src: &str) -> Vec<SrcChunk> {
+    let lines: Vec<&str> = src.lines().collect();
+    let net = |l: &str| {
+        l.bytes().filter(|&b| b == b'{').count() as i64
+            - l.bytes().filter(|&b| b == b'}').count() as i64
+    };
+    let mut chunks = Vec::new();
+    let mut depth = 0i64;
+    for (i, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        let n = net(line);
+        let starts_closed = trimmed.starts_with('}');
+        if !trimmed.is_empty() && !starts_closed {
+            if n > 0 {
+                // block construct: span to where the net returns to zero
+                let mut acc = n;
+                let mut j = i;
+                while acc > 0 && j + 1 < lines.len() {
+                    j += 1;
+                    acc += net(lines[j]);
+                }
+                if acc == 0 {
+                    chunks.push(SrcChunk { first: i, last: j });
+                }
+            } else if n == 0 && depth >= 1 {
+                chunks.push(SrcChunk { first: i, last: i });
+            }
+        }
+        depth += n;
+    }
+    chunks
+}
+
+/// Rebuild source keeping only the lines where `keep[i]` is true (the
+/// sub-program extraction primitive used by the shrinker and mutator).
+pub fn remove_lines(src: &str, keep: &[bool]) -> String {
+    let mut out = String::new();
+    for (i, line) in src.lines().enumerate() {
+        if keep.get(i).copied().unwrap_or(true) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
 /// A random multi-block function with real dataflow, predicated ops, and
 /// arbitrary (possibly unreachable) control flow — the liveness and
 /// verifier property tests' input distribution.
@@ -336,5 +590,97 @@ mod tests {
         let a = random_dataflow_cfg(9);
         let b = random_dataflow_cfg(9);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    const SNIPPET: &str = "global g: [int; 64];\n\
+         fn main(a0: int, a1: int) {\n\
+         let v2 = (a0 + 7);\n\
+         if (v2) < (a1) {\n\
+         g[v2 & 63] = -3;\n\
+         } else {\n\
+         out(v2);\n\
+         }\n\
+         let i5 = 0;\n\
+         while i5 < 9 {\n\
+         out((i5 << 2));\n\
+         i5 = i5 + 1;\n\
+         }\n\
+         out(a1);\n\
+         }\n";
+
+    #[test]
+    fn mutation_points_classify_sites() {
+        let pts = mutation_points(SNIPPET);
+        let at = |start: usize| pts.iter().find(|p| p.start == start);
+        // constants, operators, guards exist; loop header yields exactly
+        // one LoopBound; counter increment line yields nothing
+        assert!(pts.iter().any(|p| p.kind == MutationKind::IntConst));
+        assert!(pts.iter().any(|p| p.kind == MutationKind::BinOp));
+        assert!(pts.iter().any(|p| p.kind == MutationKind::CmpOp));
+        assert!(pts.iter().any(|p| p.kind == MutationKind::Guard));
+        let bounds: Vec<_> = pts
+            .iter()
+            .filter(|p| p.kind == MutationKind::LoopBound)
+            .collect();
+        assert_eq!(bounds.len(), 1);
+        assert_eq!(&SNIPPET[bounds[0].start..bounds[0].end], "9");
+        let inc = SNIPPET.find("i5 = i5 + 1").unwrap();
+        assert!(
+            !pts.iter().any(|p| p.start >= inc && p.start < inc + 11),
+            "counter increment must not be mutable"
+        );
+        // digits inside identifiers are not constants
+        let v2use = SNIPPET.find("g[v2").unwrap() + 3;
+        assert!(at(v2use).is_none());
+        // every span is a sane slice
+        for p in &pts {
+            assert!(p.start < p.end && p.end <= SNIPPET.len());
+            assert!(!SNIPPET[p.start..p.end].is_empty());
+        }
+    }
+
+    #[test]
+    fn statement_chunks_cover_blocks_and_statements() {
+        let chunks = statement_chunks(SNIPPET);
+        let lines: Vec<&str> = SNIPPET.lines().collect();
+        // the if/else block is one chunk spanning header..closing brace
+        let if_line = lines.iter().position(|l| l.starts_with("if ")).unwrap();
+        let if_chunk = chunks.iter().find(|c| c.first == if_line).unwrap();
+        assert_eq!(lines[if_chunk.last], "}");
+        assert!(if_chunk.len() >= 4);
+        // the while block is one chunk, and its interior statements are
+        // separate (overlapping) chunks
+        let wh = lines.iter().position(|l| l.starts_with("while ")).unwrap();
+        let wh_chunk = chunks.iter().find(|c| c.first == wh).unwrap();
+        assert!(wh_chunk.last > wh);
+        assert!(chunks.iter().any(|c| c.first == wh + 1 && c.last == wh + 1));
+        // the whole fn is a chunk; pure closers are not
+        let fn_line = lines.iter().position(|l| l.starts_with("fn ")).unwrap();
+        assert!(chunks.iter().any(|c| c.first == fn_line));
+        assert!(!chunks
+            .iter()
+            .any(|c| lines[c.first].trim().starts_with('}')));
+    }
+
+    #[test]
+    fn remove_lines_extracts_subprograms() {
+        let src = "a\nb\nc\n";
+        assert_eq!(remove_lines(src, &[true, false, true]), "a\nc\n");
+        assert_eq!(remove_lines(src, &[true, true, true]), src);
+    }
+
+    #[test]
+    fn generated_programs_scan_cleanly() {
+        for seed in [0u64, 7, 99] {
+            let src = minic_program(seed);
+            let pts = mutation_points(&src);
+            assert!(!pts.is_empty());
+            let chunks = statement_chunks(&src);
+            assert!(!chunks.is_empty());
+            let nlines = src.lines().count();
+            for c in &chunks {
+                assert!(c.first <= c.last && c.last < nlines);
+            }
+        }
     }
 }

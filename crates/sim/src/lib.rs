@@ -29,4 +29,4 @@ pub mod rse;
 pub mod tlb;
 
 pub use counters::{Category, Counters, CycleAccounting, CATEGORIES};
-pub use machine::{run, SimOptions, SimResult, SimTrap, SpecModel};
+pub use machine::{run, SimOptions, SimResult, SimTrap, SpecModel, TrapKind};

@@ -56,9 +56,9 @@ impl Default for SimOptions {
     }
 }
 
-/// Abnormal termination.
+/// The class of an abnormal termination (what went wrong).
 #[derive(Clone, Debug, PartialEq)]
-pub enum SimTrap {
+pub enum TrapKind {
     /// Non-speculative access to an invalid address.
     MemFault(u64),
     /// Division by zero.
@@ -67,22 +67,64 @@ pub enum SimTrap {
     BadCall(u64),
     /// Cycle budget exhausted.
     OutOfFuel,
-    /// Deferred NaT consumed by a non-speculative side effect.
-    NatConsumed(String),
+    /// Deferred NaT consumed by a non-speculative side effect; the payload
+    /// names the consuming operation ("store", "call", "out", …).
+    NatConsumed(&'static str),
     /// Ill-formed machine code (compiler bug).
     Malformed(String),
 }
 
-impl std::fmt::Display for SimTrap {
+impl std::fmt::Display for TrapKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimTrap::MemFault(a) => write!(f, "memory fault at {a:#x}"),
-            SimTrap::DivByZero => write!(f, "division by zero"),
-            SimTrap::BadCall(a) => write!(f, "call to non-function {a:#x}"),
-            SimTrap::OutOfFuel => write!(f, "cycle budget exhausted"),
-            SimTrap::NatConsumed(w) => write!(f, "NaT consumed at {w}"),
-            SimTrap::Malformed(w) => write!(f, "malformed machine code: {w}"),
+            TrapKind::MemFault(a) => write!(f, "memory fault at {a:#x}"),
+            TrapKind::DivByZero => write!(f, "division by zero"),
+            TrapKind::BadCall(a) => write!(f, "call to non-function {a:#x}"),
+            TrapKind::OutOfFuel => write!(f, "cycle budget exhausted"),
+            TrapKind::NatConsumed(w) => write!(f, "NaT consumed by {w}"),
+            TrapKind::Malformed(w) => write!(f, "malformed machine code: {w}"),
         }
+    }
+}
+
+/// Abnormal termination, located: which function and bundle trapped, and
+/// at what cycle — structured so triage tooling (the fuzzer's failure
+/// bucketing, shrinker progress checks) can classify without parsing
+/// strings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimTrap {
+    /// What went wrong.
+    pub kind: TrapKind,
+    /// Name of the function executing when the trap fired.
+    pub func: String,
+    /// Bundle index of the issue group that trapped.
+    pub bundle: usize,
+    /// Total cycle count at the trap.
+    pub cycle: u64,
+}
+
+impl SimTrap {
+    /// Short stable key for failure triage ("mem-fault", "div0", …) —
+    /// same kind, any location, maps to the same bucket.
+    pub fn bucket(&self) -> &'static str {
+        match self.kind {
+            TrapKind::MemFault(_) => "mem-fault",
+            TrapKind::DivByZero => "div0",
+            TrapKind::BadCall(_) => "bad-call",
+            TrapKind::OutOfFuel => "fuel",
+            TrapKind::NatConsumed(_) => "nat",
+            TrapKind::Malformed(_) => "malformed",
+        }
+    }
+}
+
+impl std::fmt::Display for SimTrap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} in {} at bundle {}, cycle {}",
+            self.kind, self.func, self.bundle, self.cycle
+        )
     }
 }
 
@@ -198,6 +240,17 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// Wrap a [`TrapKind`] with the machine position `(func, bundle)` and
+    /// the current cycle count.
+    fn trap_at(&self, kind: TrapKind, pos: (usize, usize)) -> SimTrap {
+        SimTrap {
+            kind,
+            func: self.mp.funcs[pos.0].name.clone(),
+            bundle: pos.1,
+            cycle: self.acct.total(),
+        }
+    }
+
     fn run(mut self, args: &[i64]) -> Result<SimResult, SimTrap> {
         let entry = self.mp.ir.entry.index();
         let ef = &self.mp.funcs[entry];
@@ -216,23 +269,26 @@ impl<'a> Sim<'a> {
 
         loop {
             if self.acct.total() > self.fuel {
-                return Err(SimTrap::OutOfFuel);
+                return Err(self.trap_at(TrapKind::OutOfFuel, pos));
             }
             let start_cycles = self.acct.total();
             let (func_i, first_bundle) = pos;
             let f = &self.mp.funcs[func_i];
             if first_bundle >= f.bundles.len() {
-                return Err(SimTrap::Malformed(format!(
-                    "fell off code of {} at bundle {first_bundle}",
-                    f.name
-                )));
+                return Err(self.trap_at(
+                    TrapKind::Malformed(format!("fell off code at bundle {first_bundle}")),
+                    pos,
+                ));
             }
             // --- collect the issue group ---
             let mut end_bundle = first_bundle;
             while !f.bundles[end_bundle].stop {
                 end_bundle += 1;
                 if end_bundle >= f.bundles.len() {
-                    return Err(SimTrap::Malformed(format!("group runs off {}", f.name)));
+                    return Err(self.trap_at(
+                        TrapKind::Malformed("issue group runs off the code".into()),
+                        pos,
+                    ));
                 }
             }
             let group_bundles = &f.bundles[first_bundle..=end_bundle];
@@ -370,7 +426,7 @@ impl<'a> Sim<'a> {
                             let v = if a.nat || c.nat {
                                 Value::NAT
                             } else if c.bits == 0 {
-                                return Err(SimTrap::DivByZero);
+                                return Err(self.trap_at(TrapKind::DivByZero, pos));
                             } else {
                                 let (x, y) = (a.bits as i64, c.bits as i64);
                                 Value::new(if matches!(op.opcode, Opcode::Div) {
@@ -407,8 +463,9 @@ impl<'a> Sim<'a> {
                         }
                         Opcode::Ld(size) => {
                             let addr = ev!(&op.srcs[0]);
-                            let (v, ready) =
-                                self.do_load(addr, size.bytes(), op.spec, issue, &f.name)?;
+                            let (v, ready) = self
+                                .do_load(addr, size.bytes(), op.spec, issue)
+                                .map_err(|k| self.trap_at(k, pos))?;
                             if op.adv && !addr.nat && !v.nat {
                                 self.counters.adv_loads += 1;
                                 self.alat_insert(op.dsts[0].0, addr.bits, size.bytes());
@@ -428,13 +485,9 @@ impl<'a> Sim<'a> {
                                 self.counters.alat_misses += 1;
                                 self.acct
                                     .charge(Category::Misc, self.cfg.alat_recovery_cycles);
-                                let (rv, ready) = self.do_load(
-                                    ev!(&op.srcs[1]),
-                                    size.bytes(),
-                                    false,
-                                    issue,
-                                    &f.name,
-                                )?;
+                                let (rv, ready) = self
+                                    .do_load(ev!(&op.srcs[1]), size.bytes(), false, issue)
+                                    .map_err(|k| self.trap_at(k, pos))?;
                                 writes.push((op.dsts[0], rv, ready, ProducerKind::Load));
                             }
                         }
@@ -444,13 +497,9 @@ impl<'a> Sim<'a> {
                                 self.counters.chk_recoveries += 1;
                                 self.acct
                                     .charge(Category::Misc, self.cfg.chk_recovery_cycles);
-                                let (rv, ready) = self.do_load(
-                                    ev!(&op.srcs[1]),
-                                    size.bytes(),
-                                    false,
-                                    issue,
-                                    &f.name,
-                                )?;
+                                let (rv, ready) = self
+                                    .do_load(ev!(&op.srcs[1]), size.bytes(), false, issue)
+                                    .map_err(|k| self.trap_at(k, pos))?;
                                 writes.push((op.dsts[0], rv, ready, ProducerKind::Load));
                             } else {
                                 writes.push((op.dsts[0], v, issue + 1, ProducerKind::Other));
@@ -460,7 +509,7 @@ impl<'a> Sim<'a> {
                             let addr = ev!(&op.srcs[0]);
                             let val = ev!(&op.srcs[1]);
                             if addr.nat || val.nat {
-                                return Err(SimTrap::NatConsumed(format!("store in {}", f.name)));
+                                return Err(self.trap_at(TrapKind::NatConsumed("store"), pos));
                             }
                             if !self.dtlb.access(addr.bits) {
                                 self.counters.dtlb_misses += 1;
@@ -469,7 +518,7 @@ impl<'a> Sim<'a> {
                             }
                             self.mem
                                 .write(addr.bits, size.bytes(), val.bits)
-                                .map_err(|e| SimTrap::MemFault(e.addr))?;
+                                .map_err(|e| self.trap_at(TrapKind::MemFault(e.addr), pos))?;
                             self.hier.access_data(addr.bits);
                             if self.recent_stores.len() == self.cfg.store_buffer {
                                 self.recent_stores.pop_front();
@@ -484,7 +533,10 @@ impl<'a> Sim<'a> {
                             self.counters.dynamic_branches += 1;
                             let target = op.srcs[0].label().expect("branch label");
                             let bi = f.block_entry[target.index()].ok_or_else(|| {
-                                SimTrap::Malformed(format!("{}: no code for {target}", f.name))
+                                self.trap_at(
+                                    TrapKind::Malformed(format!("no code for {target}")),
+                                    pos,
+                                )
                             })?;
                             next_pos = (func_i, bi);
                             transfer = true;
@@ -496,13 +548,14 @@ impl<'a> Sim<'a> {
                                 ref o => {
                                     let v = ev!(o);
                                     if v.nat {
-                                        return Err(SimTrap::NatConsumed(format!(
-                                            "call in {}",
-                                            f.name
-                                        )));
+                                        return Err(
+                                            self.trap_at(TrapKind::NatConsumed("call"), pos)
+                                        );
                                     }
                                     func_from_addr(v.bits)
-                                        .ok_or(SimTrap::BadCall(v.bits))?
+                                        .ok_or_else(|| {
+                                            self.trap_at(TrapKind::BadCall(v.bits), pos)
+                                        })?
                                         .index()
                                 }
                             };
@@ -514,7 +567,7 @@ impl<'a> Sim<'a> {
                             self.pred.push_return(f.bundle_addr(end_bundle + 1));
                             let sp = frame.sp - ((cf.frame_size + 15) & !15);
                             if sp < STACK_TOP - epic_ir::mem::STACK_MAX {
-                                return Err(SimTrap::MemFault(sp));
+                                return Err(self.trap_at(TrapKind::MemFault(sp), pos));
                             }
                             let mut nf = Frame::new(NREGS, sp);
                             for (ai, &pr) in cf.param_regs.iter().enumerate() {
@@ -563,7 +616,9 @@ impl<'a> Sim<'a> {
                                 }
                                 None => {
                                     if val.nat {
-                                        return Err(SimTrap::NatConsumed("main return".into()));
+                                        return Err(
+                                            self.trap_at(TrapKind::NatConsumed("main return"), pos)
+                                        );
                                     }
                                     program_done = Some(val.bits);
                                     break 'slots;
@@ -573,7 +628,7 @@ impl<'a> Sim<'a> {
                         Opcode::Out => {
                             let v = ev!(&op.srcs[0]);
                             if v.nat {
-                                return Err(SimTrap::NatConsumed(format!("out in {}", f.name)));
+                                return Err(self.trap_at(TrapKind::NatConsumed("out"), pos));
                             }
                             self.output.push(v.bits);
                             self.acct
@@ -582,7 +637,7 @@ impl<'a> Sim<'a> {
                         Opcode::Alloc => {
                             let n = ev!(&op.srcs[0]);
                             if n.nat {
-                                return Err(SimTrap::NatConsumed(format!("alloc in {}", f.name)));
+                                return Err(self.trap_at(TrapKind::NatConsumed("alloc"), pos));
                             }
                             let p = self.mem.alloc(n.bits);
                             self.acct
@@ -663,21 +718,22 @@ impl<'a> Sim<'a> {
     }
 
     /// Execute a load's memory access, returning `(value, ready_time)`.
+    /// Traps come back as a bare [`TrapKind`]; the caller attaches the
+    /// machine position via [`Sim::trap_at`].
     fn do_load(
         &mut self,
         addr: Value,
         bytes: u64,
         spec: bool,
         issue: u64,
-        fname: &str,
-    ) -> Result<(Value, u64), SimTrap> {
+    ) -> Result<(Value, u64), TrapKind> {
         if addr.nat {
             return if spec {
                 self.counters.spec_loads += 1;
                 self.counters.deferred_loads += 1;
                 Ok((Value::NAT, issue + 1))
             } else {
-                Err(SimTrap::NatConsumed(format!("load in {fname}")))
+                Err(TrapKind::NatConsumed("load"))
             };
         }
         let a = addr.bits;
@@ -686,7 +742,7 @@ impl<'a> Sim<'a> {
         }
         if !self.mem.is_valid(a) {
             if !spec {
-                return Err(SimTrap::MemFault(a));
+                return Err(TrapKind::MemFault(a));
             }
             self.counters.deferred_loads += 1;
             if Memory::is_null_page(a) {
@@ -722,7 +778,7 @@ impl<'a> Sim<'a> {
             let v = self
                 .mem
                 .read(a, bytes)
-                .map_err(|e| SimTrap::MemFault(e.addr))?;
+                .map_err(|e| TrapKind::MemFault(e.addr))?;
             let (lat, _lvl) = self.hier.access_data(a);
             // store-to-load forwarding conflict (micropipe)
             if self

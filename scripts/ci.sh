@@ -14,4 +14,11 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Smoke-fuzz: a short deterministic differential-fuzzing campaign over
+# the checked-in seed corpus (crates/fuzz/corpus/seeds.txt). Fixed
+# master seed, case-bounded, wall-clock capped as a backstop; any
+# metamorphic-oracle violation fails CI with a minimized reproducer.
+echo "==> smoke fuzz (deterministic, ~15s)"
+cargo run --release -q -p epic-fuzz --bin fuzz -- --cases 2000 --seed 1 --seconds 120
+
 echo "CI OK"

@@ -19,11 +19,12 @@ pub fn gen_program_for_debug(seed: u64) -> String {
     minic_program(seed)
 }
 
-fn check_seed(seed: u64) {
-    let src = minic_program(seed);
-    let prog = epic_lang::compile(&src)
-        .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
-    let args = [(seed % 97) as i64, (seed % 13) as i64];
+/// Check one MiniC source against the interpreter at every level — the
+/// paste target for `epic-fuzz` shrinker reproducers, which emit a
+/// ready-made `check_source(r#"…"#, [a, b])` call.
+fn check_source(src: &str, args: [i64; 2]) {
+    let prog =
+        epic_lang::compile(src).unwrap_or_else(|e| panic!("program failed to compile: {e}\n{src}"));
     let want = epic_ir::interp::run(&prog, &args, Default::default())
         .unwrap_or_else(|e| panic!("oracle trapped: {e}\n{src}"))
         .output;
@@ -32,20 +33,44 @@ fn check_seed(seed: u64) {
         // The differential suite doubles as the pipeline's debug gate:
         // verify the IR after every single pass.
         copts.verify_each_pass = true;
-        let compiled = compile_source(&src, &args, &args, &copts)
+        let compiled = compile_source(src, &args, &args, &copts)
             .unwrap_or_else(|e| panic!("compile at {} failed: {e}\n{src}", level.name()));
         let sim = epic_sim::run(&compiled.mach, &args, &SimOptions::default())
             .unwrap_or_else(|e| panic!("sim at {} trapped: {e}\n{src}", level.name()));
-        assert_eq!(sim.output, want, "seed {seed} at {}:\n{src}", level.name());
+        assert_eq!(
+            sim.output,
+            want,
+            "args {args:?} at {}:\n{src}",
+            level.name()
+        );
     }
+}
+
+fn check_seed(seed: u64) {
+    check_source(
+        &minic_program(seed),
+        [(seed % 97) as i64, (seed % 13) as i64],
+    );
+}
+
+/// Differential case count: `EPIC_DIFF_CASES` if set (deep local runs),
+/// else the CI default of 24.
+fn case_count() -> u64 {
+    std::env::var("EPIC_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(24)
 }
 
 #[test]
 fn random_programs_survive_every_pipeline() {
-    // Same case count the proptest config used; seeds come from a fixed
-    // base so failures reproduce by rerunning the test.
+    // Same default case count the proptest config used; seeds come from a
+    // fixed base so failures reproduce by rerunning the test (at or above
+    // the failing EPIC_DIFF_CASES, since case i's seed is independent of
+    // the count).
     let base = Rng::new(0xD1FF_E4E2);
-    for case in 0..24 {
+    for case in 0..case_count() {
         check_seed(base.derive(case).next_u64());
     }
 }
