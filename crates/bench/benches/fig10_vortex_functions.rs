@@ -24,13 +24,14 @@ fn main() {
     let base = &suite.get(wi, OptLevel::ONs);
     let ns = &suite.get(wi, OptLevel::IlpNs);
     let cs = &suite.get(wi, OptLevel::IlpCs);
-    let total: u64 = base.sim.cycles_by_func.iter().sum();
+    let by_func = base.sim.func_matrix.by_func();
+    let total: u64 = by_func.iter().sum();
     // sort functions by O-NS contribution, descending
-    let mut order: Vec<usize> = (0..base.sim.cycles_by_func.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(base.sim.cycles_by_func[i]));
+    let mut order: Vec<usize> = (0..by_func.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(by_func[i]));
     let mut t = Table::new(&["function", "O-NS share", "ILP-NS/O-NS", "ILP-CS/O-NS"]);
     for &fi in &order {
-        let b = base.sim.cycles_by_func[fi];
+        let b = by_func[fi];
         if b == 0 {
             continue;
         }
@@ -41,8 +42,8 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| format!("f{fi}"));
         // function ids are stable across levels (same source program)
-        let n = ns.sim.cycles_by_func.get(fi).copied().unwrap_or(0);
-        let c = cs.sim.cycles_by_func.get(fi).copied().unwrap_or(0);
+        let n = ns.sim.func_matrix.row_total(fi);
+        let c = cs.sim.func_matrix.row_total(fi);
         t.row(vec![
             name,
             f3(b as f64 / total as f64),

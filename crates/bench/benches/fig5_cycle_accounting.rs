@@ -58,8 +58,8 @@ fn main() {
     let mut fe_base = 0.0;
     let mut fe_ilp = 0.0;
     for wi in 0..suite.workloads.len() {
-        fe_base += suite.get(wi, OptLevel::ONs).sim.acct.front_end_bubble as f64;
-        fe_ilp += suite.get(wi, OptLevel::IlpCs).sim.acct.front_end_bubble as f64;
+        fe_base += suite.get(wi, OptLevel::ONs).sim.acct.front_end_bubble() as f64;
+        fe_ilp += suite.get(wi, OptLevel::IlpCs).sim.acct.front_end_bubble() as f64;
     }
     println!(
         "aggregate front-end stall change (paper: ~-15%): {:+.1}%",

@@ -48,15 +48,15 @@ fn main() {
                 c.branch_predictions.to_string(),
                 c.branch_mispredictions.to_string(),
                 f3(rate),
-                m.acct.br_mispredict_flush.to_string(),
+                m.acct.br_mispredict_flush().to_string(),
             ]);
             if level == OptLevel::ONs {
                 br_base += c.dynamic_branches;
-                flush_base += m.acct.br_mispredict_flush;
+                flush_base += m.acct.br_mispredict_flush();
             }
             if level == OptLevel::IlpCs {
                 br_ilp += c.dynamic_branches;
-                flush_ilp += m.acct.br_mispredict_flush;
+                flush_ilp += m.acct.br_mispredict_flush();
             }
         }
     }

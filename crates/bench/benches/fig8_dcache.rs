@@ -17,13 +17,18 @@ fn main() {
     let suite = run_suite(&[OptLevel::ONs, OptLevel::IlpNs, OptLevel::IlpCs]);
     let mut t = Table::new(&["Benchmark", "ILP-NS", "ILP-CS", "spec loads", "deferred"]);
     for (wi, w) in suite.workloads.iter().enumerate() {
-        let base = suite.get(wi, OptLevel::ONs).sim.acct.int_load_bubble.max(1);
-        let ns = suite.get(wi, OptLevel::IlpNs).sim.acct.int_load_bubble;
+        let base = suite
+            .get(wi, OptLevel::ONs)
+            .sim
+            .acct
+            .int_load_bubble()
+            .max(1);
+        let ns = suite.get(wi, OptLevel::IlpNs).sim.acct.int_load_bubble();
         let cs = &suite.get(wi, OptLevel::IlpCs).sim;
         t.row(vec![
             w.spec_name.to_string(),
             f3(ns as f64 / base as f64),
-            f3(cs.acct.int_load_bubble as f64 / base as f64),
+            f3(cs.acct.int_load_bubble() as f64 / base as f64),
             cs.counters.spec_loads.to_string(),
             cs.counters.deferred_loads.to_string(),
         ]);

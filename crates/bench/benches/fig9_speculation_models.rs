@@ -57,10 +57,10 @@ fn main() {
         t.row(vec![
             w.spec_name.to_string(),
             g.cycles.to_string(),
-            f2(100.0 * g.acct.kernel as f64 / g.cycles as f64),
+            f2(100.0 * g.acct.kernel() as f64 / g.cycles as f64),
             g.counters.wild_loads.to_string(),
             s.cycles.to_string(),
-            f2(100.0 * s.acct.kernel as f64 / s.cycles as f64),
+            f2(100.0 * s.acct.kernel() as f64 / s.cycles as f64),
             s.counters.chk_recoveries.to_string(),
             f2(s.cycles as f64 / g.cycles as f64),
         ]);
@@ -75,7 +75,7 @@ fn main() {
     let g = &general.get(gcc_i, OptLevel::IlpCs).sim;
     println!(
         "gcc kernel share under general speculation (paper ~20%): {:.1}%",
-        100.0 * g.acct.kernel as f64 / g.cycles as f64
+        100.0 * g.acct.kernel() as f64 / g.cycles as f64
     );
     epic_bench::json::emit_if_requested("fig9_general", &general);
     epic_bench::json::emit_if_requested("fig9_sentinel", &sentinel);

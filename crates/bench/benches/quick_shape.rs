@@ -47,8 +47,8 @@ fn main() {
             f2(cs_s),
             f2(plan),
             f2(br_red),
-            f2(100.0 * cs.acct.kernel as f64 / cs.cycles as f64),
-            f2(100.0 * cs.acct.register_stack as f64 / cs.cycles as f64),
+            f2(100.0 * cs.acct.kernel() as f64 / cs.cycles as f64),
+            f2(100.0 * cs.acct.register_stack() as f64 / cs.cycles as f64),
         ]);
     }
     t.print();

@@ -5,6 +5,7 @@
 //! matrix after the human-readable table.
 
 use crate::Suite;
+use epic_sim::CATEGORIES;
 
 /// A JSON value. Numbers are `f64` (integers within 2^53 round-trip).
 #[derive(Clone, Debug, PartialEq)]
@@ -288,9 +289,61 @@ impl Suite {
                                 ])
                             })
                             .collect();
+                        let acct = Json::Obj(
+                            CATEGORIES
+                                .iter()
+                                .map(|c| {
+                                    (c.name().to_string(), Json::Num(m.sim.acct.get(*c) as f64))
+                                })
+                                .collect(),
+                        );
+                        let ctr = &m.sim.counters;
+                        let caches = Json::obj([
+                            ("l1i_accesses", Json::Num(ctr.l1i_accesses as f64)),
+                            ("l1i_misses", Json::Num(ctr.l1i_misses as f64)),
+                            ("l1d_accesses", Json::Num(ctr.l1d_accesses as f64)),
+                            ("l1d_misses", Json::Num(ctr.l1d_misses as f64)),
+                            ("l2_accesses", Json::Num(ctr.l2_accesses as f64)),
+                            ("l2_misses", Json::Num(ctr.l2_misses as f64)),
+                            ("l3_accesses", Json::Num(ctr.l3_accesses as f64)),
+                            ("l3_misses", Json::Num(ctr.l3_misses as f64)),
+                        ]);
+                        // Fig. 10 drill-down: one row per function that
+                        // accrued cycles, in CATEGORIES column order
+                        let matrix: Vec<Json> = (0..m.sim.func_matrix.num_funcs())
+                            .filter(|&f| m.sim.func_matrix.row_total(f) > 0)
+                            .map(|f| {
+                                Json::obj([
+                                    (
+                                        "func",
+                                        Json::Str(
+                                            m.compiled
+                                                .func_names
+                                                .get(f)
+                                                .cloned()
+                                                .unwrap_or_else(|| format!("f{f}")),
+                                        ),
+                                    ),
+                                    (
+                                        "cycles",
+                                        Json::Arr(
+                                            m.sim
+                                                .func_matrix
+                                                .row(f)
+                                                .iter()
+                                                .map(|&c| Json::Num(c as f64))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect();
                         Json::obj([
                             ("level", Json::Str(m.level.name().to_string())),
                             ("cycles", Json::Num(m.sim.cycles as f64)),
+                            ("acct", acct),
+                            ("caches", caches),
+                            ("func_matrix", Json::Arr(matrix)),
                             ("code_bytes", Json::Num(m.compiled.code_bytes as f64)),
                             ("inlined", Json::Num(m.compiled.inlined as f64)),
                             ("promoted", Json::Num(m.compiled.promoted as f64)),

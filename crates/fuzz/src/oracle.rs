@@ -177,6 +177,15 @@ pub fn check(src: &str, args: [i64; 2], train2: [i64; 2], opts: &OracleOptions) 
                 })
             }
         };
+        // accounting-identity oracle: every cycle charged exactly once,
+        // to one category and one function (tentpole invariant)
+        if let Err(e) = sim.check_identity() {
+            return Verdict::Fail(Failure {
+                bucket: format!("acct-identity@{}", level.name()),
+                detail: e,
+                level: Some(level),
+            });
+        }
         if sim.output != want {
             return Verdict::Fail(Failure {
                 bucket: format!("mismatch@{}", level.name()),
@@ -202,7 +211,15 @@ pub fn check(src: &str, args: [i64; 2], train2: [i64; 2], opts: &OracleOptions) 
         copts.profile_input = ProfileInput::Train; // train on train2 below
         match compile_source(src, &train2, &args, &copts) {
             Ok(c) => match epic_sim::run(&c.mach, &args, &sopts) {
-                Ok(s) if s.output == want => {}
+                Ok(s) if s.output == want => {
+                    if let Err(e) = s.check_identity() {
+                        return Verdict::Fail(Failure {
+                            bucket: format!("acct-identity@{}", OptLevel::IlpCs.name()),
+                            detail: e,
+                            level: Some(OptLevel::IlpCs),
+                        });
+                    }
+                }
                 Ok(s) => {
                     return Verdict::Fail(Failure {
                         bucket: "profile-variance".into(),
@@ -282,7 +299,15 @@ fn check_trap_agreement(
                 })
             }
             Ok(compiled) => match epic_sim::run(&compiled.mach, &args, &sopts) {
-                Ok(_) => {}
+                Ok(r) => {
+                    if let Err(e) = r.check_identity() {
+                        return Verdict::Fail(Failure {
+                            bucket: format!("acct-identity@{}", level.name()),
+                            detail: e,
+                            level: Some(level),
+                        });
+                    }
+                }
                 Err(t) if t.bucket() == "malformed" => {
                     return Verdict::Fail(Failure {
                         bucket: format!("sim-malformed@{}", level.name()),

@@ -1,0 +1,641 @@
+//! Centralized cycle/event attribution.
+//!
+//! Every simulator component reports what *happened* as a typed
+//! [`SimEvent`]; this module decides what it *costs* and which Fig. 5
+//! category pays — the single arbitration point that used to be ~25
+//! `acct.charge` calls scattered through the dispatch loop. The
+//! [`Attribution`] engine owns the aggregate [`CycleAccounting`] and
+//! [`Counters`], maintains the running total cycle counter (so fuel
+//! checks and scoreboard timestamps are one field read, not a 9-way
+//! sum), and fans every charge out to its sinks:
+//!
+//! * the built-in aggregate (always on, zero overhead beyond the add);
+//! * the built-in per-function × per-category [`FuncMatrix`] — the
+//!   real Fig. 10 drill-down;
+//! * an optional bounded [`RingTrace`] for debugging hot regions;
+//! * any number of caller-supplied [`EventSink`]s.
+//!
+//! The engine enforces the accounting identity — every cycle is charged
+//! to exactly one category and exactly one function, so
+//! `sum(categories) == total == sum(function rows)` — as debug
+//! assertions at [`Attribution::finish`]; `epic_fuzz` re-checks it on
+//! every fuzz case via [`crate::SimResult::check_identity`].
+
+use crate::caches::Level;
+use crate::counters::{Category, Counters, CycleAccounting, NUM_CATEGORIES};
+use std::collections::VecDeque;
+
+/// What a stalled-on source register was produced by. The engine
+/// arbitrates this into a Fig. 5 category ([`Category::IntLoadBubble`],
+/// [`Category::FloatScoreboard`], or [`Category::Misc`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StallProducer {
+    /// Anything else (integer scoreboard, exception flush, ...).
+    #[default]
+    Other,
+    /// A load that has not returned yet.
+    Load,
+    /// An F-unit op (multiply/divide) still in flight.
+    Float,
+}
+
+/// Why kernel time was spent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelReason {
+    /// An `Out` syscall.
+    Syscall,
+    /// An `Alloc` syscall.
+    Alloc,
+    /// Architected NaT-page response for a NULL-page speculative access.
+    NatPage,
+    /// A wild speculative load walking the kernel page tables
+    /// (paper Sec. 4.3; also bumps the `wild_loads` counter).
+    WildLoad,
+}
+
+/// Which cache port an access went through.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Port {
+    /// Instruction fetch (L1I front end).
+    Inst,
+    /// Data access (L1D).
+    Data,
+}
+
+/// How an operation retired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Retire {
+    /// Qualifying predicate true (or absent): the op did work.
+    Useful,
+    /// Predicate-squashed.
+    Squashed,
+    /// An explicit nop slot.
+    Nop,
+}
+
+/// One typed report from a simulator component. Events either cost
+/// cycles (the engine arbitrates the category), bump counters, or both.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimEvent {
+    /// The current issue group retired: one unstalled issue cycle.
+    Issue,
+    /// Front-end starvation past the decoupling buffer.
+    FetchBubble {
+        /// Bubble cycles (already net of what the buffer hid).
+        cycles: u64,
+    },
+    /// The scoreboard held the whole group waiting on a source.
+    ScoreboardStall {
+        /// The producer blamed for the latest-arriving source.
+        producer: StallProducer,
+        /// Stall cycles.
+        cycles: u64,
+    },
+    /// A conditional branch was predicted and resolved.
+    BranchPredicted {
+        /// Whether the gshare prediction matched the outcome.
+        correct: bool,
+        /// Pipeline flush cost if it did not.
+        flush_cycles: u64,
+    },
+    /// A return missed the return-address stack (flush, no prediction
+    /// counter: the RSB is not a conditional-branch predictor).
+    ReturnMispredicted {
+        /// Pipeline flush cost.
+        flush_cycles: u64,
+    },
+    /// RSE spill/fill traffic on a call or return.
+    RseTraffic {
+        /// Registers moved to/from the backing store.
+        regs: u64,
+        /// Stall cycles the move cost.
+        stall: u64,
+    },
+    /// A DTLB miss triggered a hardware (VHPT) walk.
+    DtlbWalk {
+        /// Walk cycles (charged to micropipe).
+        cycles: u64,
+    },
+    /// A load hit a store-buffer forwarding conflict.
+    StoreForward {
+        /// Conflict stall cycles (micropipe).
+        cycles: u64,
+    },
+    /// Kernel time.
+    Kernel {
+        /// What the kernel was doing.
+        reason: KernelReason,
+        /// Kernel cycles.
+        cycles: u64,
+    },
+    /// A `chk` found a deferred NaT and ran sentinel recovery.
+    ChkRecovery {
+        /// Recovery cost (misc).
+        cycles: u64,
+    },
+    /// A `chk.a` missed the ALAT and re-executed its load.
+    AlatMiss {
+        /// Recovery cost (misc).
+        cycles: u64,
+    },
+    /// An operation retired.
+    Retired(Retire),
+    /// A dynamic branch executed (taken `Br`, `Call`, or `Ret`).
+    BranchExecuted,
+    /// A call executed.
+    CallExecuted,
+    /// A cache access was serviced at `level` on `port`.
+    CacheAccess {
+        /// Instruction or data port.
+        port: Port,
+        /// The level that serviced it.
+        level: Level,
+    },
+    /// A speculative (`ld.s`) load executed.
+    SpecLoad,
+    /// A speculative load deferred to NaT.
+    DeferredLoad,
+    /// An advanced (`ld.a`) load installed an ALAT entry.
+    AdvLoad,
+}
+
+/// Where the machine currently is: the function and first bundle of the
+/// issue group being executed. Charges are attributed at group
+/// granularity, matching the paper's Pfmon-style sampling.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Location {
+    /// Function index (into `MachProgram::funcs`).
+    pub func: usize,
+    /// First bundle of the current issue group.
+    pub bundle: usize,
+}
+
+/// One charge record delivered to sinks (and kept by [`RingTrace`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChargeRecord {
+    /// Total cycles *after* this charge landed.
+    pub cycle: u64,
+    /// Where the machine was.
+    pub at: Location,
+    /// The category that paid.
+    pub cat: Category,
+    /// How many cycles were charged.
+    pub cycles: u64,
+}
+
+/// A pluggable observer of arbitrated charges. Sinks see every nonzero
+/// charge after the aggregate has been updated; they cannot alter
+/// attribution, only observe it.
+pub trait EventSink {
+    /// One arbitrated, nonzero charge.
+    fn on_charge(&mut self, rec: &ChargeRecord);
+}
+
+/// Per-function × per-category cycle matrix: the Fig. 10 drill-down.
+/// Row sums reproduce the old flat `cycles_by_func` vector; column sums
+/// reproduce the aggregate [`CycleAccounting`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FuncMatrix {
+    rows: Vec<[u64; NUM_CATEGORIES]>,
+}
+
+impl FuncMatrix {
+    /// An all-zero matrix with one row per function.
+    pub fn new(num_funcs: usize) -> FuncMatrix {
+        FuncMatrix {
+            rows: vec![[0; NUM_CATEGORIES]; num_funcs],
+        }
+    }
+
+    fn add(&mut self, func: usize, cat: Category, cycles: u64) {
+        self.rows[func][cat.index()] += cycles;
+    }
+
+    /// Number of function rows.
+    pub fn num_funcs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cycles charged to `(func, cat)`.
+    pub fn get(&self, func: usize, cat: Category) -> u64 {
+        self.rows[func][cat.index()]
+    }
+
+    /// One function's full category row, in [`CATEGORIES`] order.
+    pub fn row(&self, func: usize) -> &[u64; NUM_CATEGORIES] {
+        &self.rows[func]
+    }
+
+    /// Total cycles attributed to one function (Fig. 10 bar width).
+    pub fn row_total(&self, func: usize) -> u64 {
+        self.rows[func].iter().sum()
+    }
+
+    /// Total cycles in one category across all functions; equals the
+    /// aggregate accounting's entry for `cat`.
+    pub fn col_total(&self, cat: Category) -> u64 {
+        self.rows.iter().map(|r| r[cat.index()]).sum()
+    }
+
+    /// Grand total; equals the simulation's total cycles.
+    pub fn total(&self) -> u64 {
+        self.rows.iter().flatten().sum()
+    }
+
+    /// The flat per-function cycle vector (row totals) — the shape the
+    /// original Fig. 10 plot consumes.
+    pub fn by_func(&self) -> Vec<u64> {
+        (0..self.rows.len()).map(|f| self.row_total(f)).collect()
+    }
+}
+
+/// Bounded ring-buffer trace of the most recent charges — cheap enough
+/// to leave on while bisecting a hot region, impossible to grow without
+/// bound. Also usable as a standalone [`EventSink`].
+#[derive(Clone, Debug, Default)]
+pub struct RingTrace {
+    buf: VecDeque<ChargeRecord>,
+    capacity: usize,
+    /// Records evicted because the buffer was full.
+    pub dropped: u64,
+}
+
+impl RingTrace {
+    /// A trace keeping at most `capacity` records (0 keeps nothing).
+    pub fn new(capacity: usize) -> RingTrace {
+        RingTrace {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &ChargeRecord> {
+        self.buf.iter()
+    }
+
+    /// Drain into a plain vector, oldest first.
+    pub fn into_records(self) -> Vec<ChargeRecord> {
+        self.buf.into_iter().collect()
+    }
+
+    fn push(&mut self, rec: ChargeRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+}
+
+impl EventSink for RingTrace {
+    fn on_charge(&mut self, rec: &ChargeRecord) {
+        self.push(*rec);
+    }
+}
+
+/// The attribution engine. See the module docs for the event model.
+pub struct Attribution {
+    acct: CycleAccounting,
+    counters: Counters,
+    matrix: FuncMatrix,
+    /// Running total of every charged cycle — kept in lockstep with the
+    /// category array so fuel checks are one comparison.
+    total: u64,
+    at: Location,
+    trace: Option<RingTrace>,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl Attribution {
+    /// An engine for a program with `num_funcs` functions.
+    pub fn new(num_funcs: usize) -> Attribution {
+        Attribution {
+            acct: CycleAccounting::default(),
+            counters: Counters::default(),
+            matrix: FuncMatrix::new(num_funcs),
+            total: 0,
+            at: Location::default(),
+            trace: None,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Enable the bounded ring-buffer trace (capacity 0 disables).
+    pub fn with_trace(mut self, capacity: usize) -> Attribution {
+        self.trace = (capacity > 0).then(|| RingTrace::new(capacity));
+        self
+    }
+
+    /// Attach an external observer of arbitrated charges.
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Move the attribution cursor: subsequent charges land on this
+    /// function/bundle.
+    pub fn at(&mut self, func: usize, bundle: usize) {
+        self.at = Location { func, bundle };
+    }
+
+    /// Total cycles charged so far (the simulator's clock).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Read-only view of the aggregate accounting.
+    pub fn acct(&self) -> &CycleAccounting {
+        &self.acct
+    }
+
+    /// Read-only view of the counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Report one event. This is the *only* way cycles or counters move:
+    /// the match below is the complete cost/category model.
+    pub fn emit(&mut self, ev: SimEvent) {
+        match ev {
+            SimEvent::Issue => self.charge(Category::Unstalled, 1),
+            SimEvent::FetchBubble { cycles } => self.charge(Category::FrontEndBubble, cycles),
+            SimEvent::ScoreboardStall { producer, cycles } => {
+                // the multi-cause arbitration point: one producer kind,
+                // one category, every stall cycle charged exactly once
+                let cat = match producer {
+                    StallProducer::Load => Category::IntLoadBubble,
+                    StallProducer::Float => Category::FloatScoreboard,
+                    StallProducer::Other => Category::Misc,
+                };
+                self.charge(cat, cycles);
+            }
+            SimEvent::BranchPredicted {
+                correct,
+                flush_cycles,
+            } => {
+                self.counters.branch_predictions += 1;
+                if !correct {
+                    self.counters.branch_mispredictions += 1;
+                    self.charge(Category::BrMispredictFlush, flush_cycles);
+                }
+            }
+            SimEvent::ReturnMispredicted { flush_cycles } => {
+                self.charge(Category::BrMispredictFlush, flush_cycles);
+            }
+            SimEvent::RseTraffic { regs, stall } => {
+                self.counters.rse_regs_moved += regs;
+                self.charge(Category::RegisterStack, stall);
+            }
+            SimEvent::DtlbWalk { cycles } => {
+                self.counters.dtlb_misses += 1;
+                self.charge(Category::Micropipe, cycles);
+            }
+            SimEvent::StoreForward { cycles } => self.charge(Category::Micropipe, cycles),
+            SimEvent::Kernel { reason, cycles } => {
+                if reason == KernelReason::WildLoad {
+                    self.counters.wild_loads += 1;
+                }
+                self.charge(Category::Kernel, cycles);
+            }
+            SimEvent::ChkRecovery { cycles } => {
+                self.counters.chk_recoveries += 1;
+                self.charge(Category::Misc, cycles);
+            }
+            SimEvent::AlatMiss { cycles } => {
+                self.counters.alat_misses += 1;
+                self.charge(Category::Misc, cycles);
+            }
+            SimEvent::Retired(kind) => match kind {
+                Retire::Useful => self.counters.retired_useful += 1,
+                Retire::Squashed => self.counters.retired_squashed += 1,
+                Retire::Nop => self.counters.retired_nops += 1,
+            },
+            SimEvent::BranchExecuted => self.counters.dynamic_branches += 1,
+            SimEvent::CallExecuted => self.counters.calls += 1,
+            SimEvent::CacheAccess { port, level } => {
+                let (acc, miss): (&mut u64, &mut u64) = match port {
+                    Port::Inst => (
+                        &mut self.counters.l1i_accesses,
+                        &mut self.counters.l1i_misses,
+                    ),
+                    Port::Data => (
+                        &mut self.counters.l1d_accesses,
+                        &mut self.counters.l1d_misses,
+                    ),
+                };
+                *acc += 1;
+                if level != Level::L1 {
+                    *miss += 1;
+                    self.counters.l2_accesses += 1;
+                    if level != Level::L2 {
+                        self.counters.l2_misses += 1;
+                        self.counters.l3_accesses += 1;
+                        if level != Level::L3 {
+                            self.counters.l3_misses += 1;
+                        }
+                    }
+                }
+            }
+            SimEvent::SpecLoad => self.counters.spec_loads += 1,
+            SimEvent::DeferredLoad => self.counters.deferred_loads += 1,
+            SimEvent::AdvLoad => self.counters.adv_loads += 1,
+        }
+    }
+
+    fn charge(&mut self, cat: Category, cycles: u64) {
+        self.acct.charge(cat, cycles);
+        self.matrix.add(self.at.func, cat, cycles);
+        self.total += cycles;
+        if cycles > 0 && (self.trace.is_some() || !self.sinks.is_empty()) {
+            let rec = ChargeRecord {
+                cycle: self.total,
+                at: self.at,
+                cat,
+                cycles,
+            };
+            if let Some(t) = &mut self.trace {
+                t.push(rec);
+            }
+            for s in &mut self.sinks {
+                s.on_charge(&rec);
+            }
+        }
+    }
+
+    /// Tear down into the final measurements, checking the accounting
+    /// identity in debug builds: every cycle charged exactly once to a
+    /// category and exactly once to a function.
+    pub fn finish(self) -> (CycleAccounting, Counters, FuncMatrix, Vec<ChargeRecord>) {
+        debug_assert_eq!(
+            self.total,
+            self.acct.total(),
+            "running total diverged from the category sum"
+        );
+        debug_assert_eq!(
+            self.matrix.total(),
+            self.total,
+            "per-function matrix diverged from the total"
+        );
+        #[cfg(debug_assertions)]
+        for c in crate::counters::CATEGORIES {
+            debug_assert_eq!(
+                self.matrix.col_total(c),
+                self.acct.get(c),
+                "column {c:?} diverged from the aggregate"
+            );
+        }
+        let trace = self.trace.map(RingTrace::into_records).unwrap_or_default();
+        (self.acct, self.counters, self.matrix, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CATEGORIES;
+
+    #[test]
+    fn arbitration_maps_each_event_to_one_category() {
+        let mut a = Attribution::new(2);
+        a.at(0, 0);
+        a.emit(SimEvent::Issue);
+        a.emit(SimEvent::ScoreboardStall {
+            producer: StallProducer::Load,
+            cycles: 7,
+        });
+        a.at(1, 3);
+        a.emit(SimEvent::ScoreboardStall {
+            producer: StallProducer::Float,
+            cycles: 2,
+        });
+        a.emit(SimEvent::Kernel {
+            reason: KernelReason::WildLoad,
+            cycles: 160,
+        });
+        a.emit(SimEvent::DtlbWalk { cycles: 25 });
+        let (acct, ctr, matrix, _) = a.finish();
+        assert_eq!(acct.unstalled(), 1);
+        assert_eq!(acct.int_load_bubble(), 7);
+        assert_eq!(acct.float_scoreboard(), 2);
+        assert_eq!(acct.kernel(), 160);
+        assert_eq!(acct.micropipe(), 25);
+        assert_eq!(acct.total(), 195);
+        assert_eq!(ctr.wild_loads, 1);
+        assert_eq!(ctr.dtlb_misses, 1);
+        // function attribution followed the cursor
+        assert_eq!(matrix.row_total(0), 8);
+        assert_eq!(matrix.row_total(1), 187);
+        assert_eq!(matrix.total(), acct.total());
+    }
+
+    #[test]
+    fn cache_events_reconstruct_hierarchy_counters() {
+        let mut a = Attribution::new(1);
+        a.emit(SimEvent::CacheAccess {
+            port: Port::Data,
+            level: Level::L1,
+        });
+        a.emit(SimEvent::CacheAccess {
+            port: Port::Data,
+            level: Level::Mem,
+        });
+        a.emit(SimEvent::CacheAccess {
+            port: Port::Inst,
+            level: Level::L3,
+        });
+        let (_, c, ..) = a.finish();
+        assert_eq!((c.l1d_accesses, c.l1d_misses), (2, 1));
+        assert_eq!((c.l1i_accesses, c.l1i_misses), (1, 1));
+        assert_eq!((c.l2_accesses, c.l2_misses), (2, 2));
+        assert_eq!((c.l3_accesses, c.l3_misses), (2, 1));
+    }
+
+    #[test]
+    fn matrix_rows_and_columns_sum_to_total() {
+        let mut a = Attribution::new(3);
+        for f in 0..3usize {
+            a.at(f, f * 10);
+            a.emit(SimEvent::Issue);
+            a.emit(SimEvent::FetchBubble {
+                cycles: f as u64 * 5,
+            });
+        }
+        let (acct, _, m, _) = a.finish();
+        assert_eq!(m.total(), acct.total());
+        assert_eq!(m.by_func().iter().sum::<u64>(), acct.total());
+        for c in CATEGORIES {
+            assert_eq!(m.col_total(c), acct.get(c), "{c:?}");
+        }
+        assert_eq!(m.get(2, Category::FrontEndBubble), 10);
+    }
+
+    #[test]
+    fn ring_trace_is_bounded_and_counts_drops() {
+        let mut a = Attribution::new(1).with_trace(4);
+        for _ in 0..10 {
+            a.emit(SimEvent::Issue);
+        }
+        // zero-cycle charges never enter the trace
+        a.emit(SimEvent::FetchBubble { cycles: 0 });
+        let (.., trace) = a.finish();
+        assert_eq!(trace.len(), 4);
+        // oldest-first: the surviving records are charges 7..=10
+        assert_eq!(trace[0].cycle, 7);
+        assert_eq!(trace[3].cycle, 10);
+        assert!(trace.iter().all(|r| r.cat == Category::Unstalled));
+    }
+
+    #[test]
+    fn external_sinks_observe_every_nonzero_charge() {
+        struct CountSink(std::rc::Rc<std::cell::RefCell<Vec<ChargeRecord>>>);
+        impl EventSink for CountSink {
+            fn on_charge(&mut self, rec: &ChargeRecord) {
+                self.0.borrow_mut().push(*rec);
+            }
+        }
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut a = Attribution::new(1);
+        a.add_sink(Box::new(CountSink(seen.clone())));
+        a.emit(SimEvent::Issue);
+        a.emit(SimEvent::StoreForward { cycles: 0 }); // zero: not delivered
+        a.emit(SimEvent::StoreForward { cycles: 4 });
+        drop(a.finish());
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[1].cat, Category::Micropipe);
+        assert_eq!(seen[1].cycle, 5);
+    }
+
+    #[test]
+    fn retire_and_branch_events_only_touch_counters() {
+        let mut a = Attribution::new(1);
+        a.emit(SimEvent::Retired(Retire::Useful));
+        a.emit(SimEvent::Retired(Retire::Squashed));
+        a.emit(SimEvent::Retired(Retire::Nop));
+        a.emit(SimEvent::BranchExecuted);
+        a.emit(SimEvent::CallExecuted);
+        a.emit(SimEvent::SpecLoad);
+        a.emit(SimEvent::DeferredLoad);
+        a.emit(SimEvent::AdvLoad);
+        a.emit(SimEvent::BranchPredicted {
+            correct: true,
+            flush_cycles: 6,
+        });
+        assert_eq!(a.total(), 0, "counter events must not charge cycles");
+        let (acct, c, ..) = a.finish();
+        assert_eq!(acct.total(), 0);
+        assert_eq!(c.retired_useful, 1);
+        assert_eq!(c.retired_squashed, 1);
+        assert_eq!(c.retired_nops, 1);
+        assert_eq!(c.dynamic_branches, 1);
+        assert_eq!(c.calls, 1);
+        assert_eq!(c.spec_loads, 1);
+        assert_eq!(c.deferred_loads, 1);
+        assert_eq!(c.adv_loads, 1);
+        assert_eq!((c.branch_predictions, c.branch_mispredictions), (1, 0));
+    }
+}

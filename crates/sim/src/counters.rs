@@ -1,31 +1,40 @@
 //! Cycle accounting (paper Fig. 5's nine categories) and performance
 //! counters (the Pfmon-style measurements every experiment consumes).
+//!
+//! [`CycleAccounting`] is a dense `[u64; 9]` indexed by [`Category`]
+//! discriminant; the named per-category methods are the public API, so
+//! adding a category means touching exactly two places (the enum and
+//! [`CATEGORIES`]) instead of a triplicated match.
 
-/// The paper's Fig. 5 cycle categories.
+/// The paper's Fig. 5 cycle categories. Discriminants index
+/// [`CycleAccounting`]'s backing array and the per-function matrix rows.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Category {
     /// Issue cycles (the compiler's plan executing without stall).
-    Unstalled,
+    Unstalled = 0,
     /// Scoreboard stalls on F-unit producers (multiply/divide here).
-    FloatScoreboard,
+    FloatScoreboard = 1,
     /// Integer scoreboard + exception flush + other small contributors.
-    Misc,
+    Misc = 2,
     /// Scoreboard stalls on loads (data-cache misses).
-    IntLoadBubble,
+    IntLoadBubble = 3,
     /// Memory-pipeline stalls: store-forwarding conflicts, DTLB walks.
-    Micropipe,
+    Micropipe = 4,
     /// Instruction fetch starvation (I-cache misses past the buffer).
-    FrontEndBubble,
+    FrontEndBubble = 5,
     /// Branch misprediction flushes.
-    BrMispredictFlush,
+    BrMispredictFlush = 6,
     /// Register stack engine spills/fills.
-    RegisterStack,
+    RegisterStack = 7,
     /// Kernel time: wild-load page-table queries, syscalls, NaT page.
-    Kernel,
+    Kernel = 8,
 }
 
+/// Number of Fig. 5 categories.
+pub const NUM_CATEGORIES: usize = 9;
+
 /// All categories, in Fig. 5's stacking order.
-pub const CATEGORIES: [Category; 9] = [
+pub const CATEGORIES: [Category; NUM_CATEGORIES] = [
     Category::Unstalled,
     Category::FloatScoreboard,
     Category::Misc,
@@ -37,84 +46,118 @@ pub const CATEGORIES: [Category; 9] = [
     Category::Kernel,
 ];
 
-/// Cycle totals per category.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+impl Category {
+    /// Index into a `[u64; NUM_CATEGORIES]` accounting array.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short stable label (used by reports, tables, and JSON dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Unstalled => "unstalled",
+            Category::FloatScoreboard => "float-scoreboard",
+            Category::Misc => "misc",
+            Category::IntLoadBubble => "int-load-bubble",
+            Category::Micropipe => "micropipe",
+            Category::FrontEndBubble => "front-end-bubble",
+            Category::BrMispredictFlush => "br-mispredict-flush",
+            Category::RegisterStack => "register-stack",
+            Category::Kernel => "kernel",
+        }
+    }
+}
+
+/// Cycle totals per category, stored as one array indexed by
+/// [`Category::index`]. Read through the named accessors or [`get`].
+///
+/// [`get`]: CycleAccounting::get
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CycleAccounting {
-    /// Issue cycles.
-    pub unstalled: u64,
-    /// F-unit scoreboard stalls.
-    pub float_scoreboard: u64,
-    /// Other scoreboard + exception flush.
-    pub misc: u64,
-    /// Load-miss scoreboard stalls.
-    pub int_load_bubble: u64,
-    /// Memory-pipeline (micropipe) stalls.
-    pub micropipe: u64,
-    /// Fetch starvation.
-    pub front_end_bubble: u64,
-    /// Misprediction flushes.
-    pub br_mispredict_flush: u64,
-    /// RSE activity.
-    pub register_stack: u64,
-    /// Kernel cycles.
-    pub kernel: u64,
+    cells: [u64; NUM_CATEGORIES],
 }
 
 impl CycleAccounting {
     /// Add cycles to a category.
     pub fn charge(&mut self, cat: Category, cycles: u64) {
-        *self.slot(cat) += cycles;
-    }
-
-    fn slot(&mut self, cat: Category) -> &mut u64 {
-        match cat {
-            Category::Unstalled => &mut self.unstalled,
-            Category::FloatScoreboard => &mut self.float_scoreboard,
-            Category::Misc => &mut self.misc,
-            Category::IntLoadBubble => &mut self.int_load_bubble,
-            Category::Micropipe => &mut self.micropipe,
-            Category::FrontEndBubble => &mut self.front_end_bubble,
-            Category::BrMispredictFlush => &mut self.br_mispredict_flush,
-            Category::RegisterStack => &mut self.register_stack,
-            Category::Kernel => &mut self.kernel,
-        }
+        self.cells[cat.index()] += cycles;
     }
 
     /// Read a category.
     pub fn get(&self, cat: Category) -> u64 {
-        match cat {
-            Category::Unstalled => self.unstalled,
-            Category::FloatScoreboard => self.float_scoreboard,
-            Category::Misc => self.misc,
-            Category::IntLoadBubble => self.int_load_bubble,
-            Category::Micropipe => self.micropipe,
-            Category::FrontEndBubble => self.front_end_bubble,
-            Category::BrMispredictFlush => self.br_mispredict_flush,
-            Category::RegisterStack => self.register_stack,
-            Category::Kernel => self.kernel,
-        }
+        self.cells[cat.index()]
+    }
+
+    /// The backing array, in [`CATEGORIES`] order.
+    pub fn cells(&self) -> &[u64; NUM_CATEGORIES] {
+        &self.cells
+    }
+
+    /// Issue cycles.
+    pub fn unstalled(&self) -> u64 {
+        self.get(Category::Unstalled)
+    }
+
+    /// F-unit scoreboard stalls.
+    pub fn float_scoreboard(&self) -> u64 {
+        self.get(Category::FloatScoreboard)
+    }
+
+    /// Other scoreboard + exception flush.
+    pub fn misc(&self) -> u64 {
+        self.get(Category::Misc)
+    }
+
+    /// Load-miss scoreboard stalls.
+    pub fn int_load_bubble(&self) -> u64 {
+        self.get(Category::IntLoadBubble)
+    }
+
+    /// Memory-pipeline (micropipe) stalls.
+    pub fn micropipe(&self) -> u64 {
+        self.get(Category::Micropipe)
+    }
+
+    /// Fetch starvation.
+    pub fn front_end_bubble(&self) -> u64 {
+        self.get(Category::FrontEndBubble)
+    }
+
+    /// Misprediction flushes.
+    pub fn br_mispredict_flush(&self) -> u64 {
+        self.get(Category::BrMispredictFlush)
+    }
+
+    /// RSE activity.
+    pub fn register_stack(&self) -> u64 {
+        self.get(Category::RegisterStack)
+    }
+
+    /// Kernel cycles.
+    pub fn kernel(&self) -> u64 {
+        self.get(Category::Kernel)
     }
 
     /// Total execution cycles.
     pub fn total(&self) -> u64 {
-        CATEGORIES.iter().map(|c| self.get(*c)).sum()
+        self.cells.iter().sum()
     }
 
     /// "Planned" cycles in the paper's Fig. 2 sense: the statically
     /// anticipable components (unstalled + scoreboard categories),
     /// subtracting all dynamic effects.
     pub fn planned(&self) -> u64 {
-        self.unstalled + self.float_scoreboard + self.misc
+        self.unstalled() + self.float_scoreboard() + self.misc()
     }
 
     /// Total minus data-cache stall only (the paper's 1.21 datapoint).
     pub fn total_minus_dcache(&self) -> u64 {
-        self.total() - self.int_load_bubble
+        self.total() - self.int_load_bubble()
     }
 }
 
 /// Event counters exposed by the simulated performance monitoring unit.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Retired ops with a true (or absent) qualifying predicate.
     pub retired_useful: u64,
@@ -140,6 +183,10 @@ pub struct Counters {
     pub l2_accesses: u64,
     /// L2 misses.
     pub l2_misses: u64,
+    /// L3 accesses (everything that missed L2).
+    pub l3_accesses: u64,
+    /// L3 misses (accesses served by main memory).
+    pub l3_misses: u64,
     /// Speculative loads executed.
     pub spec_loads: u64,
     /// Speculative loads that faulted to NaT (deferred).
@@ -175,5 +222,37 @@ mod tests {
         assert_eq!(a.planned(), 105);
         assert_eq!(a.total_minus_dcache(), 115);
         assert_eq!(a.get(Category::Kernel), 10);
+        assert_eq!(a.kernel(), 10);
+        assert_eq!(a.unstalled(), 100);
+    }
+
+    #[test]
+    fn category_indices_are_dense_and_ordered() {
+        for (i, c) in CATEGORIES.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?}");
+        }
+        // every category has a distinct label
+        let mut names: Vec<&str> = CATEGORIES.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_CATEGORIES);
+    }
+
+    #[test]
+    fn named_accessors_agree_with_get() {
+        let mut a = CycleAccounting::default();
+        for (i, c) in CATEGORIES.iter().enumerate() {
+            a.charge(*c, (i as u64 + 1) * 7);
+        }
+        assert_eq!(a.unstalled(), a.get(Category::Unstalled));
+        assert_eq!(a.float_scoreboard(), a.get(Category::FloatScoreboard));
+        assert_eq!(a.misc(), a.get(Category::Misc));
+        assert_eq!(a.int_load_bubble(), a.get(Category::IntLoadBubble));
+        assert_eq!(a.micropipe(), a.get(Category::Micropipe));
+        assert_eq!(a.front_end_bubble(), a.get(Category::FrontEndBubble));
+        assert_eq!(a.br_mispredict_flush(), a.get(Category::BrMispredictFlush));
+        assert_eq!(a.register_stack(), a.get(Category::RegisterStack));
+        assert_eq!(a.kernel(), a.get(Category::Kernel));
+        assert_eq!(a.total(), a.cells().iter().sum::<u64>());
     }
 }

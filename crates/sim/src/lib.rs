@@ -21,6 +21,7 @@
 //! and both general and sentinel control-speculation recovery models
 //! (paper Fig. 9).
 
+pub mod attrib;
 pub mod branch;
 pub mod caches;
 pub mod counters;
@@ -28,5 +29,6 @@ pub mod machine;
 pub mod rse;
 pub mod tlb;
 
-pub use counters::{Category, Counters, CycleAccounting, CATEGORIES};
+pub use attrib::{Attribution, ChargeRecord, EventSink, FuncMatrix, Location, RingTrace, SimEvent};
+pub use counters::{Category, Counters, CycleAccounting, CATEGORIES, NUM_CATEGORIES};
 pub use machine::{run, SimOptions, SimResult, SimTrap, SpecModel, TrapKind};

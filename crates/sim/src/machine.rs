@@ -12,10 +12,17 @@
 //! gshare branch predictor, a DTLB with hardware walks, the register
 //! stack engine, and the general/sentinel speculation recovery models of
 //! paper Fig. 9.
+//!
+//! The dispatch loop contains *no accounting code*: every cycle cost and
+//! counter bump is reported as a typed [`SimEvent`] to the
+//! [`Attribution`] engine ([`crate::attrib`]), which arbitrates the
+//! category, maintains the running clock, and builds the per-function
+//! drill-down matrix.
 
+use crate::attrib::{Attribution, FuncMatrix, KernelReason, Port, Retire, SimEvent, StallProducer};
 use crate::branch::Predictor;
 use crate::caches::Hierarchy;
-use crate::counters::{Category, Counters, CycleAccounting};
+use crate::counters::{Counters, CycleAccounting, CATEGORIES};
 use crate::rse::Rse;
 use crate::tlb::Dtlb;
 use epic_ir::interp::checksum;
@@ -44,6 +51,9 @@ pub struct SimOptions {
     pub fuel_cycles: u64,
     /// Speculation recovery model.
     pub spec_model: SpecModel,
+    /// Keep the last N arbitrated charges in a ring-buffer trace
+    /// (`SimResult::trace`); 0 disables tracing (the default).
+    pub trace_capacity: usize,
 }
 
 impl Default for SimOptions {
@@ -52,6 +62,7 @@ impl Default for SimOptions {
             config: MachineConfig::default(),
             fuel_cycles: 20_000_000_000,
             spec_model: SpecModel::General,
+            trace_capacity: 0,
         }
     }
 }
@@ -145,24 +156,57 @@ pub struct SimResult {
     pub acct: CycleAccounting,
     /// Performance counters.
     pub counters: Counters,
-    /// Per-function cycle attribution (Fig. 10), indexed by `FuncId`.
-    pub cycles_by_func: Vec<u64>,
+    /// Per-function × per-category cycle attribution (the Fig. 10
+    /// drill-down), indexed by `FuncId` row. Row totals are the old flat
+    /// `cycles_by_func`; column totals reproduce `acct`.
+    pub func_matrix: FuncMatrix,
+    /// The most recent arbitrated charges when
+    /// [`SimOptions::trace_capacity`] was nonzero; empty otherwise.
+    pub trace: Vec<crate::attrib::ChargeRecord>,
 }
 
-/// What a source-register value was produced by (for charging scoreboard
-/// stalls to the right Fig. 5 bucket).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-enum ProducerKind {
-    #[default]
-    Other,
-    Load,
-    Float,
+impl SimResult {
+    /// Verify the accounting identity: the category sum, the running
+    /// total, and the per-function matrix (rows *and* columns) must all
+    /// describe the same cycles. Returns a description of the first
+    /// violation — the fuzzer's accounting-identity oracle and `epicc
+    /// report` both call this.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated identity.
+    pub fn check_identity(&self) -> Result<(), String> {
+        if self.acct.total() != self.cycles {
+            return Err(format!(
+                "category sum {} != total cycles {}",
+                self.acct.total(),
+                self.cycles
+            ));
+        }
+        if self.func_matrix.total() != self.cycles {
+            return Err(format!(
+                "per-function matrix total {} != total cycles {}",
+                self.func_matrix.total(),
+                self.cycles
+            ));
+        }
+        for cat in CATEGORIES {
+            if self.func_matrix.col_total(cat) != self.acct.get(cat) {
+                return Err(format!(
+                    "matrix column {} = {} != aggregate {}",
+                    cat.name(),
+                    self.func_matrix.col_total(cat),
+                    self.acct.get(cat)
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 struct Frame {
     regs: Vec<Value>,
     ready: Vec<u64>,
-    producer: Vec<ProducerKind>,
+    producer: Vec<StallProducer>,
     sp: u64,
     ret_pos: (usize, usize),
     ret_dst: Option<Vreg>,
@@ -173,7 +217,7 @@ impl Frame {
         Frame {
             regs: vec![Value::default(); nregs],
             ready: vec![0; nregs],
-            producer: vec![ProducerKind::Other; nregs],
+            producer: vec![StallProducer::Other; nregs],
             sp,
             ret_pos: (usize::MAX, usize::MAX),
             ret_dst: None,
@@ -202,9 +246,7 @@ struct Sim<'a> {
     pred: Predictor,
     dtlb: Dtlb,
     rse: Rse,
-    acct: CycleAccounting,
-    counters: Counters,
-    cycles_by_func: Vec<u64>,
+    attrib: Attribution,
     output: Vec<u64>,
     ib_ops: f64,
     last_line: u64,
@@ -228,9 +270,7 @@ impl<'a> Sim<'a> {
             pred: Predictor::new(),
             dtlb: Dtlb::new(opts.config.dtlb_entries),
             rse: Rse::new(opts.config.rse_capacity, opts.config.rse_cycle_per_reg),
-            acct: CycleAccounting::default(),
-            counters: Counters::default(),
-            cycles_by_func: vec![0; mp.funcs.len()],
+            attrib: Attribution::new(mp.funcs.len()).with_trace(opts.trace_capacity),
             output: Vec::new(),
             ib_ops: 0.0,
             last_line: u64::MAX,
@@ -247,7 +287,7 @@ impl<'a> Sim<'a> {
             kind,
             func: self.mp.funcs[pos.0].name.clone(),
             bundle: pos.1,
-            cycle: self.acct.total(),
+            cycle: self.attrib.total(),
         }
     }
 
@@ -262,17 +302,20 @@ impl<'a> Sim<'a> {
         let mut pos = (entry, ef.entry);
         // reusable per-group write buffer (avoids a heap allocation per
         // simulated cycle)
-        let mut writes: Vec<(Vreg, Value, u64, ProducerKind)> = Vec::with_capacity(16);
+        let mut writes: Vec<(Vreg, Value, u64, StallProducer)> = Vec::with_capacity(16);
         // start the RSE with main's window
-        let c = self.rse.call(ef.n_gr);
-        self.acct.charge(Category::RegisterStack, c);
+        self.attrib.at(entry, ef.entry);
+        let (regs, stall) = self.rse.call(ef.n_gr);
+        self.attrib.emit(SimEvent::RseTraffic { regs, stall });
 
         loop {
-            if self.acct.total() > self.fuel {
+            if self.attrib.total() > self.fuel {
                 return Err(self.trap_at(TrapKind::OutOfFuel, pos));
             }
-            let start_cycles = self.acct.total();
             let (func_i, first_bundle) = pos;
+            // attribute everything this group does — fetch, stall, issue,
+            // recovery — to the function executing it
+            self.attrib.at(func_i, first_bundle);
             let f = &self.mp.funcs[func_i];
             if first_bundle >= f.bundles.len() {
                 return Err(self.trap_at(
@@ -300,7 +343,11 @@ impl<'a> Sim<'a> {
                 let line = addr / self.cfg.l1i.line;
                 if line != self.last_line {
                     self.last_line = line;
-                    let (lat, _lvl) = self.hier.fetch_inst(addr);
+                    let (lat, lvl) = self.hier.fetch_inst(addr);
+                    self.attrib.emit(SimEvent::CacheAccess {
+                        port: Port::Inst,
+                        level: lvl,
+                    });
                     let extra = lat.saturating_sub(self.cfg.l1i.latency);
                     if extra > 0 {
                         // the decoupling buffer hides what it has buffered
@@ -308,7 +355,7 @@ impl<'a> Sim<'a> {
                         let hidden = (self.ib_ops / per_cycle).min(extra as f64);
                         self.ib_ops -= hidden * per_cycle;
                         let bubble = extra - hidden as u64;
-                        self.acct.charge(Category::FrontEndBubble, bubble);
+                        self.attrib.emit(SimEvent::FetchBubble { cycles: bubble });
                     }
                 }
             }
@@ -317,9 +364,9 @@ impl<'a> Sim<'a> {
                 (self.ib_ops + 6.0 - group_size as f64).clamp(0.0, self.cfg.ib_ops as f64);
 
             // --- scoreboard: group issues when all sources are ready ---
-            let now0 = self.acct.total();
+            let now0 = self.attrib.total();
             let mut need = now0;
-            let mut blame = ProducerKind::Other;
+            let mut blame = StallProducer::Other;
             for b in group_bundles {
                 for s in &b.slots {
                     let Slot::Op(op) = s else { continue };
@@ -336,15 +383,12 @@ impl<'a> Sim<'a> {
                 }
             }
             if need > now0 {
-                let stall = need - now0;
-                let cat = match blame {
-                    ProducerKind::Load => Category::IntLoadBubble,
-                    ProducerKind::Float => Category::FloatScoreboard,
-                    ProducerKind::Other => Category::Misc,
-                };
-                self.acct.charge(cat, stall);
+                self.attrib.emit(SimEvent::ScoreboardStall {
+                    producer: blame,
+                    cycles: need - now0,
+                });
             }
-            let issue = self.acct.total();
+            let issue = self.attrib.total();
 
             // --- execute (two-phase: reads see pre-group state) ---
             writes.clear();
@@ -357,7 +401,7 @@ impl<'a> Sim<'a> {
                     let op = match s {
                         Slot::Op(op) => op,
                         Slot::Nop => {
-                            self.counters.retired_nops += 1;
+                            self.attrib.emit(SimEvent::Retired(Retire::Nop));
                             continue;
                         }
                         Slot::LContinuation => continue,
@@ -384,16 +428,16 @@ impl<'a> Sim<'a> {
                         // conditional branch: predict on both outcomes
                         let addr = f.bundle_addr(first_bundle + k);
                         let correct = self.pred.branch(addr, guard_val);
-                        if !correct {
-                            self.acct
-                                .charge(Category::BrMispredictFlush, self.cfg.mispredict_penalty);
-                        }
+                        self.attrib.emit(SimEvent::BranchPredicted {
+                            correct,
+                            flush_cycles: self.cfg.mispredict_penalty,
+                        });
                     }
                     if !guard_val {
-                        self.counters.retired_squashed += 1;
+                        self.attrib.emit(SimEvent::Retired(Retire::Squashed));
                         continue;
                     }
-                    self.counters.retired_useful += 1;
+                    self.attrib.emit(SimEvent::Retired(Retire::Useful));
                     macro_rules! ev {
                         ($o:expr) => {
                             eval_operand(&frame, self.mp, $o)
@@ -413,9 +457,9 @@ impl<'a> Sim<'a> {
                             let c = ev!(&op.srcs[1]);
                             let v = Value::lift2(a, c, |x, y| alu(op.opcode, x, y));
                             let kind = if matches!(op.opcode, Opcode::Mul) {
-                                ProducerKind::Float
+                                StallProducer::Float
                             } else {
-                                ProducerKind::Other
+                                StallProducer::Other
                             };
                             let lat = epic_mach::units::latency(op) as u64;
                             writes.push((op.dsts[0], v, issue + lat, kind));
@@ -436,7 +480,7 @@ impl<'a> Sim<'a> {
                                 })
                             };
                             let lat = epic_mach::units::latency(op) as u64;
-                            writes.push((op.dsts[0], v, issue + lat, ProducerKind::Float));
+                            writes.push((op.dsts[0], v, issue + lat, StallProducer::Float));
                         }
                         Opcode::Cmp(kind) => {
                             let a = ev!(&op.srcs[0]);
@@ -451,15 +495,15 @@ impl<'a> Sim<'a> {
                                 op.dsts[0],
                                 Value::new(t),
                                 issue + 1,
-                                ProducerKind::Other,
+                                StallProducer::Other,
                             ));
                             if let Some(d1) = op.dsts.get(1) {
-                                writes.push((*d1, Value::new(fv), issue + 1, ProducerKind::Other));
+                                writes.push((*d1, Value::new(fv), issue + 1, StallProducer::Other));
                             }
                         }
                         Opcode::Mov => {
                             let v = ev!(&op.srcs[0]);
-                            writes.push((op.dsts[0], v, issue + 1, ProducerKind::Other));
+                            writes.push((op.dsts[0], v, issue + 1, StallProducer::Other));
                         }
                         Opcode::Ld(size) => {
                             let addr = ev!(&op.srcs[0]);
@@ -467,10 +511,10 @@ impl<'a> Sim<'a> {
                                 .do_load(addr, size.bytes(), op.spec, issue)
                                 .map_err(|k| self.trap_at(k, pos))?;
                             if op.adv && !addr.nat && !v.nat {
-                                self.counters.adv_loads += 1;
+                                self.attrib.emit(SimEvent::AdvLoad);
                                 self.alat_insert(op.dsts[0].0, addr.bits, size.bytes());
                             }
-                            writes.push((op.dsts[0], v, ready, ProducerKind::Load));
+                            writes.push((op.dsts[0], v, ready, StallProducer::Load));
                         }
                         Opcode::ChkA(size) => {
                             let v = ev!(&op.srcs[0]);
@@ -480,29 +524,29 @@ impl<'a> Sim<'a> {
                             };
                             let hit = self.alat.iter().any(|(k, ..)| *k == key) && !v.nat;
                             if hit {
-                                writes.push((op.dsts[0], v, issue + 1, ProducerKind::Other));
+                                writes.push((op.dsts[0], v, issue + 1, StallProducer::Other));
                             } else {
-                                self.counters.alat_misses += 1;
-                                self.acct
-                                    .charge(Category::Misc, self.cfg.alat_recovery_cycles);
+                                self.attrib.emit(SimEvent::AlatMiss {
+                                    cycles: self.cfg.alat_recovery_cycles,
+                                });
                                 let (rv, ready) = self
                                     .do_load(ev!(&op.srcs[1]), size.bytes(), false, issue)
                                     .map_err(|k| self.trap_at(k, pos))?;
-                                writes.push((op.dsts[0], rv, ready, ProducerKind::Load));
+                                writes.push((op.dsts[0], rv, ready, StallProducer::Load));
                             }
                         }
                         Opcode::Chk(size) => {
                             let v = ev!(&op.srcs[0]);
                             if v.nat {
-                                self.counters.chk_recoveries += 1;
-                                self.acct
-                                    .charge(Category::Misc, self.cfg.chk_recovery_cycles);
+                                self.attrib.emit(SimEvent::ChkRecovery {
+                                    cycles: self.cfg.chk_recovery_cycles,
+                                });
                                 let (rv, ready) = self
                                     .do_load(ev!(&op.srcs[1]), size.bytes(), false, issue)
                                     .map_err(|k| self.trap_at(k, pos))?;
-                                writes.push((op.dsts[0], rv, ready, ProducerKind::Load));
+                                writes.push((op.dsts[0], rv, ready, StallProducer::Load));
                             } else {
-                                writes.push((op.dsts[0], v, issue + 1, ProducerKind::Other));
+                                writes.push((op.dsts[0], v, issue + 1, StallProducer::Other));
                             }
                         }
                         Opcode::St(size) => {
@@ -512,14 +556,18 @@ impl<'a> Sim<'a> {
                                 return Err(self.trap_at(TrapKind::NatConsumed("store"), pos));
                             }
                             if !self.dtlb.access(addr.bits) {
-                                self.counters.dtlb_misses += 1;
-                                self.acct
-                                    .charge(Category::Micropipe, self.cfg.tlb_walk_cycles);
+                                self.attrib.emit(SimEvent::DtlbWalk {
+                                    cycles: self.cfg.tlb_walk_cycles,
+                                });
                             }
                             self.mem
                                 .write(addr.bits, size.bytes(), val.bits)
                                 .map_err(|e| self.trap_at(TrapKind::MemFault(e.addr), pos))?;
-                            self.hier.access_data(addr.bits);
+                            let (_, lvl) = self.hier.access_data(addr.bits);
+                            self.attrib.emit(SimEvent::CacheAccess {
+                                port: Port::Data,
+                                level: lvl,
+                            });
                             if self.recent_stores.len() == self.cfg.store_buffer {
                                 self.recent_stores.pop_front();
                             }
@@ -530,7 +578,7 @@ impl<'a> Sim<'a> {
                                 .retain(|&(_, ea, es)| sa + sz <= ea || ea + es <= sa);
                         }
                         Opcode::Br => {
-                            self.counters.dynamic_branches += 1;
+                            self.attrib.emit(SimEvent::BranchExecuted);
                             let target = op.srcs[0].label().expect("branch label");
                             let bi = f.block_entry[target.index()].ok_or_else(|| {
                                 self.trap_at(
@@ -559,11 +607,11 @@ impl<'a> Sim<'a> {
                                         .index()
                                 }
                             };
-                            self.counters.calls += 1;
-                            self.counters.dynamic_branches += 1;
+                            self.attrib.emit(SimEvent::CallExecuted);
+                            self.attrib.emit(SimEvent::BranchExecuted);
                             let cf = &self.mp.funcs[callee];
-                            let c = self.rse.call(cf.n_gr);
-                            self.acct.charge(Category::RegisterStack, c);
+                            let (regs, stall) = self.rse.call(cf.n_gr);
+                            self.attrib.emit(SimEvent::RseTraffic { regs, stall });
                             self.pred.push_return(f.bundle_addr(end_bundle + 1));
                             let sp = frame.sp - ((cf.frame_size + 15) & !15);
                             if sp < STACK_TOP - epic_ir::mem::STACK_MAX {
@@ -585,10 +633,10 @@ impl<'a> Sim<'a> {
                             break 'slots;
                         }
                         Opcode::Ret => {
-                            self.counters.dynamic_branches += 1;
+                            self.attrib.emit(SimEvent::BranchExecuted);
                             let val = op.srcs.first().map(|o| ev!(o)).unwrap_or(Value::new(0));
-                            let c = self.rse.ret();
-                            self.acct.charge(Category::RegisterStack, c);
+                            let (regs, stall) = self.rse.ret();
+                            self.attrib.emit(SimEvent::RseTraffic { regs, stall });
                             match stack.pop() {
                                 Some(mut caller) => {
                                     // the return-address stack predicts
@@ -596,15 +644,14 @@ impl<'a> Sim<'a> {
                                     let expected =
                                         self.mp.funcs[frame.ret_pos.0].bundle_addr(frame.ret_pos.1);
                                     if !self.pred.pop_return(expected) {
-                                        self.acct.charge(
-                                            Category::BrMispredictFlush,
-                                            self.cfg.mispredict_penalty,
-                                        );
+                                        self.attrib.emit(SimEvent::ReturnMispredicted {
+                                            flush_cycles: self.cfg.mispredict_penalty,
+                                        });
                                     }
                                     if let Some(d) = frame.ret_dst {
                                         caller.regs[d.index()] = val;
                                         caller.ready[d.index()] = issue + 1;
-                                        caller.producer[d.index()] = ProducerKind::Other;
+                                        caller.producer[d.index()] = StallProducer::Other;
                                     }
                                     next_pos = frame.ret_pos;
                                     frame = caller;
@@ -631,8 +678,10 @@ impl<'a> Sim<'a> {
                                 return Err(self.trap_at(TrapKind::NatConsumed("out"), pos));
                             }
                             self.output.push(v.bits);
-                            self.acct
-                                .charge(Category::Kernel, self.cfg.syscall_kernel_cycles);
+                            self.attrib.emit(SimEvent::Kernel {
+                                reason: KernelReason::Syscall,
+                                cycles: self.cfg.syscall_kernel_cycles,
+                            });
                         }
                         Opcode::Alloc => {
                             let n = ev!(&op.srcs[0]);
@@ -640,17 +689,19 @@ impl<'a> Sim<'a> {
                                 return Err(self.trap_at(TrapKind::NatConsumed("alloc"), pos));
                             }
                             let p = self.mem.alloc(n.bits);
-                            self.acct
-                                .charge(Category::Kernel, self.cfg.syscall_kernel_cycles / 2);
+                            self.attrib.emit(SimEvent::Kernel {
+                                reason: KernelReason::Alloc,
+                                cycles: self.cfg.syscall_kernel_cycles / 2,
+                            });
                             writes.push((
                                 op.dsts[0],
                                 Value::new(p),
                                 issue + 2,
-                                ProducerKind::Other,
+                                StallProducer::Other,
                             ));
                         }
                         Opcode::Nop => {
-                            self.counters.retired_nops += 1;
+                            self.attrib.emit(SimEvent::Retired(Retire::Nop));
                         }
                     }
                 }
@@ -673,27 +724,19 @@ impl<'a> Sim<'a> {
             if let Some(nf) = call_push {
                 stack.push(std::mem::replace(&mut frame, nf));
             }
-            self.acct.charge(Category::Unstalled, 1);
-            self.cycles_by_func[func_i] += self.acct.total() - start_cycles;
+            self.attrib.emit(SimEvent::Issue);
             if let Some(ret) = program_done {
-                // final counter harvest
-                self.counters.l1i_accesses = self.hier.l1i.accesses;
-                self.counters.l1i_misses = self.hier.l1i.misses;
-                self.counters.l1d_accesses = self.hier.l1d.accesses;
-                self.counters.l1d_misses = self.hier.l1d.misses;
-                self.counters.l2_accesses = self.hier.l2.accesses;
-                self.counters.l2_misses = self.hier.l2.misses;
-                self.counters.rse_regs_moved = self.rse.regs_spilled + self.rse.regs_filled;
-                self.counters.branch_predictions = self.pred.predictions;
-                self.counters.branch_mispredictions = self.pred.mispredictions;
+                let cycles = self.attrib.total();
+                let (acct, counters, func_matrix, trace) = self.attrib.finish();
                 return Ok(SimResult {
                     checksum: checksum(&self.output),
                     output: self.output,
                     ret,
-                    cycles: self.acct.total(),
-                    acct: self.acct,
-                    counters: self.counters,
-                    cycles_by_func: self.cycles_by_func,
+                    cycles,
+                    acct,
+                    counters,
+                    func_matrix,
+                    trace,
                 });
             }
             if !transfer {
@@ -729,8 +772,8 @@ impl<'a> Sim<'a> {
     ) -> Result<(Value, u64), TrapKind> {
         if addr.nat {
             return if spec {
-                self.counters.spec_loads += 1;
-                self.counters.deferred_loads += 1;
+                self.attrib.emit(SimEvent::SpecLoad);
+                self.attrib.emit(SimEvent::DeferredLoad);
                 Ok((Value::NAT, issue + 1))
             } else {
                 Err(TrapKind::NatConsumed("load"))
@@ -738,25 +781,29 @@ impl<'a> Sim<'a> {
         }
         let a = addr.bits;
         if spec {
-            self.counters.spec_loads += 1;
+            self.attrib.emit(SimEvent::SpecLoad);
         }
         if !self.mem.is_valid(a) {
             if !spec {
                 return Err(TrapKind::MemFault(a));
             }
-            self.counters.deferred_loads += 1;
+            self.attrib.emit(SimEvent::DeferredLoad);
             if Memory::is_null_page(a) {
                 // architected NaT page: cheap in both models
-                self.acct.charge(Category::Kernel, self.cfg.nat_page_cycles);
+                self.attrib.emit(SimEvent::Kernel {
+                    reason: KernelReason::NatPage,
+                    cycles: self.cfg.nat_page_cycles,
+                });
                 return Ok((Value::NAT, issue + 1));
             }
             match self.spec_model {
                 SpecModel::General => {
                     // wild load: traverse the page-mapping hierarchy in the
                     // kernel; results are not cached (paper Sec. 4.3)
-                    self.counters.wild_loads += 1;
-                    self.acct
-                        .charge(Category::Kernel, self.cfg.wild_load_kernel_cycles);
+                    self.attrib.emit(SimEvent::Kernel {
+                        reason: KernelReason::WildLoad,
+                        cycles: self.cfg.wild_load_kernel_cycles,
+                    });
                     Ok((Value::NAT, issue + 1))
                 }
                 SpecModel::Sentinel => {
@@ -767,27 +814,32 @@ impl<'a> Sim<'a> {
         } else {
             if self.spec_model == SpecModel::Sentinel && spec && !self.dtlb.probe(a) {
                 // sentinel ld.s defers on DTLB miss without walking
-                self.counters.deferred_loads += 1;
+                self.attrib.emit(SimEvent::DeferredLoad);
                 return Ok((Value::NAT, issue + 1));
             }
             if !self.dtlb.access(a) {
-                self.counters.dtlb_misses += 1;
-                self.acct
-                    .charge(Category::Micropipe, self.cfg.tlb_walk_cycles);
+                self.attrib.emit(SimEvent::DtlbWalk {
+                    cycles: self.cfg.tlb_walk_cycles,
+                });
             }
             let v = self
                 .mem
                 .read(a, bytes)
                 .map_err(|e| TrapKind::MemFault(e.addr))?;
-            let (lat, _lvl) = self.hier.access_data(a);
+            let (lat, lvl) = self.hier.access_data(a);
+            self.attrib.emit(SimEvent::CacheAccess {
+                port: Port::Data,
+                level: lvl,
+            });
             // store-to-load forwarding conflict (micropipe)
             if self
                 .recent_stores
                 .iter()
                 .any(|&(sa, sc)| sa == a >> 3 && issue.saturating_sub(sc) <= 2)
             {
-                self.acct
-                    .charge(Category::Micropipe, self.cfg.store_forward_stall);
+                self.attrib.emit(SimEvent::StoreForward {
+                    cycles: self.cfg.store_forward_stall,
+                });
             }
             Ok((Value::new(v), issue + lat))
         }

@@ -32,12 +32,14 @@ impl Rse {
         }
     }
 
-    /// Allocate a window of `n` registers for a call. Returns stall cycles.
-    pub fn call(&mut self, n: u32) -> u64 {
+    /// Allocate a window of `n` registers for a call. Returns
+    /// `(registers spilled, stall cycles)` so the caller can report the
+    /// traffic as one attribution event.
+    pub fn call(&mut self, n: u32) -> (u64, u64) {
         let n = n.min(self.capacity);
         self.frames.push((n, false));
         self.resident += n;
-        let mut stall = 0;
+        let mut moved = 0;
         if self.resident > self.capacity {
             // spill deepest unspilled frames until we fit
             for f in self.frames.iter_mut() {
@@ -48,34 +50,37 @@ impl Rse {
                     f.1 = true;
                     self.resident -= f.0;
                     self.regs_spilled += f.0 as u64;
-                    stall += f.0 as u64 * self.cycles_per_reg;
+                    moved += f.0 as u64;
                 }
             }
         }
+        let stall = moved * self.cycles_per_reg;
         self.stall_cycles += stall;
-        stall
+        (moved, stall)
     }
 
-    /// Release the top window on return. Returns stall cycles (fills).
-    pub fn ret(&mut self) -> u64 {
+    /// Release the top window on return. Returns `(registers filled,
+    /// stall cycles)`.
+    pub fn ret(&mut self) -> (u64, u64) {
         let Some((size, spilled)) = self.frames.pop() else {
-            return 0;
+            return (0, 0);
         };
         if !spilled {
             self.resident -= size;
         }
-        let mut stall = 0;
+        let mut moved = 0;
         // the caller's frame must be resident again
         if let Some(last) = self.frames.last_mut() {
             if last.1 {
                 last.1 = false;
                 self.resident += last.0;
                 self.regs_filled += last.0 as u64;
-                stall += last.0 as u64 * self.cycles_per_reg;
+                moved += last.0 as u64;
             }
         }
+        let stall = moved * self.cycles_per_reg;
         self.stall_cycles += stall;
-        stall
+        (moved, stall)
     }
 }
 
@@ -86,10 +91,10 @@ mod tests {
     #[test]
     fn no_cost_under_capacity() {
         let mut r = Rse::new(96, 2);
-        assert_eq!(r.call(30), 0);
-        assert_eq!(r.call(30), 0);
-        assert_eq!(r.ret(), 0);
-        assert_eq!(r.ret(), 0);
+        assert_eq!(r.call(30), (0, 0));
+        assert_eq!(r.call(30), (0, 0));
+        assert_eq!(r.ret(), (0, 0));
+        assert_eq!(r.ret(), (0, 0));
         assert_eq!(r.stall_cycles, 0);
     }
 
@@ -97,17 +102,17 @@ mod tests {
     fn deep_stack_spills_and_fills() {
         let mut r = Rse::new(96, 2);
         // 4 frames of 30 regs: 120 > 96, so the deepest spills
-        assert_eq!(r.call(30), 0);
-        assert_eq!(r.call(30), 0);
-        assert_eq!(r.call(30), 0);
-        let spill = r.call(30);
-        assert_eq!(spill, 60); // one 30-reg frame spilled at 2 cy/reg
+        assert_eq!(r.call(30), (0, 0));
+        assert_eq!(r.call(30), (0, 0));
+        assert_eq!(r.call(30), (0, 0));
+        let (moved, spill) = r.call(30);
+        assert_eq!((moved, spill), (30, 60)); // one 30-reg frame at 2 cy/reg
         assert_eq!(r.regs_spilled, 30);
         // returning down refills the spilled caller when it becomes top-1
-        assert_eq!(r.ret(), 0); // pop frame 4; frame 3 resident
-        assert_eq!(r.ret(), 0); // pop frame 3; frame 2 resident
-        let fill = r.ret(); // pop frame 2; frame 1 was spilled -> fill
-        assert_eq!(fill, 60);
+        assert_eq!(r.ret(), (0, 0)); // pop frame 4; frame 3 resident
+        assert_eq!(r.ret(), (0, 0)); // pop frame 3; frame 2 resident
+        let (moved, fill) = r.ret(); // pop frame 2; frame 1 was spilled
+        assert_eq!((moved, fill), (30, 60));
         assert_eq!(r.regs_filled, 30);
     }
 

@@ -258,6 +258,7 @@ fn counters_are_sane() {
     assert!(c.l1d_misses <= c.l1d_accesses);
     assert!(c.branch_mispredictions <= c.branch_predictions);
     assert_eq!(r.cycles, r.acct.total());
-    let by_func: u64 = r.cycles_by_func.iter().sum();
+    let by_func = r.func_matrix.total();
     assert_eq!(by_func, r.cycles, "per-function attribution must total");
+    r.check_identity().expect("accounting identity");
 }

@@ -61,7 +61,7 @@ fn deep_recursion_exercises_the_rse() {
         fn main() { out(down(400, 1)); }";
     let r = sim(src, &SchedOptions::o_ns());
     assert!(
-        r.acct.register_stack > 0,
+        r.acct.register_stack() > 0,
         "400-deep recursion must overflow the 96-register stack"
     );
     assert!(r.counters.rse_regs_moved > 0);
@@ -81,7 +81,7 @@ fn store_to_load_forwarding_conflicts_charge_micropipe() {
     let r = sim(src, &SchedOptions::o_ns());
     assert_eq!(r.output, vec![2000]);
     assert!(
-        r.acct.micropipe > 0,
+        r.acct.micropipe() > 0,
         "immediate store->load reuse should hit the forwarding hazard"
     );
 }
@@ -99,7 +99,7 @@ fn cold_code_misses_icache_then_warms() {
     let src = format!("fn main(p: int) {{ {body} out(s); }}");
     let r = sim(&src, &SchedOptions::o_ns());
     assert!(r.counters.l1i_misses > 10, "cold code must miss");
-    assert!(r.acct.front_end_bubble > 0);
+    assert!(r.acct.front_end_bubble() > 0);
     // misses bounded by code size / line size + a few
     assert!(r.counters.l1i_misses < 2000);
 }
@@ -120,9 +120,9 @@ fn memory_bound_loops_charge_load_bubbles() {
         }";
     let r = sim(src, &SchedOptions::o_ns());
     assert!(
-        r.acct.int_load_bubble > 10_000,
+        r.acct.int_load_bubble() > 10_000,
         "striding a 2MB buffer must stall on loads: {}",
-        r.acct.int_load_bubble
+        r.acct.int_load_bubble()
     );
     assert!(r.counters.l1d_misses > 1000);
 }
@@ -168,7 +168,7 @@ fn branch_heavy_unpredictable_code_pays_flushes() {
         "random branches must mispredict: {}",
         r.counters.branch_mispredictions
     );
-    assert!(r.acct.br_mispredict_flush > 0);
+    assert!(r.acct.br_mispredict_flush() > 0);
 }
 
 #[test]
@@ -178,5 +178,5 @@ fn output_costs_kernel_cycles() {
         &SchedOptions::o_ns(),
     );
     assert_eq!(r.output.len(), 50);
-    assert!(r.acct.kernel >= 50 * 10);
+    assert!(r.acct.kernel() >= 50 * 10);
 }

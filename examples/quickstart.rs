@@ -47,10 +47,10 @@ fn main() {
         );
         println!(
             "        unstalled {:>8}  ld-bubble {:>7}  frontend {:>6}  br-flush {:>6}  useful-IPC {:.2}",
-            sim.acct.unstalled,
-            sim.acct.int_load_bubble,
-            sim.acct.front_end_bubble,
-            sim.acct.br_mispredict_flush,
+            sim.acct.unstalled(),
+            sim.acct.int_load_bubble(),
+            sim.acct.front_end_bubble(),
+            sim.acct.br_mispredict_flush(),
             sim.counters.retired_useful as f64 / sim.cycles as f64
         );
         println!(

@@ -52,8 +52,8 @@ fn main() {
             "{:<22} {:>10} cycles | kernel {:>8} ({:>4.1}%) | wild loads {:>7} | chk recoveries {:>6}",
             name,
             m.sim.cycles,
-            m.sim.acct.kernel,
-            100.0 * m.sim.acct.kernel as f64 / m.sim.cycles as f64,
+            m.sim.acct.kernel(),
+            100.0 * m.sim.acct.kernel() as f64 / m.sim.cycles as f64,
             m.sim.counters.wild_loads,
             m.sim.counters.chk_recoveries,
         );

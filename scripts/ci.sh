@@ -21,4 +21,17 @@ cargo test -q
 echo "==> smoke fuzz (deterministic, ~15s)"
 cargo run --release -q -p epic-fuzz --bin fuzz -- --cases 2000 --seed 1 --seconds 120
 
+# Report smoke: render the Fig. 5 table + Fig. 10 drill-down for one
+# workload at all four levels. `epicc report` exits nonzero if the
+# accounting identity is violated; on top of that, require the output to
+# be non-empty and deterministic across two runs.
+echo "==> epicc report smoke (vortex_mc, all levels)"
+report_a=$(mktemp)
+report_b=$(mktemp)
+trap 'rm -f "$report_a" "$report_b"' EXIT
+cargo run --release -q --bin epicc -- report --workload vortex_mc --level all > "$report_a"
+cargo run --release -q --bin epicc -- report --workload vortex_mc --level all > "$report_b"
+test -s "$report_a"
+cmp "$report_a" "$report_b"
+
 echo "CI OK"

@@ -11,10 +11,11 @@
 //! epicc prog.mc --emit ir                # post-transform IR
 //! epicc --workload crafty_mc --level all # sweep a bundled workload
 //! epicc prog.mc --spec-model sentinel    # Fig. 9 recovery model
+//! epicc report --workload vortex_mc      # Fig. 5 table + Fig. 10 drill-down
 //! ```
 
 use epic_driver::{compile_source, CompileOptions, OptLevel};
-use epic_sim::{SimOptions, SpecModel};
+use epic_sim::{Category, SimOptions, SimResult, SpecModel, CATEGORIES};
 use std::process::ExitCode;
 
 struct Args {
@@ -24,6 +25,7 @@ struct Args {
     emit: Emit,
     main_args: Vec<i64>,
     spec_model: SpecModel,
+    report: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -37,7 +39,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: epicc <file.mc> [--level gcc|o-ns|ilp-ns|ilp-cs|all] [--emit sim|ir|mach]\n\
          \x20            [--args a,b,...] [--spec-model general|sentinel]\n\
-         \x20      epicc --workload <name> [...]   (bundled SPEC stand-ins; see epic-workloads)"
+         \x20      epicc --workload <name> [...]   (bundled SPEC stand-ins; see epic-workloads)\n\
+         \x20      epicc report (<file.mc> | --workload <name>) [--level ...]\n\
+         \x20            Fig. 5 cycle-accounting table + Fig. 10 per-function drill-down"
     );
     std::process::exit(2);
 }
@@ -50,10 +54,17 @@ fn parse_args() -> Args {
         emit: Emit::Sim,
         main_args: Vec::new(),
         spec_model: SpecModel::General,
+        report: false,
     };
+    let mut first_positional = true;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "report" if first_positional => {
+                args.report = true;
+                args.levels = OptLevel::ALL.to_vec();
+                first_positional = false;
+            }
             "--level" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 args.levels = match v.as_str() {
@@ -90,7 +101,10 @@ fn parse_args() -> Args {
             }
             "--workload" => args.workload = Some(it.next().unwrap_or_else(|| usage())),
             "-h" | "--help" => usage(),
-            path if !path.starts_with('-') => args.source = Some(path.to_string()),
+            path if !path.starts_with('-') => {
+                args.source = Some(path.to_string());
+                first_positional = false;
+            }
             _ => usage(),
         }
     }
@@ -146,6 +160,37 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+        if args.report {
+            let sim = match epic_sim::run(
+                &compiled.mach,
+                &run_args,
+                &SimOptions {
+                    spec_model: args.spec_model,
+                    ..Default::default()
+                },
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("epicc [{}]: simulation trapped: {e}", level.name());
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = sim.check_identity() {
+                eprintln!(
+                    "epicc [{}]: accounting identity violated: {e}",
+                    level.name()
+                );
+                return ExitCode::FAILURE;
+            }
+            let names: Vec<&str> = compiled
+                .mach
+                .funcs
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect();
+            print_report(level, &sim, &names);
+            continue;
+        }
         match args.emit {
             Emit::Ir => {
                 println!("; === {} ===", level.name());
@@ -190,13 +235,13 @@ fn main() -> ExitCode {
                 );
                 println!(
                     "  cycles/cat unstalled {} | ld {} | fe {} | br {} | rse {} | kernel {} | misc {}",
-                    sim.acct.unstalled,
-                    sim.acct.int_load_bubble,
-                    sim.acct.front_end_bubble,
-                    sim.acct.br_mispredict_flush,
-                    sim.acct.register_stack,
-                    sim.acct.kernel,
-                    sim.acct.misc + sim.acct.float_scoreboard + sim.acct.micropipe,
+                    sim.acct.unstalled(),
+                    sim.acct.int_load_bubble(),
+                    sim.acct.front_end_bubble(),
+                    sim.acct.br_mispredict_flush(),
+                    sim.acct.register_stack(),
+                    sim.acct.kernel(),
+                    sim.acct.misc() + sim.acct.float_scoreboard() + sim.acct.micropipe(),
                 );
                 println!(
                     "  code      {} bytes, {} loads promoted, {} wild loads",
@@ -206,4 +251,66 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Short column header for one Fig. 5 category.
+fn short_name(cat: Category) -> &'static str {
+    match cat {
+        Category::Unstalled => "unstall",
+        Category::FloatScoreboard => "float",
+        Category::Misc => "misc",
+        Category::IntLoadBubble => "ldbub",
+        Category::Micropipe => "upipe",
+        Category::FrontEndBubble => "febub",
+        Category::BrMispredictFlush => "brflush",
+        Category::RegisterStack => "rse",
+        Category::Kernel => "kernel",
+    }
+}
+
+/// Render the Fig. 5 stacked cycle table and the Fig. 10 per-function
+/// drill-down for one level. Pure function of the sim result, so output
+/// is deterministic (ties in the function sort break by function index).
+fn print_report(level: OptLevel, sim: &SimResult, func_names: &[&str]) {
+    let total = sim.cycles.max(1);
+    println!("=== {} ===", level.name());
+    println!("cycle accounting (Fig. 5):");
+    println!("  {:<20} {:>14} {:>7}", "category", "cycles", "%");
+    for cat in CATEGORIES {
+        let c = sim.acct.get(cat);
+        println!(
+            "  {:<20} {:>14} {:>6.1}%",
+            cat.name(),
+            c,
+            100.0 * c as f64 / total as f64
+        );
+    }
+    println!("  {:<20} {:>14} {:>6.1}%", "total", sim.cycles, 100.0);
+    println!();
+    println!("per-function drill-down (Fig. 10):");
+    print!("  {:<16} {:>14} {:>7}", "function", "cycles", "%");
+    for cat in CATEGORIES {
+        print!(" {:>9}", short_name(cat));
+    }
+    println!();
+    let mut order: Vec<usize> = (0..sim.func_matrix.num_funcs()).collect();
+    order.sort_by_key(|&f| (std::cmp::Reverse(sim.func_matrix.row_total(f)), f));
+    for f in order {
+        let row_total = sim.func_matrix.row_total(f);
+        if row_total == 0 {
+            continue;
+        }
+        let name = func_names.get(f).copied().unwrap_or("?");
+        print!(
+            "  {:<16} {:>14} {:>6.1}%",
+            name,
+            row_total,
+            100.0 * row_total as f64 / total as f64
+        );
+        for &c in sim.func_matrix.row(f) {
+            print!(" {:>9}", c);
+        }
+        println!();
+    }
+    println!();
 }

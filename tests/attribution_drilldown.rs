@@ -1,0 +1,75 @@
+//! The Fig. 10 per-function drill-down: the attribution matrix must be a
+//! true decomposition of the aggregate accounting (every cycle in exactly
+//! one function × category cell), and it must localize the paper's
+//! Sec. 4.3 pathology — under the general speculation model at ILP-CS,
+//! the gcc stand-in's kernel time concentrates in the function issuing
+//! wild speculative loads.
+
+use epic_driver::{measure, CompileOptions, OptLevel};
+use epic_sim::{SimOptions, CATEGORIES};
+
+#[test]
+fn vortex_matrix_columns_reproduce_aggregate_accounting() {
+    let w = epic_workloads::by_name("vortex_mc").unwrap();
+    let m = measure(
+        &w,
+        &CompileOptions::for_level(OptLevel::IlpCs),
+        &SimOptions::default(),
+    )
+    .unwrap();
+    let sim = &m.sim;
+    for cat in CATEGORIES {
+        assert_eq!(
+            sim.func_matrix.col_total(cat),
+            sim.acct.get(cat),
+            "column {} must sum to the aggregate",
+            cat.name()
+        );
+    }
+    assert_eq!(sim.func_matrix.total(), sim.cycles);
+    assert_eq!(
+        sim.func_matrix.by_func().iter().sum::<u64>(),
+        sim.cycles,
+        "row totals must sum to total cycles"
+    );
+    sim.check_identity().expect("identity");
+    // every simulated function row is present
+    assert_eq!(sim.func_matrix.num_funcs(), m.compiled.func_names.len());
+}
+
+#[test]
+fn gcc_kernel_cycles_concentrate_in_the_wild_load_function() {
+    let w = epic_workloads::by_name("gcc_mc").unwrap();
+    let m = measure(
+        &w,
+        &CompileOptions::for_level(OptLevel::IlpCs),
+        &SimOptions::default(),
+    )
+    .unwrap();
+    let sim = &m.sim;
+    assert!(
+        sim.counters.wild_loads > 0,
+        "gcc stand-in must issue wild loads at ILP-CS under the general model"
+    );
+    let kernel_total = sim.acct.kernel();
+    assert!(kernel_total > 0);
+    // `scan` holds the if-converted union-dereference diamond that
+    // speculation turns into wild loads (paper Sec. 4.3)
+    let scan = m
+        .compiled
+        .func_names
+        .iter()
+        .position(|n| n == "scan")
+        .expect("gcc stand-in has a scan function");
+    let scan_kernel = sim.func_matrix.get(scan, epic_sim::Category::Kernel);
+    assert!(
+        2 * scan_kernel > kernel_total,
+        "kernel cycles must concentrate in scan: {scan_kernel} of {kernel_total}"
+    );
+    // and scan dominates the benchmark's total time there, the Fig. 10
+    // "one bar got wider" shape
+    let max_row = (0..sim.func_matrix.num_funcs())
+        .max_by_key(|&f| sim.func_matrix.row_total(f))
+        .unwrap();
+    assert_eq!(max_row, scan, "scan must be the hottest function");
+}

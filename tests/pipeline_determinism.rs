@@ -6,6 +6,7 @@
 
 use epic_driver::{compile, CompileOptions, OptLevel};
 use epic_mach::program::disasm;
+use epic_sim::SimOptions;
 
 #[test]
 fn recompilation_is_bit_identical_at_every_level() {
@@ -50,5 +51,30 @@ fn recompilation_is_bit_identical_at_every_level() {
         };
         assert_eq!(names(&a), names(&b), "{}", level.name());
         assert_eq!(deltas(&a), deltas(&b), "{}", level.name());
+    }
+}
+
+#[test]
+fn simulation_accounting_is_deterministic_at_every_level() {
+    // The measurement side of the same property: simulating the same
+    // machine code twice must reproduce the full cycle accounting — the
+    // total, every Fig. 5 category split, every counter, and the
+    // per-function attribution matrix.
+    let w = epic_workloads::by_name("vortex_mc").unwrap();
+    for level in OptLevel::ALL {
+        let c = compile(&w, &CompileOptions::for_level(level)).unwrap();
+        let a = epic_sim::run(&c.mach, &w.train_args, &SimOptions::default()).unwrap();
+        let b = epic_sim::run(&c.mach, &w.train_args, &SimOptions::default()).unwrap();
+        assert_eq!(a.cycles, b.cycles, "{}", level.name());
+        assert_eq!(a.acct, b.acct, "{}: category split differs", level.name());
+        assert_eq!(a.counters, b.counters, "{}: counters differ", level.name());
+        assert_eq!(
+            a.func_matrix,
+            b.func_matrix,
+            "{}: per-function matrix differs",
+            level.name()
+        );
+        a.check_identity()
+            .unwrap_or_else(|e| panic!("{}: {e}", level.name()));
     }
 }
