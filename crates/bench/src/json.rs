@@ -271,10 +271,12 @@ impl Suite {
             .workloads
             .iter()
             .zip(&self.results)
-            .map(|(w, row)| {
+            .enumerate()
+            .map(|(wi, (w, row))| {
                 let cells: Vec<Json> = row
                     .iter()
-                    .map(|m| {
+                    .enumerate()
+                    .map(|(li, m)| {
                         let passes: Vec<Json> = m
                             .compiled
                             .pass_timeline
@@ -338,7 +340,7 @@ impl Suite {
                                 ])
                             })
                             .collect();
-                        Json::obj([
+                        let mut cell = vec![
                             ("level", Json::Str(m.level.name().to_string())),
                             ("cycles", Json::Num(m.sim.cycles as f64)),
                             ("acct", acct),
@@ -348,7 +350,18 @@ impl Suite {
                             ("inlined", Json::Num(m.compiled.inlined as f64)),
                             ("promoted", Json::Num(m.compiled.promoted as f64)),
                             ("passes", Json::Arr(passes)),
-                        ])
+                        ];
+                        if let Some(report) = &self.cache {
+                            let cc = &report.cells[wi][li];
+                            cell.push((
+                                "cache",
+                                Json::obj([
+                                    ("hit", Json::Bool(cc.hit)),
+                                    ("key", Json::Str(cc.key.clone())),
+                                ]),
+                            ));
+                        }
+                        Json::obj(cell)
                     })
                     .collect();
                 Json::obj([
@@ -358,7 +371,7 @@ impl Suite {
                 ])
             })
             .collect();
-        Json::obj([
+        let mut top = vec![
             (
                 "levels",
                 Json::Arr(
@@ -369,7 +382,23 @@ impl Suite {
                 ),
             ),
             ("workloads", Json::Arr(rows)),
-        ])
+        ];
+        if let Some(report) = &self.cache {
+            let s = &report.stats;
+            top.push((
+                "cache_stats",
+                Json::obj([
+                    ("hits", Json::Num(s.hits as f64)),
+                    ("misses", Json::Num(s.misses as f64)),
+                    ("evictions", Json::Num(s.evictions as f64)),
+                    ("disk_hits", Json::Num(s.disk_hits as f64)),
+                    ("disk_writes", Json::Num(s.disk_writes as f64)),
+                    ("mach_hits", Json::Num(s.mach_hits as f64)),
+                    ("mem_entries", Json::Num(s.mem_entries as f64)),
+                ]),
+            ));
+        }
+        Json::obj(top)
     }
 }
 
@@ -468,6 +497,42 @@ mod tests {
         for n in [0.0, -1.5, 42.0, 9.0e15, -8.99e15, 1e-3] {
             assert_eq!(roundtrip(&Json::Num(n)), Json::Num(n), "{n}");
         }
+    }
+
+    #[test]
+    fn suite_json_carries_cache_fields_and_round_trips() {
+        use crate::{CacheReport, CellCache, Suite};
+        let suite = Suite {
+            workloads: epic_workloads::all().into_iter().take(1).collect(),
+            results: vec![vec![epic_serve::testutil::dummy_measurement(3)]],
+            levels: vec![epic_driver::OptLevel::Gcc],
+            cache: Some(CacheReport {
+                cells: vec![vec![CellCache {
+                    hit: true,
+                    key: "ab".repeat(16),
+                }]],
+                stats: epic_serve::StoreStats {
+                    hits: 1,
+                    misses: 2,
+                    ..Default::default()
+                },
+            }),
+        };
+        let j = suite.to_json();
+        assert_eq!(roundtrip(&j), j);
+        let text = j.render();
+        // per-cell cache outcome and the server-level counters are both
+        // present in the dump
+        assert!(text.contains(r#""cache":{"hit":true,"key":"abababababababababababababababab"}"#));
+        assert!(text.contains(r#""cache_stats":{"hits":1,"misses":2"#));
+        // without a cache report, neither field appears
+        let plain = Suite {
+            cache: None,
+            ..suite
+        };
+        let text = plain.to_json().render();
+        assert!(!text.contains("cache_stats"));
+        assert!(!text.contains(r#""cache""#));
     }
 
     #[test]

@@ -10,12 +10,32 @@
 //! substrate is a simulator and the workloads are stand-ins): orderings,
 //! approximate factors, and which benchmarks deviate in which direction.
 
-use epic_driver::{measure_matrix, CompileOptions, Measurement, OptLevel};
+use epic_driver::{measure_matrix_cached, CompileOptions, Measurement, OptLevel};
+use epic_serve::{ArtifactStore, JobSpec, StoreStats};
 use epic_sim::SimOptions;
 use epic_workloads::Workload;
 
 pub mod json;
 pub mod timing;
+
+/// Cache outcome for one (workload × level) cell of a sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellCache {
+    /// Served from the artifact store rather than recomputed.
+    pub hit: bool,
+    /// 32-hex content key (empty when the cell was not cacheable).
+    pub key: String,
+}
+
+/// Cache-side report for a cached sweep: per-cell outcomes plus the
+/// store's counters after the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheReport {
+    /// `cells[w][l]` pairs with `Suite::results[w][l]`.
+    pub cells: Vec<Vec<CellCache>>,
+    /// Store counters at the end of the sweep.
+    pub stats: StoreStats,
+}
 
 /// A full sweep: per workload, one measurement per requested level.
 pub struct Suite {
@@ -25,6 +45,9 @@ pub struct Suite {
     pub results: Vec<Vec<Measurement>>,
     /// The levels measured.
     pub levels: Vec<OptLevel>,
+    /// Present when the sweep went through an artifact cache
+    /// (`EPIC_CACHE_DIR`; see [`cache_store_from_env`]).
+    pub cache: Option<CacheReport>,
 }
 
 /// Worker-pool bound for the sweeps: `EPIC_BENCH_WORKERS` if set, else 0
@@ -43,9 +66,21 @@ pub fn worker_bound_from(value: Option<&str>) -> usize {
         .unwrap_or_default()
 }
 
+/// The artifact store the bench sweeps use, from the environment:
+/// `EPIC_CACHE_DIR=<dir>` enables a persistent store there, and
+/// `EPIC_NO_CACHE=1` is the escape hatch that disables caching even when
+/// a directory is configured.
+pub fn cache_store_from_env() -> Option<ArtifactStore> {
+    if std::env::var_os("EPIC_NO_CACHE").is_some() {
+        return None;
+    }
+    std::env::var_os("EPIC_CACHE_DIR").map(ArtifactStore::persistent)
+}
+
 /// Run the sweep over all 12 workloads at the given levels, in parallel
 /// over every (workload × level) cell via
-/// [`epic_driver::measure_matrix`]'s bounded worker pool.
+/// [`epic_driver::measure_matrix_cached`]'s bounded worker pool,
+/// consulting the environment-configured artifact cache (if any).
 ///
 /// # Panics
 /// Panics if any compilation or simulation fails — the differential test
@@ -60,13 +95,62 @@ pub fn run_suite_with(
     copts: &(dyn Fn(OptLevel) -> CompileOptions + Sync),
     sopts: &SimOptions,
 ) -> Suite {
+    run_suite_store(levels, copts, sopts, cache_store_from_env().as_ref())
+}
+
+/// [`run_suite_with`] against an explicit store (or none). The cache is
+/// consulted per cell; results are bit-identical with and without it.
+pub fn run_suite_store(
+    levels: &[OptLevel],
+    copts: &(dyn Fn(OptLevel) -> CompileOptions + Sync),
+    sopts: &SimOptions,
+    store: Option<&ArtifactStore>,
+) -> Suite {
     let workloads = epic_workloads::all();
-    let results = measure_matrix(&workloads, levels, copts, sopts, worker_bound())
-        .unwrap_or_else(|e| panic!("{e}"));
+    let cells = measure_matrix_cached(
+        &workloads,
+        levels,
+        copts,
+        sopts,
+        worker_bound(),
+        store.map(|s| s as &dyn epic_driver::MeasurementCache),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    let cache = store.map(|s| CacheReport {
+        cells: workloads
+            .iter()
+            .zip(&cells)
+            .map(|(w, row)| {
+                levels
+                    .iter()
+                    .zip(row)
+                    .map(|(&level, cell)| {
+                        let co = copts(level);
+                        let key = if JobSpec::cacheable(&co, sopts) {
+                            JobSpec::from_options(w.source, &w.train_args, &w.ref_args, &co, sopts)
+                                .job_key()
+                                .hex()
+                        } else {
+                            String::new()
+                        };
+                        CellCache {
+                            hit: cell.cache_hit,
+                            key,
+                        }
+                    })
+                    .collect()
+            })
+            .collect(),
+        stats: s.stats(),
+    });
     Suite {
         workloads,
-        results,
+        results: cells
+            .into_iter()
+            .map(|row| row.into_iter().map(|c| c.measurement).collect())
+            .collect(),
         levels: levels.to_vec(),
+        cache,
     }
 }
 

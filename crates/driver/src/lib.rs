@@ -23,7 +23,9 @@ use epic_workloads::Workload;
 pub mod parallel;
 pub mod pipeline;
 
-pub use parallel::{measure_matrix, par_map, MatrixError};
+pub use parallel::{
+    measure_matrix, measure_matrix_cached, par_map, MatrixCell, MatrixError, MeasurementCache,
+};
 pub use pipeline::{passes_for, Pass, PassRecord, PassTimeline, PipelineCx};
 
 /// The paper's compiler configurations.
@@ -239,6 +241,24 @@ pub struct CompiledStats {
     pub pass_timeline: PassTimeline,
 }
 
+impl Compiled {
+    /// The static side of this compilation (everything a [`Measurement`]
+    /// keeps once the machine code itself is no longer needed).
+    pub fn stats(&self) -> CompiledStats {
+        CompiledStats {
+            plan: self.plan,
+            ilp: self.ilp,
+            inlined: self.inlined,
+            promoted: self.promoted,
+            code_bytes: self.code_bytes,
+            static_ops: self.static_ops,
+            frontend_ops: self.frontend_ops,
+            func_names: self.mach.funcs.iter().map(|f| f.name.clone()).collect(),
+            pass_timeline: self.pass_timeline.clone(),
+        }
+    }
+}
+
 /// Compile and simulate a workload on its reference input.
 ///
 /// # Errors
@@ -252,17 +272,7 @@ pub fn measure(
     let sim = epic_sim::run(&compiled.mach, &w.ref_args, sopts).map_err(DriverError::Sim)?;
     Ok(Measurement {
         level: copts.level,
-        compiled: CompiledStats {
-            plan: compiled.plan,
-            ilp: compiled.ilp,
-            inlined: compiled.inlined,
-            promoted: compiled.promoted,
-            code_bytes: compiled.code_bytes,
-            static_ops: compiled.static_ops,
-            frontend_ops: compiled.frontend_ops,
-            func_names: compiled.mach.funcs.iter().map(|f| f.name.clone()).collect(),
-            pass_timeline: compiled.pass_timeline,
-        },
+        compiled: compiled.stats(),
         sim,
     })
 }

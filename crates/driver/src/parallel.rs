@@ -89,6 +89,34 @@ impl std::fmt::Display for MatrixError {
 
 impl std::error::Error for MatrixError {}
 
+/// A pluggable measurement cache for [`measure_matrix_cached`]: the
+/// driver asks it before compiling a cell and offers the result back
+/// after. Implementations decide what is cacheable (an implementation
+/// must return `None` for option combinations it does not key on) and
+/// where results live — `epic-serve`'s content-addressed artifact store
+/// is the production implementation.
+pub trait MeasurementCache: Sync {
+    /// A previously stored measurement for this exact cell, if any.
+    fn lookup(
+        &self,
+        w: &Workload,
+        copts: &CompileOptions,
+        sopts: &SimOptions,
+    ) -> Option<Measurement>;
+
+    /// Offer a freshly measured cell for storage.
+    fn store(&self, w: &Workload, copts: &CompileOptions, sopts: &SimOptions, m: &Measurement);
+}
+
+/// One measured cell plus whether it was served from a cache.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// The measurement (cached or fresh — bit-identical either way).
+    pub measurement: Measurement,
+    /// True when the cell came out of the cache without compiling.
+    pub cache_hit: bool,
+}
+
 /// Measure every (workload × level) cell in parallel on a bounded worker
 /// pool. `results[w][l]` pairs with `workloads[w]` and `levels[l]`.
 /// `workers == 0` uses the available parallelism; the per-cell options
@@ -103,18 +131,56 @@ pub fn measure_matrix(
     sopts: &SimOptions,
     workers: usize,
 ) -> Result<Vec<Vec<Measurement>>, MatrixError> {
+    let rows = measure_matrix_cached(workloads, levels, copts, sopts, workers, None)?;
+    Ok(rows
+        .into_iter()
+        .map(|row| row.into_iter().map(|c| c.measurement).collect())
+        .collect())
+}
+
+/// [`measure_matrix`] routed through an optional [`MeasurementCache`]:
+/// each cell first consults the cache, and fresh results are offered
+/// back, so a repeated sweep is pure cache hits. `cache: None` is the
+/// no-cache escape hatch (identical to the uncached path).
+///
+/// # Errors
+/// The first failing cell (by task order), with its coordinates.
+pub fn measure_matrix_cached(
+    workloads: &[Workload],
+    levels: &[OptLevel],
+    copts: &(dyn Fn(OptLevel) -> CompileOptions + Sync),
+    sopts: &SimOptions,
+    workers: usize,
+    cache: Option<&dyn MeasurementCache>,
+) -> Result<Vec<Vec<MatrixCell>>, MatrixError> {
     // Flatten to one task per cell so slow cells can't serialize a row.
     let tasks: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..levels.len()).map(move |l| (w, l)))
         .collect();
     let cells = par_map(&tasks, workers, |_, &(w, l)| {
-        measure(&workloads[w], &copts(levels[l]), sopts).map_err(|error| MatrixError {
+        let opts = copts(levels[l]);
+        if let Some(cache) = cache {
+            if let Some(measurement) = cache.lookup(&workloads[w], &opts, sopts) {
+                return Ok(MatrixCell {
+                    measurement,
+                    cache_hit: true,
+                });
+            }
+        }
+        let measurement = measure(&workloads[w], &opts, sopts).map_err(|error| MatrixError {
             workload: workloads[w].name.to_string(),
             level: levels[l],
             error,
+        })?;
+        if let Some(cache) = cache {
+            cache.store(&workloads[w], &opts, sopts, &measurement);
+        }
+        Ok(MatrixCell {
+            measurement,
+            cache_hit: false,
         })
     });
-    let mut rows: Vec<Vec<Measurement>> = Vec::with_capacity(workloads.len());
+    let mut rows: Vec<Vec<MatrixCell>> = Vec::with_capacity(workloads.len());
     let mut it = cells.into_iter();
     for _ in 0..workloads.len() {
         let mut row = Vec::with_capacity(levels.len());

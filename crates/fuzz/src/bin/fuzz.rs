@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p epic-fuzz --bin fuzz -- [--cases N] [--seconds S]
 //!     [--seed N] [--corpus FILE] [--max-corpus N] [--levels L1,L2]
-//!     [--no-shrink] [--inject-bug]
+//!     [--no-shrink] [--no-cache-oracle] [--inject-bug]
 //! ```
 //!
 //! Exits 0 when every case passed its oracles, 1 on any violation
@@ -15,7 +15,7 @@ use epic_fuzz::{corpus, run_fuzz, FuzzConfig};
 
 const USAGE: &str = "usage: fuzz [--cases N] [--seconds S] [--seed N] [--corpus FILE]
             [--max-corpus N] [--levels GCC,O-NS,ILP-NS,ILP-CS]
-            [--no-shrink] [--inject-bug]";
+            [--no-shrink] [--no-cache-oracle] [--inject-bug]";
 
 fn parse_level(name: &str) -> Option<OptLevel> {
     OptLevel::ALL.into_iter().find(|l| l.name() == name)
@@ -74,6 +74,7 @@ fn main() {
             }
             "--corpus" => corpus_path = Some(next_value("--corpus", &mut args)),
             "--no-shrink" => cfg.shrink_failures = false,
+            "--no-cache-oracle" => cfg.oracle.cache_consistency = false,
             "--inject-bug" => cfg.oracle.inject_bug = true,
             "--help" | "-h" => {
                 println!("{USAGE}");

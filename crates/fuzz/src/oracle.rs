@@ -33,10 +33,17 @@
 //!    input must not change the output — profile feedback may only move
 //!    cycles, never semantics (the paper's Sec. 4.6 experiment depends
 //!    on this).
+//! 5. **Cache consistency.** The measurement must survive the job
+//!    service's wire codec bit-for-bit, and the content-addressed store
+//!    must serve the same digest for the same key across the whole
+//!    campaign — a violation means either the codec corrupts data, the
+//!    key function collides, or the pipeline is nondeterministic.
 
-use epic_driver::{compile_source, CompileOptions, DriverError, ProfileInput};
+use epic_driver::{compile_source, CompileOptions, DriverError, Measurement, ProfileInput};
 use epic_ir::interp::{self, InterpOptions, Trap};
+use epic_serve::{codec, ArtifactStore, JobSpec};
 use epic_sim::SimOptions;
+use std::sync::OnceLock;
 
 pub use epic_driver::OptLevel;
 
@@ -56,6 +63,10 @@ pub struct OracleOptions {
     /// Run the profile-invariance oracle (needs one extra ILP-CS
     /// compile+sim per case).
     pub profile_invariance: bool,
+    /// Run the cache-consistency oracle: round-trip every measurement
+    /// through the job service's codec and a process-wide
+    /// content-addressed store (cheap — no extra compile or sim).
+    pub cache_consistency: bool,
     /// Enable the driver's deliberate miscompile — the harness's own
     /// end-to-end self-test.
     pub inject_bug: bool,
@@ -68,6 +79,7 @@ impl Default for OracleOptions {
             interp_fuel: 5_000_000,
             sim_fuel: 200_000_000,
             profile_invariance: true,
+            cache_consistency: true,
             inject_bug: false,
         }
     }
@@ -200,6 +212,18 @@ pub fn check(src: &str, args: [i64; 2], train2: [i64; 2], opts: &OracleOptions) 
             });
         }
         sig = fold_sig(sig, compiled.pass_timeline.coverage_signature());
+        if opts.cache_consistency {
+            let m = Measurement {
+                level,
+                compiled: compiled.stats(),
+                sim,
+            };
+            if let Some(f) =
+                cache_consistency_failure(src, args, &copts, &sopts, m, opts.inject_bug)
+            {
+                return Verdict::Fail(f);
+            }
+        }
     }
 
     if opts.profile_invariance
@@ -250,6 +274,71 @@ pub fn check(src: &str, args: [i64; 2], train2: [i64; 2], opts: &OracleOptions) 
     }
 
     Verdict::Pass { signature: sig }
+}
+
+/// Process-wide store backing the cache-consistency oracle. One store
+/// per campaign: the key → digest mapping must hold across every case
+/// the process ever checks, so the same programs resurfacing through
+/// mutation or shrinking re-validate it for free.
+fn oracle_store() -> &'static ArtifactStore {
+    static STORE: OnceLock<ArtifactStore> = OnceLock::new();
+    STORE.get_or_init(ArtifactStore::in_memory)
+}
+
+/// Oracle 5: the measurement survives the serve codec bit-for-bit, and
+/// the content-addressed store serves exactly one digest per job key.
+/// `inject_bug` skips the cross-case store step (but not the codec
+/// round-trip): the injected miscompile is deliberately invisible to the
+/// cache key, so a self-test campaign would otherwise convict the store
+/// for the driver's planted bug.
+fn cache_consistency_failure(
+    src: &str,
+    args: [i64; 2],
+    copts: &CompileOptions,
+    sopts: &SimOptions,
+    m: Measurement,
+    inject_bug: bool,
+) -> Option<Failure> {
+    let level = m.level;
+    let fail = |detail: String| {
+        Some(Failure {
+            bucket: format!("cache-consistency@{}", level.name()),
+            detail,
+            level: Some(level),
+        })
+    };
+    let d = codec::digest(&m);
+    let back = match codec::decode_measurement(&codec::encode_measurement(&m)) {
+        Ok(b) => b,
+        Err(e) => return fail(format!("fresh encoding failed to decode: {e}")),
+    };
+    if codec::digest(&back) != d {
+        return fail("codec round-trip changed the measurement digest".into());
+    }
+    if inject_bug {
+        return None;
+    }
+    let key = JobSpec::from_options(src, &args, &args, copts, sopts).job_key();
+    let store = oracle_store();
+    match store.lookup(key) {
+        Some(prior) => {
+            if codec::digest(&prior) != d {
+                return fail(format!(
+                    "key {} already maps to a different digest (collision or nondeterminism)",
+                    key.hex()
+                ));
+            }
+        }
+        None => {
+            store.insert(key, m);
+            match store.lookup(key) {
+                Some(got) if codec::digest(&got) == d => {}
+                Some(_) => return fail("store readback returned a different digest".into()),
+                None => return fail("store lost a freshly inserted measurement".into()),
+            }
+        }
+    }
+    None
 }
 
 /// The interpreter trapped. The strongest *sound* claim on such
@@ -363,6 +452,25 @@ mod tests {
             match check(&src, args, alt_train_args(args), &opts) {
                 Verdict::Pass { .. } => {}
                 v => panic!("seed {seed}: expected Pass, got {v:?}\n{src}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_consistency_oracle_holds_across_repeat_checks() {
+        // Same case twice: the first check populates the process-wide
+        // store, the second must find the prior entry and agree with it
+        // (exercising both branches of the cross-case consistency step).
+        let mut opts = OracleOptions::default();
+        opts.levels = vec![OptLevel::Gcc];
+        opts.profile_invariance = false;
+        assert!(opts.cache_consistency, "oracle must default on");
+        let src = minic_program(11);
+        let args = args_for_seed(11);
+        for round in 0..2 {
+            match check(&src, args, alt_train_args(args), &opts) {
+                Verdict::Pass { .. } => {}
+                v => panic!("round {round}: expected Pass, got {v:?}"),
             }
         }
     }

@@ -3,7 +3,7 @@
 //! 16 KB L1I / 16 KB L1D (1 cy), 256 KB L2 (5+ cy), 3 MB L3 (12+ cy).
 
 /// Cache geometry.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total bytes.
     pub size: u64,
@@ -16,7 +16,7 @@ pub struct CacheConfig {
 }
 
 /// Whole-machine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MachineConfig {
     /// L1 instruction cache.
     pub l1i: CacheConfig,

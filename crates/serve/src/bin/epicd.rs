@@ -1,0 +1,93 @@
+//! `epicd` — the compile/sim job daemon.
+//!
+//! ```text
+//! epicd [--listen ADDR] [--cache-dir DIR] [--workers N] [--queue-cap N]
+//! ```
+//!
+//! Binds ADDR (default `127.0.0.1:0`), prints `epicd listening on <addr>`
+//! on stdout (scripts parse this line to find the ephemeral port), and
+//! serves until a client sends the `shutdown` verb.
+
+use epic_serve::{serve, ArtifactStore, Scheduler};
+use std::sync::Arc;
+
+struct Args {
+    listen: String,
+    cache_dir: Option<std::path::PathBuf>,
+    workers: usize,
+    queue_cap: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:0".to_string(),
+        cache_dir: None,
+        workers: 0,
+        queue_cap: 256,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--listen" => args.listen = val("--listen")?,
+            "--cache-dir" => args.cache_dir = Some(val("--cache-dir")?.into()),
+            "--workers" => {
+                args.workers = val("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-cap" => {
+                args.queue_cap = val("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: epicd [--listen ADDR] [--cache-dir DIR] [--workers N] [--queue-cap N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("epicd: {e}");
+            std::process::exit(2);
+        }
+    };
+    let store = match &args.cache_dir {
+        Some(dir) => ArtifactStore::persistent(dir),
+        None => ArtifactStore::in_memory(),
+    };
+    let sched = Arc::new(Scheduler::new(
+        Arc::new(store),
+        args.workers,
+        args.queue_cap,
+    ));
+    let mut handle = match serve(&args.listen, sched) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("epicd: bind {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    println!("epicd listening on {}", handle.addr());
+    handle.wait();
+    let s = handle.stats();
+    eprintln!(
+        "epicd: served {} submissions ({} cache hits, {} coalesced, {} shed), ran {} jobs ({} compiles, {} sims)",
+        s.sched.submitted,
+        s.sched.cache_hits,
+        s.sched.coalesced,
+        s.sched.shed,
+        s.sched.jobs_run,
+        s.compiles,
+        s.sims
+    );
+}

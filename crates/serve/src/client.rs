@@ -1,0 +1,178 @@
+//! Client side of the `epicd` protocol: a thin blocking connection that
+//! `epicc serve`/`epicc submit` (and the CI smoke test) drive.
+
+use crate::key::{CacheKey, JobSpec};
+use crate::proto::{self, Request, Response, ServeStats};
+use crate::sched::{JobStatus, Priority};
+use epic_driver::Measurement;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// Malformed response frame.
+    Codec(crate::codec::CodecError),
+    /// Server-reported error.
+    Server(String),
+    /// Typed backpressure: the server shed this submission.
+    Busy {
+        /// Queue depth at rejection.
+        queue_depth: usize,
+    },
+    /// The server answered with the wrong response kind.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Codec(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(msg) => write!(f, "server: {msg}"),
+            ClientError::Busy { queue_depth } => {
+                write!(f, "busy: server queue full ({queue_depth} waiting)")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<crate::codec::CodecError> for ClientError {
+    fn from(e: crate::codec::CodecError) -> ClientError {
+        ClientError::Codec(e)
+    }
+}
+
+/// A successfully served submission.
+pub struct Served {
+    /// Content key of the job.
+    pub key: CacheKey,
+    /// Served straight from the server's store.
+    pub cache_hit: bool,
+    /// Attached to a job another client had in flight.
+    pub coalesced: bool,
+    /// The measurement.
+    pub measurement: Measurement,
+}
+
+/// One blocking connection to an `epicd` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:4617`).
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        proto::write_frame(&mut self.writer, &proto::encode_request(req))?;
+        let body = proto::read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-request",
+            ))
+        })?;
+        match proto::decode_response(&body)? {
+            Response::Err(msg) => Err(ClientError::Server(msg)),
+            Response::Busy { queue_depth } => Err(ClientError::Busy { queue_depth }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Submit a job and block until it is served (or typed-rejected).
+    ///
+    /// # Errors
+    /// [`ClientError::Busy`] on shed load, [`ClientError::Server`] on
+    /// job failure, transport/protocol errors otherwise.
+    pub fn submit(
+        &mut self,
+        spec: &JobSpec,
+        prio: Priority,
+        deadline_ms: u64,
+    ) -> Result<Served, ClientError> {
+        match self.roundtrip(&Request::Submit {
+            spec: spec.clone(),
+            prio,
+            deadline_ms,
+        })? {
+            Response::Done {
+                key,
+                cache_hit,
+                coalesced,
+                measurement,
+            } => Ok(Served {
+                key,
+                cache_hit,
+                coalesced,
+                measurement: *measurement,
+            }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask where a key stands.
+    ///
+    /// # Errors
+    /// Transport/protocol errors.
+    pub fn status(&mut self, key: CacheKey) -> Result<JobStatus, ClientError> {
+        match self.roundtrip(&Request::Status(key))? {
+            Response::Status(s) => Ok(s),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch a stored result without scheduling anything.
+    ///
+    /// # Errors
+    /// Transport/protocol errors.
+    pub fn result(&mut self, key: CacheKey) -> Result<Option<Measurement>, ClientError> {
+        match self.roundtrip(&Request::Result(key))? {
+            Response::Result(m) => Ok(m.map(|b| *b)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch the server's counters.
+    ///
+    /// # Errors
+    /// Transport/protocol errors.
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down cleanly.
+    ///
+    /// # Errors
+    /// Transport/protocol errors.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Content addressing: a canonical byte serialization of everything
+//! that determines a compile/sim job's result, hashed into a stable
+//! 128-bit [`CacheKey`].
+//!
+//! Stability is the whole point: the key must be identical across runs,
+//! processes, and thread counts, so `std::hash::DefaultHasher` (whose
+//! seed is per-process) is off the table. We use two independent
+//! FNV-1a-64 lanes over the same canonical bytes — one plain, one over a
+//! byte-wise involution — giving a 128-bit key whose collision
+//! probability over any realistic experiment matrix is negligible.
+//!
+//! The canonical encoding is deliberately dumb: every field of the job,
+//! in declared order, length-prefixed where variable-sized, with a
+//! version tag on top. Any change to the encoding (or to what a job
+//! means) must bump [`CANON_VERSION`], which invalidates every existing
+//! cache entry rather than silently serving stale results.
+
+use epic_driver::{CompileOptions, OptLevel, ProfileInput};
+use epic_mach::MachineConfig;
+use epic_sim::{SimOptions, SpecModel};
+use epic_workloads::Workload;
+
+/// Version tag mixed into every canonical serialization. Bump on any
+/// change to [`JobSpec`]'s meaning or encoding.
+pub const CANON_VERSION: u32 = 1;
+
+/// A stable 128-bit content hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Plain FNV-1a-64 lane.
+    pub hi: u64,
+    /// Complemented-byte FNV-1a-64 lane.
+    pub lo: u64,
+}
+
+impl CacheKey {
+    /// 32-hex-digit rendering (the on-disk file stem).
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parse the [`hex`](CacheKey::hex) rendering back.
+    pub fn from_hex(s: &str) -> Option<CacheKey> {
+        if s.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(CacheKey { hi, lo })
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash canonical bytes into a [`CacheKey`].
+pub fn hash_bytes(bytes: &[u8]) -> CacheKey {
+    let (mut hi, mut lo) = (FNV_OFFSET, FNV_OFFSET ^ 0x5a5a_5a5a_5a5a_5a5a);
+    for &b in bytes {
+        hi = (hi ^ b as u64).wrapping_mul(FNV_PRIME);
+        lo = (lo ^ (b ^ 0xa5) as u64).wrapping_mul(FNV_PRIME);
+    }
+    CacheKey { hi, lo }
+}
+
+/// Canonical byte writer: fixed-width little-endian scalars,
+/// length-prefixed byte strings. No self-describing framing — the
+/// reader is always the same code at the same version.
+#[derive(Default)]
+pub struct Canon {
+    buf: Vec<u8>,
+}
+
+impl Canon {
+    /// Fresh writer, already tagged with [`CANON_VERSION`].
+    pub fn new() -> Canon {
+        let mut c = Canon { buf: Vec::new() };
+        c.u32(CANON_VERSION);
+        c
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i64`, little-endian two's complement.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Append a length-prefixed `i64` slice.
+    pub fn i64s(&mut self, v: &[i64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.i64(x);
+        }
+    }
+
+    /// The accumulated canonical bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Hash the accumulated bytes.
+    pub fn key(self) -> CacheKey {
+        hash_bytes(&self.buf)
+    }
+}
+
+/// Stable one-byte encoding of an [`OptLevel`] (Table 1 order).
+pub fn level_tag(level: OptLevel) -> u8 {
+    match level {
+        OptLevel::Gcc => 0,
+        OptLevel::ONs => 1,
+        OptLevel::IlpNs => 2,
+        OptLevel::IlpCs => 3,
+    }
+}
+
+/// Inverse of [`level_tag`].
+pub fn level_from_tag(tag: u8) -> Option<OptLevel> {
+    OptLevel::ALL.into_iter().find(|&l| level_tag(l) == tag)
+}
+
+/// Stable one-byte encoding of a [`SpecModel`].
+pub fn spec_model_tag(m: SpecModel) -> u8 {
+    match m {
+        SpecModel::General => 0,
+        SpecModel::Sentinel => 1,
+    }
+}
+
+/// Inverse of [`spec_model_tag`].
+pub fn spec_model_from_tag(tag: u8) -> Option<SpecModel> {
+    match tag {
+        0 => Some(SpecModel::General),
+        1 => Some(SpecModel::Sentinel),
+        _ => None,
+    }
+}
+
+/// Stable one-byte encoding of a [`ProfileInput`].
+pub fn profile_input_tag(p: ProfileInput) -> u8 {
+    match p {
+        ProfileInput::Train => 0,
+        ProfileInput::Refr => 1,
+    }
+}
+
+/// Inverse of [`profile_input_tag`].
+pub fn profile_input_from_tag(tag: u8) -> Option<ProfileInput> {
+    match tag {
+        0 => Some(ProfileInput::Train),
+        1 => Some(ProfileInput::Refr),
+        _ => None,
+    }
+}
+
+/// Append every [`MachineConfig`] field, in declaration order.
+pub fn canon_machine_config(c: &mut Canon, cfg: &MachineConfig) {
+    for cache in [&cfg.l1i, &cfg.l1d, &cfg.l2, &cfg.l3] {
+        c.u64(cache.size);
+        c.u64(cache.line);
+        c.u64(cache.ways);
+        c.u64(cache.latency);
+    }
+    c.u64(cfg.mem_latency);
+    c.u64(cfg.mispredict_penalty);
+    c.usize(cfg.ib_ops);
+    c.usize(cfg.fetch_bundles);
+    c.u32(cfg.rse_capacity);
+    c.u64(cfg.rse_cycle_per_reg);
+    c.usize(cfg.dtlb_entries);
+    c.u64(cfg.tlb_walk_cycles);
+    c.u64(cfg.wild_load_kernel_cycles);
+    c.u64(cfg.nat_page_cycles);
+    c.u64(cfg.chk_recovery_cycles);
+    c.u64(cfg.syscall_kernel_cycles);
+    c.u64(cfg.store_forward_stall);
+    c.usize(cfg.store_buffer);
+    c.usize(cfg.alat_entries);
+    c.u64(cfg.alat_recovery_cycles);
+}
+
+/// Everything that determines one compile+simulate job's result. This is
+/// the unit of content addressing: two jobs with equal canonical bytes
+/// are the same job and share one cache entry.
+///
+/// Deliberately *not* representable: `ilp_override` ablations,
+/// `inject_bug`, and simulator tracing — jobs always run the level's
+/// canonical configuration, so a cache entry can never alias an ablated
+/// or instrumented run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// MiniC source text (the content being addressed).
+    pub source: String,
+    /// Profile-training arguments for `main`.
+    pub train_args: Vec<i64>,
+    /// Measurement (reference) arguments for `main`.
+    pub ref_args: Vec<i64>,
+    /// Compiler configuration (Table 1 column).
+    pub level: OptLevel,
+    /// Which input trains the profile.
+    pub profile_input: ProfileInput,
+    /// ALAT data speculation on/off.
+    pub enable_data_spec: bool,
+    /// Interpreter fuel for the profiling run.
+    pub profile_fuel: u64,
+    /// Machine configuration for scheduling and simulation.
+    pub config: MachineConfig,
+    /// Simulator cycle budget.
+    pub sim_fuel: u64,
+    /// Speculation recovery model (paper Fig. 9).
+    pub spec_model: SpecModel,
+}
+
+impl JobSpec {
+    /// The canonical job for a bundled workload at a level, under
+    /// default compile and simulation options.
+    pub fn for_workload(w: &Workload, level: OptLevel) -> JobSpec {
+        JobSpec::from_options(
+            w.source,
+            &w.train_args,
+            &w.ref_args,
+            &CompileOptions::for_level(level),
+            &SimOptions::default(),
+        )
+    }
+
+    /// Build a spec from driver/sim option structs. Returns the spec
+    /// whether or not the options are [`cacheable`](JobSpec::cacheable)
+    /// — callers gate on that separately.
+    pub fn from_options(
+        source: &str,
+        train_args: &[i64],
+        ref_args: &[i64],
+        copts: &CompileOptions,
+        sopts: &SimOptions,
+    ) -> JobSpec {
+        JobSpec {
+            source: source.to_string(),
+            train_args: train_args.to_vec(),
+            ref_args: ref_args.to_vec(),
+            level: copts.level,
+            profile_input: copts.profile_input,
+            enable_data_spec: copts.enable_data_spec,
+            profile_fuel: copts.profile_fuel,
+            config: sopts.config,
+            sim_fuel: sopts.fuel_cycles,
+            spec_model: sopts.spec_model,
+        }
+    }
+
+    /// Can this option combination be represented by a [`JobSpec`] at
+    /// all? Ablation overrides, injected bugs, per-pass verification and
+    /// tracing fall outside the canonical configuration and must never
+    /// be served from (or stored into) the cache.
+    pub fn cacheable(copts: &CompileOptions, sopts: &SimOptions) -> bool {
+        copts.ilp_override.is_none()
+            && !copts.inject_bug
+            && !copts.verify_each_pass
+            && sopts.trace_capacity == 0
+    }
+
+    /// The compile options this job runs with.
+    pub fn compile_options(&self) -> CompileOptions {
+        CompileOptions {
+            level: self.level,
+            profile_input: self.profile_input,
+            ilp_override: None,
+            enable_data_spec: self.enable_data_spec,
+            profile_fuel: self.profile_fuel,
+            verify_each_pass: false,
+            inject_bug: false,
+        }
+    }
+
+    /// The simulator options this job runs with.
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            config: self.config,
+            fuel_cycles: self.sim_fuel,
+            spec_model: self.spec_model,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Canonical bytes of the *compilation* half: source, training
+    /// input, and every compile option. Machine programs are shared
+    /// across jobs that differ only in simulation parameters.
+    pub fn compile_canon(&self) -> Vec<u8> {
+        let mut c = Canon::new();
+        c.u8(b'C');
+        c.str(&self.source);
+        c.i64s(&self.train_args);
+        c.u8(level_tag(self.level));
+        c.u8(profile_input_tag(self.profile_input));
+        c.bool(self.enable_data_spec);
+        c.u64(self.profile_fuel);
+        canon_machine_config(&mut c, &self.config);
+        c.finish()
+    }
+
+    /// Content hash of the compilation half.
+    pub fn compile_key(&self) -> CacheKey {
+        hash_bytes(&self.compile_canon())
+    }
+
+    /// Canonical bytes of the whole job (compilation plus simulation
+    /// parameters and the measurement input).
+    pub fn job_canon(&self) -> Vec<u8> {
+        let mut c = Canon::new();
+        c.u8(b'J');
+        c.bytes(&self.compile_canon());
+        c.i64s(&self.ref_args);
+        c.u64(self.sim_fuel);
+        c.u8(spec_model_tag(self.spec_model));
+        c.finish()
+    }
+
+    /// Content hash of the whole job — the artifact-store key.
+    pub fn job_key(&self) -> CacheKey {
+        hash_bytes(&self.job_canon())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_across_runs() {
+        // Golden values: these must never change for fixed input — a
+        // process-seeded hasher (DefaultHasher) would fail this test on
+        // the next run. If the canonical encoding changes legitimately,
+        // CANON_VERSION must be bumped and these constants re-derived.
+        let k = hash_bytes(b"epic-serve golden input");
+        assert_eq!(k.hex(), format!("{:016x}{:016x}", k.hi, k.lo));
+        assert_eq!(k, hash_bytes(b"epic-serve golden input"));
+        assert_eq!(k.hi, 0x4cd7_8099_eb42_1ea7);
+        assert_eq!(k.lo, 0xf365_1250_fa87_d534);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let k = hash_bytes(b"abc");
+        assert_eq!(CacheKey::from_hex(&k.hex()), Some(k));
+        assert_eq!(CacheKey::from_hex("xyz"), None);
+        assert_eq!(CacheKey::from_hex(""), None);
+    }
+
+    #[test]
+    fn all_workload_level_config_combinations_are_distinct() {
+        // 12 workloads × 4 levels × 2 machine configs × 2 spec models:
+        // every job key (and every compile key within a config) unique.
+        let mut alt = MachineConfig::default();
+        alt.l2.size *= 2;
+        let mut job_keys = std::collections::HashSet::new();
+        let mut n = 0;
+        for w in epic_workloads::all() {
+            for level in OptLevel::ALL {
+                for cfg in [MachineConfig::default(), alt] {
+                    for model in [SpecModel::General, SpecModel::Sentinel] {
+                        let mut spec = JobSpec::for_workload(&w, level);
+                        spec.config = cfg;
+                        spec.spec_model = model;
+                        assert!(
+                            job_keys.insert(spec.job_key()),
+                            "collision: {} {level:?}",
+                            w.name
+                        );
+                        n += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(n, 12 * 4 * 2 * 2);
+    }
+
+    #[test]
+    fn keys_identical_across_threads_and_recomputation() {
+        let specs: Vec<JobSpec> = epic_workloads::all()
+            .iter()
+            .map(|w| JobSpec::for_workload(w, OptLevel::IlpCs))
+            .collect();
+        let serial: Vec<CacheKey> = specs.iter().map(JobSpec::job_key).collect();
+        // recompute on 8 threads; the hash must not depend on process or
+        // thread identity
+        let parallel = epic_driver::par_map(&specs, 8, |_, s| s.job_key());
+        assert_eq!(serial, parallel);
+        let again: Vec<CacheKey> = specs.iter().map(JobSpec::job_key).collect();
+        assert_eq!(serial, again);
+    }
+
+    #[test]
+    fn sim_parameters_change_job_key_but_not_compile_key() {
+        let w = epic_workloads::by_name("mcf_mc").unwrap();
+        let a = JobSpec::for_workload(&w, OptLevel::Gcc);
+        let mut b = a.clone();
+        b.spec_model = SpecModel::Sentinel;
+        assert_eq!(a.compile_key(), b.compile_key());
+        assert_ne!(a.job_key(), b.job_key());
+        let mut c = a.clone();
+        c.ref_args = vec![1, 2, 3];
+        assert_eq!(a.compile_key(), c.compile_key());
+        assert_ne!(a.job_key(), c.job_key());
+        // ... while source or level changes alter both
+        let mut d = a.clone();
+        d.level = OptLevel::ONs;
+        assert_ne!(a.compile_key(), d.compile_key());
+        assert_ne!(a.job_key(), d.job_key());
+    }
+
+    #[test]
+    fn non_canonical_options_are_not_cacheable() {
+        let copts = CompileOptions::for_level(OptLevel::IlpCs);
+        let sopts = SimOptions::default();
+        assert!(JobSpec::cacheable(&copts, &sopts));
+        let mut bugged = copts.clone();
+        bugged.inject_bug = true;
+        assert!(!JobSpec::cacheable(&bugged, &sopts));
+        let mut ablated = copts.clone();
+        ablated.ilp_override = Some(Default::default());
+        assert!(!JobSpec::cacheable(&ablated, &sopts));
+        let mut traced = sopts;
+        traced.trace_capacity = 16;
+        assert!(!JobSpec::cacheable(&copts, &traced));
+    }
+}

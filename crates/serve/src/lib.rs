@@ -1,0 +1,47 @@
+//! # epic-serve
+//!
+//! A content-addressed compile/sim job service. The experiment matrix
+//! (12 workloads × 4 optimization levels, DESIGN.md §1) is pure: a
+//! measurement is fully determined by the MiniC source, the compile
+//! options, the machine configuration, and the simulation parameters.
+//! This crate exploits that purity end to end:
+//!
+//! * [`key`] — canonical serialization of a job into a stable 128-bit
+//!   [`CacheKey`] (two independent FNV-1a-64 lanes; identical across
+//!   processes, runs, and thread counts).
+//! * [`codec`] — versioned binary serialization of
+//!   [`Measurement`](epic_driver::Measurement)s
+//!   (strict decode, corrupt data is an error, never a wrong answer) and
+//!   a [`digest`](codec::digest) that ignores wall-clock pass times — the
+//!   bit-identity comparator used by tests and CI.
+//! * [`store`] — the artifact store: bounded in-memory index over an
+//!   optional persistent directory of `.epsv` files, plus a memory-only
+//!   machine-code cache shared by jobs that differ only in simulation
+//!   parameters. Implements [`epic_driver::MeasurementCache`], so
+//!   `measure_matrix_cached` transparently reuses artifacts.
+//! * [`sched`] — bounded priority scheduler over `std::thread` workers
+//!   with in-flight coalescing (N concurrent submissions of one key run
+//!   once), per-job queue deadlines, and typed [`Busy`](sched::SubmitError::Busy)
+//!   load shedding.
+//! * [`proto`]/[`server`]/[`client`] — a length-prefixed TCP protocol
+//!   (`submit`/`status`/`result`/`stats`/`shutdown`) binding it together
+//!   as the `epicd` daemon and the `epicc submit` client.
+//!
+//! See DESIGN.md §8 for the architecture rationale.
+
+pub mod client;
+pub mod codec;
+pub mod key;
+pub mod proto;
+pub mod sched;
+pub mod server;
+pub mod store;
+pub mod testutil;
+
+pub use client::{Client, ClientError, Served};
+pub use codec::{digest, CodecError};
+pub use key::{CacheKey, JobSpec};
+pub use proto::ServeStats;
+pub use sched::{JobError, JobRunner, JobStatus, Priority, SchedStats, Scheduler, SubmitError};
+pub use server::{serve, ServerHandle};
+pub use store::{ArtifactStore, StoreStats};

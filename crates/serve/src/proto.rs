@@ -1,0 +1,557 @@
+//! Wire protocol for `epicd`: 4-byte big-endian length-prefixed frames
+//! over TCP, one request frame → one response frame.
+//!
+//! Frame body layout (all via the [`codec`](crate::codec) primitives):
+//!
+//! ```text
+//! request  := verb:u8 payload
+//! response := tag:u8  payload
+//! ```
+//!
+//! Verbs: `Submit` (a full [`JobSpec`] plus priority/deadline), `Status`
+//! and `Result` (a [`CacheKey`]), `Stats`, `Shutdown`. Responses carry
+//! either the requested data, a typed [`Response::Busy`] (load shed — the
+//! client sees backpressure, not a hang), or an error string.
+//!
+//! The frame length is capped at [`MAX_FRAME`] so a corrupt or hostile
+//! length prefix cannot trigger an unbounded allocation.
+
+use crate::codec::{self, CodecError, Dec, Enc};
+use crate::key::{
+    canon_machine_config, level_from_tag, level_tag, profile_input_from_tag, profile_input_tag,
+    spec_model_from_tag, spec_model_tag, CacheKey, JobSpec,
+};
+use crate::sched::{JobStatus, Priority, SchedStats};
+use crate::store::StoreStats;
+use epic_driver::Measurement;
+use epic_mach::{CacheConfig, MachineConfig};
+use std::io::{Read, Write};
+
+/// Hard ceiling on one frame's body (16 MiB — a full measurement for
+/// the largest workload is a few hundred KiB).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run (or fetch) a job.
+    Submit {
+        /// The job.
+        spec: JobSpec,
+        /// Queue priority.
+        prio: Priority,
+        /// Queue deadline in milliseconds (0 = none).
+        deadline_ms: u64,
+    },
+    /// Where is this key? (unknown / in flight / done)
+    Status(CacheKey),
+    /// Fetch a stored result without scheduling anything.
+    Result(CacheKey),
+    /// Server + store + scheduler counters.
+    Stats,
+    /// Stop the server (used by CI for a clean teardown).
+    Shutdown,
+}
+
+/// Aggregate server statistics (the `stats` verb payload).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Artifact-store counters.
+    pub store: StoreStats,
+    /// Scheduler counters.
+    pub sched: SchedStats,
+    /// Compiles the runner actually performed.
+    pub compiles: u64,
+    /// Simulations the runner actually performed.
+    pub sims: u64,
+}
+
+/// One server response.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Something went wrong (bad frame, runner failure, expiry...).
+    Err(String),
+    /// Submit accepted and finished.
+    Done {
+        /// Content key of the job.
+        key: CacheKey,
+        /// Served straight from the store.
+        cache_hit: bool,
+        /// Attached to an already-running job.
+        coalesced: bool,
+        /// The measurement.
+        measurement: Box<Measurement>,
+    },
+    /// Status answer.
+    Status(JobStatus),
+    /// Stored result (None: not stored).
+    Result(Option<Box<Measurement>>),
+    /// Stats answer.
+    Stats(ServeStats),
+    /// Queue full — typed backpressure, retry later.
+    Busy {
+        /// Queue depth at rejection.
+        queue_depth: usize,
+    },
+    /// Shutdown acknowledged.
+    ShutdownOk,
+}
+
+fn enc_key(e: &mut Enc, k: CacheKey) {
+    e.u64(k.hi);
+    e.u64(k.lo);
+}
+
+fn dec_key(d: &mut Dec) -> Result<CacheKey, CodecError> {
+    Ok(CacheKey {
+        hi: d.u64()?,
+        lo: d.u64()?,
+    })
+}
+
+fn enc_spec(e: &mut Enc, s: &JobSpec) {
+    e.str(&s.source);
+    e.i64s(&s.train_args);
+    e.i64s(&s.ref_args);
+    e.u8(level_tag(s.level));
+    e.u8(profile_input_tag(s.profile_input));
+    e.bool(s.enable_data_spec);
+    e.u64(s.profile_fuel);
+    // the canonical encoding doubles as the wire encoding for the config
+    let mut canon = crate::key::Canon::default();
+    canon_machine_config(&mut canon, &s.config);
+    e.bytes(&canon.finish());
+    e.u64(s.sim_fuel);
+    e.u8(spec_model_tag(s.spec_model));
+}
+
+fn dec_cache_cfg(d: &mut Dec) -> Result<CacheConfig, CodecError> {
+    Ok(CacheConfig {
+        size: d.u64()?,
+        line: d.u64()?,
+        ways: d.u64()?,
+        latency: d.u64()?,
+    })
+}
+
+fn dec_spec(d: &mut Dec) -> Result<JobSpec, CodecError> {
+    let source = d.str()?;
+    let train_args = d.i64s()?;
+    let ref_args = d.i64s()?;
+    let level =
+        level_from_tag(d.u8()?).ok_or_else(|| CodecError("bad opt-level tag".to_string()))?;
+    let profile_input = profile_input_from_tag(d.u8()?)
+        .ok_or_else(|| CodecError("bad profile-input tag".to_string()))?;
+    let enable_data_spec = d.bool()?;
+    let profile_fuel = d.u64()?;
+    let cfg_bytes = d.bytes()?;
+    let mut cd = Dec::new(&cfg_bytes);
+    let config = MachineConfig {
+        l1i: dec_cache_cfg(&mut cd)?,
+        l1d: dec_cache_cfg(&mut cd)?,
+        l2: dec_cache_cfg(&mut cd)?,
+        l3: dec_cache_cfg(&mut cd)?,
+        mem_latency: cd.u64()?,
+        mispredict_penalty: cd.u64()?,
+        ib_ops: cd.usize()?,
+        fetch_bundles: cd.usize()?,
+        rse_capacity: cd.u32()?,
+        rse_cycle_per_reg: cd.u64()?,
+        dtlb_entries: cd.usize()?,
+        tlb_walk_cycles: cd.u64()?,
+        wild_load_kernel_cycles: cd.u64()?,
+        nat_page_cycles: cd.u64()?,
+        chk_recovery_cycles: cd.u64()?,
+        syscall_kernel_cycles: cd.u64()?,
+        store_forward_stall: cd.u64()?,
+        store_buffer: cd.usize()?,
+        alat_entries: cd.usize()?,
+        alat_recovery_cycles: cd.u64()?,
+    };
+    cd.expect_end()?;
+    Ok(JobSpec {
+        source,
+        train_args,
+        ref_args,
+        level,
+        profile_input,
+        enable_data_spec,
+        profile_fuel,
+        config,
+        sim_fuel: d.u64()?,
+        spec_model: spec_model_from_tag(d.u8()?)
+            .ok_or_else(|| CodecError("bad spec-model tag".to_string()))?,
+    })
+}
+
+fn enc_store_stats(e: &mut Enc, s: &StoreStats) {
+    for v in [
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.disk_hits,
+        s.disk_writes,
+        s.mach_hits,
+        s.mem_entries,
+    ] {
+        e.u64(v);
+    }
+}
+
+fn dec_store_stats(d: &mut Dec) -> Result<StoreStats, CodecError> {
+    Ok(StoreStats {
+        hits: d.u64()?,
+        misses: d.u64()?,
+        evictions: d.u64()?,
+        disk_hits: d.u64()?,
+        disk_writes: d.u64()?,
+        mach_hits: d.u64()?,
+        mem_entries: d.u64()?,
+    })
+}
+
+fn enc_sched_stats(e: &mut Enc, s: &SchedStats) {
+    for v in [
+        s.submitted,
+        s.cache_hits,
+        s.coalesced,
+        s.shed,
+        s.jobs_run,
+        s.expired,
+        s.queue_depth,
+        s.in_flight,
+    ] {
+        e.u64(v);
+    }
+}
+
+fn dec_sched_stats(d: &mut Dec) -> Result<SchedStats, CodecError> {
+    Ok(SchedStats {
+        submitted: d.u64()?,
+        cache_hits: d.u64()?,
+        coalesced: d.u64()?,
+        shed: d.u64()?,
+        jobs_run: d.u64()?,
+        expired: d.u64()?,
+        queue_depth: d.u64()?,
+        in_flight: d.u64()?,
+    })
+}
+
+const VERB_SUBMIT: u8 = 1;
+const VERB_STATUS: u8 = 2;
+const VERB_RESULT: u8 = 3;
+const VERB_STATS: u8 = 4;
+const VERB_SHUTDOWN: u8 = 5;
+
+const RESP_ERR: u8 = 0;
+const RESP_DONE: u8 = 1;
+const RESP_STATUS: u8 = 2;
+const RESP_RESULT: u8 = 3;
+const RESP_STATS: u8 = 4;
+const RESP_BUSY: u8 = 5;
+const RESP_SHUTDOWN_OK: u8 = 6;
+
+/// Encode a request frame body.
+pub fn encode_request(r: &Request) -> Vec<u8> {
+    let mut e = Enc::new();
+    match r {
+        Request::Submit {
+            spec,
+            prio,
+            deadline_ms,
+        } => {
+            e.u8(VERB_SUBMIT);
+            e.u8(prio.tag());
+            e.u64(*deadline_ms);
+            enc_spec(&mut e, spec);
+        }
+        Request::Status(k) => {
+            e.u8(VERB_STATUS);
+            enc_key(&mut e, *k);
+        }
+        Request::Result(k) => {
+            e.u8(VERB_RESULT);
+            enc_key(&mut e, *k);
+        }
+        Request::Stats => e.u8(VERB_STATS),
+        Request::Shutdown => e.u8(VERB_SHUTDOWN),
+    }
+    e.finish()
+}
+
+/// Decode a request frame body.
+///
+/// # Errors
+/// Malformed or truncated payloads.
+pub fn decode_request(body: &[u8]) -> Result<Request, CodecError> {
+    let mut d = Dec::new(body);
+    let r = match d.u8()? {
+        VERB_SUBMIT => {
+            let prio = Priority::from_tag(d.u8()?)
+                .ok_or_else(|| CodecError("bad priority tag".to_string()))?;
+            let deadline_ms = d.u64()?;
+            Request::Submit {
+                spec: dec_spec(&mut d)?,
+                prio,
+                deadline_ms,
+            }
+        }
+        VERB_STATUS => Request::Status(dec_key(&mut d)?),
+        VERB_RESULT => Request::Result(dec_key(&mut d)?),
+        VERB_STATS => Request::Stats,
+        VERB_SHUTDOWN => Request::Shutdown,
+        v => return Err(CodecError(format!("unknown request verb {v}"))),
+    };
+    d.expect_end()?;
+    Ok(r)
+}
+
+/// Encode a response frame body.
+pub fn encode_response(r: &Response) -> Vec<u8> {
+    let mut e = Enc::new();
+    match r {
+        Response::Err(msg) => {
+            e.u8(RESP_ERR);
+            e.str(msg);
+        }
+        Response::Done {
+            key,
+            cache_hit,
+            coalesced,
+            measurement,
+        } => {
+            e.u8(RESP_DONE);
+            enc_key(&mut e, *key);
+            e.bool(*cache_hit);
+            e.bool(*coalesced);
+            e.bytes(&codec::encode_measurement(measurement));
+        }
+        Response::Status(s) => {
+            e.u8(RESP_STATUS);
+            e.u8(s.tag());
+        }
+        Response::Result(m) => {
+            e.u8(RESP_RESULT);
+            match m {
+                Some(m) => {
+                    e.bool(true);
+                    e.bytes(&codec::encode_measurement(m));
+                }
+                None => e.bool(false),
+            }
+        }
+        Response::Stats(s) => {
+            e.u8(RESP_STATS);
+            enc_store_stats(&mut e, &s.store);
+            enc_sched_stats(&mut e, &s.sched);
+            e.u64(s.compiles);
+            e.u64(s.sims);
+        }
+        Response::Busy { queue_depth } => {
+            e.u8(RESP_BUSY);
+            e.u64(*queue_depth as u64);
+        }
+        Response::ShutdownOk => e.u8(RESP_SHUTDOWN_OK),
+    }
+    e.finish()
+}
+
+/// Decode a response frame body.
+///
+/// # Errors
+/// Malformed or truncated payloads.
+pub fn decode_response(body: &[u8]) -> Result<Response, CodecError> {
+    let mut d = Dec::new(body);
+    let r = match d.u8()? {
+        RESP_ERR => Response::Err(d.str()?),
+        RESP_DONE => {
+            let key = dec_key(&mut d)?;
+            let cache_hit = d.bool()?;
+            let coalesced = d.bool()?;
+            let m = codec::decode_measurement(&d.bytes()?)?;
+            Response::Done {
+                key,
+                cache_hit,
+                coalesced,
+                measurement: Box::new(m),
+            }
+        }
+        RESP_STATUS => Response::Status(
+            JobStatus::from_tag(d.u8()?).ok_or_else(|| CodecError("bad status tag".to_string()))?,
+        ),
+        RESP_RESULT => {
+            if d.bool()? {
+                Response::Result(Some(Box::new(codec::decode_measurement(&d.bytes()?)?)))
+            } else {
+                Response::Result(None)
+            }
+        }
+        RESP_STATS => Response::Stats(ServeStats {
+            store: dec_store_stats(&mut d)?,
+            sched: dec_sched_stats(&mut d)?,
+            compiles: d.u64()?,
+            sims: d.u64()?,
+        }),
+        RESP_BUSY => Response::Busy {
+            queue_depth: d.u64()? as usize,
+        },
+        RESP_SHUTDOWN_OK => Response::ShutdownOk,
+        v => return Err(CodecError(format!("unknown response tag {v}"))),
+    };
+    d.expect_end()?;
+    Ok(r)
+}
+
+/// Write one length-prefixed frame.
+///
+/// # Errors
+/// Underlying I/O failures, or a body over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds cap", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed between requests).
+///
+/// # Errors
+/// Underlying I/O failures, mid-frame EOF, or a length over
+/// [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let n = u32::from_be_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {n} exceeds cap"),
+        ));
+    }
+    let mut body = vec![0u8; n];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::dummy_measurement;
+    use epic_driver::OptLevel;
+
+    fn sample_spec() -> JobSpec {
+        let w = epic_workloads::by_name("gzip_mc").unwrap();
+        JobSpec::for_workload(&w, OptLevel::IlpCs)
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let key = sample_spec().job_key();
+        let reqs = [
+            Request::Submit {
+                spec: sample_spec(),
+                prio: Priority::High,
+                deadline_ms: 1500,
+            },
+            Request::Status(key),
+            Request::Result(key),
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in &reqs {
+            assert_eq!(&decode_request(&encode_request(r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn decoded_spec_preserves_the_job_key() {
+        let spec = sample_spec();
+        let r = Request::Submit {
+            spec: spec.clone(),
+            prio: Priority::Normal,
+            deadline_ms: 0,
+        };
+        match decode_request(&encode_request(&r)).unwrap() {
+            Request::Submit { spec: got, .. } => {
+                assert_eq!(got.job_key(), spec.job_key());
+                assert_eq!(got.compile_key(), spec.compile_key());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let m = dummy_measurement(7);
+        let resps = [
+            Response::Err("boom".to_string()),
+            Response::Done {
+                key: sample_spec().job_key(),
+                cache_hit: true,
+                coalesced: false,
+                measurement: Box::new(m.clone()),
+            },
+            Response::Status(JobStatus::InFlight),
+            Response::Result(Some(Box::new(m))),
+            Response::Result(None),
+            Response::Stats(ServeStats {
+                store: StoreStats {
+                    hits: 3,
+                    misses: 1,
+                    ..Default::default()
+                },
+                sched: SchedStats {
+                    submitted: 4,
+                    shed: 2,
+                    ..Default::default()
+                },
+                compiles: 9,
+                sims: 11,
+            }),
+            Response::Busy { queue_depth: 17 },
+            Response::ShutdownOk,
+        ];
+        for r in &resps {
+            let back = decode_response(&encode_response(r)).unwrap();
+            // encoding is deterministic, so byte equality of re-encoded
+            // responses is semantic equality
+            assert_eq!(encode_response(&back), encode_response(r));
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cur).unwrap().is_none());
+        // a hostile length prefix must not allocate
+        let huge = [(MAX_FRAME as u32 + 1).to_be_bytes().to_vec(), vec![0; 8]].concat();
+        assert!(read_frame(&mut std::io::Cursor::new(huge)).is_err());
+    }
+
+    #[test]
+    fn corrupt_bodies_are_rejected() {
+        let good = encode_request(&Request::Stats);
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_request(&trailing).is_err());
+        assert!(decode_request(&[99]).is_err());
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_response(&[77]).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! `epicd`: the job service over `std::net::TcpListener`.
+//!
+//! One thread per connection (connections are few — CI and interactive
+//! clients), each speaking the length-prefixed protocol in
+//! [`proto`](crate::proto). The listener itself runs nonblocking with a
+//! short poll so a `Shutdown` verb (or [`ServerHandle::stop`]) tears the
+//! whole service down promptly and deterministically — CI never has to
+//! kill -9.
+
+use crate::key::JobSpec;
+use crate::proto::{self, Request, Response, ServeStats};
+use crate::sched::{JobError, Priority, Scheduler, SubmitError};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running server; dropping it (or calling [`stop`](ServerHandle::stop))
+/// shuts the service down and joins every thread.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    sched: Arc<Scheduler>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler behind the server.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Aggregate statistics (same data the `stats` verb serves).
+    pub fn stats(&self) -> ServeStats {
+        let (compiles, sims) = self.sched.work_counts();
+        ServeStats {
+            store: self.sched.store().stats(),
+            sched: self.sched.stats(),
+            compiles,
+            sims,
+        }
+    }
+
+    /// Stop accepting, drain the scheduler, join all threads.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        self.sched.shutdown();
+    }
+
+    /// Block until the accept loop exits (a client sent `Shutdown`).
+    pub fn wait(&mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        self.sched.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind `listen_addr` (e.g. `127.0.0.1:0`) and serve `sched` on it.
+///
+/// # Errors
+/// Bind failures.
+pub fn serve(listen_addr: &str, sched: Arc<Scheduler>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(listen_addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let stop = Arc::clone(&stop);
+        let sched = Arc::clone(&sched);
+        std::thread::Builder::new()
+            .name("epicd-accept".to_string())
+            .spawn(move || accept_loop(&listener, &stop, &sched))
+            .expect("spawn accept loop")
+    };
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        sched,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>, sched: &Arc<Scheduler>) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let stop = Arc::clone(stop);
+                let sched = Arc::clone(sched);
+                conns.push(
+                    std::thread::Builder::new()
+                        .name("epicd-conn".to_string())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &stop, &sched);
+                        })
+                        .expect("spawn connection"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    stop: &AtomicBool,
+    sched: &Scheduler,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    while let Some(body) = proto::read_frame(&mut reader)? {
+        let resp = match proto::decode_request(&body) {
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let resp = dispatch(req, sched);
+                if is_shutdown {
+                    proto::write_frame(&mut writer, &proto::encode_response(&resp))?;
+                    stop.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
+                resp
+            }
+            Err(e) => Response::Err(format!("bad request: {e}")),
+        };
+        proto::write_frame(&mut writer, &proto::encode_response(&resp))?;
+    }
+    Ok(())
+}
+
+/// Execute one request against the scheduler. Blocking verbs (submit)
+/// block this connection's thread only.
+fn dispatch(req: Request, sched: &Scheduler) -> Response {
+    match req {
+        Request::Submit {
+            spec,
+            prio,
+            deadline_ms,
+        } => submit(spec, prio, deadline_ms, sched),
+        Request::Status(key) => Response::Status(sched.status(key)),
+        Request::Result(key) => {
+            Response::Result(sched.store().lookup(key).map(|m| Box::new((*m).clone())))
+        }
+        Request::Stats => {
+            let (compiles, sims) = sched.work_counts();
+            Response::Stats(ServeStats {
+                store: sched.store().stats(),
+                sched: sched.stats(),
+                compiles,
+                sims,
+            })
+        }
+        Request::Shutdown => Response::ShutdownOk,
+    }
+}
+
+fn submit(spec: JobSpec, prio: Priority, deadline_ms: u64, sched: &Scheduler) -> Response {
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    match sched.submit(spec, prio, deadline) {
+        Ok(ticket) => {
+            let key = ticket.key;
+            let cache_hit = ticket.cache_hit;
+            let coalesced = ticket.coalesced;
+            match ticket.wait() {
+                Ok(m) => Response::Done {
+                    key,
+                    cache_hit,
+                    coalesced,
+                    measurement: Box::new((*m).clone()),
+                },
+                Err(JobError::Expired) => Response::Err("deadline expired".to_string()),
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Err(SubmitError::Busy { queue_depth }) => Response::Busy { queue_depth },
+        Err(SubmitError::Shutdown) => Response::Err("server shutting down".to_string()),
+    }
+}

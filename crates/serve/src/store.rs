@@ -1,0 +1,340 @@
+//! The content-addressed artifact store: [`CacheKey`] → measurement,
+//! with an in-memory index in front of an optional persistent cache
+//! directory, plus a process-local machine-code cache so jobs differing
+//! only in simulation parameters share one compilation.
+//!
+//! Layout on disk: `<dir>/<first two hex digits>/<32-hex-key>.epsv`,
+//! each file a versioned [`crate::codec`] blob written via a temp file +
+//! atomic rename (a torn write can never be read back as a result — a
+//! corrupt or version-skewed file is treated as a miss and removed).
+//! Machine programs stay in memory only: they are cheap to rebuild from
+//! a cache-resident measurement's compile half and enormous to
+//! serialize, and nothing downstream of a cache hit needs them.
+
+use crate::codec;
+use crate::key::{CacheKey, JobSpec};
+use epic_driver::{CompileOptions, CompiledStats, Measurement, MeasurementCache};
+use epic_mach::MachProgram;
+use epic_sim::SimOptions;
+use epic_workloads::Workload;
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A compiled program plus its static statistics — the reusable half of
+/// a job, shared across simulation-parameter variants.
+pub struct CompiledArtifact {
+    /// The machine program.
+    pub mach: MachProgram,
+    /// Static compilation statistics.
+    pub stats: CompiledStats,
+}
+
+/// Store statistics snapshot (monotonic counters since construction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// In-memory entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Hits served by reading the cache directory (subset of `hits`).
+    pub disk_hits: u64,
+    /// Measurements persisted to the cache directory.
+    pub disk_writes: u64,
+    /// Compile-artifact reuses (sim-only jobs).
+    pub mach_hits: u64,
+    /// Current in-memory measurement count.
+    pub mem_entries: u64,
+}
+
+#[derive(Default)]
+struct MemIndex {
+    map: HashMap<CacheKey, Arc<Measurement>>,
+    fifo: VecDeque<CacheKey>,
+}
+
+struct MachIndex {
+    map: HashMap<CacheKey, Arc<CompiledArtifact>>,
+    fifo: VecDeque<CacheKey>,
+}
+
+/// The artifact store.
+pub struct ArtifactStore {
+    dir: Option<PathBuf>,
+    mem: Mutex<MemIndex>,
+    mem_cap: usize,
+    mach: Mutex<MachIndex>,
+    mach_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_writes: AtomicU64,
+    mach_hits: AtomicU64,
+}
+
+/// Default bound on in-memory measurements (a full 12×4 matrix is 48;
+/// this holds several experiment variants).
+pub const DEFAULT_MEM_CAP: usize = 512;
+
+/// Default bound on in-memory compiled programs (these hold full IR and
+/// machine code, so the cap is much tighter).
+pub const DEFAULT_MACH_CAP: usize = 64;
+
+impl ArtifactStore {
+    /// Memory-only store.
+    pub fn in_memory() -> ArtifactStore {
+        ArtifactStore::with_caps(None, DEFAULT_MEM_CAP, DEFAULT_MACH_CAP)
+    }
+
+    /// Store persisted under `dir` (created on first write).
+    pub fn persistent(dir: impl Into<PathBuf>) -> ArtifactStore {
+        ArtifactStore::with_caps(Some(dir.into()), DEFAULT_MEM_CAP, DEFAULT_MACH_CAP)
+    }
+
+    /// Fully parameterized constructor (caps of 0 mean "no entries kept
+    /// in memory", which still works — every hit comes from disk).
+    pub fn with_caps(dir: Option<PathBuf>, mem_cap: usize, mach_cap: usize) -> ArtifactStore {
+        ArtifactStore {
+            dir,
+            mem: Mutex::new(MemIndex::default()),
+            mem_cap,
+            mach: Mutex::new(MachIndex {
+                map: HashMap::new(),
+                fifo: VecDeque::new(),
+            }),
+            mach_cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
+            mach_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache directory, if persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn path_for(&self, key: CacheKey) -> Option<PathBuf> {
+        let hex = key.hex();
+        self.dir
+            .as_ref()
+            .map(|d| d.join(&hex[..2]).join(format!("{hex}.epsv")))
+    }
+
+    /// A stored measurement for `key`, consulting memory then disk.
+    /// Counts a hit or a miss.
+    pub fn lookup(&self, key: CacheKey) -> Option<Arc<Measurement>> {
+        if let Some(m) = self.mem.lock().expect("store index").map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(m));
+        }
+        if let Some(path) = self.path_for(key) {
+            if let Some(m) = self.load_file(&path) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let m = Arc::new(m);
+                self.remember(key, Arc::clone(&m));
+                return Some(m);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn load_file(&self, path: &Path) -> Option<Measurement> {
+        let bytes = std::fs::read(path).ok()?;
+        match codec::decode_measurement(&bytes) {
+            Ok(m) => Some(m),
+            Err(_) => {
+                // corrupt or version-skewed: a miss, and never again
+                let _ = std::fs::remove_file(path);
+                None
+            }
+        }
+    }
+
+    fn remember(&self, key: CacheKey, m: Arc<Measurement>) {
+        let mut idx = self.mem.lock().expect("store index");
+        if idx.map.insert(key, m).is_none() {
+            idx.fifo.push_back(key);
+        }
+        while idx.map.len() > self.mem_cap {
+            let Some(old) = idx.fifo.pop_front() else {
+                break;
+            };
+            if idx.map.remove(&old).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Store a measurement under `key` (memory, and disk when
+    /// persistent). Returns the shared handle.
+    pub fn insert(&self, key: CacheKey, m: Measurement) -> Arc<Measurement> {
+        let arc = Arc::new(m);
+        self.remember(key, Arc::clone(&arc));
+        if let Some(path) = self.path_for(key) {
+            if self.write_file(&path, &arc).is_ok() {
+                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        arc
+    }
+
+    fn write_file(&self, path: &Path, m: &Measurement) -> std::io::Result<()> {
+        let parent = path.parent().expect("sharded path has a parent");
+        std::fs::create_dir_all(parent)?;
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, codec::encode_measurement(m))?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// A cached compiled artifact for a compile key.
+    pub fn lookup_mach(&self, key: CacheKey) -> Option<Arc<CompiledArtifact>> {
+        let idx = self.mach.lock().expect("mach index");
+        let hit = idx.map.get(&key).map(Arc::clone);
+        if hit.is_some() {
+            self.mach_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Cache a compiled artifact (memory only, FIFO-bounded).
+    pub fn insert_mach(&self, key: CacheKey, a: CompiledArtifact) -> Arc<CompiledArtifact> {
+        let arc = Arc::new(a);
+        let mut idx = self.mach.lock().expect("mach index");
+        if idx.map.insert(key, Arc::clone(&arc)).is_none() {
+            idx.fifo.push_back(key);
+        }
+        while idx.map.len() > self.mach_cap.max(1) {
+            let Some(old) = idx.fifo.pop_front() else {
+                break;
+            };
+            if idx.map.remove(&old).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        arc
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            mach_hits: self.mach_hits.load(Ordering::Relaxed),
+            mem_entries: self.mem.lock().expect("store index").map.len() as u64,
+        }
+    }
+}
+
+/// The driver-side cache hook: a cell is served from the store when its
+/// options are canonical ([`JobSpec::cacheable`]); everything else
+/// bypasses the cache entirely.
+impl MeasurementCache for ArtifactStore {
+    fn lookup(
+        &self,
+        w: &Workload,
+        copts: &CompileOptions,
+        sopts: &SimOptions,
+    ) -> Option<Measurement> {
+        if !JobSpec::cacheable(copts, sopts) {
+            return None;
+        }
+        let spec = JobSpec::from_options(w.source, &w.train_args, &w.ref_args, copts, sopts);
+        ArtifactStore::lookup(self, spec.job_key()).map(|m| (*m).clone())
+    }
+
+    fn store(&self, w: &Workload, copts: &CompileOptions, sopts: &SimOptions, m: &Measurement) {
+        if !JobSpec::cacheable(copts, sopts) {
+            return;
+        }
+        let spec = JobSpec::from_options(w.source, &w.train_args, &w.ref_args, copts, sopts);
+        self.insert(spec.job_key(), m.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::digest;
+    use crate::key::hash_bytes;
+    use crate::testutil::dummy_measurement;
+
+    fn k(n: u64) -> CacheKey {
+        hash_bytes(&n.to_le_bytes())
+    }
+
+    #[test]
+    fn memory_store_hit_miss_and_eviction() {
+        let s = ArtifactStore::with_caps(None, 2, 4);
+        assert!(s.lookup(k(1)).is_none());
+        s.insert(k(1), dummy_measurement(1));
+        s.insert(k(2), dummy_measurement(2));
+        let hit = s.lookup(k(1)).expect("hit");
+        assert_eq!(digest(&hit), digest(&dummy_measurement(1)));
+        // third insert evicts the oldest (FIFO)
+        s.insert(k(3), dummy_measurement(3));
+        assert!(s.lookup(k(1)).is_none(), "oldest entry evicted");
+        assert!(s.lookup(k(3)).is_some());
+        let st = s.stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.mem_entries, 2);
+        assert!(st.hits >= 2 && st.misses >= 2);
+        assert_eq!(st.disk_writes, 0);
+    }
+
+    #[test]
+    fn persistent_store_survives_a_fresh_index() {
+        let dir = std::env::temp_dir().join(format!("epic-serve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = k(42);
+        let m = dummy_measurement(42);
+        {
+            let s = ArtifactStore::persistent(&dir);
+            s.insert(key, m.clone());
+            assert_eq!(s.stats().disk_writes, 1);
+        }
+        // a brand-new store (fresh process in spirit) reads it back
+        let s2 = ArtifactStore::persistent(&dir);
+        let back = s2.lookup(key).expect("disk hit");
+        assert_eq!(digest(&back), digest(&m));
+        let st = s2.stats();
+        assert_eq!((st.hits, st.disk_hits), (1, 1));
+        // corrupt file is a miss and is removed
+        let path = s2.path_for(key).unwrap();
+        std::fs::write(&path, b"garbage").unwrap();
+        let s3 = ArtifactStore::persistent(&dir);
+        assert!(s3.lookup(key).is_none());
+        assert!(!path.exists(), "corrupt entry removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn driver_cache_hook_respects_cacheability() {
+        let s = ArtifactStore::in_memory();
+        let w = epic_workloads::by_name("mcf_mc").unwrap();
+        let copts = CompileOptions::for_level(epic_driver::OptLevel::Gcc);
+        let sopts = SimOptions::default();
+        let m = dummy_measurement(9);
+        MeasurementCache::store(&s, &w, &copts, &sopts, &m);
+        let back = MeasurementCache::lookup(&s, &w, &copts, &sopts).expect("cached");
+        assert_eq!(digest(&back), digest(&m));
+        // non-canonical options never hit
+        let mut bugged = copts.clone();
+        bugged.inject_bug = true;
+        assert!(MeasurementCache::lookup(&s, &w, &bugged, &sopts).is_none());
+        MeasurementCache::store(&s, &w, &bugged, &sopts, &m); // silently skipped
+        assert!(MeasurementCache::lookup(&s, &w, &bugged, &sopts).is_none());
+    }
+}

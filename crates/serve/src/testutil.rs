@@ -1,0 +1,64 @@
+//! Test support: deterministic fake measurements, so store/scheduler
+//! tests don't pay for real compiles. Follows the `epic_ir::testing`
+//! precedent of shipping test helpers in the library proper (the
+//! workspace has no dev-only crates).
+
+use epic_driver::{CompiledStats, Measurement, OptLevel, PassRecord, PassTimeline};
+use epic_sim::{Category, CycleAccounting, FuncMatrix, SimResult, CATEGORIES};
+use std::time::Duration;
+
+/// A fully populated, deterministic measurement derived from `seed`.
+/// Distinct seeds produce distinct digests; equal seeds, equal bytes.
+pub fn dummy_measurement(seed: u64) -> Measurement {
+    let mut acct = CycleAccounting::default();
+    for (i, cat) in CATEGORIES.iter().enumerate() {
+        acct.charge(*cat, seed.wrapping_mul(i as u64 + 1) % 1000);
+    }
+    // two function rows whose column sums match nothing in particular —
+    // the identity only matters for real simulations
+    let rows = vec![
+        [seed % 7; epic_sim::NUM_CATEGORIES],
+        [(seed + 1) % 5; epic_sim::NUM_CATEGORIES],
+    ];
+    let mut counters = epic_sim::Counters::default();
+    counters.retired_useful = seed * 3 + 1;
+    counters.l3_misses = seed % 11;
+    Measurement {
+        level: OptLevel::Gcc,
+        compiled: CompiledStats {
+            plan: epic_sched::PlanStats {
+                planned_cycles: seed as f64 * 1.5,
+                planned_ops: seed as f64 * 4.0,
+                max_window: (seed % 90) as u32,
+                spills: (seed % 3) as usize,
+            },
+            ilp: epic_core::IlpStats::default(),
+            inlined: (seed % 4) as usize,
+            promoted: 0,
+            code_bytes: seed * 16,
+            static_ops: ((seed % 100) as usize, (seed % 37) as usize),
+            frontend_ops: (seed % 80) as usize,
+            func_names: vec!["main".into(), format!("f{}", seed % 9)],
+            pass_timeline: PassTimeline {
+                passes: vec![PassRecord {
+                    name: "classical",
+                    wall: Duration::from_micros(seed % 500),
+                    ops_before: 10,
+                    ops_after: 8,
+                    blocks_before: 3,
+                    blocks_after: 3,
+                }],
+            },
+        },
+        sim: SimResult {
+            output: vec![seed, seed ^ 0xffff, seed / 3],
+            checksum: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ret: seed % 2,
+            cycles: acct.get(Category::Unstalled) + acct.total() - acct.unstalled(),
+            acct,
+            counters,
+            func_matrix: FuncMatrix::from_rows(rows),
+            trace: Vec::new(),
+        },
+    }
+}

@@ -1,0 +1,222 @@
+//! End-to-end tests of `epicd` over real loopback TCP: served results
+//! are bit-identical to direct in-process measurement, concurrent
+//! clients coalesce onto one compile, and a saturated queue answers with
+//! typed `Busy` backpressure instead of hanging.
+
+use epic_serve::testutil::dummy_measurement;
+use epic_serve::{
+    digest, serve, ArtifactStore, Client, ClientError, JobRunner, JobSpec, Priority, Scheduler,
+};
+use epic_workloads::Workload;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const TINY_SRC: &str = "
+fn main(n: int) -> int {
+    let s = 0;
+    let i = 0;
+    while i < n {
+        s = s + i * i;
+        i = i + 1;
+    }
+    out(s);
+    return s;
+}
+";
+
+fn tiny_workload() -> Workload {
+    Workload {
+        name: "tiny_e2e",
+        spec_name: "tiny_e2e",
+        description: "loop kernel for serve e2e tests",
+        source: TINY_SRC,
+        train_args: vec![50],
+        ref_args: vec![200],
+    }
+}
+
+#[test]
+fn served_results_are_bit_identical_to_direct_measurement() {
+    let w = tiny_workload();
+    let sched = Arc::new(Scheduler::new(Arc::new(ArtifactStore::in_memory()), 2, 32));
+    let mut server = serve("127.0.0.1:0", Arc::clone(&sched)).unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    for level in epic_driver::OptLevel::ALL {
+        let spec = JobSpec::for_workload(&w, level);
+        let served = client.submit(&spec, Priority::Normal, 0).unwrap();
+        assert!(!served.cache_hit);
+        let direct =
+            epic_driver::measure(&w, &spec.compile_options(), &spec.sim_options()).unwrap();
+        assert_eq!(
+            digest(&served.measurement),
+            digest(&direct),
+            "served vs direct mismatch at {level:?}"
+        );
+        // resubmission is a pure cache hit with the identical payload
+        let again = client.submit(&spec, Priority::Normal, 0).unwrap();
+        assert!(again.cache_hit, "second submission must hit the store");
+        assert_eq!(digest(&again.measurement), digest(&direct));
+        // the result verb fetches without scheduling
+        let fetched = client.result(served.key).unwrap().expect("stored");
+        assert_eq!(digest(&fetched), digest(&direct));
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sched.jobs_run, 4, "one run per level, hits are free");
+    assert_eq!(stats.sched.cache_hits, 4);
+    assert_eq!(stats.compiles, 4);
+    assert_eq!(stats.sims, 4);
+
+    // clean shutdown through the protocol: the accept loop exits and the
+    // server drains without being killed
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// Gated runner: every invocation parks until the test sends a token, so
+/// tests decide exactly when work completes.
+struct GatedRunner {
+    runs: AtomicU64,
+    gate: Mutex<mpsc::Receiver<()>>,
+}
+
+impl JobRunner for GatedRunner {
+    fn run(
+        &self,
+        spec: &JobSpec,
+        _store: &ArtifactStore,
+    ) -> Result<epic_driver::Measurement, String> {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        let _ = self.gate.lock().unwrap().recv();
+        Ok(dummy_measurement(spec.source.len() as u64))
+    }
+
+    fn work_counts(&self) -> (u64, u64) {
+        (self.runs.load(Ordering::SeqCst), 0)
+    }
+}
+
+fn gated_scheduler(workers: usize, queue_cap: usize) -> (Arc<Scheduler>, mpsc::Sender<()>) {
+    let (tx, rx) = mpsc::channel();
+    let runner = GatedRunner {
+        runs: AtomicU64::new(0),
+        gate: Mutex::new(rx),
+    };
+    let sched = Scheduler::with_runner(
+        Arc::new(ArtifactStore::in_memory()),
+        Box::new(runner),
+        workers,
+        queue_cap,
+    );
+    (Arc::new(sched), tx)
+}
+
+fn spec_named(tag: &str) -> JobSpec {
+    let mut w = tiny_workload();
+    w.train_args = vec![tag.len() as i64];
+    let mut s = JobSpec::for_workload(&w, epic_driver::OptLevel::Gcc);
+    s.source = format!("{TINY_SRC}// {tag}");
+    s
+}
+
+#[test]
+fn eight_tcp_clients_submitting_one_key_trigger_one_run() {
+    let (sched, release) = gated_scheduler(4, 64);
+    let mut server = serve("127.0.0.1:0", Arc::clone(&sched)).unwrap();
+    let addr = server.addr().to_string();
+    let spec = spec_named("coalesce");
+
+    let digests: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                let spec = spec.clone();
+                scope.spawn(move || {
+                    let mut c = Client::connect(&addr).unwrap();
+                    let served = c.submit(&spec, Priority::Normal, 0).unwrap();
+                    digest(&served.measurement)
+                })
+            })
+            .collect();
+        // give every connection time to land on the server, then open
+        // the gate (extra tokens cover scheduling races)
+        std::thread::sleep(Duration::from_millis(150));
+        for _ in 0..16 {
+            let _ = release.send(());
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(digests.windows(2).all(|p| p[0] == p[1]));
+    let (runs, _) = sched.work_counts();
+    assert_eq!(runs, 1, "eight concurrent clients must coalesce to one run");
+    let stats = server.stats();
+    assert_eq!(stats.sched.jobs_run, 1);
+    assert!(
+        stats.sched.coalesced >= 1,
+        "later submissions attach to the in-flight job"
+    );
+    server.stop();
+}
+
+#[test]
+fn saturated_queue_answers_busy_over_tcp() {
+    // one worker, queue of one: A occupies the worker, B fills the
+    // queue, C is shed with a typed Busy response
+    let (sched, release) = gated_scheduler(1, 1);
+    let mut server = serve("127.0.0.1:0", Arc::clone(&sched)).unwrap();
+    let addr = server.addr().to_string();
+
+    std::thread::scope(|scope| {
+        let a = {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                Client::connect(&addr)
+                    .unwrap()
+                    .submit(&spec_named("a"), Priority::Normal, 0)
+                    .map(|s| s.key)
+            })
+        };
+        // wait until A is running (queue drained, one in flight)
+        let t0 = Instant::now();
+        loop {
+            let st = sched.stats();
+            if st.queue_depth == 0 && st.in_flight == 1 {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(10), "A never started");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let b = {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                Client::connect(&addr)
+                    .unwrap()
+                    .submit(&spec_named("b"), Priority::Normal, 0)
+                    .map(|s| s.key)
+            })
+        };
+        let t0 = Instant::now();
+        while sched.stats().queue_depth < 1 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "B never queued");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        match Client::connect(&addr)
+            .unwrap()
+            .submit(&spec_named("c"), Priority::Normal, 0)
+        {
+            Err(ClientError::Busy { queue_depth }) => assert_eq!(queue_depth, 1),
+            other => panic!("expected typed Busy, got {:?}", other.map(|s| s.key).err()),
+        }
+        assert_eq!(sched.stats().shed, 1);
+        for _ in 0..8 {
+            let _ = release.send(());
+        }
+        assert!(a.join().unwrap().is_ok());
+        assert!(b.join().unwrap().is_ok());
+    });
+    server.stop();
+}

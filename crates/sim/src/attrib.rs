@@ -207,6 +207,18 @@ impl FuncMatrix {
         }
     }
 
+    /// Rebuild a matrix from raw rows (each in [`crate::CATEGORIES`]
+    /// order) — the inverse of [`rows`](FuncMatrix::rows), used when a
+    /// cached simulation result is loaded back from disk.
+    pub fn from_rows(rows: Vec<[u64; NUM_CATEGORIES]>) -> FuncMatrix {
+        FuncMatrix { rows }
+    }
+
+    /// All rows, indexed by function id.
+    pub fn rows(&self) -> &[[u64; NUM_CATEGORIES]] {
+        &self.rows
+    }
+
     fn add(&mut self, func: usize, cat: Category, cycles: u64) {
         self.rows[func][cat.index()] += cycles;
     }

@@ -78,6 +78,13 @@ pub struct CycleAccounting {
 }
 
 impl CycleAccounting {
+    /// Rebuild an accounting from a raw cell array (in [`CATEGORIES`]
+    /// order) — the inverse of [`cells`](CycleAccounting::cells), used
+    /// when a cached simulation result is loaded back from disk.
+    pub fn from_cells(cells: [u64; NUM_CATEGORIES]) -> CycleAccounting {
+        CycleAccounting { cells }
+    }
+
     /// Add cycles to a category.
     pub fn charge(&mut self, cat: Category, cycles: u64) {
         self.cells[cat.index()] += cycles;

@@ -28,10 +28,60 @@ cargo run --release -q -p epic-fuzz --bin fuzz -- --cases 2000 --seed 1 --second
 echo "==> epicc report smoke (vortex_mc, all levels)"
 report_a=$(mktemp)
 report_b=$(mktemp)
-trap 'rm -f "$report_a" "$report_b"' EXIT
+smoke_dir=$(mktemp -d)
+epicd_pid=
+cleanup() {
+    rm -f "$report_a" "$report_b"
+    rm -rf "$smoke_dir"
+    if [ -n "${epicd_pid:-}" ] && kill -0 "$epicd_pid" 2>/dev/null; then
+        kill "$epicd_pid" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
 cargo run --release -q --bin epicc -- report --workload vortex_mc --level all > "$report_a"
 cargo run --release -q --bin epicc -- report --workload vortex_mc --level all > "$report_b"
 test -s "$report_a"
 cmp "$report_a" "$report_b"
+
+# Serve smoke: start epicd on an ephemeral loopback port and push the
+# full 12×4 matrix through it from 8 client threads. Required:
+#   (1) served `cell` lines byte-identical to a direct in-process sweep,
+#   (2) a second submission is 100% cache hits,
+#   (3) the warm sweep issued zero extra compiles/sims (stats verb),
+#   (4) clean protocol shutdown — epicd exits 0 without being killed.
+echo "==> serve smoke (epicd + epicc submit, full 12x4 matrix)"
+cargo build --release -q -p epic-serve --bin epicd
+cargo run --release -q -p epic-serve --bin epicd -- --listen 127.0.0.1:0 \
+    > "$smoke_dir/epicd.log" &
+epicd_pid=$!
+addr=
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's/^epicd listening on //p' "$smoke_dir/epicd.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+test -n "$addr"
+
+cargo run --release -q --bin epicc -- matrix --no-cache > "$smoke_dir/direct.txt"
+cargo run --release -q --bin epicc -- submit --addr "$addr" > "$smoke_dir/served_cold.txt"
+cargo run --release -q --bin epicc -- submit --addr "$addr" > "$smoke_dir/served_warm.txt"
+
+grep '^cell ' "$smoke_dir/direct.txt" > "$smoke_dir/direct_cells.txt"
+grep '^cell ' "$smoke_dir/served_cold.txt" > "$smoke_dir/served_cold_cells.txt"
+grep '^cell ' "$smoke_dir/served_warm.txt" > "$smoke_dir/served_warm_cells.txt"
+cmp "$smoke_dir/direct_cells.txt" "$smoke_dir/served_cold_cells.txt"
+cmp "$smoke_dir/direct_cells.txt" "$smoke_dir/served_warm_cells.txt"
+grep -qx '# hits=0 misses=48' "$smoke_dir/served_cold.txt"
+grep -qx '# hits=48 misses=0' "$smoke_dir/served_warm.txt"
+
+cargo run --release -q --bin epicc -- stats --addr "$addr" > "$smoke_dir/stats.txt"
+grep -qx 'stat compiles 48' "$smoke_dir/stats.txt"
+grep -qx 'stat sims 48' "$smoke_dir/stats.txt"
+grep -qx 'stat sched_jobs_run 48' "$smoke_dir/stats.txt"
+grep -qx 'stat sched_cache_hits 48' "$smoke_dir/stats.txt"
+
+cargo run --release -q --bin epicc -- shutdown --addr "$addr"
+wait "$epicd_pid"
+epicd_pid=
 
 echo "CI OK"

@@ -13,6 +13,20 @@
 //! epicc prog.mc --spec-model sentinel    # Fig. 9 recovery model
 //! epicc report --workload vortex_mc      # Fig. 5 table + Fig. 10 drill-down
 //! ```
+//!
+//! Job-service mode (see DESIGN.md §8):
+//!
+//! ```text
+//! epicc serve [--listen A] [--cache-dir D] [--workers N] [--queue-cap N]
+//! epicc submit --addr A [--workload N|all] [--level L|all] [--threads N]
+//! epicc matrix [--level L|all] [--cache-dir D] [--no-cache]
+//! epicc stats --addr A
+//! epicc shutdown --addr A
+//! ```
+//!
+//! `submit` and `matrix` print identical, deterministic `cell` lines
+//! (workload, level, cycles, checksum, content digest), so CI can diff a
+//! served sweep against a direct in-process one byte for byte.
 
 use epic_driver::{compile_source, CompileOptions, OptLevel};
 use epic_sim::{Category, SimOptions, SimResult, SpecModel, CATEGORIES};
@@ -115,6 +129,17 @@ fn parse_args() -> Args {
 }
 
 fn main() -> ExitCode {
+    {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match argv.first().map(String::as_str) {
+            Some("serve") => return serve_cmd(&argv[1..]),
+            Some("submit") => return submit_cmd(&argv[1..]),
+            Some("matrix") => return matrix_cmd(&argv[1..]),
+            Some("stats") => return stats_cmd(&argv[1..]),
+            Some("shutdown") => return shutdown_cmd(&argv[1..]),
+            _ => {}
+        }
+    }
     let args = parse_args();
     let (src, train, mut run_args) = match (&args.source, &args.workload) {
         (Some(path), _) => {
@@ -313,4 +338,286 @@ fn print_report(level: OptLevel, sim: &SimResult, func_names: &[&str]) {
         println!();
     }
     println!();
+}
+
+// --- job-service subcommands ------------------------------------------
+
+/// One (workload, level) cell of the canonical sweep, in deterministic
+/// (Table 1 × OptLevel::ALL) order.
+fn sweep_cells(
+    workload: &str,
+    levels: &[OptLevel],
+) -> Result<Vec<(epic_workloads::Workload, OptLevel)>, String> {
+    let workloads = if workload == "all" {
+        epic_workloads::all()
+    } else {
+        vec![epic_workloads::by_name(workload)
+            .ok_or_else(|| format!("unknown workload `{workload}`"))?]
+    };
+    Ok(workloads
+        .into_iter()
+        .flat_map(|w| levels.iter().map(move |&l| (w.clone(), l)))
+        .collect())
+}
+
+/// The shared `cell` line: everything in it is a pure function of the
+/// job, so direct and served sweeps print identical bytes.
+fn cell_line(w: &str, level: OptLevel, m: &epic_driver::Measurement) -> String {
+    format!(
+        "cell {w} {} cycles={} checksum={:016x} digest={}",
+        level.name(),
+        m.sim.cycles,
+        m.sim.checksum,
+        epic_serve::digest(m).hex()
+    )
+}
+
+fn parse_levels(v: &str) -> Result<Vec<OptLevel>, String> {
+    Ok(match v {
+        "gcc" => vec![OptLevel::Gcc],
+        "o-ns" => vec![OptLevel::ONs],
+        "ilp-ns" => vec![OptLevel::IlpNs],
+        "ilp-cs" => vec![OptLevel::IlpCs],
+        "all" => OptLevel::ALL.to_vec(),
+        other => return Err(format!("unknown level `{other}`")),
+    })
+}
+
+/// Tiny flag parser shared by the service subcommands: alternating
+/// `--flag value` pairs (plus bare switches listed in `switches`).
+fn parse_kv(
+    args: &[String],
+    switches: &[&str],
+) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut map = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if switches.contains(&a.as_str()) {
+            map.insert(a.clone(), "1".to_string());
+            continue;
+        }
+        if !a.starts_with("--") {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+        let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
+        map.insert(a.clone(), v.clone());
+    }
+    Ok(map)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("epicc: {msg}");
+    ExitCode::FAILURE
+}
+
+/// `epicc serve`: run the job daemon in-process (same engine as the
+/// standalone `epicd` binary).
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let listen = kv
+        .get("--listen")
+        .map_or("127.0.0.1:0", String::as_str)
+        .to_string();
+    let workers = kv.get("--workers").map_or(Ok(0), |v| v.parse());
+    let queue_cap = kv.get("--queue-cap").map_or(Ok(256), |v| v.parse());
+    let (Ok(workers), Ok(queue_cap)) = (workers, queue_cap) else {
+        return fail("--workers/--queue-cap must be integers");
+    };
+    let store = match kv.get("--cache-dir") {
+        Some(dir) => epic_serve::ArtifactStore::persistent(dir),
+        None => epic_serve::ArtifactStore::in_memory(),
+    };
+    let sched = std::sync::Arc::new(epic_serve::Scheduler::new(
+        std::sync::Arc::new(store),
+        workers,
+        queue_cap,
+    ));
+    let mut handle = match epic_serve::serve(&listen, sched) {
+        Ok(h) => h,
+        Err(e) => return fail(format!("bind {listen}: {e}")),
+    };
+    println!("epicd listening on {}", handle.addr());
+    handle.wait();
+    ExitCode::SUCCESS
+}
+
+/// `epicc submit`: drive a served sweep from N client threads and print
+/// deterministic `cell` lines plus a `# hits=` summary.
+fn submit_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let Some(addr) = kv.get("--addr") else {
+        return fail("submit needs --addr HOST:PORT");
+    };
+    let levels = match parse_levels(kv.get("--level").map_or("all", String::as_str)) {
+        Ok(l) => l,
+        Err(e) => return fail(e),
+    };
+    let cells = match sweep_cells(kv.get("--workload").map_or("all", String::as_str), &levels) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let threads: usize = match kv.get("--threads").map_or(Ok(0), |v| v.parse()) {
+        Ok(n) => n,
+        Err(_) => return fail("--threads must be an integer"),
+    };
+    let threads = if threads == 0 {
+        cells.len().min(8)
+    } else {
+        threads.min(cells.len().max(1))
+    };
+    // work-stealing over the cell list; results land by index so output
+    // order is deterministic regardless of scheduling
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<Result<epic_serve::Served, String>>>> =
+        cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut client = match epic_serve::Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        // mark every remaining cell failed
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            let Some(slot) = results.get(i) else { break };
+                            *slot.lock().unwrap() = Some(Err(format!("connect {addr}: {e}")));
+                        }
+                        return;
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    let Some((w, level)) = cells.get(i) else {
+                        break;
+                    };
+                    let spec = epic_serve::JobSpec::for_workload(w, *level);
+                    let r = client
+                        .submit(&spec, epic_serve::Priority::Normal, 0)
+                        .map_err(|e| e.to_string());
+                    *results[i].lock().unwrap() = Some(r);
+                }
+            });
+        }
+    });
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for ((w, level), slot) in cells.iter().zip(&results) {
+        match slot.lock().unwrap().take() {
+            Some(Ok(served)) => {
+                if served.cache_hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                println!("{}", cell_line(w.name, *level, &served.measurement));
+            }
+            Some(Err(e)) => return fail(format!("{} {}: {e}", w.name, level.name())),
+            None => return fail(format!("{} {}: not submitted", w.name, level.name())),
+        }
+    }
+    println!("# hits={hits} misses={misses}");
+    ExitCode::SUCCESS
+}
+
+/// `epicc matrix`: the same sweep measured directly in-process (through
+/// the artifact cache unless `--no-cache`), printing the same `cell`
+/// lines as `submit`.
+fn matrix_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &["--no-cache"]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let levels = match parse_levels(kv.get("--level").map_or("all", String::as_str)) {
+        Ok(l) => l,
+        Err(e) => return fail(e),
+    };
+    let workloads = epic_workloads::all();
+    let store = match (kv.contains_key("--no-cache"), kv.get("--cache-dir")) {
+        (true, _) | (false, None) => None,
+        (false, Some(dir)) => Some(epic_serve::ArtifactStore::persistent(dir)),
+    };
+    let sopts = SimOptions::default();
+    let rows = match epic_driver::measure_matrix_cached(
+        &workloads,
+        &levels,
+        &CompileOptions::for_level,
+        &sopts,
+        0,
+        store
+            .as_ref()
+            .map(|s| s as &dyn epic_driver::MeasurementCache),
+    ) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for (w, row) in workloads.iter().zip(&rows) {
+        for (level, cell) in levels.iter().zip(row) {
+            if cell.cache_hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            println!("{}", cell_line(w.name, *level, &cell.measurement));
+        }
+    }
+    println!("# hits={hits} misses={misses}");
+    ExitCode::SUCCESS
+}
+
+/// `epicc stats`: one line per counter, `stat <name> <value>`.
+fn stats_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let Some(addr) = kv.get("--addr") else {
+        return fail("stats needs --addr HOST:PORT");
+    };
+    let stats = match epic_serve::Client::connect(addr).and_then(|mut c| c.stats()) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    for (name, v) in [
+        ("store_hits", stats.store.hits),
+        ("store_misses", stats.store.misses),
+        ("store_evictions", stats.store.evictions),
+        ("store_disk_hits", stats.store.disk_hits),
+        ("store_disk_writes", stats.store.disk_writes),
+        ("store_mach_hits", stats.store.mach_hits),
+        ("store_mem_entries", stats.store.mem_entries),
+        ("sched_submitted", stats.sched.submitted),
+        ("sched_cache_hits", stats.sched.cache_hits),
+        ("sched_coalesced", stats.sched.coalesced),
+        ("sched_shed", stats.sched.shed),
+        ("sched_jobs_run", stats.sched.jobs_run),
+        ("sched_expired", stats.sched.expired),
+        ("sched_queue_depth", stats.sched.queue_depth),
+        ("sched_in_flight", stats.sched.in_flight),
+        ("compiles", stats.compiles),
+        ("sims", stats.sims),
+    ] {
+        println!("stat {name} {v}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `epicc shutdown`: ask a server to exit cleanly.
+fn shutdown_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let Some(addr) = kv.get("--addr") else {
+        return fail("shutdown needs --addr HOST:PORT");
+    };
+    match epic_serve::Client::connect(addr).and_then(|mut c| c.shutdown()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
 }
