@@ -6,6 +6,9 @@
 
 use crate::Suite;
 use epic_sim::CATEGORIES;
+use epic_trace::{
+    HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot, SpanNode, TraceSnapshot,
+};
 
 /// A JSON value. Numbers are `f64` (integers within 2^53 round-trip).
 #[derive(Clone, Debug, PartialEq)]
@@ -262,6 +265,157 @@ fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
     }
 }
 
+fn span_to_json(n: &SpanNode) -> Json {
+    Json::obj([
+        ("name", Json::Str(n.name.clone())),
+        ("start_ns", Json::Num(n.start_ns as f64)),
+        ("dur_ns", Json::Num(n.dur_ns as f64)),
+        (
+            "children",
+            Json::Arr(n.children.iter().map(span_to_json).collect()),
+        ),
+    ])
+}
+
+fn metric_to_json(e: &MetricEntry) -> Json {
+    let mut kvs = vec![("name", Json::Str(e.name.clone()))];
+    match &e.value {
+        MetricValue::Counter(v) => {
+            kvs.push(("kind", Json::Str("counter".into())));
+            kvs.push(("value", Json::Num(*v as f64)));
+        }
+        MetricValue::Gauge(v) => {
+            kvs.push(("kind", Json::Str("gauge".into())));
+            kvs.push(("value", Json::Num(*v as f64)));
+        }
+        MetricValue::Histogram(h) => {
+            kvs.push(("kind", Json::Str("histogram".into())));
+            kvs.push(("count", Json::Num(h.count as f64)));
+            kvs.push(("sum", Json::Num(h.sum as f64)));
+            kvs.push((
+                "buckets",
+                Json::Arr(
+                    h.buckets
+                        .iter()
+                        .map(|&(b, n)| Json::Arr(vec![Json::Num(b as f64), Json::Num(n as f64)]))
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    Json::obj(kvs)
+}
+
+/// A [`TraceSnapshot`] as a JSON tree: `{spans, metrics, dropped}`,
+/// the `trace:` block attached to each traced cell of a dump.
+pub fn trace_to_json(t: &TraceSnapshot) -> Json {
+    Json::obj([
+        (
+            "spans",
+            Json::Arr(t.spans.iter().map(span_to_json).collect()),
+        ),
+        (
+            "metrics",
+            Json::Arr(t.metrics.entries.iter().map(metric_to_json).collect()),
+        ),
+        ("dropped", Json::Num(t.dropped as f64)),
+    ])
+}
+
+fn get<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    match obj {
+        Json::Obj(kvs) => kvs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key {key:?}")),
+        _ => Err(format!("expected object holding {key:?}")),
+    }
+}
+
+fn as_u64(j: &Json, what: &str) -> Result<u64, String> {
+    match j {
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+        _ => Err(format!("{what}: expected a non-negative integer")),
+    }
+}
+
+fn as_str<'a>(j: &'a Json, what: &str) -> Result<&'a str, String> {
+    match j {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("{what}: expected a string")),
+    }
+}
+
+fn as_arr<'a>(j: &'a Json, what: &str) -> Result<&'a [Json], String> {
+    match j {
+        Json::Arr(xs) => Ok(xs),
+        _ => Err(format!("{what}: expected an array")),
+    }
+}
+
+fn span_from_json(j: &Json) -> Result<SpanNode, String> {
+    Ok(SpanNode {
+        name: as_str(get(j, "name")?, "span name")?.to_string(),
+        start_ns: as_u64(get(j, "start_ns")?, "start_ns")?,
+        dur_ns: as_u64(get(j, "dur_ns")?, "dur_ns")?,
+        children: as_arr(get(j, "children")?, "children")?
+            .iter()
+            .map(span_from_json)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn metric_from_json(j: &Json) -> Result<MetricEntry, String> {
+    let name = as_str(get(j, "name")?, "metric name")?.to_string();
+    let value = match as_str(get(j, "kind")?, "metric kind")? {
+        "counter" => MetricValue::Counter(as_u64(get(j, "value")?, "counter value")?),
+        "gauge" => match get(j, "value")? {
+            Json::Num(n) if n.fract() == 0.0 => MetricValue::Gauge(*n as i64),
+            _ => return Err("gauge value: expected an integer".into()),
+        },
+        "histogram" => MetricValue::Histogram(HistogramSnapshot {
+            count: as_u64(get(j, "count")?, "histogram count")?,
+            sum: as_u64(get(j, "sum")?, "histogram sum")?,
+            buckets: as_arr(get(j, "buckets")?, "buckets")?
+                .iter()
+                .map(|pair| {
+                    let pair = as_arr(pair, "bucket pair")?;
+                    match pair {
+                        [b, n] => {
+                            Ok((as_u64(b, "bucket index")? as u8, as_u64(n, "bucket count")?))
+                        }
+                        _ => Err("bucket pair: expected [index, count]".to_string()),
+                    }
+                })
+                .collect::<Result<_, _>>()?,
+        }),
+        k => return Err(format!("unknown metric kind {k:?}")),
+    };
+    Ok(MetricEntry { name, value })
+}
+
+/// Inverse of [`trace_to_json`], so emitted `trace:` blocks can be read
+/// back by downstream tooling (and are, by `epicc matrix --trace`).
+///
+/// # Errors
+/// A description of the first structural mismatch.
+pub fn trace_from_json(j: &Json) -> Result<TraceSnapshot, String> {
+    Ok(TraceSnapshot {
+        spans: as_arr(get(j, "spans")?, "spans")?
+            .iter()
+            .map(span_from_json)
+            .collect::<Result<_, _>>()?,
+        metrics: MetricsSnapshot {
+            entries: as_arr(get(j, "metrics")?, "metrics")?
+                .iter()
+                .map(metric_from_json)
+                .collect::<Result<_, _>>()?,
+        },
+        dropped: as_u64(get(j, "dropped")?, "dropped")?,
+    })
+}
+
 impl Suite {
     /// The full measurement matrix as a JSON tree: per workload, per
     /// level, the headline dynamic and static numbers plus the per-pass
@@ -360,6 +514,9 @@ impl Suite {
                                     ("key", Json::Str(cc.key.clone())),
                                 ]),
                             ));
+                        }
+                        if let Some(traces) = &self.traces {
+                            cell.push(("trace", trace_to_json(&traces[wi][li])));
                         }
                         Json::obj(cell)
                     })
@@ -517,6 +674,7 @@ mod tests {
                     ..Default::default()
                 },
             }),
+            traces: None,
         };
         let j = suite.to_json();
         assert_eq!(roundtrip(&j), j);
@@ -533,6 +691,81 @@ mod tests {
         let text = plain.to_json().render();
         assert!(!text.contains("cache_stats"));
         assert!(!text.contains(r#""cache""#));
+    }
+
+    #[test]
+    fn trace_blocks_round_trip_through_json() {
+        let snap = TraceSnapshot {
+            spans: vec![
+                SpanNode {
+                    name: "compile".into(),
+                    start_ns: 10,
+                    dur_ns: 900,
+                    children: vec![
+                        SpanNode::leaf("pass:inline", 20, 300),
+                        SpanNode::leaf("pass:schedule", 330, 500),
+                    ],
+                },
+                SpanNode {
+                    name: "sim".into(),
+                    start_ns: 950,
+                    dur_ns: 2000,
+                    children: vec![SpanNode::leaf("dispatch", 960, 1800)],
+                },
+            ],
+            metrics: MetricsSnapshot {
+                entries: vec![
+                    MetricEntry {
+                        name: "sim.charges".into(),
+                        value: MetricValue::Counter(1234),
+                    },
+                    MetricEntry {
+                        name: "sim.charge.unstalled".into(),
+                        value: MetricValue::Histogram(HistogramSnapshot {
+                            count: 7,
+                            sum: 40,
+                            buckets: vec![(1, 3), (3, 4)],
+                        }),
+                    },
+                ],
+            },
+            dropped: 0,
+        };
+        let j = trace_to_json(&snap);
+        // the tree survives render → parse → decode byte-for-byte
+        let parsed = Json::parse(&j.render()).unwrap();
+        let back = trace_from_json(&parsed).unwrap();
+        assert_eq!(trace_to_json(&back).render(), j.render());
+        assert_eq!(back.spans.len(), 2);
+        assert_eq!(back.spans[0].children[1].name, "pass:schedule");
+        assert_eq!(back.metrics.entries.len(), 2);
+        // structural damage is an error, not a wrong answer
+        assert!(trace_from_json(&Json::Null).is_err());
+        assert!(trace_from_json(&Json::obj([("spans", Json::Arr(vec![]))])).is_err());
+    }
+
+    #[test]
+    fn suite_json_carries_trace_blocks_when_traced() {
+        use crate::Suite;
+        let snap = TraceSnapshot {
+            spans: vec![SpanNode::leaf("compile", 0, 5)],
+            metrics: MetricsSnapshot::default(),
+            dropped: 0,
+        };
+        let suite = Suite {
+            workloads: epic_workloads::all().into_iter().take(1).collect(),
+            results: vec![vec![epic_serve::testutil::dummy_measurement(3)]],
+            levels: vec![epic_driver::OptLevel::Gcc],
+            cache: None,
+            traces: Some(vec![vec![snap]]),
+        };
+        let text = suite.to_json().render();
+        assert!(text.contains(r#""trace":{"spans":[{"name":"compile""#));
+        let untraced = Suite {
+            traces: None,
+            ..suite
+        };
+        assert!(!untraced.to_json().render().contains(r#""trace""#));
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! substrate is a simulator and the workloads are stand-ins): orderings,
 //! approximate factors, and which benchmarks deviate in which direction.
 
-use epic_driver::{measure_matrix_cached, CompileOptions, Measurement, OptLevel};
+use epic_driver::{
+    CachePolicy, CompileOptions, MeasureRequest, Measurement, OptLevel, TracePolicy,
+};
 use epic_serve::{ArtifactStore, JobSpec, StoreStats};
 use epic_sim::SimOptions;
+use epic_trace::TraceSnapshot;
 use epic_workloads::Workload;
 
 pub mod json;
@@ -48,6 +51,10 @@ pub struct Suite {
     /// Present when the sweep went through an artifact cache
     /// (`EPIC_CACHE_DIR`; see [`cache_store_from_env`]).
     pub cache: Option<CacheReport>,
+    /// Per-cell span trees + metrics, present when the sweep was traced
+    /// (`EPIC_TRACE=1`; see [`trace_policy_from_env`]). `traces[w][l]`
+    /// pairs with `results[w][l]`.
+    pub traces: Option<Vec<Vec<TraceSnapshot>>>,
 }
 
 /// Worker-pool bound for the sweeps: `EPIC_BENCH_WORKERS` if set, else 0
@@ -77,6 +84,16 @@ pub fn cache_store_from_env() -> Option<ArtifactStore> {
     std::env::var_os("EPIC_CACHE_DIR").map(ArtifactStore::persistent)
 }
 
+/// The sweep's [`TracePolicy`] from the environment: `EPIC_TRACE=1` (or
+/// `on`/`true`) attaches a span tree + metrics snapshot to every cell.
+/// Environment parsing happens here, at the binary boundary — the driver
+/// library only ever sees the explicit policy.
+pub fn trace_policy_from_env() -> TracePolicy {
+    std::env::var("EPIC_TRACE")
+        .map(|v| TracePolicy::from_flag(&v))
+        .unwrap_or_default()
+}
+
 /// Run the sweep over all 12 workloads at the given levels, in parallel
 /// over every (workload × level) cell via
 /// [`epic_driver::measure_matrix_cached`]'s bounded worker pool,
@@ -95,31 +112,42 @@ pub fn run_suite_with(
     copts: &(dyn Fn(OptLevel) -> CompileOptions + Sync),
     sopts: &SimOptions,
 ) -> Suite {
-    run_suite_store(levels, copts, sopts, cache_store_from_env().as_ref())
+    run_suite_store(
+        levels,
+        copts,
+        sopts,
+        cache_store_from_env().as_ref(),
+        trace_policy_from_env(),
+    )
 }
 
-/// [`run_suite_with`] against an explicit store (or none). The cache is
-/// consulted per cell; results are bit-identical with and without it.
+/// [`run_suite_with`] against an explicit store (or none) and an
+/// explicit [`TracePolicy`]. The cache is consulted per cell; results
+/// are bit-identical with and without it, and with and without tracing.
 pub fn run_suite_store(
     levels: &[OptLevel],
     copts: &(dyn Fn(OptLevel) -> CompileOptions + Sync),
     sopts: &SimOptions,
     store: Option<&ArtifactStore>,
+    trace: TracePolicy,
 ) -> Suite {
     let workloads = epic_workloads::all();
-    let cells = measure_matrix_cached(
-        &workloads,
-        levels,
-        copts,
-        sopts,
-        worker_bound(),
-        store.map(|s| s as &dyn epic_driver::MeasurementCache),
-    )
-    .unwrap_or_else(|e| panic!("{e}"));
+    let report = MeasureRequest::new(&workloads)
+        .levels(levels)
+        .compile_options(copts)
+        .sim_options(*sopts)
+        .threads(worker_bound())
+        .cache(match store {
+            Some(s) => CachePolicy::Store(s),
+            None => CachePolicy::Disabled,
+        })
+        .trace(trace)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"));
     let cache = store.map(|s| CacheReport {
         cells: workloads
             .iter()
-            .zip(&cells)
+            .zip(&report.cells)
             .map(|(w, row)| {
                 levels
                     .iter()
@@ -143,14 +171,35 @@ pub fn run_suite_store(
             .collect(),
         stats: s.stats(),
     });
+    let (results, traces): (Vec<Vec<Measurement>>, Vec<Vec<Option<TraceSnapshot>>>) = report
+        .cells
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|c| (c.measurement, c.trace))
+                .unzip::<_, _, Vec<_>, Vec<_>>()
+        })
+        .unzip();
+    let traces = if trace == TracePolicy::Enabled {
+        Some(
+            traces
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|t| t.expect("traced run attaches a snapshot to every cell"))
+                        .collect()
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
     Suite {
         workloads,
-        results: cells
-            .into_iter()
-            .map(|row| row.into_iter().map(|c| c.measurement).collect())
-            .collect(),
+        results,
         levels: levels.to_vec(),
         cache,
+        traces,
     }
 }
 

@@ -22,11 +22,15 @@ use epic_workloads::Workload;
 
 pub mod parallel;
 pub mod pipeline;
+pub mod request;
 
-pub use parallel::{
-    measure_matrix, measure_matrix_cached, par_map, MatrixCell, MatrixError, MeasurementCache,
-};
+#[allow(deprecated)]
+pub use parallel::{measure_matrix, measure_matrix_cached};
+pub use parallel::{par_map, MatrixCell, MatrixError, MeasurementCache};
 pub use pipeline::{passes_for, Pass, PassRecord, PassTimeline, PipelineCx};
+pub use request::{CachePolicy, MeasureReport, MeasureRequest, MeasuredCell, TracePolicy};
+
+use epic_trace::Trace;
 
 /// The paper's compiler configurations.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -175,11 +179,32 @@ pub fn compile_source(
     ref_args: &[i64],
     opts: &CompileOptions,
 ) -> Result<Compiled, DriverError> {
+    compile_source_traced(src, train_args, ref_args, opts, &Trace::disabled())
+}
+
+/// [`compile_source`] recording into `trace`: the whole compilation is
+/// one `compile` span with a `pass:<name>` child per executed pass (the
+/// returned [`PassTimeline`] is a view over those same spans).
+///
+/// # Errors
+/// Any pipeline stage failure (see [`DriverError`]).
+pub fn compile_source_traced(
+    src: &str,
+    train_args: &[i64],
+    ref_args: &[i64],
+    opts: &CompileOptions,
+    trace: &Trace,
+) -> Result<Compiled, DriverError> {
+    let span = trace.span("compile");
     let prog = epic_lang::compile(src).map_err(DriverError::Lang)?;
     let frontend_ops = prog.op_count();
     let mut cx = PipelineCx::new(prog, opts, train_args, ref_args);
     let passes = passes_for(opts);
-    let pass_timeline = pipeline::run_passes(&mut cx, &passes, opts.verify_each_pass)?;
+    let pass_timeline = pipeline::run_passes(&mut cx, &passes, opts.verify_each_pass, trace)?;
+    let wall = span.finish();
+    epic_trace::global()
+        .histogram("driver.compile_us")
+        .record(wall.as_micros() as u64);
     let (mach, plan) = cx
         .mach
         .take()
@@ -263,13 +288,53 @@ impl Compiled {
 ///
 /// # Errors
 /// See [`compile_source`] and the simulator's traps.
+#[deprecated(note = "use `MeasureRequest` — the one measurement entry point")]
 pub fn measure(
     w: &Workload,
     copts: &CompileOptions,
     sopts: &SimOptions,
 ) -> Result<Measurement, DriverError> {
-    let compiled = compile(w, copts)?;
-    let sim = epic_sim::run(&compiled.mach, &w.ref_args, sopts).map_err(DriverError::Sim)?;
+    measure_traced(w, copts, sopts, &Trace::disabled())
+}
+
+/// Compile and simulate a workload on its reference input, recording a
+/// `compile → pass:<name>…` and `sim → dispatch/attrib` span tree into
+/// `trace` (plus deterministic `sim.charge.<category>` histograms into
+/// the trace's registry). The usual entry point is
+/// [`MeasureRequest::run`], which creates one trace per cell.
+///
+/// # Errors
+/// See [`compile_source`] and the simulator's traps.
+pub fn measure_traced(
+    w: &Workload,
+    copts: &CompileOptions,
+    sopts: &SimOptions,
+    trace: &Trace,
+) -> Result<Measurement, DriverError> {
+    let compiled = compile_source_traced(w.source, &w.train_args, &w.ref_args, copts, trace)?;
+    let sim_span = trace.span("sim");
+    let dispatch = trace.span("dispatch");
+    let (result, stats) = if trace.is_enabled() {
+        let (sink, stats) = epic_sim::TraceSink::new();
+        let r = epic_sim::run_with_sinks(&compiled.mach, &w.ref_args, sopts, vec![Box::new(sink)]);
+        (r, Some(stats))
+    } else {
+        (epic_sim::run(&compiled.mach, &w.ref_args, sopts), None)
+    };
+    dispatch.finish();
+    let sim = result.map_err(DriverError::Sim)?;
+    if let Some(stats) = stats {
+        let attrib = trace.span("attrib");
+        stats
+            .lock()
+            .expect("charge stats")
+            .flush_into(trace.metrics());
+        attrib.finish();
+    }
+    let sim_wall = sim_span.finish();
+    epic_trace::global()
+        .histogram("driver.sim_us")
+        .record(sim_wall.as_micros() as u64);
     Ok(Measurement {
         level: copts.level,
         compiled: compiled.stats(),

@@ -7,7 +7,8 @@
 //! when task costs are wildly uneven (ILP-CS compiles + simulates are
 //! several times costlier than GCC ones).
 
-use crate::{measure, CompileOptions, DriverError, Measurement, OptLevel};
+use crate::request::{CachePolicy, MeasureRequest};
+use crate::{CompileOptions, DriverError, Measurement, OptLevel};
 use epic_sim::SimOptions;
 use epic_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -124,6 +125,7 @@ pub struct MatrixCell {
 ///
 /// # Errors
 /// The first failing cell (by task order), with its coordinates.
+#[deprecated(note = "use `MeasureRequest` — the one measurement entry point")]
 pub fn measure_matrix(
     workloads: &[Workload],
     levels: &[OptLevel],
@@ -131,8 +133,14 @@ pub fn measure_matrix(
     sopts: &SimOptions,
     workers: usize,
 ) -> Result<Vec<Vec<Measurement>>, MatrixError> {
-    let rows = measure_matrix_cached(workloads, levels, copts, sopts, workers, None)?;
-    Ok(rows
+    let report = MeasureRequest::new(workloads)
+        .levels(levels)
+        .compile_options(copts)
+        .sim_options(*sopts)
+        .threads(workers)
+        .run()?;
+    Ok(report
+        .cells
         .into_iter()
         .map(|row| row.into_iter().map(|c| c.measurement).collect())
         .collect())
@@ -145,6 +153,7 @@ pub fn measure_matrix(
 ///
 /// # Errors
 /// The first failing cell (by task order), with its coordinates.
+#[deprecated(note = "use `MeasureRequest` — the one measurement entry point")]
 pub fn measure_matrix_cached(
     workloads: &[Workload],
     levels: &[OptLevel],
@@ -153,46 +162,21 @@ pub fn measure_matrix_cached(
     workers: usize,
     cache: Option<&dyn MeasurementCache>,
 ) -> Result<Vec<Vec<MatrixCell>>, MatrixError> {
-    // Flatten to one task per cell so slow cells can't serialize a row.
-    let tasks: Vec<(usize, usize)> = (0..workloads.len())
-        .flat_map(|w| (0..levels.len()).map(move |l| (w, l)))
-        .collect();
-    let cells = par_map(&tasks, workers, |_, &(w, l)| {
-        let opts = copts(levels[l]);
-        if let Some(cache) = cache {
-            if let Some(measurement) = cache.lookup(&workloads[w], &opts, sopts) {
-                return Ok(MatrixCell {
-                    measurement,
-                    cache_hit: true,
-                });
-            }
-        }
-        let measurement = measure(&workloads[w], &opts, sopts).map_err(|error| MatrixError {
-            workload: workloads[w].name.to_string(),
-            level: levels[l],
-            error,
-        })?;
-        if let Some(cache) = cache {
-            cache.store(&workloads[w], &opts, sopts, &measurement);
-        }
-        Ok(MatrixCell {
-            measurement,
-            cache_hit: false,
+    let report = MeasureRequest::new(workloads)
+        .levels(levels)
+        .compile_options(copts)
+        .sim_options(*sopts)
+        .threads(workers)
+        .cache(match cache {
+            Some(c) => CachePolicy::Store(c),
+            None => CachePolicy::Disabled,
         })
-    });
-    let mut rows: Vec<Vec<MatrixCell>> = Vec::with_capacity(workloads.len());
-    let mut it = cells.into_iter();
-    for _ in 0..workloads.len() {
-        let mut row = Vec::with_capacity(levels.len());
-        for _ in 0..levels.len() {
-            row.push(it.next().expect("cell count matches")?);
-        }
-        rows.push(row);
-    }
-    Ok(rows)
+        .run()?;
+    Ok(report.into_matrix_cells())
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until they are removed
 mod tests {
     use super::*;
 

@@ -16,7 +16,8 @@ use epic_ir::profile::Profile;
 use epic_ir::Program;
 use epic_mach::MachProgram;
 use epic_sched::{PlanStats, SchedOptions};
-use std::time::{Duration, Instant};
+use epic_trace::Trace;
+use std::time::Duration;
 
 /// Everything a pass can see or produce. Owned by the runner for the
 /// duration of one compilation.
@@ -195,6 +196,11 @@ fn verify_all(prog: &Program, ctx: &str) -> Result<(), DriverError> {
 /// `verify_each` (the opt-in debug mode), the IR is re-verified after
 /// every pass and a failure names the offending pass.
 ///
+/// Every pass runs inside a `pass:<name>` span on `trace`; the
+/// [`PassRecord::wall`] is that span's duration, so the timeline is a
+/// view over the same measurements the span tree carries (pass a
+/// [`Trace::disabled`] handle to time without recording).
+///
 /// # Errors
 /// The first pass failure, or the first post-pass verification failure in
 /// `verify_each` mode.
@@ -202,14 +208,16 @@ pub fn run_passes(
     cx: &mut PipelineCx,
     passes: &[Box<dyn Pass>],
     verify_each: bool,
+    trace: &Trace,
 ) -> Result<PassTimeline, DriverError> {
     let mut timeline = PassTimeline::default();
     for pass in passes {
         let ops_before = cx.prog.op_count();
         let blocks_before = cx.prog.block_count();
-        let start = Instant::now();
-        pass.run(cx)?;
-        let wall = start.elapsed();
+        let span = trace.span_pair("pass:", pass.name());
+        let result = pass.run(cx);
+        let wall = span.finish();
+        result?;
         timeline.passes.push(PassRecord {
             name: pass.name(),
             wall,

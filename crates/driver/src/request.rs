@@ -1,0 +1,328 @@
+//! The measurement API: one typed request/response surface over
+//! everything the driver can measure.
+//!
+//! [`MeasureRequest`] is a builder for a (workload × level) sweep:
+//! which levels, how the per-level [`CompileOptions`] are derived, the
+//! simulator configuration, the worker-pool width, an explicit
+//! [`CachePolicy`] (the library never sniffs `EPIC_CACHE_DIR` /
+//! `EPIC_NO_CACHE` — environment parsing belongs to the `epicc` and
+//! bench binaries), and a [`TracePolicy`] deciding whether each cell
+//! carries a span tree + metrics snapshot. [`MeasureRequest::run`]
+//! returns a typed [`MeasureReport`]; the old free functions
+//! (`measure_matrix`, `measure_matrix_cached`) survive as thin
+//! deprecated shims over this type.
+//!
+//! With tracing enabled, every cell gets its own
+//! [`Trace`](epic_trace::Trace) whose tree is
+//! `compile → pass:<name>…` and `sim → dispatch/attrib` (or a single
+//! `cache-lookup` root for a cache hit), and whose per-cell metrics
+//! hold only *deterministic* simulation data (`sim.charge.<category>`
+//! histograms, `sim.charges`) — wall-clock latencies go to the
+//! process-wide [`epic_trace::global`] registry instead, so two
+//! identical traced runs produce identical per-cell metrics.
+
+use crate::parallel::{par_map, MatrixCell, MatrixError, MeasurementCache};
+use crate::{measure_traced, CompileOptions, Measurement, OptLevel};
+use epic_sim::SimOptions;
+use epic_trace::{Trace, TraceSnapshot};
+use epic_workloads::Workload;
+use std::time::{Duration, Instant};
+
+/// Where measurement results may be looked up and stored. Explicit —
+/// never derived from the environment inside the library.
+#[derive(Clone, Copy, Default)]
+pub enum CachePolicy<'a> {
+    /// Always compile and simulate; never consult or fill a cache.
+    #[default]
+    Disabled,
+    /// Consult this cache first and offer fresh results back.
+    Store(&'a dyn MeasurementCache),
+}
+
+/// Whether each measured cell carries a span tree + metrics snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TracePolicy {
+    /// No per-cell traces; span guards degrade to bare timers.
+    #[default]
+    Disabled,
+    /// Every cell records spans and deterministic sim metrics.
+    Enabled,
+}
+
+impl TracePolicy {
+    /// Parse a `0`/`1` (or `off`/`on`) flag value, as the binaries read
+    /// from `EPIC_TRACE`.
+    pub fn from_flag(v: &str) -> TracePolicy {
+        match v.trim() {
+            "1" | "on" | "true" => TracePolicy::Enabled,
+            _ => TracePolicy::Disabled,
+        }
+    }
+
+    fn new_trace(self) -> Trace {
+        match self {
+            TracePolicy::Enabled => Trace::enabled(),
+            TracePolicy::Disabled => Trace::disabled(),
+        }
+    }
+}
+
+/// One measured cell of a [`MeasureReport`].
+#[derive(Clone, Debug)]
+pub struct MeasuredCell {
+    /// The measurement (cached or fresh — bit-identical either way).
+    pub measurement: Measurement,
+    /// True when the cell came out of the cache without compiling.
+    pub cache_hit: bool,
+    /// Wall time this cell took end to end (lookup or compile + sim).
+    pub wall: Duration,
+    /// Span tree + metrics when the request traced.
+    pub trace: Option<TraceSnapshot>,
+}
+
+/// The typed result of a [`MeasureRequest`]: `cells[w][l]` pairs with
+/// `workloads[w]` and `levels[l]`.
+#[derive(Clone, Debug)]
+pub struct MeasureReport {
+    /// The levels measured, in column order.
+    pub levels: Vec<OptLevel>,
+    /// One row per workload, one cell per level.
+    pub cells: Vec<Vec<MeasuredCell>>,
+}
+
+impl MeasureReport {
+    /// Cell by (workload row, level).
+    pub fn cell(&self, w: usize, level: OptLevel) -> Option<&MeasuredCell> {
+        let l = self.levels.iter().position(|&x| x == level)?;
+        self.cells.get(w)?.get(l)
+    }
+
+    /// Total cache hits across all cells.
+    pub fn cache_hits(&self) -> usize {
+        self.cells.iter().flatten().filter(|c| c.cache_hit).count()
+    }
+
+    /// Strip to the legacy `Vec<Vec<MatrixCell>>` shape.
+    pub fn into_matrix_cells(self) -> Vec<Vec<MatrixCell>> {
+        self.cells
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|c| MatrixCell {
+                        measurement: c.measurement,
+                        cache_hit: c.cache_hit,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Builder for one measurement sweep. See the module docs.
+pub struct MeasureRequest<'a> {
+    workloads: &'a [Workload],
+    levels: Vec<OptLevel>,
+    copts: &'a (dyn Fn(OptLevel) -> CompileOptions + Sync),
+    sopts: SimOptions,
+    threads: usize,
+    cache: CachePolicy<'a>,
+    trace: TracePolicy,
+}
+
+impl<'a> MeasureRequest<'a> {
+    /// A request over `workloads` with the defaults: all Table 1
+    /// levels, [`CompileOptions::for_level`], default [`SimOptions`],
+    /// auto worker count, no cache, no tracing.
+    pub fn new(workloads: &'a [Workload]) -> MeasureRequest<'a> {
+        MeasureRequest {
+            workloads,
+            levels: OptLevel::ALL.to_vec(),
+            copts: &CompileOptions::for_level,
+            sopts: SimOptions::default(),
+            threads: 0,
+            cache: CachePolicy::Disabled,
+            trace: TracePolicy::Disabled,
+        }
+    }
+
+    /// Measure only these levels (column order of the report).
+    pub fn levels(mut self, levels: &[OptLevel]) -> Self {
+        self.levels = levels.to_vec();
+        self
+    }
+
+    /// Derive per-level compile options with `f` instead of the
+    /// defaults.
+    pub fn compile_options(mut self, f: &'a (dyn Fn(OptLevel) -> CompileOptions + Sync)) -> Self {
+        self.copts = f;
+        self
+    }
+
+    /// Simulator configuration for every cell.
+    pub fn sim_options(mut self, sopts: SimOptions) -> Self {
+        self.sopts = sopts;
+        self
+    }
+
+    /// Worker-pool width (`0` = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Cache policy (default: [`CachePolicy::Disabled`]).
+    pub fn cache(mut self, cache: CachePolicy<'a>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Trace policy (default: [`TracePolicy::Disabled`]).
+    pub fn trace(mut self, trace: TracePolicy) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Measure every (workload × level) cell on a bounded worker pool.
+    ///
+    /// # Errors
+    /// The first failing cell (by task order), with its coordinates.
+    pub fn run(self) -> Result<MeasureReport, MatrixError> {
+        // Flatten to one task per cell so slow cells can't serialize a
+        // row.
+        let tasks: Vec<(usize, usize)> = (0..self.workloads.len())
+            .flat_map(|w| (0..self.levels.len()).map(move |l| (w, l)))
+            .collect();
+        let cells = par_map(&tasks, self.threads, |_, &(w, l)| {
+            self.run_cell(&self.workloads[w], self.levels[l])
+        });
+        let mut rows: Vec<Vec<MeasuredCell>> = Vec::with_capacity(self.workloads.len());
+        let mut it = cells.into_iter();
+        for _ in 0..self.workloads.len() {
+            let mut row = Vec::with_capacity(self.levels.len());
+            for _ in 0..self.levels.len() {
+                row.push(it.next().expect("cell count matches")?);
+            }
+            rows.push(row);
+        }
+        Ok(MeasureReport {
+            levels: self.levels,
+            cells: rows,
+        })
+    }
+
+    fn run_cell(&self, w: &Workload, level: OptLevel) -> Result<MeasuredCell, MatrixError> {
+        let start = Instant::now();
+        let trace = self.trace.new_trace();
+        let opts = (self.copts)(level);
+        if let CachePolicy::Store(cache) = self.cache {
+            let lookup = trace.span("cache-lookup");
+            let hit = cache.lookup(w, &opts, &self.sopts);
+            lookup.finish();
+            if let Some(measurement) = hit {
+                let wall = start.elapsed();
+                return Ok(MeasuredCell {
+                    measurement,
+                    cache_hit: true,
+                    wall,
+                    trace: trace.finish(),
+                });
+            }
+        }
+        let measurement =
+            measure_traced(w, &opts, &self.sopts, &trace).map_err(|error| MatrixError {
+                workload: w.name.to_string(),
+                level,
+                error,
+            })?;
+        if let CachePolicy::Store(cache) = self.cache {
+            let store = trace.span("store");
+            cache.store(w, &opts, &self.sopts, &measurement);
+            store.finish();
+        }
+        let wall = start.elapsed();
+        Ok(MeasuredCell {
+            measurement,
+            cache_hit: false,
+            wall,
+            trace: trace.finish(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_request_builds_well_formed_cell_trees() {
+        let workloads = vec![epic_workloads::by_name("vortex_mc").unwrap()];
+        let report = MeasureRequest::new(&workloads)
+            .levels(&[OptLevel::Gcc, OptLevel::IlpCs])
+            .trace(TracePolicy::Enabled)
+            .threads(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.levels, vec![OptLevel::Gcc, OptLevel::IlpCs]);
+        for cell in &report.cells[0] {
+            let snap = cell.trace.as_ref().expect("traced cell");
+            let compile = snap.root("compile").expect("compile root");
+            let sim = snap.root("sim").expect("sim root");
+            assert!(
+                compile.children.iter().all(|c| c.name.starts_with("pass:")),
+                "compile children are passes"
+            );
+            let sim_kids: Vec<&str> = sim.children.iter().map(|c| c.name.as_str()).collect();
+            assert!(sim_kids.contains(&"dispatch"), "{sim_kids:?}");
+            assert!(sim_kids.contains(&"attrib"), "{sim_kids:?}");
+            // root durations sum-check against the cell wall (±5%)
+            let roots_ns: u64 = snap.spans.iter().map(|s| s.dur_ns).sum();
+            let wall_ns = cell.wall.as_nanos() as u64;
+            assert!(roots_ns <= wall_ns, "spans fit inside the wall");
+            assert!(
+                roots_ns as f64 >= wall_ns as f64 * 0.95,
+                "roots cover the cell: {roots_ns} vs {wall_ns}"
+            );
+            // deterministic per-cell metrics came from the sim sink
+            assert!(snap.metrics.counter("sim.charges") > 0);
+            assert_eq!(snap.dropped, 0);
+        }
+        // ILP-CS runs more passes than GCC
+        let gcc = report.cells[0][0].trace.as_ref().unwrap();
+        let cs = report.cells[0][1].trace.as_ref().unwrap();
+        assert!(
+            cs.root("compile").unwrap().children.len()
+                > gcc.root("compile").unwrap().children.len()
+        );
+    }
+
+    #[test]
+    fn untraced_request_matches_traced_measurement_bits() {
+        let workloads = vec![epic_workloads::by_name("mcf_mc").unwrap()];
+        let plain = MeasureRequest::new(&workloads)
+            .levels(&[OptLevel::ONs])
+            .run()
+            .unwrap();
+        let traced = MeasureRequest::new(&workloads)
+            .levels(&[OptLevel::ONs])
+            .trace(TracePolicy::Enabled)
+            .run()
+            .unwrap();
+        let (p, t) = (&plain.cells[0][0], &traced.cells[0][0]);
+        assert!(p.trace.is_none());
+        assert!(t.trace.is_some());
+        assert_eq!(p.measurement.sim.cycles, t.measurement.sim.cycles);
+        assert_eq!(p.measurement.sim.checksum, t.measurement.sim.checksum);
+        assert_eq!(
+            p.measurement.compiled.code_bytes,
+            t.measurement.compiled.code_bytes
+        );
+    }
+
+    #[test]
+    fn trace_policy_flag_parsing() {
+        assert_eq!(TracePolicy::from_flag("1"), TracePolicy::Enabled);
+        assert_eq!(TracePolicy::from_flag("on"), TracePolicy::Enabled);
+        assert_eq!(TracePolicy::from_flag("0"), TracePolicy::Disabled);
+        assert_eq!(TracePolicy::from_flag(""), TracePolicy::Disabled);
+    }
+}

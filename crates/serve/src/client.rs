@@ -5,8 +5,42 @@ use crate::key::{CacheKey, JobSpec};
 use crate::proto::{self, Request, Response, ServeStats};
 use crate::sched::{JobStatus, Priority};
 use epic_driver::Measurement;
+use epic_trace::MetricsSnapshot;
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
+use std::time::Duration;
+
+/// Deterministic retry schedule for [`Client::submit_retry`]: capped
+/// exponential backoff with no jitter, so a given attempt count always
+/// produces the same delay sequence (tests and CI stay reproducible).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = plain [`Client::submit`]).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Ceiling the doubling schedule saturates at.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `attempt` (0-based):
+    /// `min(cap, base * 2^attempt)`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -132,6 +166,46 @@ impl Client {
         }
     }
 
+    /// [`submit`](Client::submit), but ride out [`ClientError::Busy`]
+    /// rejections by sleeping through `policy`'s deterministic backoff
+    /// schedule and resubmitting, up to `policy.max_retries` times.
+    ///
+    /// # Errors
+    /// [`ClientError::Busy`] once the retry budget is exhausted; every
+    /// other error aborts immediately (retrying cannot fix them).
+    pub fn submit_retry(
+        &mut self,
+        spec: &JobSpec,
+        prio: Priority,
+        deadline_ms: u64,
+        policy: &RetryPolicy,
+    ) -> Result<Served, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.submit(spec, prio, deadline_ms) {
+                Err(ClientError::Busy { queue_depth }) => {
+                    if attempt >= policy.max_retries {
+                        return Err(ClientError::Busy { queue_depth });
+                    }
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Fetch the server's full metrics-registry snapshot.
+    ///
+    /// # Errors
+    /// Transport/protocol errors.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(s) => Ok(s),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     /// Ask where a key stands.
     ///
     /// # Errors
@@ -174,5 +248,32 @@ impl Client {
             Response::ShutdownOk => Ok(()),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delays_double_then_saturate_at_the_cap() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+        };
+        let delays: Vec<u64> = (0..8).map(|a| p.delay(a).as_millis() as u64).collect();
+        assert_eq!(delays, vec![10, 20, 40, 80, 100, 100, 100, 100]);
+        // the same policy always yields the same schedule — no jitter
+        assert_eq!(p.delay(3), p.delay(3));
+    }
+
+    #[test]
+    fn retry_delay_survives_huge_attempt_counts() {
+        let p = RetryPolicy::default();
+        // 2^40 would overflow the shift; the schedule must saturate at
+        // the cap instead of panicking or wrapping
+        assert_eq!(p.delay(40), p.cap);
+        assert_eq!(p.delay(u32::MAX), p.cap);
     }
 }

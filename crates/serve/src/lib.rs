@@ -24,10 +24,17 @@
 //!   once), per-job queue deadlines, and typed [`Busy`](sched::SubmitError::Busy)
 //!   load shedding.
 //! * [`proto`]/[`server`]/[`client`] — a length-prefixed TCP protocol
-//!   (`submit`/`status`/`result`/`stats`/`shutdown`) binding it together
-//!   as the `epicd` daemon and the `epicc submit` client.
+//!   (`submit`/`status`/`result`/`stats`/`metrics`/`shutdown`) binding
+//!   it together as the `epicd` daemon and the `epicc submit` client,
+//!   with deterministic capped-exponential [`RetryPolicy`] backoff on
+//!   shed load.
 //!
-//! See DESIGN.md §8 for the architecture rationale.
+//! The scheduler and runner publish counters and latency histograms
+//! (`serve.*`) into the process-wide `epic-trace` registry; the
+//! `metrics` verb ships a snapshot to `epicc top`.
+//!
+//! See DESIGN.md §8 for the architecture rationale and §9 for the
+//! tracing layer.
 
 pub mod client;
 pub mod codec;
@@ -38,7 +45,7 @@ pub mod server;
 pub mod store;
 pub mod testutil;
 
-pub use client::{Client, ClientError, Served};
+pub use client::{Client, ClientError, RetryPolicy, Served};
 pub use codec::{digest, CodecError};
 pub use key::{CacheKey, JobSpec};
 pub use proto::ServeStats;

@@ -25,6 +25,7 @@ use crate::sched::{JobStatus, Priority, SchedStats};
 use crate::store::StoreStats;
 use epic_driver::Measurement;
 use epic_mach::{CacheConfig, MachineConfig};
+use epic_trace::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot};
 use std::io::{Read, Write};
 
 /// Hard ceiling on one frame's body (16 MiB — a full measurement for
@@ -49,6 +50,8 @@ pub enum Request {
     Result(CacheKey),
     /// Server + store + scheduler counters.
     Stats,
+    /// Full metrics-registry snapshot (counters, gauges, histograms).
+    Metrics,
     /// Stop the server (used by CI for a clean teardown).
     Shutdown,
 }
@@ -88,6 +91,8 @@ pub enum Response {
     Result(Option<Box<Measurement>>),
     /// Stats answer.
     Stats(ServeStats),
+    /// Metrics answer: a name-sorted registry snapshot.
+    Metrics(MetricsSnapshot),
     /// Queue full — typed backpressure, retry later.
     Busy {
         /// Queue depth at rejection.
@@ -243,6 +248,7 @@ const VERB_STATUS: u8 = 2;
 const VERB_RESULT: u8 = 3;
 const VERB_STATS: u8 = 4;
 const VERB_SHUTDOWN: u8 = 5;
+const VERB_METRICS: u8 = 6;
 
 const RESP_ERR: u8 = 0;
 const RESP_DONE: u8 = 1;
@@ -251,6 +257,67 @@ const RESP_RESULT: u8 = 3;
 const RESP_STATS: u8 = 4;
 const RESP_BUSY: u8 = 5;
 const RESP_SHUTDOWN_OK: u8 = 6;
+const RESP_METRICS: u8 = 7;
+
+const METRIC_COUNTER: u8 = 0;
+const METRIC_GAUGE: u8 = 1;
+const METRIC_HISTOGRAM: u8 = 2;
+
+fn enc_metrics(e: &mut Enc, s: &MetricsSnapshot) {
+    e.usize(s.entries.len());
+    for entry in &s.entries {
+        e.str(&entry.name);
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                e.u8(METRIC_COUNTER);
+                e.u64(*v);
+            }
+            MetricValue::Gauge(v) => {
+                e.u8(METRIC_GAUGE);
+                e.i64(*v);
+            }
+            MetricValue::Histogram(h) => {
+                e.u8(METRIC_HISTOGRAM);
+                e.u64(h.count);
+                e.u64(h.sum);
+                e.usize(h.buckets.len());
+                for &(bucket, n) in &h.buckets {
+                    e.u8(bucket);
+                    e.u64(n);
+                }
+            }
+        }
+    }
+}
+
+fn dec_metrics(d: &mut Dec) -> Result<MetricsSnapshot, CodecError> {
+    let n = d.usize()?;
+    let mut entries = Vec::new();
+    for _ in 0..n {
+        let name = d.str()?;
+        let value = match d.u8()? {
+            METRIC_COUNTER => MetricValue::Counter(d.u64()?),
+            METRIC_GAUGE => MetricValue::Gauge(d.i64()?),
+            METRIC_HISTOGRAM => {
+                let count = d.u64()?;
+                let sum = d.u64()?;
+                let nb = d.usize()?;
+                let mut buckets = Vec::new();
+                for _ in 0..nb {
+                    buckets.push((d.u8()?, d.u64()?));
+                }
+                MetricValue::Histogram(HistogramSnapshot {
+                    count,
+                    sum,
+                    buckets,
+                })
+            }
+            t => return Err(CodecError(format!("bad metric kind tag {t}"))),
+        };
+        entries.push(MetricEntry { name, value });
+    }
+    Ok(MetricsSnapshot { entries })
+}
 
 /// Encode a request frame body.
 pub fn encode_request(r: &Request) -> Vec<u8> {
@@ -275,6 +342,7 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
             enc_key(&mut e, *k);
         }
         Request::Stats => e.u8(VERB_STATS),
+        Request::Metrics => e.u8(VERB_METRICS),
         Request::Shutdown => e.u8(VERB_SHUTDOWN),
     }
     e.finish()
@@ -300,6 +368,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, CodecError> {
         VERB_STATUS => Request::Status(dec_key(&mut d)?),
         VERB_RESULT => Request::Result(dec_key(&mut d)?),
         VERB_STATS => Request::Stats,
+        VERB_METRICS => Request::Metrics,
         VERB_SHUTDOWN => Request::Shutdown,
         v => return Err(CodecError(format!("unknown request verb {v}"))),
     };
@@ -348,6 +417,10 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             e.u64(s.compiles);
             e.u64(s.sims);
         }
+        Response::Metrics(s) => {
+            e.u8(RESP_METRICS);
+            enc_metrics(&mut e, s);
+        }
         Response::Busy { queue_depth } => {
             e.u8(RESP_BUSY);
             e.u64(*queue_depth as u64);
@@ -393,6 +466,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, CodecError> {
             compiles: d.u64()?,
             sims: d.u64()?,
         }),
+        RESP_METRICS => Response::Metrics(dec_metrics(&mut d)?),
         RESP_BUSY => Response::Busy {
             queue_depth: d.u64()? as usize,
         },
@@ -467,6 +541,7 @@ mod tests {
             Request::Status(key),
             Request::Result(key),
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for r in &reqs {
@@ -519,6 +594,27 @@ mod tests {
                 compiles: 9,
                 sims: 11,
             }),
+            Response::Metrics(MetricsSnapshot {
+                entries: vec![
+                    MetricEntry {
+                        name: "serve.jobs_run".to_string(),
+                        value: MetricValue::Counter(12),
+                    },
+                    MetricEntry {
+                        name: "serve.queue_depth".to_string(),
+                        value: MetricValue::Gauge(-1),
+                    },
+                    MetricEntry {
+                        name: "serve.run_us".to_string(),
+                        value: MetricValue::Histogram(HistogramSnapshot {
+                            count: 3,
+                            sum: 700,
+                            buckets: vec![(7, 2), (9, 1)],
+                        }),
+                    },
+                ],
+            }),
+            Response::Metrics(MetricsSnapshot::default()),
             Response::Busy { queue_depth: 17 },
             Response::ShutdownOk,
         ];

@@ -21,6 +21,7 @@
 use crate::key::{CacheKey, JobSpec};
 use crate::store::{ArtifactStore, CompiledArtifact};
 use epic_driver::Measurement;
+use epic_trace::{Counter, Gauge, Histogram, SpanNode, Trace};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -137,6 +138,7 @@ impl JobRunner for DriverRunner {
             Some(a) => a,
             None => {
                 self.compiles.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
                 let compiled = epic_driver::compile_source(
                     &spec.source,
                     &spec.train_args,
@@ -144,6 +146,9 @@ impl JobRunner for DriverRunner {
                     &spec.compile_options(),
                 )
                 .map_err(|e| format!("compile [{}]: {e}", spec.level.name()))?;
+                epic_trace::global()
+                    .histogram("serve.compile_us")
+                    .record(t0.elapsed().as_micros() as u64);
                 let stats = compiled.stats();
                 store.insert_mach(
                     spec.compile_key(),
@@ -155,8 +160,12 @@ impl JobRunner for DriverRunner {
             }
         };
         self.sims.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
         let sim = epic_sim::run(&artifact.mach, &spec.ref_args, &spec.sim_options())
             .map_err(|e| format!("sim [{}]: {e}", spec.level.name()))?;
+        epic_trace::global()
+            .histogram("serve.sim_us")
+            .record(t0.elapsed().as_micros() as u64);
         Ok(Measurement {
             level: spec.level,
             compiled: artifact.stats.clone(),
@@ -237,6 +246,7 @@ struct QueuedJob {
     key: CacheKey,
     spec: JobSpec,
     deadline: Option<Instant>,
+    enqueued: Instant,
     cell: Arc<JobCell>,
 }
 
@@ -286,6 +296,41 @@ pub struct SchedStats {
     pub in_flight: u64,
 }
 
+/// Handles into the process-wide [`epic_trace::global`] registry — the
+/// scheduler records every event there (always on; one relaxed atomic
+/// per event), which is what the `metrics` protocol verb and `epicc
+/// top` read.
+struct ServeMetrics {
+    submitted: Counter,
+    cache_hits: Counter,
+    coalesced: Counter,
+    shed: Counter,
+    jobs_run: Counter,
+    expired: Counter,
+    queue_depth: Gauge,
+    queue_wait_us: Histogram,
+    run_us: Histogram,
+    store_us: Histogram,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        let g = epic_trace::global();
+        ServeMetrics {
+            submitted: g.counter("serve.submitted"),
+            cache_hits: g.counter("serve.cache_hits"),
+            coalesced: g.counter("serve.coalesced"),
+            shed: g.counter("serve.shed"),
+            jobs_run: g.counter("serve.jobs_run"),
+            expired: g.counter("serve.expired"),
+            queue_depth: g.gauge("serve.queue_depth"),
+            queue_wait_us: g.histogram("serve.queue_wait_us"),
+            run_us: g.histogram("serve.run_us"),
+            store_us: g.histogram("serve.store_us"),
+        }
+    }
+}
+
 struct Inner {
     store: Arc<ArtifactStore>,
     runner: Box<dyn JobRunner>,
@@ -298,6 +343,8 @@ struct Inner {
     shed: AtomicU64,
     jobs_run: AtomicU64,
     expired: AtomicU64,
+    metrics: ServeMetrics,
+    trace: Trace,
 }
 
 /// The scheduler: owns its worker threads for its whole lifetime.
@@ -319,6 +366,19 @@ impl Scheduler {
         runner: Box<dyn JobRunner>,
         workers: usize,
         queue_cap: usize,
+    ) -> Scheduler {
+        Scheduler::with_runner_traced(store, runner, workers, queue_cap, Trace::disabled())
+    }
+
+    /// [`with_runner`](Scheduler::with_runner) recording per-job
+    /// `serve → queue-wait/run/store` span trees into `trace` (metrics
+    /// always go to the process-wide registry either way).
+    pub fn with_runner_traced(
+        store: Arc<ArtifactStore>,
+        runner: Box<dyn JobRunner>,
+        workers: usize,
+        queue_cap: usize,
+        trace: Trace,
     ) -> Scheduler {
         let workers = if workers == 0 {
             std::thread::available_parallelism().map_or(1, |p| p.get())
@@ -342,6 +402,8 @@ impl Scheduler {
             shed: AtomicU64::new(0),
             jobs_run: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
+            trace,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -363,6 +425,13 @@ impl Scheduler {
         &self.inner.store
     }
 
+    /// The trace this scheduler records job span trees into (a disabled
+    /// handle unless built with
+    /// [`with_runner_traced`](Scheduler::with_runner_traced)).
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+
     /// Submit a job. Never blocks: returns a ready ticket on a cache
     /// hit, a pending ticket otherwise (coalescing onto an in-flight
     /// job with the same key when one exists).
@@ -378,9 +447,11 @@ impl Scheduler {
     ) -> Result<Ticket, SubmitError> {
         let inner = &self.inner;
         inner.submitted.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.submitted.inc();
         let key = spec.job_key();
         if let Some(m) = inner.store.lookup(key) {
             inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.cache_hits.inc();
             return Ok(Ticket {
                 key,
                 cache_hit: true,
@@ -394,6 +465,7 @@ impl Scheduler {
         }
         if let Some(cell) = q.inflight.get(&key) {
             inner.coalesced.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.coalesced.inc();
             return Ok(Ticket {
                 key,
                 cache_hit: false,
@@ -403,6 +475,7 @@ impl Scheduler {
         }
         if q.heap.len() >= inner.queue_cap {
             inner.shed.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.shed.inc();
             return Err(SubmitError::Busy {
                 queue_depth: q.heap.len(),
             });
@@ -415,10 +488,12 @@ impl Scheduler {
             key,
             spec,
             deadline: deadline.map(|d| Instant::now() + d),
+            enqueued: Instant::now(),
             cell: Arc::clone(&cell),
         };
         q.inflight.insert(key, Arc::clone(&cell));
         q.heap.push(job);
+        inner.metrics.queue_depth.set(q.heap.len() as i64);
         inner.cv.notify_one();
         Ok(Ticket {
             key,
@@ -536,6 +611,7 @@ fn worker_loop(inner: &Inner) {
             let mut q = inner.q.lock().expect("scheduler queue");
             loop {
                 if let Some(job) = q.heap.pop() {
+                    inner.metrics.queue_depth.set(q.heap.len() as i64);
                     break job;
                 }
                 if q.shutdown {
@@ -544,17 +620,44 @@ fn worker_loop(inner: &Inner) {
                 q = inner.cv.wait(q).expect("scheduler queue");
             }
         };
+        let wait = job.enqueued.elapsed();
+        inner.metrics.queue_wait_us.record(wait.as_micros() as u64);
         if job.deadline.is_some_and(|d| Instant::now() > d) {
             inner.expired.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.expired.inc();
             finish(inner, &job, Err(JobError::Expired));
             continue;
         }
-        let result = inner
-            .runner
-            .run(&job.spec, &inner.store)
+        let run_start = Instant::now();
+        let ran = inner.runner.run(&job.spec, &inner.store);
+        let run_dur = run_start.elapsed();
+        inner.metrics.run_us.record(run_dur.as_micros() as u64);
+        let store_start = Instant::now();
+        let result = ran
             .map(|m| inner.store.insert(job.key, m))
             .map_err(JobError::Runner);
+        let store_dur = store_start.elapsed();
+        inner.metrics.store_us.record(store_dur.as_micros() as u64);
         inner.jobs_run.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.jobs_run.inc();
+        if inner.trace.is_enabled() {
+            // One manual span tree per job, anchored at enqueue time so
+            // queue-wait, run, and store tile the job's full wall span.
+            let start_ns = inner.trace.rel_ns(job.enqueued);
+            let wait_ns = wait.as_nanos() as u64;
+            let run_ns = run_dur.as_nanos() as u64;
+            let store_ns = store_dur.as_nanos() as u64;
+            inner.trace.record_manual(SpanNode {
+                name: "serve".to_string(),
+                start_ns,
+                dur_ns: wait_ns + run_ns + store_ns,
+                children: vec![
+                    SpanNode::leaf("queue-wait", start_ns, wait_ns),
+                    SpanNode::leaf("run", start_ns + wait_ns, run_ns),
+                    SpanNode::leaf("store", start_ns + wait_ns + run_ns, store_ns),
+                ],
+            });
+        }
         finish(inner, &job, result);
     }
 }

@@ -172,6 +172,7 @@ fn dispatch(req: Request, sched: &Scheduler) -> Response {
                 sims,
             })
         }
+        Request::Metrics => Response::Metrics(epic_trace::global().snapshot()),
         Request::Shutdown => Response::ShutdownOk,
     }
 }

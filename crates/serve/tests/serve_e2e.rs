@@ -5,8 +5,10 @@
 
 use epic_serve::testutil::dummy_measurement;
 use epic_serve::{
-    digest, serve, ArtifactStore, Client, ClientError, JobRunner, JobSpec, Priority, Scheduler,
+    digest, serve, ArtifactStore, Client, ClientError, JobRunner, JobSpec, Priority, RetryPolicy,
+    Scheduler,
 };
+use epic_trace::{MetricValue, Trace};
 use epic_workloads::Workload;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -48,6 +50,7 @@ fn served_results_are_bit_identical_to_direct_measurement() {
         let spec = JobSpec::for_workload(&w, level);
         let served = client.submit(&spec, Priority::Normal, 0).unwrap();
         assert!(!served.cache_hit);
+        #[allow(deprecated)] // exercising the shim keeps it honest until removal
         let direct =
             epic_driver::measure(&w, &spec.compile_options(), &spec.sim_options()).unwrap();
         assert_eq!(
@@ -219,4 +222,188 @@ fn saturated_queue_answers_busy_over_tcp() {
         assert!(b.join().unwrap().is_ok());
     });
     server.stop();
+}
+
+#[test]
+fn metrics_verb_ships_registry_snapshot_over_tcp() {
+    let (sched, release) = gated_scheduler(2, 32);
+    // pre-open the gate so jobs finish without choreography
+    for _ in 0..8 {
+        let _ = release.send(());
+    }
+    let mut server = serve("127.0.0.1:0", Arc::clone(&sched)).unwrap();
+    let mut client = Client::connect(&server.addr().to_string()).unwrap();
+    client
+        .submit(&spec_named("metrics"), Priority::Normal, 0)
+        .unwrap();
+
+    let snap = client.metrics().unwrap();
+    // the registry is process-wide and shared with other tests in this
+    // binary, so assert floors, not exact values
+    match snap.get("serve.submitted") {
+        Some(MetricValue::Counter(n)) => assert!(*n >= 1, "submitted = {n}"),
+        other => panic!("serve.submitted missing or mistyped: {other:?}"),
+    }
+    match snap.get("serve.jobs_run") {
+        Some(MetricValue::Counter(n)) => assert!(*n >= 1, "jobs_run = {n}"),
+        other => panic!("serve.jobs_run missing or mistyped: {other:?}"),
+    }
+    for h in ["serve.queue_wait_us", "serve.run_us", "serve.store_us"] {
+        match snap.get(h) {
+            Some(MetricValue::Histogram(hs)) => {
+                assert!(hs.count >= 1, "{h} recorded nothing");
+                assert!(hs.quantile(0.5).is_some());
+            }
+            other => panic!("{h} missing or mistyped: {other:?}"),
+        }
+    }
+    assert!(
+        matches!(snap.get("serve.queue_depth"), Some(MetricValue::Gauge(_))),
+        "queue depth gauge missing"
+    );
+    // snapshots are name-sorted, so the rendered table is deterministic
+    let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+    // hang up before stop(): the server joins connection threads, which
+    // block until their peer closes
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn submit_retry_rides_out_a_saturated_queue() {
+    // same saturation shape as the Busy test: one worker occupied, queue
+    // of one full — a plain submit is shed, but submit_retry's backoff
+    // schedule outlasts the congestion once the gate opens
+    let (sched, release) = gated_scheduler(1, 1);
+    let mut server = serve("127.0.0.1:0", Arc::clone(&sched)).unwrap();
+    let addr = server.addr().to_string();
+
+    std::thread::scope(|scope| {
+        let a = {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                Client::connect(&addr)
+                    .unwrap()
+                    .submit(&spec_named("ra"), Priority::Normal, 0)
+                    .map(|s| s.key)
+            })
+        };
+        let t0 = Instant::now();
+        loop {
+            let st = sched.stats();
+            if st.queue_depth == 0 && st.in_flight == 1 {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(10), "A never started");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let b = {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                Client::connect(&addr)
+                    .unwrap()
+                    .submit(&spec_named("rb"), Priority::Normal, 0)
+                    .map(|s| s.key)
+            })
+        };
+        let t0 = Instant::now();
+        while sched.stats().queue_depth < 1 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "B never queued");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // a zero-retry policy is a plain submit: shed immediately
+        let no_retry = RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        };
+        match Client::connect(&addr).unwrap().submit_retry(
+            &spec_named("rc"),
+            Priority::Normal,
+            0,
+            &no_retry,
+        ) {
+            Err(ClientError::Busy { .. }) => {}
+            other => panic!("expected Busy, got {:?}", other.map(|s| s.key).err()),
+        }
+        let shed_before = sched.stats().shed;
+        assert!(shed_before >= 1);
+
+        // open the gate shortly after C starts retrying, so C's first
+        // attempt is shed and a later one lands once the queue drains
+        let gate = scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            for _ in 0..8 {
+                let _ = release.send(());
+            }
+        });
+        let patient = RetryPolicy {
+            max_retries: 20,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(50),
+        };
+        let served = Client::connect(&addr)
+            .unwrap()
+            .submit_retry(&spec_named("rc"), Priority::Normal, 0, &patient)
+            .expect("retry must outlast the congestion");
+        assert_eq!(served.key, spec_named("rc").job_key());
+        gate.join().unwrap();
+        assert!(a.join().unwrap().is_ok());
+        assert!(b.join().unwrap().is_ok());
+    });
+    server.stop();
+}
+
+#[test]
+fn traced_scheduler_records_serve_span_trees() {
+    let (tx, rx) = mpsc::channel::<()>();
+    for _ in 0..4 {
+        let _ = tx.send(());
+    }
+    struct FreeRunner(Mutex<mpsc::Receiver<()>>);
+    impl JobRunner for FreeRunner {
+        fn run(
+            &self,
+            spec: &JobSpec,
+            _store: &ArtifactStore,
+        ) -> Result<epic_driver::Measurement, String> {
+            let _ = self.0.lock().unwrap().recv();
+            Ok(dummy_measurement(spec.source.len() as u64))
+        }
+        fn work_counts(&self) -> (u64, u64) {
+            (0, 0)
+        }
+    }
+    let trace = Trace::enabled();
+    let sched = Arc::new(Scheduler::with_runner_traced(
+        Arc::new(ArtifactStore::in_memory()),
+        Box::new(FreeRunner(Mutex::new(rx))),
+        1,
+        8,
+        trace.clone(),
+    ));
+    let ticket = sched
+        .submit(spec_named("traced"), Priority::Normal, None)
+        .unwrap();
+    ticket.wait().expect("job runs");
+
+    let snap = trace.finish().expect("enabled trace snapshots");
+    let serve_root = snap.root("serve").expect("one serve span per job");
+    let kids: Vec<&str> = serve_root
+        .children
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    assert_eq!(kids, ["queue-wait", "run", "store"]);
+    // the three phases tile the job's span: child durations sum to the
+    // root's and each child starts where the previous ended
+    let total: u64 = serve_root.children.iter().map(|c| c.dur_ns).sum();
+    assert_eq!(total, serve_root.dur_ns);
+    for pair in serve_root.children.windows(2) {
+        assert_eq!(pair[0].start_ns + pair[0].dur_ns, pair[1].start_ns);
+    }
+    sched.shutdown();
 }

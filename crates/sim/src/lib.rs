@@ -28,7 +28,9 @@ pub mod counters;
 pub mod machine;
 pub mod rse;
 pub mod tlb;
+pub mod tracesink;
 
 pub use attrib::{Attribution, ChargeRecord, EventSink, FuncMatrix, Location, RingTrace, SimEvent};
 pub use counters::{Category, Counters, CycleAccounting, CATEGORIES, NUM_CATEGORIES};
-pub use machine::{run, SimOptions, SimResult, SimTrap, SpecModel, TrapKind};
+pub use machine::{run, run_with_sinks, SimOptions, SimResult, SimTrap, SpecModel, TrapKind};
+pub use tracesink::{ChargeStats, TraceSink};

@@ -236,6 +236,26 @@ pub fn run(mp: &MachProgram, args: &[i64], opts: &SimOptions) -> Result<SimResul
     Sim::new(mp, opts).run(args)
 }
 
+/// [`run`] with caller-supplied [`EventSink`]s attached to the
+/// attribution engine before dispatch starts. Sinks observe every
+/// arbitrated charge; they are dropped (and may publish their totals —
+/// see [`crate::tracesink::TraceSink`]) when the run completes.
+///
+/// # Errors
+/// Same as [`run`].
+pub fn run_with_sinks(
+    mp: &MachProgram,
+    args: &[i64],
+    opts: &SimOptions,
+    sinks: Vec<Box<dyn crate::attrib::EventSink>>,
+) -> Result<SimResult, SimTrap> {
+    let mut sim = Sim::new(mp, opts);
+    for sink in sinks {
+        sim.attrib.add_sink(sink);
+    }
+    sim.run(args)
+}
+
 struct Sim<'a> {
     mp: &'a MachProgram,
     cfg: MachineConfig,

@@ -1,0 +1,137 @@
+//! [`TraceSink`]: the bridge from the attribution engine's charge
+//! stream to `epic-trace` histograms.
+//!
+//! The sink sees every arbitrated charge (millions per simulation), so
+//! it accumulates into plain-`u64` [`LocalHisto`]s — no atomics, no
+//! locks on the hot path — and publishes the totals into a shared
+//! [`ChargeStats`] exactly once, when the simulator drops it at the end
+//! of the run. The caller then folds the stats into whichever
+//! [`Registry`](epic_trace::Registry) the measurement is tracing into.
+
+use crate::attrib::{ChargeRecord, EventSink};
+use crate::counters::{CATEGORIES, NUM_CATEGORIES};
+use epic_trace::{LocalHisto, Registry};
+use std::sync::{Arc, Mutex};
+
+/// Aggregated charge statistics from one simulation run: per-category
+/// distributions of charge sizes plus the total charge count. Purely a
+/// function of the (deterministic) simulation, so identical runs
+/// produce identical stats.
+#[derive(Default)]
+pub struct ChargeStats {
+    /// One histogram of charge sizes per Fig. 5 category.
+    pub by_cat: Vec<LocalHisto>,
+    /// Total number of nonzero charges observed.
+    pub charges: u64,
+}
+
+impl ChargeStats {
+    fn merge(&mut self, by_cat: &[LocalHisto], charges: u64) {
+        if self.by_cat.is_empty() {
+            self.by_cat = by_cat.to_vec();
+        } else {
+            for (acc, l) in self.by_cat.iter_mut().zip(by_cat) {
+                for (a, &b) in acc.buckets.iter_mut().zip(&l.buckets) {
+                    *a += b;
+                }
+                acc.count += l.count;
+                acc.sum = acc.sum.wrapping_add(l.sum);
+            }
+        }
+        self.charges += charges;
+    }
+
+    /// Publish into a registry as `sim.charge.<category>` histograms
+    /// plus a `sim.charges` counter.
+    pub fn flush_into(&self, reg: &Registry) {
+        reg.counter("sim.charges").add(self.charges);
+        for (cat, l) in CATEGORIES.iter().zip(&self.by_cat) {
+            if l.count > 0 {
+                reg.histogram(&format!("sim.charge.{}", cat.name()))
+                    .merge_local(l);
+            }
+        }
+    }
+}
+
+/// An [`EventSink`] that histograms charge sizes per category. Create
+/// with [`TraceSink::new`], hand the sink to
+/// [`run_with_sinks`](crate::machine::run_with_sinks), and read the
+/// shared [`ChargeStats`] after the run returns.
+pub struct TraceSink {
+    by_cat: Vec<LocalHisto>,
+    charges: u64,
+    out: Arc<Mutex<ChargeStats>>,
+}
+
+impl TraceSink {
+    /// A sink plus the handle its totals land in when the run finishes.
+    pub fn new() -> (TraceSink, Arc<Mutex<ChargeStats>>) {
+        let out = Arc::new(Mutex::new(ChargeStats::default()));
+        (
+            TraceSink {
+                by_cat: vec![LocalHisto::default(); NUM_CATEGORIES],
+                charges: 0,
+                out: Arc::clone(&out),
+            },
+            out,
+        )
+    }
+}
+
+impl EventSink for TraceSink {
+    fn on_charge(&mut self, rec: &ChargeRecord) {
+        self.by_cat[rec.cat.index()].record(rec.cycles);
+        self.charges += 1;
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        self.out
+            .lock()
+            .expect("charge stats")
+            .merge(&self.by_cat, self.charges);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrib::Location;
+    use crate::counters::Category;
+
+    #[test]
+    fn sink_accumulates_and_flushes_on_drop() {
+        let (mut sink, stats) = TraceSink::new();
+        for (cat, cycles) in [
+            (Category::Unstalled, 1),
+            (Category::Unstalled, 1),
+            (Category::IntLoadBubble, 9),
+        ] {
+            sink.on_charge(&ChargeRecord {
+                cycle: 0,
+                at: Location::default(),
+                cat,
+                cycles,
+            });
+        }
+        assert_eq!(stats.lock().unwrap().charges, 0, "flushes only on drop");
+        drop(sink);
+        let stats = stats.lock().unwrap();
+        assert_eq!(stats.charges, 3);
+        assert_eq!(stats.by_cat[Category::Unstalled.index()].count, 2);
+        assert_eq!(stats.by_cat[Category::IntLoadBubble.index()].sum, 9);
+
+        let reg = Registry::new();
+        stats.flush_into(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sim.charges"), 3);
+        let h = snap.histogram("sim.charge.unstalled").unwrap();
+        assert_eq!(h.count, 2);
+        assert!(
+            snap.histogram("sim.charge.kernel").is_none(),
+            "empty categories stay out"
+        );
+    }
+}

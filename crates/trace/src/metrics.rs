@@ -1,0 +1,540 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket log2
+//! histograms behind cheap `Arc`-backed handles.
+//!
+//! A [`Registry`] is lock-striped: the name → metric map is split over a
+//! fixed number of stripes keyed by a hash of the name, so handle
+//! registration from many threads rarely contends, and recording through
+//! a handle never touches a lock at all (one atomic op). Handles from a
+//! [`Registry::disabled`] registry are detached no-ops, which is the
+//! stay-on-by-default fast path: call sites always record, and a
+//! disabled registry makes every record a branch on a `None`.
+//!
+//! Histograms use log2 buckets: bucket 0 holds the value 0 and bucket
+//! `i` (1..=64) holds values whose bit length is `i`, i.e. the range
+//! `[2^(i-1), 2^i - 1]`. That trades precision for a fixed 65-slot
+//! footprint and makes quantile queries a cumulative scan.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: one for zero plus one per bit length.
+pub const HISTO_BUCKETS: usize = 65;
+
+const STRIPES: usize = 16;
+
+fn stripe_of(name: &str) -> usize {
+    // FNV-1a over the name; only the stripe index matters.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h as usize) % STRIPES
+}
+
+/// Bucket index for a recorded value (0 for 0, else bit length).
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+struct HistoInner {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistoInner {
+    fn default() -> HistoInner {
+        HistoInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistoInner>),
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that records nowhere (what disabled registries return).
+    pub fn detached() -> Counter {
+        Counter(None)
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for detached handles).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge handle.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A handle that records nowhere.
+    pub fn detached() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for detached handles).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// A log2-bucket histogram handle.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistoInner>>);
+
+impl Histogram {
+    /// A handle that records nowhere.
+    pub fn detached() -> Histogram {
+        Histogram(None)
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Merge a locally accumulated histogram in one pass (the hot-loop
+    /// pattern: accumulate into a [`LocalHisto`] without atomics, flush
+    /// once).
+    pub fn merge_local(&self, l: &LocalHisto) {
+        if let Some(h) = &self.0 {
+            for (i, &n) in l.buckets.iter().enumerate() {
+                if n > 0 {
+                    h.buckets[i].fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            h.count.fetch_add(l.count, Ordering::Relaxed);
+            h.sum.fetch_add(l.sum, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A plain (non-atomic) histogram for single-threaded hot loops; flush
+/// into a registry [`Histogram`] with [`Histogram::merge_local`].
+#[derive(Clone)]
+pub struct LocalHisto {
+    /// Per-bucket counts (see [`bucket_of`]).
+    pub buckets: [u64; HISTO_BUCKETS],
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+}
+
+impl Default for LocalHisto {
+    fn default() -> LocalHisto {
+        LocalHisto {
+            buckets: [0; HISTO_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl LocalHisto {
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Snapshot in the same shape a registry histogram produces.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (i as u8, n))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time value of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Sparse nonzero buckets as `(bucket index, count)`, ascending.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Approximate quantile `q` in `[0, 1]`: the inclusive upper bound
+    /// of the first bucket at which the cumulative count reaches
+    /// `ceil(q * count)`. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for &(i, n) in &self.buckets {
+            cum += n;
+            if cum >= target {
+                return Some(bucket_upper(i as usize));
+            }
+        }
+        self.buckets.last().map(|&(i, _)| bucket_upper(i as usize))
+    }
+
+    /// Mean of recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// Point-in-time value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A deterministic (name-sorted) snapshot of a whole registry.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Entries sorted by name.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Entry by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    /// Counter value by name (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// A lock-striped name → metric registry. See the module docs.
+pub struct Registry {
+    stripes: Option<Vec<Mutex<HashMap<String, Metric>>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An active registry.
+    pub fn new() -> Registry {
+        Registry {
+            stripes: Some((0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect()),
+        }
+    }
+
+    /// A registry whose handles are all detached no-ops.
+    pub fn disabled() -> Registry {
+        Registry { stripes: None }
+    }
+
+    /// True when handles actually record.
+    pub fn is_enabled(&self) -> bool {
+        self.stripes.is_some()
+    }
+
+    fn with_stripe<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut HashMap<String, Metric>) -> R,
+    ) -> Option<R> {
+        let stripes = self.stripes.as_ref()?;
+        let mut map = stripes[stripe_of(name)].lock().expect("metrics stripe");
+        Some(f(&mut map))
+    }
+
+    /// Counter handle for `name`, registering it on first use. If the
+    /// name is already registered as a different kind, a detached handle
+    /// is returned (the registration wins, the caller's writes vanish).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.with_stripe(name, |map| {
+            match map
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+            {
+                Metric::Counter(c) => Counter(Some(Arc::clone(c))),
+                _ => Counter::detached(),
+            }
+        })
+        .unwrap_or_default()
+    }
+
+    /// Gauge handle for `name` (same registration rules as
+    /// [`counter`](Registry::counter)).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.with_stripe(name, |map| {
+            match map
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Gauge(Arc::new(AtomicI64::new(0))))
+            {
+                Metric::Gauge(g) => Gauge(Some(Arc::clone(g))),
+                _ => Gauge::detached(),
+            }
+        })
+        .unwrap_or_default()
+    }
+
+    /// Histogram handle for `name` (same registration rules as
+    /// [`counter`](Registry::counter)).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.with_stripe(name, |map| {
+            match map
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Histogram(Arc::new(HistoInner::default())))
+            {
+                Metric::Histogram(h) => Histogram(Some(Arc::clone(h))),
+                _ => Histogram::detached(),
+            }
+        })
+        .unwrap_or_default()
+    }
+
+    /// Deterministic snapshot: every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries = Vec::new();
+        if let Some(stripes) = &self.stripes {
+            for stripe in stripes {
+                let map = stripe.lock().expect("metrics stripe");
+                for (name, m) in map.iter() {
+                    let value = match m {
+                        Metric::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
+                        Metric::Histogram(h) => MetricValue::Histogram(HistogramSnapshot {
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: h.sum.load(Ordering::Relaxed),
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(i, b)| {
+                                    let n = b.load(Ordering::Relaxed);
+                                    (n > 0).then_some((i as u8, n))
+                                })
+                                .collect(),
+                        }),
+                    };
+                    entries.push(MetricEntry {
+                        name: name.clone(),
+                        value,
+                    });
+                }
+            }
+        }
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { entries }
+    }
+}
+
+/// The process-wide registry (always enabled): long-lived services —
+/// the `epicd` scheduler, the driver's latency histograms — record
+/// here; the `metrics` protocol verb snapshots it.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..64 {
+            // the upper bound of bucket i is the largest value that maps
+            // to bucket i, and one more maps to bucket i+1
+            let ub = bucket_upper(i);
+            assert_eq!(bucket_of(ub), i, "upper bound of bucket {i}");
+            assert_eq!(bucket_of(ub + 1), i + 1, "first value past bucket {i}");
+        }
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_from_known_distribution() {
+        let reg = Registry::new();
+        let h = reg.histogram("t.lat");
+        // 90 values of 1 (bucket 1), 9 of 100 (bucket 7), 1 of 5000
+        // (bucket 13)
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..9 {
+            h.record(100);
+        }
+        h.record(5000);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("t.lat").unwrap();
+        assert_eq!(hs.count, 100);
+        assert_eq!(hs.sum, 90 + 900 + 5000);
+        assert_eq!(hs.buckets, vec![(1, 90), (7, 9), (13, 1)]);
+        assert_eq!(hs.quantile(0.5), Some(bucket_upper(1)));
+        assert_eq!(hs.quantile(0.95), Some(bucket_upper(7)));
+        assert_eq!(hs.quantile(0.999), Some(bucket_upper(13)));
+        assert_eq!(hs.quantile(1.0), Some(bucket_upper(13)));
+        assert!((hs.mean().unwrap() - 59.9).abs() < 1e-9);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn local_histo_merges_into_registry() {
+        let reg = Registry::new();
+        let h = reg.histogram("t.local");
+        let mut l = LocalHisto::default();
+        for v in [0, 1, 3, 900] {
+            l.record(v);
+        }
+        h.merge_local(&l);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("t.local").unwrap();
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.sum, 904);
+        assert_eq!(hs.buckets, vec![(0, 1), (1, 1), (2, 1), (10, 1)]);
+        assert_eq!(l.snapshot(), *hs);
+    }
+
+    #[test]
+    fn disabled_registry_hands_out_noop_handles() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("x");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        reg.gauge("g").set(5);
+        reg.histogram("h").record(9);
+        assert!(reg.snapshot().entries.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_kind_conflicts_detach() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.gauge("a").set(-3);
+        reg.counter("c").add(7);
+        // same name, different kind: the second handle is detached
+        let g = reg.gauge("b");
+        g.set(99);
+        assert_eq!(g.get(), 0);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(snap.get("a"), Some(&MetricValue::Gauge(-3)));
+        assert_eq!(snap.counter("b"), 1);
+        assert_eq!(snap.counter("c"), 7);
+    }
+
+    #[test]
+    fn handles_are_shared_across_lookups_and_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("shared");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c2 = reg.counter("shared");
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c2.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(reg.snapshot().counter("shared"), 8000);
+    }
+}

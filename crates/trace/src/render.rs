@@ -1,0 +1,137 @@
+//! Deterministic text rendering of metrics snapshots and span trees —
+//! the backend of `epicc top`.
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::span::SpanNode;
+
+/// Render a metrics snapshot as a fixed-width table. Deterministic for
+/// a given snapshot: same input, same bytes (that property is what lets
+/// `epicc top` be golden-tested).
+pub fn render_top(snap: &MetricsSnapshot) -> String {
+    let mut rows: Vec<[String; 3]> = Vec::new();
+    for e in &snap.entries {
+        let (kind, value) = match &e.value {
+            MetricValue::Counter(v) => ("counter", v.to_string()),
+            MetricValue::Gauge(v) => ("gauge", v.to_string()),
+            MetricValue::Histogram(h) => {
+                let p50 = h.quantile(0.5).map_or("-".to_string(), fmt_bound);
+                let p99 = h.quantile(0.99).map_or("-".to_string(), fmt_bound);
+                (
+                    "histogram",
+                    format!("n={} p50<={} p99<={}", h.count, p50, p99),
+                )
+            }
+        };
+        rows.push([e.name.clone(), kind.to_string(), value]);
+    }
+    let mut w = [4usize, 4, 5]; // header widths: NAME KIND VALUE
+    for r in &rows {
+        for (i, cell) in r.iter().enumerate() {
+            w[i] = w[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<nw$}  {:<kw$}  {}\n",
+        "NAME",
+        "KIND",
+        "VALUE",
+        nw = w[0],
+        kw = w[1]
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<nw$}  {:<kw$}  {}\n",
+            r[0],
+            r[1],
+            r[2],
+            nw = w[0],
+            kw = w[1]
+        ));
+    }
+    if rows.is_empty() {
+        out.push_str("(no metrics)\n");
+    }
+    out
+}
+
+fn fmt_bound(b: u64) -> String {
+    if b == u64::MAX {
+        "max".to_string()
+    } else {
+        b.to_string()
+    }
+}
+
+/// Render one span tree as an indented outline with microsecond
+/// durations, e.g. `compile 1234us` / `  pass:schedule 456us`.
+pub fn render_span_tree(root: &SpanNode) -> String {
+    let mut out = String::new();
+    root.walk(&mut |n, depth| {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&format!("{} {}us\n", n.name, n.dur_ns / 1_000));
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSnapshot, MetricEntry};
+
+    fn fixed_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: vec![
+                MetricEntry {
+                    name: "serve.cache_hits".to_string(),
+                    value: MetricValue::Counter(42),
+                },
+                MetricEntry {
+                    name: "serve.queue_depth".to_string(),
+                    value: MetricValue::Gauge(3),
+                },
+                MetricEntry {
+                    name: "serve.run_us".to_string(),
+                    value: MetricValue::Histogram(HistogramSnapshot {
+                        count: 10,
+                        sum: 1000,
+                        buckets: vec![(7, 9), (10, 1)],
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn top_table_is_deterministic_and_aligned() {
+        let snap = fixed_snapshot();
+        let a = render_top(&snap);
+        assert_eq!(a, render_top(&snap));
+        // name column pads to "serve.queue_depth" (17), kind to
+        // "histogram" (9)
+        let expected = "\
+NAME               KIND       VALUE
+serve.cache_hits   counter    42
+serve.queue_depth  gauge      3
+serve.run_us       histogram  n=10 p50<=127 p99<=1023
+";
+        assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let s = render_top(&MetricsSnapshot::default());
+        assert!(s.contains("(no metrics)"));
+    }
+
+    #[test]
+    fn span_tree_outline_indents_by_depth() {
+        let mut root = SpanNode::leaf("compile", 0, 5_000_000);
+        root.children
+            .push(SpanNode::leaf("pass:inline", 0, 2_000_000));
+        let s = render_span_tree(&root);
+        assert_eq!(s, "compile 5000us\n  pass:inline 2000us\n");
+    }
+}

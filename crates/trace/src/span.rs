@@ -1,0 +1,499 @@
+//! Hierarchical spans: thread-local enter/exit guards, monotonic
+//! timing, a bounded ring of completed spans per thread, and stitching
+//! of those rings into a per-measurement span tree.
+//!
+//! A [`Trace`] is a cheap clonable handle; [`Trace::disabled`] costs
+//! one `Option` check per span operation so instrumentation can stay in
+//! place unconditionally. Guards always time (callers like the pass
+//! pipeline need wall durations even when tracing is off); only the
+//! *recording* of the completed span is gated.
+//!
+//! Parenting uses a thread-local stack of `(trace identity, span id)`
+//! pairs, so nested guards on one thread link up without any shared
+//! state. Span ids are allocated from a per-trace atomic, which gives
+//! the invariant `parent id < child id` (a parent is entered before any
+//! of its children) that [`Trace::finish`] relies on when stitching
+//! records into trees. Work that crosses threads (the serve scheduler's
+//! queue-wait → run → store chain) can't use guards; it records a
+//! pre-built [`SpanNode`] via [`Trace::record_manual`] instead.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::metrics::{MetricsSnapshot, Registry};
+
+/// Per-thread cap on retained completed spans. Oldest records are
+/// dropped (and counted) beyond this; 4096 covers every tree we build
+/// today by two orders of magnitude.
+const RING_CAP: usize = 4096;
+
+/// Cap on manually recorded cross-thread spans per trace.
+const MANUAL_CAP: usize = 4096;
+
+thread_local! {
+    // (trace identity, span id) for every live guard on this thread.
+    static SPAN_STACK: RefCell<Vec<(usize, u32)>> = const { RefCell::new(Vec::new()) };
+    static THREAD_KEY: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// A completed span as recorded into a thread's ring.
+#[derive(Clone, Debug)]
+struct SpanRec {
+    id: u32,
+    parent: Option<u32>,
+    name: String,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+struct Shared {
+    t0: Instant,
+    next_id: AtomicU32,
+    // striped by thread key; each stripe is one thread's bounded ring
+    stripes: Vec<Mutex<Vec<SpanRec>>>,
+    dropped: AtomicU64,
+    manual: Mutex<Vec<SpanNode>>,
+    metrics: Registry,
+}
+
+/// A handle to one measurement's trace. Clone freely; all clones feed
+/// the same span rings and metrics registry.
+#[derive(Clone)]
+pub struct Trace(Option<Arc<Shared>>);
+
+static DISABLED_METRICS: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+
+impl Trace {
+    /// An active trace with its own metrics registry.
+    pub fn enabled() -> Trace {
+        Trace(Some(Arc::new(Shared {
+            t0: Instant::now(),
+            next_id: AtomicU32::new(1),
+            stripes: (0..16).map(|_| Mutex::new(Vec::new())).collect(),
+            dropped: AtomicU64::new(0),
+            manual: Mutex::new(Vec::new()),
+            metrics: Registry::new(),
+        })))
+    }
+
+    /// The no-op fast path: spans still time, nothing is retained.
+    pub fn disabled() -> Trace {
+        Trace(None)
+    }
+
+    /// True when spans and metrics are being retained.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// This trace's metrics registry (a shared disabled registry when
+    /// the trace is off, so handle lookups stay valid no-ops).
+    pub fn metrics(&self) -> &Registry {
+        match &self.0 {
+            Some(s) => &s.metrics,
+            None => DISABLED_METRICS.get_or_init(Registry::disabled),
+        }
+    }
+
+    /// Enter a span. The guard records on drop (or [`SpanGuard::finish`]).
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_pair(name, "")
+    }
+
+    /// Enter a span named `prefix` + `suffix`, allocating the joined
+    /// name only when the trace is enabled (hot paths pass a dynamic
+    /// suffix like a pass name without paying for it when disabled).
+    pub fn span_pair(&self, prefix: &'static str, suffix: &str) -> SpanGuard {
+        let start = Instant::now();
+        match &self.0 {
+            None => SpanGuard {
+                shared: None,
+                name: String::new(),
+                start,
+                start_ns: 0,
+                id: 0,
+                parent: None,
+            },
+            Some(shared) => {
+                let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+                let identity = Arc::as_ptr(shared) as usize;
+                let parent = SPAN_STACK.with(|st| {
+                    let mut st = st.borrow_mut();
+                    let parent = st
+                        .iter()
+                        .rev()
+                        .find(|(tid, _)| *tid == identity)
+                        .map(|&(_, sid)| sid);
+                    st.push((identity, id));
+                    parent
+                });
+                let mut name = String::with_capacity(prefix.len() + suffix.len());
+                name.push_str(prefix);
+                name.push_str(suffix);
+                SpanGuard {
+                    shared: Some(Arc::clone(shared)),
+                    name,
+                    start,
+                    start_ns: duration_ns(start.saturating_duration_since(shared.t0)),
+                    id,
+                    parent,
+                }
+            }
+        }
+    }
+
+    /// Nanoseconds of `at` relative to this trace's origin (0 when
+    /// disabled). For building manual [`SpanNode`]s.
+    pub fn rel_ns(&self, at: Instant) -> u64 {
+        match &self.0 {
+            Some(s) => duration_ns(at.saturating_duration_since(s.t0)),
+            None => 0,
+        }
+    }
+
+    /// Record a pre-built span tree (for work that crosses threads and
+    /// can't use stack-based guards). Bounded; overflow is counted as
+    /// dropped.
+    pub fn record_manual(&self, node: SpanNode) {
+        if let Some(s) = &self.0 {
+            let mut manual = s.manual.lock().expect("manual spans");
+            if manual.len() < MANUAL_CAP {
+                manual.push(node);
+            } else {
+                s.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Stitch all recorded spans into trees and snapshot the metrics.
+    /// `None` when disabled. The trace stays usable afterwards (later
+    /// snapshots include everything again).
+    pub fn finish(&self) -> Option<TraceSnapshot> {
+        let s = self.0.as_ref()?;
+        let mut recs: Vec<Vec<SpanRec>> = Vec::new();
+        for stripe in &s.stripes {
+            let ring = stripe.lock().expect("span ring");
+            if !ring.is_empty() {
+                recs.push(ring.clone());
+            }
+        }
+        let mut spans = Vec::new();
+        for thread_recs in recs {
+            spans.extend(stitch_thread(thread_recs));
+        }
+        spans.extend(s.manual.lock().expect("manual spans").iter().cloned());
+        spans.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(a.name.cmp(&b.name)));
+        Some(TraceSnapshot {
+            spans,
+            metrics: s.metrics.snapshot(),
+            dropped: s.dropped.load(Ordering::Relaxed),
+        })
+    }
+
+    fn record(&self, rec: SpanRec, thread_key: u64) {
+        if let Some(s) = &self.0 {
+            let stripe = &s.stripes[(thread_key as usize) % s.stripes.len()];
+            let mut ring = stripe.lock().expect("span ring");
+            if ring.len() >= RING_CAP {
+                ring.remove(0);
+                s.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            ring.push(rec);
+        }
+    }
+}
+
+/// RAII guard for one span. Always times; records only when the owning
+/// trace is enabled.
+pub struct SpanGuard {
+    shared: Option<Arc<Shared>>,
+    name: String,
+    start: Instant,
+    start_ns: u64,
+    id: u32,
+    parent: Option<u32>,
+}
+
+impl SpanGuard {
+    /// Close the span and return its wall duration (measured whether or
+    /// not the trace records anything).
+    pub fn finish(mut self) -> Duration {
+        let dur = self.start.elapsed();
+        self.close(dur);
+        dur
+    }
+
+    fn close(&mut self, dur: Duration) {
+        if let Some(shared) = self.shared.take() {
+            let identity = Arc::as_ptr(&shared) as usize;
+            SPAN_STACK.with(|st| {
+                let mut st = st.borrow_mut();
+                if let Some(pos) = st.iter().rposition(|&e| e == (identity, self.id)) {
+                    st.remove(pos);
+                }
+            });
+            let rec = SpanRec {
+                id: self.id,
+                parent: self.parent,
+                name: std::mem::take(&mut self.name),
+                start_ns: self.start_ns,
+                dur_ns: duration_ns(dur),
+            };
+            Trace(Some(shared)).record(rec, THREAD_KEY.with(|k| *k));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.shared.is_some() {
+            let dur = self.start.elapsed();
+            self.close(dur);
+        }
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One node of a finished span tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (e.g. `compile`, `pass:schedule`, `queue-wait`).
+    pub name: String,
+    /// Start offset from the trace origin, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Child spans, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A leaf node.
+    pub fn leaf(name: &str, start_ns: u64, dur_ns: u64) -> SpanNode {
+        SpanNode {
+            name: name.to_string(),
+            start_ns,
+            dur_ns,
+            children: Vec::new(),
+        }
+    }
+
+    /// End offset (`start_ns + dur_ns`, saturating).
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+
+    /// Walk this subtree depth-first, pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&SpanNode, usize)) {
+        self.walk_at(0, f);
+    }
+
+    fn walk_at(&self, depth: usize, f: &mut impl FnMut(&SpanNode, usize)) {
+        f(self, depth);
+        for c in &self.children {
+            c.walk_at(depth + 1, f);
+        }
+    }
+}
+
+/// A finished trace: stitched span trees plus a metrics snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    /// Root spans, ordered by start time.
+    pub spans: Vec<SpanNode>,
+    /// The trace's metrics at finish time.
+    pub metrics: MetricsSnapshot,
+    /// Spans lost to ring/manual capacity limits.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Root span by name.
+    pub fn root(&self, name: &str) -> Option<&SpanNode> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The structure of the trace with timing masked: depth-first
+    /// `(depth, name)` pairs. Two identical runs must produce equal
+    /// skeletons even though their timings differ.
+    pub fn span_skeleton(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for root in &self.spans {
+            root.walk(&mut |n, d| out.push((d, n.name.clone())));
+        }
+        out
+    }
+}
+
+/// Stitch one thread's records (ascending id ⇒ parents precede
+/// children) into trees. Records whose parent was dropped from the ring
+/// become roots.
+fn stitch_thread(mut recs: Vec<SpanRec>) -> Vec<SpanNode> {
+    recs.sort_by_key(|r| r.id);
+    // arena of nodes paralleling recs; children indices per slot
+    let mut kids: Vec<Vec<usize>> = vec![Vec::new(); recs.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    let idx_of = |recs: &[SpanRec], id: u32| recs.binary_search_by_key(&id, |r| r.id).ok();
+    for i in 0..recs.len() {
+        match recs[i].parent.and_then(|p| idx_of(&recs, p)) {
+            Some(p) => kids[p].push(i),
+            None => roots.push(i),
+        }
+    }
+    fn build(i: usize, recs: &[SpanRec], kids: &[Vec<usize>]) -> SpanNode {
+        let mut children: Vec<SpanNode> = kids[i].iter().map(|&c| build(c, recs, kids)).collect();
+        children.sort_by_key(|c| c.start_ns);
+        SpanNode {
+            name: recs[i].name.clone(),
+            start_ns: recs[i].start_ns,
+            dur_ns: recs[i].dur_ns,
+            children,
+        }
+    }
+    let mut out: Vec<SpanNode> = roots.iter().map(|&r| build(r, &recs, &kids)).collect();
+    out.sort_by_key(|n| n.start_ns);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_guards_stitch_into_one_tree() {
+        let t = Trace::enabled();
+        {
+            let outer = t.span("compile");
+            {
+                let _p1 = t.span_pair("pass:", "profile");
+            }
+            {
+                let _p2 = t.span_pair("pass:", "schedule");
+            }
+            outer.finish();
+        }
+        let snap = t.finish().unwrap();
+        assert_eq!(snap.spans.len(), 1);
+        let root = snap.root("compile").unwrap();
+        let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["pass:profile", "pass:schedule"]);
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(
+            snap.span_skeleton(),
+            vec![
+                (0, "compile".to_string()),
+                (1, "pass:profile".to_string()),
+                (1, "pass:schedule".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parent_interval_covers_children() {
+        let t = Trace::enabled();
+        {
+            let outer = t.span("outer");
+            std::thread::sleep(Duration::from_millis(1));
+            {
+                let _inner = t.span("inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            outer.finish();
+        }
+        let snap = t.finish().unwrap();
+        let root = snap.root("outer").unwrap();
+        let inner = &root.children[0];
+        assert!(root.start_ns <= inner.start_ns);
+        assert!(inner.end_ns() <= root.end_ns());
+        assert!(root.dur_ns >= inner.dur_ns);
+    }
+
+    #[test]
+    fn disabled_trace_times_but_retains_nothing() {
+        let t = Trace::disabled();
+        let g = t.span("anything");
+        std::thread::sleep(Duration::from_millis(1));
+        let dur = g.finish();
+        assert!(dur >= Duration::from_millis(1));
+        assert!(t.finish().is_none());
+        assert!(!t.metrics().is_enabled());
+        // no stack residue on this thread
+        SPAN_STACK.with(|st| assert!(st.borrow().is_empty()));
+    }
+
+    #[test]
+    fn spans_from_multiple_threads_become_separate_roots() {
+        let t = Trace::enabled();
+        let root = t.span("main");
+        std::thread::scope(|s| {
+            for i in 0..3 {
+                let t2 = t.clone();
+                s.spawn(move || {
+                    let _g = t2.span_pair("worker:", &i.to_string());
+                });
+            }
+        });
+        root.finish();
+        let snap = t.finish().unwrap();
+        // main is one root; each worker span parented nothing on its own
+        // thread, so it is a root too
+        assert_eq!(snap.spans.len(), 4);
+        assert!(snap.root("main").unwrap().children.is_empty());
+        for i in 0..3 {
+            assert!(snap.root(&format!("worker:{i}")).is_some());
+        }
+    }
+
+    #[test]
+    fn manual_spans_join_the_snapshot() {
+        let t = Trace::enabled();
+        let mut serve = SpanNode::leaf("serve", 10, 500);
+        serve.children.push(SpanNode::leaf("queue-wait", 10, 100));
+        serve.children.push(SpanNode::leaf("run", 110, 350));
+        t.record_manual(serve);
+        let snap = t.finish().unwrap();
+        let root = snap.root("serve").unwrap();
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "queue-wait");
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let t = Trace::enabled();
+        let root = t.span("root");
+        for i in 0..(RING_CAP + 10) {
+            let _g = t.span_pair("s:", &(i % 7).to_string());
+        }
+        root.finish();
+        let snap = t.finish().unwrap();
+        assert_eq!(snap.dropped, 11); // RING_CAP+10 children + 1 root - RING_CAP
+        let total: usize = snap.span_skeleton().len();
+        assert_eq!(total, RING_CAP);
+    }
+
+    #[test]
+    fn interleaved_traces_on_one_thread_do_not_cross_parent() {
+        let ta = Trace::enabled();
+        let tb = Trace::enabled();
+        let ga = ta.span("a-root");
+        {
+            // b's span must not pick a's live guard as its parent
+            let _gb = tb.span("b-only");
+        }
+        ga.finish();
+        let a = ta.finish().unwrap();
+        let b = tb.finish().unwrap();
+        assert_eq!(a.spans.len(), 1);
+        assert!(a.root("a-root").unwrap().children.is_empty());
+        assert_eq!(b.spans.len(), 1);
+        assert!(b.root("b-only").is_some());
+    }
+}

@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --release --example crafty_peeling`
 
+#![allow(deprecated)] // exercises the legacy `measure` shim until it is removed
+
 use epic_core::{ifconv, peel, IlpOptions};
 use epic_driver::{measure, CompileOptions, OptLevel};
 use epic_sim::SimOptions;

@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release --example wild_loads`
 
+#![allow(deprecated)] // exercises the legacy `measure` shim until it is removed
+
 use epic_core::{speculate, IlpOptions};
 use epic_driver::{measure, CompileOptions, OptLevel};
 use epic_sim::{SimOptions, SpecModel};

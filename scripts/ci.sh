@@ -80,8 +80,30 @@ grep -qx 'stat sims 48' "$smoke_dir/stats.txt"
 grep -qx 'stat sched_jobs_run 48' "$smoke_dir/stats.txt"
 grep -qx 'stat sched_cache_hits 48' "$smoke_dir/stats.txt"
 
+cargo run --release -q --bin epicc -- top --addr "$addr" > "$smoke_dir/top.txt"
+grep -q '^serve\.jobs_run ' "$smoke_dir/top.txt"
+
 cargo run --release -q --bin epicc -- shutdown --addr "$addr"
 wait "$epicd_pid"
 epicd_pid=
+
+# Trace smoke: one matrix cell with tracing on. Required:
+#   (1) the traced run's `cell` lines are byte-identical to an untraced
+#       run (tracing never perturbs what it observes),
+#   (2) the in-binary validation passes — every cell's span tree
+#       round-trips through JSON, carries `compile` and `sim` roots, and
+#       its root durations sum-check against the cell's wall time —
+#       reported as a final `trace-ok cells=1` line,
+#   (3) with tracing off, the output carries no trace artifacts at all.
+echo "==> trace smoke (epicc matrix --trace, one cell)"
+cargo run --release -q --bin epicc -- matrix --no-cache --workload mcf_mc --level gcc \
+    > "$smoke_dir/untraced.txt"
+cargo run --release -q --bin epicc -- matrix --no-cache --workload mcf_mc --level gcc --trace \
+    > "$smoke_dir/traced.txt"
+grep '^cell ' "$smoke_dir/untraced.txt" > "$smoke_dir/untraced_cells.txt"
+grep '^cell ' "$smoke_dir/traced.txt" > "$smoke_dir/traced_cells.txt"
+cmp "$smoke_dir/untraced_cells.txt" "$smoke_dir/traced_cells.txt"
+grep -qx 'trace-ok cells=1' "$smoke_dir/traced.txt"
+! grep -q 'trace' "$smoke_dir/untraced.txt"
 
 echo "CI OK"

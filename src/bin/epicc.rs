@@ -136,6 +136,7 @@ fn main() -> ExitCode {
             Some("submit") => return submit_cmd(&argv[1..]),
             Some("matrix") => return matrix_cmd(&argv[1..]),
             Some("stats") => return stats_cmd(&argv[1..]),
+            Some("top") => return top_cmd(&argv[1..]),
             Some("shutdown") => return shutdown_cmd(&argv[1..]),
             _ => {}
         }
@@ -526,9 +527,14 @@ fn submit_cmd(args: &[String]) -> ExitCode {
 
 /// `epicc matrix`: the same sweep measured directly in-process (through
 /// the artifact cache unless `--no-cache`), printing the same `cell`
-/// lines as `submit`.
+/// lines as `submit`. `--workload <name>` restricts the sweep;
+/// `--trace` attaches a span tree + metrics to every cell and
+/// self-validates the trees (round-trip through JSON, expected roots,
+/// durations sum-checked against cell wall time) before printing a
+/// final `trace-ok cells=N` line. The cell lines themselves are
+/// byte-identical with and without `--trace`.
 fn matrix_cmd(args: &[String]) -> ExitCode {
-    let kv = match parse_kv(args, &["--no-cache"]) {
+    let kv = match parse_kv(args, &["--no-cache", "--trace"]) {
         Ok(kv) => kv,
         Err(e) => return fail(e),
     };
@@ -536,27 +542,39 @@ fn matrix_cmd(args: &[String]) -> ExitCode {
         Ok(l) => l,
         Err(e) => return fail(e),
     };
-    let workloads = epic_workloads::all();
+    let workloads = match kv.get("--workload").map_or("all", String::as_str) {
+        "all" => epic_workloads::all(),
+        name => match epic_workloads::by_name(name) {
+            Some(w) => vec![w],
+            None => return fail(format!("unknown workload `{name}`")),
+        },
+    };
     let store = match (kv.contains_key("--no-cache"), kv.get("--cache-dir")) {
         (true, _) | (false, None) => None,
         (false, Some(dir)) => Some(epic_serve::ArtifactStore::persistent(dir)),
     };
     let sopts = SimOptions::default();
-    let rows = match epic_driver::measure_matrix_cached(
-        &workloads,
-        &levels,
-        &CompileOptions::for_level,
-        &sopts,
-        0,
-        store
-            .as_ref()
-            .map(|s| s as &dyn epic_driver::MeasurementCache),
-    ) {
+    let trace = if kv.contains_key("--trace") {
+        epic_driver::TracePolicy::Enabled
+    } else {
+        epic_driver::TracePolicy::Disabled
+    };
+    let report = match epic_driver::MeasureRequest::new(&workloads)
+        .levels(&levels)
+        .compile_options(&CompileOptions::for_level)
+        .sim_options(sopts)
+        .cache(match &store {
+            Some(s) => epic_driver::CachePolicy::Store(s),
+            None => epic_driver::CachePolicy::Disabled,
+        })
+        .trace(trace)
+        .run()
+    {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
     let (mut hits, mut misses) = (0u64, 0u64);
-    for (w, row) in workloads.iter().zip(&rows) {
+    for (w, row) in workloads.iter().zip(&report.cells) {
         for (level, cell) in levels.iter().zip(row) {
             if cell.cache_hit {
                 hits += 1;
@@ -567,6 +585,72 @@ fn matrix_cmd(args: &[String]) -> ExitCode {
         }
     }
     println!("# hits={hits} misses={misses}");
+    if trace == epic_driver::TracePolicy::Enabled {
+        let mut checked = 0usize;
+        for (w, row) in workloads.iter().zip(&report.cells) {
+            for (level, cell) in levels.iter().zip(row) {
+                if let Err(e) = validate_cell_trace(cell) {
+                    return fail(format!("{} {}: {e}", w.name, level.name()));
+                }
+                checked += 1;
+            }
+        }
+        println!("trace-ok cells={checked}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Well-formedness check for one traced cell: the span tree must
+/// survive a JSON round-trip, carry the expected roots (`compile` and
+/// `sim` for a fresh cell, `cache-lookup` for a hit), and its root
+/// durations must sum to the cell's wall time within 5%.
+fn validate_cell_trace(cell: &epic_driver::MeasuredCell) -> Result<(), String> {
+    let snap = cell.trace.as_ref().ok_or("traced cell carries no trace")?;
+    let j = epic_bench::json::trace_to_json(snap);
+    let parsed = epic_bench::json::Json::parse(&j.render())
+        .map_err(|e| format!("trace JSON does not re-parse: {e}"))?;
+    let back = epic_bench::json::trace_from_json(&parsed)
+        .map_err(|e| format!("trace JSON does not decode: {e}"))?;
+    if epic_bench::json::trace_to_json(&back).render() != j.render() {
+        return Err("trace JSON round-trip is lossy".to_string());
+    }
+    if snap.dropped != 0 {
+        return Err(format!("{} spans dropped", snap.dropped));
+    }
+    if cell.cache_hit {
+        snap.root("cache-lookup")
+            .ok_or("cache hit without a cache-lookup span")?;
+        return Ok(());
+    }
+    snap.root("compile").ok_or("no compile root span")?;
+    snap.root("sim").ok_or("no sim root span")?;
+    let roots_ns: u64 = snap.spans.iter().map(|s| s.dur_ns).sum();
+    let wall_ns = cell.wall.as_nanos() as u64;
+    let tolerance = wall_ns / 20;
+    if roots_ns < wall_ns.saturating_sub(tolerance) || roots_ns > wall_ns + tolerance {
+        return Err(format!(
+            "root spans cover {roots_ns}ns of {wall_ns}ns wall (outside ±5%)"
+        ));
+    }
+    Ok(())
+}
+
+/// `epicc top`: fetch a server's metrics-registry snapshot over the
+/// `metrics` verb and render it as a fixed-width table (deterministic
+/// for a given snapshot: entries are name-sorted by the registry).
+fn top_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let Some(addr) = kv.get("--addr") else {
+        return fail("top needs --addr HOST:PORT");
+    };
+    let snap = match epic_serve::Client::connect(addr).and_then(|mut c| c.metrics()) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    print!("{}", epic_trace::render_top(&snap));
     ExitCode::SUCCESS
 }
 

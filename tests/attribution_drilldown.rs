@@ -5,6 +5,8 @@
 //! the gcc stand-in's kernel time concentrates in the function issuing
 //! wild speculative loads.
 
+#![allow(deprecated)] // exercises the legacy `measure` shim until it is removed
+
 use epic_driver::{measure, CompileOptions, OptLevel};
 use epic_sim::{SimOptions, CATEGORIES};
 

@@ -3,6 +3,8 @@
 //! preserve semantics on real workloads at every optimization level, and
 //! the measured counters must satisfy basic physical invariants.
 
+#![allow(deprecated)] // exercises the legacy `measure` shim until it is removed
+
 use epic_driver::{compile, measure, oracle, CompileOptions, OptLevel};
 use epic_sim::SimOptions;
 

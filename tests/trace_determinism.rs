@@ -1,0 +1,64 @@
+//! Tracing must never perturb what it observes: a traced run produces
+//! bit-identical measurements to an untraced one, and two identical
+//! traced runs produce identical span *structure* (timing masked) and
+//! identical per-cell metrics — the per-cell registry holds only
+//! deterministic simulation data, never wall-clock latencies.
+
+use epic_driver::{CompileOptions, MeasureRequest, OptLevel, TracePolicy};
+use epic_trace::MetricValue;
+
+fn traced_run() -> epic_driver::MeasureReport {
+    let workloads = vec![epic_workloads::by_name("mcf_mc").unwrap()];
+    MeasureRequest::new(&workloads)
+        .levels(&[OptLevel::Gcc, OptLevel::ONs])
+        .compile_options(&CompileOptions::for_level)
+        .trace(TracePolicy::Enabled)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn identical_traced_runs_have_identical_structure_and_metrics() {
+    let (a, b) = (traced_run(), traced_run());
+    for (row_a, row_b) in a.cells.iter().zip(&b.cells) {
+        for (ca, cb) in row_a.iter().zip(row_b) {
+            // measurements are bit-identical run to run
+            assert_eq!(ca.measurement.sim.cycles, cb.measurement.sim.cycles);
+            assert_eq!(ca.measurement.sim.checksum, cb.measurement.sim.checksum);
+            let (ta, tb) = (ca.trace.as_ref().unwrap(), cb.trace.as_ref().unwrap());
+            // span structure is identical once timing is masked
+            assert_eq!(ta.span_skeleton(), tb.span_skeleton());
+            assert_eq!(ta.dropped, 0);
+            assert_eq!(tb.dropped, 0);
+            // per-cell metrics carry only deterministic sim data, so the
+            // whole snapshot — names, kinds, and values — matches exactly
+            assert_eq!(ta.metrics, tb.metrics);
+            match ta.metrics.get("sim.charges") {
+                Some(MetricValue::Counter(n)) => assert!(*n > 0),
+                other => panic!("sim.charges missing: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn tracing_does_not_change_the_measurement() {
+    let workloads = vec![epic_workloads::by_name("mcf_mc").unwrap()];
+    let base = MeasureRequest::new(&workloads)
+        .levels(&[OptLevel::Gcc])
+        .compile_options(&CompileOptions::for_level)
+        .run()
+        .unwrap();
+    let traced = traced_run();
+    let (m0, m1) = (
+        &base.cells[0][0].measurement,
+        &traced.cells[0][0].measurement,
+    );
+    assert_eq!(m0.sim.cycles, m1.sim.cycles);
+    assert_eq!(m0.sim.checksum, m1.sim.checksum);
+    assert_eq!(m0.compiled.code_bytes, m1.compiled.code_bytes);
+    assert!(
+        base.cells[0][0].trace.is_none(),
+        "untraced cells carry no trace"
+    );
+}
