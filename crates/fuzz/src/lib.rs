@@ -23,6 +23,7 @@
 //! optional wall-clock budget can truncate it, never reorder it).
 
 pub mod corpus;
+pub mod framefuzz;
 pub mod mutate;
 pub mod oracle;
 pub mod shrink;

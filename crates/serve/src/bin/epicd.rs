@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! epicd [--listen ADDR] [--cache-dir DIR] [--workers N] [--queue-cap N]
+//!       [--max-conns N] [--idle-timeout-ms MS]
 //! ```
 //!
 //! Binds ADDR (default `127.0.0.1:0`), prints `epicd listening on <addr>`
 //! on stdout (scripts parse this line to find the ephemeral port), and
-//! serves until a client sends the `shutdown` verb.
+//! serves until a client sends the `shutdown` verb. Serving is one
+//! event-loop thread (plus the scheduler's workers); `--max-conns` and
+//! `--idle-timeout-ms` tune admission control.
 
-use epic_serve::{serve, ArtifactStore, Scheduler};
+use epic_serve::{serve_with, ArtifactStore, Scheduler, ServerConfig};
 use std::sync::Arc;
 
 struct Args {
@@ -16,14 +19,19 @@ struct Args {
     cache_dir: Option<std::path::PathBuf>,
     workers: usize,
     queue_cap: usize,
+    max_conns: usize,
+    idle_timeout_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let defaults = ServerConfig::default();
     let mut args = Args {
         listen: "127.0.0.1:0".to_string(),
         cache_dir: None,
         workers: 0,
         queue_cap: 256,
+        max_conns: defaults.max_conns,
+        idle_timeout_ms: defaults.idle_timeout.as_millis() as u64,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -41,9 +49,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--queue-cap: {e}"))?;
             }
+            "--max-conns" => {
+                args.max_conns = val("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--idle-timeout-ms" => {
+                args.idle_timeout_ms = val("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: epicd [--listen ADDR] [--cache-dir DIR] [--workers N] [--queue-cap N]"
+                    "usage: epicd [--listen ADDR] [--cache-dir DIR] [--workers N] [--queue-cap N] [--max-conns N] [--idle-timeout-ms MS]"
                 );
                 std::process::exit(0);
             }
@@ -70,7 +88,12 @@ fn main() {
         args.workers,
         args.queue_cap,
     ));
-    let mut handle = match serve(&args.listen, sched) {
+    let cfg = ServerConfig {
+        max_conns: args.max_conns,
+        idle_timeout: std::time::Duration::from_millis(args.idle_timeout_ms),
+        ..ServerConfig::default()
+    };
+    let mut handle = match serve_with(&args.listen, sched, cfg) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("epicd: bind {}: {e}", args.listen);

@@ -251,6 +251,159 @@ impl Client {
     }
 }
 
+/// A single-threaded multiplexing client: `n` nonblocking connections
+/// driven by one readiness sweep, mirroring the server's event loop from
+/// the other side. This is how one client thread keeps a thousand
+/// submits in flight at once (the wire protocol has no request IDs, so
+/// depth comes from connection count, not per-connection pipelining —
+/// though queued requests on one connection are still answered in
+/// order).
+///
+/// Script requests with [`enqueue`](Swarm::enqueue), then drive
+/// everything to completion with [`run`](Swarm::run). Responses come
+/// back raw (`Response`, including `Err`/`Busy`) so callers can count
+/// outcomes instead of aborting on the first rejection.
+pub struct Swarm {
+    conns: Vec<SwarmConn>,
+}
+
+struct SwarmConn {
+    stream: TcpStream,
+    decoder: proto::FrameDecoder,
+    /// Queued request frames (header+body), concatenated; written as
+    /// far as the socket allows each sweep.
+    out: Vec<u8>,
+    out_sent: usize,
+    expected: usize,
+    responses: Vec<Response>,
+}
+
+impl Swarm {
+    /// Open `n` connections to `addr`, all nonblocking.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(addr: &str, n: usize) -> Result<Swarm, ClientError> {
+        let mut conns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_nonblocking(true)?;
+            conns.push(SwarmConn {
+                stream,
+                decoder: proto::FrameDecoder::new(),
+                out: Vec::new(),
+                out_sent: 0,
+                expected: 0,
+                responses: Vec::new(),
+            });
+        }
+        Ok(Swarm { conns })
+    }
+
+    /// Number of connections.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True when the swarm has no connections.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// Script `req` onto connection `conn` (0-based). Nothing hits the
+    /// wire until [`run`](Swarm::run).
+    pub fn enqueue(&mut self, conn: usize, req: &Request) {
+        let c = &mut self.conns[conn];
+        let mut body = Vec::new();
+        proto::encode_request_into(req, &mut body);
+        c.out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        c.out.extend_from_slice(&body);
+        c.expected += 1;
+    }
+
+    /// Drive every connection until each has one response per scripted
+    /// request, or `timeout` elapses. Returns per-connection responses
+    /// in script order.
+    ///
+    /// # Errors
+    /// Timeout, transport failure, a server that closes with responses
+    /// outstanding, or a malformed response frame.
+    pub fn run(&mut self, timeout: Duration) -> Result<Vec<Vec<Response>>, ClientError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let mut progress = false;
+            let mut outstanding = 0usize;
+            for c in &mut self.conns {
+                progress |= c.pump()?;
+                outstanding += c.expected - c.responses.len();
+            }
+            if outstanding == 0 {
+                break;
+            }
+            if std::time::Instant::now() > deadline {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("swarm timed out with {outstanding} responses outstanding"),
+                )));
+            }
+            if !progress {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+        Ok(self
+            .conns
+            .iter_mut()
+            .map(|c| std::mem::take(&mut c.responses))
+            .collect())
+    }
+}
+
+impl SwarmConn {
+    /// One nonblocking sweep over this connection: flush what the
+    /// socket will take, decode what it has.
+    fn pump(&mut self) -> Result<bool, ClientError> {
+        let mut progress = false;
+        while self.out_sent < self.out.len() {
+            match std::io::Write::write(&mut self.stream, &self.out[self.out_sent..]) {
+                Ok(0) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "server stopped accepting bytes",
+                    )))
+                }
+                Ok(n) => {
+                    self.out_sent += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        while self.responses.len() < self.expected {
+            match self.decoder.read_from(&mut self.stream) {
+                Ok(proto::FrameEvent::Frame) => {
+                    let resp = proto::decode_response(self.decoder.frame())?;
+                    self.decoder.next_frame();
+                    self.responses.push(resp);
+                    progress = true;
+                }
+                Ok(proto::FrameEvent::Blocked) => break,
+                Ok(proto::FrameEvent::Closed) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed with responses outstanding",
+                    )))
+                }
+                Err(proto::FrameError::Io(e)) => return Err(e.into()),
+                Err(e) => return Err(ClientError::Codec(crate::codec::CodecError(e.to_string()))),
+            }
+        }
+        Ok(progress)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

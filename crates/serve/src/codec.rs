@@ -140,6 +140,27 @@ impl Enc {
     pub fn finish(self) -> Vec<u8> {
         self.buf
     }
+
+    /// A writer over a caller-supplied buffer: the buffer is cleared but
+    /// its capacity is kept, so encoding into a long-lived scratch `Vec`
+    /// allocates nothing once the buffer has grown to working size (the
+    /// event loop's per-connection write path relies on this).
+    pub fn with_buf(mut buf: Vec<u8>) -> Enc {
+        buf.clear();
+        Enc { buf }
+    }
+
+    /// Append a length-prefixed sub-encoding without materializing it in
+    /// a separate allocation: writes a `u64` length placeholder, runs
+    /// `f` in place, then backpatches the placeholder. Byte-compatible
+    /// with [`bytes`](Enc::bytes) of the same payload.
+    pub fn nested(&mut self, f: impl FnOnce(&mut Enc)) {
+        let at = self.buf.len();
+        self.u64(0);
+        f(self);
+        let len = (self.buf.len() - at - 8) as u64;
+        self.buf[at..at + 8].copy_from_slice(&len.to_le_bytes());
+    }
 }
 
 /// Strict byte reader over an encoded buffer.
@@ -497,6 +518,18 @@ pub fn encode_measurement_body(e: &mut Enc, m: &Measurement) {
     encode_into(e, m, false);
 }
 
+/// Append a length-prefixed full measurement (header included) in place:
+/// byte-identical to `e.bytes(&encode_measurement(m))` without the
+/// intermediate allocation. The decode counterpart is `d.bytes()` +
+/// [`decode_measurement`].
+pub fn encode_measurement_framed(e: &mut Enc, m: &Measurement) {
+    e.nested(|e| {
+        e.buf.extend_from_slice(MAGIC);
+        e.u32(FORMAT_VERSION);
+        encode_into(e, m, false);
+    });
+}
+
 /// A deterministic content digest of everything reproducible in a
 /// measurement: pass wall times (the only nondeterministic field) are
 /// zeroed before hashing, so two runs of the same job — fresh, cached,
@@ -550,6 +583,40 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(decode_measurement(&trailing).is_err());
+    }
+
+    #[test]
+    fn framed_encoding_matches_bytes_of_encode_measurement() {
+        let m = dummy_measurement(42);
+        let mut reference = Enc::new();
+        reference.bytes(&encode_measurement(&m));
+        let mut framed = Enc::new();
+        encode_measurement_framed(&mut framed, &m);
+        assert_eq!(reference.finish(), framed.finish());
+    }
+
+    #[test]
+    fn with_buf_reuses_capacity_and_nested_backpatches() {
+        let mut e = Enc::with_buf(Vec::with_capacity(256));
+        e.nested(|e| {
+            e.str("abc");
+            e.u8(7);
+        });
+        let bytes = e.finish();
+        let cap = bytes.capacity();
+        assert_eq!(cap, 256, "with_buf must keep the caller's capacity");
+        let mut d = Dec::new(&bytes);
+        let inner = d.bytes().unwrap().to_vec();
+        d.expect_end().unwrap();
+        let mut id = Dec::new(&inner);
+        assert_eq!(id.str().unwrap(), "abc");
+        assert_eq!(id.u8().unwrap(), 7);
+        // a second encode into the same buffer starts clean
+        let mut e = Enc::with_buf(bytes);
+        e.u8(1);
+        let again = e.finish();
+        assert_eq!(again, vec![1]);
+        assert_eq!(again.capacity(), cap);
     }
 
     #[test]

@@ -27,14 +27,21 @@
 //!   (`submit`/`status`/`result`/`stats`/`metrics`/`shutdown`) binding
 //!   it together as the `epicd` daemon and the `epicc submit` client,
 //!   with deterministic capped-exponential [`RetryPolicy`] backoff on
-//!   shed load.
+//!   shed load. The server is a **single-threaded event loop** over
+//!   nonblocking sockets: an incremental [`proto::FrameDecoder`] and
+//!   reused write buffers make steady-state framing allocation-free,
+//!   completion hooks ([`sched::Ticket::on_complete`]) let one loop
+//!   thread multiplex thousands of in-flight submits, and admission
+//!   control (max-connections cap, idle-timeout reaping) keeps the
+//!   house bounded. [`client::Swarm`] is the loop's mirror image — a
+//!   single-threaded multiplexing client for saturation tests.
 //!
-//! The scheduler and runner publish counters and latency histograms
-//! (`serve.*`) into the process-wide `epic-trace` registry; the
-//! `metrics` verb ships a snapshot to `epicc top`.
+//! The scheduler, runner, and event loop publish counters and latency
+//! histograms (`serve.*`) into the process-wide `epic-trace` registry;
+//! the `metrics` verb ships a snapshot to `epicc top`.
 //!
-//! See DESIGN.md §8 for the architecture rationale and §9 for the
-//! tracing layer.
+//! See DESIGN.md §8 for the architecture rationale, §9 for the tracing
+//! layer, and §11 for the event-driven serving design.
 
 pub mod client;
 pub mod codec;
@@ -45,10 +52,10 @@ pub mod server;
 pub mod store;
 pub mod testutil;
 
-pub use client::{Client, ClientError, RetryPolicy, Served};
+pub use client::{Client, ClientError, RetryPolicy, Served, Swarm};
 pub use codec::{digest, CodecError};
 pub use key::{CacheKey, JobSpec};
-pub use proto::ServeStats;
+pub use proto::{FrameDecoder, FrameError, FrameEvent, ServeStats};
 pub use sched::{JobError, JobRunner, JobStatus, Priority, SchedStats, Scheduler, SubmitError};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with, ServerConfig, ServerHandle};
 pub use store::{ArtifactStore, StoreStats};

@@ -321,7 +321,15 @@ fn dec_metrics(d: &mut Dec) -> Result<MetricsSnapshot, CodecError> {
 
 /// Encode a request frame body.
 pub fn encode_request(r: &Request) -> Vec<u8> {
-    let mut e = Enc::new();
+    let mut buf = Vec::new();
+    encode_request_into(r, &mut buf);
+    buf
+}
+
+/// [`encode_request`] into a reusable buffer: `buf` is cleared, its
+/// capacity kept, so steady-state encoding allocates nothing.
+pub fn encode_request_into(r: &Request, buf: &mut Vec<u8>) {
+    let mut e = Enc::with_buf(std::mem::take(buf));
     match r {
         Request::Submit {
             spec,
@@ -345,7 +353,7 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
         Request::Metrics => e.u8(VERB_METRICS),
         Request::Shutdown => e.u8(VERB_SHUTDOWN),
     }
-    e.finish()
+    *buf = e.finish();
 }
 
 /// Decode a request frame body.
@@ -378,7 +386,17 @@ pub fn decode_request(body: &[u8]) -> Result<Request, CodecError> {
 
 /// Encode a response frame body.
 pub fn encode_response(r: &Response) -> Vec<u8> {
-    let mut e = Enc::new();
+    let mut buf = Vec::new();
+    encode_response_into(r, &mut buf);
+    buf
+}
+
+/// [`encode_response`] into a reusable buffer: `buf` is cleared, its
+/// capacity kept. Measurements are serialized in place
+/// ([`codec::encode_measurement_framed`]), so the event loop's write
+/// path does zero per-frame allocation at steady state.
+pub fn encode_response_into(r: &Response, buf: &mut Vec<u8>) {
+    let mut e = Enc::with_buf(std::mem::take(buf));
     match r {
         Response::Err(msg) => {
             e.u8(RESP_ERR);
@@ -394,7 +412,7 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             enc_key(&mut e, *key);
             e.bool(*cache_hit);
             e.bool(*coalesced);
-            e.bytes(&codec::encode_measurement(measurement));
+            codec::encode_measurement_framed(&mut e, measurement);
         }
         Response::Status(s) => {
             e.u8(RESP_STATUS);
@@ -405,7 +423,7 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             match m {
                 Some(m) => {
                     e.bool(true);
-                    e.bytes(&codec::encode_measurement(m));
+                    codec::encode_measurement_framed(&mut e, m);
                 }
                 None => e.bool(false),
             }
@@ -427,7 +445,7 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
         }
         Response::ShutdownOk => e.u8(RESP_SHUTDOWN_OK),
     }
-    e.finish()
+    *buf = e.finish();
 }
 
 /// Decode a response frame body.
@@ -475,6 +493,199 @@ pub fn decode_response(body: &[u8]) -> Result<Response, CodecError> {
     };
     d.expect_end()?;
     Ok(r)
+}
+
+/// Why incremental framing failed. Every variant is a property of ONE
+/// connection: the server closes that connection and keeps serving the
+/// rest (malformed-frame hardening).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The length prefix announced a body over [`MAX_FRAME`]; nothing
+    /// was allocated.
+    TooLarge {
+        /// The announced body length.
+        len: usize,
+    },
+    /// The peer disconnected mid-prefix or mid-body.
+    Truncated {
+        /// Bytes of the current unit (prefix or body) received.
+        have: usize,
+        /// Bytes the current unit needs in total.
+        want: usize,
+    },
+    /// Transport failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge { len } => write!(f, "frame length {len} exceeds cap"),
+            FrameError::Truncated { have, want } => {
+                write!(f, "peer closed mid-frame ({have} of {want} bytes)")
+            }
+            FrameError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// What one [`FrameDecoder::read_from`] call produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete frame body is buffered: read it with
+    /// [`FrameDecoder::frame`], then call [`FrameDecoder::next_frame`].
+    Frame,
+    /// The reader has no more bytes right now (`WouldBlock`); try again
+    /// when the socket is ready.
+    Blocked,
+    /// The peer closed cleanly at a frame boundary.
+    Closed,
+}
+
+/// Incremental, allocation-reusing decoder for length-prefixed frames —
+/// the event loop's read path. Bytes go straight from the socket into
+/// the decoder's internal buffers (no intermediate chunk buffer), and
+/// the body buffer is reused across frames, so steady-state decoding of
+/// same-sized frames allocates nothing.
+#[derive(Default)]
+pub struct FrameDecoder {
+    len_buf: [u8; 4],
+    len_got: usize,
+    body: Vec<u8>,
+    body_got: usize,
+    ready: bool,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder at a frame boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// True while a frame is partially received — an EOF here is a
+    /// protocol violation, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        !self.ready && (self.len_got > 0 || self.body_got > 0)
+    }
+
+    /// The completed frame body. Empty unless the last event was
+    /// [`FrameEvent::Frame`] (and [`next_frame`](FrameDecoder::next_frame)
+    /// has not been called yet).
+    pub fn frame(&self) -> &[u8] {
+        if self.ready {
+            &self.body
+        } else {
+            &[]
+        }
+    }
+
+    /// Consume the completed frame: reset to the next frame boundary,
+    /// keeping the body buffer's capacity.
+    pub fn next_frame(&mut self) {
+        self.ready = false;
+        self.len_got = 0;
+        self.body_got = 0;
+    }
+
+    fn on_prefix_complete(&mut self) -> Result<(), FrameError> {
+        let len = u32::from_be_bytes(self.len_buf) as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge { len });
+        }
+        // resize within retained capacity: no allocation once the buffer
+        // has grown to the connection's working frame size
+        self.body.clear();
+        self.body.resize(len, 0);
+        self.body_got = 0;
+        if len == 0 {
+            self.ready = true;
+        }
+        Ok(())
+    }
+
+    /// Pull as many bytes as `r` will give without blocking, directly
+    /// into the internal buffers.
+    ///
+    /// # Errors
+    /// [`FrameError::TooLarge`] on a hostile prefix, [`FrameError::Truncated`]
+    /// on EOF mid-frame, [`FrameError::Io`] on transport failure.
+    pub fn read_from(&mut self, r: &mut impl Read) -> Result<FrameEvent, FrameError> {
+        loop {
+            if self.ready {
+                return Ok(FrameEvent::Frame);
+            }
+            let (buf, want): (&mut [u8], usize) = if self.len_got < 4 {
+                (&mut self.len_buf[self.len_got..], 4)
+            } else {
+                let want = self.body.len();
+                (&mut self.body[self.body_got..], want)
+            };
+            match r.read(buf) {
+                Ok(0) => {
+                    return if self.mid_frame() {
+                        let (have, want) = if self.len_got < 4 {
+                            (self.len_got, 4)
+                        } else {
+                            (self.body_got, want)
+                        };
+                        Err(FrameError::Truncated { have, want })
+                    } else {
+                        Ok(FrameEvent::Closed)
+                    };
+                }
+                Ok(n) if self.len_got < 4 => {
+                    self.len_got += n;
+                    if self.len_got == 4 {
+                        self.on_prefix_complete()?;
+                    }
+                }
+                Ok(n) => {
+                    self.body_got += n;
+                    if self.body_got == self.body.len() {
+                        self.ready = true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(FrameEvent::Blocked)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+
+    /// Feed a byte slice instead of a reader (property tests): returns
+    /// `(bytes consumed, frame complete)`. End of slice is not EOF —
+    /// feed the next chunk to continue.
+    ///
+    /// # Errors
+    /// [`FrameError::TooLarge`] on a hostile prefix.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(usize, bool), FrameError> {
+        let mut used = 0;
+        while used < chunk.len() && !self.ready {
+            if self.len_got < 4 {
+                let n = (4 - self.len_got).min(chunk.len() - used);
+                self.len_buf[self.len_got..self.len_got + n]
+                    .copy_from_slice(&chunk[used..used + n]);
+                self.len_got += n;
+                used += n;
+                if self.len_got == 4 {
+                    self.on_prefix_complete()?;
+                }
+            } else {
+                let n = (self.body.len() - self.body_got).min(chunk.len() - used);
+                self.body[self.body_got..self.body_got + n].copy_from_slice(&chunk[used..used + n]);
+                self.body_got += n;
+                used += n;
+                if self.body_got == self.body.len() {
+                    self.ready = true;
+                }
+            }
+        }
+        Ok((used, self.ready))
+    }
 }
 
 /// Write one length-prefixed frame.
@@ -638,6 +849,136 @@ mod tests {
         // a hostile length prefix must not allocate
         let huge = [(MAX_FRAME as u32 + 1).to_be_bytes().to_vec(), vec![0; 8]].concat();
         assert!(read_frame(&mut std::io::Cursor::new(huge)).is_err());
+    }
+
+    #[test]
+    fn incremental_decoder_matches_blocking_reader_over_any_chunking() {
+        let frames: Vec<Vec<u8>> = vec![
+            encode_request(&Request::Stats),
+            encode_request(&Request::Submit {
+                spec: sample_spec(),
+                prio: Priority::High,
+                deadline_ms: 250,
+            }),
+            Vec::new(), // empty frame body
+            encode_response(&Response::Done {
+                key: sample_spec().job_key(),
+                cache_hit: false,
+                coalesced: true,
+                measurement: Box::new(dummy_measurement(3)),
+            }),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        // feed the whole stream in awkward chunk sizes; the decoder must
+        // recover every frame byte-for-byte with one reused buffer
+        for chunk in [1usize, 3, 7, 4096] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                let mut rest = piece;
+                while !rest.is_empty() {
+                    let (used, ready) = dec.feed(rest).unwrap();
+                    rest = &rest[used..];
+                    if ready {
+                        got.push(dec.frame().to_vec());
+                        dec.next_frame();
+                    }
+                }
+            }
+            assert_eq!(got, frames, "chunk size {chunk}");
+            assert!(!dec.mid_frame(), "stream must end at a boundary");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_typed_and_allocates_nothing() {
+        let mut dec = FrameDecoder::new();
+        let huge = (MAX_FRAME as u32 + 1).to_be_bytes();
+        match dec.feed(&huge) {
+            Err(FrameError::TooLarge { len }) => assert_eq!(len, MAX_FRAME + 1),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // same through the reader-driven path
+        let mut dec = FrameDecoder::new();
+        let mut cur = std::io::Cursor::new(huge.to_vec());
+        assert!(matches!(
+            dec.read_from(&mut cur),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn eof_mid_prefix_and_mid_body_are_truncation_not_clean_close() {
+        // one full frame then a truncated length prefix
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"ok").unwrap();
+        wire.extend_from_slice(&[0, 0]); // half a prefix
+        let mut dec = FrameDecoder::new();
+        let mut cur = std::io::Cursor::new(wire);
+        assert_eq!(dec.read_from(&mut cur).unwrap(), FrameEvent::Frame);
+        assert_eq!(dec.frame(), b"ok");
+        dec.next_frame();
+        match dec.read_from(&mut cur) {
+            Err(FrameError::Truncated { have: 2, want: 4 }) => {}
+            other => panic!("expected mid-prefix truncation, got {other:?}"),
+        }
+        // a prefix promising 10 bytes with only 3 delivered
+        let mut wire = 10u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(b"abc");
+        let mut dec = FrameDecoder::new();
+        assert!(dec.feed(&wire).unwrap().0 == wire.len());
+        assert!(dec.mid_frame());
+        match dec.read_from(&mut std::io::Cursor::new(Vec::new())) {
+            Err(FrameError::Truncated { have: 3, want: 10 }) => {}
+            other => panic!("expected mid-body truncation, got {other:?}"),
+        }
+        // a clean close at a boundary is not an error
+        let mut dec = FrameDecoder::new();
+        assert_eq!(
+            dec.read_from(&mut std::io::Cursor::new(Vec::new()))
+                .unwrap(),
+            FrameEvent::Closed
+        );
+    }
+
+    #[test]
+    fn garbage_verb_is_a_decode_error_after_clean_framing() {
+        // framing succeeds (the frame is well-formed) but the body is a
+        // garbage verb: the error is typed at the request layer, so the
+        // server can answer it without dropping the connection
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[99, 1, 2, 3]).unwrap();
+        let mut dec = FrameDecoder::new();
+        let (used, ready) = dec.feed(&wire).unwrap();
+        assert_eq!((used, ready), (wire.len(), true));
+        assert!(decode_request(dec.frame()).is_err());
+    }
+
+    #[test]
+    fn encode_into_reuses_buffers_and_matches_fresh_encodes() {
+        let req = Request::Submit {
+            spec: sample_spec(),
+            prio: Priority::Low,
+            deadline_ms: 9,
+        };
+        let resp = Response::Done {
+            key: sample_spec().job_key(),
+            cache_hit: true,
+            coalesced: false,
+            measurement: Box::new(dummy_measurement(11)),
+        };
+        let mut buf = Vec::new();
+        encode_request_into(&req, &mut buf);
+        assert_eq!(buf, encode_request(&req));
+        let cap = buf.capacity();
+        encode_request_into(&Request::Stats, &mut buf);
+        assert_eq!(buf, encode_request(&Request::Stats));
+        assert_eq!(buf.capacity(), cap, "re-encode must reuse the buffer");
+        encode_response_into(&resp, &mut buf);
+        assert_eq!(buf, encode_response(&resp));
     }
 
     #[test]

@@ -181,32 +181,72 @@ impl JobRunner for DriverRunner {
     }
 }
 
+/// A completion-notification hook: runs exactly once, on whichever
+/// thread completes the job (or immediately on the registering thread if
+/// the job already finished). Hooks must be cheap and non-blocking — the
+/// event loop registers one that enqueues the result and wakes the loop.
+pub type CompletionHook = Box<dyn FnOnce(Result<Arc<Measurement>, JobError>) + Send>;
+
 /// Completion cell shared by every waiter coalesced onto one job.
+/// Waiters come in two shapes: blocking ([`wait`](JobCell::wait), the
+/// condvar path) and completion-driven (registered [`CompletionHook`]s,
+/// the event-loop path — one loop thread multiplexes thousands of
+/// in-flight submits instead of parking one thread per submit).
 struct JobCell {
-    done: Mutex<Option<Result<Arc<Measurement>, JobError>>>,
+    state: Mutex<CellState>,
     cv: Condvar,
+}
+
+#[derive(Default)]
+struct CellState {
+    done: Option<Result<Arc<Measurement>, JobError>>,
+    hooks: Vec<CompletionHook>,
 }
 
 impl JobCell {
     fn new() -> Arc<JobCell> {
         Arc::new(JobCell {
-            done: Mutex::new(None),
+            state: Mutex::new(CellState::default()),
             cv: Condvar::new(),
         })
     }
 
     fn complete(&self, r: Result<Arc<Measurement>, JobError>) {
-        *self.done.lock().expect("job cell") = Some(r);
+        let hooks = {
+            let mut g = self.state.lock().expect("job cell");
+            g.done = Some(r.clone());
+            std::mem::take(&mut g.hooks)
+        };
         self.cv.notify_all();
+        // run hooks outside the lock: a hook may re-enter the scheduler
+        for h in hooks {
+            h(r.clone());
+        }
     }
 
     fn wait(&self) -> Result<Arc<Measurement>, JobError> {
-        let mut g = self.done.lock().expect("job cell");
+        let mut g = self.state.lock().expect("job cell");
         loop {
-            if let Some(r) = g.as_ref() {
+            if let Some(r) = g.done.as_ref() {
                 return r.clone();
             }
             g = self.cv.wait(g).expect("job cell");
+        }
+    }
+
+    fn subscribe(&self, hook: CompletionHook) {
+        let ready = {
+            let mut g = self.state.lock().expect("job cell");
+            match g.done.clone() {
+                Some(r) => Some(r),
+                None => {
+                    g.hooks.push(hook);
+                    return;
+                }
+            }
+        };
+        if let Some(r) = ready {
+            hook(r);
         }
     }
 }
@@ -236,6 +276,30 @@ impl Ticket {
         match &self.state {
             TicketState::Ready(m) => Ok(Arc::clone(m)),
             TicketState::Pending(cell) => cell.wait(),
+        }
+    }
+
+    /// Non-blocking probe: the result if the job has finished.
+    pub fn try_result(&self) -> Option<Result<Arc<Measurement>, JobError>> {
+        match &self.state {
+            TicketState::Ready(m) => Some(Ok(Arc::clone(m))),
+            TicketState::Pending(cell) => cell.state.lock().expect("job cell").done.clone(),
+        }
+    }
+
+    /// Completion-driven alternative to [`wait`](Ticket::wait): run
+    /// `hook` exactly once when the job finishes — immediately on this
+    /// thread if it already has (including instant cache hits), else on
+    /// the completing thread. This is how the `epicd` event loop
+    /// multiplexes thousands of in-flight submits without parking a
+    /// thread per connection.
+    pub fn on_complete(
+        self,
+        hook: impl FnOnce(Result<Arc<Measurement>, JobError>) + Send + 'static,
+    ) {
+        match self.state {
+            TicketState::Ready(m) => hook(Ok(m)),
+            TicketState::Pending(cell) => cell.subscribe(Box::new(hook)),
         }
     }
 }
@@ -862,8 +926,8 @@ mod tests {
         let done_first = {
             let t0 = Instant::now();
             loop {
-                let high_done = thigh.ready_probe();
-                let low_done = tlow.ready_probe();
+                let high_done = thigh.try_result().is_some();
+                let low_done = tlow.try_result().is_some();
                 if high_done || low_done {
                     break high_done;
                 }
@@ -879,14 +943,35 @@ mod tests {
         let _ = thigh.wait();
     }
 
-    impl Ticket {
-        /// Non-blocking completion probe (tests only).
-        fn ready_probe(&self) -> bool {
-            match &self.state {
-                TicketState::Ready(_) => true,
-                TicketState::Pending(cell) => cell.done.lock().unwrap().is_some(),
-            }
-        }
+    #[test]
+    fn completion_hooks_fire_for_pending_ready_and_failed_jobs() {
+        let store = Arc::new(ArtifactStore::in_memory());
+        let (runner, release) = StubRunner::gated();
+        let sched = Scheduler::with_runner(store, Box::new(runner), 1, 8);
+        let (tx, rx) = mpsc::channel();
+        // pending job: the hook runs on the worker thread at completion
+        let t = sched.submit(spec("hook"), Priority::Normal, None).unwrap();
+        let txc = tx.clone();
+        t.on_complete(move |r| txc.send(("pending", r.is_ok())).unwrap());
+        assert!(
+            rx.try_recv().is_err(),
+            "hook must not fire before the job runs"
+        );
+        let _ = release.send(());
+        let (tag, ok) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!((tag, ok), ("pending", true));
+        // already-complete job: cache hit, hook runs inline
+        let t2 = sched.submit(spec("hook"), Priority::Normal, None).unwrap();
+        assert!(t2.cache_hit);
+        let txc = tx.clone();
+        t2.on_complete(move |r| txc.send(("ready", r.is_ok())).unwrap());
+        assert_eq!(rx.try_recv().unwrap(), ("ready", true));
+        // failing job: the hook observes the error
+        let t3 = sched.submit(spec("FAIL"), Priority::Normal, None).unwrap();
+        let _ = release.send(());
+        t3.on_complete(move |r| tx.send(("failed", r.is_ok())).unwrap());
+        let (tag, ok) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!((tag, ok), ("failed", false));
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //! clients coalesce onto one compile, and a saturated queue answers with
 //! typed `Busy` backpressure instead of hanging.
 
-use epic_serve::testutil::dummy_measurement;
+use epic_serve::proto::{Request, Response};
+use epic_serve::testutil::{dummy_measurement, InstantRunner};
 use epic_serve::{
-    digest, serve, ArtifactStore, Client, ClientError, JobRunner, JobSpec, Priority, RetryPolicy,
-    Scheduler,
+    digest, serve, serve_with, ArtifactStore, Client, ClientError, JobRunner, JobSpec, Priority,
+    RetryPolicy, Scheduler, ServerConfig, Swarm,
 };
 use epic_trace::{MetricValue, Trace};
 use epic_workloads::Workload;
@@ -266,8 +267,6 @@ fn metrics_verb_ships_registry_snapshot_over_tcp() {
     let mut sorted = names.clone();
     sorted.sort_unstable();
     assert_eq!(names, sorted);
-    // hang up before stop(): the server joins connection threads, which
-    // block until their peer closes
     drop(client);
     server.stop();
 }
@@ -354,6 +353,288 @@ fn submit_retry_rides_out_a_saturated_queue() {
         assert!(a.join().unwrap().is_ok());
         assert!(b.join().unwrap().is_ok());
     });
+    server.stop();
+}
+
+/// Opens a [`gated_scheduler`]'s gate when dropped — declared after the
+/// server handle so a failing assertion can still unwind (the handle's
+/// drop joins workers that would otherwise block on the gate forever).
+struct GateGuard(mpsc::Sender<()>, usize);
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        for _ in 0..self.1 {
+            let _ = self.0.send(());
+        }
+    }
+}
+
+/// Threads in this process whose comm name is exactly `name`.
+fn count_threads_named(name: &str) -> usize {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    tasks
+        .flatten()
+        .filter(|t| {
+            std::fs::read_to_string(t.path().join("comm"))
+                .map(|c| c.trim() == name)
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+#[test]
+fn one_event_loop_thread_holds_1000_submits_in_flight() {
+    const N: usize = 1000;
+    let (sched, release) = gated_scheduler(4, 2048);
+    let cfg = ServerConfig {
+        max_conns: N + 8,
+        ..ServerConfig::default()
+    };
+    let mut server = serve_with("127.0.0.1:0", Arc::clone(&sched), cfg).unwrap();
+    let _guard = GateGuard(release.clone(), N + 64);
+    let addr = server.addr().to_string();
+
+    // 1000 connections, one distinct submit each, all driven by one
+    // client thread (the protocol has no request IDs, so in-flight depth
+    // comes from connection count)
+    let specs: Vec<JobSpec> = (0..N).map(|i| spec_named(&format!("swarm{i}"))).collect();
+    let mut swarm = Swarm::connect(&addr, N).unwrap();
+    for (i, spec) in specs.iter().enumerate() {
+        swarm.enqueue(
+            i,
+            &Request::Submit {
+                spec: spec.clone(),
+                prio: Priority::Normal,
+                deadline_ms: 0,
+            },
+        );
+    }
+    let driver = std::thread::spawn(move || {
+        let out = swarm.run(Duration::from_secs(120));
+        (swarm, out)
+    });
+
+    // every submit reaches the scheduler and parks there (the gate is
+    // shut): in_flight counts queued-or-running, so it hits N exactly
+    // when all 1000 are inside the scheduler at once
+    let t0 = Instant::now();
+    loop {
+        let st = sched.stats();
+        if st.submitted == N as u64 && st.in_flight == N as u64 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "submits never all arrived: {st:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // the serving layer spawns exactly one loop thread per server and no
+    // per-connection threads — with 1000 submits in flight there must be
+    // no thread named like the old per-connection workers
+    assert_eq!(
+        count_threads_named("epicd-conn"),
+        0,
+        "event-driven epicd must not spawn per-connection threads"
+    );
+    assert!(count_threads_named("epicd-loop") >= 1);
+
+    for _ in 0..(N + 64) {
+        let _ = release.send(());
+    }
+    let (_swarm, out) = driver.join().unwrap();
+    let responses = out.expect("all 1000 responses arrive");
+
+    // zero lost, duplicated, or cross-wired: every connection got exactly
+    // one response carrying its own key and that key's measurement
+    assert_eq!(responses.len(), N);
+    for (i, (conn, spec)) in responses.iter().zip(&specs).enumerate() {
+        assert_eq!(conn.len(), 1, "conn {i} got {} responses", conn.len());
+        match &conn[0] {
+            Response::Done {
+                key, measurement, ..
+            } => {
+                assert_eq!(*key, spec.job_key(), "conn {i} got another conn's key");
+                assert_eq!(
+                    digest(measurement),
+                    digest(&dummy_measurement(spec.source.len() as u64)),
+                    "conn {i} payload does not match its spec"
+                );
+            }
+            other => panic!("conn {i}: expected Done, got {other:?}"),
+        }
+    }
+    let st = sched.stats();
+    assert_eq!(st.jobs_run, N as u64, "all distinct keys, no coalescing");
+    server.stop();
+}
+
+#[test]
+fn malformed_frames_hurt_only_the_offending_connection() {
+    let sched = Arc::new(Scheduler::with_runner(
+        Arc::new(ArtifactStore::in_memory()),
+        Box::new(InstantRunner::default()),
+        1,
+        8,
+    ));
+    let mut server = serve("127.0.0.1:0", Arc::clone(&sched)).unwrap();
+    let addr = server.addr().to_string();
+    let mut bystander = Client::connect(&addr).unwrap();
+    bystander.stats().unwrap();
+
+    // hostile length prefix (4 GiB): typed refusal, then a clean close
+    {
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        use std::io::{Read, Write};
+        s.write_all(&0xFFFF_FFFFu32.to_be_bytes()).unwrap();
+        let body = epic_serve::proto::read_frame(&mut s).unwrap().unwrap();
+        match epic_serve::proto::decode_response(&body).unwrap() {
+            Response::Err(msg) => assert!(msg.contains("exceeds cap"), "got: {msg}"),
+            other => panic!("expected Err, got {other:?}"),
+        }
+        let mut rest = Vec::new();
+        s.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "connection must close after the refusal");
+    }
+
+    // truncated length prefix, then disconnect mid-frame: silent close,
+    // nothing else disturbed
+    {
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        std::io::Write::write_all(&mut s, &[0x00, 0x00]).unwrap();
+        drop(s);
+    }
+    {
+        // full prefix, half a body, then gone
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        std::io::Write::write_all(&mut s, &8u32.to_be_bytes()).unwrap();
+        std::io::Write::write_all(&mut s, &[1, 2, 3]).unwrap();
+        drop(s);
+    }
+
+    // garbage verb in a well-framed body: typed error, and the SAME
+    // connection keeps working afterwards
+    {
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        epic_serve::proto::write_frame(&mut s, &[0xEE, 1, 2, 3]).unwrap();
+        let body = epic_serve::proto::read_frame(&mut s).unwrap().unwrap();
+        match epic_serve::proto::decode_response(&body).unwrap() {
+            Response::Err(msg) => assert!(msg.contains("bad request"), "got: {msg}"),
+            other => panic!("expected Err, got {other:?}"),
+        }
+        epic_serve::proto::write_frame(&mut s, &epic_serve::proto::encode_request(&Request::Stats))
+            .unwrap();
+        let body = epic_serve::proto::read_frame(&mut s).unwrap().unwrap();
+        assert!(matches!(
+            epic_serve::proto::decode_response(&body).unwrap(),
+            Response::Stats(_)
+        ));
+    }
+
+    // the bystander never noticed any of it
+    bystander
+        .submit(&spec_named("innocent"), Priority::Normal, 0)
+        .unwrap();
+    bystander.stats().unwrap();
+    server.stop();
+}
+
+#[test]
+fn admission_cap_rejects_and_idle_reaper_recovers_slots() {
+    let sched = Arc::new(Scheduler::with_runner(
+        Arc::new(ArtifactStore::in_memory()),
+        Box::new(InstantRunner::default()),
+        1,
+        8,
+    ));
+    let cfg = ServerConfig {
+        max_conns: 2,
+        ..ServerConfig::default()
+    };
+    let mut server = serve_with("127.0.0.1:0", Arc::clone(&sched), cfg).unwrap();
+    let addr = server.addr().to_string();
+
+    // fill both slots (a completed roundtrip proves registration)
+    let mut c1 = Client::connect(&addr).unwrap();
+    c1.stats().unwrap();
+    let mut c2 = Client::connect(&addr).unwrap();
+    c2.stats().unwrap();
+
+    // the third connection is answered with a typed refusal and closed
+    let mut c3 = Client::connect(&addr).unwrap();
+    match c3.stats() {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("capacity"), "got: {msg}"),
+        other => panic!(
+            "expected capacity refusal, got {:?}",
+            other.map(|_| "stats").err()
+        ),
+    }
+    match epic_trace::global().snapshot().get("serve.conns.rejected") {
+        Some(MetricValue::Counter(n)) => assert!(*n >= 1),
+        other => panic!("serve.conns.rejected missing: {other:?}"),
+    }
+
+    // hanging up frees the slot within a sweep or two
+    drop(c1);
+    let t0 = Instant::now();
+    loop {
+        let mut c4 = Client::connect(&addr).unwrap();
+        if c4.stats().is_ok() {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "slot never came back after a hangup"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(c2);
+    server.stop();
+}
+
+#[test]
+fn idle_connections_are_reaped_but_inflight_submits_are_not() {
+    let (sched, release) = gated_scheduler(1, 8);
+    let cfg = ServerConfig {
+        idle_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let mut server = serve_with("127.0.0.1:0", Arc::clone(&sched), cfg).unwrap();
+    let _guard = GateGuard(release.clone(), 8);
+    let addr = server.addr().to_string();
+
+    // a connection whose submit outlives the idle timeout is work, not
+    // silence: it must survive and be answered
+    let slow = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            Client::connect(&addr)
+                .unwrap()
+                .submit(&spec_named("slowjob"), Priority::Normal, 0)
+                .map(|s| s.key)
+        })
+    };
+
+    // a connection that goes quiet past the timeout is reaped
+    let mut idle = Client::connect(&addr).unwrap();
+    idle.stats().unwrap();
+    std::thread::sleep(Duration::from_millis(500));
+    assert!(
+        idle.stats().is_err(),
+        "idle connection must be closed by the reaper"
+    );
+    match epic_trace::global().snapshot().get("serve.conns.reaped") {
+        Some(MetricValue::Counter(n)) => assert!(*n >= 1),
+        other => panic!("serve.conns.reaped missing: {other:?}"),
+    }
+
+    for _ in 0..4 {
+        let _ = release.send(());
+    }
+    let key = slow.join().unwrap().expect("in-flight submit survives");
+    assert_eq!(key, spec_named("slowjob").job_key());
     server.stop();
 }
 

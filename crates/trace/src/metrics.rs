@@ -238,6 +238,30 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
+
+    /// The histogram of values recorded between `earlier` and `self`
+    /// (both snapshots of the same histogram, `earlier` taken first).
+    /// The process-wide registry only ever accumulates, so benchmarks
+    /// isolate one phase by snapshotting before and after and diffing.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut before: HashMap<u8, u64> = HashMap::new();
+        for &(i, n) in &earlier.buckets {
+            before.insert(i, n);
+        }
+        let buckets: Vec<(u8, u64)> = self
+            .buckets
+            .iter()
+            .filter_map(|&(i, n)| {
+                let d = n.saturating_sub(before.get(&i).copied().unwrap_or(0));
+                (d > 0).then_some((i, d))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
 }
 
 /// Point-in-time value of one metric.
@@ -488,6 +512,38 @@ mod tests {
         assert_eq!(hs.sum, 904);
         assert_eq!(hs.buckets, vec![(0, 1), (1, 1), (2, 1), (10, 1)]);
         assert_eq!(l.snapshot(), *hs);
+    }
+
+    #[test]
+    fn delta_since_isolates_the_values_recorded_between_snapshots() {
+        let reg = Registry::new();
+        let h = reg.histogram("d");
+        h.record(3);
+        h.record(100);
+        let before = match reg.snapshot().get("d") {
+            Some(MetricValue::Histogram(s)) => s.clone(),
+            other => panic!("missing histogram: {other:?}"),
+        };
+        h.record(3);
+        h.record(5000);
+        let after = match reg.snapshot().get("d") {
+            Some(MetricValue::Histogram(s)) => s.clone(),
+            other => panic!("missing histogram: {other:?}"),
+        };
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 5003);
+        // the delta carries exactly the two new values: one more in 3's
+        // bucket, one in a bucket the first snapshot never touched
+        let mut fresh = LocalHisto::default();
+        fresh.record(3);
+        fresh.record(5000);
+        assert_eq!(delta, fresh.snapshot());
+        // quantiles over the delta reflect only the window
+        assert!(delta.quantile(0.99).unwrap() >= 5000);
+        // degenerate case: no activity, empty delta
+        assert_eq!(after.delta_since(&after).count, 0);
+        assert!(after.delta_since(&after).buckets.is_empty());
     }
 
     #[test]

@@ -83,6 +83,19 @@ grep -qx 'stat sched_cache_hits 48' "$smoke_dir/stats.txt"
 cargo run --release -q --bin epicc -- top --addr "$addr" > "$smoke_dir/top.txt"
 grep -q '^serve\.jobs_run ' "$smoke_dir/top.txt"
 
+# Saturation smoke: 64 swarm connections each pipeline the full 12×4
+# matrix (rotated so concurrent waves overlap on different cells)
+# through the single event-loop thread. Required: zero lost, duplicated,
+# or cross-wired responses, and `cell` lines byte-identical to the
+# direct in-process sweep.
+echo "==> serve saturate smoke (64 swarm conns, 3072 pipelined submits)"
+cargo run --release -q --bin epicc -- saturate --addr "$addr" --conns 64 \
+    > "$smoke_dir/saturate.txt"
+grep '^cell ' "$smoke_dir/saturate.txt" > "$smoke_dir/saturate_cells.txt"
+cmp "$smoke_dir/direct_cells.txt" "$smoke_dir/saturate_cells.txt"
+grep -qx '# saturate conns=64 submits=3072 lost=0 crosswired=0 digest-mismatch=0' \
+    "$smoke_dir/saturate.txt"
+
 cargo run --release -q --bin epicc -- shutdown --addr "$addr"
 wait "$epicd_pid"
 epicd_pid=
@@ -105,5 +118,14 @@ grep '^cell ' "$smoke_dir/traced.txt" > "$smoke_dir/traced_cells.txt"
 cmp "$smoke_dir/untraced_cells.txt" "$smoke_dir/traced_cells.txt"
 grep -qx 'trace-ok cells=1' "$smoke_dir/traced.txt"
 ! grep -q 'trace' "$smoke_dir/untraced.txt"
+
+# Saturation bench smoke: a shrunk in-process A/B (event loop vs the
+# thread-per-connection baseline, instant runner) — validates the
+# BENCH_6.json pipeline, not performance numbers.
+echo "==> saturation bench smoke (in-process A/B, instant runner)"
+cargo run --release -q --bin epicc -- saturate --bench --conns 32 --requests 512 \
+    --out "$smoke_dir/bench.json" > "$smoke_dir/bench.txt"
+grep -q '^# bench ' "$smoke_dir/bench.txt"
+test -s "$smoke_dir/bench.json"
 
 echo "CI OK"

@@ -18,9 +18,12 @@
 //!
 //! ```text
 //! epicc serve [--listen A] [--cache-dir D] [--workers N] [--queue-cap N]
+//!             [--max-conns N] [--idle-timeout-ms MS]
 //! epicc submit --addr A [--workload N|all] [--level L|all] [--threads N]
 //! epicc matrix [--level L|all] [--cache-dir D] [--no-cache]
 //! epicc stats --addr A
+//! epicc saturate --addr A [--conns N]          # swarm smoke vs a live epicd
+//! epicc saturate --bench [--out BENCH.json]    # event loop vs thread-per-conn A/B
 //! epicc shutdown --addr A
 //! ```
 //!
@@ -137,6 +140,7 @@ fn main() -> ExitCode {
             Some("matrix") => return matrix_cmd(&argv[1..]),
             Some("stats") => return stats_cmd(&argv[1..]),
             Some("top") => return top_cmd(&argv[1..]),
+            Some("saturate") => return saturate_cmd(&argv[1..]),
             Some("shutdown") => return shutdown_cmd(&argv[1..]),
             _ => {}
         }
@@ -427,6 +431,16 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     let (Ok(workers), Ok(queue_cap)) = (workers, queue_cap) else {
         return fail("--workers/--queue-cap must be integers");
     };
+    let defaults = epic_serve::ServerConfig::default();
+    let max_conns = kv
+        .get("--max-conns")
+        .map_or(Ok(defaults.max_conns), |v| v.parse());
+    let idle_ms = kv
+        .get("--idle-timeout-ms")
+        .map_or(Ok(defaults.idle_timeout.as_millis() as u64), |v| v.parse());
+    let (Ok(max_conns), Ok(idle_ms)) = (max_conns, idle_ms) else {
+        return fail("--max-conns/--idle-timeout-ms must be integers");
+    };
     let store = match kv.get("--cache-dir") {
         Some(dir) => epic_serve::ArtifactStore::persistent(dir),
         None => epic_serve::ArtifactStore::in_memory(),
@@ -436,7 +450,12 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         workers,
         queue_cap,
     ));
-    let mut handle = match epic_serve::serve(&listen, sched) {
+    let cfg = epic_serve::ServerConfig {
+        max_conns,
+        idle_timeout: std::time::Duration::from_millis(idle_ms),
+        ..defaults
+    };
+    let mut handle = match epic_serve::serve_with(&listen, sched, cfg) {
         Ok(h) => h,
         Err(e) => return fail(format!("bind {listen}: {e}")),
     };
@@ -687,6 +706,277 @@ fn stats_cmd(args: &[String]) -> ExitCode {
         ("sims", stats.sims),
     ] {
         println!("stat {name} {v}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// One histogram as bench JSON: count plus the latency quartet.
+fn histo_json(h: &epic_trace::HistogramSnapshot) -> epic_bench::json::Json {
+    use epic_bench::json::Json;
+    Json::obj([
+        ("count", Json::Num(h.count as f64)),
+        ("mean_us", h.mean().map_or(Json::Null, Json::Num)),
+        (
+            "p50_us",
+            h.quantile(0.5).map_or(Json::Null, |v| Json::Num(v as f64)),
+        ),
+        (
+            "p99_us",
+            h.quantile(0.99).map_or(Json::Null, |v| Json::Num(v as f64)),
+        ),
+    ])
+}
+
+/// Registry histogram by name, empty when absent or mistyped.
+fn registry_histo(snap: &epic_trace::MetricsSnapshot, name: &str) -> epic_trace::HistogramSnapshot {
+    match snap.get(name) {
+        Some(epic_trace::MetricValue::Histogram(h)) => h.clone(),
+        _ => epic_trace::HistogramSnapshot::default(),
+    }
+}
+
+/// One saturation phase: `total` unique submits spread over a swarm of
+/// `conns` connections against `addr`. Returns (wall seconds, failures).
+fn saturate_phase(addr: &str, conns: usize, total: usize, tag: &str) -> Result<(f64, u64), String> {
+    let base = epic_workloads::all()[0].clone();
+    let mut swarm =
+        epic_serve::Swarm::connect(addr, conns).map_err(|e| format!("connect {addr}: {e}"))?;
+    for i in 0..total {
+        let mut spec = epic_serve::JobSpec::for_workload(&base, OptLevel::Gcc);
+        spec.source = format!("// saturate {tag} {i}");
+        swarm.enqueue(
+            i % conns,
+            &epic_serve::proto::Request::Submit {
+                spec,
+                prio: epic_serve::Priority::Normal,
+                deadline_ms: 0,
+            },
+        );
+    }
+    let t0 = std::time::Instant::now();
+    let responses = swarm
+        .run(std::time::Duration::from_secs(600))
+        .map_err(|e| format!("swarm: {e}"))?;
+    let wall = t0.elapsed().as_secs_f64();
+    let mut failures = 0u64;
+    for conn in &responses {
+        for r in conn {
+            if !matches!(r, epic_serve::proto::Response::Done { .. }) {
+                failures += 1;
+            }
+        }
+    }
+    Ok((wall, failures))
+}
+
+/// `epicc saturate --bench`: A/B the event-driven server against the
+/// thread-per-connection baseline on an instant runner, and record
+/// throughput plus registry-derived latency quantiles in a
+/// `BENCH_<n>.json` trajectory point.
+fn saturate_bench(kv: &std::collections::HashMap<String, String>) -> ExitCode {
+    let conns: usize = match kv.get("--conns").map_or(Ok(128), |v| v.parse()) {
+        Ok(n) if n > 0 => n,
+        _ => return fail("--conns must be a positive integer"),
+    };
+    let requests: usize = match kv.get("--requests").map_or(Ok(4096), |v| v.parse()) {
+        Ok(n) if n > 0 => n,
+        _ => return fail("--requests must be a positive integer"),
+    };
+    let workers: usize = match kv.get("--workers").map_or(Ok(2), |v| v.parse()) {
+        Ok(n) => n,
+        Err(_) => return fail("--workers must be an integer"),
+    };
+    let out = kv.get("--out").map_or("BENCH_6.json", String::as_str);
+    let queue_cap = conns.max(256);
+
+    let mk_sched = || {
+        std::sync::Arc::new(epic_serve::Scheduler::with_runner(
+            std::sync::Arc::new(epic_serve::ArtifactStore::in_memory()),
+            Box::new(epic_serve::testutil::InstantRunner::default()),
+            workers,
+            queue_cap,
+        ))
+    };
+
+    // phase A: the pre-refactor shape — one blocking OS thread per
+    // connection (kept in testutil solely as this comparator)
+    let before_base = epic_trace::global().snapshot();
+    let mut baseline = match epic_serve::testutil::serve_baseline("127.0.0.1:0", mk_sched()) {
+        Ok(h) => h,
+        Err(e) => return fail(format!("baseline bind: {e}")),
+    };
+    let (base_wall, base_failures) =
+        match saturate_phase(&baseline.addr().to_string(), conns, requests, "base") {
+            Ok(r) => r,
+            Err(e) => return fail(format!("baseline phase: {e}")),
+        };
+    baseline.stop();
+    let base_queue_wait = registry_histo(&epic_trace::global().snapshot(), "serve.queue_wait_us")
+        .delta_since(&registry_histo(&before_base, "serve.queue_wait_us"));
+
+    // phase B: the event loop
+    let before_ev = epic_trace::global().snapshot();
+    let mut event = match epic_serve::serve_with(
+        "127.0.0.1:0",
+        mk_sched(),
+        epic_serve::ServerConfig {
+            max_conns: conns + 8,
+            ..epic_serve::ServerConfig::default()
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => return fail(format!("event bind: {e}")),
+    };
+    let (ev_wall, ev_failures) =
+        match saturate_phase(&event.addr().to_string(), conns, requests, "event") {
+            Ok(r) => r,
+            Err(e) => return fail(format!("event phase: {e}")),
+        };
+    event.stop();
+    let after_ev = epic_trace::global().snapshot();
+    let ev_queue_wait = registry_histo(&after_ev, "serve.queue_wait_us")
+        .delta_since(&registry_histo(&before_ev, "serve.queue_wait_us"));
+    let ev_e2e = registry_histo(&after_ev, "serve.submit.e2e_us")
+        .delta_since(&registry_histo(&before_ev, "serve.submit.e2e_us"));
+    let ev_poll = registry_histo(&after_ev, "serve.poll.wait_us")
+        .delta_since(&registry_histo(&before_ev, "serve.poll.wait_us"));
+
+    if base_failures + ev_failures > 0 {
+        return fail(format!(
+            "saturation bench saw non-Done responses (baseline {base_failures}, event {ev_failures})"
+        ));
+    }
+
+    use epic_bench::json::Json;
+    let base_rps = requests as f64 / base_wall;
+    let ev_rps = requests as f64 / ev_wall;
+    let j = Json::obj([
+        ("pr", Json::Num(6.0)),
+        ("benchmark", Json::Str("serve-saturate".to_string())),
+        ("conns", Json::Num(conns as f64)),
+        ("requests", Json::Num(requests as f64)),
+        ("workers", Json::Num(workers as f64)),
+        (
+            "baseline_thread_per_conn",
+            Json::obj([
+                ("wall_s", Json::Num(base_wall)),
+                ("throughput_rps", Json::Num(base_rps)),
+                ("queue_wait_us", histo_json(&base_queue_wait)),
+            ]),
+        ),
+        (
+            "event_loop",
+            Json::obj([
+                ("wall_s", Json::Num(ev_wall)),
+                ("throughput_rps", Json::Num(ev_rps)),
+                ("queue_wait_us", histo_json(&ev_queue_wait)),
+                ("submit_e2e_us", histo_json(&ev_e2e)),
+                ("poll_wait_us", histo_json(&ev_poll)),
+            ]),
+        ),
+        ("speedup_throughput", Json::Num(ev_rps / base_rps)),
+    ]);
+    if let Err(e) = std::fs::write(out, format!("{}\n", j.render())) {
+        return fail(format!("write {out}: {e}"));
+    }
+    println!(
+        "# bench baseline_rps={base_rps:.0} event_rps={ev_rps:.0} speedup={:.2} -> {out}",
+        ev_rps / base_rps
+    );
+    ExitCode::SUCCESS
+}
+
+/// `epicc saturate --addr`: swarm smoke against a live epicd — every
+/// connection submits the whole 12×4 matrix (rotated so concurrent
+/// waves overlap on different cells), then the responses are checked
+/// for lost, duplicated, or cross-wired results and printed as the
+/// same deterministic `cell` lines `matrix`/`submit` emit.
+fn saturate_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &["--bench"]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    if kv.contains_key("--bench") {
+        return saturate_bench(&kv);
+    }
+    let Some(addr) = kv.get("--addr") else {
+        return fail("saturate needs --addr HOST:PORT (or --bench)");
+    };
+    let conns: usize = match kv.get("--conns").map_or(Ok(64), |v| v.parse()) {
+        Ok(n) if n > 0 => n,
+        _ => return fail("--conns must be a positive integer"),
+    };
+    let cells = match sweep_cells("all", &OptLevel::ALL.to_vec()) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let specs: Vec<epic_serve::JobSpec> = cells
+        .iter()
+        .map(|(w, l)| epic_serve::JobSpec::for_workload(w, *l))
+        .collect();
+
+    let mut swarm = match epic_serve::Swarm::connect(addr, conns) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("connect {addr}: {e}")),
+    };
+    for c in 0..conns {
+        for j in 0..specs.len() {
+            let spec = &specs[(c + j) % specs.len()];
+            swarm.enqueue(
+                c,
+                &epic_serve::proto::Request::Submit {
+                    spec: spec.clone(),
+                    prio: epic_serve::Priority::Normal,
+                    deadline_ms: 0,
+                },
+            );
+        }
+    }
+    let responses = match swarm.run(std::time::Duration::from_secs(600)) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("swarm: {e}")),
+    };
+
+    // cross-check every response against the submission script: right
+    // key, and per-key digests all agree (then printed once per cell)
+    let (mut lost, mut crosswired, mut mismatched) = (0u64, 0u64, 0u64);
+    let mut digests: Vec<Option<epic_serve::CacheKey>> = vec![None; specs.len()];
+    let mut cell_lines: Vec<Option<String>> = vec![None; specs.len()];
+    for (c, conn) in responses.iter().enumerate() {
+        for (j, resp) in conn.iter().enumerate() {
+            let cell = (c + j) % specs.len();
+            match resp {
+                epic_serve::proto::Response::Done {
+                    key, measurement, ..
+                } => {
+                    if *key != specs[cell].job_key() {
+                        crosswired += 1;
+                        continue;
+                    }
+                    let d = epic_serve::digest(measurement);
+                    match &digests[cell] {
+                        None => {
+                            let (w, level) = &cells[cell];
+                            digests[cell] = Some(d);
+                            cell_lines[cell] = Some(cell_line(w.name, *level, measurement));
+                        }
+                        Some(first) if *first != d => mismatched += 1,
+                        Some(_) => {}
+                    }
+                }
+                _ => lost += 1,
+            }
+        }
+    }
+    for line in cell_lines.iter().flatten() {
+        println!("{line}");
+    }
+    println!(
+        "# saturate conns={conns} submits={} lost={lost} crosswired={crosswired} digest-mismatch={mismatched}",
+        conns * specs.len()
+    );
+    if lost + crosswired + mismatched > 0 {
+        return fail("saturation smoke found protocol violations");
     }
     ExitCode::SUCCESS
 }
