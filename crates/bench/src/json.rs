@@ -505,6 +505,22 @@ impl Suite {
                             ("promoted", Json::Num(m.compiled.promoted as f64)),
                             ("passes", Json::Arr(passes)),
                         ];
+                        if let Some(s) = &m.sim.sample {
+                            cell.push((
+                                "sample",
+                                Json::obj([
+                                    (
+                                        "mode",
+                                        Json::Str(
+                                            if s.fallback { "exact" } else { "sampled" }.into(),
+                                        ),
+                                    ),
+                                    ("intervals", Json::Num(s.intervals as f64)),
+                                    ("clusters", Json::Num(s.clusters as f64)),
+                                    ("est_error", Json::Num(s.est_error)),
+                                ]),
+                            ));
+                        }
                         if let Some(report) = &self.cache {
                             let cc = &report.cells[wi][li];
                             cell.push((
@@ -691,6 +707,67 @@ mod tests {
         let text = plain.to_json().render();
         assert!(!text.contains("cache_stats"));
         assert!(!text.contains(r#""cache""#));
+    }
+
+    #[test]
+    fn suite_json_carries_sample_blocks_and_round_trips() {
+        use crate::Suite;
+        let mut m = epic_serve::testutil::dummy_measurement(9);
+        m.sim.sample = Some(epic_sim::SampleInfo {
+            interval_len: 300_000,
+            intervals: 40,
+            clusters: 7,
+            total_ops: 12_000_000,
+            sampled_ops: 2_100_000,
+            est_error: 0.0125,
+            fallback: false,
+            phases: vec![0; 40],
+        });
+        let suite = Suite {
+            workloads: epic_workloads::all().into_iter().take(1).collect(),
+            results: vec![vec![m]],
+            levels: vec![epic_driver::OptLevel::Gcc],
+            cache: None,
+            traces: None,
+        };
+        let j = suite.to_json();
+        assert_eq!(roundtrip(&j), j);
+        let text = j.render();
+        assert!(
+            text.contains(
+                r#""sample":{"mode":"sampled","intervals":40,"clusters":7,"est_error":0.0125}"#
+            ),
+            "{text}"
+        );
+        // a fallback estimate reports itself as exact
+        let mut fb = epic_serve::testutil::dummy_measurement(9);
+        fb.sim.sample = Some(epic_sim::SampleInfo {
+            interval_len: 300_000,
+            intervals: 2,
+            clusters: 0,
+            total_ops: 5_000,
+            sampled_ops: 5_000,
+            est_error: 0.0,
+            fallback: true,
+            phases: vec![0, 0],
+        });
+        let fb_suite = Suite {
+            workloads: epic_workloads::all().into_iter().take(1).collect(),
+            results: vec![vec![fb]],
+            levels: vec![epic_driver::OptLevel::Gcc],
+            cache: None,
+            traces: None,
+        };
+        assert!(fb_suite.to_json().render().contains(r#""mode":"exact""#));
+        // a plain exact run carries no sample block at all
+        let plain = Suite {
+            workloads: epic_workloads::all().into_iter().take(1).collect(),
+            results: vec![vec![epic_serve::testutil::dummy_measurement(9)]],
+            levels: vec![epic_driver::OptLevel::Gcc],
+            cache: None,
+            traces: None,
+        };
+        assert!(!plain.to_json().render().contains(r#""sample""#));
     }
 
     #[test]

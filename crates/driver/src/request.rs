@@ -23,7 +23,7 @@
 
 use crate::parallel::{par_map, MatrixCell, MatrixError, MeasurementCache};
 use crate::{measure_traced, CompileOptions, Measurement, OptLevel};
-use epic_sim::SimOptions;
+use epic_sim::{SamplePolicy, SimOptions};
 use epic_trace::{Trace, TraceSnapshot};
 use epic_workloads::Workload;
 use std::time::{Duration, Instant};
@@ -161,6 +161,15 @@ impl<'a> MeasureRequest<'a> {
     /// Simulator configuration for every cell.
     pub fn sim_options(mut self, sopts: SimOptions) -> Self {
         self.sopts = sopts;
+        self
+    }
+
+    /// Sampling policy for the simulator half of every cell — a
+    /// shorthand for rewriting [`SimOptions::sample`] through
+    /// [`Self::sim_options`]. The default ([`SamplePolicy::Exact`])
+    /// simulates every retired operation.
+    pub fn sample(mut self, policy: SamplePolicy) -> Self {
+        self.sopts.sample = policy;
         self
     }
 

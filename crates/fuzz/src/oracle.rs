@@ -29,20 +29,28 @@
 //! 3. **Opt-level agreement.** If the interpreter finishes, every level
 //!    (compiled with `verify_each_pass`, so each transform is checked
 //!    individually) must simulate to the identical output stream.
-//! 4. **Profile invariance.** Training the ILP-CS profile on a different
+//! 4. **Sampled-sim agreement.** The SimPoint-style sampler
+//!    (DESIGN.md §12) re-runs the level with a small interval length;
+//!    its functional results (output stream, return value) must be
+//!    *identical* to the exact simulator's — sampling may only
+//!    extrapolate cycles — and the extrapolated accounting must still
+//!    satisfy the cycle identity.
+//! 5. **Profile invariance.** Training the ILP-CS profile on a different
 //!    input must not change the output — profile feedback may only move
 //!    cycles, never semantics (the paper's Sec. 4.6 experiment depends
 //!    on this).
-//! 5. **Cache consistency.** The measurement must survive the job
+//! 6. **Cache consistency.** The measurement must survive the job
 //!    service's wire codec bit-for-bit, and the content-addressed store
 //!    must serve the same digest for the same key across the whole
 //!    campaign — a violation means either the codec corrupts data, the
 //!    key function collides, or the pipeline is nondeterministic.
 
-use epic_driver::{compile_source, CompileOptions, DriverError, Measurement, ProfileInput};
+use epic_driver::{
+    compile_source, CompileOptions, Compiled, DriverError, Measurement, ProfileInput,
+};
 use epic_ir::interp::{self, InterpOptions, Trap};
 use epic_serve::{codec, ArtifactStore, JobSpec};
-use epic_sim::SimOptions;
+use epic_sim::{SamplePolicy, SimOptions, Warmup};
 use std::sync::OnceLock;
 
 pub use epic_driver::OptLevel;
@@ -60,6 +68,11 @@ pub struct OracleOptions {
     /// worst-case cycles-per-op, so it only fires on a genuine
     /// divergence.
     pub sim_fuel: u64,
+    /// Run the sampled-sim oracle: re-simulate each level through the
+    /// SimPoint-style sampler and demand identical functional results
+    /// plus a clean accounting identity (one extra sampled sim per
+    /// level — cheap, the sampler's replay is functional).
+    pub sampled_sim: bool,
     /// Run the profile-invariance oracle (needs one extra ILP-CS
     /// compile+sim per case).
     pub profile_invariance: bool,
@@ -78,6 +91,7 @@ impl Default for OracleOptions {
             levels: OptLevel::ALL.to_vec(),
             interp_fuel: 5_000_000,
             sim_fuel: 200_000_000,
+            sampled_sim: true,
             profile_invariance: true,
             cache_consistency: true,
             inject_bug: false,
@@ -211,6 +225,11 @@ pub fn check(src: &str, args: [i64; 2], train2: [i64; 2], opts: &OracleOptions) 
                 level: Some(level),
             });
         }
+        if opts.sampled_sim {
+            if let Some(f) = sampled_sim_failure(&compiled, &args, &sopts, &sim, level) {
+                return Verdict::Fail(f);
+            }
+        }
         sig = fold_sig(sig, compiled.pass_timeline.coverage_signature());
         if opts.cache_consistency {
             let m = Measurement {
@@ -274,6 +293,59 @@ pub fn check(src: &str, args: [i64; 2], train2: [i64; 2], opts: &OracleOptions) 
     }
 
     Verdict::Pass { signature: sig }
+}
+
+/// Oracle 4: the SimPoint-style sampler must be functionally invisible.
+/// Its output stream, return value, and memory checksum are produced by
+/// the functional profiling pass — any divergence from the exact
+/// simulator convicts the sampler's op-stream replay — and its
+/// extrapolated accounting must still charge every cycle exactly once.
+/// The tiny interval length forces genuine multi-interval sampling
+/// (clustering, representative replay, extrapolation) even on
+/// fuzz-sized programs.
+fn sampled_sim_failure(
+    compiled: &Compiled,
+    args: &[i64; 2],
+    sopts: &SimOptions,
+    exact: &epic_sim::SimResult,
+    level: OptLevel,
+) -> Option<Failure> {
+    let fail = |detail: String| {
+        Some(Failure {
+            bucket: format!("sampled-sim@{}", level.name()),
+            detail,
+            level: Some(level),
+        })
+    };
+    let sp = SimOptions {
+        sample: SamplePolicy::Sampled {
+            interval_len: 2_000,
+            max_clusters: 4,
+            warmup: Warmup::Full,
+        },
+        ..*sopts
+    };
+    let s = match epic_sim::run(&compiled.mach, args, &sp) {
+        Ok(s) => s,
+        Err(t) => return fail(format!("sampler trapped where exact finished: {t}")),
+    };
+    if s.output != exact.output {
+        return fail(format!(
+            "sampled output diverged ({} vs {} values)",
+            s.output.len(),
+            exact.output.len()
+        ));
+    }
+    if s.ret != exact.ret {
+        return fail(format!("sampled ret {} != exact {}", s.ret, exact.ret));
+    }
+    if s.checksum != exact.checksum {
+        return fail("sampled memory checksum diverged".into());
+    }
+    if let Err(e) = s.check_identity() {
+        return fail(format!("sampled accounting identity broken: {e}"));
+    }
+    None
 }
 
 /// Process-wide store backing the cache-consistency oracle. One store

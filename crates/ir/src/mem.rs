@@ -18,7 +18,7 @@
 //! kernel cycles.
 
 use crate::types::FuncId;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Page size for both the memory map and the simulated DTLB.
 pub const PAGE_SIZE: u64 = 4096;
@@ -64,10 +64,54 @@ impl std::fmt::Display for MemFault {
 
 impl std::error::Error for MemFault {}
 
+/// One simulated page.
+type Page = [u8; PAGE_SIZE as usize];
+
+/// Base of the stack region (the lowest valid stack address).
+const STACK_BASE: u64 = STACK_TOP - STACK_MAX;
+
+/// Lazily-populated flat page table for one contiguous region: page
+/// lookup is a subtract, a shift, and an index — no hashing. Missing
+/// entries read as zero.
+#[derive(Clone, Debug, Default)]
+struct PageTable {
+    pages: Vec<Option<Arc<Page>>>,
+}
+
+impl PageTable {
+    #[inline]
+    fn get(&self, index: u64) -> Option<&Page> {
+        match self.pages.get(index as usize) {
+            Some(Some(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The page at `index`, materializing it (and the table up to it) on
+    /// first write. Copy-on-write: a shared page is cloned before any
+    /// mutation.
+    fn get_mut(&mut self, index: u64) -> &mut Page {
+        let i = index as usize;
+        if i >= self.pages.len() {
+            self.pages.resize(i + 1, None);
+        }
+        Arc::make_mut(self.pages[i].get_or_insert_with(|| Arc::new([0u8; PAGE_SIZE as usize])))
+    }
+}
+
 /// Sparse paged memory with region-validity checking.
+///
+/// Each region (globals, heap, stack) has its own flat page table, so
+/// the load/store hot path is branch + index rather than a hash lookup.
+/// Pages are reference-counted copy-on-write: `clone` shares every page
+/// and a later write re-materializes only the touched page, so interval
+/// snapshots in `epic_sim::sample` cost O(resident pages) pointer bumps
+/// rather than a deep copy.
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    globals: PageTable,
+    heap: PageTable,
+    stack: PageTable,
     /// Current heap break; [`HEAP_BASE`]`..brk` is valid heap.
     pub brk: u64,
     /// End of the global region (set from the program's layout).
@@ -75,12 +119,86 @@ pub struct Memory {
 }
 
 impl Memory {
+    /// The page table owning `addr` and the page index within it.
+    /// `None` for addresses outside every storage region (NULL page,
+    /// function addresses, unmapped gaps). Storage regions are *static*
+    /// bounds — validity (`brk`, `globals_end`) is checked separately.
+    #[inline]
+    fn table(&self, addr: u64) -> Option<(&PageTable, u64)> {
+        if (HEAP_BASE..HEAP_MAX).contains(&addr) {
+            Some((&self.heap, (addr - HEAP_BASE) / PAGE_SIZE))
+        } else if addr >= STACK_BASE && addr < STACK_TOP {
+            Some((&self.stack, (addr - STACK_BASE) / PAGE_SIZE))
+        } else if (GLOBAL_BASE..HEAP_BASE).contains(&addr) {
+            Some((&self.globals, (addr - GLOBAL_BASE) / PAGE_SIZE))
+        } else {
+            None
+        }
+    }
+
+    /// Mutable variant of [`Memory::table`].
+    #[inline]
+    fn table_mut(&mut self, addr: u64) -> Option<(&mut PageTable, u64)> {
+        if (HEAP_BASE..HEAP_MAX).contains(&addr) {
+            Some((&mut self.heap, (addr - HEAP_BASE) / PAGE_SIZE))
+        } else if addr >= STACK_BASE && addr < STACK_TOP {
+            Some((&mut self.stack, (addr - STACK_BASE) / PAGE_SIZE))
+        } else if (GLOBAL_BASE..HEAP_BASE).contains(&addr) {
+            Some((&mut self.globals, (addr - GLOBAL_BASE) / PAGE_SIZE))
+        } else {
+            None
+        }
+    }
+
+    /// One-shot region classification for the access fast path:
+    /// `(table, region base, valid start, valid end)`. Folds the
+    /// [`Memory::table`] dispatch and both [`Memory::is_valid`] probes
+    /// of an access into a single range-check chain.
+    #[inline]
+    fn region(&self, addr: u64) -> Option<(&PageTable, u64, u64, u64)> {
+        if (HEAP_BASE..HEAP_MAX).contains(&addr) {
+            Some((&self.heap, HEAP_BASE, HEAP_BASE, self.brk))
+        } else if addr >= STACK_BASE && addr < STACK_TOP {
+            Some((&self.stack, STACK_BASE, STACK_TOP - STACK_MAX, STACK_TOP))
+        } else if (GLOBAL_BASE..HEAP_BASE).contains(&addr) {
+            Some((&self.globals, GLOBAL_BASE, GLOBAL_BASE, self.globals_end))
+        } else {
+            None
+        }
+    }
+
+    /// Mutable variant of [`Memory::region`].
+    #[inline]
+    fn region_mut(&mut self, addr: u64) -> Option<(&mut PageTable, u64, u64, u64)> {
+        if (HEAP_BASE..HEAP_MAX).contains(&addr) {
+            Some((&mut self.heap, HEAP_BASE, HEAP_BASE, self.brk))
+        } else if addr >= STACK_BASE && addr < STACK_TOP {
+            Some((
+                &mut self.stack,
+                STACK_BASE,
+                STACK_TOP - STACK_MAX,
+                STACK_TOP,
+            ))
+        } else if (GLOBAL_BASE..HEAP_BASE).contains(&addr) {
+            Some((
+                &mut self.globals,
+                GLOBAL_BASE,
+                GLOBAL_BASE,
+                self.globals_end,
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+impl Memory {
     /// Fresh memory with an empty heap and no globals.
     pub fn new() -> Memory {
         Memory {
-            pages: HashMap::new(),
             brk: HEAP_BASE,
             globals_end: GLOBAL_BASE,
+            ..Memory::default()
         }
     }
 
@@ -124,17 +242,16 @@ impl Memory {
     }
 
     fn write_byte(&mut self, addr: u64, byte: u8) {
-        let page = self
-            .pages
-            .entry(addr / PAGE_SIZE)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
-        page[(addr % PAGE_SIZE) as usize] = byte;
+        if let Some((t, pi)) = self.table_mut(addr) {
+            t.get_mut(pi)[(addr % PAGE_SIZE) as usize] = byte;
+        }
     }
 
     fn read_byte(&self, addr: u64) -> u8 {
-        self.pages
-            .get(&(addr / PAGE_SIZE))
-            .map_or(0, |p| p[(addr % PAGE_SIZE) as usize])
+        match self.table(addr) {
+            Some((t, pi)) => t.get(pi).map_or(0, |p| p[(addr % PAGE_SIZE) as usize]),
+            None => 0,
+        }
     }
 
     /// Read `size` bytes at `addr`, zero-extended.
@@ -172,6 +289,75 @@ impl Memory {
             self.write_byte(addr.wrapping_add(i), (val >> (8 * i)) as u8);
         }
         Ok(())
+    }
+
+    /// [`Memory::read`] with a single-page fast path: one validity range
+    /// check and one page lookup for the common case of an access that
+    /// does not straddle a page boundary. Region gaps are all far wider
+    /// than the 8-byte maximum access, so first-and-last-byte validity
+    /// implies every intermediate byte is valid.
+    ///
+    /// # Errors
+    /// Identical accept/reject behavior to [`Memory::read`].
+    #[inline]
+    pub fn read_fast(&self, addr: u64, size: u64) -> Result<u64, MemFault> {
+        let off = addr % PAGE_SIZE;
+        if off + size <= PAGE_SIZE && size > 0 {
+            if let Some((t, base, lo, hi)) = self.region(addr) {
+                // same-page access + page-aligned region boundaries mean
+                // first-and-last-byte validity covers every byte
+                if addr >= lo && addr + (size - 1) < hi {
+                    let page = t.get((addr - base) / PAGE_SIZE);
+                    let o = off as usize;
+                    return Ok(match (page, size) {
+                        (Some(p), 8) => {
+                            u64::from_le_bytes(p[o..o + 8].try_into().expect("8 bytes"))
+                        }
+                        (Some(p), 4) => {
+                            u32::from_le_bytes(p[o..o + 4].try_into().expect("4 bytes")).into()
+                        }
+                        (Some(p), _) => {
+                            let mut v = 0u64;
+                            for i in (0..size).rev() {
+                                v = (v << 8) | u64::from(p[o + i as usize]);
+                            }
+                            v
+                        }
+                        (None, _) => 0,
+                    });
+                }
+            }
+        }
+        self.read(addr, size)
+    }
+
+    /// [`Memory::write`] with the same single-page fast path as
+    /// [`Memory::read_fast`].
+    ///
+    /// # Errors
+    /// Identical accept/reject behavior to [`Memory::write`].
+    #[inline]
+    pub fn write_fast(&mut self, addr: u64, size: u64, val: u64) -> Result<(), MemFault> {
+        let off = addr % PAGE_SIZE;
+        if off + size <= PAGE_SIZE && size > 0 {
+            if let Some((t, base, lo, hi)) = self.region_mut(addr) {
+                if addr >= lo && addr + (size - 1) < hi {
+                    let page = t.get_mut((addr - base) / PAGE_SIZE);
+                    let o = off as usize;
+                    match size {
+                        8 => page[o..o + 8].copy_from_slice(&val.to_le_bytes()),
+                        4 => page[o..o + 4].copy_from_slice(&(val as u32).to_le_bytes()),
+                        _ => {
+                            for i in 0..size {
+                                page[o + i as usize] = (val >> (8 * i)) as u8;
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        self.write(addr, size, val)
     }
 }
 
@@ -234,6 +420,43 @@ mod tests {
         assert_eq!(func_from_addr(func_addr(f)), Some(f));
         assert_eq!(func_from_addr(0x42), None);
         assert_eq!(func_from_addr(func_addr(f) + 1), None);
+    }
+
+    #[test]
+    fn fast_paths_match_slow_paths() {
+        let mut m = stack_mem();
+        m.alloc(64);
+        let probes = [
+            STACK_TOP - 64,
+            STACK_TOP - PAGE_SIZE - 4, // straddles a page boundary
+            HEAP_BASE + 60,            // last bytes run past brk
+            0x1234,                    // wild
+            0,                         // NULL page
+        ];
+        for &a in &probes {
+            for size in [1u64, 2, 4, 8] {
+                let mut slow = stack_mem();
+                slow.alloc(64);
+                let ws = slow.write(a, size, 0x1122_3344_5566_7788);
+                let wf = m.write_fast(a, size, 0x1122_3344_5566_7788);
+                assert_eq!(ws, wf, "write {a:#x} size {size}");
+                assert_eq!(
+                    slow.read(a, size),
+                    m.read_fast(a, size),
+                    "read {a:#x} size {size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut m = stack_mem();
+        m.write(STACK_TOP - 8, 8, 111).unwrap();
+        let snap = m.clone();
+        m.write(STACK_TOP - 8, 8, 222).unwrap();
+        assert_eq!(snap.read(STACK_TOP - 8, 8).unwrap(), 111);
+        assert_eq!(m.read(STACK_TOP - 8, 8).unwrap(), 222);
     }
 
     #[test]

@@ -10,11 +10,14 @@
 
 use crate::key::{self, hash_bytes, CacheKey};
 use epic_driver::{CompiledStats, Measurement, PassRecord, PassTimeline};
-use epic_sim::{Counters, CycleAccounting, FuncMatrix, SimResult, NUM_CATEGORIES};
+use epic_sim::{
+    Counters, CycleAccounting, FuncMatrix, SampleInfo, SimResult, NUM_CATEGORIES, NUM_COUNTERS,
+};
 use std::time::Duration;
 
 /// On-disk / on-wire format version. Bump on any layout change.
-pub const FORMAT_VERSION: u32 = 1;
+/// (2: sampled-simulation metadata appended to the sim result.)
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Magic prefix of every serialized measurement.
 pub const MAGIC: &[u8; 4] = b"EPSV";
@@ -298,67 +301,56 @@ fn dec_ilp(d: &mut Dec) -> Result<epic_core::IlpStats, CodecError> {
 }
 
 fn enc_counters(e: &mut Enc, c: &Counters) {
-    for v in counters_cells(c) {
+    for v in c.to_array() {
         e.u64(v);
     }
 }
 
-/// All counter fields in declaration order (shared by the encoder and
-/// the digest).
-fn counters_cells(c: &Counters) -> [u64; 23] {
-    [
-        c.retired_useful,
-        c.retired_squashed,
-        c.retired_nops,
-        c.dynamic_branches,
-        c.branch_predictions,
-        c.branch_mispredictions,
-        c.l1i_accesses,
-        c.l1i_misses,
-        c.l1d_accesses,
-        c.l1d_misses,
-        c.l2_accesses,
-        c.l2_misses,
-        c.l3_accesses,
-        c.l3_misses,
-        c.spec_loads,
-        c.deferred_loads,
-        c.wild_loads,
-        c.dtlb_misses,
-        c.chk_recoveries,
-        c.adv_loads,
-        c.alat_misses,
-        c.rse_regs_moved,
-        c.calls,
-    ]
+fn dec_counters(d: &mut Dec) -> Result<Counters, CodecError> {
+    let mut a = [0u64; NUM_COUNTERS];
+    for v in &mut a {
+        *v = d.u64()?;
+    }
+    Ok(Counters::from_array(a))
 }
 
-fn dec_counters(d: &mut Dec) -> Result<Counters, CodecError> {
-    Ok(Counters {
-        retired_useful: d.u64()?,
-        retired_squashed: d.u64()?,
-        retired_nops: d.u64()?,
-        dynamic_branches: d.u64()?,
-        branch_predictions: d.u64()?,
-        branch_mispredictions: d.u64()?,
-        l1i_accesses: d.u64()?,
-        l1i_misses: d.u64()?,
-        l1d_accesses: d.u64()?,
-        l1d_misses: d.u64()?,
-        l2_accesses: d.u64()?,
-        l2_misses: d.u64()?,
-        l3_accesses: d.u64()?,
-        l3_misses: d.u64()?,
-        spec_loads: d.u64()?,
-        deferred_loads: d.u64()?,
-        wild_loads: d.u64()?,
-        dtlb_misses: d.u64()?,
-        chk_recoveries: d.u64()?,
-        adv_loads: d.u64()?,
-        alat_misses: d.u64()?,
-        rse_regs_moved: d.u64()?,
-        calls: d.u64()?,
-    })
+fn enc_sample(e: &mut Enc, s: &Option<SampleInfo>) {
+    match s {
+        None => e.bool(false),
+        Some(s) => {
+            e.bool(true);
+            e.u64(s.interval_len);
+            e.usize(s.intervals);
+            e.usize(s.clusters);
+            e.u64(s.total_ops);
+            e.u64(s.sampled_ops);
+            e.f64(s.est_error);
+            e.bool(s.fallback);
+            e.usize(s.phases.len());
+            for &p in &s.phases {
+                e.u32(p);
+            }
+        }
+    }
+}
+
+fn dec_sample(d: &mut Dec) -> Result<Option<SampleInfo>, CodecError> {
+    if !d.bool()? {
+        return Ok(None);
+    }
+    Ok(Some(SampleInfo {
+        interval_len: d.u64()?,
+        intervals: d.usize()?,
+        clusters: d.usize()?,
+        total_ops: d.u64()?,
+        sampled_ops: d.u64()?,
+        est_error: d.f64()?,
+        fallback: d.bool()?,
+        phases: {
+            let n = d.usize()?;
+            (0..n).map(|_| d.u32()).collect::<Result<Vec<_>, _>>()?
+        },
+    }))
 }
 
 fn encode_into(e: &mut Enc, m: &Measurement, zero_wall: bool) {
@@ -407,6 +399,7 @@ fn encode_into(e: &mut Enc, m: &Measurement, zero_wall: bool) {
             e.u64(v);
         }
     }
+    enc_sample(e, &s.sample);
 }
 
 /// Serialize a measurement (header + body). The ring trace, if any, is
@@ -486,6 +479,7 @@ pub fn decode_measurement_body(d: &mut Dec) -> Result<Measurement, CodecError> {
         }
         rows.push(row);
     }
+    let sample = dec_sample(d)?;
     Ok(Measurement {
         level,
         compiled: CompiledStats {
@@ -508,6 +502,7 @@ pub fn decode_measurement_body(d: &mut Dec) -> Result<Measurement, CodecError> {
             counters,
             func_matrix: FuncMatrix::from_rows(rows),
             trace: Vec::new(),
+            sample,
         },
     })
 }

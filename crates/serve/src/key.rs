@@ -17,12 +17,13 @@
 
 use epic_driver::{CompileOptions, OptLevel, ProfileInput};
 use epic_mach::MachineConfig;
-use epic_sim::{SimOptions, SpecModel};
+use epic_sim::{SamplePolicy, SimOptions, SpecModel, Warmup};
 use epic_workloads::Workload;
 
 /// Version tag mixed into every canonical serialization. Bump on any
 /// change to [`JobSpec`]'s meaning or encoding.
-pub const CANON_VERSION: u32 = 1;
+/// (2: sampling policy joins the simulation half of the job.)
+pub const CANON_VERSION: u32 = 2;
 
 /// A stable 128-bit content hash.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -177,6 +178,31 @@ pub fn spec_model_from_tag(tag: u8) -> Option<SpecModel> {
     }
 }
 
+/// Append a [`SamplePolicy`], tag byte first (0 exact, 1 sampled; the
+/// warmup nests its own tag: 0 cold, 1 ops, 2 full).
+pub fn canon_sample_policy(c: &mut Canon, p: SamplePolicy) {
+    match p {
+        SamplePolicy::Exact => c.u8(0),
+        SamplePolicy::Sampled {
+            interval_len,
+            max_clusters,
+            warmup,
+        } => {
+            c.u8(1);
+            c.u64(interval_len);
+            c.usize(max_clusters);
+            match warmup {
+                Warmup::Cold => c.u8(0),
+                Warmup::Ops(w) => {
+                    c.u8(1);
+                    c.u64(w);
+                }
+                Warmup::Full => c.u8(2),
+            }
+        }
+    }
+}
+
 /// Stable one-byte encoding of a [`ProfileInput`].
 pub fn profile_input_tag(p: ProfileInput) -> u8 {
     match p {
@@ -250,6 +276,10 @@ pub struct JobSpec {
     pub sim_fuel: u64,
     /// Speculation recovery model (paper Fig. 9).
     pub spec_model: SpecModel,
+    /// Exact or sampled simulation: an estimate must never be served
+    /// where an exact result was asked for (or vice versa), so the
+    /// policy is part of the job's identity.
+    pub sample: SamplePolicy,
 }
 
 impl JobSpec {
@@ -286,6 +316,7 @@ impl JobSpec {
             config: sopts.config,
             sim_fuel: sopts.fuel_cycles,
             spec_model: sopts.spec_model,
+            sample: sopts.sample,
         }
     }
 
@@ -320,6 +351,7 @@ impl JobSpec {
             fuel_cycles: self.sim_fuel,
             spec_model: self.spec_model,
             trace_capacity: 0,
+            sample: self.sample,
         }
     }
 
@@ -353,6 +385,7 @@ impl JobSpec {
         c.i64s(&self.ref_args);
         c.u64(self.sim_fuel);
         c.u8(spec_model_tag(self.spec_model));
+        canon_sample_policy(&mut c, self.sample);
         c.finish()
     }
 
@@ -442,6 +475,18 @@ mod tests {
         c.ref_args = vec![1, 2, 3];
         assert_eq!(a.compile_key(), c.compile_key());
         assert_ne!(a.job_key(), c.job_key());
+        // sampled and exact runs of the same job are distinct jobs
+        let mut s = a.clone();
+        s.sample = SamplePolicy::default_sampled();
+        assert_eq!(a.compile_key(), s.compile_key());
+        assert_ne!(a.job_key(), s.job_key());
+        let mut s2 = s.clone();
+        s2.sample = SamplePolicy::Sampled {
+            interval_len: 1000,
+            max_clusters: 4,
+            warmup: Warmup::Full,
+        };
+        assert_ne!(s.job_key(), s2.job_key());
         // ... while source or level changes alter both
         let mut d = a.clone();
         d.level = OptLevel::ONs;

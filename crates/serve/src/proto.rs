@@ -25,6 +25,7 @@ use crate::sched::{JobStatus, Priority, SchedStats};
 use crate::store::StoreStats;
 use epic_driver::Measurement;
 use epic_mach::{CacheConfig, MachineConfig};
+use epic_sim::{SamplePolicy, Warmup};
 use epic_trace::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot};
 use std::io::{Read, Write};
 
@@ -128,6 +129,52 @@ fn enc_spec(e: &mut Enc, s: &JobSpec) {
     e.bytes(&canon.finish());
     e.u64(s.sim_fuel);
     e.u8(spec_model_tag(s.spec_model));
+    enc_sample_policy(e, s.sample);
+}
+
+fn enc_sample_policy(e: &mut Enc, p: SamplePolicy) {
+    match p {
+        SamplePolicy::Exact => e.u8(0),
+        SamplePolicy::Sampled {
+            interval_len,
+            max_clusters,
+            warmup,
+        } => {
+            e.u8(1);
+            e.u64(interval_len);
+            e.usize(max_clusters);
+            match warmup {
+                Warmup::Cold => e.u8(0),
+                Warmup::Ops(w) => {
+                    e.u8(1);
+                    e.u64(w);
+                }
+                Warmup::Full => e.u8(2),
+            }
+        }
+    }
+}
+
+fn dec_sample_policy(d: &mut Dec) -> Result<SamplePolicy, CodecError> {
+    match d.u8()? {
+        0 => Ok(SamplePolicy::Exact),
+        1 => {
+            let interval_len = d.u64()?;
+            let max_clusters = d.usize()?;
+            let warmup = match d.u8()? {
+                0 => Warmup::Cold,
+                1 => Warmup::Ops(d.u64()?),
+                2 => Warmup::Full,
+                t => return Err(CodecError(format!("bad warmup tag {t}"))),
+            };
+            Ok(SamplePolicy::Sampled {
+                interval_len,
+                max_clusters,
+                warmup,
+            })
+        }
+        t => Err(CodecError(format!("bad sample-policy tag {t}"))),
+    }
 }
 
 fn dec_cache_cfg(d: &mut Dec) -> Result<CacheConfig, CodecError> {
@@ -186,6 +233,7 @@ fn dec_spec(d: &mut Dec) -> Result<JobSpec, CodecError> {
         sim_fuel: d.u64()?,
         spec_model: spec_model_from_tag(d.u8()?)
             .ok_or_else(|| CodecError("bad spec-model tag".to_string()))?,
+        sample: dec_sample_policy(d)?,
     })
 }
 

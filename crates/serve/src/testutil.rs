@@ -67,6 +67,7 @@ pub fn dummy_measurement(seed: u64) -> Measurement {
             counters,
             func_matrix: FuncMatrix::from_rows(rows),
             trace: Vec::new(),
+            sample: None,
         },
     }
 }

@@ -369,6 +369,13 @@ impl Attribution {
         &self.counters
     }
 
+    /// Read-only view of the per-function matrix (used by
+    /// `crate::sample` to diff per-interval charges out of a live
+    /// engine without tearing it down).
+    pub fn matrix(&self) -> &FuncMatrix {
+        &self.matrix
+    }
+
     /// Report one event. This is the *only* way cycles or counters move:
     /// the match below is the complete cost/category model.
     pub fn emit(&mut self, ev: SimEvent) {

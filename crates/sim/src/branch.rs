@@ -1,5 +1,5 @@
 //! Branch prediction: a gshare direction predictor with a return-address
-//! stack. (The paper notes branch misprediction accounts for relatively
+//! stack (a ring: pushes past the depth drop the oldest entry in O(1)). (The paper notes branch misprediction accounts for relatively
 //! few cycles on Itanium 2 — Sec. 3.5 — which a competent predictor
 //! reproduces.)
 
@@ -8,7 +8,7 @@
 pub struct Predictor {
     table: Vec<u8>,
     history: u64,
-    rsb: Vec<u64>,
+    rsb: std::collections::VecDeque<u64>,
     /// Conditional-branch predictions made.
     pub predictions: u64,
     /// Conditional-branch mispredictions.
@@ -25,7 +25,7 @@ impl Predictor {
         Predictor {
             table: vec![1u8; 1 << TABLE_BITS],
             history: 0,
-            rsb: Vec::new(),
+            rsb: std::collections::VecDeque::with_capacity(RSB_DEPTH),
             predictions: 0,
             mispredictions: 0,
         }
@@ -54,14 +54,14 @@ impl Predictor {
     /// Record a call's return address.
     pub fn push_return(&mut self, ret_addr: u64) {
         if self.rsb.len() == RSB_DEPTH {
-            self.rsb.remove(0);
+            self.rsb.pop_front();
         }
-        self.rsb.push(ret_addr);
+        self.rsb.push_back(ret_addr);
     }
 
     /// Predict a return; returns whether the RSB was correct.
     pub fn pop_return(&mut self, actual: u64) -> bool {
-        match self.rsb.pop() {
+        match self.rsb.pop_back() {
             Some(a) => a == actual,
             None => false,
         }

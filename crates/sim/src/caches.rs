@@ -3,11 +3,20 @@
 
 use epic_mach::config::CacheConfig;
 
-/// One set-associative LRU cache.
+/// Tag value marking an unfilled way. Unreachable as a real tag: it
+/// would require an address within one line of `u64::MAX`.
+const EMPTY: u64 = u64::MAX;
+
+/// One set-associative LRU cache. Tags live in a single flat array,
+/// MRU-first within each set's way slice.
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<u64>>, // per set: line tags, MRU first
+    tags: Box<[u64]>, // n_sets x ways, MRU first per set
+    n_sets: u64,
+    ways: usize,
+    line_shift: u32, // valid only when `pow2`
+    pow2: bool,      // line size and set count both powers of two
     /// Total accesses.
     pub accesses: u64,
     /// Total misses.
@@ -18,36 +27,46 @@ impl Cache {
     /// Build a cache from its geometry.
     pub fn new(cfg: CacheConfig) -> Cache {
         let n_sets = (cfg.size / (cfg.line * cfg.ways)).max(1);
+        let ways = cfg.ways as usize;
         Cache {
             cfg,
-            sets: vec![Vec::new(); n_sets as usize],
+            tags: vec![EMPTY; n_sets as usize * ways].into_boxed_slice(),
+            n_sets,
+            ways,
+            line_shift: cfg.line.trailing_zeros(),
+            pow2: cfg.line.is_power_of_two() && n_sets.is_power_of_two(),
             accesses: 0,
             misses: 0,
         }
-    }
-
-    fn set_of(&self, addr: u64) -> usize {
-        ((addr / self.cfg.line) % self.sets.len() as u64) as usize
     }
 
     /// Access the line containing `addr`; returns true on hit. Misses
     /// allocate (evicting LRU).
     pub fn access(&mut self, addr: u64) -> bool {
         self.accesses += 1;
-        let tag = addr / self.cfg.line;
-        let si = self.set_of(addr);
-        let ways = self.cfg.ways as usize;
-        let set = &mut self.sets[si];
-        if let Some(pos) = set.iter().position(|&t| t == tag) {
-            let t = set.remove(pos);
-            set.insert(0, t);
-            true
+        let (tag, si) = if self.pow2 {
+            let tag = addr >> self.line_shift;
+            (tag, (tag & (self.n_sets - 1)) as usize)
         } else {
-            self.misses += 1;
-            set.insert(0, tag);
-            set.truncate(ways);
-            false
+            let tag = addr / self.cfg.line;
+            (tag, (tag % self.n_sets) as usize)
+        };
+        let base = si * self.ways;
+        let set = &mut self.tags[base..base + self.ways];
+        if set[0] == tag {
+            return true;
         }
+        for i in 1..set.len() {
+            if set[i] == tag {
+                set.copy_within(..i, 1);
+                set[0] = tag;
+                return true;
+            }
+        }
+        self.misses += 1;
+        set.copy_within(..set.len() - 1, 1);
+        set[0] = tag;
+        false
     }
 
     /// Hit latency of this level.

@@ -214,6 +214,71 @@ pub struct Counters {
     pub calls: u64,
 }
 
+/// Number of fields in [`Counters`] (the [`Counters::to_array`] length).
+pub const NUM_COUNTERS: usize = 23;
+
+impl Counters {
+    /// All counters as a dense array, in declaration order — the shape
+    /// sampled extrapolation and serialization work in. Inverse of
+    /// [`Counters::from_array`].
+    pub fn to_array(&self) -> [u64; NUM_COUNTERS] {
+        [
+            self.retired_useful,
+            self.retired_squashed,
+            self.retired_nops,
+            self.dynamic_branches,
+            self.branch_predictions,
+            self.branch_mispredictions,
+            self.l1i_accesses,
+            self.l1i_misses,
+            self.l1d_accesses,
+            self.l1d_misses,
+            self.l2_accesses,
+            self.l2_misses,
+            self.l3_accesses,
+            self.l3_misses,
+            self.spec_loads,
+            self.deferred_loads,
+            self.wild_loads,
+            self.dtlb_misses,
+            self.chk_recoveries,
+            self.adv_loads,
+            self.alat_misses,
+            self.rse_regs_moved,
+            self.calls,
+        ]
+    }
+
+    /// Rebuild counters from a [`Counters::to_array`] array.
+    pub fn from_array(a: [u64; NUM_COUNTERS]) -> Counters {
+        Counters {
+            retired_useful: a[0],
+            retired_squashed: a[1],
+            retired_nops: a[2],
+            dynamic_branches: a[3],
+            branch_predictions: a[4],
+            branch_mispredictions: a[5],
+            l1i_accesses: a[6],
+            l1i_misses: a[7],
+            l1d_accesses: a[8],
+            l1d_misses: a[9],
+            l2_accesses: a[10],
+            l2_misses: a[11],
+            l3_accesses: a[12],
+            l3_misses: a[13],
+            spec_loads: a[14],
+            deferred_loads: a[15],
+            wild_loads: a[16],
+            dtlb_misses: a[17],
+            chk_recoveries: a[18],
+            adv_loads: a[19],
+            alat_misses: a[20],
+            rse_regs_moved: a[21],
+            calls: a[22],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

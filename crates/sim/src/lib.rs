@@ -27,10 +27,15 @@ pub mod caches;
 pub mod counters;
 pub mod machine;
 pub mod rse;
+pub mod sample;
 pub mod tlb;
 pub mod tracesink;
 
 pub use attrib::{Attribution, ChargeRecord, EventSink, FuncMatrix, Location, RingTrace, SimEvent};
-pub use counters::{Category, Counters, CycleAccounting, CATEGORIES, NUM_CATEGORIES};
+pub use counters::{Category, Counters, CycleAccounting, CATEGORIES, NUM_CATEGORIES, NUM_COUNTERS};
 pub use machine::{run, run_with_sinks, SimOptions, SimResult, SimTrap, SpecModel, TrapKind};
+pub use sample::{
+    kmeans, phase_profile, Centroid, Kmeans, PhaseProfile, SampleInfo, SamplePolicy, Warmup,
+    BBV_DIM,
+};
 pub use tracesink::{ChargeStats, TraceSink};

@@ -54,6 +54,9 @@ pub struct SimOptions {
     /// Keep the last N arbitrated charges in a ring-buffer trace
     /// (`SimResult::trace`); 0 disables tracing (the default).
     pub trace_capacity: usize,
+    /// Exact cycle-accurate simulation (the default) or SimPoint-style
+    /// sampled estimation (`crate::sample`).
+    pub sample: crate::sample::SamplePolicy,
 }
 
 impl Default for SimOptions {
@@ -63,6 +66,7 @@ impl Default for SimOptions {
             fuel_cycles: 20_000_000_000,
             spec_model: SpecModel::General,
             trace_capacity: 0,
+            sample: crate::sample::SamplePolicy::Exact,
         }
     }
 }
@@ -163,6 +167,11 @@ pub struct SimResult {
     /// The most recent arbitrated charges when
     /// [`SimOptions::trace_capacity`] was nonzero; empty otherwise.
     pub trace: Vec<crate::attrib::ChargeRecord>,
+    /// Sampling metadata when the run used
+    /// [`SamplePolicy::Sampled`](crate::sample::SamplePolicy); `None` for
+    /// exact runs. Cycles/acct/counters/matrix are *estimates* when this
+    /// is `Some` (output, checksum, and ret are always exact).
+    pub sample: Option<crate::sample::SampleInfo>,
 }
 
 impl SimResult {
@@ -203,17 +212,18 @@ impl SimResult {
     }
 }
 
-struct Frame {
-    regs: Vec<Value>,
-    ready: Vec<u64>,
-    producer: Vec<StallProducer>,
-    sp: u64,
-    ret_pos: (usize, usize),
-    ret_dst: Option<Vreg>,
+#[derive(Clone)]
+pub(crate) struct Frame {
+    pub(crate) regs: Vec<Value>,
+    pub(crate) ready: Vec<u64>,
+    pub(crate) producer: Vec<StallProducer>,
+    pub(crate) sp: u64,
+    pub(crate) ret_pos: (usize, usize),
+    pub(crate) ret_dst: Option<Vreg>,
 }
 
 impl Frame {
-    fn new(nregs: usize, sp: u64) -> Frame {
+    pub(crate) fn new(nregs: usize, sp: u64) -> Frame {
         Frame {
             regs: vec![Value::default(); nregs],
             ready: vec![0; nregs],
@@ -225,7 +235,7 @@ impl Frame {
     }
 }
 
-const NREGS: usize = (epic_mach::GR_WINDOW + epic_mach::PR_COUNT) as usize;
+pub(crate) const NREGS: usize = (epic_mach::GR_WINDOW + epic_mach::PR_COUNT) as usize;
 
 /// Run a compiled program.
 ///
@@ -233,13 +243,15 @@ const NREGS: usize = (epic_mach::GR_WINDOW + epic_mach::PR_COUNT) as usize;
 /// Returns a [`SimTrap`] on any runtime error; correct compiled workloads
 /// never trap.
 pub fn run(mp: &MachProgram, args: &[i64], opts: &SimOptions) -> Result<SimResult, SimTrap> {
-    Sim::new(mp, opts).run(args)
+    run_with_sinks(mp, args, opts, Vec::new())
 }
 
 /// [`run`] with caller-supplied [`EventSink`]s attached to the
 /// attribution engine before dispatch starts. Sinks observe every
 /// arbitrated charge; they are dropped (and may publish their totals —
-/// see [`crate::tracesink::TraceSink`]) when the run completes.
+/// see [`crate::tracesink::TraceSink`]) when the run completes. Under
+/// [`SamplePolicy::Sampled`](crate::sample::SamplePolicy) sinks observe
+/// only the detailed-simulated representative intervals.
 ///
 /// # Errors
 /// Same as [`run`].
@@ -249,35 +261,62 @@ pub fn run_with_sinks(
     opts: &SimOptions,
     sinks: Vec<Box<dyn crate::attrib::EventSink>>,
 ) -> Result<SimResult, SimTrap> {
-    let mut sim = Sim::new(mp, opts);
-    for sink in sinks {
-        sim.attrib.add_sink(sink);
+    match opts.sample {
+        crate::sample::SamplePolicy::Exact => {
+            let mut sim = Sim::new(mp, opts);
+            for sink in sinks {
+                sim.attrib.add_sink(sink);
+            }
+            sim.run(args)
+        }
+        crate::sample::SamplePolicy::Sampled {
+            interval_len,
+            max_clusters,
+            warmup,
+        } => crate::sample::run_sampled(mp, args, opts, interval_len, max_clusters, warmup, sinks),
     }
-    sim.run(args)
 }
 
-struct Sim<'a> {
-    mp: &'a MachProgram,
-    cfg: MachineConfig,
-    spec_model: SpecModel,
-    fuel: u64,
-    mem: Memory,
-    hier: Hierarchy,
-    pred: Predictor,
-    dtlb: Dtlb,
-    rse: Rse,
-    attrib: Attribution,
-    output: Vec<u64>,
-    ib_ops: f64,
-    last_line: u64,
-    recent_stores: VecDeque<(u64, u64)>,
+/// How a bounded [`Sim::exec`] call ended.
+pub(crate) enum Exec {
+    /// The program returned from `main` with this value.
+    Done(u64),
+    /// The op budget was reached; execution stopped at an issue-group
+    /// boundary and can resume with another `exec` call.
+    Paused,
+}
+
+pub(crate) struct Sim<'a> {
+    pub(crate) mp: &'a MachProgram,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) spec_model: SpecModel,
+    pub(crate) fuel: u64,
+    pub(crate) mem: Memory,
+    pub(crate) hier: Hierarchy,
+    pub(crate) pred: Predictor,
+    pub(crate) dtlb: Dtlb,
+    pub(crate) rse: Rse,
+    pub(crate) attrib: Attribution,
+    pub(crate) output: Vec<u64>,
+    pub(crate) ib_ops: f64,
+    pub(crate) last_line: u64,
+    pub(crate) recent_stores: VecDeque<(u64, u64)>,
     /// ALAT: (frame depth, value register) -> watched address range.
-    alat: VecDeque<((usize, u32), u64, u64)>,
-    depth: usize,
+    pub(crate) alat: VecDeque<((usize, u32), u64, u64)>,
+    pub(crate) depth: usize,
+    /// Current frame, frame stack, and next issue-group position —
+    /// fields (not `run` locals) so execution can pause and resume at
+    /// group boundaries for sampled simulation.
+    pub(crate) frame: Frame,
+    pub(crate) stack: Vec<Frame>,
+    pub(crate) pos: (usize, usize),
+    /// Retired-slot count (real ops incl. squashed, excl. nops), the
+    /// interval clock for `crate::sample`.
+    pub(crate) ops: u64,
 }
 
 impl<'a> Sim<'a> {
-    fn new(mp: &'a MachProgram, opts: &SimOptions) -> Sim<'a> {
+    pub(crate) fn new(mp: &'a MachProgram, opts: &SimOptions) -> Sim<'a> {
         let mut mem = Memory::new();
         mem.init_globals(&mp.ir);
         Sim {
@@ -297,6 +336,10 @@ impl<'a> Sim<'a> {
             recent_stores: VecDeque::new(),
             alat: VecDeque::new(),
             depth: 0,
+            frame: Frame::new(0, 0),
+            stack: Vec::new(),
+            pos: (0, 0),
+            ops: 0,
         }
     }
 
@@ -312,23 +355,63 @@ impl<'a> Sim<'a> {
     }
 
     fn run(mut self, args: &[i64]) -> Result<SimResult, SimTrap> {
-        let entry = self.mp.ir.entry.index();
-        let ef = &self.mp.funcs[entry];
+        self.start(args);
+        match self.exec(u64::MAX)? {
+            Exec::Done(ret) => Ok(self.into_result(ret)),
+            Exec::Paused => unreachable!("unbounded exec cannot pause"),
+        }
+    }
+
+    /// Set up `main`'s frame, arguments, and RSE window. Must be called
+    /// exactly once before [`Sim::exec`].
+    pub(crate) fn start(&mut self, args: &[i64]) {
+        let mp = self.mp;
+        let entry = mp.ir.entry.index();
+        let ef = &mp.funcs[entry];
         let mut frame = Frame::new(NREGS, STACK_TOP - ((ef.frame_size + 15) & !15));
         for (i, &r) in ef.param_regs.iter().enumerate() {
             frame.regs[r as usize] = Value::new(args.get(i).copied().unwrap_or(0) as u64);
         }
-        let mut stack: Vec<Frame> = Vec::new();
-        let mut pos = (entry, ef.entry);
-        // reusable per-group write buffer (avoids a heap allocation per
-        // simulated cycle)
-        let mut writes: Vec<(Vreg, Value, u64, StallProducer)> = Vec::with_capacity(16);
+        self.frame = frame;
+        self.pos = (entry, ef.entry);
         // start the RSE with main's window
         self.attrib.at(entry, ef.entry);
         let (regs, stall) = self.rse.call(ef.n_gr);
         self.attrib.emit(SimEvent::RseTraffic { regs, stall });
+    }
+
+    /// Package a finished run. `ret` is `main`'s return value.
+    pub(crate) fn into_result(self, ret: u64) -> SimResult {
+        let cycles = self.attrib.total();
+        let (acct, counters, func_matrix, trace) = self.attrib.finish();
+        SimResult {
+            checksum: checksum(&self.output),
+            output: self.output,
+            ret,
+            cycles,
+            acct,
+            counters,
+            func_matrix,
+            trace,
+            sample: None,
+        }
+    }
+
+    /// Dispatch issue groups until the program returns or `self.ops`
+    /// reaches `op_budget` (checked at group boundaries, so a bundle —
+    /// indeed a whole issue group — is never split). `u64::MAX` runs to
+    /// completion.
+    pub(crate) fn exec(&mut self, op_budget: u64) -> Result<Exec, SimTrap> {
+        // reusable per-group write buffer (avoids a heap allocation per
+        // simulated cycle)
+        let mut writes: Vec<(Vreg, Value, u64, StallProducer)> = Vec::with_capacity(16);
+        let mp = self.mp;
 
         loop {
+            if self.ops >= op_budget {
+                return Ok(Exec::Paused);
+            }
+            let pos = self.pos;
             if self.attrib.total() > self.fuel {
                 return Err(self.trap_at(TrapKind::OutOfFuel, pos));
             }
@@ -336,7 +419,7 @@ impl<'a> Sim<'a> {
             // attribute everything this group does — fetch, stall, issue,
             // recovery — to the function executing it
             self.attrib.at(func_i, first_bundle);
-            let f = &self.mp.funcs[func_i];
+            let f = &mp.funcs[func_i];
             if first_bundle >= f.bundles.len() {
                 return Err(self.trap_at(
                     TrapKind::Malformed(format!("fell off code at bundle {first_bundle}")),
@@ -356,6 +439,7 @@ impl<'a> Sim<'a> {
             }
             let group_bundles = &f.bundles[first_bundle..=end_bundle];
             let group_size: usize = group_bundles.iter().map(|b| b.op_count()).sum();
+            self.ops += group_size as u64;
 
             // --- front end: fetch the group's cache lines ---
             for k in 0..group_bundles.len() {
@@ -391,13 +475,13 @@ impl<'a> Sim<'a> {
                 for s in &b.slots {
                     let Slot::Op(op) = s else { continue };
                     for u in op.uses() {
-                        let mut t = frame.ready[u.index()];
+                        let mut t = self.frame.ready[u.index()];
                         if op.is_branch() && op.guard == Some(u) {
                             t = t.saturating_sub(1); // predicate->branch forwarding
                         }
                         if t > need {
                             need = t;
-                            blame = frame.producer[u.index()];
+                            blame = self.frame.producer[u.index()];
                         }
                     }
                 }
@@ -437,9 +521,9 @@ impl<'a> Sim<'a> {
                                     .rev()
                                     .find(|(r, ..)| *r == g)
                                     .map(|(_, v, ..)| *v)
-                                    .unwrap_or(frame.regs[g.index()])
+                                    .unwrap_or(self.frame.regs[g.index()])
                             } else {
-                                frame.regs[g.index()]
+                                self.frame.regs[g.index()]
                             };
                             v.is_true()
                         }
@@ -460,7 +544,7 @@ impl<'a> Sim<'a> {
                     self.attrib.emit(SimEvent::Retired(Retire::Useful));
                     macro_rules! ev {
                         ($o:expr) => {
-                            eval_operand(&frame, self.mp, $o)
+                            eval_operand(&self.frame, mp, $o)
                         };
                     }
                     match op.opcode {
@@ -629,11 +713,11 @@ impl<'a> Sim<'a> {
                             };
                             self.attrib.emit(SimEvent::CallExecuted);
                             self.attrib.emit(SimEvent::BranchExecuted);
-                            let cf = &self.mp.funcs[callee];
+                            let cf = &mp.funcs[callee];
                             let (regs, stall) = self.rse.call(cf.n_gr);
                             self.attrib.emit(SimEvent::RseTraffic { regs, stall });
                             self.pred.push_return(f.bundle_addr(end_bundle + 1));
-                            let sp = frame.sp - ((cf.frame_size + 15) & !15);
+                            let sp = self.frame.sp - ((cf.frame_size + 15) & !15);
                             if sp < STACK_TOP - epic_ir::mem::STACK_MAX {
                                 return Err(self.trap_at(TrapKind::MemFault(sp), pos));
                             }
@@ -657,24 +741,24 @@ impl<'a> Sim<'a> {
                             let val = op.srcs.first().map(|o| ev!(o)).unwrap_or(Value::new(0));
                             let (regs, stall) = self.rse.ret();
                             self.attrib.emit(SimEvent::RseTraffic { regs, stall });
-                            match stack.pop() {
+                            match self.stack.pop() {
                                 Some(mut caller) => {
                                     // the return-address stack predicts
                                     // returns; underflow mispredicts
-                                    let expected =
-                                        self.mp.funcs[frame.ret_pos.0].bundle_addr(frame.ret_pos.1);
+                                    let expected = mp.funcs[self.frame.ret_pos.0]
+                                        .bundle_addr(self.frame.ret_pos.1);
                                     if !self.pred.pop_return(expected) {
                                         self.attrib.emit(SimEvent::ReturnMispredicted {
                                             flush_cycles: self.cfg.mispredict_penalty,
                                         });
                                     }
-                                    if let Some(d) = frame.ret_dst {
+                                    if let Some(d) = self.frame.ret_dst {
                                         caller.regs[d.index()] = val;
                                         caller.ready[d.index()] = issue + 1;
                                         caller.producer[d.index()] = StallProducer::Other;
                                     }
-                                    next_pos = frame.ret_pos;
-                                    frame = caller;
+                                    next_pos = self.frame.ret_pos;
+                                    self.frame = caller;
                                     transfer = true;
                                     let d = self.depth;
                                     self.alat.retain(|&((fd, _), ..)| fd < d);
@@ -727,43 +811,27 @@ impl<'a> Sim<'a> {
                 }
             }
             // --- commit ---
-            let commit_frame = if call_push.is_some() {
-                // writes belong to the *caller* frame; but a call is alone
-                // in its group, so only argument evaluation happened.
-                None
-            } else {
-                Some(&mut frame)
-            };
-            if let Some(fr) = commit_frame {
+            if call_push.is_none() {
                 for (r, v, ready, kind) in writes.drain(..) {
-                    fr.regs[r.index()] = v;
-                    fr.ready[r.index()] = ready;
-                    fr.producer[r.index()] = kind;
+                    self.frame.regs[r.index()] = v;
+                    self.frame.ready[r.index()] = ready;
+                    self.frame.producer[r.index()] = kind;
                 }
             }
+            // (on a call, writes belong to the *caller* frame; but a call
+            // is alone in its group, so only argument evaluation happened)
             if let Some(nf) = call_push {
-                stack.push(std::mem::replace(&mut frame, nf));
+                self.stack.push(std::mem::replace(&mut self.frame, nf));
             }
             self.attrib.emit(SimEvent::Issue);
             if let Some(ret) = program_done {
-                let cycles = self.attrib.total();
-                let (acct, counters, func_matrix, trace) = self.attrib.finish();
-                return Ok(SimResult {
-                    checksum: checksum(&self.output),
-                    output: self.output,
-                    ret,
-                    cycles,
-                    acct,
-                    counters,
-                    func_matrix,
-                    trace,
-                });
+                return Ok(Exec::Done(ret));
             }
             if !transfer {
                 // fall through to the next group of the same block
-                pos = (func_i, end_bundle + 1);
+                self.pos = (func_i, end_bundle + 1);
             } else {
-                pos = next_pos;
+                self.pos = next_pos;
                 // control transfers restart the fetch line
                 self.last_line = u64::MAX;
             }
@@ -868,7 +936,7 @@ impl<'a> Sim<'a> {
 
 /// Evaluate a non-label operand against a frame (pre-group register
 /// state, as IA-64 issue groups require).
-fn eval_operand(frame: &Frame, mp: &MachProgram, o: &Operand) -> Value {
+pub(crate) fn eval_operand(frame: &Frame, mp: &MachProgram, o: &Operand) -> Value {
     match *o {
         Operand::Reg(v) => frame.regs[v.index()],
         Operand::Imm(i) => Value::new(i as u64),
@@ -879,7 +947,8 @@ fn eval_operand(frame: &Frame, mp: &MachProgram, o: &Operand) -> Value {
     }
 }
 
-fn alu(opcode: Opcode, a: u64, b: u64) -> u64 {
+#[inline]
+pub(crate) fn alu(opcode: Opcode, a: u64, b: u64) -> u64 {
     match opcode {
         Opcode::Add => a.wrapping_add(b),
         Opcode::Sub => a.wrapping_sub(b),

@@ -128,4 +128,18 @@ cargo run --release -q --bin epicc -- saturate --bench --conns 32 --requests 512
 grep -q '^# bench ' "$smoke_dir/bench.txt"
 test -s "$smoke_dir/bench.json"
 
+# Sampled-simulation gate: the full 12×4 exact-vs-sampled matrix
+# (DESIGN.md §12). `epicc sample --bench` exits nonzero unless every
+# cell's functional results are identical, every cell's total-cycle
+# error is ≤ 5%, and the whole matrix runs ≥ 2× faster than exact.
+# (Measured: ~3.3× and worst error ~1.5%; the gate sits below both so
+# CI noise can't flake it. 5× is unreachable while functional warming
+# is on — see the floor argument in DESIGN.md §12 — and turning it off
+# costs 30%+ error on mcf.)
+echo "==> sampled-sim gate (12x4 exact-vs-sampled, err<=5%, speedup>=2x)"
+cargo run --release -q --bin epicc -- sample --bench --max-err 5.0 --min-speedup 2.0 \
+    --out "$smoke_dir/bench7.json" > "$smoke_dir/sample.txt"
+grep -q '^# sample bench ' "$smoke_dir/sample.txt"
+test -s "$smoke_dir/bench7.json"
+
 echo "CI OK"

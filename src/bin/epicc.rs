@@ -27,6 +27,19 @@
 //! epicc shutdown --addr A
 //! ```
 //!
+//! Sampled simulation (see DESIGN.md §12):
+//!
+//! ```text
+//! epicc sample [--workload N|all] [--level L|all] [--interval N]
+//!              [--clusters K] [--warmup full|cold|ops:N] [--exact]
+//! epicc sample --bench [--out BENCH_7.json] [--max-err PCT] [--min-speedup X]
+//! ```
+//!
+//! `sample` prints each run's phase map and extrapolation metadata
+//! (`--exact` adds est-vs-exact deltas per accounting category);
+//! `sample --bench` sweeps exact vs sampled vs cold-profile timings,
+//! writes BENCH_7.json, and enforces the accuracy/speed gate.
+//!
 //! `submit` and `matrix` print identical, deterministic `cell` lines
 //! (workload, level, cycles, checksum, content digest), so CI can diff a
 //! served sweep against a direct in-process one byte for byte.
@@ -141,6 +154,7 @@ fn main() -> ExitCode {
             Some("stats") => return stats_cmd(&argv[1..]),
             Some("top") => return top_cmd(&argv[1..]),
             Some("saturate") => return saturate_cmd(&argv[1..]),
+            Some("sample") => return sample_cmd(&argv[1..]),
             Some("shutdown") => return shutdown_cmd(&argv[1..]),
             _ => {}
         }
@@ -977,6 +991,309 @@ fn saturate_cmd(args: &[String]) -> ExitCode {
     );
     if lost + crosswired + mismatched > 0 {
         return fail("saturation smoke found protocol violations");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parse `--warmup full|cold|ops:N`.
+fn parse_warmup(v: &str) -> Result<epic_sim::Warmup, String> {
+    match v {
+        "full" => Ok(epic_sim::Warmup::Full),
+        "cold" => Ok(epic_sim::Warmup::Cold),
+        other => match other.strip_prefix("ops:").and_then(|n| n.parse().ok()) {
+            Some(n) => Ok(epic_sim::Warmup::Ops(n)),
+            None => Err(format!("unknown warmup `{other}` (full|cold|ops:N)")),
+        },
+    }
+}
+
+/// Render a phase assignment as one compact char per interval (cluster
+/// 0-9 then a-z; `*` past 36), wrapped to 100 columns.
+fn phase_map_lines(phases: &[u32]) -> Vec<String> {
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    phases
+        .chunks(100)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&p| *GLYPHS.get(p as usize).unwrap_or(&b'*') as char)
+                .collect()
+        })
+        .collect()
+}
+
+/// `epicc sample`: run the SimPoint-style sampled simulator over
+/// workloads and print each run's phase map plus extrapolation
+/// metadata. `--exact` also runs the exact simulator and prints
+/// est-vs-exact deltas (total cycles and every accounting category).
+/// `--bench` sweeps the matrix with exact, sampled, and cold-profile
+/// timings, writes a BENCH_7.json trajectory point, and enforces the
+/// calibrated accuracy/speed gate (see DESIGN.md §12 for why the gate
+/// is 2x, not the naive 5x).
+fn sample_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &["--exact", "--bench"]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let levels = match parse_levels(kv.get("--level").map_or("all", String::as_str)) {
+        Ok(l) => l,
+        Err(e) => return fail(e),
+    };
+    let cells = match sweep_cells(kv.get("--workload").map_or("all", String::as_str), &levels) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let mut policy = epic_sim::SamplePolicy::default_sampled();
+    if let epic_sim::SamplePolicy::Sampled {
+        interval_len,
+        max_clusters,
+        warmup,
+    } = &mut policy
+    {
+        match kv.get("--interval").map(|v| v.parse()) {
+            None => {}
+            Some(Ok(n)) => *interval_len = n,
+            Some(Err(_)) => return fail("--interval must be an integer"),
+        }
+        match kv.get("--clusters").map(|v| v.parse()) {
+            None => {}
+            Some(Ok(n)) => *max_clusters = n,
+            Some(Err(_)) => return fail("--clusters must be an integer"),
+        }
+        match kv.get("--warmup").map(|v| parse_warmup(v)) {
+            None => {}
+            Some(Ok(w)) => *warmup = w,
+            Some(Err(e)) => return fail(e),
+        }
+    }
+    if kv.contains_key("--bench") {
+        return sample_bench(&cells, policy, &kv);
+    }
+    let want_exact = kv.contains_key("--exact");
+
+    for (w, level) in &cells {
+        let compiled = match epic_driver::compile(w, &CompileOptions::for_level(*level)) {
+            Ok(c) => c,
+            Err(e) => return fail(format!("{} [{}]: {e}", w.name, level.name())),
+        };
+        let sopts = SimOptions {
+            sample: policy,
+            ..SimOptions::default()
+        };
+        let sampled = match epic_sim::run(&compiled.mach, &w.ref_args, &sopts) {
+            Ok(r) => r,
+            Err(e) => return fail(format!("{} [{}]: sim trapped: {e}", w.name, level.name())),
+        };
+        if let Err(e) = sampled.check_identity() {
+            return fail(format!("{} [{}]: identity: {e}", w.name, level.name()));
+        }
+        let info = sampled.sample.as_ref().expect("sampled run carries info");
+        println!(
+            "sample {} {} cycles={} est_error={:.3}% intervals={} clusters={} \
+             sampled_ops={}/{}{}",
+            w.name,
+            level.name(),
+            sampled.cycles,
+            info.est_error * 100.0,
+            info.intervals,
+            info.clusters,
+            info.sampled_ops,
+            info.total_ops,
+            if info.fallback { " fallback" } else { "" },
+        );
+        for line in phase_map_lines(&info.phases) {
+            println!("  phase-map {line}");
+        }
+        if !want_exact {
+            continue;
+        }
+        let exact = match epic_sim::run(&compiled.mach, &w.ref_args, &SimOptions::default()) {
+            Ok(r) => r,
+            Err(e) => return fail(format!("{} [{}]: exact trapped: {e}", w.name, level.name())),
+        };
+        if sampled.output != exact.output || sampled.ret != exact.ret {
+            return fail(format!(
+                "{} [{}]: sampled run diverged functionally",
+                w.name,
+                level.name()
+            ));
+        }
+        let err = (sampled.cycles as f64 - exact.cycles as f64) / exact.cycles.max(1) as f64;
+        println!(
+            "  exact cycles={} err={:+.3}% (est {:.3}%)",
+            exact.cycles,
+            err * 100.0,
+            info.est_error * 100.0
+        );
+        for cat in CATEGORIES {
+            let (s, e) = (sampled.acct.get(cat), exact.acct.get(cat));
+            if s == 0 && e == 0 {
+                continue;
+            }
+            let d = (s as f64 - e as f64) / e.max(1) as f64;
+            println!(
+                "  cat {:<20} sampled={:>12} exact={:>12} err={:+.3}%",
+                cat.name(),
+                s,
+                e,
+                d * 100.0
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `epicc sample --bench`: exact vs sampled vs cold-profile timings
+/// over a sweep, written as BENCH_7.json, with the accuracy/speed gate
+/// applied (`--max-err` percent per cell, `--min-speedup` aggregate).
+fn sample_bench(
+    cells: &[(epic_workloads::Workload, OptLevel)],
+    policy: epic_sim::SamplePolicy,
+    kv: &std::collections::HashMap<String, String>,
+) -> ExitCode {
+    use epic_bench::json::Json;
+    let out = kv.get("--out").map_or("BENCH_7.json", String::as_str);
+    let max_err: f64 = match kv.get("--max-err").map_or(Ok(5.0), |v| v.parse()) {
+        Ok(v) => v / 100.0,
+        Err(_) => return fail("--max-err must be a number (percent)"),
+    };
+    let min_speedup: f64 = match kv.get("--min-speedup").map_or(Ok(2.0), |v| v.parse()) {
+        Ok(v) => v,
+        Err(_) => return fail("--min-speedup must be a number"),
+    };
+    let mut rows = Vec::new();
+    let (mut wall_exact, mut wall_sampled, mut wall_cold) = (0.0f64, 0.0f64, 0.0f64);
+    let mut worst_err = 0.0f64;
+    let mut violations = Vec::new();
+    for (w, level) in cells {
+        let compiled = match epic_driver::compile(w, &CompileOptions::for_level(*level)) {
+            Ok(c) => c,
+            Err(e) => return fail(format!("{} [{}]: {e}", w.name, level.name())),
+        };
+        let t0 = std::time::Instant::now();
+        let exact = match epic_sim::run(&compiled.mach, &w.ref_args, &SimOptions::default()) {
+            Ok(r) => r,
+            Err(e) => return fail(format!("{} [{}]: exact trapped: {e}", w.name, level.name())),
+        };
+        let te = t0.elapsed().as_secs_f64();
+        let sopts = SimOptions {
+            sample: policy,
+            ..SimOptions::default()
+        };
+        let t1 = std::time::Instant::now();
+        let sampled = match epic_sim::run(&compiled.mach, &w.ref_args, &sopts) {
+            Ok(r) => r,
+            Err(e) => return fail(format!("{} [{}]: sim trapped: {e}", w.name, level.name())),
+        };
+        let ts = t1.elapsed().as_secs_f64();
+        // the cold functional profiling pass alone: the sampling floor
+        let t2 = std::time::Instant::now();
+        let cold =
+            epic_sim::phase_profile(&compiled.mach, &w.ref_args, &SimOptions::default(), 100_000);
+        let tc = t2.elapsed().as_secs_f64();
+        if let Err(e) = cold {
+            return fail(format!(
+                "{} [{}]: profile trapped: {e}",
+                w.name,
+                level.name()
+            ));
+        }
+        if sampled.output != exact.output || sampled.ret != exact.ret {
+            return fail(format!(
+                "{} [{}]: sampled run diverged functionally",
+                w.name,
+                level.name()
+            ));
+        }
+        if let Err(e) = sampled.check_identity() {
+            return fail(format!("{} [{}]: identity: {e}", w.name, level.name()));
+        }
+        let info = sampled.sample.as_ref().expect("sampled run carries info");
+        let err = (sampled.cycles as f64 - exact.cycles as f64).abs() / exact.cycles.max(1) as f64;
+        worst_err = worst_err.max(err);
+        if err > max_err {
+            violations.push(format!(
+                "{} {}: err {:.3}% > {:.1}%",
+                w.name,
+                level.name(),
+                err * 100.0,
+                max_err * 100.0
+            ));
+        }
+        wall_exact += te;
+        wall_sampled += ts;
+        wall_cold += tc;
+        println!(
+            "sample-cell {} {} exact={} sampled={} err={:.3}% est={:.3}% \
+             exact_s={te:.2} sampled_s={ts:.2} cold_s={tc:.2}",
+            w.name,
+            level.name(),
+            exact.cycles,
+            sampled.cycles,
+            err * 100.0,
+            info.est_error * 100.0,
+        );
+        rows.push(Json::obj([
+            ("workload", Json::Str(w.name.to_string())),
+            ("level", Json::Str(level.name().to_string())),
+            ("exact_cycles", Json::Num(exact.cycles as f64)),
+            ("sampled_cycles", Json::Num(sampled.cycles as f64)),
+            ("rel_err", Json::Num(err)),
+            ("est_error", Json::Num(info.est_error)),
+            ("exact_wall_s", Json::Num(te)),
+            ("sampled_wall_s", Json::Num(ts)),
+            ("cold_profile_wall_s", Json::Num(tc)),
+            ("intervals", Json::Num(info.intervals as f64)),
+            ("clusters", Json::Num(info.clusters as f64)),
+            (
+                "fallback",
+                if info.fallback {
+                    Json::Num(1.0)
+                } else {
+                    Json::Num(0.0)
+                },
+            ),
+        ]));
+    }
+    let speedup = wall_exact / wall_sampled.max(1e-9);
+    let (interval_len, max_clusters) = match policy {
+        epic_sim::SamplePolicy::Sampled {
+            interval_len,
+            max_clusters,
+            ..
+        } => (interval_len, max_clusters),
+        epic_sim::SamplePolicy::Exact => (0, 0),
+    };
+    let j = Json::obj([
+        ("pr", Json::Num(7.0)),
+        ("benchmark", Json::Str("sampled-sim".to_string())),
+        ("interval_len", Json::Num(interval_len as f64)),
+        ("max_clusters", Json::Num(max_clusters as f64)),
+        ("cells", Json::Arr(rows)),
+        (
+            "totals",
+            Json::obj([
+                ("exact_wall_s", Json::Num(wall_exact)),
+                ("sampled_wall_s", Json::Num(wall_sampled)),
+                ("cold_profile_wall_s", Json::Num(wall_cold)),
+                ("speedup", Json::Num(speedup)),
+                ("worst_rel_err", Json::Num(worst_err)),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(out, format!("{}\n", j.render())) {
+        return fail(format!("write {out}: {e}"));
+    }
+    println!(
+        "# sample bench cells={} speedup={speedup:.2}x worst_err={:.3}% -> {out}",
+        cells.len(),
+        worst_err * 100.0
+    );
+    if speedup < min_speedup {
+        violations.push(format!("speedup {speedup:.2}x < {min_speedup:.2}x"));
+    }
+    if !violations.is_empty() {
+        return fail(format!("sample gate: {}", violations.join("; ")));
     }
     ExitCode::SUCCESS
 }
