@@ -505,6 +505,21 @@ impl Suite {
                             ("promoted", Json::Num(m.compiled.promoted as f64)),
                             ("passes", Json::Arr(passes)),
                         ];
+                        cell.push((
+                            "predict",
+                            Json::obj([
+                                ("kind", Json::Str(self.predictor.name().to_string())),
+                                (
+                                    "digest",
+                                    Json::Str(format!("{:016x}", self.predictor.config_digest())),
+                                ),
+                                ("predictions", Json::Num(ctr.branch_predictions as f64)),
+                                (
+                                    "mispredictions",
+                                    Json::Num(ctr.branch_mispredictions as f64),
+                                ),
+                            ]),
+                        ));
                         if let Some(s) = &m.sim.sample {
                             cell.push((
                                 "sample",
@@ -691,10 +706,16 @@ mod tests {
                 },
             }),
             traces: None,
+            predictor: Default::default(),
         };
         let j = suite.to_json();
         assert_eq!(roundtrip(&j), j);
         let text = j.render();
+        // every cell names the predictor it was simulated with
+        assert!(
+            text.contains(r#""predict":{"kind":"gshare","digest":""#),
+            "{text}"
+        );
         // per-cell cache outcome and the server-level counters are both
         // present in the dump
         assert!(text.contains(r#""cache":{"hit":true,"key":"abababababababababababababababab"}"#));
@@ -729,6 +750,7 @@ mod tests {
             levels: vec![epic_driver::OptLevel::Gcc],
             cache: None,
             traces: None,
+            predictor: Default::default(),
         };
         let j = suite.to_json();
         assert_eq!(roundtrip(&j), j);
@@ -757,6 +779,7 @@ mod tests {
             levels: vec![epic_driver::OptLevel::Gcc],
             cache: None,
             traces: None,
+            predictor: Default::default(),
         };
         assert!(fb_suite.to_json().render().contains(r#""mode":"exact""#));
         // a plain exact run carries no sample block at all
@@ -766,6 +789,7 @@ mod tests {
             levels: vec![epic_driver::OptLevel::Gcc],
             cache: None,
             traces: None,
+            predictor: Default::default(),
         };
         assert!(!plain.to_json().render().contains(r#""sample""#));
     }
@@ -835,6 +859,7 @@ mod tests {
             levels: vec![epic_driver::OptLevel::Gcc],
             cache: None,
             traces: Some(vec![vec![snap]]),
+            predictor: Default::default(),
         };
         let text = suite.to_json().render();
         assert!(text.contains(r#""trace":{"spans":[{"name":"compile""#));

@@ -14,7 +14,7 @@ use epic_driver::{
     CachePolicy, CompileOptions, MeasureRequest, Measurement, OptLevel, TracePolicy,
 };
 use epic_serve::{ArtifactStore, JobSpec, StoreStats};
-use epic_sim::SimOptions;
+use epic_sim::{PredictorSpec, SimOptions};
 use epic_trace::TraceSnapshot;
 use epic_workloads::Workload;
 
@@ -55,6 +55,8 @@ pub struct Suite {
     /// (`EPIC_TRACE=1`; see [`trace_policy_from_env`]). `traces[w][l]`
     /// pairs with `results[w][l]`.
     pub traces: Option<Vec<Vec<TraceSnapshot>>>,
+    /// The branch predictor every cell of the sweep simulated with.
+    pub predictor: PredictorSpec,
 }
 
 /// Worker-pool bound for the sweeps: `EPIC_BENCH_WORKERS` if set, else 0
@@ -96,8 +98,8 @@ pub fn trace_policy_from_env() -> TracePolicy {
 
 /// Run the sweep over all 12 workloads at the given levels, in parallel
 /// over every (workload × level) cell via
-/// [`epic_driver::measure_matrix_cached`]'s bounded worker pool,
-/// consulting the environment-configured artifact cache (if any).
+/// [`MeasureRequest`]'s bounded worker pool, consulting the
+/// environment-configured artifact cache (if any).
 ///
 /// # Panics
 /// Panics if any compilation or simulation fails — the differential test
@@ -200,6 +202,7 @@ pub fn run_suite_store(
         levels: levels.to_vec(),
         cache,
         traces,
+        predictor: sopts.predictor,
     }
 }
 

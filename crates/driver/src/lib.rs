@@ -11,7 +11,8 @@
 //! | ILP-CS | ✔  | ✔ | ✔ | ✔ | control speculation |
 //!
 //! [`compile`] produces machine code plus all static statistics;
-//! [`measure`] additionally runs the simulator on the reference input.
+//! [`MeasureRequest`] additionally runs the simulator on the reference
+//! input — it is the one measurement entry point.
 
 use epic_core::IlpOptions;
 use epic_ir::Program;
@@ -24,8 +25,6 @@ pub mod parallel;
 pub mod pipeline;
 pub mod request;
 
-#[allow(deprecated)]
-pub use parallel::{measure_matrix, measure_matrix_cached};
 pub use parallel::{par_map, MatrixCell, MatrixError, MeasurementCache};
 pub use pipeline::{passes_for, Pass, PassRecord, PassTimeline, PipelineCx};
 pub use request::{CachePolicy, MeasureReport, MeasureRequest, MeasuredCell, TracePolicy};
@@ -284,19 +283,6 @@ impl Compiled {
     }
 }
 
-/// Compile and simulate a workload on its reference input.
-///
-/// # Errors
-/// See [`compile_source`] and the simulator's traps.
-#[deprecated(note = "use `MeasureRequest` — the one measurement entry point")]
-pub fn measure(
-    w: &Workload,
-    copts: &CompileOptions,
-    sopts: &SimOptions,
-) -> Result<Measurement, DriverError> {
-    measure_traced(w, copts, sopts, &Trace::disabled())
-}
-
 /// Compile and simulate a workload on its reference input, recording a
 /// `compile → pass:<name>…` and `sim → dispatch/attrib` span tree into
 /// `trace` (plus deterministic `sim.charge.<category>` histograms into
@@ -332,9 +318,16 @@ pub fn measure_traced(
         attrib.finish();
     }
     let sim_wall = sim_span.finish();
-    epic_trace::global()
-        .histogram("driver.sim_us")
+    let g = epic_trace::global();
+    g.histogram("driver.sim_us")
         .record(sim_wall.as_micros() as u64);
+    // per-predictor totals, so `epicc top` can break prediction quality
+    // out by zoo member across everything a process has measured
+    let pname = sopts.predictor.name();
+    g.counter(&format!("sim.predict.{pname}.predictions"))
+        .add(sim.counters.branch_predictions);
+    g.counter(&format!("sim.predict.{pname}.mispredictions"))
+        .add(sim.counters.branch_mispredictions);
     Ok(Measurement {
         level: copts.level,
         compiled: compiled.stats(),

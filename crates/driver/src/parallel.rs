@@ -1,13 +1,12 @@
 //! Std-only parallel execution layer: a bounded worker pool over
-//! `std::thread::scope` and the batch measurement API
-//! [`measure_matrix`] used by every experiment in `epic-bench`.
+//! `std::thread::scope` backing [`MeasureRequest`](crate::MeasureRequest)
+//! — the batch measurement API every experiment in `epic-bench` uses.
 //!
 //! No external crates: work distribution is an atomic cursor over the
 //! flattened (workload × level) task list, so the pool stays busy even
 //! when task costs are wildly uneven (ILP-CS compiles + simulates are
 //! several times costlier than GCC ones).
 
-use crate::request::{CachePolicy, MeasureRequest};
 use crate::{CompileOptions, DriverError, Measurement, OptLevel};
 use epic_sim::SimOptions;
 use epic_workloads::Workload;
@@ -65,7 +64,7 @@ where
         .collect()
 }
 
-/// A failure inside [`measure_matrix`], tagged with its cell.
+/// A failure inside a measurement sweep, tagged with its cell.
 #[derive(Debug)]
 pub struct MatrixError {
     /// Workload that failed.
@@ -90,9 +89,10 @@ impl std::fmt::Display for MatrixError {
 
 impl std::error::Error for MatrixError {}
 
-/// A pluggable measurement cache for [`measure_matrix_cached`]: the
-/// driver asks it before compiling a cell and offers the result back
-/// after. Implementations decide what is cacheable (an implementation
+/// A pluggable measurement cache for
+/// [`CachePolicy::Store`](crate::CachePolicy): the driver asks it
+/// before compiling a cell and offers the result back after.
+/// Implementations decide what is cacheable (an implementation
 /// must return `None` for option combinations it does not key on) and
 /// where results live — `epic-serve`'s content-addressed artifact store
 /// is the production implementation.
@@ -118,67 +118,10 @@ pub struct MatrixCell {
     pub cache_hit: bool,
 }
 
-/// Measure every (workload × level) cell in parallel on a bounded worker
-/// pool. `results[w][l]` pairs with `workloads[w]` and `levels[l]`.
-/// `workers == 0` uses the available parallelism; the per-cell options
-/// come from `copts(level)`.
-///
-/// # Errors
-/// The first failing cell (by task order), with its coordinates.
-#[deprecated(note = "use `MeasureRequest` — the one measurement entry point")]
-pub fn measure_matrix(
-    workloads: &[Workload],
-    levels: &[OptLevel],
-    copts: &(dyn Fn(OptLevel) -> CompileOptions + Sync),
-    sopts: &SimOptions,
-    workers: usize,
-) -> Result<Vec<Vec<Measurement>>, MatrixError> {
-    let report = MeasureRequest::new(workloads)
-        .levels(levels)
-        .compile_options(copts)
-        .sim_options(*sopts)
-        .threads(workers)
-        .run()?;
-    Ok(report
-        .cells
-        .into_iter()
-        .map(|row| row.into_iter().map(|c| c.measurement).collect())
-        .collect())
-}
-
-/// [`measure_matrix`] routed through an optional [`MeasurementCache`]:
-/// each cell first consults the cache, and fresh results are offered
-/// back, so a repeated sweep is pure cache hits. `cache: None` is the
-/// no-cache escape hatch (identical to the uncached path).
-///
-/// # Errors
-/// The first failing cell (by task order), with its coordinates.
-#[deprecated(note = "use `MeasureRequest` — the one measurement entry point")]
-pub fn measure_matrix_cached(
-    workloads: &[Workload],
-    levels: &[OptLevel],
-    copts: &(dyn Fn(OptLevel) -> CompileOptions + Sync),
-    sopts: &SimOptions,
-    workers: usize,
-    cache: Option<&dyn MeasurementCache>,
-) -> Result<Vec<Vec<MatrixCell>>, MatrixError> {
-    let report = MeasureRequest::new(workloads)
-        .levels(levels)
-        .compile_options(copts)
-        .sim_options(*sopts)
-        .threads(workers)
-        .cache(match cache {
-            Some(c) => CachePolicy::Store(c),
-            None => CachePolicy::Disabled,
-        })
-        .run()?;
-    Ok(report.into_matrix_cells())
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the shims must keep working until they are removed
 mod tests {
     use super::*;
+    use crate::request::MeasureRequest;
 
     #[test]
     fn par_map_preserves_order_and_covers_all_items() {
@@ -208,18 +151,14 @@ mod tests {
     fn matrix_shape_matches_inputs() {
         let workloads = vec![epic_workloads::by_name("vortex_mc").unwrap()];
         let levels = [OptLevel::Gcc, OptLevel::ONs];
-        let rows = measure_matrix(
-            &workloads,
-            &levels,
-            &CompileOptions::for_level,
-            &SimOptions::default(),
-            0,
-        )
-        .unwrap();
-        assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].len(), 2);
-        assert_eq!(rows[0][0].level, OptLevel::Gcc);
-        assert_eq!(rows[0][1].level, OptLevel::ONs);
+        let report = MeasureRequest::new(&workloads)
+            .levels(&levels)
+            .run()
+            .unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].len(), 2);
+        assert_eq!(report.cells[0][0].measurement.level, OptLevel::Gcc);
+        assert_eq!(report.cells[0][1].measurement.level, OptLevel::ONs);
     }
 
     #[test]
@@ -231,27 +170,25 @@ mod tests {
         let workloads = vec![epic_workloads::by_name("mcf_mc").unwrap()];
         let levels = [OptLevel::Gcc, OptLevel::IlpCs];
         let run = |workers| {
-            measure_matrix(
-                &workloads,
-                &levels,
-                &CompileOptions::for_level,
-                &SimOptions::default(),
-                workers,
-            )
-            .unwrap()
+            MeasureRequest::new(&workloads)
+                .levels(&levels)
+                .threads(workers)
+                .run()
+                .unwrap()
         };
         let serial = run(1);
         let oversubscribed = run(64);
-        assert_eq!(serial.len(), 1);
-        assert_eq!(oversubscribed[0].len(), 2);
+        assert_eq!(serial.cells.len(), 1);
+        assert_eq!(oversubscribed.cells[0].len(), 2);
         for l in 0..levels.len() {
-            assert_eq!(serial[0][l].level, oversubscribed[0][l].level);
-            assert_eq!(serial[0][l].sim.cycles, oversubscribed[0][l].sim.cycles);
-            assert_eq!(serial[0][l].sim.checksum, oversubscribed[0][l].sim.checksum);
-            assert_eq!(
-                serial[0][l].compiled.code_bytes,
-                oversubscribed[0][l].compiled.code_bytes
+            let (s, o) = (
+                &serial.cells[0][l].measurement,
+                &oversubscribed.cells[0][l].measurement,
             );
+            assert_eq!(s.level, o.level);
+            assert_eq!(s.sim.cycles, o.sim.cycles);
+            assert_eq!(s.sim.checksum, o.sim.checksum);
+            assert_eq!(s.compiled.code_bytes, o.compiled.code_bytes);
         }
     }
 }

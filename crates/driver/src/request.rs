@@ -8,9 +8,8 @@
 //! `EPIC_NO_CACHE` — environment parsing belongs to the `epicc` and
 //! bench binaries), and a [`TracePolicy`] deciding whether each cell
 //! carries a span tree + metrics snapshot. [`MeasureRequest::run`]
-//! returns a typed [`MeasureReport`]; the old free functions
-//! (`measure_matrix`, `measure_matrix_cached`) survive as thin
-//! deprecated shims over this type.
+//! returns a typed [`MeasureReport`] — this is the one measurement
+//! entry point (the PR-5 free-function shims are gone).
 //!
 //! With tracing enabled, every cell gets its own
 //! [`Trace`](epic_trace::Trace) whose tree is
@@ -23,7 +22,7 @@
 
 use crate::parallel::{par_map, MatrixCell, MatrixError, MeasurementCache};
 use crate::{measure_traced, CompileOptions, Measurement, OptLevel};
-use epic_sim::{SamplePolicy, SimOptions};
+use epic_sim::{PredictorSpec, SamplePolicy, SimOptions};
 use epic_trace::{Trace, TraceSnapshot};
 use epic_workloads::Workload;
 use std::time::{Duration, Instant};
@@ -170,6 +169,15 @@ impl<'a> MeasureRequest<'a> {
     /// simulates every retired operation.
     pub fn sample(mut self, policy: SamplePolicy) -> Self {
         self.sopts.sample = policy;
+        self
+    }
+
+    /// Branch predictor for the simulator half of every cell — a
+    /// shorthand for rewriting [`SimOptions::predictor`] through
+    /// [`Self::sim_options`]. The default gshare reproduces the pre-zoo
+    /// simulator bit for bit.
+    pub fn predictor(mut self, spec: PredictorSpec) -> Self {
+        self.sopts.predictor = spec;
         self
     }
 

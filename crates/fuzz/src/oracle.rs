@@ -35,11 +35,17 @@
 //!    *identical* to the exact simulator's — sampling may only
 //!    extrapolate cycles — and the extrapolated accounting must still
 //!    satisfy the cycle identity.
-//! 5. **Profile invariance.** Training the ILP-CS profile on a different
+//! 5. **Predictor invariance.** Re-simulating the level with every
+//!    non-default predictor in the zoo (bimodal, TAGE, oracle) must
+//!    leave the output stream, return value, and memory checksum
+//!    untouched and keep the accounting identity intact — predictor
+//!    choice may only move cycles between categories, never change
+//!    semantics (DESIGN.md §13).
+//! 6. **Profile invariance.** Training the ILP-CS profile on a different
 //!    input must not change the output — profile feedback may only move
 //!    cycles, never semantics (the paper's Sec. 4.6 experiment depends
 //!    on this).
-//! 6. **Cache consistency.** The measurement must survive the job
+//! 7. **Cache consistency.** The measurement must survive the job
 //!    service's wire codec bit-for-bit, and the content-addressed store
 //!    must serve the same digest for the same key across the whole
 //!    campaign — a violation means either the codec corrupts data, the
@@ -50,7 +56,7 @@ use epic_driver::{
 };
 use epic_ir::interp::{self, InterpOptions, Trap};
 use epic_serve::{codec, ArtifactStore, JobSpec};
-use epic_sim::{SamplePolicy, SimOptions, Warmup};
+use epic_sim::{PredictorSpec, SamplePolicy, SimOptions, Warmup};
 use std::sync::OnceLock;
 
 pub use epic_driver::OptLevel;
@@ -73,6 +79,11 @@ pub struct OracleOptions {
     /// plus a clean accounting identity (one extra sampled sim per
     /// level — cheap, the sampler's replay is functional).
     pub sampled_sim: bool,
+    /// Run the predictor-invariance oracle: re-simulate each level with
+    /// every non-default zoo predictor and demand identical functional
+    /// results plus a clean accounting identity (three extra sims per
+    /// level — no extra compiles).
+    pub predictor_invariance: bool,
     /// Run the profile-invariance oracle (needs one extra ILP-CS
     /// compile+sim per case).
     pub profile_invariance: bool,
@@ -92,6 +103,7 @@ impl Default for OracleOptions {
             interp_fuel: 5_000_000,
             sim_fuel: 200_000_000,
             sampled_sim: true,
+            predictor_invariance: true,
             profile_invariance: true,
             cache_consistency: true,
             inject_bug: false,
@@ -230,6 +242,11 @@ pub fn check(src: &str, args: [i64; 2], train2: [i64; 2], opts: &OracleOptions) 
                 return Verdict::Fail(f);
             }
         }
+        if opts.predictor_invariance {
+            if let Some(f) = predictor_invariance_failure(&compiled, &args, &sopts, &sim, level) {
+                return Verdict::Fail(f);
+            }
+        }
         sig = fold_sig(sig, compiled.pass_timeline.coverage_signature());
         if opts.cache_consistency {
             let m = Measurement {
@@ -344,6 +361,65 @@ fn sampled_sim_failure(
     }
     if let Err(e) = s.check_identity() {
         return fail(format!("sampled accounting identity broken: {e}"));
+    }
+    None
+}
+
+/// Oracle 5: branch predictor choice is microarchitectural only. Every
+/// non-default zoo member re-simulates the already-compiled level; the
+/// output stream, return value, and memory checksum must match the
+/// default-predictor run exactly, the branch count must be identical
+/// (the retired branch stream is predictor-independent in an in-order
+/// pipeline), and the accounting identity must survive the shifted
+/// cycle distribution.
+fn predictor_invariance_failure(
+    compiled: &Compiled,
+    args: &[i64; 2],
+    sopts: &SimOptions,
+    exact: &epic_sim::SimResult,
+    level: OptLevel,
+) -> Option<Failure> {
+    for spec in PredictorSpec::ZOO {
+        if spec == PredictorSpec::default() {
+            continue; // `exact` is the default-predictor run
+        }
+        let fail = |detail: String| {
+            Some(Failure {
+                bucket: format!("predictor-invariance@{}", level.name()),
+                detail: format!("{}: {detail}", spec.name()),
+                level: Some(level),
+            })
+        };
+        let po = SimOptions {
+            predictor: spec,
+            ..*sopts
+        };
+        let s = match epic_sim::run(&compiled.mach, args, &po) {
+            Ok(s) => s,
+            Err(t) => return fail(format!("trapped where the default predictor finished: {t}")),
+        };
+        if s.output != exact.output {
+            return fail(format!(
+                "output diverged ({} vs {} values)",
+                s.output.len(),
+                exact.output.len()
+            ));
+        }
+        if s.ret != exact.ret {
+            return fail(format!("ret {} != default {}", s.ret, exact.ret));
+        }
+        if s.checksum != exact.checksum {
+            return fail("memory checksum diverged".into());
+        }
+        if s.counters.branch_predictions != exact.counters.branch_predictions {
+            return fail(format!(
+                "branch stream changed: {} vs {} conditional branches",
+                s.counters.branch_predictions, exact.counters.branch_predictions
+            ));
+        }
+        if let Err(e) = s.check_identity() {
+            return fail(format!("accounting identity broken: {e}"));
+        }
     }
     None
 }
@@ -544,6 +620,24 @@ mod tests {
                 Verdict::Pass { .. } => {}
                 v => panic!("round {round}: expected Pass, got {v:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn predictor_invariance_oracle_defaults_on_and_passes_clean_programs() {
+        let mut opts = OracleOptions::default();
+        assert!(opts.predictor_invariance, "oracle must default on");
+        // isolate it: one level, everything else off, so a Pass here
+        // means the zoo sims themselves agreed
+        opts.levels = vec![OptLevel::IlpCs];
+        opts.sampled_sim = false;
+        opts.profile_invariance = false;
+        opts.cache_consistency = false;
+        let src = minic_program(21);
+        let args = args_for_seed(21);
+        match check(&src, args, alt_train_args(args), &opts) {
+            Verdict::Pass { .. } => {}
+            v => panic!("expected Pass, got {v:?}"),
         }
     }
 

@@ -17,12 +17,15 @@
 
 use epic_driver::{CompileOptions, OptLevel, ProfileInput};
 use epic_mach::MachineConfig;
-use epic_sim::{SamplePolicy, SimOptions, SpecModel, Warmup};
+use epic_sim::{PredictorSpec, SamplePolicy, SimOptions, SpecModel, Warmup};
 use epic_workloads::Workload;
 
 /// Version tag mixed into every canonical serialization. Bump on any
 /// change to [`JobSpec`]'s meaning or encoding.
-/// (2: sampling policy joins the simulation half of the job.)
+/// (2: sampling policy joins the simulation half of the job. The
+/// predictor spec joined later as a *trailing optional* field — elided
+/// when default — so default-predictor keys are unchanged and no bump
+/// was needed; see [`JobSpec::job_canon`].)
 pub const CANON_VERSION: u32 = 2;
 
 /// A stable 128-bit content hash.
@@ -203,6 +206,14 @@ pub fn canon_sample_policy(c: &mut Canon, p: SamplePolicy) {
     }
 }
 
+/// Append a [`PredictorSpec`]'s canonical configuration bytes (variant
+/// tag plus geometry, as defined by the sim crate).
+pub fn canon_predictor_spec(c: &mut Canon, spec: PredictorSpec) {
+    for b in spec.canon_bytes() {
+        c.u8(b);
+    }
+}
+
 /// Stable one-byte encoding of a [`ProfileInput`].
 pub fn profile_input_tag(p: ProfileInput) -> u8 {
     match p {
@@ -280,6 +291,10 @@ pub struct JobSpec {
     /// where an exact result was asked for (or vice versa), so the
     /// policy is part of the job's identity.
     pub sample: SamplePolicy,
+    /// Branch predictor the simulator models: different predictors
+    /// produce different cycle counts and must never alias in the
+    /// artifact store.
+    pub predictor: PredictorSpec,
 }
 
 impl JobSpec {
@@ -317,6 +332,7 @@ impl JobSpec {
             sim_fuel: sopts.fuel_cycles,
             spec_model: sopts.spec_model,
             sample: sopts.sample,
+            predictor: sopts.predictor,
         }
     }
 
@@ -352,6 +368,7 @@ impl JobSpec {
             spec_model: self.spec_model,
             trace_capacity: 0,
             sample: self.sample,
+            predictor: self.predictor,
         }
     }
 
@@ -378,6 +395,13 @@ impl JobSpec {
 
     /// Canonical bytes of the whole job (compilation plus simulation
     /// parameters and the measurement input).
+    ///
+    /// The predictor is a *trailing optional* field: the default spec
+    /// appends nothing, so default-predictor jobs keep the exact
+    /// pre-zoo canonical bytes (and job keys — a warm artifact store
+    /// stays warm); any non-default spec appends a `b'P'` tag plus its
+    /// full [`PredictorSpec::canon_bytes`], which no default encoding
+    /// can collide with.
     pub fn job_canon(&self) -> Vec<u8> {
         let mut c = Canon::new();
         c.u8(b'J');
@@ -386,6 +410,10 @@ impl JobSpec {
         c.u64(self.sim_fuel);
         c.u8(spec_model_tag(self.spec_model));
         canon_sample_policy(&mut c, self.sample);
+        if self.predictor != PredictorSpec::default() {
+            c.u8(b'P');
+            canon_predictor_spec(&mut c, self.predictor);
+        }
         c.finish()
     }
 
@@ -492,6 +520,63 @@ mod tests {
         d.level = OptLevel::ONs;
         assert_ne!(a.compile_key(), d.compile_key());
         assert_ne!(a.job_key(), d.job_key());
+    }
+
+    #[test]
+    fn default_predictor_job_keys_match_the_pre_zoo_goldens() {
+        // Captured from the PR-7 tree immediately before the predictor
+        // joined JobSpec: the default spec must keep producing these
+        // exact keys (trailing-optional encoding — see job_canon), so a
+        // warm artifact store survives the refactor.
+        let goldens = [
+            ("gzip_mc", OptLevel::Gcc, "5cf175ea4054a493df020939172edc96"),
+            ("mcf_mc", OptLevel::ONs, "497097f48b9929b0cb56b20099befe66"),
+            (
+                "vortex_mc",
+                OptLevel::IlpNs,
+                "56770411e5c3ca40cc50662c35cf614d",
+            ),
+            (
+                "twolf_mc",
+                OptLevel::IlpCs,
+                "a0ea1f89d57c13f2f6eba6fb52b8e592",
+            ),
+        ];
+        for (name, level, want) in goldens {
+            let w = epic_workloads::by_name(name).unwrap();
+            let spec = JobSpec::for_workload(&w, level);
+            assert_eq!(spec.predictor, PredictorSpec::default());
+            assert_eq!(spec.job_key().hex(), want, "{name} {level:?}");
+        }
+    }
+
+    #[test]
+    fn predictor_changes_job_key_but_not_compile_key() {
+        let w = epic_workloads::by_name("mcf_mc").unwrap();
+        let base = JobSpec::for_workload(&w, OptLevel::IlpCs);
+        let mut keys = vec![base.job_key()];
+        for spec in PredictorSpec::ZOO {
+            if spec == PredictorSpec::default() {
+                continue;
+            }
+            let mut j = base.clone();
+            j.predictor = spec;
+            // prediction is a simulation parameter: the compiled
+            // artifact is shared, the measurement is not
+            assert_eq!(base.compile_key(), j.compile_key(), "{}", spec.name());
+            keys.push(j.job_key());
+        }
+        // a geometry change alone must also separate
+        let mut small = base.clone();
+        small.predictor = PredictorSpec::Gshare {
+            table_bits: 10,
+            history_bits: 8,
+        };
+        keys.push(small.job_key());
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "predictors must never alias in the store");
     }
 
     #[test]

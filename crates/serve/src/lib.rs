@@ -18,7 +18,7 @@
 //!   optional persistent directory of `.epsv` files, plus a memory-only
 //!   machine-code cache shared by jobs that differ only in simulation
 //!   parameters. Implements [`epic_driver::MeasurementCache`], so
-//!   `measure_matrix_cached` transparently reuses artifacts.
+//!   `MeasureRequest` sweeps transparently reuse artifacts.
 //! * [`sched`] — bounded priority scheduler over `std::thread` workers
 //!   with in-flight coalescing (N concurrent submissions of one key run
 //!   once), per-job queue deadlines, and typed [`Busy`](sched::SubmitError::Busy)

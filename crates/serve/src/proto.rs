@@ -25,7 +25,7 @@ use crate::sched::{JobStatus, Priority, SchedStats};
 use crate::store::StoreStats;
 use epic_driver::Measurement;
 use epic_mach::{CacheConfig, MachineConfig};
-use epic_sim::{SamplePolicy, Warmup};
+use epic_sim::{PredictorSpec, SamplePolicy, Warmup};
 use epic_trace::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot};
 use std::io::{Read, Write};
 
@@ -130,6 +130,41 @@ fn enc_spec(e: &mut Enc, s: &JobSpec) {
     e.u64(s.sim_fuel);
     e.u8(spec_model_tag(s.spec_model));
     enc_sample_policy(e, s.sample);
+    enc_predictor_spec(e, s.predictor);
+}
+
+fn enc_predictor_spec(e: &mut Enc, spec: PredictorSpec) {
+    match spec {
+        PredictorSpec::Gshare {
+            table_bits,
+            history_bits,
+        } => {
+            e.u8(0);
+            e.u32(table_bits);
+            e.u32(history_bits);
+        }
+        PredictorSpec::Bimodal { table_bits } => {
+            e.u8(1);
+            e.u32(table_bits);
+        }
+        PredictorSpec::Tage => e.u8(2),
+        PredictorSpec::Oracle => e.u8(3),
+    }
+}
+
+fn dec_predictor_spec(d: &mut Dec) -> Result<PredictorSpec, CodecError> {
+    match d.u8()? {
+        0 => Ok(PredictorSpec::Gshare {
+            table_bits: d.u32()?,
+            history_bits: d.u32()?,
+        }),
+        1 => Ok(PredictorSpec::Bimodal {
+            table_bits: d.u32()?,
+        }),
+        2 => Ok(PredictorSpec::Tage),
+        3 => Ok(PredictorSpec::Oracle),
+        t => Err(CodecError(format!("bad predictor tag {t}"))),
+    }
 }
 
 fn enc_sample_policy(e: &mut Enc, p: SamplePolicy) {
@@ -234,6 +269,7 @@ fn dec_spec(d: &mut Dec) -> Result<JobSpec, CodecError> {
         spec_model: spec_model_from_tag(d.u8()?)
             .ok_or_else(|| CodecError("bad spec-model tag".to_string()))?,
         sample: dec_sample_policy(d)?,
+        predictor: dec_predictor_spec(d)?,
     })
 }
 
@@ -791,11 +827,18 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let key = sample_spec().job_key();
+        let mut zoo_spec = sample_spec();
+        zoo_spec.predictor = PredictorSpec::Tage;
         let reqs = [
             Request::Submit {
                 spec: sample_spec(),
                 prio: Priority::High,
                 deadline_ms: 1500,
+            },
+            Request::Submit {
+                spec: zoo_spec,
+                prio: Priority::Normal,
+                deadline_ms: 0,
             },
             Request::Status(key),
             Request::Result(key),

@@ -163,9 +163,14 @@ impl JobRunner for DriverRunner {
         let t0 = Instant::now();
         let sim = epic_sim::run(&artifact.mach, &spec.ref_args, &spec.sim_options())
             .map_err(|e| format!("sim [{}]: {e}", spec.level.name()))?;
-        epic_trace::global()
-            .histogram("serve.sim_us")
+        let g = epic_trace::global();
+        g.histogram("serve.sim_us")
             .record(t0.elapsed().as_micros() as u64);
+        let pname = spec.predictor.name();
+        g.counter(&format!("sim.predict.{pname}.predictions"))
+            .add(sim.counters.branch_predictions);
+        g.counter(&format!("sim.predict.{pname}.mispredictions"))
+            .add(sim.counters.branch_mispredictions);
         Ok(Measurement {
             level: spec.level,
             compiled: artifact.stats.clone(),

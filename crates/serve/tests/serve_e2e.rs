@@ -51,9 +51,13 @@ fn served_results_are_bit_identical_to_direct_measurement() {
         let spec = JobSpec::for_workload(&w, level);
         let served = client.submit(&spec, Priority::Normal, 0).unwrap();
         assert!(!served.cache_hit);
-        #[allow(deprecated)] // exercising the shim keeps it honest until removal
-        let direct =
-            epic_driver::measure(&w, &spec.compile_options(), &spec.sim_options()).unwrap();
+        let direct = epic_driver::measure_traced(
+            &w,
+            &spec.compile_options(),
+            &spec.sim_options(),
+            &epic_trace::Trace::disabled(),
+        )
+        .unwrap();
         assert_eq!(
             digest(&served.measurement),
             digest(&direct),

@@ -23,6 +23,7 @@
 
 use crate::caches::Level;
 use crate::counters::{Category, Counters, CycleAccounting, NUM_CATEGORIES};
+use crate::predict::BranchRecord;
 use std::collections::VecDeque;
 
 /// What a stalled-on source register was produced by. The engine
@@ -189,6 +190,12 @@ pub struct ChargeRecord {
 pub trait EventSink {
     /// One arbitrated, nonzero charge.
     fn on_charge(&mut self, rec: &ChargeRecord);
+
+    /// One resolved control-flow event (conditional branch, call, or
+    /// return), as the program retired it — predictor-agnostic by
+    /// construction. Default: ignore; only capture sinks (e.g.
+    /// [`crate::predict::BranchTraceSink`]) override this.
+    fn on_branch(&mut self, _rec: &BranchRecord) {}
 }
 
 /// Per-function × per-category cycle matrix: the Fig. 10 drill-down.
@@ -374,6 +381,21 @@ impl Attribution {
     /// engine without tearing it down).
     pub fn matrix(&self) -> &FuncMatrix {
         &self.matrix
+    }
+
+    /// Whether any sink is attached — lets the dispatch loop skip
+    /// building [`BranchRecord`]s entirely on untraced runs.
+    pub fn wants_branches(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Fan one resolved control-flow event out to the sinks. Carries no
+    /// cost and no prediction outcome: what the predictor did with the
+    /// branch is reported separately via [`SimEvent::BranchPredicted`].
+    pub fn branch(&mut self, rec: BranchRecord) {
+        for s in &mut self.sinks {
+            s.on_branch(&rec);
+        }
     }
 
     /// Report one event. This is the *only* way cycles or counters move:

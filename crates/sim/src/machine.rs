@@ -9,9 +9,9 @@
 //! speculative loads defer faults to NaT. Timing is modeled by a
 //! register scoreboard (loads are scheduled for the L1 hit; misses stall
 //! consumers), an I-cache-fed front end decoupled by a 48-op buffer, a
-//! gshare branch predictor, a DTLB with hardware walks, the register
-//! stack engine, and the general/sentinel speculation recovery models of
-//! paper Fig. 9.
+//! pluggable branch predictor ([`crate::predict`], gshare by default), a
+//! DTLB with hardware walks, the register stack engine, and the
+//! general/sentinel speculation recovery models of paper Fig. 9.
 //!
 //! The dispatch loop contains *no accounting code*: every cycle cost and
 //! counter bump is reported as a typed [`SimEvent`] to the
@@ -20,9 +20,9 @@
 //! drill-down matrix.
 
 use crate::attrib::{Attribution, FuncMatrix, KernelReason, Port, Retire, SimEvent, StallProducer};
-use crate::branch::Predictor;
 use crate::caches::Hierarchy;
 use crate::counters::{Counters, CycleAccounting, CATEGORIES};
+use crate::predict::{AnyPredictor, BranchPredictor, BranchRecord, PredictorSpec};
 use crate::rse::Rse;
 use crate::tlb::Dtlb;
 use epic_ir::interp::checksum;
@@ -57,6 +57,9 @@ pub struct SimOptions {
     /// Exact cycle-accurate simulation (the default) or SimPoint-style
     /// sampled estimation (`crate::sample`).
     pub sample: crate::sample::SamplePolicy,
+    /// Which branch predictor the core models (`crate::predict`); the
+    /// default gshare reproduces the pre-zoo simulator bit for bit.
+    pub predictor: PredictorSpec,
 }
 
 impl Default for SimOptions {
@@ -67,6 +70,7 @@ impl Default for SimOptions {
             spec_model: SpecModel::General,
             trace_capacity: 0,
             sample: crate::sample::SamplePolicy::Exact,
+            predictor: PredictorSpec::default(),
         }
     }
 }
@@ -293,7 +297,7 @@ pub(crate) struct Sim<'a> {
     pub(crate) fuel: u64,
     pub(crate) mem: Memory,
     pub(crate) hier: Hierarchy,
-    pub(crate) pred: Predictor,
+    pub(crate) pred: AnyPredictor,
     pub(crate) dtlb: Dtlb,
     pub(crate) rse: Rse,
     pub(crate) attrib: Attribution,
@@ -326,7 +330,7 @@ impl<'a> Sim<'a> {
             fuel: opts.fuel_cycles,
             mem,
             hier: Hierarchy::new(&opts.config),
-            pred: Predictor::new(),
+            pred: AnyPredictor::from_spec(opts.predictor),
             dtlb: Dtlb::new(opts.config.dtlb_entries),
             rse: Rse::new(opts.config.rse_capacity, opts.config.rse_cycle_per_reg),
             attrib: Attribution::new(mp.funcs.len()).with_trace(opts.trace_capacity),
@@ -531,11 +535,17 @@ impl<'a> Sim<'a> {
                     if op.is_branch() && op.guard.is_some() {
                         // conditional branch: predict on both outcomes
                         let addr = f.bundle_addr(first_bundle + k);
-                        let correct = self.pred.branch(addr, guard_val);
+                        let correct = self.pred.observe(addr, guard_val);
                         self.attrib.emit(SimEvent::BranchPredicted {
                             correct,
                             flush_cycles: self.cfg.mispredict_penalty,
                         });
+                        if self.attrib.wants_branches() {
+                            self.attrib.branch(BranchRecord::Cond {
+                                addr,
+                                taken: guard_val,
+                            });
+                        }
                     }
                     if !guard_val {
                         self.attrib.emit(SimEvent::Retired(Retire::Squashed));
@@ -716,7 +726,11 @@ impl<'a> Sim<'a> {
                             let cf = &mp.funcs[callee];
                             let (regs, stall) = self.rse.call(cf.n_gr);
                             self.attrib.emit(SimEvent::RseTraffic { regs, stall });
-                            self.pred.push_return(f.bundle_addr(end_bundle + 1));
+                            let ret_addr = f.bundle_addr(end_bundle + 1);
+                            self.pred.push_return(ret_addr);
+                            if self.attrib.wants_branches() {
+                                self.attrib.branch(BranchRecord::Call { ret_addr });
+                            }
                             let sp = self.frame.sp - ((cf.frame_size + 15) & !15);
                             if sp < STACK_TOP - epic_ir::mem::STACK_MAX {
                                 return Err(self.trap_at(TrapKind::MemFault(sp), pos));
@@ -751,6 +765,9 @@ impl<'a> Sim<'a> {
                                         self.attrib.emit(SimEvent::ReturnMispredicted {
                                             flush_cycles: self.cfg.mispredict_penalty,
                                         });
+                                    }
+                                    if self.attrib.wants_branches() {
+                                        self.attrib.branch(BranchRecord::Ret { actual: expected });
                                     }
                                     if let Some(d) = self.frame.ret_dst {
                                         caller.regs[d.index()] = val;

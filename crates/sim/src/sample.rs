@@ -41,12 +41,12 @@
 
 use crate::attrib::Attribution;
 use crate::attrib::FuncMatrix;
-use crate::branch::Predictor;
 use crate::caches::Hierarchy;
 use crate::counters::{Category, Counters, CycleAccounting, NUM_CATEGORIES, NUM_COUNTERS};
 use crate::machine::{
     alu, Exec, Frame, Sim, SimOptions, SimResult, SimTrap, SpecModel, TrapKind, NREGS,
 };
+use crate::predict::{AnyPredictor, BranchPredictor, PredictorSpec};
 use crate::rse::Rse;
 use crate::tlb::Dtlb;
 use epic_ir::interp::checksum;
@@ -846,7 +846,10 @@ impl WarmDtlb {
 #[derive(Clone)]
 struct WarmState {
     hier: Hierarchy,
-    pred: Predictor,
+    pred: AnyPredictor,
+    /// Conditional mispredictions seen by the warm predictor — the
+    /// cluster feature the predictor itself no longer counts.
+    pred_mispredicts: u64,
     dtlb: WarmDtlb,
     ifilter: MruFilter,
     dfilter: MruFilter,
@@ -865,10 +868,11 @@ struct WarmState {
 }
 
 impl WarmState {
-    fn new(cfg: &MachineConfig) -> WarmState {
+    fn new(cfg: &MachineConfig, spec: PredictorSpec) -> WarmState {
         WarmState {
             hier: Hierarchy::new(cfg),
-            pred: Predictor::new(),
+            pred: AnyPredictor::from_spec(spec),
+            pred_mispredicts: 0,
             dtlb: WarmDtlb::new(cfg.dtlb_entries),
             ifilter: MruFilter::new(cfg.l1i),
             dfilter: MruFilter::new(cfg.l1d),
@@ -903,7 +907,7 @@ impl WarmState {
             self.hier.l1d.misses,
             self.hier.l3.misses,
             self.page_switches,
-            self.pred.mispredictions,
+            self.pred_mispredicts,
             self.wild_loads,
         ]
     }
@@ -1298,8 +1302,10 @@ impl<'a> FRun<'a> {
                         self.st.frame.regs[g as usize]
                     };
                     if WARM && pop.branch {
-                        warm.pred
-                            .branch(f.bundle_addr(first + pop.off as usize), v.is_true());
+                        let addr = f.bundle_addr(first + pop.off as usize);
+                        if !warm.pred.observe(addr, v.is_true()) {
+                            warm.pred_mispredicts += 1;
+                        }
                     }
                     v.is_true()
                 }
@@ -1671,7 +1677,7 @@ fn pass1(
     warm_profile: bool,
 ) -> Result<Pass1, (TrapKind, (usize, usize))> {
     let mut fr = FRun::new(mp, tabs, opts, initial_state(mp, args, opts), true);
-    let mut warm = WarmState::new(&opts.config);
+    let mut warm = WarmState::new(&opts.config, opts.predictor);
     let mut ends = Vec::new();
     let mut bbvs = Vec::new();
     let mut feats = Vec::new();
@@ -2152,7 +2158,7 @@ pub(crate) fn run_sampled(
                     .max_by_key(|(_, s, _)| s.ops)
                     .expect("snapshot 0 always qualifies");
                 let mut fr = FRun::new(mp, &tabs, opts, s.clone(), false);
-                let mut warm = WarmState::new(&opts.config);
+                let mut warm = WarmState::new(&opts.config, opts.predictor);
                 fr.run_to::<false, false>(warm_from, &mut warm, None)
                     .and_then(|_| fr.run_to::<true, false>(rep_start, &mut warm, None))
                     .map(|_| (fr, warm))

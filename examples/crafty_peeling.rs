@@ -5,11 +5,10 @@
 //!
 //! Run with: `cargo run --release --example crafty_peeling`
 
-#![allow(deprecated)] // exercises the legacy `measure` shim until it is removed
-
 use epic_core::{ifconv, peel, IlpOptions};
-use epic_driver::{measure, CompileOptions, OptLevel};
+use epic_driver::{measure_traced, CompileOptions, OptLevel};
 use epic_sim::SimOptions;
+use epic_trace::Trace;
 
 const EVALUATE_LIKE: &str = "
     global board: [int; 64];
@@ -70,16 +69,18 @@ fn main() {
     // End-to-end effect, measured on the real crafty stand-in.
     println!("\nmeasured on the crafty_mc workload (ref input):");
     let w = epic_workloads::by_name("crafty_mc").unwrap();
-    let ons = measure(
+    let ons = measure_traced(
         &w,
         &CompileOptions::for_level(OptLevel::ONs),
         &SimOptions::default(),
+        &Trace::disabled(),
     )
     .unwrap();
-    let ilp = measure(
+    let ilp = measure_traced(
         &w,
         &CompileOptions::for_level(OptLevel::IlpNs),
         &SimOptions::default(),
+        &Trace::disabled(),
     )
     .unwrap();
     let mut nopeel_opts = CompileOptions::for_level(OptLevel::IlpNs);
@@ -87,7 +88,8 @@ fn main() {
         enable_peel: false,
         ..IlpOptions::ilp_ns()
     });
-    let nopeel = measure(&w, &nopeel_opts, &SimOptions::default()).unwrap();
+    let nopeel =
+        measure_traced(&w, &nopeel_opts, &SimOptions::default(), &Trace::disabled()).unwrap();
     println!("  O-NS:            {:>9} cycles", ons.sim.cycles);
     println!(
         "  ILP-NS no peel:  {:>9} cycles ({:.2}x)",

@@ -6,28 +6,29 @@
 //!
 //! Run with: `cargo run --release --example wild_loads`
 
-#![allow(deprecated)] // exercises the legacy `measure` shim until it is removed
-
 use epic_core::{speculate, IlpOptions};
-use epic_driver::{measure, CompileOptions, OptLevel};
+use epic_driver::{measure_traced, CompileOptions, OptLevel};
 use epic_sim::{SimOptions, SpecModel};
+use epic_trace::Trace;
 
 fn main() {
     let w = epic_workloads::by_name("gcc_mc").unwrap();
     println!("workload: {} ({})\n", w.name, w.description);
 
     // ILP-NS: no control speculation, no wild loads.
-    let ns = measure(
+    let ns = measure_traced(
         &w,
         &CompileOptions::for_level(OptLevel::IlpNs),
         &SimOptions::default(),
+        &Trace::disabled(),
     )
     .unwrap();
     // ILP-CS under the general model.
-    let general = measure(
+    let general = measure_traced(
         &w,
         &CompileOptions::for_level(OptLevel::IlpCs),
         &SimOptions::default(),
+        &Trace::disabled(),
     )
     .unwrap();
     // ILP-CS under the sentinel model (compiler leaves chk ops).
@@ -39,13 +40,14 @@ fn main() {
         }),
         ..IlpOptions::default()
     });
-    let sentinel = measure(
+    let sentinel = measure_traced(
         &w,
         &sopts,
         &SimOptions {
             spec_model: SpecModel::Sentinel,
             ..Default::default()
         },
+        &Trace::disabled(),
     )
     .unwrap();
 

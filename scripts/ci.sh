@@ -142,4 +142,47 @@ cargo run --release -q --bin epicc -- sample --bench --max-err 5.0 --min-speedup
 grep -q '^# sample bench ' "$smoke_dir/sample.txt"
 test -s "$smoke_dir/bench7.json"
 
+# Predictor matrix smoke (DESIGN.md §13). Required:
+#   (1) `--predictor gshare` (the explicit default) produces cell lines
+#       byte-identical to the plain matrix — the zoo refactor may not
+#       perturb the default measurement,
+#   (2) a non-default predictor produces a *different* cell line for
+#       the same (workload, level) — the sweep axis is real,
+#   (3) `epicc branches --capture` passes its built-in replay-vs-live
+#       self-check for all four zoo members, and offline `epicc replay`
+#       of the captured trace reports the oracle at zero mispredicts.
+echo "==> predictor smoke (zoo matrix + trace capture/replay)"
+cargo run --release -q --bin epicc -- matrix --no-cache --workload mcf_mc --level gcc \
+    --predictor gshare > "$smoke_dir/pred_default.txt"
+grep '^cell ' "$smoke_dir/pred_default.txt" > "$smoke_dir/pred_default_cells.txt"
+cmp "$smoke_dir/untraced_cells.txt" "$smoke_dir/pred_default_cells.txt"
+cargo run --release -q --bin epicc -- matrix --no-cache --workload mcf_mc --level gcc \
+    --predictor tage > "$smoke_dir/pred_tage.txt"
+grep '^cell ' "$smoke_dir/pred_tage.txt" > "$smoke_dir/pred_tage_cells.txt"
+if cmp -s "$smoke_dir/untraced_cells.txt" "$smoke_dir/pred_tage_cells.txt"; then
+    echo "FAIL: --predictor tage produced cell lines identical to the default" >&2
+    exit 1
+fi
+cargo run --release -q --bin epicc -- branches --workload mcf_mc --level gcc \
+    --capture "$smoke_dir/mcf.epbt" > "$smoke_dir/branches.txt"
+grep -q '^replay-ok predictors=4$' "$smoke_dir/branches.txt"
+cargo run --release -q --bin epicc -- replay --trace "$smoke_dir/mcf.epbt" \
+    --predictor all > "$smoke_dir/replay.txt"
+grep -q '^replay oracle predictions=[0-9]* mispredictions=0 ' "$smoke_dir/replay.txt"
+
+# Perf-trajectory checkpoint guard (ROADMAP perf-trajectory item,
+# first slice): compare this run's bench JSON against the committed
+# checkpoint and red-flag regressions. Self-comparison first validates
+# the tool path (identical files must pass with zero delta); the live
+# comparison uses a generous 25% threshold so shared-runner noise on
+# wall-clock speedups cannot flake CI while real cliffs still fail.
+echo "==> benchcmp guard (vs committed BENCH_7.json checkpoint)"
+cargo run --release -q --bin epicc -- benchcmp --baseline BENCH_7.json \
+    --current BENCH_7.json > "$smoke_dir/benchcmp_self.txt"
+grep -q '^benchcmp-ok ' "$smoke_dir/benchcmp_self.txt"
+cargo run --release -q --bin epicc -- benchcmp --baseline BENCH_7.json \
+    --current "$smoke_dir/bench7.json" --threshold-pct 25 \
+    > "$smoke_dir/benchcmp.txt"
+grep -q '^benchcmp-ok ' "$smoke_dir/benchcmp.txt"
+
 echo "CI OK"

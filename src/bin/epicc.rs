@@ -40,12 +40,28 @@
 //! `sample --bench` sweeps exact vs sampled vs cold-profile timings,
 //! writes BENCH_7.json, and enforces the accuracy/speed gate.
 //!
+//! Branch prediction (see DESIGN.md §13):
+//!
+//! ```text
+//! epicc branches [--workload N|all] [--level L]      # Fig. 7-style zoo table
+//! epicc branches --workload N --capture T.epbt       # trace + replay self-check
+//! epicc replay --trace T.epbt [--predictor NAME|all]
+//! ```
+//!
+//! `matrix`, `submit`, `sample`, and the single-file path all take
+//! `--predictor gshare|bimodal|tage|oracle` (default gshare, which is
+//! bit-identical to the pre-zoo simulator).
+//!
+//! `benchcmp --baseline BENCH_N.json --current NEW.json` red-flags
+//! >10% regressions of a fresh bench run against a committed
+//! checkpoint (threshold adjustable with `--threshold-pct`).
+//!
 //! `submit` and `matrix` print identical, deterministic `cell` lines
 //! (workload, level, cycles, checksum, content digest), so CI can diff a
 //! served sweep against a direct in-process one byte for byte.
 
 use epic_driver::{compile_source, CompileOptions, OptLevel};
-use epic_sim::{Category, SimOptions, SimResult, SpecModel, CATEGORIES};
+use epic_sim::{Category, PredictorSpec, SimOptions, SimResult, SpecModel, CATEGORIES};
 use std::process::ExitCode;
 
 struct Args {
@@ -55,6 +71,7 @@ struct Args {
     emit: Emit,
     main_args: Vec<i64>,
     spec_model: SpecModel,
+    predictor: PredictorSpec,
     report: bool,
 }
 
@@ -69,9 +86,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: epicc <file.mc> [--level gcc|o-ns|ilp-ns|ilp-cs|all] [--emit sim|ir|mach]\n\
          \x20            [--args a,b,...] [--spec-model general|sentinel]\n\
+         \x20            [--predictor gshare|bimodal|tage|oracle]\n\
          \x20      epicc --workload <name> [...]   (bundled SPEC stand-ins; see epic-workloads)\n\
          \x20      epicc report (<file.mc> | --workload <name>) [--level ...]\n\
-         \x20            Fig. 5 cycle-accounting table + Fig. 10 per-function drill-down"
+         \x20            Fig. 5 cycle-accounting table + Fig. 10 per-function drill-down\n\
+         \x20      epicc branches [--workload <name>|all] [--level ...] [--capture FILE]\n\
+         \x20            Fig. 7-style predictor-zoo table (+ trace capture/replay check)\n\
+         \x20      epicc replay --trace FILE [--predictor <name>|all]"
     );
     std::process::exit(2);
 }
@@ -84,6 +105,7 @@ fn parse_args() -> Args {
         emit: Emit::Sim,
         main_args: Vec::new(),
         spec_model: SpecModel::General,
+        predictor: PredictorSpec::default(),
         report: false,
     };
     let mut first_positional = true;
@@ -129,6 +151,10 @@ fn parse_args() -> Args {
                     _ => usage(),
                 };
             }
+            "--predictor" => {
+                args.predictor = PredictorSpec::parse(&it.next().unwrap_or_else(|| usage()))
+                    .unwrap_or_else(|| usage());
+            }
             "--workload" => args.workload = Some(it.next().unwrap_or_else(|| usage())),
             "-h" | "--help" => usage(),
             path if !path.starts_with('-') => {
@@ -155,6 +181,9 @@ fn main() -> ExitCode {
             Some("top") => return top_cmd(&argv[1..]),
             Some("saturate") => return saturate_cmd(&argv[1..]),
             Some("sample") => return sample_cmd(&argv[1..]),
+            Some("branches") => return branches_cmd(&argv[1..]),
+            Some("replay") => return replay_cmd(&argv[1..]),
+            Some("benchcmp") => return benchcmp_cmd(&argv[1..]),
             Some("shutdown") => return shutdown_cmd(&argv[1..]),
             _ => {}
         }
@@ -210,6 +239,7 @@ fn main() -> ExitCode {
                 &run_args,
                 &SimOptions {
                     spec_model: args.spec_model,
+                    predictor: args.predictor,
                     ..Default::default()
                 },
             ) {
@@ -232,7 +262,7 @@ fn main() -> ExitCode {
                 .iter()
                 .map(|f| f.name.as_str())
                 .collect();
-            print_report(level, &sim, &names);
+            print_report(level, &sim, &names, args.predictor);
             continue;
         }
         match args.emit {
@@ -254,6 +284,7 @@ fn main() -> ExitCode {
                     &run_args,
                     &SimOptions {
                         spec_model: args.spec_model,
+                        predictor: args.predictor,
                         ..Default::default()
                     },
                 ) {
@@ -315,9 +346,22 @@ fn short_name(cat: Category) -> &'static str {
 /// Render the Fig. 5 stacked cycle table and the Fig. 10 per-function
 /// drill-down for one level. Pure function of the sim result, so output
 /// is deterministic (ties in the function sort break by function index).
-fn print_report(level: OptLevel, sim: &SimResult, func_names: &[&str]) {
+fn print_report(level: OptLevel, sim: &SimResult, func_names: &[&str], predictor: PredictorSpec) {
     let total = sim.cycles.max(1);
     println!("=== {} ===", level.name());
+    let (p, m) = (
+        sim.counters.branch_predictions,
+        sim.counters.branch_mispredictions,
+    );
+    println!(
+        "branch predictor: {}  predictions={p} mispredictions={m} ({:.2}%)",
+        predictor.name(),
+        if p == 0 {
+            0.0
+        } else {
+            100.0 * m as f64 / p as f64
+        },
+    );
     println!("cycle accounting (Fig. 5):");
     println!("  {:<20} {:>14} {:>7}", "category", "cycles", "%");
     for cat in CATEGORIES {
@@ -389,6 +433,17 @@ fn cell_line(w: &str, level: OptLevel, m: &epic_driver::Measurement) -> String {
         m.sim.checksum,
         epic_serve::digest(m).hex()
     )
+}
+
+/// Parse a `--predictor` value from a kv map (absent = default gshare).
+fn parse_predictor(
+    kv: &std::collections::HashMap<String, String>,
+) -> Result<PredictorSpec, String> {
+    match kv.get("--predictor") {
+        None => Ok(PredictorSpec::default()),
+        Some(v) => PredictorSpec::parse(v)
+            .ok_or_else(|| format!("unknown predictor `{v}` (gshare|bimodal|tage|oracle)")),
+    }
 }
 
 fn parse_levels(v: &str) -> Result<Vec<OptLevel>, String> {
@@ -500,6 +555,10 @@ fn submit_cmd(args: &[String]) -> ExitCode {
         Ok(n) => n,
         Err(_) => return fail("--threads must be an integer"),
     };
+    let predictor = match parse_predictor(&kv) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
     let threads = if threads == 0 {
         cells.len().min(8)
     } else {
@@ -530,7 +589,8 @@ fn submit_cmd(args: &[String]) -> ExitCode {
                     let Some((w, level)) = cells.get(i) else {
                         break;
                     };
-                    let spec = epic_serve::JobSpec::for_workload(w, *level);
+                    let mut spec = epic_serve::JobSpec::for_workload(w, *level);
+                    spec.predictor = predictor;
                     let r = client
                         .submit(&spec, epic_serve::Priority::Normal, 0)
                         .map_err(|e| e.to_string());
@@ -586,7 +646,13 @@ fn matrix_cmd(args: &[String]) -> ExitCode {
         (true, _) | (false, None) => None,
         (false, Some(dir)) => Some(epic_serve::ArtifactStore::persistent(dir)),
     };
-    let sopts = SimOptions::default();
+    let sopts = SimOptions {
+        predictor: match parse_predictor(&kv) {
+            Ok(p) => p,
+            Err(e) => return fail(e),
+        },
+        ..SimOptions::default()
+    };
     let trace = if kv.contains_key("--trace") {
         epic_driver::TracePolicy::Enabled
     } else {
@@ -1066,8 +1132,12 @@ fn sample_cmd(args: &[String]) -> ExitCode {
             Some(Err(e)) => return fail(e),
         }
     }
+    let predictor = match parse_predictor(&kv) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
     if kv.contains_key("--bench") {
-        return sample_bench(&cells, policy, &kv);
+        return sample_bench(&cells, policy, predictor, &kv);
     }
     let want_exact = kv.contains_key("--exact");
 
@@ -1078,6 +1148,7 @@ fn sample_cmd(args: &[String]) -> ExitCode {
         };
         let sopts = SimOptions {
             sample: policy,
+            predictor,
             ..SimOptions::default()
         };
         let sampled = match epic_sim::run(&compiled.mach, &w.ref_args, &sopts) {
@@ -1107,7 +1178,11 @@ fn sample_cmd(args: &[String]) -> ExitCode {
         if !want_exact {
             continue;
         }
-        let exact = match epic_sim::run(&compiled.mach, &w.ref_args, &SimOptions::default()) {
+        let exact_opts = SimOptions {
+            predictor,
+            ..SimOptions::default()
+        };
+        let exact = match epic_sim::run(&compiled.mach, &w.ref_args, &exact_opts) {
             Ok(r) => r,
             Err(e) => return fail(format!("{} [{}]: exact trapped: {e}", w.name, level.name())),
         };
@@ -1149,6 +1224,7 @@ fn sample_cmd(args: &[String]) -> ExitCode {
 fn sample_bench(
     cells: &[(epic_workloads::Workload, OptLevel)],
     policy: epic_sim::SamplePolicy,
+    predictor: PredictorSpec,
     kv: &std::collections::HashMap<String, String>,
 ) -> ExitCode {
     use epic_bench::json::Json;
@@ -1170,14 +1246,19 @@ fn sample_bench(
             Ok(c) => c,
             Err(e) => return fail(format!("{} [{}]: {e}", w.name, level.name())),
         };
+        let exact_opts = SimOptions {
+            predictor,
+            ..SimOptions::default()
+        };
         let t0 = std::time::Instant::now();
-        let exact = match epic_sim::run(&compiled.mach, &w.ref_args, &SimOptions::default()) {
+        let exact = match epic_sim::run(&compiled.mach, &w.ref_args, &exact_opts) {
             Ok(r) => r,
             Err(e) => return fail(format!("{} [{}]: exact trapped: {e}", w.name, level.name())),
         };
         let te = t0.elapsed().as_secs_f64();
         let sopts = SimOptions {
             sample: policy,
+            predictor,
             ..SimOptions::default()
         };
         let t1 = std::time::Instant::now();
@@ -1295,6 +1376,310 @@ fn sample_bench(
     if !violations.is_empty() {
         return fail(format!("sample gate: {}", violations.join("; ")));
     }
+    ExitCode::SUCCESS
+}
+
+/// `epicc branches`: the Fig. 7-style predictor-zoo table — for every
+/// workload at a level, simulate with each zoo member and print the
+/// conditional misprediction rates side by side. Functional results
+/// (output, return value, checksum) and the branch count itself must be
+/// predictor-invariant; any divergence is a hard failure. With
+/// `--capture FILE` (exactly one workload × level) the default-predictor
+/// run's branch stream is also recorded to FILE and self-checked: the
+/// trace replayed through every zoo member must reproduce the live
+/// simulators' counts exactly, reported as `replay-ok predictors=4`.
+fn branches_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let levels = match parse_levels(kv.get("--level").map_or("ilp-cs", String::as_str)) {
+        Ok(l) => l,
+        Err(e) => return fail(e),
+    };
+    let cells = match sweep_cells(kv.get("--workload").map_or("all", String::as_str), &levels) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let capture = kv.get("--capture");
+    if capture.is_some() && cells.len() != 1 {
+        return fail("--capture needs exactly one workload at one level");
+    }
+
+    let zoo = PredictorSpec::ZOO;
+    let mut header = vec!["benchmark", "level", "branches"];
+    header.extend(zoo.iter().map(|s| s.name()));
+    let mut table = epic_bench::Table::new(&header);
+    // live per-predictor (predictions, mispredictions) of the last cell,
+    // consumed by the capture self-check (single-cell there by construction)
+    let mut live_counts: Vec<(PredictorSpec, u64, u64)> = Vec::new();
+    let mut last_compiled = None;
+    for (w, level) in &cells {
+        let compiled = match epic_driver::compile(w, &CompileOptions::for_level(*level)) {
+            Ok(c) => c,
+            Err(e) => return fail(format!("{} [{}]: {e}", w.name, level.name())),
+        };
+        live_counts.clear();
+        let mut baseline: Option<(Vec<u64>, u64, u64, u64)> = None;
+        let mut rates = Vec::new();
+        for spec in zoo {
+            let sopts = SimOptions {
+                predictor: spec,
+                ..SimOptions::default()
+            };
+            let sim = match epic_sim::run(&compiled.mach, &w.ref_args, &sopts) {
+                Ok(r) => r,
+                Err(e) => {
+                    return fail(format!(
+                        "{} [{}] {}: sim trapped: {e}",
+                        w.name,
+                        level.name(),
+                        spec.name()
+                    ))
+                }
+            };
+            if let Err(e) = sim.check_identity() {
+                return fail(format!(
+                    "{} [{}] {}: identity: {e}",
+                    w.name,
+                    level.name(),
+                    spec.name()
+                ));
+            }
+            let fingerprint = (
+                sim.output.clone(),
+                sim.ret,
+                sim.checksum,
+                sim.counters.branch_predictions,
+            );
+            match &baseline {
+                None => baseline = Some(fingerprint),
+                Some(b) if *b != fingerprint => {
+                    return fail(format!(
+                        "{} [{}]: predictor {} changed program semantics or the branch stream",
+                        w.name,
+                        level.name(),
+                        spec.name()
+                    ))
+                }
+                Some(_) => {}
+            }
+            let (p, m) = (
+                sim.counters.branch_predictions,
+                sim.counters.branch_mispredictions,
+            );
+            live_counts.push((spec, p, m));
+            rates.push(if p == 0 {
+                "0.00%".to_string()
+            } else {
+                format!("{:.2}%", 100.0 * m as f64 / p as f64)
+            });
+        }
+        let branches = baseline.as_ref().map_or(0, |b| b.3);
+        let mut row = vec![
+            w.name.to_string(),
+            level.name().to_string(),
+            branches.to_string(),
+        ];
+        row.extend(rates);
+        table.row(row);
+        last_compiled = Some((w.clone(), *level, compiled));
+    }
+    println!("conditional branch misprediction rate (Fig. 7):");
+    table.print();
+
+    if let Some(path) = capture {
+        let (w, level, compiled) = last_compiled.as_ref().expect("capture has one cell");
+        let file = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => return fail(format!("create {path}: {e}")),
+        };
+        let (sink, stats) = match epic_sim::BranchTraceSink::new(file, 1 << 24) {
+            Ok(s) => s,
+            Err(e) => return fail(format!("write {path}: {e}")),
+        };
+        let run = epic_sim::run_with_sinks(
+            &compiled.mach,
+            &w.ref_args,
+            &SimOptions::default(),
+            vec![Box::new(sink)],
+        );
+        if let Err(e) = run {
+            return fail(format!("{} [{}]: sim trapped: {e}", w.name, level.name()));
+        }
+        let (recorded, dropped) = {
+            let g = stats.lock().unwrap();
+            (g.recorded, g.dropped)
+        };
+        if dropped > 0 {
+            return fail(format!(
+                "trace cap exceeded: {dropped} records dropped (replay would diverge)"
+            ));
+        }
+        println!("captured {recorded} branch records -> {path}");
+        let mut f = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => return fail(format!("open {path}: {e}")),
+        };
+        let records = match epic_sim::read_branch_trace(&mut f) {
+            Ok(r) => r,
+            Err(e) => return fail(format!("read {path}: {e}")),
+        };
+        for (spec, live_p, live_m) in &live_counts {
+            let mut pred = epic_sim::AnyPredictor::from_spec(*spec);
+            let st = epic_sim::replay(&records, &mut pred);
+            if st.predictions != *live_p || st.mispredictions != *live_m {
+                return fail(format!(
+                    "replay {} diverged from live sim: replay {}/{} vs live {}/{}",
+                    spec.name(),
+                    st.mispredictions,
+                    st.predictions,
+                    live_m,
+                    live_p
+                ));
+            }
+        }
+        println!("replay-ok predictors={}", live_counts.len());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `epicc replay`: offline branch prediction over a trace captured by
+/// `epicc branches --capture` — no compilation or simulation, just the
+/// predictor models over the recorded stream.
+fn replay_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let Some(path) = kv.get("--trace") else {
+        return fail("replay needs --trace FILE");
+    };
+    let specs: Vec<PredictorSpec> = match kv.get("--predictor").map(String::as_str) {
+        None | Some("all") => PredictorSpec::ZOO.to_vec(),
+        Some(v) => match PredictorSpec::parse(v) {
+            Some(s) => vec![s],
+            None => {
+                return fail(format!(
+                    "unknown predictor `{v}` (gshare|bimodal|tage|oracle)"
+                ))
+            }
+        },
+    };
+    let mut f = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => return fail(format!("open {path}: {e}")),
+    };
+    let records = match epic_sim::read_branch_trace(&mut f) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("read {path}: {e}")),
+    };
+    println!("# trace {path}: {} records", records.len());
+    for spec in specs {
+        let mut pred = epic_sim::AnyPredictor::from_spec(spec);
+        let st = epic_sim::replay(&records, &mut pred);
+        println!(
+            "replay {} predictions={} mispredictions={} misp={:.2}% returns={} \
+             ret_mispredictions={}",
+            spec.name(),
+            st.predictions,
+            st.mispredictions,
+            st.mispredict_pct(),
+            st.returns,
+            st.return_mispredictions,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Walk a dotted path (`totals.speedup`) through a JSON object tree.
+fn json_path<'a>(j: &'a epic_bench::json::Json, path: &str) -> Option<&'a epic_bench::json::Json> {
+    let mut cur = j;
+    for seg in path.split('.') {
+        match cur {
+            epic_bench::json::Json::Obj(kvs) => {
+                cur = &kvs.iter().find(|(k, _)| k == seg)?.1;
+            }
+            _ => return None,
+        }
+    }
+    Some(cur)
+}
+
+/// `epicc benchcmp`: the BENCH checkpoint guard (first slice of ROADMAP
+/// item 3) — compare a freshly generated bench JSON against the last
+/// committed `BENCH_*.json` and red-flag any higher-is-better headline
+/// metric that regressed by more than `--threshold-pct` (default 10).
+fn benchcmp_cmd(args: &[String]) -> ExitCode {
+    use epic_bench::json::Json;
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let (Some(base_path), Some(cur_path)) = (kv.get("--baseline"), kv.get("--current")) else {
+        return fail("benchcmp needs --baseline FILE and --current FILE");
+    };
+    let thr: f64 = match kv.get("--threshold-pct").map_or(Ok(10.0), |v| v.parse()) {
+        Ok(v) if v >= 0.0 => v,
+        _ => return fail("--threshold-pct must be a non-negative number"),
+    };
+    let read = |p: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"))?;
+        Json::parse(text.trim()).map_err(|e| format!("{p}: {e}"))
+    };
+    let (base, cur) = match (read(base_path), read(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
+    };
+    let bench_name = |j: &Json| -> Option<String> {
+        match json_path(j, "benchmark") {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    };
+    let (Some(bench), Some(cur_bench)) = (bench_name(&base), bench_name(&cur)) else {
+        return fail("both files need a top-level \"benchmark\" field");
+    };
+    if bench != cur_bench {
+        return fail(format!(
+            "benchmark mismatch: baseline is `{bench}`, current is `{cur_bench}`"
+        ));
+    }
+    // higher-is-better headline metrics per benchmark family
+    let metrics: &[&str] = match bench.as_str() {
+        "serve-saturate" => &["speedup_throughput", "event_loop.throughput_rps"],
+        "sampled-sim" => &["totals.speedup"],
+        other => return fail(format!("no benchcmp metrics defined for `{other}`")),
+    };
+    let num = |j: &Json, path: &str, which: &str| -> Result<f64, String> {
+        match json_path(j, path) {
+            Some(Json::Num(n)) if *n > 0.0 => Ok(*n),
+            _ => Err(format!("{which}: missing or non-positive metric `{path}`")),
+        }
+    };
+    let mut regressions = Vec::new();
+    for m in metrics {
+        let (b, c) = match (num(&base, m, base_path), num(&cur, m, cur_path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(e), _) | (_, Err(e)) => return fail(e),
+        };
+        let delta = (c - b) / b * 100.0;
+        let flag = c < b * (1.0 - thr / 100.0);
+        println!(
+            "benchcmp {bench} {m} baseline={b:.3} current={c:.3} delta={delta:+.1}%{}",
+            if flag { " REGRESSION" } else { "" }
+        );
+        if flag {
+            regressions.push(format!("{m} {delta:+.1}%"));
+        }
+    }
+    if !regressions.is_empty() {
+        return fail(format!(
+            "bench regression vs {base_path} (> {thr}%): {}",
+            regressions.join("; ")
+        ));
+    }
+    println!("benchcmp-ok {bench} metrics={}", metrics.len());
     ExitCode::SUCCESS
 }
 

@@ -5,18 +5,18 @@
 //! the gcc stand-in's kernel time concentrates in the function issuing
 //! wild speculative loads.
 
-#![allow(deprecated)] // exercises the legacy `measure` shim until it is removed
-
-use epic_driver::{measure, CompileOptions, OptLevel};
+use epic_driver::{measure_traced, CompileOptions, OptLevel};
 use epic_sim::{SimOptions, CATEGORIES};
+use epic_trace::Trace;
 
 #[test]
 fn vortex_matrix_columns_reproduce_aggregate_accounting() {
     let w = epic_workloads::by_name("vortex_mc").unwrap();
-    let m = measure(
+    let m = measure_traced(
         &w,
         &CompileOptions::for_level(OptLevel::IlpCs),
         &SimOptions::default(),
+        &Trace::disabled(),
     )
     .unwrap();
     let sim = &m.sim;
@@ -42,10 +42,11 @@ fn vortex_matrix_columns_reproduce_aggregate_accounting() {
 #[test]
 fn gcc_kernel_cycles_concentrate_in_the_wild_load_function() {
     let w = epic_workloads::by_name("gcc_mc").unwrap();
-    let m = measure(
+    let m = measure_traced(
         &w,
         &CompileOptions::for_level(OptLevel::IlpCs),
         &SimOptions::default(),
+        &Trace::disabled(),
     )
     .unwrap();
     let sim = &m.sim;

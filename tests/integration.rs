@@ -3,10 +3,9 @@
 //! preserve semantics on real workloads at every optimization level, and
 //! the measured counters must satisfy basic physical invariants.
 
-#![allow(deprecated)] // exercises the legacy `measure` shim until it is removed
-
-use epic_driver::{compile, measure, oracle, CompileOptions, OptLevel};
+use epic_driver::{compile, measure_traced, oracle, CompileOptions, OptLevel};
 use epic_sim::SimOptions;
+use epic_trace::Trace;
 
 /// A fast subset of the suite that covers every behaviour class (full
 /// 12-benchmark differential coverage lives in the bench harness and the
@@ -38,10 +37,11 @@ fn sample_workloads_match_oracle_at_all_levels_on_train_input() {
 fn counters_satisfy_physical_invariants() {
     let w = epic_workloads::by_name("vortex_mc").unwrap();
     for level in OptLevel::ALL {
-        let m = measure(
+        let m = measure_traced(
             &w,
             &CompileOptions::for_level(level),
             &SimOptions::default(),
+            &Trace::disabled(),
         )
         .unwrap();
         let c = &m.sim.counters;
@@ -67,16 +67,18 @@ fn counters_satisfy_physical_invariants() {
 #[test]
 fn speculation_only_appears_at_ilp_cs() {
     let w = epic_workloads::by_name("gcc_mc").unwrap();
-    let ns = measure(
+    let ns = measure_traced(
         &w,
         &CompileOptions::for_level(OptLevel::IlpNs),
         &SimOptions::default(),
+        &Trace::disabled(),
     )
     .unwrap();
-    let cs = measure(
+    let cs = measure_traced(
         &w,
         &CompileOptions::for_level(OptLevel::IlpCs),
         &SimOptions::default(),
+        &Trace::disabled(),
     )
     .unwrap();
     assert_eq!(
@@ -96,16 +98,18 @@ fn speculation_only_appears_at_ilp_cs() {
 #[test]
 fn structural_transforms_reduce_dynamic_branches() {
     let w = epic_workloads::by_name("crafty_mc").unwrap();
-    let ons = measure(
+    let ons = measure_traced(
         &w,
         &CompileOptions::for_level(OptLevel::ONs),
         &SimOptions::default(),
+        &Trace::disabled(),
     )
     .unwrap();
-    let ilp = measure(
+    let ilp = measure_traced(
         &w,
         &CompileOptions::for_level(OptLevel::IlpNs),
         &SimOptions::default(),
+        &Trace::disabled(),
     )
     .unwrap();
     let reduction =
@@ -126,16 +130,18 @@ fn impact_levels_beat_gcc_on_geomean() {
     let mut ratios = Vec::new();
     for name in SAMPLE {
         let w = epic_workloads::by_name(name).unwrap();
-        let gcc = measure(
+        let gcc = measure_traced(
             &w,
             &CompileOptions::for_level(OptLevel::Gcc),
             &SimOptions::default(),
+            &Trace::disabled(),
         )
         .unwrap();
-        let ns = measure(
+        let ns = measure_traced(
             &w,
             &CompileOptions::for_level(OptLevel::IlpNs),
             &SimOptions::default(),
+            &Trace::disabled(),
         )
         .unwrap();
         ratios.push(gcc.sim.cycles as f64 / ns.sim.cycles as f64);

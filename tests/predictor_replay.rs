@@ -1,0 +1,101 @@
+//! Replay-agrees-with-live validation (DESIGN.md §13): a branch trace
+//! captured from one detailed run, replayed offline through every
+//! predictor in the zoo, must reproduce the exact conditional
+//! prediction counts the live simulator reports with that predictor.
+//! This holds because the in-order pipeline executes no wrong-path
+//! operations — the retired branch stream is predictor-independent —
+//! and is the invariant `epicc branches --capture` / `epicc replay`
+//! stand on.
+
+use epic_driver::{compile, CompileOptions, OptLevel};
+use epic_sim::{
+    read_branch_trace, replay, run_with_sinks, AnyPredictor, BranchTraceSink, PredictorSpec,
+    SimOptions,
+};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A `Write` target the test keeps a handle to after the sink (which
+/// owns the writer) is consumed by the simulation run.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Capture the branch stream of `w` at `level` (default predictor), then
+/// check every zoo member's offline replay against its live run.
+fn check_replay_matches_live(workload: &str, level: OptLevel) {
+    let w = epic_workloads::by_name(workload).unwrap();
+    let compiled = compile(&w, &CompileOptions::for_level(level)).unwrap();
+
+    let buf = SharedBuf::default();
+    let (sink, stats) = BranchTraceSink::new(buf.clone(), 1 << 24).unwrap();
+    let captured = run_with_sinks(
+        &compiled.mach,
+        &w.ref_args,
+        &SimOptions::default(),
+        vec![Box::new(sink)],
+    )
+    .unwrap();
+    let (recorded, dropped) = {
+        let g = stats.lock().unwrap();
+        (g.recorded, g.dropped)
+    };
+    assert_eq!(dropped, 0, "{workload}: trace cap exceeded");
+    let bytes = buf.0.lock().unwrap().clone();
+    let records = read_branch_trace(&mut &bytes[..]).unwrap();
+    assert_eq!(records.len() as u64, recorded);
+    assert!(
+        records.len() as u64 >= captured.counters.branch_predictions,
+        "{workload}: trace must cover at least every conditional branch"
+    );
+
+    for spec in PredictorSpec::ZOO {
+        let live = epic_sim::run(
+            &compiled.mach,
+            &w.ref_args,
+            &SimOptions {
+                predictor: spec,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        let mut pred = AnyPredictor::from_spec(spec);
+        let st = replay(&records, &mut pred);
+        assert_eq!(
+            st.predictions,
+            live.counters.branch_predictions,
+            "{workload} {}: replay prediction count diverged",
+            spec.name()
+        );
+        assert_eq!(
+            st.mispredictions,
+            live.counters.branch_mispredictions,
+            "{workload} {}: replay misprediction count diverged",
+            spec.name()
+        );
+        if spec == PredictorSpec::Oracle {
+            assert_eq!(st.mispredictions, 0, "{workload}: oracle never misses");
+        }
+    }
+}
+
+#[test]
+fn replay_matches_live_simulation_for_every_predictor() {
+    check_replay_matches_live("gzip_mc", OptLevel::IlpCs);
+}
+
+#[test]
+fn replay_matches_live_on_an_unscheduled_level_too() {
+    // GCC-level code has a different branch mix (no compile-time
+    // speculation), so the stream shape differs from ILP-CS
+    check_replay_matches_live("mcf_mc", OptLevel::Gcc);
+}
