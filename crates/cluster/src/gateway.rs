@@ -1,0 +1,1023 @@
+//! `epicg`: the fleet gateway as a single-threaded event loop.
+//!
+//! The gateway speaks the exact `epicd` frame protocol on both faces —
+//! clients point `epicc` at it unchanged, and it talks to each shard as
+//! an ordinary client — and adds the fleet behaviours on top:
+//!
+//! * **Routing** — a submit's 128-bit job key picks its shard through
+//!   the rendezvous [`Ring`](crate::ring::Ring); status/result/put
+//!   queries route by their key the same way. Routing is pure, so any
+//!   number of gateways agree without coordination.
+//! * **Hedged requests** — a submit stuck past
+//!   [`hedge_after`](GatewayConfig::hedge_after) is re-issued to the
+//!   key's replica shard; the first completion wins and the loser is
+//!   ignored. Because jobs are content-addressed, the duplicate is
+//!   harmless: both shards compute the same bytes, and the late result
+//!   merely warms the loser's cache.
+//! * **Failover** — a dead shard (connect refused, connection dropped
+//!   mid-request) fails the *attempt*, not the request: the gateway
+//!   re-issues to the next untried candidate (primary, then replica)
+//!   and only errors to the client when every candidate is gone.
+//! * **Warm-cache replication** — a fresh (non-cache-hit) submit result
+//!   is pushed to the replica shard with the `put` verb, so the shard
+//!   that would take over on failover already holds the measurement.
+//! * **Fleet views** — `stats`, `metrics`, and `shutdown` fan out to
+//!   every shard. Stats sum ([`merge_stats`]); metrics merge into
+//!   `shard<id>.` / `fleet.` / `gateway.` sections ([`merge_metrics`]);
+//!   shutdown stops the shards, then the gateway itself.
+//!
+//! Like the `epicd` loop, one thread owns every socket and multiplexes
+//! them with a nonblocking readiness sweep. Unlike it there is no
+//! cross-thread completion source, so the loop parks in a plain sleep
+//! ([`poll_park`](GatewayConfig::poll_park)) instead of a self-pipe;
+//! the hedge timer inherits that granularity, which is noise against
+//! any realistic hedge budget. Upstream connections are opened per
+//! attempt and closed after one response — an attempt is the unit of
+//! failover, and a connection that never outlives its attempt can
+//! never be stale.
+
+use crate::merge::{merge_metrics, merge_stats};
+use crate::ring::Ring;
+use epic_serve::key::CacheKey;
+use epic_serve::proto::{self, FrameError, FrameEvent, Request, Response};
+use epic_trace::{Counter, Gauge};
+use std::collections::HashMap;
+use std::io::{IoSlice, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning for the gateway loop.
+#[derive(Clone, Copy, Debug)]
+pub struct GatewayConfig {
+    /// How long a submit may sit unanswered before it is hedged to the
+    /// replica shard.
+    pub hedge_after: Duration,
+    /// Per-attempt upstream connect timeout.
+    pub connect_timeout: Duration,
+    /// Longest the loop sleeps between readiness sweeps; also the
+    /// hedge-timer granularity.
+    pub poll_park: Duration,
+    /// Client admission cap, as in `epicd`.
+    pub max_conns: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            hedge_after: Duration::from_millis(250),
+            connect_timeout: Duration::from_secs(1),
+            poll_park: Duration::from_millis(5),
+            max_conns: 1024,
+        }
+    }
+}
+
+/// A running gateway; dropping it (or calling [`stop`](GatewayHandle::stop))
+/// shuts the loop down. Stopping the gateway does **not** stop the
+/// shards — only the `shutdown` verb does that, deliberately.
+pub struct GatewayHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    loop_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl GatewayHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop the loop and close every connection.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.loop_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the loop exits (a client sent `shutdown`).
+    pub fn wait(&mut self) {
+        if let Some(h) = self.loop_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GatewayHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind `listen_addr` and gate the fleet `shards` (stable shard id,
+/// reachable address) behind it.
+///
+/// # Errors
+/// Bind failures, an empty or duplicate-id shard list.
+pub fn gate(
+    listen_addr: &str,
+    shards: &[(u64, String)],
+    cfg: GatewayConfig,
+) -> std::io::Result<GatewayHandle> {
+    let ring = Ring::new(&shards.iter().map(|(id, _)| *id).collect::<Vec<_>>());
+    if ring.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "gateway needs at least one shard",
+        ));
+    }
+    if ring.len() != shards.len() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "duplicate shard ids",
+        ));
+    }
+    let listener = TcpListener::bind(listen_addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut gl = GatewayLoop {
+        listener,
+        stop: Arc::clone(&stop),
+        cfg,
+        ring,
+        addrs: shards.iter().cloned().collect(),
+        metrics: GatewayMetrics::new(),
+        clients: Vec::new(),
+        client_free: Vec::new(),
+        live: 0,
+        next_gen: 0,
+        ups: Vec::new(),
+        up_free: Vec::new(),
+        pendings: Vec::new(),
+        pending_free: Vec::new(),
+        failed: Vec::new(),
+    };
+    let loop_thread = std::thread::Builder::new()
+        .name("epicg-loop".to_string())
+        .spawn(move || gl.run())
+        .expect("spawn gateway loop");
+    Ok(GatewayHandle {
+        addr,
+        stop,
+        loop_thread: Some(loop_thread),
+    })
+}
+
+/// Gateway-side handles into the process-wide metrics registry; these
+/// surface under the `gateway.` prefix of a merged `metrics` answer.
+struct GatewayMetrics {
+    conns: Gauge,
+    hedged: Counter,
+    hedge_wins: Counter,
+    failover: Counter,
+    replicated: Counter,
+    upstream_errors: Counter,
+}
+
+impl GatewayMetrics {
+    fn new() -> GatewayMetrics {
+        let g = epic_trace::global();
+        GatewayMetrics {
+            conns: g.gauge("cluster.conns"),
+            hedged: g.counter("cluster.hedged"),
+            hedge_wins: g.counter("cluster.hedge_wins"),
+            failover: g.counter("cluster.failover"),
+            replicated: g.counter("cluster.replicated"),
+            upstream_errors: g.counter("cluster.upstream.errors"),
+        }
+    }
+}
+
+/// Per-client-connection protocol state.
+enum CState {
+    /// Reading a frame through the decoder.
+    Reading,
+    /// A request is in flight upstream; the slot index of its pending.
+    Waiting(usize),
+    /// Flushing `out`.
+    Writing,
+}
+
+struct ClientConn {
+    stream: TcpStream,
+    decoder: proto::FrameDecoder,
+    state: CState,
+    header: [u8; 4],
+    out: Vec<u8>,
+    out_sent: usize,
+    gen: u64,
+    shutdown_after_write: bool,
+}
+
+impl ClientConn {
+    fn new(stream: TcpStream, gen: u64) -> ClientConn {
+        ClientConn {
+            stream,
+            decoder: proto::FrameDecoder::new(),
+            state: CState::Reading,
+            header: [0; 4],
+            out: Vec::new(),
+            out_sent: 0,
+            gen,
+            shutdown_after_write: false,
+        }
+    }
+
+    fn stage_response(&mut self, resp: &Response) {
+        proto::encode_response_into(resp, &mut self.out);
+        self.header = (self.out.len() as u32).to_be_bytes();
+        self.out_sent = 0;
+        self.state = CState::Writing;
+    }
+
+    fn write_progress(&mut self) -> std::io::Result<bool> {
+        write_frame_progress(
+            &mut self.stream,
+            &self.header,
+            &self.out,
+            &mut self.out_sent,
+        )
+    }
+}
+
+/// Push `header ++ body` out as far as the socket allows (vectored);
+/// `Ok(true)` when fully flushed.
+fn write_frame_progress(
+    stream: &mut TcpStream,
+    header: &[u8; 4],
+    body: &[u8],
+    sent: &mut usize,
+) -> std::io::Result<bool> {
+    let total = 4 + body.len();
+    while *sent < total {
+        let hdr = &header[(*sent).min(4)..];
+        let rest = &body[sent.saturating_sub(4)..];
+        let bufs = [IoSlice::new(hdr), IoSlice::new(rest)];
+        match stream.write_vectored(&bufs) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes mid-frame",
+                ))
+            }
+            Ok(n) => *sent += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Why an attempt was issued; decides hedging bookkeeping and whether a
+/// win triggers replication.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// First-choice shard for a routed request.
+    Primary,
+    /// Latency hedge on the replica shard.
+    Hedge,
+    /// One leg of a stats/metrics/shutdown broadcast.
+    Fanout,
+    /// Fire-and-forget warm-cache `put`.
+    Replicate,
+}
+
+/// One upstream attempt: a fresh connection carrying exactly one
+/// request, closed after its response (see the module docs for why).
+struct Upstream {
+    stream: TcpStream,
+    decoder: proto::FrameDecoder,
+    header: [u8; 4],
+    body: Vec<u8>,
+    sent: usize,
+    shard: u64,
+    pending: usize,
+    role: Role,
+}
+
+/// What a routed request still owes. Slots are freed only when every
+/// attempt has reported back, so a late loser always finds the `done`
+/// marker and is ignored rather than double-answered.
+enum Pending {
+    /// A submit: hedgeable, failover-capable, replication-triggering.
+    Submit {
+        client: usize,
+        client_gen: u64,
+        /// The encoded request frame, kept for re-issue.
+        raw: Vec<u8>,
+        key: CacheKey,
+        primary: u64,
+        replica: Option<u64>,
+        /// Shards an attempt has been issued to.
+        tried: Vec<u64>,
+        started: Instant,
+        hedged: bool,
+        outstanding: u32,
+        done: bool,
+    },
+    /// Status/result/put: routed to the key's primary, one failover to
+    /// the replica (where warm replication makes the answer meaningful).
+    Simple {
+        client: usize,
+        client_gen: u64,
+        raw: Vec<u8>,
+        fallback: Option<u64>,
+        tried: Vec<u64>,
+        outstanding: u32,
+        done: bool,
+    },
+    /// Stats/metrics/shutdown broadcast; finalises when every shard has
+    /// answered or failed.
+    Fanout {
+        client: usize,
+        client_gen: u64,
+        kind: FanKind,
+        collected: Vec<(u64, Response)>,
+        outstanding: u32,
+    },
+    /// Warm-cache `put` to a replica; nobody is waiting on it.
+    Replicate { outstanding: u32 },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FanKind {
+    Stats,
+    Metrics,
+    Shutdown,
+}
+
+struct GatewayLoop {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    cfg: GatewayConfig,
+    ring: Ring,
+    addrs: HashMap<u64, String>,
+    metrics: GatewayMetrics,
+    clients: Vec<Option<ClientConn>>,
+    client_free: Vec<usize>,
+    live: usize,
+    next_gen: u64,
+    ups: Vec<Option<Upstream>>,
+    up_free: Vec<usize>,
+    pendings: Vec<Option<Pending>>,
+    pending_free: Vec<usize>,
+    /// Attempts whose connect failed synchronously, deferred to a
+    /// top-of-loop drain. Handling them inline would re-enter
+    /// `attempt_failed` while the requesting client is checked out of
+    /// the slab (its answer would vanish) and, for fan-outs, before the
+    /// remaining legs have even been issued (the merge would fire
+    /// early). The failed leg keeps `outstanding` above zero until the
+    /// drain, so the slot cannot be freed or reused in between.
+    failed: Vec<(usize, u64)>,
+}
+
+impl GatewayLoop {
+    fn run(&mut self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            let mut progress = false;
+            progress |= self.accept_new();
+            let (p, shutdown) = self.pump_clients();
+            progress |= p;
+            if shutdown {
+                break;
+            }
+            progress |= self.pump_upstreams();
+            self.hedge_scan();
+            progress |= self.drain_failed();
+            if !progress {
+                std::thread::sleep(self.cfg.poll_park);
+            }
+        }
+        self.clients.clear();
+        self.ups.clear();
+        self.metrics.conns.set(0);
+    }
+
+    // ---- client face ----------------------------------------------------
+
+    fn accept_new(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    if self.live >= self.cfg.max_conns {
+                        let _ = stream.set_nonblocking(true);
+                        let mut body = Vec::new();
+                        proto::encode_response_into(
+                            &Response::Err("gateway at capacity".to_string()),
+                            &mut body,
+                        );
+                        let header = (body.len() as u32).to_be_bytes();
+                        let _ =
+                            (&stream).write_vectored(&[IoSlice::new(&header), IoSlice::new(&body)]);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.next_gen += 1;
+                    let conn = ClientConn::new(stream, self.next_gen);
+                    match self.client_free.pop() {
+                        Some(slot) => self.clients[slot] = Some(conn),
+                        None => self.clients.push(Some(conn)),
+                    }
+                    self.live += 1;
+                    self.metrics.conns.set(self.live as i64);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        progress
+    }
+
+    /// Drive every client connection. Returns `(progress, shutdown)`.
+    fn pump_clients(&mut self) -> (bool, bool) {
+        let mut progress = false;
+        for slot in 0..self.clients.len() {
+            let Some(mut conn) = self.clients[slot].take() else {
+                continue;
+            };
+            let before = (conn.out_sent, conn.decoder.mid_frame());
+            match self.pump_client(slot, &mut conn) {
+                ConnOutcome::Keep => {
+                    progress |= (conn.out_sent, conn.decoder.mid_frame()) != before;
+                    self.clients[slot] = Some(conn);
+                }
+                ConnOutcome::Close => {
+                    progress = true;
+                    drop(conn);
+                    self.release_client(slot);
+                }
+                ConnOutcome::Shutdown => {
+                    drop(conn);
+                    self.release_client(slot);
+                    return (true, true);
+                }
+            }
+        }
+        (progress, false)
+    }
+
+    fn release_client(&mut self, slot: usize) {
+        self.client_free.push(slot);
+        self.live -= 1;
+        self.metrics.conns.set(self.live as i64);
+    }
+
+    fn pump_client(&mut self, slot: usize, conn: &mut ClientConn) -> ConnOutcome {
+        for _ in 0..4 {
+            match conn.state {
+                CState::Waiting(_) => return ConnOutcome::Keep,
+                CState::Reading => match conn.decoder.read_from(&mut conn.stream) {
+                    Ok(FrameEvent::Frame) => {
+                        self.dispatch_client(slot, conn);
+                        conn.decoder.next_frame();
+                    }
+                    Ok(FrameEvent::Blocked) => return ConnOutcome::Keep,
+                    Ok(FrameEvent::Closed) => return ConnOutcome::Close,
+                    Err(FrameError::TooLarge { len }) => {
+                        // best-effort typed refusal, then hang up —
+                        // mirroring epicd's hostile-prefix handling
+                        conn.stage_response(&Response::Err(format!(
+                            "frame length {len} exceeds cap"
+                        )));
+                        let _ = conn.write_progress();
+                        return ConnOutcome::Close;
+                    }
+                    Err(_) => return ConnOutcome::Close,
+                },
+                CState::Writing => match conn.write_progress() {
+                    Ok(true) => {
+                        if conn.shutdown_after_write {
+                            self.stop.store(true, Ordering::SeqCst);
+                            return ConnOutcome::Shutdown;
+                        }
+                        conn.out.clear();
+                        conn.out_sent = 0;
+                        conn.state = CState::Reading;
+                    }
+                    Ok(false) => return ConnOutcome::Keep,
+                    Err(_) => return ConnOutcome::Close,
+                },
+            }
+        }
+        ConnOutcome::Keep
+    }
+
+    /// Route one decoded client frame. The raw frame bytes are reused
+    /// verbatim as the upstream request — the gateway re-encodes
+    /// nothing it merely forwards.
+    fn dispatch_client(&mut self, slot: usize, conn: &mut ClientConn) {
+        let raw = conn.decoder.frame().to_vec();
+        let req = match proto::decode_request(&raw) {
+            Ok(req) => req,
+            Err(e) => {
+                conn.stage_response(&Response::Err(format!("bad request: {e}")));
+                return;
+            }
+        };
+        match req {
+            Request::Submit { ref spec, .. } => {
+                let key = spec.job_key();
+                let route = self.ring.route(key).expect("non-empty ring");
+                let pid = self.alloc_pending(Pending::Submit {
+                    client: slot,
+                    client_gen: conn.gen,
+                    raw,
+                    key,
+                    primary: route.primary,
+                    replica: route.replica,
+                    tried: vec![route.primary],
+                    started: Instant::now(),
+                    hedged: false,
+                    outstanding: 0,
+                    done: false,
+                });
+                conn.state = CState::Waiting(pid);
+                self.issue(route.primary, pid, Role::Primary);
+            }
+            Request::Status(key) | Request::Result(key) | Request::Put { key, .. } => {
+                let route = self.ring.route(key).expect("non-empty ring");
+                let pid = self.alloc_pending(Pending::Simple {
+                    client: slot,
+                    client_gen: conn.gen,
+                    raw,
+                    fallback: route.replica,
+                    tried: vec![route.primary],
+                    outstanding: 0,
+                    done: false,
+                });
+                conn.state = CState::Waiting(pid);
+                self.issue(route.primary, pid, Role::Primary);
+            }
+            Request::Stats | Request::Metrics | Request::Shutdown => {
+                let kind = match req {
+                    Request::Stats => FanKind::Stats,
+                    Request::Metrics => FanKind::Metrics,
+                    _ => FanKind::Shutdown,
+                };
+                let shards: Vec<u64> = self.ring.shard_ids().to_vec();
+                let pid = self.alloc_pending(Pending::Fanout {
+                    client: slot,
+                    client_gen: conn.gen,
+                    kind,
+                    collected: Vec::with_capacity(shards.len()),
+                    outstanding: 0,
+                });
+                conn.state = CState::Waiting(pid);
+                for shard in shards {
+                    self.issue_raw(shard, raw.clone(), pid, Role::Fanout);
+                }
+            }
+        }
+    }
+
+    // ---- pending bookkeeping --------------------------------------------
+
+    fn alloc_pending(&mut self, p: Pending) -> usize {
+        match self.pending_free.pop() {
+            Some(slot) => {
+                self.pendings[slot] = Some(p);
+                slot
+            }
+            None => {
+                self.pendings.push(Some(p));
+                self.pendings.len() - 1
+            }
+        }
+    }
+
+    /// Decrement `outstanding`; free the slot once nothing is in flight
+    /// and nobody will consult its `done` marker again.
+    fn settle_attempt(&mut self, pid: usize) {
+        let free = match self.pendings.get_mut(pid).and_then(Option::as_mut) {
+            Some(
+                Pending::Submit { outstanding, .. }
+                | Pending::Simple { outstanding, .. }
+                | Pending::Fanout { outstanding, .. }
+                | Pending::Replicate { outstanding },
+            ) => {
+                *outstanding -= 1;
+                *outstanding == 0
+            }
+            None => return,
+        };
+        if free {
+            self.pendings[pid] = None;
+            self.pending_free.push(pid);
+        }
+    }
+
+    /// Stage `resp` on the pending's client if that connection is still
+    /// the one that asked.
+    fn answer_client(&mut self, client: usize, client_gen: u64, pid: usize, resp: &Response) {
+        let Some(conn) = self.clients.get_mut(client).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.gen != client_gen || !matches!(conn.state, CState::Waiting(p) if p == pid) {
+            return;
+        }
+        conn.stage_response(resp);
+        if matches!(resp, Response::ShutdownOk) {
+            conn.shutdown_after_write = true;
+        }
+    }
+
+    // ---- upstream face --------------------------------------------------
+
+    /// Issue the pending's stored request bytes to `shard`.
+    fn issue(&mut self, shard: u64, pid: usize, role: Role) {
+        let raw = match self.pendings.get(pid).and_then(Option::as_ref) {
+            Some(Pending::Submit { raw, .. } | Pending::Simple { raw, .. }) => raw.clone(),
+            _ => return,
+        };
+        self.issue_raw(shard, raw, pid, role);
+    }
+
+    /// Open a fresh upstream connection to `shard` and stage `raw` as
+    /// its one request. A connect failure is an attempt failure, routed
+    /// through the same path as a mid-request drop.
+    fn issue_raw(&mut self, shard: u64, raw: Vec<u8>, pid: usize, role: Role) {
+        if let Some(
+            Pending::Submit { outstanding, .. }
+            | Pending::Simple { outstanding, .. }
+            | Pending::Fanout { outstanding, .. }
+            | Pending::Replicate { outstanding },
+        ) = self.pendings.get_mut(pid).and_then(Option::as_mut)
+        {
+            *outstanding += 1;
+        }
+        let stream = self
+            .addrs
+            .get(&shard)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "unknown shard id"))
+            .and_then(|addr| {
+                let mut last = std::io::Error::new(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    "shard address did not resolve",
+                );
+                for sa in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sa, self.cfg.connect_timeout) {
+                        Ok(s) => return Ok(s),
+                        Err(e) => last = e,
+                    }
+                }
+                Err(last)
+            })
+            .and_then(|s| {
+                s.set_nodelay(true)?;
+                s.set_nonblocking(true)?;
+                Ok(s)
+            });
+        match stream {
+            Ok(stream) => {
+                let up = Upstream {
+                    stream,
+                    decoder: proto::FrameDecoder::new(),
+                    header: (raw.len() as u32).to_be_bytes(),
+                    body: raw,
+                    sent: 0,
+                    shard,
+                    pending: pid,
+                    role,
+                };
+                match self.up_free.pop() {
+                    Some(slot) => self.ups[slot] = Some(up),
+                    None => self.ups.push(Some(up)),
+                }
+            }
+            Err(_) => {
+                self.metrics.upstream_errors.inc();
+                self.failed.push((pid, shard));
+            }
+        }
+    }
+
+    /// Process deferred connect failures. Runs only at the top of the
+    /// event loop, where every client conn is back in its slab slot and
+    /// every fan-out has issued all of its legs. A failover re-issue
+    /// that itself fails to connect re-enters the queue and is handled
+    /// by the same drain.
+    fn drain_failed(&mut self) -> bool {
+        let progress = !self.failed.is_empty();
+        while let Some((pid, shard)) = self.failed.pop() {
+            self.attempt_failed(pid, shard);
+        }
+        progress
+    }
+
+    fn pump_upstreams(&mut self) -> bool {
+        let mut progress = false;
+        for slot in 0..self.ups.len() {
+            let Some(mut up) = self.ups[slot].take() else {
+                continue;
+            };
+            let before = (up.sent, up.decoder.mid_frame());
+            match self.pump_upstream(&mut up) {
+                UpOutcome::Keep => {
+                    progress |= (up.sent, up.decoder.mid_frame()) != before;
+                    self.ups[slot] = Some(up);
+                }
+                UpOutcome::Done => {
+                    progress = true;
+                    drop(up);
+                    self.up_free.push(slot);
+                }
+                UpOutcome::Failed => {
+                    progress = true;
+                    self.metrics.upstream_errors.inc();
+                    let (pid, shard) = (up.pending, up.shard);
+                    drop(up);
+                    self.up_free.push(slot);
+                    self.attempt_failed(pid, shard);
+                }
+            }
+        }
+        progress
+    }
+
+    fn pump_upstream(&mut self, up: &mut Upstream) -> UpOutcome {
+        // flush the request first, then read exactly one response frame
+        if up.sent < 4 + up.body.len() {
+            match write_frame_progress(&mut up.stream, &up.header, &up.body, &mut up.sent) {
+                Ok(true) => {}
+                Ok(false) => return UpOutcome::Keep,
+                Err(_) => return UpOutcome::Failed,
+            }
+        }
+        match up.decoder.read_from(&mut up.stream) {
+            Ok(FrameEvent::Frame) => {
+                let resp = proto::decode_response(up.decoder.frame());
+                match resp {
+                    Ok(resp) => {
+                        self.on_upstream_response(up.shard, up.role, up.pending, resp);
+                        UpOutcome::Done
+                    }
+                    Err(_) => UpOutcome::Failed,
+                }
+            }
+            Ok(FrameEvent::Blocked) => UpOutcome::Keep,
+            Ok(FrameEvent::Closed) => UpOutcome::Failed,
+            Err(_) => UpOutcome::Failed,
+        }
+    }
+
+    /// One upstream answered. First answer wins; late hedge losers find
+    /// `done` and are dropped (their work already warmed that shard's
+    /// cache — content addressing makes the duplicate free).
+    fn on_upstream_response(&mut self, shard: u64, role: Role, pid: usize, resp: Response) {
+        let Some(pending) = self.pendings.get_mut(pid).and_then(Option::as_mut) else {
+            self.settle_attempt(pid);
+            return;
+        };
+        match pending {
+            Pending::Submit {
+                client,
+                client_gen,
+                key,
+                primary,
+                replica,
+                hedged,
+                done,
+                ..
+            } => {
+                if *done {
+                    self.settle_attempt(pid);
+                    return;
+                }
+                *done = true;
+                let (client, client_gen) = (*client, *client_gen);
+                let (key, primary, replica, hedged) = (*key, *primary, *replica, *hedged);
+                if role == Role::Hedge {
+                    self.metrics.hedge_wins.inc();
+                }
+                // replicate a fresh result to the shard that would take
+                // over on failover; a hedged request already warmed the
+                // other shard the hard way
+                let replicate = match &resp {
+                    Response::Done {
+                        cache_hit: false, ..
+                    } => (role == Role::Primary && shard == primary && !hedged)
+                        .then_some(replica)
+                        .flatten(),
+                    _ => None,
+                };
+                self.answer_client(client, client_gen, pid, &resp);
+                self.settle_attempt(pid);
+                if let (Some(to), Response::Done { measurement, .. }) = (replicate, resp) {
+                    let put = proto::encode_request(&Request::Put { key, measurement });
+                    let rp = self.alloc_pending(Pending::Replicate { outstanding: 0 });
+                    self.metrics.replicated.inc();
+                    self.issue_raw(to, put, rp, Role::Replicate);
+                }
+            }
+            Pending::Simple {
+                client,
+                client_gen,
+                done,
+                ..
+            } => {
+                if *done {
+                    self.settle_attempt(pid);
+                    return;
+                }
+                *done = true;
+                let (client, client_gen) = (*client, *client_gen);
+                self.answer_client(client, client_gen, pid, &resp);
+                self.settle_attempt(pid);
+            }
+            Pending::Fanout { collected, .. } => {
+                collected.push((shard, resp));
+                self.finalize_fanout_if_ready(pid);
+                self.settle_attempt(pid);
+            }
+            Pending::Replicate { .. } => {
+                self.settle_attempt(pid);
+            }
+        }
+    }
+
+    /// An attempt died (connect refused, drop mid-request, garbage
+    /// frame). For routed requests this triggers failover to the next
+    /// untried candidate; the client sees an error only when every
+    /// candidate has failed.
+    fn attempt_failed(&mut self, pid: usize, shard: u64) {
+        let Some(pending) = self.pendings.get_mut(pid).and_then(Option::as_mut) else {
+            self.settle_attempt(pid);
+            return;
+        };
+        match pending {
+            Pending::Submit {
+                client,
+                client_gen,
+                primary,
+                replica,
+                tried,
+                outstanding,
+                done,
+                ..
+            } => {
+                if *done || *outstanding > 1 {
+                    // a sibling attempt is still running; let it race on
+                    self.settle_attempt(pid);
+                    return;
+                }
+                let next = [Some(*primary), *replica]
+                    .into_iter()
+                    .flatten()
+                    .find(|c| !tried.contains(c));
+                match next {
+                    Some(next) => {
+                        tried.push(next);
+                        self.metrics.failover.inc();
+                        // issue before settling: the re-issue keeps
+                        // `outstanding` above zero so the slot survives
+                        self.issue(next, pid, Role::Primary);
+                        self.settle_attempt(pid);
+                    }
+                    None => {
+                        *done = true;
+                        let (client, client_gen) = (*client, *client_gen);
+                        self.answer_client(
+                            client,
+                            client_gen,
+                            pid,
+                            &Response::Err(format!("shard {shard} unreachable, no replica left")),
+                        );
+                        self.settle_attempt(pid);
+                    }
+                }
+            }
+            Pending::Simple {
+                client,
+                client_gen,
+                fallback,
+                tried,
+                outstanding,
+                done,
+                ..
+            } => {
+                if *done || *outstanding > 1 {
+                    self.settle_attempt(pid);
+                    return;
+                }
+                let next = fallback.filter(|c| !tried.contains(c));
+                match next {
+                    Some(next) => {
+                        tried.push(next);
+                        self.metrics.failover.inc();
+                        self.issue(next, pid, Role::Primary);
+                        self.settle_attempt(pid);
+                    }
+                    None => {
+                        *done = true;
+                        let (client, client_gen) = (*client, *client_gen);
+                        self.answer_client(
+                            client,
+                            client_gen,
+                            pid,
+                            &Response::Err(format!("shard {shard} unreachable, no replica left")),
+                        );
+                        self.settle_attempt(pid);
+                    }
+                }
+            }
+            Pending::Fanout { collected, .. } => {
+                collected.push((shard, Response::Err(format!("shard {shard} unreachable"))));
+                self.finalize_fanout_if_ready(pid);
+                self.settle_attempt(pid);
+            }
+            Pending::Replicate { .. } => {
+                self.settle_attempt(pid);
+            }
+        }
+    }
+
+    /// When the last fan-out leg has reported (`outstanding == 1`: the
+    /// caller settles after us), merge and answer.
+    fn finalize_fanout_if_ready(&mut self, pid: usize) {
+        let (client, client_gen, kind, collected) =
+            match self.pendings.get_mut(pid).and_then(Option::as_mut) {
+                Some(Pending::Fanout {
+                    client,
+                    client_gen,
+                    kind,
+                    collected,
+                    outstanding,
+                }) if *outstanding == 1 => (*client, *client_gen, *kind, std::mem::take(collected)),
+                _ => return,
+            };
+        let resp = match kind {
+            FanKind::Stats => {
+                let per_shard: Vec<_> = collected
+                    .iter()
+                    .filter_map(|(_, r)| match r {
+                        Response::Stats(s) => Some(*s),
+                        _ => None,
+                    })
+                    .collect();
+                Response::Stats(merge_stats(&per_shard))
+            }
+            FanKind::Metrics => {
+                let per_shard: Vec<_> = collected
+                    .into_iter()
+                    .filter_map(|(id, r)| match r {
+                        Response::Metrics(m) => Some((id, m)),
+                        _ => None,
+                    })
+                    .collect();
+                Response::Metrics(merge_metrics(&per_shard, &epic_trace::global().snapshot()))
+            }
+            FanKind::Shutdown => Response::ShutdownOk,
+        };
+        self.answer_client(client, client_gen, pid, &resp);
+    }
+
+    /// Per-sweep hedge timer: any submit still unanswered past the
+    /// budget gets one extra attempt on its replica shard.
+    fn hedge_scan(&mut self) {
+        let budget = self.cfg.hedge_after;
+        let mut to_issue: Vec<(u64, usize)> = Vec::new();
+        for pid in 0..self.pendings.len() {
+            if let Some(Pending::Submit {
+                replica: Some(replica),
+                tried,
+                started,
+                hedged,
+                done,
+                ..
+            }) = self.pendings[pid].as_mut()
+            {
+                if !*done && !*hedged && !tried.contains(replica) && started.elapsed() >= budget {
+                    *hedged = true;
+                    tried.push(*replica);
+                    to_issue.push((*replica, pid));
+                }
+            }
+        }
+        for (replica, pid) in to_issue {
+            self.metrics.hedged.inc();
+            self.issue(replica, pid, Role::Hedge);
+        }
+    }
+}
+
+enum ConnOutcome {
+    Keep,
+    Close,
+    Shutdown,
+}
+
+enum UpOutcome {
+    Keep,
+    Done,
+    Failed,
+}

@@ -1,0 +1,32 @@
+//! Fleet serving for the IMPACT EPIC reproduction: scale the `epicd`
+//! compile/sim service from one daemon to N shards behind an `epicg`
+//! gateway, without changing a single client.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`ring`] — rendezvous (highest-random-weight) hashing of 128-bit
+//!   job keys onto shard ids: deterministic placement, minimal key
+//!   movement on membership change, and a well-defined replica (the
+//!   runner-up shard) for hedging and warm replication.
+//! * [`merge`] — fleet views: per-shard [`ServeStats`] summed, metrics
+//!   snapshots merged into `shard<id>.` / `fleet.` / `gateway.`
+//!   sections that `epicc top --cluster` renders directly.
+//! * [`gateway`] — the `epicg` event loop: routes by key, hedges slow
+//!   submits to the replica, fails over past dead shards, replicates
+//!   fresh results, and fans out `stats`/`metrics`/`shutdown`.
+//!
+//! Everything speaks the existing length-prefixed frame protocol
+//! ([`epic_serve::proto`]) on both faces, so a gateway is
+//! indistinguishable from a big `epicd` to clients and from an
+//! ordinary client to shards. See DESIGN.md §14 for the architecture
+//! discussion and EXPERIMENTS.md for fleet recipes.
+//!
+//! [`ServeStats`]: epic_serve::proto::ServeStats
+
+pub mod gateway;
+pub mod merge;
+pub mod ring;
+
+pub use gateway::{gate, GatewayConfig, GatewayHandle};
+pub use merge::{merge_metrics, merge_stats};
+pub use ring::{Ring, Route};

@@ -1,0 +1,209 @@
+//! Fleet-wide views: summing per-shard [`ServeStats`] and merging
+//! per-shard metrics-registry snapshots into one snapshot that carries
+//! per-shard, fleet-aggregate, and gateway-local sections.
+//!
+//! The merged snapshot uses name prefixes rather than a new wire type,
+//! so `epicc top` renders a cluster exactly the way it renders one
+//! daemon:
+//!
+//! * `shard<id>.<name>` — that shard's entry, verbatim.
+//! * `fleet.<name>` — the cross-shard aggregate: counters and gauges
+//!   sum; histograms merge bucket-wise (log2 buckets are positional, so
+//!   merging is exact, not an approximation).
+//! * `gateway.<name>` — the gateway process's own registry (hedges,
+//!   failovers, replication pushes).
+
+use epic_serve::proto::ServeStats;
+use epic_trace::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot};
+use std::collections::BTreeMap;
+
+/// Field-wise sum of per-shard stats (the gateway's `stats` verb
+/// answer). `shard_id` is 0: the aggregate speaks for no single shard.
+pub fn merge_stats(per_shard: &[ServeStats]) -> ServeStats {
+    let mut out = ServeStats::default();
+    for s in per_shard {
+        out.store.hits += s.store.hits;
+        out.store.misses += s.store.misses;
+        out.store.evictions += s.store.evictions;
+        out.store.disk_hits += s.store.disk_hits;
+        out.store.disk_writes += s.store.disk_writes;
+        out.store.mach_hits += s.store.mach_hits;
+        out.store.mem_entries += s.store.mem_entries;
+        out.sched.submitted += s.sched.submitted;
+        out.sched.cache_hits += s.sched.cache_hits;
+        out.sched.coalesced += s.sched.coalesced;
+        out.sched.shed += s.sched.shed;
+        out.sched.jobs_run += s.sched.jobs_run;
+        out.sched.expired += s.sched.expired;
+        out.sched.queue_depth += s.sched.queue_depth;
+        out.sched.in_flight += s.sched.in_flight;
+        out.compiles += s.compiles;
+        out.sims += s.sims;
+    }
+    out
+}
+
+/// Two same-named metric values merged; mismatched kinds keep the first
+/// (cannot happen for snapshots produced by one binary, but a merged
+/// view must not panic on a heterogeneous fleet).
+fn merge_value(a: &MetricValue, b: &MetricValue) -> MetricValue {
+    match (a, b) {
+        (MetricValue::Counter(x), MetricValue::Counter(y)) => MetricValue::Counter(x + y),
+        (MetricValue::Gauge(x), MetricValue::Gauge(y)) => MetricValue::Gauge(x + y),
+        (MetricValue::Histogram(x), MetricValue::Histogram(y)) => {
+            let mut buckets: BTreeMap<u8, u64> = BTreeMap::new();
+            for &(bucket, n) in x.buckets.iter().chain(&y.buckets) {
+                *buckets.entry(bucket).or_default() += n;
+            }
+            MetricValue::Histogram(HistogramSnapshot {
+                count: x.count + y.count,
+                sum: x.sum + y.sum,
+                buckets: buckets.into_iter().collect(),
+            })
+        }
+        (other, _) => other.clone(),
+    }
+}
+
+/// Merge per-shard snapshots (shard id, snapshot) plus the gateway's own
+/// registry into one name-sorted snapshot (see the module docs for the
+/// prefix scheme).
+pub fn merge_metrics(
+    per_shard: &[(u64, MetricsSnapshot)],
+    gateway: &MetricsSnapshot,
+) -> MetricsSnapshot {
+    let mut entries: Vec<MetricEntry> = Vec::new();
+    let mut fleet: BTreeMap<&str, MetricValue> = BTreeMap::new();
+    for (id, snap) in per_shard {
+        for e in &snap.entries {
+            entries.push(MetricEntry {
+                name: format!("shard{id}.{}", e.name),
+                value: e.value.clone(),
+            });
+            fleet
+                .entry(e.name.as_str())
+                .and_modify(|v| *v = merge_value(v, &e.value))
+                .or_insert_with(|| e.value.clone());
+        }
+    }
+    entries.extend(fleet.into_iter().map(|(name, value)| MetricEntry {
+        name: format!("fleet.{name}"),
+        value,
+    }));
+    entries.extend(gateway.entries.iter().map(|e| MetricEntry {
+        name: format!("gateway.{}", e.name),
+        value: e.value.clone(),
+    }));
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &str, v: u64) -> MetricEntry {
+        MetricEntry {
+            name: name.to_string(),
+            value: MetricValue::Counter(v),
+        }
+    }
+
+    #[test]
+    fn stats_merge_sums_every_field() {
+        let mut a = ServeStats::default();
+        a.compiles = 10;
+        a.sims = 11;
+        a.sched.jobs_run = 10;
+        a.sched.cache_hits = 2;
+        a.store.hits = 2;
+        a.shard_id = 1;
+        let mut b = ServeStats::default();
+        b.compiles = 38;
+        b.sims = 37;
+        b.sched.jobs_run = 38;
+        b.store.hits = 9;
+        b.shard_id = 2;
+        let m = merge_stats(&[a, b]);
+        assert_eq!(m.compiles, 48);
+        assert_eq!(m.sims, 48);
+        assert_eq!(m.sched.jobs_run, 48);
+        assert_eq!(m.sched.cache_hits, 2);
+        assert_eq!(m.store.hits, 11);
+        assert_eq!(m.shard_id, 0, "an aggregate speaks for no shard");
+    }
+
+    #[test]
+    fn metrics_merge_prefixes_shards_and_aggregates_the_fleet() {
+        let s1 = MetricsSnapshot {
+            entries: vec![
+                counter("serve.jobs_run", 10),
+                MetricEntry {
+                    name: "serve.queue_depth".to_string(),
+                    value: MetricValue::Gauge(3),
+                },
+            ],
+        };
+        let s2 = MetricsSnapshot {
+            entries: vec![
+                counter("serve.jobs_run", 38),
+                MetricEntry {
+                    name: "serve.queue_depth".to_string(),
+                    value: MetricValue::Gauge(-1),
+                },
+            ],
+        };
+        let gw = MetricsSnapshot {
+            entries: vec![counter("cluster.hedged", 4)],
+        };
+        let m = merge_metrics(&[(1, s1), (2, s2)], &gw);
+        assert_eq!(
+            m.get("fleet.serve.jobs_run"),
+            Some(&MetricValue::Counter(48))
+        );
+        assert_eq!(
+            m.get("fleet.serve.queue_depth"),
+            Some(&MetricValue::Gauge(2))
+        );
+        assert_eq!(
+            m.get("shard1.serve.jobs_run"),
+            Some(&MetricValue::Counter(10))
+        );
+        assert_eq!(
+            m.get("shard2.serve.jobs_run"),
+            Some(&MetricValue::Counter(38))
+        );
+        assert_eq!(
+            m.get("gateway.cluster.hedged"),
+            Some(&MetricValue::Counter(4))
+        );
+        // name-sorted, same contract as a single daemon's snapshot
+        let names: Vec<&str> = m.entries.iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn histograms_merge_bucket_wise() {
+        let h = |buckets: Vec<(u8, u64)>, count, sum| {
+            MetricValue::Histogram(HistogramSnapshot {
+                count,
+                sum,
+                buckets,
+            })
+        };
+        let merged = merge_value(
+            &h(vec![(3, 2), (7, 1)], 3, 700),
+            &h(vec![(3, 5), (9, 4)], 9, 1300),
+        );
+        match merged {
+            MetricValue::Histogram(hs) => {
+                assert_eq!(hs.count, 12);
+                assert_eq!(hs.sum, 2000);
+                assert_eq!(hs.buckets, vec![(3, 7), (7, 1), (9, 4)]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

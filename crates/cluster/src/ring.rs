@@ -1,0 +1,203 @@
+//! Consistent routing of 128-bit job keys onto a fleet of shards via
+//! rendezvous (highest-random-weight) hashing.
+//!
+//! Every shard has a stable `u64` identity. A key's score against a
+//! shard is a strong mix of the key lanes with the shard id; the shard
+//! with the highest score owns the key, the runner-up is its replica.
+//! This
+//! gives the two properties the fleet needs, both by construction:
+//!
+//! * **Determinism** — routing is a pure function of (key, membership).
+//!   Gateways never need to agree on anything beyond the shard list.
+//! * **Minimal disruption** — when a shard leaves, the only keys that
+//!   move are the ones it owned (every other key's argmax is unchanged);
+//!   when a shard joins, the only keys that move are the ones the new
+//!   shard now wins. No vnode table, no resharding sweep.
+//!
+//! Rendezvous beats a vnode ring here because the fleet is small (ones
+//! to tens of shards): scoring is O(shards) per route, and balance comes
+//! from the hash itself instead of from tuning vnode counts.
+
+use epic_serve::key::CacheKey;
+
+/// Where a key lives: the owning shard and (fleet size permitting) the
+/// runner-up that hedged requests and warm replicas go to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// The shard that owns the key.
+    pub primary: u64,
+    /// Second-highest scorer; `None` on a single-shard fleet.
+    pub replica: Option<u64>,
+}
+
+/// A fleet membership view: the sorted set of shard ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ring {
+    shards: Vec<u64>,
+}
+
+impl Ring {
+    /// A ring over `ids` (duplicates collapse, order is irrelevant).
+    pub fn new(ids: &[u64]) -> Ring {
+        let mut shards = ids.to_vec();
+        shards.sort_unstable();
+        shards.dedup();
+        Ring { shards }
+    }
+
+    /// Current membership, sorted.
+    pub fn shard_ids(&self) -> &[u64] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when no shards are registered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Add a shard; false if it was already present.
+    pub fn join(&mut self, id: u64) -> bool {
+        match self.shards.binary_search(&id) {
+            Ok(_) => false,
+            Err(at) => {
+                self.shards.insert(at, id);
+                true
+            }
+        }
+    }
+
+    /// Remove a shard; false if it was not present.
+    pub fn leave(&mut self, id: u64) -> bool {
+        match self.shards.binary_search(&id) {
+            Ok(at) => {
+                self.shards.remove(at);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The rendezvous score of `key` on `shard`. Pure and stable across
+    /// processes — every gateway computes the same placement.
+    ///
+    /// The key lanes are already uniform (FNV over canonical job
+    /// bytes), but the shard id is small and sequential, and argmax
+    /// selection is merciless about weak avalanche: byte-at-a-time FNV
+    /// over `key ++ shard` leaves adjacent ids correlated enough to
+    /// skew placement by >25% on real matrix keys. A splitmix64-style
+    /// finalizer over both mixes every id bit through every score bit.
+    pub fn score(key: CacheKey, shard: u64) -> u64 {
+        fn mix(mut x: u64) -> u64 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+            x
+        }
+        mix(key.hi ^ key.lo.rotate_left(32) ^ mix(shard ^ 0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// The shard owning `key` (`None` on an empty ring).
+    pub fn primary(&self, key: CacheKey) -> Option<u64> {
+        self.route(key).map(|r| r.primary)
+    }
+
+    /// Owner and replica for `key`. Ties (vanishingly rare with 64-bit
+    /// scores) break toward the lower shard id, keeping the choice
+    /// deterministic.
+    pub fn route(&self, key: CacheKey) -> Option<Route> {
+        let mut best: Option<(u64, u64)> = None; // (score, id)
+        let mut second: Option<(u64, u64)> = None;
+        for &id in &self.shards {
+            let s = Ring::score(key, id);
+            // strict ordering on (score, Reverse(id)): ids are unique,
+            // so equal scores rank the lower id higher
+            let rank = (s, u64::MAX - id);
+            match best {
+                Some(b) if rank < b => {
+                    if second.is_none_or(|r| rank > r) {
+                        second = Some(rank);
+                    }
+                }
+                _ => {
+                    second = best;
+                    best = Some(rank);
+                }
+            }
+        }
+        best.map(|(_, rid)| Route {
+            primary: u64::MAX - rid,
+            replica: second.map(|(_, rid)| u64::MAX - rid),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_serve::key::hash_bytes;
+
+    fn key(i: u64) -> CacheKey {
+        hash_bytes(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_membership_order_free() {
+        let a = Ring::new(&[3, 1, 2]);
+        let b = Ring::new(&[1, 2, 3, 2]);
+        assert_eq!(a, b);
+        for i in 0..256 {
+            assert_eq!(a.route(key(i)), b.route(key(i)));
+        }
+    }
+
+    #[test]
+    fn replica_differs_from_primary_and_single_shard_has_none() {
+        let ring = Ring::new(&[1, 2, 3]);
+        for i in 0..256 {
+            let r = ring.route(key(i)).unwrap();
+            assert_ne!(Some(r.primary), r.replica, "key {i}");
+            assert!(ring.shard_ids().contains(&r.primary));
+            assert!(ring.shard_ids().contains(&r.replica.unwrap()));
+        }
+        let solo = Ring::new(&[7]);
+        assert_eq!(
+            solo.route(key(0)),
+            Some(Route {
+                primary: 7,
+                replica: None
+            })
+        );
+        assert_eq!(Ring::default().route(key(0)), None);
+    }
+
+    #[test]
+    fn join_and_leave_maintain_the_sorted_member_set() {
+        let mut ring = Ring::new(&[5, 1]);
+        assert!(ring.join(3));
+        assert!(!ring.join(3));
+        assert_eq!(ring.shard_ids(), &[1, 3, 5]);
+        assert!(ring.leave(1));
+        assert!(!ring.leave(1));
+        assert_eq!(ring.shard_ids(), &[3, 5]);
+    }
+
+    #[test]
+    fn replica_is_the_primary_after_the_primary_leaves() {
+        // the runner-up definition that makes warm replication correct:
+        // remove the owner and the replica is exactly who takes over
+        let ring = Ring::new(&[1, 2, 3, 4, 5]);
+        for i in 0..512 {
+            let r = ring.route(key(i)).unwrap();
+            let mut without = ring.clone();
+            without.leave(r.primary);
+            assert_eq!(without.primary(key(i)), r.replica, "key {i}");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! End-to-end fleet tests over real loopback TCP: an `epicg` gateway in
+//! front of in-process `epicd` shards. Covers the tentpole behaviours —
+//! hedged submits beating a stuck shard without duplicate side effects,
+//! warm-cache replication surviving the primary's death, fleet
+//! stats/metrics merging, and protocol-level fleet shutdown.
+
+use epic_cluster::{gate, GatewayConfig, Ring};
+use epic_serve::testutil::{dummy_measurement, gated_scheduler, InstantRunner};
+use epic_serve::{digest, serve_with, ArtifactStore, Client, JobSpec, Priority, Scheduler};
+use epic_serve::{ServerConfig, ServerHandle};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An in-process instant shard: `(handle, its store)`.
+fn instant_shard(shard_id: u64) -> (ServerHandle, Arc<ArtifactStore>) {
+    let store = Arc::new(ArtifactStore::in_memory());
+    let sched = Arc::new(Scheduler::with_runner(
+        Arc::clone(&store),
+        Box::new(InstantRunner::default()),
+        4,
+        64,
+    ));
+    let cfg = ServerConfig {
+        shard_id,
+        ..ServerConfig::default()
+    };
+    let handle = serve_with("127.0.0.1:0", sched, cfg).unwrap();
+    (handle, store)
+}
+
+/// The full 12×4 matrix as job specs.
+fn matrix_specs() -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for w in epic_workloads::all() {
+        for level in epic_driver::OptLevel::ALL {
+            specs.push(JobSpec::for_workload(&w, level));
+        }
+    }
+    specs
+}
+
+#[test]
+fn hedged_submits_beat_a_stuck_shard_without_duplicate_work() {
+    // shard 1 accepts jobs but never finishes one (its gate stays shut
+    // until teardown); shard 2 answers instantly
+    let (stuck_sched, release) = gated_scheduler(4, 64);
+    let stuck_cfg = ServerConfig {
+        shard_id: 1,
+        ..ServerConfig::default()
+    };
+    let mut stuck = serve_with("127.0.0.1:0", Arc::clone(&stuck_sched), stuck_cfg).unwrap();
+    let (mut fast, _fast_store) = instant_shard(2);
+
+    let shards = vec![(1, stuck.addr().to_string()), (2, fast.addr().to_string())];
+    let cfg = GatewayConfig {
+        hedge_after: Duration::from_millis(50),
+        ..GatewayConfig::default()
+    };
+    let mut gw = gate("127.0.0.1:0", &shards, cfg).unwrap();
+    let mut client = Client::connect(&gw.addr().to_string()).unwrap();
+
+    let specs = matrix_specs();
+    assert_eq!(specs.len(), 48);
+    for spec in &specs {
+        let t0 = Instant::now();
+        let served = client.submit(spec, Priority::Normal, 0).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "a hedged submit must not wait on the stuck shard"
+        );
+        // results are byte-identical to what any healthy shard computes
+        assert_eq!(
+            digest(&served.measurement),
+            digest(&dummy_measurement(spec.source.len() as u64)),
+            "wrong bytes for {}",
+            spec.source.len()
+        );
+    }
+
+    // exactly-once side effects: every cell ran once on the fast shard
+    // (whether it was primary or the hedge target), and the stuck shard
+    // completed nothing
+    assert_eq!(fast.stats().sched.jobs_run, 48);
+    assert_eq!(stuck.stats().sched.jobs_run, 0);
+
+    // teardown: open the gate so the stuck shard's parked workers can
+    // drain before scheduler shutdown
+    drop(release);
+    gw.stop();
+    stuck.stop();
+    fast.stop();
+}
+
+#[test]
+fn fresh_results_replicate_and_failover_serves_them_warm() {
+    let (s1, store1) = instant_shard(1);
+    let (s2, store2) = instant_shard(2);
+    let shards = vec![(1, s1.addr().to_string()), (2, s2.addr().to_string())];
+    // hedging off (huge budget): this test is about replication
+    let cfg = GatewayConfig {
+        hedge_after: Duration::from_secs(600),
+        connect_timeout: Duration::from_millis(200),
+        ..GatewayConfig::default()
+    };
+    let mut gw = gate("127.0.0.1:0", &shards, cfg).unwrap();
+    let mut client = Client::connect(&gw.addr().to_string()).unwrap();
+
+    let spec = matrix_specs().into_iter().next().unwrap();
+    let key = spec.job_key();
+    let route = Ring::new(&[1, 2]).route(key).unwrap();
+    let (primary_store, replica_store) = if route.primary == 1 {
+        (&store1, &store2)
+    } else {
+        (&store2, &store1)
+    };
+
+    let served = client.submit(&spec, Priority::Normal, 0).unwrap();
+    assert!(!served.cache_hit, "first submit must be fresh");
+    assert!(primary_store.lookup(key).is_some());
+
+    // replication is fire-and-forget; give it a moment to land
+    let t0 = Instant::now();
+    while replica_store.lookup(key).is_none() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "replica store never received the warm copy"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        digest(&replica_store.lookup(key).unwrap()),
+        digest(&served.measurement),
+        "replicated bytes differ from the served result"
+    );
+
+    // resubmission is a cache hit on the primary
+    let again = client.submit(&spec, Priority::Normal, 0).unwrap();
+    assert!(again.cache_hit);
+
+    // kill the primary: the gateway fails over and the replica answers
+    // from its warm cache — no lost cell, no re-run, identical bytes
+    let (mut dead, mut alive) = if route.primary == 1 {
+        (s1, s2)
+    } else {
+        (s2, s1)
+    };
+    dead.stop();
+    let replica_runs_before = alive.stats().sched.jobs_run;
+    let after = client.submit(&spec, Priority::Normal, 0).unwrap();
+    assert!(
+        after.cache_hit,
+        "failover answer must come from the warm replica cache"
+    );
+    assert_eq!(digest(&after.measurement), digest(&served.measurement));
+    assert_eq!(alive.stats().sched.jobs_run, replica_runs_before);
+
+    // the result verb fails over the same way
+    let fetched = client
+        .result(key)
+        .unwrap()
+        .expect("replica holds the result");
+    assert_eq!(digest(&fetched), digest(&served.measurement));
+
+    gw.stop();
+    alive.stop();
+}
+
+#[test]
+fn fleet_stats_and_metrics_merge_through_the_gateway() {
+    let (mut s1, _st1) = instant_shard(1);
+    let (mut s2, _st2) = instant_shard(2);
+    let shards = vec![(1, s1.addr().to_string()), (2, s2.addr().to_string())];
+    let mut gw = gate("127.0.0.1:0", &shards, GatewayConfig::default()).unwrap();
+    let mut client = Client::connect(&gw.addr().to_string()).unwrap();
+
+    let specs: Vec<JobSpec> = matrix_specs().into_iter().take(8).collect();
+    for spec in &specs {
+        client.submit(spec, Priority::Normal, 0).unwrap();
+    }
+
+    // stats fan out and sum; the aggregate speaks for no single shard
+    let merged = client.stats().unwrap();
+    assert_eq!(merged.shard_id, 0);
+    assert_eq!(
+        merged.sched.jobs_run,
+        s1.stats().sched.jobs_run + s2.stats().sched.jobs_run
+    );
+    assert_eq!(merged.sched.jobs_run, 8);
+    assert!(
+        s1.stats().sched.jobs_run > 0 && s2.stats().sched.jobs_run > 0,
+        "8 matrix cells should spread across both shards"
+    );
+
+    // metrics merge into shard<id>. / fleet. / gateway. sections
+    let snap = client.metrics().unwrap();
+    for prefix in ["shard1.", "shard2.", "fleet.", "gateway.cluster."] {
+        assert!(
+            snap.entries.iter().any(|e| e.name.starts_with(prefix)),
+            "merged snapshot is missing a {prefix} section"
+        );
+    }
+    let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "merged snapshot must stay name-sorted");
+
+    gw.stop();
+    s1.stop();
+    s2.stop();
+}
+
+/// An address that refuses connections: bind an ephemeral port, note
+/// the address, drop the listener.
+fn dead_addr() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    l.local_addr().unwrap().to_string()
+}
+
+#[test]
+fn fanouts_and_shutdown_survive_a_dead_shard() {
+    // regression: a fan-out leg that fails to *connect* fails while the
+    // requesting client is checked out of the event loop's slab and
+    // before the other legs are issued — handled inline it dropped the
+    // merged answer on the floor and the client hung forever
+    let (mut s2, _st2) = instant_shard(2);
+    let (mut s3, _st3) = instant_shard(3);
+    let shards = vec![
+        (1, dead_addr()),
+        (2, s2.addr().to_string()),
+        (3, s3.addr().to_string()),
+    ];
+    let mut gw = gate("127.0.0.1:0", &shards, GatewayConfig::default()).unwrap();
+    let mut client = Client::connect(&gw.addr().to_string()).unwrap();
+
+    // stats and metrics still merge from the shards that are up
+    let merged = client.stats().unwrap();
+    assert_eq!(merged.shard_id, 0);
+    let snap = client.metrics().unwrap();
+    assert!(snap.entries.iter().any(|e| e.name.starts_with("shard2.")));
+
+    // shutdown still reaches the live shards and acks the client
+    client.shutdown().unwrap();
+    s2.wait();
+    s3.wait();
+    gw.wait();
+}
+
+#[test]
+fn a_submit_with_every_shard_dead_errors_instead_of_hanging() {
+    let shards = vec![(1, dead_addr()), (2, dead_addr())];
+    let cfg = GatewayConfig {
+        connect_timeout: Duration::from_millis(200),
+        ..GatewayConfig::default()
+    };
+    let mut gw = gate("127.0.0.1:0", &shards, cfg).unwrap();
+    let mut client = Client::connect(&gw.addr().to_string()).unwrap();
+
+    let spec = matrix_specs().into_iter().next().unwrap();
+    let err = match client.submit(&spec, Priority::Normal, 0) {
+        Ok(_) => panic!("a submit with no live shard must not succeed"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("unreachable"),
+        "expected an unreachable-shard error, got: {err}"
+    );
+    gw.stop();
+}
+
+#[test]
+fn shutdown_through_the_gateway_stops_the_whole_fleet() {
+    let (mut s1, _st1) = instant_shard(1);
+    let (mut s2, _st2) = instant_shard(2);
+    let shards = vec![(1, s1.addr().to_string()), (2, s2.addr().to_string())];
+    let mut gw = gate("127.0.0.1:0", &shards, GatewayConfig::default()).unwrap();
+
+    let mut client = Client::connect(&gw.addr().to_string()).unwrap();
+    client.shutdown().unwrap();
+
+    // every shard's loop exits (the fan-out delivered the verb), then
+    // the gateway's own loop exits after acknowledging
+    s1.wait();
+    s2.wait();
+    gw.wait();
+}

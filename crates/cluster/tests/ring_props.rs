@@ -1,0 +1,123 @@
+//! Consistent-hash properties over the keys the fleet actually serves:
+//! the 12-workload × 4-level matrix, widened by realistic simulation
+//! variants (`sim_fuel` sweeps) to a population large enough for
+//! balance statements to be statistical rather than anecdotal.
+//!
+//! Two families of properties:
+//!
+//! * **Balance** — on 3-, 5-, and 8-shard fleets, every shard owns
+//!   within ±15% of its fair share of the matrix keys.
+//! * **Minimal disruption** — a leave moves exactly the keys the
+//!   departed shard owned (each to its old replica); a join moves only
+//!   keys the new shard wins; either way the moved fraction is about
+//!   `K/N`, never a reshuffle.
+
+use epic_cluster::Ring;
+use epic_driver::OptLevel;
+use epic_serve::key::{CacheKey, JobSpec};
+use std::collections::HashMap;
+
+/// Matrix keys plus `sim_fuel` variants: 12 workloads × 4 levels × 16
+/// fuel settings = 768 distinct job keys.
+fn matrix_keys() -> Vec<CacheKey> {
+    let mut keys = Vec::new();
+    for w in epic_workloads::all() {
+        for level in OptLevel::ALL {
+            let base = JobSpec::for_workload(&w, level);
+            for v in 0..16u64 {
+                let mut spec = base.clone();
+                spec.sim_fuel = 1_000_000 + v * 250_000;
+                keys.push(spec.job_key());
+            }
+        }
+    }
+    keys.sort_unstable_by_key(|k| (k.hi, k.lo));
+    keys.dedup();
+    keys
+}
+
+fn load(ring: &Ring, keys: &[CacheKey]) -> HashMap<u64, usize> {
+    let mut counts: HashMap<u64, usize> = ring.shard_ids().iter().map(|&id| (id, 0)).collect();
+    for &k in keys {
+        *counts.get_mut(&ring.primary(k).unwrap()).unwrap() += 1;
+    }
+    counts
+}
+
+#[test]
+fn matrix_keys_balance_within_15_percent_on_3_5_and_8_shards() {
+    let keys = matrix_keys();
+    assert!(keys.len() >= 500, "population too small to test balance");
+    for n in [3usize, 5, 8] {
+        let ring = Ring::new(&(1..=n as u64).collect::<Vec<_>>());
+        let fair = keys.len() as f64 / n as f64;
+        for (shard, count) in load(&ring, &keys) {
+            let skew = (count as f64 - fair).abs() / fair;
+            assert!(
+                skew <= 0.15,
+                "{n} shards: shard {shard} owns {count} of {} (fair {fair:.0}, skew {:.1}%)",
+                keys.len(),
+                skew * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn a_leave_moves_exactly_the_departed_shards_keys_to_their_replicas() {
+    let keys = matrix_keys();
+    let ring = Ring::new(&[1, 2, 3, 4, 5]);
+    let departed = 3u64;
+    let mut after = ring.clone();
+    after.leave(departed);
+    let mut moved = 0usize;
+    for &k in &keys {
+        let before = ring.route(k).unwrap();
+        let now = after.primary(k).unwrap();
+        if before.primary == departed {
+            // orphaned keys land on their old replica — the shard warm
+            // replication has been feeding all along
+            moved += 1;
+            assert_eq!(Some(now), before.replica);
+        } else {
+            // everyone else's argmax is untouched
+            assert_eq!(now, before.primary);
+        }
+    }
+    // the moved set is one shard's load: its fair share, within the
+    // balance tolerance established above
+    let fair = keys.len() as f64 / ring.len() as f64;
+    assert!(
+        (moved as f64) <= fair * 1.15,
+        "leave moved {moved} keys, fair share is {fair:.0}"
+    );
+    assert!(moved > 0, "shard {departed} owned nothing?");
+}
+
+#[test]
+fn a_join_moves_only_keys_the_new_shard_wins() {
+    let keys = matrix_keys();
+    let ring = Ring::new(&[1, 2, 3, 4, 5]);
+    let joiner = 6u64;
+    let mut after = ring.clone();
+    after.join(joiner);
+    let mut moved = 0usize;
+    for &k in &keys {
+        let before = ring.primary(k).unwrap();
+        let now = after.primary(k).unwrap();
+        if now != before {
+            moved += 1;
+            assert_eq!(
+                now, joiner,
+                "a join must never shuffle keys between old shards"
+            );
+        }
+    }
+    // the joiner picks up about a 1/(N+1) share and nothing more
+    let fair = keys.len() as f64 / after.len() as f64;
+    assert!(
+        (moved as f64) <= fair * 1.15,
+        "join moved {moved} keys, fair share is {fair:.0}"
+    );
+    assert!(moved > 0, "joiner won nothing from {} keys", keys.len());
+}

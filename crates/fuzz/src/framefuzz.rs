@@ -60,7 +60,7 @@ fn random_key(rng: &mut Rng) -> CacheKey {
 
 /// A random request covering every verb.
 pub fn random_request(rng: &mut Rng) -> Request {
-    match rng.pick(6) {
+    match rng.pick(7) {
         0 => Request::Submit {
             spec: random_spec(rng),
             prio: *rng.choose(&[Priority::Low, Priority::Normal, Priority::High]),
@@ -70,6 +70,10 @@ pub fn random_request(rng: &mut Rng) -> Request {
         2 => Request::Result(random_key(rng)),
         3 => Request::Stats,
         4 => Request::Metrics,
+        5 => Request::Put {
+            key: random_key(rng),
+            measurement: Box::new(dummy_measurement(rng.pick(1 << 20))),
+        },
         _ => Request::Shutdown,
     }
 }
@@ -101,7 +105,7 @@ fn random_metrics(rng: &mut Rng) -> MetricsSnapshot {
 
 /// A random response covering every variant.
 pub fn random_response(rng: &mut Rng) -> Response {
-    match rng.pick(8) {
+    match rng.pick(9) {
         0 => Response::Err(format!("fuzz error {}", rng.next_u64())),
         1 => Response::Done {
             key: random_key(rng),
@@ -127,12 +131,14 @@ pub fn random_response(rng: &mut Rng) -> Response {
             s.sched.jobs_run = rng.next_u64();
             s.store.hits = rng.next_u64();
             s.store.misses = rng.next_u64();
+            s.shard_id = rng.pick(8);
             Response::Stats(s)
         }
         5 => Response::Metrics(random_metrics(rng)),
         6 => Response::Busy {
             queue_depth: rng.pick_usize(1 << 16),
         },
+        7 => Response::PutOk,
         _ => Response::ShutdownOk,
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! epicd [--listen ADDR] [--cache-dir DIR] [--workers N] [--queue-cap N]
-//!       [--max-conns N] [--idle-timeout-ms MS]
+//!       [--max-conns N] [--idle-timeout-ms MS] [--shard-id N]
 //! ```
 //!
 //! Binds ADDR (default `127.0.0.1:0`), prints `epicd listening on <addr>`
@@ -21,6 +21,7 @@ struct Args {
     queue_cap: usize,
     max_conns: usize,
     idle_timeout_ms: u64,
+    shard_id: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         queue_cap: 256,
         max_conns: defaults.max_conns,
         idle_timeout_ms: defaults.idle_timeout.as_millis() as u64,
+        shard_id: defaults.shard_id,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -59,9 +61,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
             }
+            "--shard-id" => {
+                args.shard_id = val("--shard-id")?
+                    .parse()
+                    .map_err(|e| format!("--shard-id: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: epicd [--listen ADDR] [--cache-dir DIR] [--workers N] [--queue-cap N] [--max-conns N] [--idle-timeout-ms MS]"
+                    "usage: epicd [--listen ADDR] [--cache-dir DIR] [--workers N] [--queue-cap N] [--max-conns N] [--idle-timeout-ms MS] [--shard-id N]"
                 );
                 std::process::exit(0);
             }
@@ -91,6 +98,7 @@ fn main() {
     let cfg = ServerConfig {
         max_conns: args.max_conns,
         idle_timeout: std::time::Duration::from_millis(args.idle_timeout_ms),
+        shard_id: args.shard_id,
         ..ServerConfig::default()
     };
     let mut handle = match serve_with(&args.listen, sched, cfg) {

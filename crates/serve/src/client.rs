@@ -187,11 +187,29 @@ impl Client {
                     if attempt >= policy.max_retries {
                         return Err(ClientError::Busy { queue_depth });
                     }
+                    // observable interplay with gateway hedging: every
+                    // Busy ridden out shows up in `epicc top`
+                    epic_trace::global().counter("serve.client.retries").inc();
                     std::thread::sleep(policy.delay(attempt));
                     attempt += 1;
                 }
                 other => return other,
             }
+        }
+    }
+
+    /// Push a finished measurement into the server's store under `key`
+    /// without scheduling anything (warm-cache replication).
+    ///
+    /// # Errors
+    /// Transport/protocol errors.
+    pub fn put(&mut self, key: CacheKey, measurement: &Measurement) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Put {
+            key,
+            measurement: Box::new(measurement.clone()),
+        })? {
+            Response::PutOk => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
 

@@ -34,7 +34,7 @@ use std::io::{Read, Write};
 pub const MAX_FRAME: usize = 16 << 20;
 
 /// One client request.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub enum Request {
     /// Run (or fetch) a job.
     Submit {
@@ -53,6 +53,15 @@ pub enum Request {
     Stats,
     /// Full metrics-registry snapshot (counters, gauges, histograms).
     Metrics,
+    /// Store a finished measurement under a key without running anything
+    /// (warm-cache replication: the gateway pushes a completed result to
+    /// a replica shard so failover is warm).
+    Put {
+        /// Content key of the job.
+        key: CacheKey,
+        /// The measurement to store.
+        measurement: Box<Measurement>,
+    },
     /// Stop the server (used by CI for a clean teardown).
     Shutdown,
 }
@@ -68,6 +77,10 @@ pub struct ServeStats {
     pub compiles: u64,
     /// Simulations the runner actually performed.
     pub sims: u64,
+    /// Which shard answered (0 for a standalone epicd; the fleet assigns
+    /// stable non-zero ids so `epicc top --cluster` can tell shards
+    /// apart).
+    pub shard_id: u64,
 }
 
 /// One server response.
@@ -99,6 +112,8 @@ pub enum Response {
         /// Queue depth at rejection.
         queue_depth: usize,
     },
+    /// Replicate-put acknowledged.
+    PutOk,
     /// Shutdown acknowledged.
     ShutdownOk,
 }
@@ -333,6 +348,7 @@ const VERB_RESULT: u8 = 3;
 const VERB_STATS: u8 = 4;
 const VERB_SHUTDOWN: u8 = 5;
 const VERB_METRICS: u8 = 6;
+const VERB_PUT: u8 = 7;
 
 const RESP_ERR: u8 = 0;
 const RESP_DONE: u8 = 1;
@@ -342,6 +358,7 @@ const RESP_STATS: u8 = 4;
 const RESP_BUSY: u8 = 5;
 const RESP_SHUTDOWN_OK: u8 = 6;
 const RESP_METRICS: u8 = 7;
+const RESP_PUT_OK: u8 = 8;
 
 const METRIC_COUNTER: u8 = 0;
 const METRIC_GAUGE: u8 = 1;
@@ -435,6 +452,11 @@ pub fn encode_request_into(r: &Request, buf: &mut Vec<u8>) {
         }
         Request::Stats => e.u8(VERB_STATS),
         Request::Metrics => e.u8(VERB_METRICS),
+        Request::Put { key, measurement } => {
+            e.u8(VERB_PUT);
+            enc_key(&mut e, *key);
+            codec::encode_measurement_framed(&mut e, measurement);
+        }
         Request::Shutdown => e.u8(VERB_SHUTDOWN),
     }
     *buf = e.finish();
@@ -461,6 +483,14 @@ pub fn decode_request(body: &[u8]) -> Result<Request, CodecError> {
         VERB_RESULT => Request::Result(dec_key(&mut d)?),
         VERB_STATS => Request::Stats,
         VERB_METRICS => Request::Metrics,
+        VERB_PUT => {
+            let key = dec_key(&mut d)?;
+            let m = codec::decode_measurement(&d.bytes()?)?;
+            Request::Put {
+                key,
+                measurement: Box::new(m),
+            }
+        }
         VERB_SHUTDOWN => Request::Shutdown,
         v => return Err(CodecError(format!("unknown request verb {v}"))),
     };
@@ -518,6 +548,7 @@ pub fn encode_response_into(r: &Response, buf: &mut Vec<u8>) {
             enc_sched_stats(&mut e, &s.sched);
             e.u64(s.compiles);
             e.u64(s.sims);
+            e.u64(s.shard_id);
         }
         Response::Metrics(s) => {
             e.u8(RESP_METRICS);
@@ -527,6 +558,7 @@ pub fn encode_response_into(r: &Response, buf: &mut Vec<u8>) {
             e.u8(RESP_BUSY);
             e.u64(*queue_depth as u64);
         }
+        Response::PutOk => e.u8(RESP_PUT_OK),
         Response::ShutdownOk => e.u8(RESP_SHUTDOWN_OK),
     }
     *buf = e.finish();
@@ -567,11 +599,13 @@ pub fn decode_response(body: &[u8]) -> Result<Response, CodecError> {
             sched: dec_sched_stats(&mut d)?,
             compiles: d.u64()?,
             sims: d.u64()?,
+            shard_id: d.u64()?,
         }),
         RESP_METRICS => Response::Metrics(dec_metrics(&mut d)?),
         RESP_BUSY => Response::Busy {
             queue_depth: d.u64()? as usize,
         },
+        RESP_PUT_OK => Response::PutOk,
         RESP_SHUTDOWN_OK => Response::ShutdownOk,
         v => return Err(CodecError(format!("unknown response tag {v}"))),
     };
@@ -844,10 +878,17 @@ mod tests {
             Request::Result(key),
             Request::Stats,
             Request::Metrics,
+            Request::Put {
+                key,
+                measurement: Box::new(dummy_measurement(5)),
+            },
             Request::Shutdown,
         ];
         for r in &reqs {
-            assert_eq!(&decode_request(&encode_request(r)).unwrap(), r);
+            let back = decode_request(&encode_request(r)).unwrap();
+            // encoding is deterministic, so byte equality of re-encoded
+            // requests is semantic equality
+            assert_eq!(encode_request(&back), encode_request(r));
         }
     }
 
@@ -895,6 +936,7 @@ mod tests {
                 },
                 compiles: 9,
                 sims: 11,
+                shard_id: 2,
             }),
             Response::Metrics(MetricsSnapshot {
                 entries: vec![
@@ -918,6 +960,7 @@ mod tests {
             }),
             Response::Metrics(MetricsSnapshot::default()),
             Response::Busy { queue_depth: 17 },
+            Response::PutOk,
             Response::ShutdownOk,
         ];
         for r in &resps {

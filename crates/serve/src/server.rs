@@ -56,6 +56,9 @@ pub struct ServerConfig {
     /// Longest the loop parks between readiness sweeps when nothing is
     /// happening; wakeups cut a park short.
     pub poll_park: Duration,
+    /// Stable shard identity reported in [`ServeStats`] (0 for a
+    /// standalone daemon; a fleet assigns distinct non-zero ids).
+    pub shard_id: u64,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +67,7 @@ impl Default for ServerConfig {
             max_conns: 1024,
             idle_timeout: Duration::from_secs(60),
             poll_park: Duration::from_millis(5),
+            shard_id: 0,
         }
     }
 }
@@ -194,6 +198,7 @@ struct LoopMetrics {
     conns_reaped: Counter,
     frame_errors: Counter,
     bad_requests: Counter,
+    replicated: Counter,
     poll_wait_us: Histogram,
     frame_bytes: Histogram,
     submit_e2e_us: Histogram,
@@ -208,6 +213,7 @@ impl LoopMetrics {
             conns_reaped: g.counter("serve.conns.reaped"),
             frame_errors: g.counter("serve.frame.errors"),
             bad_requests: g.counter("serve.requests.bad"),
+            replicated: g.counter("serve.replicated"),
             poll_wait_us: g.histogram("serve.poll.wait_us"),
             frame_bytes: g.histogram("serve.frame.bytes"),
             submit_e2e_us: g.histogram("serve.submit.e2e_us"),
@@ -223,6 +229,7 @@ pub struct ServerHandle {
     waker: Arc<Waker>,
     loop_thread: Option<std::thread::JoinHandle<()>>,
     sched: Arc<Scheduler>,
+    shard_id: u64,
 }
 
 impl ServerHandle {
@@ -244,6 +251,7 @@ impl ServerHandle {
             sched: self.sched.stats(),
             compiles,
             sims,
+            shard_id: self.shard_id,
         }
     }
 
@@ -313,6 +321,7 @@ pub fn serve_with(
         live: 0,
         next_gen: 0,
     };
+    let shard_id = cfg.shard_id;
     let loop_thread = std::thread::Builder::new()
         .name("epicd-loop".to_string())
         .spawn(move || el.run())
@@ -323,6 +332,7 @@ pub fn serve_with(
         waker,
         loop_thread: Some(loop_thread),
         sched,
+        shard_id,
     })
 }
 
@@ -608,10 +618,18 @@ impl EventLoop {
                     sched: self.sched.stats(),
                     compiles,
                     sims,
+                    shard_id: self.cfg.shard_id,
                 }));
             }
             Request::Metrics => {
                 conn.stage_response(&Response::Metrics(epic_trace::global().snapshot()));
+            }
+            Request::Put { key, measurement } => {
+                // warm-cache replication: store without scheduling; the
+                // content-addressed key makes repeats idempotent
+                self.sched.store().insert(key, *measurement);
+                self.metrics.replicated.inc();
+                conn.stage_response(&Response::PutOk);
             }
             Request::Shutdown => {
                 conn.stage_response(&Response::ShutdownOk);

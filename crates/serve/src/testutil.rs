@@ -94,6 +94,58 @@ impl JobRunner for InstantRunner {
     }
 }
 
+/// A runner whose every invocation parks until the test sends a token
+/// through the gate, so tests decide exactly when work completes (and an
+/// artificially slow shard is one whose gate is never opened). Results
+/// are [`dummy_measurement`] keyed off the spec's source length, same as
+/// [`InstantRunner`] — a gated shard and an instant shard produce
+/// byte-identical measurements for the same spec.
+pub struct GatedRunner {
+    runs: AtomicU64,
+    gate: std::sync::Mutex<std::sync::mpsc::Receiver<()>>,
+}
+
+impl GatedRunner {
+    /// Jobs that have *started* running (they may still be parked).
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::SeqCst)
+    }
+}
+
+impl JobRunner for GatedRunner {
+    fn run(&self, spec: &JobSpec, _store: &ArtifactStore) -> Result<Measurement, String> {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        let _ = self.gate.lock().unwrap().recv();
+        Ok(dummy_measurement(spec.source.len() as u64))
+    }
+
+    fn work_counts(&self) -> (u64, u64) {
+        (self.runs.load(Ordering::SeqCst), 0)
+    }
+}
+
+/// A scheduler over a [`GatedRunner`]: each token sent on the returned
+/// channel releases one parked job. Drop-safety caveat: open the gate
+/// (or drop the sender) before shutting the scheduler down, or workers
+/// blocked in `run` keep the shutdown join waiting.
+pub fn gated_scheduler(
+    workers: usize,
+    queue_cap: usize,
+) -> (Arc<Scheduler>, std::sync::mpsc::Sender<()>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let runner = GatedRunner {
+        runs: AtomicU64::new(0),
+        gate: std::sync::Mutex::new(rx),
+    };
+    let sched = Scheduler::with_runner(
+        Arc::new(ArtifactStore::in_memory()),
+        Box::new(runner),
+        workers,
+        queue_cap,
+    );
+    (Arc::new(sched), tx)
+}
+
 /// The pre-refactor server, kept **only** as the saturation benchmark's
 /// comparator: one blocking OS thread per connection, submits holding
 /// their thread in `Ticket::wait`. Production serving is the event loop
@@ -197,6 +249,7 @@ fn baseline_connection(stream: TcpStream, sched: &Arc<Scheduler>, stop: &Arc<Ato
                     sched: sched.stats(),
                     compiles,
                     sims,
+                    shard_id: 0,
                 })
             }
             Ok(Request::Shutdown) => {

@@ -4,14 +4,13 @@
 //! typed `Busy` backpressure instead of hanging.
 
 use epic_serve::proto::{Request, Response};
-use epic_serve::testutil::{dummy_measurement, InstantRunner};
+use epic_serve::testutil::{dummy_measurement, gated_scheduler, InstantRunner};
 use epic_serve::{
     digest, serve, serve_with, ArtifactStore, Client, ClientError, JobRunner, JobSpec, Priority,
     RetryPolicy, Scheduler, ServerConfig, Swarm,
 };
 use epic_trace::{MetricValue, Trace};
 use epic_workloads::Workload;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -82,44 +81,6 @@ fn served_results_are_bit_identical_to_direct_measurement() {
     // server drains without being killed
     client.shutdown().unwrap();
     server.wait();
-}
-
-/// Gated runner: every invocation parks until the test sends a token, so
-/// tests decide exactly when work completes.
-struct GatedRunner {
-    runs: AtomicU64,
-    gate: Mutex<mpsc::Receiver<()>>,
-}
-
-impl JobRunner for GatedRunner {
-    fn run(
-        &self,
-        spec: &JobSpec,
-        _store: &ArtifactStore,
-    ) -> Result<epic_driver::Measurement, String> {
-        self.runs.fetch_add(1, Ordering::SeqCst);
-        let _ = self.gate.lock().unwrap().recv();
-        Ok(dummy_measurement(spec.source.len() as u64))
-    }
-
-    fn work_counts(&self) -> (u64, u64) {
-        (self.runs.load(Ordering::SeqCst), 0)
-    }
-}
-
-fn gated_scheduler(workers: usize, queue_cap: usize) -> (Arc<Scheduler>, mpsc::Sender<()>) {
-    let (tx, rx) = mpsc::channel();
-    let runner = GatedRunner {
-        runs: AtomicU64::new(0),
-        gate: Mutex::new(rx),
-    };
-    let sched = Scheduler::with_runner(
-        Arc::new(ArtifactStore::in_memory()),
-        Box::new(runner),
-        workers,
-        queue_cap,
-    );
-    (Arc::new(sched), tx)
 }
 
 fn spec_named(tag: &str) -> JobSpec {
@@ -348,11 +309,23 @@ fn submit_retry_rides_out_a_saturated_queue() {
             base: Duration::from_millis(5),
             cap: Duration::from_millis(50),
         };
+        let retries_before = match epic_trace::global().snapshot().get("serve.client.retries") {
+            Some(MetricValue::Counter(n)) => *n,
+            _ => 0,
+        };
         let served = Client::connect(&addr)
             .unwrap()
             .submit_retry(&spec_named("rc"), Priority::Normal, 0, &patient)
             .expect("retry must outlast the congestion");
         assert_eq!(served.key, spec_named("rc").job_key());
+        // every ridden-out Busy is observable in the metrics registry
+        match epic_trace::global().snapshot().get("serve.client.retries") {
+            Some(MetricValue::Counter(n)) => assert!(
+                *n > retries_before,
+                "serve.client.retries must count the shed attempts ({n} vs {retries_before})"
+            ),
+            other => panic!("serve.client.retries missing or mistyped: {other:?}"),
+        }
         gate.join().unwrap();
         assert!(a.join().unwrap().is_ok());
         assert!(b.join().unwrap().is_ok());

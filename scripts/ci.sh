@@ -30,12 +30,16 @@ report_a=$(mktemp)
 report_b=$(mktemp)
 smoke_dir=$(mktemp -d)
 epicd_pid=
+fleet_pids=
 cleanup() {
     rm -f "$report_a" "$report_b"
     rm -rf "$smoke_dir"
     if [ -n "${epicd_pid:-}" ] && kill -0 "$epicd_pid" 2>/dev/null; then
         kill "$epicd_pid" 2>/dev/null || true
     fi
+    for p in ${fleet_pids:-}; do
+        kill "$p" 2>/dev/null || true
+    done
 }
 trap cleanup EXIT
 cargo run --release -q --bin epicc -- report --workload vortex_mc --level all > "$report_a"
@@ -184,5 +188,115 @@ cargo run --release -q --bin epicc -- benchcmp --baseline BENCH_7.json \
     --current "$smoke_dir/bench7.json" --threshold-pct 25 \
     > "$smoke_dir/benchcmp.txt"
 grep -q '^benchcmp-ok ' "$smoke_dir/benchcmp.txt"
+
+# Bench-history smoke (ROADMAP perf-trajectory item, second slice):
+# `benchcmp --history DIR` renders per-metric trajectories over a
+# directory of BENCH_*.json checkpoints. Two checkpoints of the
+# sampled-sim family (the committed one and this run's) must produce a
+# clean `benchhist-ok` summary.
+echo "==> benchcmp history smoke (2 sampled-sim checkpoints)"
+mkdir -p "$smoke_dir/hist"
+cp BENCH_7.json "$smoke_dir/hist/BENCH_1.json"
+cp "$smoke_dir/bench7.json" "$smoke_dir/hist/BENCH_2.json"
+cargo run --release -q --bin epicc -- benchcmp --history "$smoke_dir/hist" \
+    > "$smoke_dir/benchhist.txt"
+grep -q '^benchhist-ok families=1 files=2$' "$smoke_dir/benchhist.txt"
+
+# Cluster smoke (DESIGN.md §14): an epicg gateway in front of a 3-shard
+# epicd fleet on loopback, hedging disabled (--hedge-ms 600000 — the
+# heaviest cell can outlast any budget CI could afford on a loaded
+# runner, and a hedged cell runs twice, breaking the exact compile
+# counts below); failover in the kill phase is driven by connection
+# refusal, not the hedge timer, so it is unaffected. Hedging itself is
+# covered by the cluster_e2e suite under `cargo test`. Required:
+#   (1) the full 12×4 matrix through the gateway is byte-identical to
+#       the direct in-process sweep, all misses,
+#   (2) a warm re-sweep through the gateway is 100% cache hits,
+#   (3) merged fleet stats account for exactly 48 compiles and speak
+#       for no single shard (shard_id 0); `top --cluster` renders
+#       fleet, gateway, and per-shard sections,
+#   (4) with shard 1 killed, a warm re-sweep is still 100% hits — the
+#       dead shard's cells answer from their replicas' stores, which
+#       warm-cache replication filled while shard 1 was alive,
+#   (5) still degraded, a fresh sweep (different predictor ⇒ different
+#       job keys) completes with zero lost or mismatched cells,
+#       byte-identical to a direct run — orphaned keys re-route and
+#       recompute on their replicas,
+#   (6) protocol shutdown through the gateway stops every live shard
+#       and then the gateway itself — all exit 0 without being killed.
+echo "==> cluster smoke (epicg + 3-shard epicd fleet, kill-one failover)"
+cargo build --release -q -p epic-cluster --bin epicg
+for i in 1 2 3; do
+    cargo run --release -q -p epic-serve --bin epicd -- --listen 127.0.0.1:0 \
+        --shard-id "$i" > "$smoke_dir/shard$i.log" &
+    fleet_pids="$fleet_pids $!"
+done
+shard_addrs=
+for i in 1 2 3; do
+    a=
+    for _ in $(seq 1 200); do
+        a=$(sed -n 's/^epicd listening on //p' "$smoke_dir/shard$i.log")
+        [ -n "$a" ] && break
+        sleep 0.1
+    done
+    test -n "$a"
+    shard_addrs="$shard_addrs --shard $i=$a"
+done
+# shellcheck disable=SC2086
+cargo run --release -q -p epic-cluster --bin epicg -- $shard_addrs \
+    --hedge-ms 600000 > "$smoke_dir/epicg.log" &
+gw_pid=$!
+fleet_pids="$fleet_pids $gw_pid"
+gw=
+for _ in $(seq 1 200); do
+    gw=$(sed -n 's/^epicg listening on //p' "$smoke_dir/epicg.log")
+    [ -n "$gw" ] && break
+    sleep 0.1
+done
+test -n "$gw"
+
+cargo run --release -q --bin epicc -- submit --gateway "$gw" > "$smoke_dir/gw_cold.txt"
+cargo run --release -q --bin epicc -- submit --gateway "$gw" > "$smoke_dir/gw_warm.txt"
+grep '^cell ' "$smoke_dir/gw_cold.txt" > "$smoke_dir/gw_cold_cells.txt"
+grep '^cell ' "$smoke_dir/gw_warm.txt" > "$smoke_dir/gw_warm_cells.txt"
+cmp "$smoke_dir/direct_cells.txt" "$smoke_dir/gw_cold_cells.txt"
+cmp "$smoke_dir/direct_cells.txt" "$smoke_dir/gw_warm_cells.txt"
+grep -qx '# hits=0 misses=48' "$smoke_dir/gw_cold.txt"
+grep -qx '# hits=48 misses=0' "$smoke_dir/gw_warm.txt"
+
+cargo run --release -q --bin epicc -- stats --gateway "$gw" > "$smoke_dir/gw_stats.txt"
+grep -qx 'stat compiles 48' "$smoke_dir/gw_stats.txt"
+grep -qx 'stat sched_jobs_run 48' "$smoke_dir/gw_stats.txt"
+grep -qx 'stat sched_cache_hits 48' "$smoke_dir/gw_stats.txt"
+grep -qx 'stat shard_id 0' "$smoke_dir/gw_stats.txt"
+cargo run --release -q --bin epicc -- top --gateway "$gw" --cluster \
+    > "$smoke_dir/gw_top.txt"
+grep -qx '== fleet ==' "$smoke_dir/gw_top.txt"
+grep -qx '== gateway ==' "$smoke_dir/gw_top.txt"
+grep -qx '== shard1 ==' "$smoke_dir/gw_top.txt"
+grep -qx '== shard3 ==' "$smoke_dir/gw_top.txt"
+
+shard1_pid=$(echo "$fleet_pids" | awk '{print $1}')
+kill "$shard1_pid"
+cargo run --release -q --bin epicc -- submit --gateway "$gw" > "$smoke_dir/gw_degraded.txt"
+grep '^cell ' "$smoke_dir/gw_degraded.txt" > "$smoke_dir/gw_degraded_cells.txt"
+cmp "$smoke_dir/direct_cells.txt" "$smoke_dir/gw_degraded_cells.txt"
+grep -qx '# hits=48 misses=0' "$smoke_dir/gw_degraded.txt"
+
+cargo run --release -q --bin epicc -- matrix --no-cache --predictor tage \
+    > "$smoke_dir/direct_tage.txt"
+cargo run --release -q --bin epicc -- submit --gateway "$gw" --predictor tage \
+    > "$smoke_dir/gw_tage.txt"
+grep '^cell ' "$smoke_dir/direct_tage.txt" > "$smoke_dir/direct_tage_cells.txt"
+grep '^cell ' "$smoke_dir/gw_tage.txt" > "$smoke_dir/gw_tage_cells.txt"
+cmp "$smoke_dir/direct_tage_cells.txt" "$smoke_dir/gw_tage_cells.txt"
+grep -qx '# hits=0 misses=48' "$smoke_dir/gw_tage.txt"
+
+cargo run --release -q --bin epicc -- shutdown --gateway "$gw"
+for p in $fleet_pids; do
+    [ "$p" = "$shard1_pid" ] && continue
+    wait "$p"
+done
+fleet_pids=
 
 echo "CI OK"

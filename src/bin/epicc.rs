@@ -54,7 +54,25 @@
 //!
 //! `benchcmp --baseline BENCH_N.json --current NEW.json` red-flags
 //! >10% regressions of a fresh bench run against a committed
-//! checkpoint (threshold adjustable with `--threshold-pct`).
+//! checkpoint (threshold adjustable with `--threshold-pct`);
+//! `benchcmp --history DIR` instead scans every committed
+//! `BENCH_*.json` checkpoint and prints each headline metric's
+//! trajectory across them.
+//!
+//! Fleet mode (see DESIGN.md §14):
+//!
+//! ```text
+//! epicc cluster serve [--shards N] [--listen A] [--hedge-ms MS]
+//!                     [--workers N] [--queue-cap N]
+//! epicc submit --gateway A [...]      # --gateway is an --addr alias
+//! epicc stats --gateway A             # summed fleet stats (shard_id 0)
+//! epicc top --gateway A --cluster     # fleet / per-shard / gateway sections
+//! ```
+//!
+//! `cluster serve` runs an N-shard fleet plus an `epicg` gateway in one
+//! process (handy for demos; note the shards share one process-global
+//! metrics registry, so per-shard metric sections are confounded — CI
+//! uses separate `epicd` processes for honest per-shard views).
 //!
 //! `submit` and `matrix` print identical, deterministic `cell` lines
 //! (workload, level, cycles, checksum, content digest), so CI can diff a
@@ -184,6 +202,7 @@ fn main() -> ExitCode {
             Some("branches") => return branches_cmd(&argv[1..]),
             Some("replay") => return replay_cmd(&argv[1..]),
             Some("benchcmp") => return benchcmp_cmd(&argv[1..]),
+            Some("cluster") => return cluster_cmd(&argv[1..]),
             Some("shutdown") => return shutdown_cmd(&argv[1..]),
             _ => {}
         }
@@ -484,6 +503,13 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// The server address for a service subcommand. `--gateway` is an alias
+/// for `--addr`: an `epicg` gateway speaks the same protocol, and the
+/// spelling documents intent in scripts.
+fn server_addr(kv: &std::collections::HashMap<String, String>) -> Option<&String> {
+    kv.get("--addr").or_else(|| kv.get("--gateway"))
+}
+
 /// `epicc serve`: run the job daemon in-process (same engine as the
 /// standalone `epicd` binary).
 fn serve_cmd(args: &[String]) -> ExitCode {
@@ -540,8 +566,8 @@ fn submit_cmd(args: &[String]) -> ExitCode {
         Ok(kv) => kv,
         Err(e) => return fail(e),
     };
-    let Some(addr) = kv.get("--addr") else {
-        return fail("submit needs --addr HOST:PORT");
+    let Some(addr) = server_addr(&kv) else {
+        return fail("submit needs --addr (or --gateway) HOST:PORT");
     };
     let levels = match parse_levels(kv.get("--level").map_or("all", String::as_str)) {
         Ok(l) => l,
@@ -737,19 +763,61 @@ fn validate_cell_trace(cell: &epic_driver::MeasuredCell) -> Result<(), String> {
 /// `epicc top`: fetch a server's metrics-registry snapshot over the
 /// `metrics` verb and render it as a fixed-width table (deterministic
 /// for a given snapshot: entries are name-sorted by the registry).
+///
+/// Against a gateway, `--cluster` splits the merged snapshot into its
+/// sections — fleet aggregate, per-shard, gateway-local — instead of
+/// one flat prefix-sorted table.
 fn top_cmd(args: &[String]) -> ExitCode {
-    let kv = match parse_kv(args, &[]) {
+    let kv = match parse_kv(args, &["--cluster"]) {
         Ok(kv) => kv,
         Err(e) => return fail(e),
     };
-    let Some(addr) = kv.get("--addr") else {
-        return fail("top needs --addr HOST:PORT");
+    let Some(addr) = server_addr(&kv) else {
+        return fail("top needs --addr (or --gateway) HOST:PORT");
     };
     let snap = match epic_serve::Client::connect(addr).and_then(|mut c| c.metrics()) {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
-    print!("{}", epic_trace::render_top(&snap));
+    if !kv.contains_key("--cluster") {
+        print!("{}", epic_trace::render_top(&snap));
+        return ExitCode::SUCCESS;
+    }
+    // sectioned fleet view: strip each section's prefix so the tables
+    // read like a single daemon's `top`
+    let section = |title: &str, prefix: &str| {
+        let entries: Vec<_> = snap
+            .entries
+            .iter()
+            .filter(|e| e.name.starts_with(prefix))
+            .map(|e| epic_trace::MetricEntry {
+                name: e.name[prefix.len()..].to_string(),
+                value: e.value.clone(),
+            })
+            .collect();
+        if !entries.is_empty() {
+            println!("== {title} ==");
+            print!(
+                "{}",
+                epic_trace::render_top(&epic_trace::MetricsSnapshot { entries })
+            );
+        }
+    };
+    section("fleet", "fleet.");
+    section("gateway", "gateway.");
+    let mut shard_ids: Vec<u64> = snap
+        .entries
+        .iter()
+        .filter_map(|e| {
+            let rest = e.name.strip_prefix("shard")?;
+            rest[..rest.find('.')?].parse().ok()
+        })
+        .collect();
+    shard_ids.sort_unstable();
+    shard_ids.dedup();
+    for id in shard_ids {
+        section(&format!("shard{id}"), &format!("shard{id}."));
+    }
     ExitCode::SUCCESS
 }
 
@@ -759,8 +827,8 @@ fn stats_cmd(args: &[String]) -> ExitCode {
         Ok(kv) => kv,
         Err(e) => return fail(e),
     };
-    let Some(addr) = kv.get("--addr") else {
-        return fail("stats needs --addr HOST:PORT");
+    let Some(addr) = server_addr(&kv) else {
+        return fail("stats needs --addr (or --gateway) HOST:PORT");
     };
     let stats = match epic_serve::Client::connect(addr).and_then(|mut c| c.stats()) {
         Ok(s) => s,
@@ -784,6 +852,7 @@ fn stats_cmd(args: &[String]) -> ExitCode {
         ("sched_in_flight", stats.sched.in_flight),
         ("compiles", stats.compiles),
         ("sims", stats.sims),
+        ("shard_id", stats.shard_id),
     ] {
         println!("stat {name} {v}");
     }
@@ -1606,18 +1675,35 @@ fn json_path<'a>(j: &'a epic_bench::json::Json, path: &str) -> Option<&'a epic_b
     Some(cur)
 }
 
+/// Higher-is-better headline metrics per benchmark family.
+fn family_metrics(bench: &str) -> Option<&'static [&'static str]> {
+    match bench {
+        "serve-saturate" => Some(&["speedup_throughput", "event_loop.throughput_rps"]),
+        "sampled-sim" => Some(&["totals.speedup"]),
+        _ => None,
+    }
+}
+
 /// `epicc benchcmp`: the BENCH checkpoint guard (first slice of ROADMAP
 /// item 3) — compare a freshly generated bench JSON against the last
 /// committed `BENCH_*.json` and red-flag any higher-is-better headline
 /// metric that regressed by more than `--threshold-pct` (default 10).
+///
+/// `--history DIR` is the trajectory view instead: scan every
+/// `BENCH_*.json` checkpoint in DIR (filename order — the PR-numbered
+/// naming makes that chronological) and print each family's headline
+/// metrics across all of them, with the net first-to-last delta.
 fn benchcmp_cmd(args: &[String]) -> ExitCode {
     use epic_bench::json::Json;
     let kv = match parse_kv(args, &[]) {
         Ok(kv) => kv,
         Err(e) => return fail(e),
     };
+    if let Some(dir) = kv.get("--history") {
+        return benchcmp_history(dir);
+    }
     let (Some(base_path), Some(cur_path)) = (kv.get("--baseline"), kv.get("--current")) else {
-        return fail("benchcmp needs --baseline FILE and --current FILE");
+        return fail("benchcmp needs --baseline FILE and --current FILE (or --history DIR)");
     };
     let thr: f64 = match kv.get("--threshold-pct").map_or(Ok(10.0), |v| v.parse()) {
         Ok(v) if v >= 0.0 => v,
@@ -1645,11 +1731,8 @@ fn benchcmp_cmd(args: &[String]) -> ExitCode {
             "benchmark mismatch: baseline is `{bench}`, current is `{cur_bench}`"
         ));
     }
-    // higher-is-better headline metrics per benchmark family
-    let metrics: &[&str] = match bench.as_str() {
-        "serve-saturate" => &["speedup_throughput", "event_loop.throughput_rps"],
-        "sampled-sim" => &["totals.speedup"],
-        other => return fail(format!("no benchcmp metrics defined for `{other}`")),
+    let Some(metrics) = family_metrics(&bench) else {
+        return fail(format!("no benchcmp metrics defined for `{bench}`"));
     };
     let num = |j: &Json, path: &str, which: &str| -> Result<f64, String> {
         match json_path(j, path) {
@@ -1683,14 +1766,174 @@ fn benchcmp_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `epicc benchcmp --history DIR`: per-metric trajectory across every
+/// committed `BENCH_*.json` checkpoint. Checkpoints whose family has no
+/// headline metrics (or that predate a metric) are reported, not fatal
+/// — history is an audit view, not a gate.
+fn benchcmp_history(dir: &str) -> ExitCode {
+    use epic_bench::json::Json;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => return fail(format!("read {dir}: {e}")),
+    };
+    let mut files: Vec<String> = entries
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return fail(format!("no BENCH_*.json checkpoints in {dir}"));
+    }
+    // family -> [(file, parsed json)], in filename (i.e. PR) order
+    let mut by_family: std::collections::BTreeMap<String, Vec<(String, Json)>> =
+        std::collections::BTreeMap::new();
+    for name in &files {
+        let path = format!("{dir}/{name}");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(format!("read {path}: {e}")),
+        };
+        let j = match Json::parse(text.trim()) {
+            Ok(j) => j,
+            Err(e) => return fail(format!("{path}: {e}")),
+        };
+        let Some(Json::Str(bench)) = json_path(&j, "benchmark") else {
+            return fail(format!("{path}: no top-level \"benchmark\" field"));
+        };
+        by_family
+            .entry(bench.clone())
+            .or_default()
+            .push((name.clone(), j));
+    }
+    for (bench, checkpoints) in &by_family {
+        let Some(metrics) = family_metrics(bench) else {
+            println!("benchhist {bench}: no headline metrics defined, skipping");
+            continue;
+        };
+        for m in metrics {
+            let mut seen: Vec<f64> = Vec::new();
+            for (name, j) in checkpoints {
+                match json_path(j, m) {
+                    Some(Json::Num(v)) => {
+                        println!("benchhist {bench} {m} {name} {v:.3}");
+                        seen.push(*v);
+                    }
+                    _ => println!("benchhist {bench} {m} {name} -"),
+                }
+            }
+            if let (Some(first), Some(last)) = (seen.first(), seen.last()) {
+                if seen.len() > 1 && *first > 0.0 {
+                    println!(
+                        "benchhist {bench} {m}: net {:+.1}% over {} checkpoints",
+                        (last - first) / first * 100.0,
+                        seen.len()
+                    );
+                }
+            }
+        }
+    }
+    println!(
+        "benchhist-ok families={} files={}",
+        by_family.len(),
+        files.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `epicc cluster <verb>`: fleet-mode subcommands.
+fn cluster_cmd(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("serve") => cluster_serve_cmd(&args[1..]),
+        _ => fail("usage: epicc cluster serve [--shards N] [--listen A] [--hedge-ms MS] [--workers N] [--queue-cap N]"),
+    }
+}
+
+/// `epicc cluster serve`: an N-shard fleet plus `epicg` gateway in one
+/// process. Prints `epicg listening on <addr>` and serves until a
+/// client sends `shutdown` through the gateway (which stops the shards
+/// first, then the gateway).
+///
+/// In-process caveat: every shard shares the one process-global metrics
+/// registry, so the `shard<id>.` sections of `top --cluster` all show
+/// the same combined numbers. Stats (`epicc stats`) are per-scheduler
+/// and honest. For real per-shard metrics run separate `epicd`
+/// processes — the CI cluster stage does exactly that.
+fn cluster_serve_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let shards = match kv.get("--shards").map_or(Ok(3), |v| v.parse::<u64>()) {
+        Ok(n) if n > 0 => n,
+        _ => return fail("--shards must be a positive integer"),
+    };
+    let workers = kv.get("--workers").map_or(Ok(0), |v| v.parse());
+    let queue_cap = kv.get("--queue-cap").map_or(Ok(256), |v| v.parse());
+    let (Ok(workers), Ok(queue_cap)) = (workers, queue_cap) else {
+        return fail("--workers/--queue-cap must be integers");
+    };
+    let defaults = epic_cluster::GatewayConfig::default();
+    let hedge_ms = kv
+        .get("--hedge-ms")
+        .map_or(Ok(defaults.hedge_after.as_millis() as u64), |v| v.parse());
+    let Ok(hedge_ms) = hedge_ms else {
+        return fail("--hedge-ms must be an integer");
+    };
+    let listen = kv
+        .get("--listen")
+        .map_or("127.0.0.1:0", String::as_str)
+        .to_string();
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for id in 1..=shards {
+        let sched = std::sync::Arc::new(epic_serve::Scheduler::new(
+            std::sync::Arc::new(epic_serve::ArtifactStore::in_memory()),
+            workers,
+            queue_cap,
+        ));
+        let cfg = epic_serve::ServerConfig {
+            shard_id: id,
+            ..epic_serve::ServerConfig::default()
+        };
+        match epic_serve::serve_with("127.0.0.1:0", sched, cfg) {
+            Ok(h) => {
+                addrs.push((id, h.addr().to_string()));
+                handles.push(h);
+            }
+            Err(e) => return fail(format!("shard {id}: {e}")),
+        }
+    }
+    let gcfg = epic_cluster::GatewayConfig {
+        hedge_after: std::time::Duration::from_millis(hedge_ms),
+        ..defaults
+    };
+    let mut gw = match epic_cluster::gate(&listen, &addrs, gcfg) {
+        Ok(g) => g,
+        Err(e) => return fail(format!("bind {listen}: {e}")),
+    };
+    println!("epicg listening on {}", gw.addr());
+    for (id, addr) in &addrs {
+        eprintln!("epicg: shard {id} at {addr}");
+    }
+    gw.wait();
+    // shutdown fanned out through the gateway already stopped the
+    // shards' loops; joining drains their schedulers
+    for mut h in handles {
+        h.wait();
+    }
+    ExitCode::SUCCESS
+}
+
 /// `epicc shutdown`: ask a server to exit cleanly.
 fn shutdown_cmd(args: &[String]) -> ExitCode {
     let kv = match parse_kv(args, &[]) {
         Ok(kv) => kv,
         Err(e) => return fail(e),
     };
-    let Some(addr) = kv.get("--addr") else {
-        return fail("shutdown needs --addr HOST:PORT");
+    let Some(addr) = server_addr(&kv) else {
+        return fail("shutdown needs --addr (or --gateway) HOST:PORT");
     };
     match epic_serve::Client::connect(addr).and_then(|mut c| c.shutdown()) {
         Ok(()) => ExitCode::SUCCESS,
