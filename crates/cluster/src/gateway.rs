@@ -25,6 +25,15 @@
 //!   every shard. Stats sum ([`merge_stats`]); metrics merge into
 //!   `shard<id>.` / `fleet.` / `gateway.` sections ([`merge_metrics`]);
 //!   shutdown stops the shards, then the gateway itself.
+//! * **Dynamic membership** — the typed `admin` verb drives runtime
+//!   `join`/`drain`/`fleet-status`. A membership change runs the
+//!   warm-before-cutover state machine: census every shard's key
+//!   holdings (`keys` verb), plan the exact diff between the old and
+//!   new ring ([`plan_moves`]), fetch each moved key from a holder and
+//!   `put` it to its new primary, and only then atomically swap the
+//!   routing ring. In-flight requests issued against the old ring
+//!   resolve against it (drained shards keep their addresses), so a
+//!   cutover is invisible to concurrent traffic. See DESIGN.md §15.
 //!
 //! Like the `epicd` loop, one thread owns every socket and multiplexes
 //! them with a nonblocking readiness sweep. Unlike it there is no
@@ -37,9 +46,13 @@
 //! never be stale.
 
 use crate::merge::{merge_metrics, merge_stats};
+use crate::rebalance::{plan_moves, KeyMove};
 use crate::ring::Ring;
 use epic_serve::key::CacheKey;
-use epic_serve::proto::{self, FrameError, FrameEvent, Request, Response};
+use epic_serve::proto::{
+    self, AdminRequest, AdminResponse, FleetStatus, FrameError, FrameEvent, RebalanceReport,
+    Request, Response, ShardInfo,
+};
 use epic_trace::{Counter, Gauge};
 use std::collections::HashMap;
 use std::io::{IoSlice, Write};
@@ -154,6 +167,9 @@ pub fn gate(
         pendings: Vec::new(),
         pending_free: Vec::new(),
         failed: Vec::new(),
+        ring_version: 1,
+        drained: Vec::new(),
+        admin: None,
     };
     let loop_thread = std::thread::Builder::new()
         .name("epicg-loop".to_string())
@@ -175,6 +191,9 @@ struct GatewayMetrics {
     failover: Counter,
     replicated: Counter,
     upstream_errors: Counter,
+    rebalance_keys_moved: Counter,
+    rebalance_bytes: Counter,
+    rebalance_ms: Counter,
 }
 
 impl GatewayMetrics {
@@ -187,6 +206,12 @@ impl GatewayMetrics {
             failover: g.counter("cluster.failover"),
             replicated: g.counter("cluster.replicated"),
             upstream_errors: g.counter("cluster.upstream.errors"),
+            // merge_metrics prefixes the gateway registry with
+            // `gateway.`, so these surface as
+            // `gateway.rebalance.{keys_moved,bytes,ms}`.
+            rebalance_keys_moved: g.counter("rebalance.keys_moved"),
+            rebalance_bytes: g.counter("rebalance.bytes"),
+            rebalance_ms: g.counter("rebalance.ms"),
         }
     }
 }
@@ -272,6 +297,11 @@ fn write_frame_progress(
     Ok(true)
 }
 
+/// Typed admin refusal, framed as the `Admin` response verb.
+fn admin_err(msg: &str) -> Response {
+    Response::Admin(AdminResponse::Err(msg.to_string()))
+}
+
 /// Why an attempt was issued; decides hedging bookkeeping and whether a
 /// win triggers replication.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -284,6 +314,12 @@ enum Role {
     Fanout,
     /// Fire-and-forget warm-cache `put`.
     Replicate,
+    /// Key census leg (`keys` verb) of a rebalance or fleet-status.
+    Census,
+    /// Rebalance fetch of move *i* from its source shard.
+    Fetch(usize),
+    /// Rebalance push of move *i* to its new primary.
+    Push(usize),
 }
 
 /// One upstream attempt: a fresh connection carrying exactly one
@@ -341,6 +377,23 @@ enum Pending {
     },
     /// Warm-cache `put` to a replica; nobody is waiting on it.
     Replicate { outstanding: u32 },
+    /// A `join`/`drain` rebalance; the op state itself lives in
+    /// [`GatewayLoop::admin`], this slot only anchors the requesting
+    /// client and the in-flight attempt count.
+    Admin {
+        client: usize,
+        client_gen: u64,
+        outstanding: u32,
+        done: bool,
+    },
+    /// A `fleet-status` census: per-shard key counts, `None` for a
+    /// shard that did not answer.
+    Fleet {
+        client: usize,
+        client_gen: u64,
+        collected: Vec<(u64, Option<u64>)>,
+        outstanding: u32,
+    },
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -348,6 +401,44 @@ enum FanKind {
     Stats,
     Metrics,
     Shutdown,
+}
+
+/// How many rebalance transfers (fetch→push chains) run concurrently.
+/// Enough to hide per-key round-trip latency, small enough that a
+/// rebalance never starves client traffic of loop attention.
+const TRANSFER_WINDOW: usize = 8;
+
+/// State of the one in-flight membership change. A rebalance runs as a
+/// three-phase state machine — census, transfer, cutover — and the
+/// routing ring is swapped only in the cutover, after every moved key
+/// has landed on its new primary (warm-before-cutover).
+struct AdminOp {
+    /// The `Pending::Admin` slot anchoring this op.
+    pid: usize,
+    started: Instant,
+    /// The ring to cut over to once the fleet is warm.
+    new_ring: Ring,
+    /// Shard drained by this op; remembered as reachable-but-routable
+    /// only for old traffic after the cutover.
+    drain: Option<u64>,
+    /// For a join: the address entry to undo if the op aborts.
+    /// `(id, previous addr if the id was already known)`.
+    join_rollback: Option<(u64, Option<String>)>,
+    /// For a rejoin: the id to put back on the drained list on abort.
+    drained_rollback: Option<u64>,
+    /// Census legs still awaited.
+    census_outstanding: usize,
+    /// Per-shard key holdings reported so far.
+    census: Vec<(u64, Vec<CacheKey>)>,
+    /// The planned moves (empty until the census completes).
+    moves: Vec<KeyMove>,
+    /// Next move to start.
+    next_move: usize,
+    /// Fetch/push chains currently in flight.
+    in_flight: usize,
+    keys_moved: u64,
+    bytes: u64,
+    skipped: u64,
 }
 
 struct GatewayLoop {
@@ -372,7 +463,15 @@ struct GatewayLoop {
     /// remaining legs have even been issued (the merge would fire
     /// early). The failed leg keeps `outstanding` above zero until the
     /// drain, so the slot cannot be freed or reused in between.
-    failed: Vec<(usize, u64)>,
+    failed: Vec<(usize, u64, Role)>,
+    /// Monotonic routing-table version; bumps at every cutover.
+    ring_version: u64,
+    /// Shards drained out of the ring but still addressable, so that
+    /// in-flight old-ring attempts, post-swap replications, and the
+    /// shutdown broadcast still reach them.
+    drained: Vec<u64>,
+    /// The at-most-one in-flight membership change.
+    admin: Option<AdminOp>,
 }
 
 impl GatewayLoop {
@@ -564,7 +663,15 @@ impl GatewayLoop {
                     Request::Metrics => FanKind::Metrics,
                     _ => FanKind::Shutdown,
                 };
-                let shards: Vec<u64> = self.ring.shard_ids().to_vec();
+                // Shutdown must also reach drained shards — they left
+                // the routing ring, not the fleet. Views stay
+                // ring-scoped so fleet stats describe what routing
+                // can actually hit.
+                let shards: Vec<u64> = if kind == FanKind::Shutdown {
+                    self.known_shards()
+                } else {
+                    self.ring.shard_ids().to_vec()
+                };
                 let pid = self.alloc_pending(Pending::Fanout {
                     client: slot,
                     client_gen: conn.gen,
@@ -577,6 +684,132 @@ impl GatewayLoop {
                     self.issue_raw(shard, raw.clone(), pid, Role::Fanout);
                 }
             }
+            Request::Keys => {
+                // shard-internal census verb; the fleet-level answer is
+                // `admin fleet-status`
+                conn.stage_response(&Response::Err(
+                    "keys is a shard verb; ask the gateway for fleet-status".to_string(),
+                ));
+            }
+            Request::Admin(admin) => self.dispatch_admin(slot, conn, admin),
+        }
+    }
+
+    // ---- admin control plane --------------------------------------------
+
+    /// Every shard the gateway can still talk to: ring members plus
+    /// drained-but-addressable shards.
+    fn known_shards(&self) -> Vec<u64> {
+        let mut ids = self.ring.shard_ids().to_vec();
+        ids.extend_from_slice(&self.drained);
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Route one typed admin request. Validation errors answer on the
+    /// spot (the conn is checked out of the slab here, so staging
+    /// directly is both correct and required); accepted membership
+    /// changes start the census phase.
+    fn dispatch_admin(&mut self, slot: usize, conn: &mut ClientConn, admin: AdminRequest) {
+        match admin {
+            AdminRequest::FleetStatus => {
+                let shards = self.known_shards();
+                let pid = self.alloc_pending(Pending::Fleet {
+                    client: slot,
+                    client_gen: conn.gen,
+                    collected: Vec::with_capacity(shards.len()),
+                    outstanding: 0,
+                });
+                conn.state = CState::Waiting(pid);
+                let raw = proto::encode_request(&Request::Keys);
+                for shard in shards {
+                    self.issue_raw(shard, raw.clone(), pid, Role::Census);
+                }
+            }
+            AdminRequest::Join { id, addr } => {
+                if self.admin.is_some() {
+                    conn.stage_response(&admin_err("a rebalance is already in progress"));
+                    return;
+                }
+                if self.ring.shard_ids().contains(&id) {
+                    conn.stage_response(&admin_err(&format!("shard {id} is already in the ring")));
+                    return;
+                }
+                let prev_addr = self.addrs.insert(id, addr);
+                let was_drained = self.drained.contains(&id);
+                self.drained.retain(|&d| d != id);
+                let mut new_ring = self.ring.clone();
+                new_ring.join(id);
+                self.start_rebalance(
+                    slot,
+                    conn,
+                    new_ring,
+                    None,
+                    Some((id, prev_addr)),
+                    was_drained.then_some(id),
+                );
+            }
+            AdminRequest::Drain { id } => {
+                if self.admin.is_some() {
+                    conn.stage_response(&admin_err("a rebalance is already in progress"));
+                    return;
+                }
+                if !self.ring.shard_ids().contains(&id) {
+                    conn.stage_response(&admin_err(&format!("shard {id} is not in the ring")));
+                    return;
+                }
+                let mut new_ring = self.ring.clone();
+                new_ring.leave(id);
+                if new_ring.is_empty() {
+                    conn.stage_response(&admin_err("cannot drain the last shard"));
+                    return;
+                }
+                self.start_rebalance(slot, conn, new_ring, Some(id), None, None);
+            }
+        }
+    }
+
+    /// Phase 1 of a membership change: census every *old-ring* shard's
+    /// key holdings. The plan is computed when the last census leg
+    /// lands; any census failure aborts the op with the old ring fully
+    /// intact.
+    fn start_rebalance(
+        &mut self,
+        slot: usize,
+        conn: &mut ClientConn,
+        new_ring: Ring,
+        drain: Option<u64>,
+        join_rollback: Option<(u64, Option<String>)>,
+        drained_rollback: Option<u64>,
+    ) {
+        let census_targets: Vec<u64> = self.ring.shard_ids().to_vec();
+        let pid = self.alloc_pending(Pending::Admin {
+            client: slot,
+            client_gen: conn.gen,
+            outstanding: 0,
+            done: false,
+        });
+        conn.state = CState::Waiting(pid);
+        self.admin = Some(AdminOp {
+            pid,
+            started: Instant::now(),
+            new_ring,
+            drain,
+            join_rollback,
+            drained_rollback,
+            census_outstanding: census_targets.len(),
+            census: Vec::new(),
+            moves: Vec::new(),
+            next_move: 0,
+            in_flight: 0,
+            keys_moved: 0,
+            bytes: 0,
+            skipped: 0,
+        });
+        let raw = proto::encode_request(&Request::Keys);
+        for shard in census_targets {
+            self.issue_raw(shard, raw.clone(), pid, Role::Census);
         }
     }
 
@@ -603,7 +836,9 @@ impl GatewayLoop {
                 Pending::Submit { outstanding, .. }
                 | Pending::Simple { outstanding, .. }
                 | Pending::Fanout { outstanding, .. }
-                | Pending::Replicate { outstanding },
+                | Pending::Replicate { outstanding }
+                | Pending::Admin { outstanding, .. }
+                | Pending::Fleet { outstanding, .. },
             ) => {
                 *outstanding -= 1;
                 *outstanding == 0
@@ -650,7 +885,9 @@ impl GatewayLoop {
             Pending::Submit { outstanding, .. }
             | Pending::Simple { outstanding, .. }
             | Pending::Fanout { outstanding, .. }
-            | Pending::Replicate { outstanding },
+            | Pending::Replicate { outstanding }
+            | Pending::Admin { outstanding, .. }
+            | Pending::Fleet { outstanding, .. },
         ) = self.pendings.get_mut(pid).and_then(Option::as_mut)
         {
             *outstanding += 1;
@@ -696,7 +933,7 @@ impl GatewayLoop {
             }
             Err(_) => {
                 self.metrics.upstream_errors.inc();
-                self.failed.push((pid, shard));
+                self.failed.push((pid, shard, role));
             }
         }
     }
@@ -708,8 +945,8 @@ impl GatewayLoop {
     /// by the same drain.
     fn drain_failed(&mut self) -> bool {
         let progress = !self.failed.is_empty();
-        while let Some((pid, shard)) = self.failed.pop() {
-            self.attempt_failed(pid, shard);
+        while let Some((pid, shard, role)) = self.failed.pop() {
+            self.attempt_failed(pid, shard, role);
         }
         progress
     }
@@ -734,10 +971,10 @@ impl GatewayLoop {
                 UpOutcome::Failed => {
                     progress = true;
                     self.metrics.upstream_errors.inc();
-                    let (pid, shard) = (up.pending, up.shard);
+                    let (pid, shard, role) = (up.pending, up.shard, up.role);
                     drop(up);
                     self.up_free.push(slot);
-                    self.attempt_failed(pid, shard);
+                    self.attempt_failed(pid, shard, role);
                 }
             }
         }
@@ -842,6 +1079,29 @@ impl GatewayLoop {
             Pending::Replicate { .. } => {
                 self.settle_attempt(pid);
             }
+            Pending::Admin { done, .. } => {
+                // A leg of an already-finished/aborted op: nothing to
+                // drive, the settle below just releases the slot.
+                let done = *done;
+                if !done {
+                    match role {
+                        Role::Census => self.on_census_response(pid, shard, resp),
+                        Role::Fetch(i) => self.on_fetch_response(pid, i, resp),
+                        Role::Push(i) => self.on_push_response(pid, i, resp),
+                        _ => {}
+                    }
+                }
+                self.settle_attempt(pid);
+            }
+            Pending::Fleet { collected, .. } => {
+                let count = match resp {
+                    Response::Keys(keys) => Some(keys.len() as u64),
+                    _ => None,
+                };
+                collected.push((shard, count));
+                self.finalize_fleet_if_ready(pid);
+                self.settle_attempt(pid);
+            }
         }
     }
 
@@ -849,7 +1109,7 @@ impl GatewayLoop {
     /// frame). For routed requests this triggers failover to the next
     /// untried candidate; the client sees an error only when every
     /// candidate has failed.
-    fn attempt_failed(&mut self, pid: usize, shard: u64) {
+    fn attempt_failed(&mut self, pid: usize, shard: u64, role: Role) {
         let Some(pending) = self.pendings.get_mut(pid).and_then(Option::as_mut) else {
             self.settle_attempt(pid);
             return;
@@ -938,6 +1198,32 @@ impl GatewayLoop {
             Pending::Replicate { .. } => {
                 self.settle_attempt(pid);
             }
+            Pending::Admin { done, .. } => {
+                let done = *done;
+                if !done {
+                    match role {
+                        // A census hole means the plan would be blind to
+                        // that shard's keys — abort with the old ring
+                        // intact rather than cut over cold.
+                        Role::Census => self.abort_rebalance(
+                            pid,
+                            format!("census failed: shard {shard} unreachable"),
+                        ),
+                        // A lost transfer leg skips that key: the
+                        // cutover still happens, the key re-warms on
+                        // first miss. Losing warmth beats losing the
+                        // membership change.
+                        Role::Fetch(_) | Role::Push(_) => self.transfer_leg_done(pid, false),
+                        _ => {}
+                    }
+                }
+                self.settle_attempt(pid);
+            }
+            Pending::Fleet { collected, .. } => {
+                collected.push((shard, None));
+                self.finalize_fleet_if_ready(pid);
+                self.settle_attempt(pid);
+            }
         }
     }
 
@@ -979,6 +1265,225 @@ impl GatewayLoop {
             FanKind::Shutdown => Response::ShutdownOk,
         };
         self.answer_client(client, client_gen, pid, &resp);
+    }
+
+    // ---- rebalance state machine ----------------------------------------
+
+    /// A census leg answered. When the last one lands the op plans its
+    /// moves against the still-routing old ring and enters the transfer
+    /// phase; a refusal aborts the whole op.
+    fn on_census_response(&mut self, pid: usize, shard: u64, resp: Response) {
+        let Some(op) = self.admin.as_mut().filter(|op| op.pid == pid) else {
+            return;
+        };
+        match resp {
+            Response::Keys(keys) => {
+                op.census.push((shard, keys));
+                op.census_outstanding -= 1;
+                if op.census_outstanding == 0 {
+                    op.moves = plan_moves(&op.census, &self.ring, &op.new_ring);
+                    op.census = Vec::new();
+                    self.pump_transfers(pid);
+                    self.maybe_finish_rebalance(pid);
+                }
+            }
+            _ => self.abort_rebalance(pid, format!("census refused by shard {shard}")),
+        }
+    }
+
+    /// Keep up to [`TRANSFER_WINDOW`] fetch→push chains in flight.
+    fn pump_transfers(&mut self, pid: usize) {
+        loop {
+            let Some(op) = self.admin.as_mut().filter(|op| op.pid == pid) else {
+                return;
+            };
+            if op.in_flight >= TRANSFER_WINDOW || op.next_move >= op.moves.len() {
+                return;
+            }
+            let m = op.moves[op.next_move];
+            let i = op.next_move;
+            op.next_move += 1;
+            op.in_flight += 1;
+            let raw = proto::encode_request(&Request::Result(m.key));
+            self.issue_raw(m.from, raw, pid, Role::Fetch(i));
+        }
+    }
+
+    /// The fetch half of chain *i* answered: forward the measurement to
+    /// its new primary, or skip the key if the source no longer has it.
+    fn on_fetch_response(&mut self, pid: usize, i: usize, resp: Response) {
+        let Some(op) = self.admin.as_mut().filter(|op| op.pid == pid) else {
+            return;
+        };
+        match resp {
+            Response::Result(Some(measurement)) => {
+                let m = op.moves[i];
+                let raw = proto::encode_request(&Request::Put {
+                    key: m.key,
+                    measurement,
+                });
+                op.bytes += raw.len() as u64;
+                // the chain continues as its push leg; `in_flight`
+                // hands over unchanged
+                self.issue_raw(m.to, raw, pid, Role::Push(i));
+            }
+            _ => self.transfer_leg_done(pid, false),
+        }
+    }
+
+    /// The push half of chain *i* answered.
+    fn on_push_response(&mut self, pid: usize, _i: usize, resp: Response) {
+        self.transfer_leg_done(pid, matches!(resp, Response::PutOk));
+    }
+
+    /// One fetch→push chain retired (landed, skipped, or lost a leg);
+    /// refill the window and cut over once the last chain retires.
+    fn transfer_leg_done(&mut self, pid: usize, moved: bool) {
+        let Some(op) = self.admin.as_mut().filter(|op| op.pid == pid) else {
+            return;
+        };
+        op.in_flight -= 1;
+        if moved {
+            op.keys_moved += 1;
+        } else {
+            op.skipped += 1;
+        }
+        self.pump_transfers(pid);
+        self.maybe_finish_rebalance(pid);
+    }
+
+    fn maybe_finish_rebalance(&mut self, pid: usize) {
+        let finished = self
+            .admin
+            .as_ref()
+            .filter(|op| op.pid == pid)
+            .is_some_and(|op| {
+                op.census_outstanding == 0 && op.next_move >= op.moves.len() && op.in_flight == 0
+            });
+        if finished {
+            self.finish_rebalance(pid);
+        }
+    }
+
+    /// Phase 3, the cutover: every moved key has landed, so swapping
+    /// the routing ring is loss-free. This is the *only* place the ring
+    /// changes, and it is a plain field assignment — atomic with
+    /// respect to every other event the single-threaded loop handles.
+    fn finish_rebalance(&mut self, pid: usize) {
+        if self.admin.as_ref().is_none_or(|op| op.pid != pid) {
+            return;
+        }
+        let op = self.admin.take().expect("checked above");
+        let ms = op.started.elapsed().as_millis() as u64;
+        self.ring = op.new_ring;
+        self.ring_version += 1;
+        if let Some(id) = op.drain {
+            if !self.drained.contains(&id) {
+                self.drained.push(id);
+            }
+        }
+        self.metrics.rebalance_keys_moved.add(op.keys_moved);
+        self.metrics.rebalance_bytes.add(op.bytes);
+        self.metrics.rebalance_ms.add(ms);
+        let report = RebalanceReport {
+            keys_moved: op.keys_moved,
+            bytes: op.bytes,
+            ms,
+            skipped: op.skipped,
+            ring: self.ring.shard_ids().to_vec(),
+        };
+        let (client, client_gen) = match self.pendings.get_mut(pid).and_then(Option::as_mut) {
+            Some(Pending::Admin {
+                client,
+                client_gen,
+                done,
+                ..
+            }) => {
+                *done = true;
+                (*client, *client_gen)
+            }
+            _ => return,
+        };
+        self.answer_client(
+            client,
+            client_gen,
+            pid,
+            &Response::Admin(AdminResponse::Rebalanced(report)),
+        );
+    }
+
+    /// Abandon the op with the old ring fully intact, undoing the
+    /// speculative address-book/drained-list edits a join made.
+    fn abort_rebalance(&mut self, pid: usize, msg: String) {
+        if self.admin.as_ref().is_none_or(|op| op.pid != pid) {
+            return;
+        }
+        let op = self.admin.take().expect("checked above");
+        if let Some((id, prev)) = op.join_rollback {
+            match prev {
+                Some(addr) => {
+                    self.addrs.insert(id, addr);
+                }
+                None => {
+                    self.addrs.remove(&id);
+                }
+            }
+        }
+        if let Some(id) = op.drained_rollback {
+            if !self.drained.contains(&id) {
+                self.drained.push(id);
+            }
+        }
+        let (client, client_gen) = match self.pendings.get_mut(pid).and_then(Option::as_mut) {
+            Some(Pending::Admin {
+                client,
+                client_gen,
+                done,
+                ..
+            }) => {
+                *done = true;
+                (*client, *client_gen)
+            }
+            _ => return,
+        };
+        self.answer_client(client, client_gen, pid, &admin_err(&msg));
+    }
+
+    /// When the last fleet-status census leg has reported
+    /// (`outstanding == 1`: the caller settles after us), assemble the
+    /// typed fleet view.
+    fn finalize_fleet_if_ready(&mut self, pid: usize) {
+        let (client, client_gen, collected) =
+            match self.pendings.get_mut(pid).and_then(Option::as_mut) {
+                Some(Pending::Fleet {
+                    client,
+                    client_gen,
+                    collected,
+                    outstanding,
+                }) if *outstanding == 1 => (*client, *client_gen, std::mem::take(collected)),
+                _ => return,
+            };
+        let mut shards: Vec<ShardInfo> = collected
+            .into_iter()
+            .map(|(id, keys)| ShardInfo {
+                id,
+                addr: self.addrs.get(&id).cloned().unwrap_or_default(),
+                in_ring: self.ring.shard_ids().contains(&id),
+                reachable: keys.is_some(),
+                keys: keys.unwrap_or(0),
+            })
+            .collect();
+        shards.sort_unstable_by_key(|s| s.id);
+        let status = FleetStatus {
+            version: self.ring_version,
+            shards,
+        };
+        self.answer_client(
+            client,
+            client_gen,
+            pid,
+            &Response::Admin(AdminResponse::Status(status)),
+        );
     }
 
     /// Per-sweep hedge timer: any submit still unanswered past the

@@ -11,9 +11,14 @@
 //! * [`merge`] — fleet views: per-shard [`ServeStats`] summed, metrics
 //!   snapshots merged into `shard<id>.` / `fleet.` / `gateway.`
 //!   sections that `epicc top --cluster` renders directly.
+//! * [`rebalance`] — membership-change planning: given a census of
+//!   which shards hold which keys, the exact set of [`KeyMove`]s that
+//!   makes a new ring as warm as the old one.
 //! * [`gateway`] — the `epicg` event loop: routes by key, hedges slow
 //!   submits to the replica, fails over past dead shards, replicates
-//!   fresh results, and fans out `stats`/`metrics`/`shutdown`.
+//!   fresh results, fans out `stats`/`metrics`/`shutdown`, and runs
+//!   the typed admin control plane (`fleet-status`/`join`/`drain`)
+//!   with warm-before-cutover rebalancing.
 //!
 //! Everything speaks the existing length-prefixed frame protocol
 //! ([`epic_serve::proto`]) on both faces, so a gateway is
@@ -25,8 +30,10 @@
 
 pub mod gateway;
 pub mod merge;
+pub mod rebalance;
 pub mod ring;
 
 pub use gateway::{gate, GatewayConfig, GatewayHandle};
 pub use merge::{merge_metrics, merge_stats};
+pub use rebalance::{plan_moves, KeyMove};
 pub use ring::{Ring, Route};

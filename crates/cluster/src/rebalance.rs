@@ -1,0 +1,160 @@
+//! Rebalance planning: the exact key diff between two rings.
+//!
+//! A membership change (join or drain) moves every key whose *primary*
+//! shard differs between the old and new ring — rendezvous hashing
+//! guarantees that set is minimal, but somebody still has to walk it.
+//! [`plan_moves`] computes that walk from a census of which shards
+//! currently hold which keys: one [`KeyMove`] per relocated key, source
+//! chosen from the shards that actually hold a copy. The gateway
+//! executes the plan (fetch from source, idempotent `Put` to
+//! destination) and only swaps its routing ring once every move has
+//! landed — warm-before-cutover. See DESIGN.md §15.
+
+use std::collections::BTreeMap;
+
+use crate::ring::Ring;
+use epic_serve::CacheKey;
+
+/// One key relocation in a rebalance plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyMove {
+    /// The cached result being moved.
+    pub key: CacheKey,
+    /// Shard to fetch the artifact from (holds a copy today).
+    pub from: u64,
+    /// New primary under the post-change ring; receives a `Put`.
+    pub to: u64,
+}
+
+/// Compute the moves required to make `new` as warm as `old`.
+///
+/// `census` maps each reachable shard id to the keys it currently
+/// holds (memory or disk). The plan contains exactly one move for each
+/// distinct censused key whose primary changes from `old` to `new` —
+/// no more (stable keys stay put; replica churn is ignored, the
+/// background replication path re-warms replicas organically) and no
+/// less (a key the destination already holds is still pushed: `Put` is
+/// idempotent, and "exactly the keys whose primary changed" is the
+/// contract the property tests pin).
+///
+/// The source is the old primary when it holds a copy (the common
+/// case), otherwise the smallest-id holder — deterministic either way,
+/// so plans are reproducible. Keys are emitted in `(hi, lo)` order.
+pub fn plan_moves(census: &[(u64, Vec<CacheKey>)], old: &Ring, new: &Ring) -> Vec<KeyMove> {
+    // key -> sorted holder ids. BTreeMap keeps the output ordering
+    // deterministic without a second sort pass.
+    let mut holders: BTreeMap<(u64, u64), Vec<u64>> = BTreeMap::new();
+    for (shard, keys) in census {
+        for k in keys {
+            let ids = holders.entry((k.hi, k.lo)).or_default();
+            if !ids.contains(shard) {
+                ids.push(*shard);
+            }
+        }
+    }
+    let mut moves = Vec::new();
+    for ((hi, lo), mut ids) in holders {
+        let key = CacheKey { hi, lo };
+        let (Some(old_primary), Some(new_primary)) = (old.primary(key), new.primary(key)) else {
+            continue;
+        };
+        if old_primary == new_primary {
+            continue;
+        }
+        ids.sort_unstable();
+        let from = if ids.contains(&old_primary) {
+            old_primary
+        } else {
+            match ids.first() {
+                Some(&id) => id,
+                // Censused map entries always have at least one holder,
+                // but don't panic the gateway over an impossible state.
+                None => continue,
+            }
+        };
+        moves.push(KeyMove {
+            key,
+            from,
+            to: new_primary,
+        });
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            hi: n.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            lo: n,
+        }
+    }
+
+    #[test]
+    fn stable_keys_do_not_move() {
+        let old = Ring::new(&[1, 2, 3]);
+        let mut new = old.clone();
+        new.join(4);
+        let keys: Vec<CacheKey> = (0..256).map(key).collect();
+        let census: Vec<(u64, Vec<CacheKey>)> = old
+            .shard_ids()
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    keys.iter()
+                        .copied()
+                        .filter(|&k| old.primary(k) == Some(s))
+                        .collect(),
+                )
+            })
+            .collect();
+        let moves = plan_moves(&census, &old, &new);
+        for m in &moves {
+            assert_eq!(old.primary(m.key).unwrap(), m.from);
+            assert_eq!(new.primary(m.key), Some(m.to));
+            assert_ne!(m.from, m.to);
+        }
+        // Exactly the keys whose primary changed, nothing else.
+        let changed = keys
+            .iter()
+            .filter(|&&k| old.primary(k) != new.primary(k))
+            .count();
+        assert_eq!(moves.len(), changed);
+    }
+
+    #[test]
+    fn source_falls_back_to_any_holder() {
+        let old = Ring::new(&[1, 2]);
+        let mut new = old.clone();
+        new.leave(1);
+        // Key primaried on 1 under `old`, but only shard 2 holds it
+        // (e.g. it was replicated and shard 1 lost its disk).
+        let k = (0..).map(key).find(|&k| old.primary(k) == Some(1)).unwrap();
+        let census = vec![(2u64, vec![k])];
+        let moves = plan_moves(&census, &old, &new);
+        assert_eq!(
+            moves,
+            vec![KeyMove {
+                key: k,
+                from: 2,
+                to: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn duplicate_holders_yield_one_move() {
+        let old = Ring::new(&[1, 2, 3]);
+        let mut new = old.clone();
+        new.leave(3);
+        let k = (0..).map(key).find(|&k| old.primary(k) == Some(3)).unwrap();
+        let census = vec![(3u64, vec![k, k]), (1u64, vec![k])];
+        let moves = plan_moves(&census, &old, &new);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].from, 3);
+        assert_eq!(Some(moves[0].to), new.primary(k));
+    }
+}

@@ -268,6 +268,179 @@ fn a_submit_with_every_shard_dead_errors_instead_of_hanging() {
 }
 
 #[test]
+fn drain_and_join_cut_over_warm_under_concurrent_traffic() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let (mut s1, _st1) = instant_shard(1);
+    let (mut s2, _st2) = instant_shard(2);
+    let (mut s3, _st3) = instant_shard(3);
+    let shards = vec![
+        (1, s1.addr().to_string()),
+        (2, s2.addr().to_string()),
+        (3, s3.addr().to_string()),
+    ];
+    // hedging off: this test is about membership cutover, and warm-hit
+    // accounting must not be muddied by duplicate attempts
+    let cfg = GatewayConfig {
+        hedge_after: Duration::from_secs(600),
+        ..GatewayConfig::default()
+    };
+    let mut gw = gate("127.0.0.1:0", &shards, cfg).unwrap();
+    let gw_addr = gw.addr().to_string();
+    let mut client = Client::connect(&gw_addr).unwrap();
+
+    // warm the full matrix through the gateway and pin every cell's bytes
+    let specs = matrix_specs();
+    let mut digests = Vec::new();
+    for spec in &specs {
+        let served = client.submit(spec, Priority::Normal, 0).unwrap();
+        digests.push(digest(&served.measurement));
+    }
+
+    // a second client sweeps the matrix continuously across both
+    // cutovers; any error or changed byte is a test failure
+    let stop = Arc::new(AtomicBool::new(false));
+    let sweeps = Arc::new(AtomicU64::new(0));
+    let sweeper = {
+        let (stop, sweeps) = (Arc::clone(&stop), Arc::clone(&sweeps));
+        let (specs, digests, addr) = (specs.clone(), digests.clone(), gw_addr.clone());
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            while !stop.load(Ordering::Relaxed) {
+                for (spec, d) in specs.iter().zip(&digests) {
+                    let served = c
+                        .submit(spec, Priority::Normal, 0)
+                        .expect("cutover must be invisible to concurrent traffic");
+                    assert_eq!(digest(&served.measurement), *d, "bytes changed mid-cutover");
+                }
+                sweeps.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+
+    // drain shard 1: its keys must be pushed to their new primaries
+    // before the ring swaps
+    let old_ring = Ring::new(&[1, 2, 3]);
+    let report = client.cluster_drain(1).unwrap();
+    assert_eq!(report.ring, vec![2, 3]);
+    let shard1_keys = specs
+        .iter()
+        .filter(|s| old_ring.primary(s.job_key()) == Some(1))
+        .count() as u64;
+    assert_eq!(
+        report.keys_moved, shard1_keys,
+        "a drain moves exactly the drained shard's primaries"
+    );
+    assert_eq!(report.skipped, 0, "every shard is alive; nothing may skip");
+
+    // the typed fleet view reflects the cutover: shard 1 is out of the
+    // ring but still reachable (old-ring traffic, shutdown fanout)
+    let fs = client.fleet_status().unwrap();
+    assert_eq!(fs.version, 2);
+    let info1 = fs.shards.iter().find(|s| s.id == 1).unwrap();
+    assert!(!info1.in_ring && info1.reachable);
+    let in_ring: Vec<u64> = fs
+        .shards
+        .iter()
+        .filter(|s| s.in_ring)
+        .map(|s| s.id)
+        .collect();
+    assert_eq!(in_ring, vec![2, 3]);
+
+    // join a cold shard 4: it must come up warm
+    let (mut s4, store4) = instant_shard(4);
+    let report = client.cluster_join(4, &s4.addr().to_string()).unwrap();
+    assert_eq!(report.ring, vec![2, 3, 4]);
+    let (ring23, ring234) = (Ring::new(&[2, 3]), Ring::new(&[2, 3, 4]));
+    let expected_moves = specs
+        .iter()
+        .filter(|s| ring23.primary(s.job_key()) != ring234.primary(s.job_key()))
+        .count() as u64;
+    assert_eq!(report.keys_moved, expected_moves);
+    assert!(
+        report.keys_moved > 0,
+        "the joiner won nothing from 48 cells"
+    );
+    assert!(report.bytes > 0);
+    for spec in &specs {
+        let key = spec.job_key();
+        if ring234.primary(key) == Some(4) {
+            assert!(
+                store4.lookup(key).is_some(),
+                "joined shard must hold its keys before the cutover"
+            );
+        }
+    }
+
+    // make sure at least one full sweep ran strictly after the drain
+    // started, then stop the sweeper; a panic inside it fails the join
+    let t0 = Instant::now();
+    let target = sweeps.load(Ordering::Relaxed) + 1;
+    while sweeps.load(Ordering::Relaxed) < target {
+        assert!(t0.elapsed() < Duration::from_secs(30), "sweeper stalled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::Relaxed);
+    sweeper
+        .join()
+        .expect("concurrent sweeper saw an error or wrong bytes");
+
+    // zero warm-cache loss: the post-cutover sweep is 48/48 cache hits
+    // with byte-identical cells, and nothing anywhere re-ran
+    for (spec, d) in specs.iter().zip(&digests) {
+        let served = client.submit(spec, Priority::Normal, 0).unwrap();
+        assert!(served.cache_hit, "cell went cold across the cutover");
+        assert_eq!(digest(&served.measurement), *d);
+    }
+    let total_runs = s1.stats().sched.jobs_run
+        + s2.stats().sched.jobs_run
+        + s3.stats().sched.jobs_run
+        + s4.stats().sched.jobs_run;
+    assert_eq!(total_runs, 48, "a warm cutover must not recompute cells");
+
+    // protocol shutdown reaches the whole fleet — the drained shard too
+    client.shutdown().unwrap();
+    s1.wait();
+    s2.wait();
+    s3.wait();
+    s4.wait();
+    gw.wait();
+}
+
+#[test]
+fn admin_verbs_validate_membership_and_refuse_bad_ops() {
+    let (mut s1, _st1) = instant_shard(1);
+    let (mut s2, _st2) = instant_shard(2);
+    let shards = vec![(1, s1.addr().to_string()), (2, s2.addr().to_string())];
+    let mut gw = gate("127.0.0.1:0", &shards, GatewayConfig::default()).unwrap();
+    let mut client = Client::connect(&gw.addr().to_string()).unwrap();
+
+    // joining an existing member is refused
+    let err = client.cluster_join(1, &s1.addr().to_string()).unwrap_err();
+    assert!(err.to_string().contains("already in the ring"), "{err}");
+    // draining a stranger is refused
+    let err = client.cluster_drain(9).unwrap_err();
+    assert!(err.to_string().contains("not in the ring"), "{err}");
+    // the fleet must never drain to nothing
+    client.cluster_drain(1).unwrap();
+    let err = client.cluster_drain(2).unwrap_err();
+    assert!(err.to_string().contains("last shard"), "{err}");
+    // the ring survived every refusal
+    let fs = client.fleet_status().unwrap();
+    let in_ring: Vec<u64> = fs
+        .shards
+        .iter()
+        .filter(|s| s.in_ring)
+        .map(|s| s.id)
+        .collect();
+    assert_eq!(in_ring, vec![2]);
+
+    gw.stop();
+    s1.stop();
+    s2.stop();
+}
+
+#[test]
 fn shutdown_through_the_gateway_stops_the_whole_fleet() {
     let (mut s1, _st1) = instant_shard(1);
     let (mut s2, _st2) = instant_shard(2);

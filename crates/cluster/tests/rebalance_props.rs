@@ -1,0 +1,157 @@
+//! Rebalance-plan properties under random membership churn.
+//!
+//! The gateway's warm-before-cutover machinery rests on one claim: for
+//! any membership change, [`plan_moves`] relocates **exactly** the keys
+//! whose primary shard changes, and replaying the plan (idempotent
+//! `put`s of each moved key onto its new primary) leaves every key
+//! resident on its new-ring primary — i.e. the fleet is exactly as
+//! warm as if it had been built on the new ring from scratch.
+//!
+//! This test drives that claim through random join/leave sequences
+//! over the real matrix key population, maintaining a model of
+//! per-shard key holdings (copies are added by moves, never deleted —
+//! matching the store, where `put` writes and drain deletes nothing).
+
+use epic_cluster::{plan_moves, Ring};
+use epic_driver::OptLevel;
+use epic_serve::key::{CacheKey, JobSpec};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Matrix keys plus `sim_fuel` variants, as in `ring_props`: 768
+/// distinct job keys.
+fn matrix_keys() -> Vec<CacheKey> {
+    let mut keys = Vec::new();
+    for w in epic_workloads::all() {
+        for level in OptLevel::ALL {
+            let base = JobSpec::for_workload(&w, level);
+            for v in 0..16u64 {
+                let mut spec = base.clone();
+                spec.sim_fuel = 1_000_000 + v * 250_000;
+                keys.push(spec.job_key());
+            }
+        }
+    }
+    keys.sort_unstable_by_key(|k| (k.hi, k.lo));
+    keys.dedup();
+    keys
+}
+
+/// Deterministic splitmix64 — membership choices must be reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+type KeyBits = (u64, u64);
+
+fn bits(k: CacheKey) -> KeyBits {
+    (k.hi, k.lo)
+}
+
+#[test]
+fn random_churn_plans_exact_diffs_and_replay_rewarms_every_primary() {
+    let keys = matrix_keys();
+    assert!(keys.len() >= 500, "population too small");
+    let mut rng = Rng(0x5eed_cafe);
+    for trial in 0..6u64 {
+        let mut ring = Ring::new(&[1, 2, 3]);
+        // Fresh-ring placement: every key on its primary, nothing else.
+        let mut holdings: BTreeMap<u64, BTreeSet<KeyBits>> = BTreeMap::new();
+        for &k in &keys {
+            holdings
+                .entry(ring.primary(k).unwrap())
+                .or_default()
+                .insert(bits(k));
+        }
+        let mut next_id = 4u64;
+        for step in 0..10u64 {
+            // Random membership change; drains stop at a 1-shard ring,
+            // exactly as the gateway refuses to drain the last shard.
+            let join = ring.len() <= 1 || rng.next() % 2 == 0;
+            let mut new_ring = ring.clone();
+            if join {
+                new_ring.join(next_id);
+                next_id += 1;
+            } else {
+                let ids = ring.shard_ids();
+                new_ring.leave(ids[rng.next() as usize % ids.len()]);
+            }
+
+            // Census exactly what the gateway censuses: the holdings of
+            // old-ring members (a long-drained shard is not consulted).
+            let census: Vec<(u64, Vec<CacheKey>)> = ring
+                .shard_ids()
+                .iter()
+                .map(|id| {
+                    (
+                        *id,
+                        holdings
+                            .get(id)
+                            .into_iter()
+                            .flatten()
+                            .map(|&(hi, lo)| CacheKey { hi, lo })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let plan = plan_moves(&census, &ring, &new_ring);
+
+            // Property 1: the plan is the exact primary diff — every
+            // key whose primary changed, and nothing else.
+            let changed: BTreeSet<KeyBits> = keys
+                .iter()
+                .filter(|&&k| ring.primary(k) != new_ring.primary(k))
+                .map(|&k| bits(k))
+                .collect();
+            let planned: BTreeSet<KeyBits> = plan.iter().map(|m| bits(m.key)).collect();
+            assert_eq!(
+                planned,
+                changed,
+                "trial {trial} step {step}: plan is not the exact primary diff \
+                 ({} planned vs {} changed)",
+                planned.len(),
+                changed.len()
+            );
+            assert_eq!(plan.len(), planned.len(), "duplicate moves in plan");
+
+            // Property 2: every move is executable — the source really
+            // holds the key, the destination is the new primary.
+            for m in &plan {
+                assert!(
+                    holdings
+                        .get(&m.from)
+                        .is_some_and(|h| h.contains(&bits(m.key))),
+                    "trial {trial} step {step}: source {} does not hold the key",
+                    m.from
+                );
+                assert_eq!(new_ring.primary(m.key), Some(m.to));
+            }
+
+            // Replay: each move is an idempotent put onto the new
+            // primary; nobody deletes anything.
+            for m in &plan {
+                holdings.entry(m.to).or_default().insert(bits(m.key));
+            }
+            ring = new_ring;
+
+            // Property 3: post-cutover the fleet is as warm as a fresh
+            // ring — every key resident on its new primary.
+            for &k in &keys {
+                let p = ring.primary(k).unwrap();
+                assert!(
+                    holdings.get(&p).is_some_and(|h| h.contains(&bits(k))),
+                    "trial {trial} step {step}: key {:016x}{:016x} cold on new primary {p}",
+                    k.hi,
+                    k.lo
+                );
+            }
+        }
+    }
+}

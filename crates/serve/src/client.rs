@@ -2,7 +2,9 @@
 //! `epicc serve`/`epicc submit` (and the CI smoke test) drive.
 
 use crate::key::{CacheKey, JobSpec};
-use crate::proto::{self, Request, Response, ServeStats};
+use crate::proto::{
+    self, AdminRequest, AdminResponse, FleetStatus, RebalanceReport, Request, Response, ServeStats,
+};
 use crate::sched::{JobStatus, Priority};
 use epic_driver::Measurement;
 use epic_trace::MetricsSnapshot;
@@ -253,6 +255,69 @@ impl Client {
     pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Enumerate every key the server's store holds (memory + disk).
+    ///
+    /// # Errors
+    /// Transport/protocol errors.
+    pub fn keys(&mut self) -> Result<Vec<CacheKey>, ClientError> {
+        match self.roundtrip(&Request::Keys)? {
+            Response::Keys(keys) => Ok(keys),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Issue a typed control-plane request (gateway only; plain shards
+    /// refuse with [`ClientError::Server`]).
+    ///
+    /// # Errors
+    /// Transport/protocol errors, or a shard-side refusal.
+    pub fn admin(&mut self, req: &AdminRequest) -> Result<AdminResponse, ClientError> {
+        match self.roundtrip(&Request::Admin(req.clone()))? {
+            Response::Admin(a) => Ok(a),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Describe the fleet behind a gateway.
+    ///
+    /// # Errors
+    /// Transport/protocol errors, or a typed admin refusal.
+    pub fn fleet_status(&mut self) -> Result<FleetStatus, ClientError> {
+        match self.admin(&AdminRequest::FleetStatus)? {
+            AdminResponse::Status(s) => Ok(s),
+            AdminResponse::Err(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Join `id` at `addr` into the fleet: warm it, then cut over.
+    ///
+    /// # Errors
+    /// Transport/protocol errors, or a typed admin refusal.
+    pub fn cluster_join(&mut self, id: u64, addr: &str) -> Result<RebalanceReport, ClientError> {
+        match self.admin(&AdminRequest::Join {
+            id,
+            addr: addr.to_string(),
+        })? {
+            AdminResponse::Rebalanced(r) => Ok(r),
+            AdminResponse::Err(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Drain `id` out of the fleet: warm its keys' new owners, then cut
+    /// over.
+    ///
+    /// # Errors
+    /// Transport/protocol errors, or a typed admin refusal.
+    pub fn cluster_drain(&mut self, id: u64) -> Result<RebalanceReport, ClientError> {
+        match self.admin(&AdminRequest::Drain { id })? {
+            AdminResponse::Rebalanced(r) => Ok(r),
+            AdminResponse::Err(msg) => Err(ClientError::Server(msg)),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

@@ -55,7 +55,10 @@ pub mod testutil;
 pub use client::{Client, ClientError, RetryPolicy, Served, Swarm};
 pub use codec::{digest, CodecError};
 pub use key::{CacheKey, JobSpec};
-pub use proto::{FrameDecoder, FrameError, FrameEvent, ServeStats};
+pub use proto::{
+    AdminRequest, AdminResponse, FleetStatus, FrameDecoder, FrameError, FrameEvent,
+    RebalanceReport, RespTag, ServeStats, ShardInfo, Verb, ADMIN_VERSION,
+};
 pub use sched::{JobError, JobRunner, JobStatus, Priority, SchedStats, Scheduler, SubmitError};
 pub use server::{serve, serve_with, ServerConfig, ServerHandle};
 pub use store::{ArtifactStore, StoreStats};

@@ -8,10 +8,17 @@
 //! response := tag:u8  payload
 //! ```
 //!
-//! Verbs: `Submit` (a full [`JobSpec`] plus priority/deadline), `Status`
-//! and `Result` (a [`CacheKey`]), `Stats`, `Shutdown`. Responses carry
+//! Every request verb and response tag is a member of the typed
+//! [`Verb`] / [`RespTag`] enums — the numeric wire byte is pinned by
+//! the enum discriminant and by a golden-frame test, so frames written
+//! by a pre-redesign client still decode byte-for-byte. Responses carry
 //! either the requested data, a typed [`Response::Busy`] (load shed — the
 //! client sees backpressure, not a hang), or an error string.
+//!
+//! The `Admin` verb is versioned: its payload opens with
+//! [`ADMIN_VERSION`], so the control plane can evolve without burning a
+//! new wire byte per revision — decoders reject versions they don't
+//! know instead of misparsing them.
 //!
 //! The frame length is capped at [`MAX_FRAME`] so a corrupt or hostile
 //! length prefix cannot trigger an unbounded allocation.
@@ -32,6 +39,188 @@ use std::io::{Read, Write};
 /// Hard ceiling on one frame's body (16 MiB — a full measurement for
 /// the largest workload is a few hundred KiB).
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// Request verbs, pinned to their wire bytes. The discriminant IS the
+/// protocol: existing verbs never renumber (the golden-frame test holds
+/// legacy encodings against this table), new verbs only append.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Verb {
+    /// Run (or fetch) a job.
+    Submit = 1,
+    /// Query a key's status.
+    Status = 2,
+    /// Fetch a stored result.
+    Result = 3,
+    /// Server + store + scheduler counters.
+    Stats = 4,
+    /// Stop the server.
+    Shutdown = 5,
+    /// Full metrics-registry snapshot.
+    Metrics = 6,
+    /// Store a finished measurement (warm-cache replication).
+    Put = 7,
+    /// Enumerate every key the shard's store holds.
+    Keys = 8,
+    /// Versioned control-plane envelope ([`AdminRequest`]).
+    Admin = 9,
+}
+
+impl Verb {
+    /// The wire byte.
+    pub fn wire(self) -> u8 {
+        self as u8
+    }
+
+    /// The verb assigned to a wire byte, `None` if unassigned.
+    pub fn from_wire(b: u8) -> Option<Verb> {
+        Some(match b {
+            1 => Verb::Submit,
+            2 => Verb::Status,
+            3 => Verb::Result,
+            4 => Verb::Stats,
+            5 => Verb::Shutdown,
+            6 => Verb::Metrics,
+            7 => Verb::Put,
+            8 => Verb::Keys,
+            9 => Verb::Admin,
+            _ => return None,
+        })
+    }
+}
+
+/// Response tags, pinned to their wire bytes exactly like [`Verb`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RespTag {
+    /// Error string.
+    Err = 0,
+    /// Finished submit.
+    Done = 1,
+    /// Status answer.
+    Status = 2,
+    /// Stored-result answer.
+    Result = 3,
+    /// Stats answer.
+    Stats = 4,
+    /// Typed backpressure.
+    Busy = 5,
+    /// Shutdown acknowledged.
+    ShutdownOk = 6,
+    /// Metrics answer.
+    Metrics = 7,
+    /// Replicate-put acknowledged.
+    PutOk = 8,
+    /// Key-census answer.
+    Keys = 9,
+    /// Versioned control-plane envelope ([`AdminResponse`]).
+    Admin = 10,
+}
+
+impl RespTag {
+    /// The wire byte.
+    pub fn wire(self) -> u8 {
+        self as u8
+    }
+
+    /// The tag assigned to a wire byte, `None` if unassigned.
+    pub fn from_wire(b: u8) -> Option<RespTag> {
+        Some(match b {
+            0 => RespTag::Err,
+            1 => RespTag::Done,
+            2 => RespTag::Status,
+            3 => RespTag::Result,
+            4 => RespTag::Stats,
+            5 => RespTag::Busy,
+            6 => RespTag::ShutdownOk,
+            7 => RespTag::Metrics,
+            8 => RespTag::PutOk,
+            9 => RespTag::Keys,
+            10 => RespTag::Admin,
+            _ => return None,
+        })
+    }
+}
+
+/// Version byte opening every `Admin` payload. Bump on any layout
+/// change to [`AdminRequest`] / [`AdminResponse`]; decoders reject
+/// versions they don't know.
+pub const ADMIN_VERSION: u8 = 1;
+
+/// A typed control-plane request (the [`Verb::Admin`] payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdminRequest {
+    /// Describe the fleet: ring membership plus a per-shard key census.
+    FleetStatus,
+    /// Add a shard: warm it with every key it will own, then cut the
+    /// routing ring over to it.
+    Join {
+        /// Stable identity of the joining shard.
+        id: u64,
+        /// Where it listens.
+        addr: String,
+    },
+    /// Remove a shard: warm its keys onto their next owners first, then
+    /// cut the routing ring over — zero warm-cache loss.
+    Drain {
+        /// The departing shard.
+        id: u64,
+    },
+}
+
+/// A typed control-plane response (the [`RespTag::Admin`] payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdminResponse {
+    /// Fleet description.
+    Status(FleetStatus),
+    /// A join/drain finished: what moved, and the ring after cutover.
+    Rebalanced(RebalanceReport),
+    /// The operation was refused or failed; the ring is unchanged.
+    Err(String),
+}
+
+/// One shard as the gateway sees it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Stable shard identity.
+    pub id: u64,
+    /// Listen address.
+    pub addr: String,
+    /// Member of the current routing ring (false: drained but still
+    /// known, e.g. for in-flight old-ring requests and shutdown fanout).
+    pub in_ring: bool,
+    /// The census probe reached it.
+    pub reachable: bool,
+    /// Keys its store reported holding.
+    pub keys: u64,
+}
+
+/// Fleet description: ring generation plus every shard the gateway
+/// knows about.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetStatus {
+    /// Monotonic ring generation — bumps on every cutover.
+    pub version: u64,
+    /// Known shards, id-sorted.
+    pub shards: Vec<ShardInfo>,
+}
+
+/// What a warm-before-cutover rebalance did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Cached results pushed to their new owners before the swap.
+    pub keys_moved: u64,
+    /// Measurement bytes transferred.
+    pub bytes: u64,
+    /// Wall time from admin dispatch to ring swap.
+    pub ms: u64,
+    /// Keys whose move was skipped (result vanished mid-flight or a
+    /// transfer leg failed) — routing still cut over; those keys simply
+    /// recompute cold on their new owner.
+    pub skipped: u64,
+    /// Ring membership after the cutover.
+    pub ring: Vec<u64>,
+}
 
 /// One client request.
 #[derive(Clone, Debug)]
@@ -62,6 +251,11 @@ pub enum Request {
         /// The measurement to store.
         measurement: Box<Measurement>,
     },
+    /// Enumerate every key the shard's store holds (memory + disk) —
+    /// the census a rebalance walks to compute what moves.
+    Keys,
+    /// Control-plane operation (gateway only; a plain epicd refuses).
+    Admin(AdminRequest),
     /// Stop the server (used by CI for a clean teardown).
     Shutdown,
 }
@@ -114,6 +308,10 @@ pub enum Response {
     },
     /// Replicate-put acknowledged.
     PutOk,
+    /// Key census: every key the shard's store holds.
+    Keys(Vec<CacheKey>),
+    /// Control-plane answer.
+    Admin(AdminResponse),
     /// Shutdown acknowledged.
     ShutdownOk,
 }
@@ -342,23 +540,112 @@ fn dec_sched_stats(d: &mut Dec) -> Result<SchedStats, CodecError> {
     })
 }
 
-const VERB_SUBMIT: u8 = 1;
-const VERB_STATUS: u8 = 2;
-const VERB_RESULT: u8 = 3;
-const VERB_STATS: u8 = 4;
-const VERB_SHUTDOWN: u8 = 5;
-const VERB_METRICS: u8 = 6;
-const VERB_PUT: u8 = 7;
+const ADMIN_REQ_STATUS: u8 = 0;
+const ADMIN_REQ_JOIN: u8 = 1;
+const ADMIN_REQ_DRAIN: u8 = 2;
 
-const RESP_ERR: u8 = 0;
-const RESP_DONE: u8 = 1;
-const RESP_STATUS: u8 = 2;
-const RESP_RESULT: u8 = 3;
-const RESP_STATS: u8 = 4;
-const RESP_BUSY: u8 = 5;
-const RESP_SHUTDOWN_OK: u8 = 6;
-const RESP_METRICS: u8 = 7;
-const RESP_PUT_OK: u8 = 8;
+const ADMIN_RESP_STATUS: u8 = 0;
+const ADMIN_RESP_REBALANCED: u8 = 1;
+const ADMIN_RESP_ERR: u8 = 2;
+
+fn enc_admin_request(e: &mut Enc, a: &AdminRequest) {
+    e.u8(ADMIN_VERSION);
+    match a {
+        AdminRequest::FleetStatus => e.u8(ADMIN_REQ_STATUS),
+        AdminRequest::Join { id, addr } => {
+            e.u8(ADMIN_REQ_JOIN);
+            e.u64(*id);
+            e.str(addr);
+        }
+        AdminRequest::Drain { id } => {
+            e.u8(ADMIN_REQ_DRAIN);
+            e.u64(*id);
+        }
+    }
+}
+
+fn dec_admin_version(d: &mut Dec) -> Result<(), CodecError> {
+    let v = d.u8()?;
+    if v != ADMIN_VERSION {
+        return Err(CodecError(format!(
+            "unsupported admin version {v} (speaking {ADMIN_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+fn dec_admin_request(d: &mut Dec) -> Result<AdminRequest, CodecError> {
+    dec_admin_version(d)?;
+    Ok(match d.u8()? {
+        ADMIN_REQ_STATUS => AdminRequest::FleetStatus,
+        ADMIN_REQ_JOIN => AdminRequest::Join {
+            id: d.u64()?,
+            addr: d.str()?,
+        },
+        ADMIN_REQ_DRAIN => AdminRequest::Drain { id: d.u64()? },
+        t => return Err(CodecError(format!("bad admin request tag {t}"))),
+    })
+}
+
+fn enc_admin_response(e: &mut Enc, a: &AdminResponse) {
+    e.u8(ADMIN_VERSION);
+    match a {
+        AdminResponse::Status(s) => {
+            e.u8(ADMIN_RESP_STATUS);
+            e.u64(s.version);
+            e.usize(s.shards.len());
+            for sh in &s.shards {
+                e.u64(sh.id);
+                e.str(&sh.addr);
+                e.bool(sh.in_ring);
+                e.bool(sh.reachable);
+                e.u64(sh.keys);
+            }
+        }
+        AdminResponse::Rebalanced(r) => {
+            e.u8(ADMIN_RESP_REBALANCED);
+            e.u64(r.keys_moved);
+            e.u64(r.bytes);
+            e.u64(r.ms);
+            e.u64(r.skipped);
+            e.u64s(&r.ring);
+        }
+        AdminResponse::Err(msg) => {
+            e.u8(ADMIN_RESP_ERR);
+            e.str(msg);
+        }
+    }
+}
+
+fn dec_admin_response(d: &mut Dec) -> Result<AdminResponse, CodecError> {
+    dec_admin_version(d)?;
+    Ok(match d.u8()? {
+        ADMIN_RESP_STATUS => {
+            let version = d.u64()?;
+            let n = d.usize()?;
+            let mut shards = Vec::with_capacity(n);
+            for _ in 0..n {
+                shards.push(ShardInfo {
+                    id: d.u64()?,
+                    addr: d.str()?,
+                    in_ring: d.bool()?,
+                    reachable: d.bool()?,
+                    keys: d.u64()?,
+                });
+            }
+            AdminResponse::Status(FleetStatus { version, shards })
+        }
+        ADMIN_RESP_REBALANCED => AdminResponse::Rebalanced(RebalanceReport {
+            keys_moved: d.u64()?,
+            bytes: d.u64()?,
+            ms: d.u64()?,
+            skipped: d.u64()?,
+            ring: d.u64s()?,
+        }),
+        ADMIN_RESP_ERR => AdminResponse::Err(d.str()?),
+        t => return Err(CodecError(format!("bad admin response tag {t}"))),
+    })
+}
 
 const METRIC_COUNTER: u8 = 0;
 const METRIC_GAUGE: u8 = 1;
@@ -427,37 +714,43 @@ pub fn encode_request(r: &Request) -> Vec<u8> {
     buf
 }
 
+/// The verb a request travels under.
+pub fn request_verb(r: &Request) -> Verb {
+    match r {
+        Request::Submit { .. } => Verb::Submit,
+        Request::Status(_) => Verb::Status,
+        Request::Result(_) => Verb::Result,
+        Request::Stats => Verb::Stats,
+        Request::Metrics => Verb::Metrics,
+        Request::Put { .. } => Verb::Put,
+        Request::Keys => Verb::Keys,
+        Request::Admin(_) => Verb::Admin,
+        Request::Shutdown => Verb::Shutdown,
+    }
+}
+
 /// [`encode_request`] into a reusable buffer: `buf` is cleared, its
 /// capacity kept, so steady-state encoding allocates nothing.
 pub fn encode_request_into(r: &Request, buf: &mut Vec<u8>) {
     let mut e = Enc::with_buf(std::mem::take(buf));
+    e.u8(request_verb(r).wire());
     match r {
         Request::Submit {
             spec,
             prio,
             deadline_ms,
         } => {
-            e.u8(VERB_SUBMIT);
             e.u8(prio.tag());
             e.u64(*deadline_ms);
             enc_spec(&mut e, spec);
         }
-        Request::Status(k) => {
-            e.u8(VERB_STATUS);
-            enc_key(&mut e, *k);
-        }
-        Request::Result(k) => {
-            e.u8(VERB_RESULT);
-            enc_key(&mut e, *k);
-        }
-        Request::Stats => e.u8(VERB_STATS),
-        Request::Metrics => e.u8(VERB_METRICS),
+        Request::Status(k) | Request::Result(k) => enc_key(&mut e, *k),
+        Request::Stats | Request::Metrics | Request::Keys | Request::Shutdown => {}
         Request::Put { key, measurement } => {
-            e.u8(VERB_PUT);
             enc_key(&mut e, *key);
             codec::encode_measurement_framed(&mut e, measurement);
         }
-        Request::Shutdown => e.u8(VERB_SHUTDOWN),
+        Request::Admin(a) => enc_admin_request(&mut e, a),
     }
     *buf = e.finish();
 }
@@ -468,8 +761,11 @@ pub fn encode_request_into(r: &Request, buf: &mut Vec<u8>) {
 /// Malformed or truncated payloads.
 pub fn decode_request(body: &[u8]) -> Result<Request, CodecError> {
     let mut d = Dec::new(body);
-    let r = match d.u8()? {
-        VERB_SUBMIT => {
+    let wire = d.u8()?;
+    let verb =
+        Verb::from_wire(wire).ok_or_else(|| CodecError(format!("unknown request verb {wire}")))?;
+    let r = match verb {
+        Verb::Submit => {
             let prio = Priority::from_tag(d.u8()?)
                 .ok_or_else(|| CodecError("bad priority tag".to_string()))?;
             let deadline_ms = d.u64()?;
@@ -479,11 +775,11 @@ pub fn decode_request(body: &[u8]) -> Result<Request, CodecError> {
                 deadline_ms,
             }
         }
-        VERB_STATUS => Request::Status(dec_key(&mut d)?),
-        VERB_RESULT => Request::Result(dec_key(&mut d)?),
-        VERB_STATS => Request::Stats,
-        VERB_METRICS => Request::Metrics,
-        VERB_PUT => {
+        Verb::Status => Request::Status(dec_key(&mut d)?),
+        Verb::Result => Request::Result(dec_key(&mut d)?),
+        Verb::Stats => Request::Stats,
+        Verb::Metrics => Request::Metrics,
+        Verb::Put => {
             let key = dec_key(&mut d)?;
             let m = codec::decode_measurement(&d.bytes()?)?;
             Request::Put {
@@ -491,8 +787,9 @@ pub fn decode_request(body: &[u8]) -> Result<Request, CodecError> {
                 measurement: Box::new(m),
             }
         }
-        VERB_SHUTDOWN => Request::Shutdown,
-        v => return Err(CodecError(format!("unknown request verb {v}"))),
+        Verb::Keys => Request::Keys,
+        Verb::Admin => Request::Admin(dec_admin_request(&mut d)?),
+        Verb::Shutdown => Request::Shutdown,
     };
     d.expect_end()?;
     Ok(r)
@@ -511,57 +808,64 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
 /// path does zero per-frame allocation at steady state.
 pub fn encode_response_into(r: &Response, buf: &mut Vec<u8>) {
     let mut e = Enc::with_buf(std::mem::take(buf));
+    e.u8(response_tag(r).wire());
     match r {
-        Response::Err(msg) => {
-            e.u8(RESP_ERR);
-            e.str(msg);
-        }
+        Response::Err(msg) => e.str(msg),
         Response::Done {
             key,
             cache_hit,
             coalesced,
             measurement,
         } => {
-            e.u8(RESP_DONE);
             enc_key(&mut e, *key);
             e.bool(*cache_hit);
             e.bool(*coalesced);
             codec::encode_measurement_framed(&mut e, measurement);
         }
-        Response::Status(s) => {
-            e.u8(RESP_STATUS);
-            e.u8(s.tag());
-        }
-        Response::Result(m) => {
-            e.u8(RESP_RESULT);
-            match m {
-                Some(m) => {
-                    e.bool(true);
-                    codec::encode_measurement_framed(&mut e, m);
-                }
-                None => e.bool(false),
+        Response::Status(s) => e.u8(s.tag()),
+        Response::Result(m) => match m {
+            Some(m) => {
+                e.bool(true);
+                codec::encode_measurement_framed(&mut e, m);
             }
-        }
+            None => e.bool(false),
+        },
         Response::Stats(s) => {
-            e.u8(RESP_STATS);
             enc_store_stats(&mut e, &s.store);
             enc_sched_stats(&mut e, &s.sched);
             e.u64(s.compiles);
             e.u64(s.sims);
             e.u64(s.shard_id);
         }
-        Response::Metrics(s) => {
-            e.u8(RESP_METRICS);
-            enc_metrics(&mut e, s);
+        Response::Metrics(s) => enc_metrics(&mut e, s),
+        Response::Busy { queue_depth } => e.u64(*queue_depth as u64),
+        Response::Keys(keys) => {
+            e.usize(keys.len());
+            for &k in keys {
+                enc_key(&mut e, k);
+            }
         }
-        Response::Busy { queue_depth } => {
-            e.u8(RESP_BUSY);
-            e.u64(*queue_depth as u64);
-        }
-        Response::PutOk => e.u8(RESP_PUT_OK),
-        Response::ShutdownOk => e.u8(RESP_SHUTDOWN_OK),
+        Response::Admin(a) => enc_admin_response(&mut e, a),
+        Response::PutOk | Response::ShutdownOk => {}
     }
     *buf = e.finish();
+}
+
+/// The tag a response travels under.
+pub fn response_tag(r: &Response) -> RespTag {
+    match r {
+        Response::Err(_) => RespTag::Err,
+        Response::Done { .. } => RespTag::Done,
+        Response::Status(_) => RespTag::Status,
+        Response::Result(_) => RespTag::Result,
+        Response::Stats(_) => RespTag::Stats,
+        Response::Metrics(_) => RespTag::Metrics,
+        Response::Busy { .. } => RespTag::Busy,
+        Response::PutOk => RespTag::PutOk,
+        Response::Keys(_) => RespTag::Keys,
+        Response::Admin(_) => RespTag::Admin,
+        Response::ShutdownOk => RespTag::ShutdownOk,
+    }
 }
 
 /// Decode a response frame body.
@@ -570,9 +874,12 @@ pub fn encode_response_into(r: &Response, buf: &mut Vec<u8>) {
 /// Malformed or truncated payloads.
 pub fn decode_response(body: &[u8]) -> Result<Response, CodecError> {
     let mut d = Dec::new(body);
-    let r = match d.u8()? {
-        RESP_ERR => Response::Err(d.str()?),
-        RESP_DONE => {
+    let wire = d.u8()?;
+    let tag = RespTag::from_wire(wire)
+        .ok_or_else(|| CodecError(format!("unknown response tag {wire}")))?;
+    let r = match tag {
+        RespTag::Err => Response::Err(d.str()?),
+        RespTag::Done => {
             let key = dec_key(&mut d)?;
             let cache_hit = d.bool()?;
             let coalesced = d.bool()?;
@@ -584,30 +891,38 @@ pub fn decode_response(body: &[u8]) -> Result<Response, CodecError> {
                 measurement: Box::new(m),
             }
         }
-        RESP_STATUS => Response::Status(
+        RespTag::Status => Response::Status(
             JobStatus::from_tag(d.u8()?).ok_or_else(|| CodecError("bad status tag".to_string()))?,
         ),
-        RESP_RESULT => {
+        RespTag::Result => {
             if d.bool()? {
                 Response::Result(Some(Box::new(codec::decode_measurement(&d.bytes()?)?)))
             } else {
                 Response::Result(None)
             }
         }
-        RESP_STATS => Response::Stats(ServeStats {
+        RespTag::Stats => Response::Stats(ServeStats {
             store: dec_store_stats(&mut d)?,
             sched: dec_sched_stats(&mut d)?,
             compiles: d.u64()?,
             sims: d.u64()?,
             shard_id: d.u64()?,
         }),
-        RESP_METRICS => Response::Metrics(dec_metrics(&mut d)?),
-        RESP_BUSY => Response::Busy {
+        RespTag::Metrics => Response::Metrics(dec_metrics(&mut d)?),
+        RespTag::Busy => Response::Busy {
             queue_depth: d.u64()? as usize,
         },
-        RESP_PUT_OK => Response::PutOk,
-        RESP_SHUTDOWN_OK => Response::ShutdownOk,
-        v => return Err(CodecError(format!("unknown response tag {v}"))),
+        RespTag::Keys => {
+            let n = d.usize()?;
+            let mut keys = Vec::with_capacity(n);
+            for _ in 0..n {
+                keys.push(dec_key(&mut d)?);
+            }
+            Response::Keys(keys)
+        }
+        RespTag::Admin => Response::Admin(dec_admin_response(&mut d)?),
+        RespTag::PutOk => Response::PutOk,
+        RespTag::ShutdownOk => Response::ShutdownOk,
     };
     d.expect_end()?;
     Ok(r)
@@ -882,6 +1197,13 @@ mod tests {
                 key,
                 measurement: Box::new(dummy_measurement(5)),
             },
+            Request::Keys,
+            Request::Admin(AdminRequest::FleetStatus),
+            Request::Admin(AdminRequest::Join {
+                id: 4,
+                addr: "127.0.0.1:9944".to_string(),
+            }),
+            Request::Admin(AdminRequest::Drain { id: 1 }),
             Request::Shutdown,
         ];
         for r in &reqs {
@@ -961,6 +1283,26 @@ mod tests {
             Response::Metrics(MetricsSnapshot::default()),
             Response::Busy { queue_depth: 17 },
             Response::PutOk,
+            Response::Keys(vec![sample_spec().job_key(), CacheKey { hi: 1, lo: 2 }]),
+            Response::Keys(Vec::new()),
+            Response::Admin(AdminResponse::Status(FleetStatus {
+                version: 3,
+                shards: vec![ShardInfo {
+                    id: 2,
+                    addr: "127.0.0.1:7070".to_string(),
+                    in_ring: true,
+                    reachable: false,
+                    keys: 17,
+                }],
+            })),
+            Response::Admin(AdminResponse::Rebalanced(RebalanceReport {
+                keys_moved: 12,
+                bytes: 34_567,
+                ms: 89,
+                skipped: 1,
+                ring: vec![2, 3, 4],
+            })),
+            Response::Admin(AdminResponse::Err("no such shard".to_string())),
             Response::ShutdownOk,
         ];
         for r in &resps {
@@ -1113,6 +1455,100 @@ mod tests {
         assert_eq!(buf.capacity(), cap, "re-encode must reuse the buffer");
         encode_response_into(&resp, &mut buf);
         assert_eq!(buf, encode_response(&resp));
+    }
+
+    #[test]
+    fn golden_frames_pin_legacy_wire_bytes() {
+        // Byte-for-byte encodings a pre-redesign client produced: the
+        // verb table is the protocol, so these arrays must never change.
+        for (verb, wire) in [
+            (Verb::Submit, 1u8),
+            (Verb::Status, 2),
+            (Verb::Result, 3),
+            (Verb::Stats, 4),
+            (Verb::Shutdown, 5),
+            (Verb::Metrics, 6),
+            (Verb::Put, 7),
+            (Verb::Keys, 8),
+            (Verb::Admin, 9),
+        ] {
+            assert_eq!(verb.wire(), wire);
+            assert_eq!(Verb::from_wire(wire), Some(verb));
+        }
+        for (tag, wire) in [
+            (RespTag::Err, 0u8),
+            (RespTag::Done, 1),
+            (RespTag::Status, 2),
+            (RespTag::Result, 3),
+            (RespTag::Stats, 4),
+            (RespTag::Busy, 5),
+            (RespTag::ShutdownOk, 6),
+            (RespTag::Metrics, 7),
+            (RespTag::PutOk, 8),
+            (RespTag::Keys, 9),
+            (RespTag::Admin, 10),
+        ] {
+            assert_eq!(tag.wire(), wire);
+            assert_eq!(RespTag::from_wire(wire), Some(tag));
+        }
+        // whole legacy frame bodies, handcrafted
+        assert_eq!(encode_request(&Request::Stats), [4]);
+        assert_eq!(encode_request(&Request::Metrics), [6]);
+        assert_eq!(encode_request(&Request::Shutdown), [5]);
+        let key = CacheKey {
+            hi: 0x0102_0304_0506_0708,
+            lo: 0x090a_0b0c_0d0e_0f10,
+        };
+        let mut legacy_status = vec![2u8];
+        legacy_status.extend_from_slice(&key.hi.to_le_bytes());
+        legacy_status.extend_from_slice(&key.lo.to_le_bytes());
+        assert_eq!(encode_request(&Request::Status(key)), legacy_status);
+        legacy_status[0] = 3;
+        assert_eq!(encode_request(&Request::Result(key)), legacy_status);
+        match decode_request(&legacy_status).unwrap() {
+            Request::Result(k) => assert_eq!(k, key),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        assert_eq!(encode_response(&Response::PutOk), [8]);
+        assert_eq!(encode_response(&Response::ShutdownOk), [6]);
+        let mut legacy_busy = vec![5u8];
+        legacy_busy.extend_from_slice(&17u64.to_le_bytes());
+        assert_eq!(
+            encode_response(&Response::Busy { queue_depth: 17 }),
+            legacy_busy
+        );
+        let mut legacy_err = vec![0u8];
+        legacy_err.extend_from_slice(&4u64.to_le_bytes());
+        legacy_err.extend_from_slice(b"boom");
+        assert_eq!(
+            encode_response(&Response::Err("boom".to_string())),
+            legacy_err
+        );
+        assert!(matches!(
+            decode_response(&legacy_err).unwrap(),
+            Response::Err(ref m) if m == "boom"
+        ));
+    }
+
+    #[test]
+    fn admin_frames_are_versioned_and_reject_future_versions() {
+        let body = encode_request(&Request::Admin(AdminRequest::Drain { id: 3 }));
+        assert_eq!(body[0], Verb::Admin.wire());
+        assert_eq!(body[1], ADMIN_VERSION, "payload must open with version");
+        let mut future = body.clone();
+        future[1] = ADMIN_VERSION + 1;
+        let err = decode_request(&future).unwrap_err();
+        assert!(
+            err.0.contains("admin version"),
+            "got wrong error: {}",
+            err.0
+        );
+        let resp = encode_response(&Response::Admin(AdminResponse::Err("nope".to_string())));
+        assert_eq!(resp[0], RespTag::Admin.wire());
+        assert_eq!(resp[1], ADMIN_VERSION);
+        let mut future = resp.clone();
+        future[1] = 0;
+        assert!(decode_response(&future).is_err());
     }
 
     #[test]

@@ -631,6 +631,18 @@ impl EventLoop {
                 self.metrics.replicated.inc();
                 conn.stage_response(&Response::PutOk);
             }
+            Request::Keys => {
+                // key census for the rebalance engine: everything the
+                // store can serve, memory and disk alike
+                conn.stage_response(&Response::Keys(self.sched.store().keys()));
+            }
+            Request::Admin(_) => {
+                // the control plane lives in the gateway; a shard
+                // answers with a typed refusal rather than misrouting
+                conn.stage_response(&Response::Err(
+                    "admin verbs are gateway-only; this is a shard".to_string(),
+                ));
+            }
             Request::Shutdown => {
                 conn.stage_response(&Response::ShutdownOk);
                 conn.shutdown_after_write = true;

@@ -224,6 +224,42 @@ impl ArtifactStore {
         arc
     }
 
+    /// Every key this store holds a measurement for — the in-memory
+    /// index unioned with a scan of the cache directory (a disk entry
+    /// may have been evicted from memory but still serves lookups).
+    /// Sorted and deduplicated, so the census is deterministic; the
+    /// rebalance engine diffs it against ring placements.
+    pub fn keys(&self) -> Vec<CacheKey> {
+        let mut keys: Vec<CacheKey> = self
+            .mem
+            .lock()
+            .expect("store index")
+            .map
+            .keys()
+            .copied()
+            .collect();
+        if let Some(dir) = &self.dir {
+            for shard_dir in std::fs::read_dir(dir).into_iter().flatten().flatten() {
+                for file in std::fs::read_dir(shard_dir.path())
+                    .into_iter()
+                    .flatten()
+                    .flatten()
+                {
+                    let name = file.file_name();
+                    let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".epsv")) else {
+                        continue;
+                    };
+                    if let Some(k) = CacheKey::from_hex(stem) {
+                        keys.push(k);
+                    }
+                }
+            }
+        }
+        keys.sort_unstable_by_key(|k| (k.hi, k.lo));
+        keys.dedup();
+        keys
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -317,6 +353,30 @@ mod tests {
         let s3 = ArtifactStore::persistent(&dir);
         assert!(s3.lookup(key).is_none());
         assert!(!path.exists(), "corrupt entry removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_census_unions_memory_and_disk() {
+        // memory-only: exactly the resident keys
+        let s = ArtifactStore::with_caps(None, 8, 4);
+        s.insert(k(1), dummy_measurement(1));
+        s.insert(k(2), dummy_measurement(2));
+        let mut expect = vec![k(1), k(2)];
+        expect.sort_unstable_by_key(|k| (k.hi, k.lo));
+        assert_eq!(s.keys(), expect);
+
+        // persistent with a tiny memory cap: an evicted entry lives on
+        // disk only, and the census must still report it
+        let dir = std::env::temp_dir().join(format!("epic-serve-keys-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = ArtifactStore::with_caps(Some(dir.clone()), 1, 4);
+        s.insert(k(1), dummy_measurement(1));
+        s.insert(k(2), dummy_measurement(2)); // evicts k(1) from memory
+        assert_eq!(s.keys(), expect, "disk-only entry missing from census");
+        // junk files in the tree are skipped, not misparsed
+        std::fs::write(dir.join("zz-not-a-shard"), b"junk").ok();
+        assert_eq!(s.keys(), expect);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

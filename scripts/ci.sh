@@ -299,4 +299,111 @@ for p in $fleet_pids; do
 done
 fleet_pids=
 
+# Membership smoke (DESIGN.md §15): runtime join/drain against a live,
+# warm fleet, with a concurrent sweep hammering the gateway during both
+# rebalances. Hedging stays disabled as above. Required:
+#   (1) joining a 4th shard reports a rebalance with skipped=0 and the
+#       new ring; the sweep running *during* the join stays 100% hits,
+#       byte-identical to the direct run,
+#   (2) draining shard 1 likewise: its cached primaries move before
+#       cutover, the concurrent sweep stays 100% hits,
+#   (3) `cluster status` shows version=3 ring=2,3,4, the drained shard
+#       as in_ring=no reachable=yes, and the joined shard in the ring,
+#   (4) a post-cutover re-sweep is 48/48 hits, byte-identical — zero
+#       warmth lost across both membership changes,
+#   (5) bad admin ops (drain a stranger, re-join a member, drain to an
+#       empty ring) exit nonzero and leave the ring untouched,
+#   (6) protocol shutdown through the gateway exits the whole fleet —
+#       including the drained-but-running shard 1 — all without kill.
+echo "==> membership smoke (runtime join/drain, warm-before-cutover)"
+for i in 1 2 3; do
+    cargo run --release -q -p epic-serve --bin epicd -- --listen 127.0.0.1:0 \
+        --shard-id "$i" > "$smoke_dir/mem_shard$i.log" &
+    fleet_pids="$fleet_pids $!"
+done
+shard_addrs=
+for i in 1 2 3; do
+    a=
+    for _ in $(seq 1 200); do
+        a=$(sed -n 's/^epicd listening on //p' "$smoke_dir/mem_shard$i.log")
+        [ -n "$a" ] && break
+        sleep 0.1
+    done
+    test -n "$a"
+    shard_addrs="$shard_addrs --shard $i=$a"
+done
+# shellcheck disable=SC2086
+cargo run --release -q -p epic-cluster --bin epicg -- $shard_addrs \
+    --hedge-ms 600000 > "$smoke_dir/mem_epicg.log" &
+fleet_pids="$fleet_pids $!"
+gw=
+for _ in $(seq 1 200); do
+    gw=$(sed -n 's/^epicg listening on //p' "$smoke_dir/mem_epicg.log")
+    [ -n "$gw" ] && break
+    sleep 0.1
+done
+test -n "$gw"
+
+cargo run --release -q --bin epicc -- submit --gateway "$gw" > "$smoke_dir/mem_cold.txt"
+grep -qx '# hits=0 misses=48' "$smoke_dir/mem_cold.txt"
+
+cargo run --release -q -p epic-serve --bin epicd -- --listen 127.0.0.1:0 \
+    --shard-id 4 > "$smoke_dir/mem_shard4.log" &
+fleet_pids="$fleet_pids $!"
+a4=
+for _ in $(seq 1 200); do
+    a4=$(sed -n 's/^epicd listening on //p' "$smoke_dir/mem_shard4.log")
+    [ -n "$a4" ] && break
+    sleep 0.1
+done
+test -n "$a4"
+
+cargo run --release -q --bin epicc -- submit --gateway "$gw" \
+    > "$smoke_dir/mem_during_join.txt" &
+sweep_pid=$!
+cargo run --release -q --bin epicc -- cluster join --gateway "$gw" \
+    --shard "4=$a4" > "$smoke_dir/mem_join.txt"
+grep -q '^rebalance join keys_moved=' "$smoke_dir/mem_join.txt"
+grep -q 'skipped=0 ring=1,2,3,4$' "$smoke_dir/mem_join.txt"
+wait "$sweep_pid"
+grep '^cell ' "$smoke_dir/mem_during_join.txt" > "$smoke_dir/mem_during_join_cells.txt"
+cmp "$smoke_dir/direct_cells.txt" "$smoke_dir/mem_during_join_cells.txt"
+grep -qx '# hits=48 misses=0' "$smoke_dir/mem_during_join.txt"
+
+cargo run --release -q --bin epicc -- submit --gateway "$gw" \
+    > "$smoke_dir/mem_during_drain.txt" &
+sweep_pid=$!
+cargo run --release -q --bin epicc -- cluster drain --gateway "$gw" \
+    --shard 1 > "$smoke_dir/mem_drain.txt"
+grep -q '^rebalance drain keys_moved=' "$smoke_dir/mem_drain.txt"
+grep -q 'skipped=0 ring=2,3,4$' "$smoke_dir/mem_drain.txt"
+wait "$sweep_pid"
+grep '^cell ' "$smoke_dir/mem_during_drain.txt" > "$smoke_dir/mem_during_drain_cells.txt"
+cmp "$smoke_dir/direct_cells.txt" "$smoke_dir/mem_during_drain_cells.txt"
+grep -qx '# hits=48 misses=0' "$smoke_dir/mem_during_drain.txt"
+
+cargo run --release -q --bin epicc -- cluster status --gateway "$gw" \
+    > "$smoke_dir/mem_status.txt"
+grep -qx 'fleet version=3 ring=2,3,4' "$smoke_dir/mem_status.txt"
+grep -q '^shard 1 addr=.* in_ring=no reachable=yes' "$smoke_dir/mem_status.txt"
+grep -q '^shard 4 addr=.* in_ring=yes reachable=yes' "$smoke_dir/mem_status.txt"
+
+cargo run --release -q --bin epicc -- submit --gateway "$gw" > "$smoke_dir/mem_final.txt"
+grep '^cell ' "$smoke_dir/mem_final.txt" > "$smoke_dir/mem_final_cells.txt"
+cmp "$smoke_dir/direct_cells.txt" "$smoke_dir/mem_final_cells.txt"
+grep -qx '# hits=48 misses=0' "$smoke_dir/mem_final.txt"
+
+! cargo run --release -q --bin epicc -- cluster drain --gateway "$gw" --shard 9 \
+    2> /dev/null
+! cargo run --release -q --bin epicc -- cluster join --gateway "$gw" \
+    --shard "4=$a4" 2> /dev/null
+cargo run --release -q --bin epicc -- cluster status --gateway "$gw" \
+    | grep -qx 'fleet version=3 ring=2,3,4'
+
+cargo run --release -q --bin epicc -- shutdown --gateway "$gw"
+for p in $fleet_pids; do
+    wait "$p"
+done
+fleet_pids=
+
 echo "CI OK"

@@ -1,0 +1,83 @@
+//! Shared service-endpoint plumbing for `epicc` subcommands.
+//!
+//! Every networked subcommand (`submit`, `stats`, `top`, `shutdown`,
+//! `cluster join/drain/status`) used to re-implement the same three
+//! things: pulling `--addr`/`--gateway` out of its flag map, connecting,
+//! and formatting connection/protocol errors. [`Endpoint`] owns all
+//! three, so a new subcommand gets address aliasing, bounded connect
+//! retry, and uniform error messages for free.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A server address as named on the command line. `--gateway` is an
+/// alias for `--addr`: an `epicg` gateway speaks the same protocol, and
+/// the spelling documents intent in scripts.
+pub struct Endpoint {
+    addr: String,
+}
+
+impl Endpoint {
+    /// Pull the endpoint out of a parsed flag map; `what` names the
+    /// subcommand for the usage error.
+    pub fn from_kv(kv: &HashMap<String, String>, what: &str) -> Result<Endpoint, String> {
+        match kv.get("--addr").or_else(|| kv.get("--gateway")) {
+            Some(addr) => Ok(Endpoint { addr: addr.clone() }),
+            None => Err(format!("{what} needs --addr (or --gateway) HOST:PORT")),
+        }
+    }
+
+    /// Connect with a short capped-exponential retry on refused
+    /// connections — in scripts the daemon is often still binding when
+    /// the first client races in. Errors carry the address.
+    pub fn connect(&self) -> Result<Conn, String> {
+        let mut delay = Duration::from_millis(10);
+        let mut last = None;
+        for _ in 0..5 {
+            match epic_serve::Client::connect(&self.addr) {
+                Ok(client) => {
+                    return Ok(Conn {
+                        addr: self.addr.clone(),
+                        client,
+                    })
+                }
+                Err(e) => {
+                    let refused = matches!(
+                        &e,
+                        epic_serve::ClientError::Io(io)
+                            if io.kind() == std::io::ErrorKind::ConnectionRefused
+                    );
+                    last = Some(e);
+                    if !refused {
+                        break;
+                    }
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(200));
+                }
+            }
+        }
+        Err(format!(
+            "connect {}: {}",
+            self.addr,
+            last.expect("loop ran at least once")
+        ))
+    }
+}
+
+/// A connected client plus the address it points at, for error context.
+pub struct Conn {
+    addr: String,
+    client: epic_serve::Client,
+}
+
+impl Conn {
+    /// Run one protocol call, mapping any failure to a uniform
+    /// `<what> <addr>: <error>` message.
+    pub fn run<T>(
+        &mut self,
+        what: &str,
+        f: impl FnOnce(&mut epic_serve::Client) -> Result<T, epic_serve::ClientError>,
+    ) -> Result<T, String> {
+        f(&mut self.client).map_err(|e| format!("{what} {}: {e}", self.addr))
+    }
+}

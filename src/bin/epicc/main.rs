@@ -67,6 +67,9 @@
 //! epicc submit --gateway A [...]      # --gateway is an --addr alias
 //! epicc stats --gateway A             # summed fleet stats (shard_id 0)
 //! epicc top --gateway A --cluster     # fleet / per-shard / gateway sections
+//! epicc cluster status --gateway A    # ring version + per-shard membership
+//! epicc cluster join --gateway A --shard ID=ADDR   # warm, then cut over
+//! epicc cluster drain --gateway A --shard ID       # move warmth out first
 //! ```
 //!
 //! `cluster serve` runs an N-shard fleet plus an `epicg` gateway in one
@@ -81,6 +84,9 @@
 use epic_driver::{compile_source, CompileOptions, OptLevel};
 use epic_sim::{Category, PredictorSpec, SimOptions, SimResult, SpecModel, CATEGORIES};
 use std::process::ExitCode;
+
+mod endpoint;
+use endpoint::Endpoint;
 
 struct Args {
     source: Option<String>,
@@ -503,13 +509,6 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// The server address for a service subcommand. `--gateway` is an alias
-/// for `--addr`: an `epicg` gateway speaks the same protocol, and the
-/// spelling documents intent in scripts.
-fn server_addr(kv: &std::collections::HashMap<String, String>) -> Option<&String> {
-    kv.get("--addr").or_else(|| kv.get("--gateway"))
-}
-
 /// `epicc serve`: run the job daemon in-process (same engine as the
 /// standalone `epicd` binary).
 fn serve_cmd(args: &[String]) -> ExitCode {
@@ -566,8 +565,9 @@ fn submit_cmd(args: &[String]) -> ExitCode {
         Ok(kv) => kv,
         Err(e) => return fail(e),
     };
-    let Some(addr) = server_addr(&kv) else {
-        return fail("submit needs --addr (or --gateway) HOST:PORT");
+    let ep = match Endpoint::from_kv(&kv, "submit") {
+        Ok(ep) => ep,
+        Err(e) => return fail(e),
     };
     let levels = match parse_levels(kv.get("--level").map_or("all", String::as_str)) {
         Ok(l) => l,
@@ -598,14 +598,14 @@ fn submit_cmd(args: &[String]) -> ExitCode {
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let mut client = match epic_serve::Client::connect(addr) {
+                let mut conn = match ep.connect() {
                     Ok(c) => c,
                     Err(e) => {
                         // mark every remaining cell failed
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                             let Some(slot) = results.get(i) else { break };
-                            *slot.lock().unwrap() = Some(Err(format!("connect {addr}: {e}")));
+                            *slot.lock().unwrap() = Some(Err(e.clone()));
                         }
                         return;
                     }
@@ -617,9 +617,9 @@ fn submit_cmd(args: &[String]) -> ExitCode {
                     };
                     let mut spec = epic_serve::JobSpec::for_workload(w, *level);
                     spec.predictor = predictor;
-                    let r = client
-                        .submit(&spec, epic_serve::Priority::Normal, 0)
-                        .map_err(|e| e.to_string());
+                    let r = conn.run("submit", |c| {
+                        c.submit(&spec, epic_serve::Priority::Normal, 0)
+                    });
                     *results[i].lock().unwrap() = Some(r);
                 }
             });
@@ -772,10 +772,10 @@ fn top_cmd(args: &[String]) -> ExitCode {
         Ok(kv) => kv,
         Err(e) => return fail(e),
     };
-    let Some(addr) = server_addr(&kv) else {
-        return fail("top needs --addr (or --gateway) HOST:PORT");
-    };
-    let snap = match epic_serve::Client::connect(addr).and_then(|mut c| c.metrics()) {
+    let snap = match Endpoint::from_kv(&kv, "top")
+        .and_then(|ep| ep.connect())
+        .and_then(|mut conn| conn.run("top", |c| c.metrics()))
+    {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
@@ -827,10 +827,10 @@ fn stats_cmd(args: &[String]) -> ExitCode {
         Ok(kv) => kv,
         Err(e) => return fail(e),
     };
-    let Some(addr) = server_addr(&kv) else {
-        return fail("stats needs --addr (or --gateway) HOST:PORT");
-    };
-    let stats = match epic_serve::Client::connect(addr).and_then(|mut c| c.stats()) {
+    let stats = match Endpoint::from_kv(&kv, "stats")
+        .and_then(|ep| ep.connect())
+        .and_then(|mut conn| conn.run("stats", |c| c.stats()))
+    {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
@@ -1846,8 +1846,133 @@ fn benchcmp_history(dir: &str) -> ExitCode {
 fn cluster_cmd(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => cluster_serve_cmd(&args[1..]),
-        _ => fail("usage: epicc cluster serve [--shards N] [--listen A] [--hedge-ms MS] [--workers N] [--queue-cap N]"),
+        Some("join") => cluster_join_cmd(&args[1..]),
+        Some("drain") => cluster_drain_cmd(&args[1..]),
+        Some("status") => cluster_status_cmd(&args[1..]),
+        _ => fail(
+            "usage: epicc cluster serve [--shards N] [--listen A] [--hedge-ms MS] [--workers N] [--queue-cap N]\n\
+             \x20      epicc cluster join --gateway HOST:PORT --shard ID=ADDR\n\
+             \x20      epicc cluster drain --gateway HOST:PORT --shard ID\n\
+             \x20      epicc cluster status --gateway HOST:PORT",
+        ),
     }
+}
+
+/// One greppable line per completed rebalance:
+/// `rebalance <verb> keys_moved=.. bytes=.. ms=.. skipped=.. ring=2,3,4`.
+fn print_rebalance(verb: &str, r: &epic_serve::RebalanceReport) {
+    let ring: Vec<String> = r.ring.iter().map(u64::to_string).collect();
+    println!(
+        "rebalance {verb} keys_moved={} bytes={} ms={} skipped={} ring={}",
+        r.keys_moved,
+        r.bytes,
+        r.ms,
+        r.skipped,
+        ring.join(",")
+    );
+}
+
+/// Parse a `--shard ID=ADDR` join spec.
+fn parse_shard_spec(v: &str) -> Result<(u64, String), String> {
+    let Some((id, addr)) = v.split_once('=') else {
+        return Err(format!("--shard wants ID=ADDR, got `{v}`"));
+    };
+    let id = id
+        .parse()
+        .map_err(|_| format!("bad shard id `{id}` in --shard"))?;
+    if addr.is_empty() {
+        return Err(format!("--shard `{v}` has an empty address"));
+    }
+    Ok((id, addr.to_string()))
+}
+
+/// `epicc cluster join`: add a running `epicd` to a gateway's ring.
+/// The gateway warms the newcomer (pushes every cached key it will
+/// own) before cutting the ring over, so it starts serving hits.
+fn cluster_join_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let Some(spec) = kv.get("--shard") else {
+        return fail("cluster join needs --shard ID=ADDR");
+    };
+    let (id, addr) = match parse_shard_spec(spec) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    match Endpoint::from_kv(&kv, "cluster join")
+        .and_then(|ep| ep.connect())
+        .and_then(|mut conn| conn.run("cluster join", |c| c.cluster_join(id, &addr)))
+    {
+        Ok(report) => {
+            print_rebalance("join", &report);
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+/// `epicc cluster drain`: remove a shard from a gateway's ring. Its
+/// cached results are pushed to their new owners before the ring cuts
+/// over, so the fleet loses no warmth; the daemon itself keeps running
+/// (and still answers fleet-wide shutdown) until stopped.
+fn cluster_drain_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let id: u64 = match kv.get("--shard").map(|v| v.parse()) {
+        Some(Ok(id)) => id,
+        Some(Err(_)) => return fail("--shard must be a shard id (integer)"),
+        None => return fail("cluster drain needs --shard ID"),
+    };
+    match Endpoint::from_kv(&kv, "cluster drain")
+        .and_then(|ep| ep.connect())
+        .and_then(|mut conn| conn.run("cluster drain", |c| c.cluster_drain(id)))
+    {
+        Ok(report) => {
+            print_rebalance("drain", &report);
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+/// `epicc cluster status`: the gateway's live view of the fleet — ring
+/// version, membership, and per-shard reachability plus cached-key
+/// counts (drained-but-running shards show `in_ring=no reachable=yes`).
+fn cluster_status_cmd(args: &[String]) -> ExitCode {
+    let kv = match parse_kv(args, &[]) {
+        Ok(kv) => kv,
+        Err(e) => return fail(e),
+    };
+    let fs = match Endpoint::from_kv(&kv, "cluster status")
+        .and_then(|ep| ep.connect())
+        .and_then(|mut conn| conn.run("cluster status", |c| c.fleet_status()))
+    {
+        Ok(fs) => fs,
+        Err(e) => return fail(e),
+    };
+    let yn = |b: bool| if b { "yes" } else { "no" };
+    let ring: Vec<String> = fs
+        .shards
+        .iter()
+        .filter(|s| s.in_ring)
+        .map(|s| s.id.to_string())
+        .collect();
+    println!("fleet version={} ring={}", fs.version, ring.join(","));
+    for s in &fs.shards {
+        println!(
+            "shard {} addr={} in_ring={} reachable={} keys={}",
+            s.id,
+            s.addr,
+            yn(s.in_ring),
+            yn(s.reachable),
+            s.keys
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 /// `epicc cluster serve`: an N-shard fleet plus `epicg` gateway in one
@@ -1932,10 +2057,10 @@ fn shutdown_cmd(args: &[String]) -> ExitCode {
         Ok(kv) => kv,
         Err(e) => return fail(e),
     };
-    let Some(addr) = server_addr(&kv) else {
-        return fail("shutdown needs --addr (or --gateway) HOST:PORT");
-    };
-    match epic_serve::Client::connect(addr).and_then(|mut c| c.shutdown()) {
+    match Endpoint::from_kv(&kv, "shutdown")
+        .and_then(|ep| ep.connect())
+        .and_then(|mut conn| conn.run("shutdown", |c| c.shutdown()))
+    {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(e),
     }
